@@ -1,0 +1,124 @@
+// E2 — Theorem 3: the pipeline computes BC for all nodes in O(N) rounds.
+//
+// Sweeps N across graph families and reports rounds and rounds/N; the
+// ratio must stay (roughly) constant as N doubles, demonstrating linear
+// scaling.  The naive Theta(N*D) schedule (sequential_counting: let each
+// BFS wave drain before the next source starts) is run alongside on the
+// high-diameter families where the gap is starkest — the paper's whole
+// point is beating that baseline.
+#include <cmath>
+#include <functional>
+#include <iostream>
+
+#include "algo/bc_pipeline.hpp"
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace {
+
+using namespace congestbc;
+
+void sweep_family(const std::string& family, Table& table,
+                  const std::function<Graph(NodeId)>& make,
+                  const std::vector<NodeId>& sizes, bool run_sequential) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const NodeId n : sizes) {
+    const Graph g = make(n);
+    const auto result = run_distributed_bc(g);
+    std::string seq_rounds = "-";
+    std::string speedup = "-";
+    if (run_sequential) {
+      DistributedBcOptions seq;
+      seq.sequential_counting = true;
+      const auto seq_result = run_distributed_bc(g, seq);
+      seq_rounds = std::to_string(seq_result.rounds);
+      speedup = format_double(static_cast<double>(seq_result.rounds) /
+                                  static_cast<double>(result.rounds),
+                              3);
+    }
+    xs.push_back(static_cast<double>(g.num_nodes()));
+    ys.push_back(static_cast<double>(result.rounds));
+    table.add_row({family, std::to_string(g.num_nodes()),
+                   std::to_string(diameter(g)), std::to_string(result.rounds),
+                   format_double(static_cast<double>(result.rounds) /
+                                     static_cast<double>(g.num_nodes()),
+                                 3),
+                   seq_rounds, speedup});
+  }
+  // Least-squares fit rounds = a*N + b: the slope is the O(N) constant.
+  const auto k = static_cast<double>(xs.size());
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double slope = (k * sxy - sx * sy) / (k * sxx - sx * sx);
+  const double intercept = (sy - slope * sx) / k;
+  std::cout << "  fit[" << family << "]: rounds = " << format_double(slope, 4)
+            << " * N + " << format_double(intercept, 4) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace congestbc;
+  benchutil::print_header(
+      "E2 / Theorem 3",
+      "O(N)-round scaling vs the naive Theta(N*D) drain schedule");
+
+  Table table({"family", "N", "D", "rounds", "rounds/N", "naive rounds",
+               "naive/ours"});
+  const std::vector<NodeId> sizes{32, 64, 128, 256};
+  const std::vector<NodeId> small_sizes{32, 64, 128};
+
+  sweep_family("path", table, [](NodeId n) { return gen::path(n); },
+               small_sizes, /*run_sequential=*/true);
+  sweep_family("cycle", table, [](NodeId n) { return gen::cycle(n); },
+               small_sizes, true);
+  sweep_family("grid", table,
+               [](NodeId n) {
+                 const auto side = static_cast<NodeId>(
+                     std::round(std::sqrt(static_cast<double>(n))));
+                 return gen::grid(side, side);
+               },
+               sizes, true);
+  sweep_family("binary tree", table,
+               [](NodeId n) {
+                 unsigned height = 1;
+                 while ((NodeId{2} << (height + 1)) - 1 <= n) {
+                   ++height;
+                 }
+                 return gen::balanced_tree(2, height);
+               },
+               sizes, false);
+  sweep_family("ER(2lnN/N)", table,
+               [](NodeId n) {
+                 Rng rng(1000 + n);
+                 const double p = std::min(
+                     1.0, 2.0 * std::log(static_cast<double>(n)) /
+                              static_cast<double>(n));
+                 return gen::erdos_renyi_connected(n, p, rng);
+               },
+               sizes, false);
+  sweep_family("BA(m=2)", table,
+               [](NodeId n) {
+                 Rng rng(2000 + n);
+                 return gen::barabasi_albert(n, 2, rng);
+               },
+               sizes, false);
+  sweep_family("star", table, [](NodeId n) { return gen::star(n); }, sizes,
+               false);
+
+  table.print(std::cout);
+  std::cout << "\nExpectation (paper): rounds/N roughly constant per family; "
+               "naive/ours grows with D.\n";
+  return 0;
+}

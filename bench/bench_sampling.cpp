@@ -1,0 +1,75 @@
+// E11 — the sampled-source estimator (related work, Section II: Holzer's
+// thesis sketch / Brandes–Pich sampling) on the same CONGEST pipeline:
+// only k staggered BFS waves run and dependencies are scaled by N/k.
+//
+// Sweeps k and reports rounds (saving vs the exact run), the max relative
+// BC error, and the top-10 ranking overlap — the metric approximate BC is
+// actually used for.
+#include <cmath>
+#include <iostream>
+
+#include "algo/bc_pipeline.hpp"
+#include "bench/bench_util.hpp"
+#include "central/brandes.hpp"
+#include "common/table.hpp"
+#include "core/validation.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace congestbc;
+  benchutil::print_header(
+      "E11 / Section II sampling",
+      "accuracy vs rounds for the sampled-source estimator");
+
+  struct Workload {
+    std::string name;
+    Graph graph;
+  };
+  Rng gen_rng(2026);
+  std::vector<Workload> workloads;
+  workloads.push_back({"BA(m=2) N=128", gen::barabasi_albert(128, 2, gen_rng)});
+  workloads.push_back(
+      {"WS(k=2,b=0.2) N=128", gen::watts_strogatz(128, 2, 0.2, gen_rng)});
+  workloads.push_back(
+      {"ER(2lnN/N) N=128",
+       gen::erdos_renyi_connected(
+           128, 2.0 * std::log(128.0) / 128.0, gen_rng)});
+
+  for (const auto& w : workloads) {
+    const auto reference = brandes_bc(w.graph);
+    std::cout << "\nworkload " << w.name << ":\n";
+    Table table({"k sources", "rounds", "round saving", "max rel err",
+                 "mean abs err", "top-10 overlap"});
+    std::uint64_t full_rounds = 0;
+    for (const std::size_t k : {128u, 64u, 32u, 16u, 8u, 4u}) {
+      DistributedBcOptions options;
+      Rng mask_rng(99 + k);
+      std::vector<bool> mask(w.graph.num_nodes(), false);
+      for (const auto s :
+           mask_rng.sample_without_replacement(w.graph.num_nodes(), k)) {
+        mask[static_cast<std::size_t>(s)] = true;
+      }
+      options.sources = mask;
+      const auto result = run_distributed_bc(w.graph, options);
+      if (k == 128) {
+        full_rounds = result.rounds;
+      }
+      const auto stats = compare_vectors(result.betweenness, reference, 1e-3);
+      table.add_row(
+          {std::to_string(k), std::to_string(result.rounds),
+           format_double(1.0 - static_cast<double>(result.rounds) /
+                                   static_cast<double>(full_rounds),
+                         3),
+           format_double(stats.max_rel_error, 3),
+           format_double(stats.mean_abs_error, 4),
+           format_double(top_k_overlap(result.betweenness, reference, 10),
+                         3)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpectation: k=N reproduces the exact algorithm; smaller k "
+               "trades accuracy for rounds while the high-BC ranking "
+               "degrades gracefully (Brandes–Pich behaviour).\n";
+  return 0;
+}

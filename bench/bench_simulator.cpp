@@ -1,0 +1,83 @@
+// E12 — engineering throughput of the CONGEST simulator itself
+// (google-benchmark): wall-clock per full pipeline run and derived
+// message/round throughput.  Not a paper claim; it documents what a
+// downstream user can expect from the substrate.
+#include <benchmark/benchmark.h>
+
+#include "algo/bc_pipeline.hpp"
+#include "algo/bfs_tree.hpp"
+#include "central/brandes.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace congestbc;
+
+void BM_PipelineGrid(benchmark::State& state) {
+  const auto side = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::grid(side, side);
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const auto result = run_distributed_bc(g);
+    rounds = result.rounds;
+    messages = result.metrics.total_logical_messages;
+    benchmark::DoNotOptimize(result.betweenness.data());
+  }
+  state.counters["nodes"] = static_cast<double>(g.num_nodes());
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["msgs"] = static_cast<double>(messages);
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_PipelineGrid)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Arg(14)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineBa(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g =
+      gen::barabasi_albert(static_cast<NodeId>(state.range(0)), 2, rng);
+  for (auto _ : state) {
+    const auto result = run_distributed_bc(g);
+    benchmark::DoNotOptimize(result.betweenness.data());
+  }
+}
+BENCHMARK(BM_PipelineBa)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_CentralizedBrandes(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g =
+      gen::barabasi_albert(static_cast<NodeId>(state.range(0)), 2, rng);
+  for (auto _ : state) {
+    const auto bc = brandes_bc(g);
+    benchmark::DoNotOptimize(bc.data());
+  }
+}
+BENCHMARK(BM_CentralizedBrandes)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorNetworkOnly(benchmark::State& state) {
+  // Tree construction alone: isolates simulator overhead from algorithm
+  // work (O(D) rounds, N programs).
+  const auto side = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::grid(side, side);
+  const WireFormat fmt =
+      WireFormat::for_graph(g.num_nodes(), SoftFloatFormat::for_graph(g.num_nodes()));
+  for (auto _ : state) {
+    Network net(g,
+                NetworkConfig{congest_budget_bits(g.num_nodes()), 100000, true});
+    const auto metrics = net.run([&](NodeId v) {
+      return std::make_unique<BfsTreeProgram>(v, 0, fmt);
+    });
+    benchmark::DoNotOptimize(metrics.rounds);
+  }
+}
+BENCHMARK(BM_SimulatorNetworkOnly)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Shared helpers for the experiment benches.  Each bench regenerates one
+// artifact of the paper (see DESIGN.md experiment index and
+// EXPERIMENTS.md for paper-vs-measured records) and prints paper-style
+// tables on stdout.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace congestbc::benchutil {
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& claim) {
+  std::cout << "\n=== " << experiment_id << " — " << claim << " ===\n";
+}
+
+/// Wall-clock helper for baseline comparisons.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace congestbc::benchutil

@@ -1,0 +1,55 @@
+// E9 — end-to-end parity: the distributed pipeline (Algorithms 2+3 under
+// the full CONGEST simulation) against centralized Brandes (Algorithm 1)
+// across every generator family.
+//
+// Columns: max relative BC error (must sit at soft-float precision, i.e.
+// ~2^-(L-1) * O(D)), CONGEST rounds, total traffic, and wall-clock of
+// simulation vs Brandes (engineering context: the simulator pays for
+// faithful bit-level accounting).
+#include <iostream>
+
+#include "algo/bc_pipeline.hpp"
+#include "bench/bench_util.hpp"
+#include "central/brandes.hpp"
+#include "common/table.hpp"
+#include "core/validation.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+int main() {
+  using namespace congestbc;
+  benchutil::print_header(
+      "E9 / Algorithms 2+3 vs Algorithm 1",
+      "distributed == centralized within the soft-float envelope");
+
+  Table table({"family", "N", "M", "D", "max rel err", "worst node", "rounds",
+               "total Mbits", "sim secs", "Brandes secs"});
+
+  for (const NodeId n : {48u, 96u}) {
+    for (const auto& [name, graph] : gen::standard_suite(n, 4242 + n)) {
+      benchutil::Stopwatch sim_watch;
+      const auto result = run_distributed_bc(graph);
+      const double sim_secs = sim_watch.seconds();
+
+      benchutil::Stopwatch brandes_watch;
+      const auto reference = brandes_bc(graph);
+      const double brandes_secs = brandes_watch.seconds();
+
+      const auto stats = compare_vectors(result.betweenness, reference, 1e-6);
+      table.add_row(
+          {name, std::to_string(graph.num_nodes()),
+           std::to_string(graph.num_edges()), std::to_string(result.diameter),
+           format_double(stats.max_rel_error, 3),
+           std::to_string(stats.worst_index), std::to_string(result.rounds),
+           format_double(static_cast<double>(result.metrics.total_bits) / 1e6,
+                         4),
+           format_double(sim_secs, 3), format_double(brandes_secs, 3)});
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpectation (paper): every max-rel-err cell is ~1e-8 or "
+               "smaller — the distributed algorithm is exact up to the "
+               "Section-VI floating point encoding.\n";
+  return 0;
+}

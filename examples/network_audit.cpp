@@ -1,0 +1,81 @@
+// Scenario: audit a network for fragile choke points.
+//
+// Combines the structural decompositions (bridges, articulation points)
+// with the distributed centrality pipeline: articulation points are
+// provable single points of failure, and betweenness quantifies how much
+// traffic each one actually carries.  The audit report cross-references
+// both views.
+#include <algorithm>
+#include <iostream>
+
+#include "algo/bc_pipeline.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/structure.hpp"
+
+int main() {
+  using namespace congestbc;
+
+  // A fragile backbone: three communities chained by single links.
+  Rng rng(404);
+  GraphBuilder builder;
+  auto add_community = [&](NodeId size) {
+    const NodeId base = builder.num_nodes();
+    for (NodeId i = 0; i < size; ++i) {
+      builder.ensure_node(base + i);
+    }
+    for (NodeId i = 0; i < size; ++i) {
+      for (NodeId j = i + 1; j < size; ++j) {
+        if (rng.next_bernoulli(0.4)) {
+          builder.add_edge(base + i, base + j);
+        }
+      }
+      if (i > 0) {
+        builder.add_edge(base + i - 1, base + i);  // keep it connected
+      }
+    }
+    return base;
+  };
+  const NodeId a = add_community(12);
+  const NodeId b = add_community(12);
+  const NodeId c = add_community(12);
+  builder.add_edge(a + 11, b);       // fragile link 1
+  builder.add_edge(b + 11, c);       // fragile link 2
+  const Graph g = std::move(builder).build();
+
+  const auto cut_edges = bridges(g);
+  const auto cut_nodes = articulation_points(g);
+  const auto result = run_distributed_bc(g);
+
+  std::cout << "network audit (" << g.num_nodes() << " nodes, "
+            << g.num_edges() << " links)\n\n";
+
+  std::cout << "bridge links (single points of failure):\n";
+  for (const auto& e : cut_edges) {
+    std::cout << "  " << e.u << " -- " << e.v << "\n";
+  }
+
+  std::cout << "\narticulation nodes ranked by betweenness load:\n";
+  std::vector<NodeId> ranked(cut_nodes);
+  std::sort(ranked.begin(), ranked.end(), [&](NodeId x, NodeId y) {
+    return result.betweenness[x] > result.betweenness[y];
+  });
+  Table table({"node", "betweenness", "closeness", "degree"});
+  for (const NodeId v : ranked) {
+    table.add_row({std::to_string(v),
+                   format_double(result.betweenness[v], 6),
+                   format_double(result.closeness[v], 4),
+                   std::to_string(g.degree(v))});
+  }
+  table.print(std::cout);
+
+  // Sanity: every articulation point carries positive betweenness.
+  double min_bc = 1e300;
+  for (const NodeId v : cut_nodes) {
+    min_bc = std::min(min_bc, result.betweenness[v]);
+  }
+  std::cout << "\nevery articulation node carries betweenness >= "
+            << min_bc << " (> 0, as theory demands).\n"
+            << "analysis cost: " << result.rounds << " CONGEST rounds.\n";
+  return 0;
+}

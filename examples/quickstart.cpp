@@ -1,0 +1,35 @@
+// Quickstart: compute betweenness centrality for every node of a small
+// network with the O(N)-round distributed algorithm, cross-checked
+// against centralized Brandes.
+//
+//   $ ./quickstart
+//
+// This is the 30-second tour of the public API: build a Graph, hand it to
+// congestbc::Runner, read the report.
+#include <iostream>
+
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace congestbc;
+
+  // The paper's Figure-1 example network: v1-v2, v2-v3, v2-v5, v3-v4, v4-v5.
+  const Graph graph = gen::figure1_example();
+
+  // Runner drives the CONGEST simulation and (by default) verifies the
+  // result against centralized Brandes.
+  Runner runner(graph);
+  const AnalysisReport report = runner.analyze();
+
+  std::cout << "betweenness centralities (undirected convention):\n";
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    std::cout << "  v" << v + 1 << ": " << report.distributed.betweenness[v]
+              << "\n";
+  }
+  std::cout << "\n" << report.summary() << "\n";
+  std::cout << "\nThe paper's worked example says C_B(v2) = 7/2 = "
+            << 3.5 << " — and indeed v2 reads "
+            << report.distributed.betweenness[1] << ".\n";
+  return 0;
+}

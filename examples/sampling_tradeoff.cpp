@@ -1,0 +1,46 @@
+// Scenario: you only need the top-of-the-ranking brokers and want to pay
+// fewer rounds — run the sampled-source estimator and inspect the
+// accuracy/latency trade-off.
+#include <cmath>
+#include <iostream>
+
+#include "algo/bc_pipeline.hpp"
+#include "central/brandes.hpp"
+#include "common/table.hpp"
+#include "core/validation.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace congestbc;
+
+  Rng rng(777);
+  const NodeId n = 96;
+  const Graph graph = gen::watts_strogatz(n, 3, 0.15, rng);
+  const auto exact = brandes_bc(graph);
+
+  std::cout << "sampled-source estimator on a small-world network (N=" << n
+            << "):\n\n";
+  Table table({"sources k", "rounds", "top-5 overlap", "max rel err"});
+  for (const std::size_t k : {static_cast<std::size_t>(n), 48ul, 24ul, 12ul,
+                              6ul}) {
+    DistributedBcOptions options;
+    Rng mask_rng(k);
+    std::vector<bool> mask(n, false);
+    for (const auto s : mask_rng.sample_without_replacement(n, k)) {
+      mask[static_cast<std::size_t>(s)] = true;
+    }
+    options.sources = mask;
+    const auto result = run_distributed_bc(graph, options);
+    table.add_row(
+        {std::to_string(k), std::to_string(result.rounds),
+         format_double(top_k_overlap(result.betweenness, exact, 5), 2),
+         format_double(
+             compare_vectors(result.betweenness, exact, 1e-3).max_rel_error,
+             3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nk = N is the exact paper algorithm; shrinking k sheds "
+               "rounds while the head of the ranking stays useful.\n";
+  return 0;
+}

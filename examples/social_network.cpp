@@ -1,0 +1,53 @@
+// Scenario: find the broker nodes of a scale-free social network.
+//
+// Betweenness centrality is the classic "who brokers information flow"
+// measure (the use case motivating the paper's introduction).  This
+// example grows a Barabási–Albert network of 150 accounts, runs the
+// distributed pipeline, and prints the top brokers together with the cost
+// the CONGEST model charges for the computation.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "algo/bc_pipeline.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace congestbc;
+
+  Rng rng(20260706);
+  const NodeId n = 150;
+  const Graph graph = gen::barabasi_albert(n, 2, rng);
+
+  const DistributedBcResult result = run_distributed_bc(graph);
+
+  // Rank accounts by betweenness.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return result.betweenness[a] > result.betweenness[b];
+  });
+
+  std::cout << "top brokers of a " << n << "-account scale-free network:\n\n";
+  Table table({"rank", "account", "betweenness", "degree", "closeness",
+               "stress"});
+  for (std::size_t rank = 0; rank < 10; ++rank) {
+    const NodeId v = order[rank];
+    table.add_row({std::to_string(rank + 1), std::to_string(v),
+                   format_double(result.betweenness[v], 6),
+                   std::to_string(graph.degree(v)),
+                   format_double(result.closeness[v], 4),
+                   format_double(static_cast<double>(result.stress[v]), 6)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncost under the CONGEST model: " << result.rounds
+            << " rounds (" << result.rounds / n << "x N), "
+            << result.metrics.total_bits / 8 / 1024 << " KiB of traffic, max "
+            << result.metrics.max_bits_on_edge_round
+            << " bits on any link in any round.\n";
+  std::cout << "network diameter (computed on the fly): " << result.diameter
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Scenario: a weighted road network — which intersection carries the most
+// through-traffic?
+//
+// Edge weights model travel times.  The paper's algorithm is unweighted;
+// its Section X points at the virtual-node subdivision, which this
+// library implements: run_distributed_weighted_bc() subdivides each
+// weight-w road into w unit segments, runs the O(N')-round pipeline, and
+// reads off the exact weighted betweenness of the real intersections.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "algo/weighted_bc.hpp"
+#include "central/weighted_brandes.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/weighted.hpp"
+
+int main() {
+  using namespace congestbc;
+
+  // A 6x6 city grid; travel times 1..9 per block (arterials fast, alleys
+  // slow).
+  Rng rng(1234);
+  const Graph blocks = gen::grid(6, 6);
+  const WeightedGraph city = with_random_weights(blocks, 9, rng);
+
+  const auto result = run_distributed_weighted_bc(city);
+  const auto reference = weighted_brandes_bc(city);
+
+  std::vector<NodeId> order(city.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return result.betweenness[a] > result.betweenness[b];
+  });
+
+  std::cout << "busiest intersections of a 6x6 weighted city grid:\n\n";
+  Table table({"rank", "intersection (row,col)", "betweenness",
+               "centralized check", "closeness"});
+  for (std::size_t rank = 0; rank < 8; ++rank) {
+    const NodeId v = order[rank];
+    table.add_row({std::to_string(rank + 1),
+                   "(" + std::to_string(v / 6) + "," + std::to_string(v % 6) +
+                       ")",
+                   format_double(result.betweenness[v], 6),
+                   format_double(reference[v], 6),
+                   format_double(result.closeness[v], 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nsubdivided network: " << result.subdivided_nodes
+            << " nodes (36 real + virtual road segments), " << result.rounds
+            << " CONGEST rounds, weighted diameter "
+            << result.weighted_diameter << " time units.\n";
+  return 0;
+}

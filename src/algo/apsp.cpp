@@ -1,0 +1,33 @@
+#include "algo/apsp.hpp"
+
+#include "common/assert.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+
+DistributedApspResult run_distributed_apsp(const Graph& g,
+                                           DistributedBcOptions options) {
+  options.counting_only = true;
+  options.keep_tables = true;
+  const auto raw = run_distributed_bc(g, options);
+
+  const NodeId n = g.num_nodes();
+  DistributedApspResult result;
+  result.diameter = raw.diameter;
+  result.eccentricities = raw.eccentricities;
+  result.closeness = raw.closeness;
+  result.graph_centrality = raw.graph_centrality;
+  result.rounds = raw.rounds;
+  result.metrics = raw.metrics;
+  result.distances.assign(n, std::vector<std::uint32_t>(n, kUnreachable));
+  result.sigma.assign(n, std::vector<double>(n, 0.0));
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& entry : raw.tables[v]) {
+      result.distances[v][entry.source] = entry.dist;
+      result.sigma[v][entry.source] = entry.sigma.to_double();
+    }
+  }
+  return result;
+}
+
+}  // namespace congestbc

@@ -1,0 +1,40 @@
+// Distributed all-pairs shortest paths — the counting phase exposed as
+// its own O(N)-round API.
+//
+// This is the library's rendition of the Holzer–Wattenhofer APSP
+// algorithm ([6] in the paper) that Algorithm 2 builds on: after the run,
+// every node holds d(s, v) and the ceil-rounded path count sigma_sv for
+// every source s, the graph diameter, and the distance-based centralities
+// (closeness, graph centrality) — everything Section I says follows from
+// linear-time APSP — without paying for the aggregation phase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/bc_pipeline.hpp"
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// Result of a distributed APSP run, gathered from all nodes.
+struct DistributedApspResult {
+  /// distances[v][s] = d(s, v); kUnreachable never occurs (connected).
+  std::vector<std::vector<std::uint32_t>> distances;
+  /// sigma[v][s] = ceil-rounded shortest-path count (exact below 2^L).
+  std::vector<std::vector<double>> sigma;
+  std::uint32_t diameter = 0;
+  std::vector<std::uint32_t> eccentricities;
+  std::vector<double> closeness;
+  std::vector<double> graph_centrality;
+  std::uint64_t rounds = 0;
+  RunMetrics metrics;
+};
+
+/// Runs the counting phase only.  Accepts the same options as
+/// run_distributed_bc (sources restriction included); the counting_only
+/// and keep_tables fields are overridden.
+DistributedApspResult run_distributed_apsp(const Graph& g,
+                                           DistributedBcOptions options = {});
+
+}  // namespace congestbc

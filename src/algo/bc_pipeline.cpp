@@ -1,0 +1,89 @@
+#include "algo/bc_pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+DistributedBcResult run_distributed_bc(const Graph& g,
+                                       const DistributedBcOptions& options) {
+  const NodeId n = g.num_nodes();
+  CBC_EXPECTS(n >= 1, "empty graph");
+  CBC_EXPECTS(options.root < n, "root out of range");
+
+  BcProgramConfig config;
+  const SoftFloatFormat sf =
+      options.format.value_or(SoftFloatFormat::for_graph(n));
+  config.wire = WireFormat::for_graph(n, sf);
+  config.root = options.root;
+  config.sigma_rounding = options.sigma_rounding;
+  config.psi_rounding = options.psi_rounding;
+  config.dfs_extra_pause = options.dfs_extra_pause;
+  config.sequential_counting = options.sequential_counting;
+  config.check_invariants = options.check_invariants;
+  config.halve = options.halve;
+  config.is_source =
+      options.sources.value_or(std::vector<bool>(n, true));
+  CBC_EXPECTS(config.is_source.size() == n, "sources mask must have size N");
+  config.counts_as_target = options.targets.value_or(std::vector<bool>{});
+  config.scale_by_sources = options.scale_by_sources;
+  config.counting_only = options.counting_only;
+  config.rebase_aggregation = options.rebase_aggregation;
+
+  NetworkConfig net_config;
+  net_config.bits_per_edge_per_round =
+      options.budget_bits.value_or(congest_budget_bits(n));
+  net_config.max_rounds = options.max_rounds;
+  net_config.trace = options.trace;
+
+  Network network(g, net_config);
+  if (!options.cut_edges.empty()) {
+    network.register_cut(options.cut_edges);
+  }
+
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  std::vector<BcProgram*> views;
+  programs.reserve(n);
+  views.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto program = std::make_unique<BcProgram>(v, config);
+    views.push_back(program.get());
+    programs.push_back(std::move(program));
+  }
+
+  DistributedBcResult result;
+  result.metrics = network.run(programs);
+  result.rounds = result.metrics.rounds;
+
+  result.betweenness.resize(n);
+  result.closeness.resize(n);
+  result.graph_centrality.resize(n);
+  result.stress.resize(n);
+  result.eccentricities.resize(n);
+  result.bfs_start_rounds.resize(n);
+  if (options.keep_tables) {
+    result.tables.resize(n);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeOutputs& out = views[v]->outputs();
+    result.betweenness[v] = out.betweenness;
+    result.closeness[v] = out.closeness;
+    result.graph_centrality[v] = out.graph_centrality;
+    result.stress[v] = out.stress;
+    result.eccentricities[v] = out.eccentricity;
+    result.bfs_start_rounds[v] = views[v]->bfs_start_round();
+    result.max_node_state_bytes =
+        std::max(result.max_node_state_bytes, views[v]->state_bytes());
+    result.diameter = out.diameter;
+    result.aggregation_epoch = out.aggregation_epoch;
+    result.last_finish_round =
+        std::max(result.last_finish_round, out.finish_round);
+    if (options.keep_tables) {
+      result.tables[v] = views[v]->table();
+    }
+  }
+  return result;
+}
+
+}  // namespace congestbc

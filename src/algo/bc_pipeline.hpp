@@ -1,0 +1,89 @@
+// One-call driver for the distributed centrality pipeline: builds the
+// CONGEST network, runs BcProgram on every node, and harvests the
+// results plus the simulator metrics.  This is the algorithm-level entry
+// point; the repository-level public API (congestbc::Runner) wraps it with
+// baselines and validation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "algo/bc_program.hpp"
+#include "congest/metrics.hpp"
+#include "congest/network.hpp"
+#include "congest/trace.hpp"
+#include "fpa/soft_float.hpp"
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// Options of one distributed run.  Defaults reproduce the paper's exact
+/// algorithm; the knobs cover the ablations in DESIGN.md.
+struct DistributedBcOptions {
+  /// Soft-float wire format; defaults to SoftFloatFormat::for_graph(N).
+  std::optional<SoftFloatFormat> format;
+  NodeId root = 0;
+  bool halve = true;
+  RoundingMode sigma_rounding = RoundingMode::kUp;
+  RoundingMode psi_rounding = RoundingMode::kDown;
+  unsigned dfs_extra_pause = 0;
+  bool sequential_counting = false;
+  /// Source subset for the sampled estimator; default: every node.
+  std::optional<std::vector<bool>> sources;
+  /// Endpoint subset (see BcProgramConfig::counts_as_target); default all.
+  std::optional<std::vector<bool>> targets;
+  /// Scale dependency sums by N/|sources| (estimator mode); disable for
+  /// restricted-pair computations.
+  bool scale_by_sources = true;
+  /// Per-edge per-round bit budget; defaults to congest_budget_bits(N).
+  /// 0 disables the check.
+  std::optional<std::uint64_t> budget_bits;
+  bool check_invariants = true;
+  /// Keep every node's L_v table in the result (memory-heavy; tests and
+  /// the Figure-1 bench enable it).
+  bool keep_tables = false;
+  /// Undirected edges whose traffic is counted as cut_bits (lower-bound
+  /// experiments).
+  std::vector<Edge> cut_edges;
+  /// Optional message-trace observer (congest/trace.hpp).
+  TraceSink* trace = nullptr;
+  /// Stop after the counting phase (distributed APSP mode; betweenness
+  /// and stress come back zero).  Prefer run_distributed_apsp().
+  bool counting_only = false;
+  /// Ablation D6: rebase the aggregation schedule by min_s T_s, trimming
+  /// the idle replay of the pre-counting rounds.  Default: off
+  /// (paper-literal schedule).
+  bool rebase_aggregation = false;
+  std::uint64_t max_rounds = 50'000'000;
+};
+
+/// Aggregate result of one run.
+struct DistributedBcResult {
+  std::vector<double> betweenness;
+  std::vector<double> closeness;
+  std::vector<double> graph_centrality;
+  std::vector<long double> stress;
+  /// Per node: max distance to any *source* (= true eccentricity under
+  /// full sampling).
+  std::vector<std::uint32_t> eccentricities;
+  std::uint32_t diameter = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t aggregation_epoch = 0;
+  std::uint64_t last_finish_round = 0;
+  /// Largest per-node resident state observed (bytes) — the empirical
+  /// O(N log N)-bits-per-node footprint.
+  std::size_t max_node_state_bytes = 0;
+  RunMetrics metrics;
+  /// Per node: the round its own BFS wave started (T_v; 0 for non-sources).
+  std::vector<std::uint64_t> bfs_start_rounds;
+  /// Per node: L_v (only when keep_tables).
+  std::vector<std::vector<SourceEntry>> tables;
+};
+
+/// Runs the full pipeline on a connected graph.  Throws InvariantError on
+/// any CONGEST/model violation detected by the simulator.
+DistributedBcResult run_distributed_bc(const Graph& g,
+                                       const DistributedBcOptions& options = {});
+
+}  // namespace congestbc

@@ -1,0 +1,397 @@
+#include "algo/bc_program.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+long double to_long_double(const SoftFloat& value) {
+  if (value.is_zero()) {
+    return 0.0L;
+  }
+  return std::ldexp(static_cast<long double>(value.mantissa()),
+                    static_cast<int>(value.exponent()));
+}
+
+BcProgram::BcProgram(NodeId id, const BcProgramConfig& config)
+    : id_(id),
+      config_(&config),
+      tree_(id, config.root, config.wire) {
+  CBC_EXPECTS(!config.is_source.empty(), "is_source must be sized to N");
+  entry_index_.assign(config.is_source.size(), -1);
+  expected_sources_ = 0;
+  for (const bool selected : config.is_source) {
+    if (selected) {
+      ++expected_sources_;
+    }
+  }
+  CBC_EXPECTS(expected_sources_ >= 1, "at least one source is required");
+  CBC_EXPECTS(config.counts_as_target.empty() ||
+                  config.counts_as_target.size() == config.is_source.size(),
+              "counts_as_target must be empty or sized to N");
+  i_am_source_ = config.is_source[id];
+  i_am_target_ =
+      config.counts_as_target.empty() || config.counts_as_target[id];
+  entries_.reserve(expected_sources_);
+}
+
+std::size_t BcProgram::state_bytes() const {
+  std::size_t total = entries_.capacity() * sizeof(SourceEntry) +
+                      entry_index_.capacity() * sizeof(std::int32_t) +
+                      agg_schedule_.capacity() * sizeof(ScheduledSend);
+  for (const auto& entry : entries_) {
+    total += entry.preds.capacity() * sizeof(NodeId);
+  }
+  return total;
+}
+
+SourceEntry* BcProgram::find_entry(NodeId source) {
+  const std::int32_t idx = entry_index_[source];
+  return idx < 0 ? nullptr : &entries_[static_cast<std::size_t>(idx)];
+}
+
+std::uint64_t BcProgram::token_pause() const {
+  // The paper's "wait one time slot" plus the ablation knobs: the token
+  // leaves one round after the BFS start (2 + extra after arrival), and
+  // the sequential ablation additionally waits for the wave to drain.
+  std::uint64_t pause = 1;
+  if (config_->sequential_counting) {
+    pause += 2ull * depth_estimate_ + 2;
+  }
+  return pause;
+}
+
+void BcProgram::on_round(NodeContext& ctx) {
+  if (finished_) {
+    return;
+  }
+  const auto msgs = parse_inbox(ctx, config_->wire);
+  tree_.on_round(ctx, msgs);
+  handle_wave_msgs(ctx, msgs);
+  handle_dfs(ctx, msgs);
+  handle_phase_switch(ctx, msgs);
+  handle_aggregation(ctx, msgs);
+}
+
+void BcProgram::handle_wave_msgs(NodeContext& ctx,
+                                 const std::vector<ParsedMsg>& msgs) {
+  std::vector<std::size_t> fresh;
+  std::unordered_map<NodeId, unsigned> waves_per_sender;
+  for (const auto& msg : msgs) {
+    const auto* wave = std::get_if<WaveMsg>(&msg.body);
+    if (wave == nullptr) {
+      continue;
+    }
+    if (config_->check_invariants) {
+      // Holzer–Wattenhofer wavefront separation: at most one BFS wave
+      // crosses an edge per round.
+      const unsigned count = ++waves_per_sender[msg.from];
+      CBC_CHECK(count <= 1,
+                "two BFS wavefronts crossed one edge in the same round");
+    }
+    const std::uint32_t candidate = wave->dist + 1;
+    SourceEntry* entry = find_entry(wave->source);
+    if (entry == nullptr) {
+      CBC_CHECK(ctx.round() >= candidate, "wave arrived before its source started");
+      SourceEntry created;
+      created.source = wave->source;
+      created.t_start = ctx.round() - candidate;
+      created.dist = candidate;
+      entry_index_[wave->source] = static_cast<std::int32_t>(entries_.size());
+      entries_.push_back(std::move(created));
+      entry = &entries_.back();
+      fresh.push_back(entries_.size() - 1);
+      outputs_.eccentricity = std::max(outputs_.eccentricity, candidate);
+      outputs_.sum_distances += candidate;
+    }
+    // Predecessor messages all arrive in the entry's finalization round
+    // (t_start + dist); anything else is a same-level echo to ignore.
+    if (entry->dist == candidate &&
+        entry->t_start + entry->dist == ctx.round()) {
+      entry->sigma = add(entry->sigma, wave->sigma, config_->wire.sf,
+                         config_->sigma_rounding);
+      entry->preds.push_back(msg.from);
+    }
+  }
+  for (const std::size_t idx : fresh) {
+    SourceEntry& entry = entries_[idx];
+    CBC_CHECK(!entry.sigma.is_zero(), "finalized a source with sigma == 0");
+    BitWriter out;
+    encode(out, config_->wire, WaveMsg{entry.source, entry.dist, entry.sigma});
+    for (const NodeId nbr : ctx.neighbors()) {
+      ctx.send(nbr, out);
+    }
+  }
+}
+
+void BcProgram::handle_dfs(NodeContext& ctx, const std::vector<ParsedMsg>& msgs) {
+  for (const auto& msg : msgs) {
+    const auto* token = std::get_if<DfsTokenMsg>(&msg.body);
+    if (token == nullptr) {
+      continue;
+    }
+    depth_estimate_ = token->depth_estimate;
+    if (!dfs_visited_) {
+      dfs_visited_ = true;
+      if (i_am_source_) {
+        // First visit (Algorithm 2 lines 2-6): wait one slot, start BFS,
+        // then move the token onward.
+        my_bfs_round_opt_ = ctx.round() + 1 + config_->dfs_extra_pause;
+        pending_token_round_ = *my_bfs_round_opt_ + token_pause();
+      } else {
+        // Non-sources (sampled runs) add no pause: the token moves on at
+        // hop speed, exactly like a revisited node.
+        advance_token(ctx);
+      }
+    } else {
+      // The token returned from a child; forward it without delay.
+      advance_token(ctx);
+    }
+  }
+
+  // Root bootstrap: the DFS begins once the tree is known to be complete.
+  if (tree_.is_root() && tree_.tree_complete() && !dfs_visited_) {
+    dfs_visited_ = true;
+    depth_estimate_ = 2 * tree_.subtree_depth();
+    if (i_am_source_) {
+      my_bfs_round_opt_ = ctx.round() + 1 + config_->dfs_extra_pause;
+      pending_token_round_ = *my_bfs_round_opt_ + token_pause();
+    } else {
+      advance_token(ctx);
+    }
+  }
+
+  if (my_bfs_round_opt_.has_value() && ctx.round() == *my_bfs_round_opt_) {
+    start_own_bfs(ctx);
+  }
+  if (pending_token_round_.has_value() &&
+      ctx.round() == *pending_token_round_) {
+    pending_token_round_.reset();
+    advance_token(ctx);
+  }
+}
+
+void BcProgram::start_own_bfs(NodeContext& ctx) {
+  my_bfs_round_ = ctx.round();
+  if (!i_am_source_) {
+    return;
+  }
+  SourceEntry self;
+  self.source = id_;
+  self.t_start = ctx.round();
+  self.dist = 0;
+  self.sigma =
+      SoftFloat::from_u64(1, config_->wire.sf, config_->sigma_rounding);
+  entry_index_[id_] = static_cast<std::int32_t>(entries_.size());
+  entries_.push_back(std::move(self));
+  BitWriter out;
+  encode(out, config_->wire,
+         WaveMsg{id_, 0, entries_.back().sigma});
+  for (const NodeId nbr : ctx.neighbors()) {
+    ctx.send(nbr, out);
+  }
+}
+
+void BcProgram::advance_token(NodeContext& ctx) {
+  CBC_CHECK(tree_.children_final(), "token moved before the tree was built");
+  BitWriter out;
+  encode(out, config_->wire, DfsTokenMsg{depth_estimate_});
+  if (next_child_ < tree_.children().size()) {
+    const NodeId child = tree_.children()[next_child_];
+    ++next_child_;
+    ctx.send(child, out);
+    return;
+  }
+  if (!tree_.is_root()) {
+    ctx.send(tree_.parent(), out);
+  }
+  // Root with all children visited: DFS complete; the phase switch takes
+  // over once the waves drain.
+}
+
+void BcProgram::handle_phase_switch(NodeContext& ctx,
+                                    const std::vector<ParsedMsg>& msgs) {
+  for (const auto& msg : msgs) {
+    if (const auto* up = std::get_if<EccUpMsg>(&msg.body)) {
+      ++ecc_reports_;
+      ecc_max_ = std::max(ecc_max_, up->ecc);
+    } else if (const auto* down = std::get_if<PhaseDownMsg>(&msg.body)) {
+      apply_phase_down(ctx, *down);
+    }
+  }
+
+  if (!ecc_sent_ && tree_.children_final() &&
+      entries_.size() == expected_sources_ &&
+      ecc_reports_ == tree_.children().size()) {
+    ecc_sent_ = true;
+    const std::uint32_t subtree_ecc =
+        std::max(ecc_max_, outputs_.eccentricity);
+    if (tree_.is_root()) {
+      // "Broadcast the diameter D to all nodes" + Algorithm 3 line 1:
+      // announce (D, epoch) so every node resets its aggregation clock.
+      // The root handles its own announcement inline (it receives no
+      // PhaseDown message).
+      apply_phase_down(ctx, PhaseDownMsg{
+                                subtree_ecc,
+                                ctx.round() + tree_.subtree_depth() + 2});
+    } else {
+      BitWriter out;
+      encode(out, config_->wire, EccUpMsg{subtree_ecc});
+      ctx.send(tree_.parent(), out);
+    }
+  }
+}
+
+void BcProgram::apply_phase_down(NodeContext& ctx, const PhaseDownMsg& down) {
+  if (phase_down_seen_) {
+    return;
+  }
+  phase_down_seen_ = true;
+  diameter_ = down.diameter;
+  epoch_ = down.epoch;
+  outputs_.aggregation_epoch = epoch_;
+  outputs_.diameter = diameter_;
+
+  // Forward down the tree.
+  BitWriter out;
+  encode(out, config_->wire, down);
+  for (const NodeId child : tree_.children()) {
+    ctx.send(child, out);
+  }
+
+  if (config_->counting_only) {
+    // APSP mode: the table and D are all the caller wants.
+    finalize(ctx);
+    return;
+  }
+
+  // Build the Algorithm-3 schedule: T_s(u) = epoch + T_s + D - d(s, u),
+  // optionally rebased by the earliest T_s (ablation D6 — every node
+  // subtracts the same constant, so orderings and Lemma 4 survive).
+  std::uint64_t t_base = 0;
+  if (config_->rebase_aggregation && !entries_.empty()) {
+    t_base = entries_.front().t_start;
+    for (const auto& entry : entries_) {
+      t_base = std::min(t_base, entry.t_start);
+    }
+  }
+  std::uint64_t t_max = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    t_max = std::max(t_max, entries_[i].t_start);
+    if (entries_[i].dist >= 1) {
+      CBC_CHECK(entries_[i].dist <= diameter_,
+                "distance exceeds the broadcast diameter");
+      agg_schedule_.push_back(ScheduledSend{
+          epoch_ + (entries_[i].t_start - t_base) + diameter_ -
+              entries_[i].dist,
+          i});
+    }
+  }
+  std::sort(agg_schedule_.begin(), agg_schedule_.end(),
+            [](const ScheduledSend& a, const ScheduledSend& b) {
+              return a.round < b.round;
+            });
+  if (config_->check_invariants) {
+    // Lemma 4: all send times of one node are pairwise distinct.
+    for (std::size_t i = 1; i < agg_schedule_.size(); ++i) {
+      CBC_CHECK(agg_schedule_[i - 1].round < agg_schedule_[i].round,
+                "Lemma 4 violated: two sends scheduled in one round");
+    }
+  }
+  finalize_round_ = epoch_ + (t_max - t_base) + diameter_;
+}
+
+void BcProgram::handle_aggregation(NodeContext& ctx,
+                                   const std::vector<ParsedMsg>& msgs) {
+  for (const auto& msg : msgs) {
+    const auto* agg = std::get_if<AggMsg>(&msg.body);
+    if (agg == nullptr) {
+      continue;
+    }
+    SourceEntry* entry = find_entry(agg->source);
+    CBC_CHECK(entry != nullptr, "aggregation for an unknown source");
+    entry->psi = add(entry->psi, agg->psi_value, config_->wire.sf,
+                     config_->psi_rounding);
+    entry->lambda = add(entry->lambda, agg->lambda_value, config_->wire.sf,
+                        config_->psi_rounding);
+  }
+
+  if (!phase_down_seen_) {
+    return;
+  }
+  while (agg_cursor_ < agg_schedule_.size() &&
+         agg_schedule_[agg_cursor_].round == ctx.round()) {
+    SourceEntry& entry = entries_[agg_schedule_[agg_cursor_].entry_index];
+    ++agg_cursor_;
+    // Algorithm 3 line 12: send 1/sigma_su + psi_s(u) to P_s(u); the
+    // stress value 1 + lambda_s(u) rides in the same record.  Nodes that
+    // do not count as endpoints (weighted-subdivision virtual nodes)
+    // relay the accumulated values without their own term.
+    SoftFloat psi_out = entry.psi;
+    SoftFloat lambda_out = entry.lambda;
+    if (i_am_target_) {
+      psi_out =
+          add(reciprocal(entry.sigma, config_->wire.sf, config_->psi_rounding),
+              psi_out, config_->wire.sf, config_->psi_rounding);
+      lambda_out =
+          add(SoftFloat::from_u64(1, config_->wire.sf, config_->psi_rounding),
+              lambda_out, config_->wire.sf, config_->psi_rounding);
+    }
+    entry.agg_send_round = ctx.round();
+    BitWriter out;
+    encode(out, config_->wire, AggMsg{entry.source, psi_out, lambda_out});
+    for (const NodeId pred : entry.preds) {
+      ctx.send(pred, out);
+    }
+  }
+  if (agg_cursor_ < agg_schedule_.size()) {
+    CBC_CHECK(agg_schedule_[agg_cursor_].round > ctx.round(),
+              "missed a scheduled aggregation send");
+  }
+  if (ctx.round() >= finalize_round_) {
+    finalize(ctx);
+  }
+}
+
+void BcProgram::finalize(NodeContext& ctx) {
+  double bc = 0.0;
+  long double stress = 0.0L;
+  for (const auto& entry : entries_) {
+    if (entry.dist == 0) {
+      continue;
+    }
+    // delta_s(u) = psi_s(u) * sigma_su (Algorithm 3 line 17); the product
+    // must happen in soft-float space — sigma can overflow a double while
+    // psi underflows it.
+    const SoftFloat delta =
+        multiply(entry.psi, entry.sigma, config_->wire.sf,
+                 RoundingMode::kNearest);
+    bc += delta.to_double();
+    const SoftFloat stress_delta =
+        multiply(entry.lambda, entry.sigma, config_->wire.sf,
+                 RoundingMode::kNearest);
+    stress += to_long_double(stress_delta);
+  }
+  const double source_scale =
+      config_->scale_by_sources
+          ? static_cast<double>(ctx.num_nodes()) /
+                static_cast<double>(expected_sources_)
+          : 1.0;
+  const double scale = source_scale / (config_->halve ? 2.0 : 1.0);
+  outputs_.betweenness = bc * scale;
+  outputs_.stress = stress * static_cast<long double>(scale);
+  const double scaled_sum =
+      static_cast<double>(outputs_.sum_distances) * source_scale;
+  outputs_.closeness = scaled_sum > 0 ? 1.0 / scaled_sum : 0.0;
+  outputs_.graph_centrality =
+      outputs_.eccentricity > 0
+          ? 1.0 / static_cast<double>(outputs_.eccentricity)
+          : 0.0;
+  outputs_.finish_round = ctx.round();
+  finished_ = true;
+}
+
+}  // namespace congestbc

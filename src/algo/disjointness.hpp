@@ -1,0 +1,39 @@
+// Set disjointness solved through the distributed graph algorithms — the
+// reductions of Theorems 5 and 6 made executable.
+//
+// Alice holds family X, Bob holds family Y.  They build the Section-IX
+// gadget between them and simulate the distributed protocol; the answer
+// can be read off a global quantity (the diameter for Figure 2; the
+// betweenness of the F_i probes for Figure 3), and the bits that crossed
+// the gadget's narrow cut are exactly the two-party communication the
+// lower bound charges for.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/lowerbound.hpp"
+
+namespace congestbc::lb {
+
+/// Outcome of one reduction run.
+struct DisjointnessResult {
+  bool disjoint = false;          ///< the protocol's answer
+  std::uint64_t cut_bits = 0;     ///< two-party communication used
+  std::uint64_t rounds = 0;       ///< CONGEST rounds of the simulation
+  std::uint32_t gadget_nodes = 0;
+};
+
+/// Decides X cap Y == empty by running the distributed pipeline on the
+/// Figure-2 gadget and reading the diameter (Lemma 8 / Theorem 5).
+DisjointnessResult decide_disjointness_via_diameter(const SetFamily& x,
+                                                    const SetFamily& y,
+                                                    unsigned path_param = 8);
+
+/// Decides X cap Y == empty by running the distributed pipeline on the
+/// Figure-3 gadget and thresholding C_B(F_i) at 1.25 (Lemma 9 /
+/// Theorem 6 — any algorithm with < 0.499 relative error suffices).
+/// Precondition: subsets within each family pairwise distinct.
+DisjointnessResult decide_disjointness_via_betweenness(const SetFamily& x,
+                                                       const SetFamily& y);
+
+}  // namespace congestbc::lb

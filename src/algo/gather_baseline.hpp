@@ -1,0 +1,84 @@
+// The gather-at-root baseline — the canonical CONGEST strawman the
+// paper's distributed algorithm competes against.
+//
+// Protocol: build a BFS tree; convergecast the subtree edge counts; then
+// stream every edge up the tree (one edge record per tree edge per round
+// — CONGEST's pipelining limit); the root reconstructs the whole graph,
+// runs *centralized* Brandes locally (local computation is free in the
+// model), and streams the N (node, C_B) results back down.
+//
+// Cost: Theta(D + M + N) rounds — matching the paper's O(N) only on
+// sparse graphs and degrading to Theta(N^2) on dense ones, while the
+// paper's algorithm stays O(N) regardless of M.  bench_gather shows the
+// crossover.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "algo/bfs_tree.hpp"
+#include "algo/parse.hpp"
+#include "congest/metrics.hpp"
+#include "congest/network.hpp"
+#include "fpa/soft_float.hpp"
+
+namespace congestbc {
+
+/// Per-node program of the gather baseline.
+class GatherBcProgram final : public NodeProgram {
+ public:
+  struct Config {
+    WireFormat wire;
+    NodeId root = 0;
+    bool halve = true;
+  };
+
+  GatherBcProgram(NodeId id, const Config& config);
+
+  void on_round(NodeContext& ctx) override;
+  bool done() const override { return finished_; }
+
+  double betweenness() const { return betweenness_; }
+
+ private:
+  void maybe_report_edge_count(NodeContext& ctx);
+  void root_compute(NodeContext& ctx);
+
+  NodeId id_;
+  const Config* config_;
+  TreeBuilder tree_;
+
+  bool edges_enqueued_ = false;
+  std::uint64_t own_edge_count_ = 0;
+  std::uint64_t subtree_edge_total_ = 0;
+  std::uint32_t count_reports_ = 0;
+  bool count_reported_ = false;
+  std::deque<EdgeItemMsg> upstream_queue_;
+
+  // Root side.
+  std::vector<Edge> collected_;
+  std::optional<std::uint64_t> expected_edges_;
+  bool computed_ = false;
+  std::deque<ResultMsg> downstream_queue_;
+
+  // Everyone: results flowing down.
+  std::uint32_t results_seen_ = 0;
+  bool have_own_value_ = false;
+  double betweenness_ = 0.0;
+  bool finished_ = false;
+};
+
+/// Result of a gather-baseline run.
+struct GatherBcResult {
+  std::vector<double> betweenness;
+  std::uint64_t rounds = 0;
+  RunMetrics metrics;
+};
+
+/// Runs the baseline on a connected graph.
+GatherBcResult run_gather_bc(const Graph& g, NodeId root = 0,
+                             bool halve = true);
+
+}  // namespace congestbc

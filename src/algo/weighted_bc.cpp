@@ -1,0 +1,40 @@
+#include "algo/weighted_bc.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+WeightedBcResult run_distributed_weighted_bc(const WeightedGraph& g,
+                                             DistributedBcOptions base) {
+  CBC_EXPECTS(g.num_nodes() >= 1, "empty graph");
+  const Subdivision sub = subdivide(g);
+
+  base.sources = sub.is_real;
+  base.targets = sub.is_real;
+  base.scale_by_sources = false;
+  const auto raw = run_distributed_bc(sub.graph, base);
+
+  WeightedBcResult result;
+  result.subdivided_nodes = sub.graph.num_nodes();
+  // The pipeline's diameter covers virtual nodes too; the weighted
+  // diameter is the max eccentricity over *real* nodes (their ecc is a
+  // max over real sources, hence real-pair distances only).
+  result.weighted_diameter = 0;
+  for (NodeId v = 0; v < sub.num_real; ++v) {
+    result.weighted_diameter =
+        std::max<std::uint64_t>(result.weighted_diameter,
+                                raw.eccentricities[v]);
+  }
+  result.rounds = raw.rounds;
+  result.metrics = raw.metrics;
+  result.betweenness.assign(raw.betweenness.begin(),
+                            raw.betweenness.begin() + sub.num_real);
+  result.closeness.assign(raw.closeness.begin(),
+                          raw.closeness.begin() + sub.num_real);
+  result.stress.assign(raw.stress.begin(), raw.stress.begin() + sub.num_real);
+  return result;
+}
+
+}  // namespace congestbc

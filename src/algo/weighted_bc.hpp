@@ -1,0 +1,31 @@
+// Distributed weighted betweenness centrality via the paper's Section-X
+// suggestion: subdivide weighted edges with virtual nodes and run the
+// unweighted O(N)-round pipeline on the result, with
+//   sources = real nodes, targets = real nodes, no estimator scaling —
+// which yields the exact weighted dependency sums over real pairs (see
+// graph/weighted.hpp for the argument).  Round cost: O(N + sum(w_e - 1)).
+#pragma once
+
+#include "algo/bc_pipeline.hpp"
+#include "graph/weighted.hpp"
+
+namespace congestbc {
+
+/// Result restricted to the real (original) nodes.
+struct WeightedBcResult {
+  std::vector<double> betweenness;
+  std::vector<double> closeness;
+  std::vector<long double> stress;
+  std::uint64_t weighted_diameter = 0;  ///< == subdivided diameter
+  NodeId subdivided_nodes = 0;          ///< N' the pipeline actually ran on
+  std::uint64_t rounds = 0;
+  RunMetrics metrics;
+};
+
+/// Runs the subdivision pipeline.  `base` carries the usual knobs
+/// (format, rounding, budget...); its sources/targets/scaling fields are
+/// overwritten by the reduction.
+WeightedBcResult run_distributed_weighted_bc(const WeightedGraph& g,
+                                             DistributedBcOptions base = {});
+
+}  // namespace congestbc

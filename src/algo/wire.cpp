@@ -1,0 +1,156 @@
+#include "algo/wire.hpp"
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+namespace {
+constexpr unsigned kTagBits = 4;
+
+void write_tag(BitWriter& w, MsgKind kind) {
+  w.write(static_cast<std::uint64_t>(kind), kTagBits);
+}
+}  // namespace
+
+WireFormat WireFormat::for_graph(std::uint32_t num_nodes,
+                                 const SoftFloatFormat& sf) {
+  CBC_EXPECTS(num_nodes >= 1, "graph must be non-empty");
+  const unsigned id_bits =
+      num_nodes <= 1 ? 1u : bit_width_u64(num_nodes - 1);
+  return WireFormat{
+      id_bits,
+      id_bits + 1,
+      // Rounds stay below ~8 N^2 even in the sequential ablation.
+      2 * id_bits + 6,
+      sf,
+  };
+}
+
+void encode(BitWriter& w, const WireFormat& fmt, const TreeWaveMsg& m) {
+  write_tag(w, MsgKind::kTreeWave);
+  w.write(m.dist, fmt.dist_bits);
+}
+
+void encode(BitWriter& w, const WireFormat& fmt, const ParentAcceptMsg&) {
+  (void)fmt;
+  write_tag(w, MsgKind::kParentAccept);
+}
+
+void encode(BitWriter& w, const WireFormat& fmt, const SubtreeUpMsg& m) {
+  write_tag(w, MsgKind::kSubtreeUp);
+  w.write(m.count, fmt.id_bits + 1);
+  w.write(m.depth, fmt.dist_bits);
+}
+
+void encode(BitWriter& w, const WireFormat& fmt, const DfsTokenMsg& m) {
+  write_tag(w, MsgKind::kDfsToken);
+  w.write(m.depth_estimate, fmt.dist_bits);
+}
+
+void encode(BitWriter& w, const WireFormat& fmt, const WaveMsg& m) {
+  write_tag(w, MsgKind::kWave);
+  w.write(m.source, fmt.id_bits);
+  w.write(m.dist, fmt.dist_bits);
+  m.sigma.pack(w, fmt.sf);
+}
+
+void encode(BitWriter& w, const WireFormat& fmt, const EccUpMsg& m) {
+  write_tag(w, MsgKind::kEccUp);
+  w.write(m.ecc, fmt.dist_bits);
+}
+
+void encode(BitWriter& w, const WireFormat& fmt, const PhaseDownMsg& m) {
+  write_tag(w, MsgKind::kPhaseDown);
+  w.write(m.diameter, fmt.dist_bits);
+  w.write(m.epoch, fmt.time_bits);
+}
+
+void encode(BitWriter& w, const WireFormat& fmt, const AggMsg& m) {
+  write_tag(w, MsgKind::kAgg);
+  w.write(m.source, fmt.id_bits);
+  m.psi_value.pack(w, fmt.sf);
+  m.lambda_value.pack(w, fmt.sf);
+}
+
+void encode(BitWriter& w, const WireFormat& fmt, const EdgeCountMsg& m) {
+  write_tag(w, MsgKind::kEdgeCount);
+  w.write(m.count, 2 * fmt.id_bits + 2);
+}
+
+void encode(BitWriter& w, const WireFormat& fmt, const EdgeItemMsg& m) {
+  write_tag(w, MsgKind::kEdgeItem);
+  w.write(m.u, fmt.id_bits);
+  w.write(m.v, fmt.id_bits);
+}
+
+void encode(BitWriter& w, const WireFormat& fmt, const ResultMsg& m) {
+  write_tag(w, MsgKind::kResult);
+  w.write(m.node, fmt.id_bits);
+  m.value.pack(w, fmt.sf);
+}
+
+MsgKind read_kind(BitReader& r) {
+  return static_cast<MsgKind>(r.read(kTagBits));
+}
+
+TreeWaveMsg decode_tree_wave(BitReader& r, const WireFormat& fmt) {
+  return TreeWaveMsg{static_cast<std::uint32_t>(r.read(fmt.dist_bits))};
+}
+
+SubtreeUpMsg decode_subtree_up(BitReader& r, const WireFormat& fmt) {
+  SubtreeUpMsg m;
+  m.count = static_cast<std::uint32_t>(r.read(fmt.id_bits + 1));
+  m.depth = static_cast<std::uint32_t>(r.read(fmt.dist_bits));
+  return m;
+}
+
+DfsTokenMsg decode_dfs_token(BitReader& r, const WireFormat& fmt) {
+  return DfsTokenMsg{static_cast<std::uint32_t>(r.read(fmt.dist_bits))};
+}
+
+WaveMsg decode_wave(BitReader& r, const WireFormat& fmt) {
+  WaveMsg m;
+  m.source = static_cast<NodeId>(r.read(fmt.id_bits));
+  m.dist = static_cast<std::uint32_t>(r.read(fmt.dist_bits));
+  m.sigma = SoftFloat::unpack(r, fmt.sf);
+  return m;
+}
+
+EccUpMsg decode_ecc_up(BitReader& r, const WireFormat& fmt) {
+  return EccUpMsg{static_cast<std::uint32_t>(r.read(fmt.dist_bits))};
+}
+
+PhaseDownMsg decode_phase_down(BitReader& r, const WireFormat& fmt) {
+  PhaseDownMsg m;
+  m.diameter = static_cast<std::uint32_t>(r.read(fmt.dist_bits));
+  m.epoch = r.read(fmt.time_bits);
+  return m;
+}
+
+EdgeCountMsg decode_edge_count(BitReader& r, const WireFormat& fmt) {
+  return EdgeCountMsg{r.read(2 * fmt.id_bits + 2)};
+}
+
+EdgeItemMsg decode_edge_item(BitReader& r, const WireFormat& fmt) {
+  EdgeItemMsg m;
+  m.u = static_cast<NodeId>(r.read(fmt.id_bits));
+  m.v = static_cast<NodeId>(r.read(fmt.id_bits));
+  return m;
+}
+
+ResultMsg decode_result(BitReader& r, const WireFormat& fmt) {
+  ResultMsg m;
+  m.node = static_cast<NodeId>(r.read(fmt.id_bits));
+  m.value = SoftFloat::unpack(r, fmt.sf);
+  return m;
+}
+
+AggMsg decode_agg(BitReader& r, const WireFormat& fmt) {
+  AggMsg m;
+  m.source = static_cast<NodeId>(r.read(fmt.id_bits));
+  m.psi_value = SoftFloat::unpack(r, fmt.sf);
+  m.lambda_value = SoftFloat::unpack(r, fmt.sf);
+  return m;
+}
+
+}  // namespace congestbc

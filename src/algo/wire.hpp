@@ -1,0 +1,115 @@
+// Wire protocol of the distributed betweenness-centrality pipeline.
+//
+// Every logical message is a fixed-layout bit record beginning with a
+// 3-bit kind tag.  All field widths are O(log N): node ids and distances
+// take ceil(log2 N)-ish bits, absolute round numbers take O(log N) bits
+// (rounds are polynomial in N), and the numeric payloads (sigma, psi,
+// lambda) are the Section-VI soft-floats.  The CONGEST budget check in the
+// simulator validates the O(log N) claim for every message actually sent.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bit_io.hpp"
+#include "fpa/soft_float.hpp"
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// Field widths shared by all nodes (derived from N, which is common
+/// knowledge in the model).
+struct WireFormat {
+  unsigned id_bits;    ///< node ids and distances (<= N-1)
+  unsigned dist_bits;  ///< distances and doubled-depth estimates (<= 2N)
+  unsigned time_bits;  ///< absolute round numbers (polynomial in N)
+  SoftFloatFormat sf;  ///< numeric payloads
+
+  static WireFormat for_graph(std::uint32_t num_nodes,
+                              const SoftFloatFormat& sf);
+};
+
+/// Message kinds: the BC pipeline (first eight) plus the gather-at-root
+/// baseline's records.
+enum class MsgKind : std::uint8_t {
+  kTreeWave = 0,      ///< phase 1: BFS-tree construction wavefront
+  kParentAccept = 1,  ///< phase 1: child -> parent attachment
+  kSubtreeUp = 2,     ///< phase 1: subtree (count, depth) convergecast
+  kDfsToken = 3,      ///< phase 2: the DFS coordination token
+  kWave = 4,          ///< phase 2: one source's BFS wave (Algorithm 2)
+  kEccUp = 5,         ///< phase 3: eccentricity max-convergecast
+  kPhaseDown = 6,     ///< phase 3: (diameter, epoch) broadcast
+  kAgg = 7,           ///< phase 4: psi/lambda aggregation (Algorithm 3)
+  kEdgeCount = 8,     ///< gather baseline: subtree edge-count convergecast
+  kEdgeItem = 9,      ///< gather baseline: one streamed edge
+  kResult = 10,       ///< gather baseline: one broadcast (node, C_B) pair
+};
+
+struct TreeWaveMsg {
+  std::uint32_t dist;
+};
+struct ParentAcceptMsg {};
+struct SubtreeUpMsg {
+  std::uint32_t count;
+  std::uint32_t depth;
+};
+struct DfsTokenMsg {
+  /// 2 * BFS-tree depth, an upper bound on the diameter; used by the
+  /// sequential-counting ablation to size its drain pauses.
+  std::uint32_t depth_estimate;
+};
+struct WaveMsg {
+  NodeId source;
+  std::uint32_t dist;
+  SoftFloat sigma;
+};
+struct EccUpMsg {
+  std::uint32_t ecc;
+};
+struct PhaseDownMsg {
+  std::uint32_t diameter;
+  std::uint64_t epoch;
+};
+struct AggMsg {
+  NodeId source;
+  SoftFloat psi_value;     ///< 1/sigma_su + psi_s(u), floor-rounded
+  SoftFloat lambda_value;  ///< 1 + lambda_s(u), floor-rounded (stress)
+};
+struct EdgeCountMsg {
+  std::uint64_t count;  ///< edges owned by the sender's subtree
+};
+struct EdgeItemMsg {
+  NodeId u;
+  NodeId v;
+};
+struct ResultMsg {
+  NodeId node;
+  SoftFloat value;
+};
+
+void encode(BitWriter& w, const WireFormat& fmt, const TreeWaveMsg& m);
+void encode(BitWriter& w, const WireFormat& fmt, const ParentAcceptMsg& m);
+void encode(BitWriter& w, const WireFormat& fmt, const SubtreeUpMsg& m);
+void encode(BitWriter& w, const WireFormat& fmt, const DfsTokenMsg& m);
+void encode(BitWriter& w, const WireFormat& fmt, const WaveMsg& m);
+void encode(BitWriter& w, const WireFormat& fmt, const EccUpMsg& m);
+void encode(BitWriter& w, const WireFormat& fmt, const PhaseDownMsg& m);
+void encode(BitWriter& w, const WireFormat& fmt, const AggMsg& m);
+void encode(BitWriter& w, const WireFormat& fmt, const EdgeCountMsg& m);
+void encode(BitWriter& w, const WireFormat& fmt, const EdgeItemMsg& m);
+void encode(BitWriter& w, const WireFormat& fmt, const ResultMsg& m);
+
+/// Reads the next kind tag (the caller then calls the matching decode_*).
+MsgKind read_kind(BitReader& r);
+
+TreeWaveMsg decode_tree_wave(BitReader& r, const WireFormat& fmt);
+SubtreeUpMsg decode_subtree_up(BitReader& r, const WireFormat& fmt);
+DfsTokenMsg decode_dfs_token(BitReader& r, const WireFormat& fmt);
+WaveMsg decode_wave(BitReader& r, const WireFormat& fmt);
+EccUpMsg decode_ecc_up(BitReader& r, const WireFormat& fmt);
+PhaseDownMsg decode_phase_down(BitReader& r, const WireFormat& fmt);
+AggMsg decode_agg(BitReader& r, const WireFormat& fmt);
+EdgeCountMsg decode_edge_count(BitReader& r, const WireFormat& fmt);
+EdgeItemMsg decode_edge_item(BitReader& r, const WireFormat& fmt);
+ResultMsg decode_result(BitReader& r, const WireFormat& fmt);
+
+}  // namespace congestbc

@@ -1,0 +1,136 @@
+#include "bignum/big_rational.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+namespace {
+
+/// Number of trailing zero bits (precondition: value != 0).
+std::size_t trailing_zeros(const BigUint& value) {
+  std::size_t count = 0;
+  while (!value.bit(count)) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+BigUint gcd(BigUint a, BigUint b) {
+  if (a.is_zero()) {
+    return b;
+  }
+  if (b.is_zero()) {
+    return a;
+  }
+  const std::size_t za = trailing_zeros(a);
+  const std::size_t zb = trailing_zeros(b);
+  const std::size_t common = std::min(za, zb);
+  a >>= za;
+  b >>= zb;
+  // Both odd from here on.
+  while (true) {
+    if (a > b) {
+      std::swap(a, b);
+    }
+    b -= a;  // b even now (odd - odd)
+    if (b.is_zero()) {
+      break;
+    }
+    b >>= trailing_zeros(b);
+  }
+  return a << common;
+}
+
+BigRational::BigRational(BigUint numerator, BigUint denominator)
+    : num_(std::move(numerator)), den_(std::move(denominator)) {
+  CBC_EXPECTS(!den_.is_zero(), "zero denominator");
+  reduce();
+}
+
+void BigRational::reduce() {
+  if (num_.is_zero()) {
+    den_ = BigUint(1);
+    return;
+  }
+  const BigUint divisor = gcd(num_, den_);
+  if (divisor > BigUint(1)) {
+    // Division by a general BigUint is only needed here; do it via
+    // shift-and-subtract long division on the (already huge) operands.
+    auto divide = [](const BigUint& value, const BigUint& by) {
+      // Classic binary long division.
+      BigUint quotient;
+      BigUint remainder;
+      const std::size_t bits = value.bit_length();
+      for (std::size_t i = bits; i > 0; --i) {
+        remainder <<= 1;
+        if (value.bit(i - 1)) {
+          remainder += BigUint(1);
+        }
+        quotient <<= 1;
+        if (remainder >= by) {
+          remainder -= by;
+          quotient += BigUint(1);
+        }
+      }
+      return quotient;
+    };
+    num_ = divide(num_, divisor);
+    den_ = divide(den_, divisor);
+  }
+}
+
+BigRational& BigRational::operator+=(const BigRational& other) {
+  num_ = num_ * other.den_ + other.num_ * den_;
+  den_ = den_ * other.den_;
+  reduce();
+  return *this;
+}
+
+BigRational& BigRational::operator*=(const BigRational& other) {
+  num_ *= other.num_;
+  den_ *= other.den_;
+  reduce();
+  return *this;
+}
+
+BigRational& BigRational::operator/=(const BigRational& other) {
+  CBC_EXPECTS(!other.is_zero(), "division by zero");
+  num_ *= other.den_;
+  den_ *= other.num_;
+  reduce();
+  return *this;
+}
+
+BigRational BigRational::reciprocal() const {
+  CBC_EXPECTS(!is_zero(), "reciprocal of zero");
+  return BigRational(den_, num_);
+}
+
+int BigRational::compare(const BigRational& other) const {
+  const BigUint lhs = num_ * other.den_;
+  const BigUint rhs = other.num_ * den_;
+  return lhs.compare(rhs);
+}
+
+double BigRational::to_double() const {
+  if (num_.is_zero()) {
+    return 0.0;
+  }
+  const auto [yn, en] = num_.frexp();
+  const auto [yd, ed] = den_.frexp();
+  return std::ldexp(yn / yd, static_cast<int>(en - ed));
+}
+
+std::string BigRational::to_string() const {
+  if (den_ == BigUint(1)) {
+    return num_.to_decimal();
+  }
+  return num_.to_decimal() + "/" + den_.to_decimal();
+}
+
+}  // namespace congestbc

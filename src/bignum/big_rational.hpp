@@ -1,0 +1,81 @@
+// Exact non-negative rational arithmetic on BigUint — the strongest
+// ground truth available for betweenness values, which are sums of
+// ratios of (exponentially large) path counts and hence exactly rational.
+// brandes_bc_rational (central/) uses this to pin values like the paper's
+// C_B(v2) = 7/2 with no floating point anywhere.
+//
+// Intended for validation-scale graphs: denominators grow quickly (they
+// accumulate lcm-like products across the DAG), so keep N small.
+#pragma once
+
+#include <string>
+
+#include "bignum/big_uint.hpp"
+
+namespace congestbc {
+
+/// gcd(a, b) via the binary (Stein) algorithm; gcd(0, b) = b.
+BigUint gcd(BigUint a, BigUint b);
+
+/// A non-negative rational in lowest terms (denominator >= 1).
+class BigRational {
+ public:
+  /// Zero.
+  BigRational() : num_(0), den_(1) {}
+
+  /// numerator / denominator, reduced.  Precondition: denominator != 0.
+  BigRational(BigUint numerator, BigUint denominator);
+
+  /// Whole number.
+  explicit BigRational(std::uint64_t value) : num_(value), den_(1) {}
+
+  const BigUint& numerator() const { return num_; }
+  const BigUint& denominator() const { return den_; }
+  bool is_zero() const { return num_.is_zero(); }
+
+  BigRational& operator+=(const BigRational& other);
+  BigRational& operator*=(const BigRational& other);
+  /// Precondition: other != 0.
+  BigRational& operator/=(const BigRational& other);
+
+  friend BigRational operator+(BigRational a, const BigRational& b) {
+    return a += b;
+  }
+  friend BigRational operator*(BigRational a, const BigRational& b) {
+    return a *= b;
+  }
+  friend BigRational operator/(BigRational a, const BigRational& b) {
+    return a /= b;
+  }
+
+  /// 1 / *this.  Precondition: non-zero.
+  BigRational reciprocal() const;
+
+  /// Exact comparison.
+  int compare(const BigRational& other) const;
+  friend bool operator==(const BigRational& a, const BigRational& b) {
+    return a.compare(b) == 0;
+  }
+  friend bool operator!=(const BigRational& a, const BigRational& b) {
+    return a.compare(b) != 0;
+  }
+  friend bool operator<(const BigRational& a, const BigRational& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator>(const BigRational& a, const BigRational& b) {
+    return a.compare(b) > 0;
+  }
+
+  double to_double() const;
+
+  /// "p/q" (or "p" when q == 1).
+  std::string to_string() const;
+
+ private:
+  void reduce();
+
+  BigUint num_;
+  BigUint den_;
+};
+
+}  // namespace congestbc

@@ -1,0 +1,264 @@
+#include "bignum/big_uint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/bit_io.hpp"
+#include "common/int128.hpp"
+
+namespace congestbc {
+
+namespace {
+// Portable 64x64 -> 128 multiply.
+void mul_u64(std::uint64_t a, std::uint64_t b, std::uint64_t& lo,
+             std::uint64_t& hi) {
+  const uint128_t p = static_cast<uint128_t>(a) * static_cast<uint128_t>(b);
+  lo = static_cast<std::uint64_t>(p);
+  hi = static_cast<std::uint64_t>(p >> 64);
+}
+}  // namespace
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(value);
+  }
+}
+
+BigUint BigUint::from_decimal(const std::string& text) {
+  CBC_EXPECTS(!text.empty(), "empty decimal string");
+  BigUint result;
+  for (const char ch : text) {
+    CBC_EXPECTS(ch >= '0' && ch <= '9', "non-digit in decimal string");
+    // result = result * 10 + digit
+    BigUint ten_times = result;
+    ten_times <<= 3;           // *8
+    result <<= 1;              // *2
+    result += ten_times;       // *10
+    result += static_cast<std::uint64_t>(ch - '0');
+  }
+  return result;
+}
+
+BigUint BigUint::pow2(std::size_t exponent) {
+  BigUint result(1);
+  result <<= exponent;
+  return result;
+}
+
+std::size_t BigUint::bit_length() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  return (limbs_.size() - 1) * 64 + bit_width_u64(limbs_.back());
+}
+
+bool BigUint::bit(std::size_t index) const {
+  const std::size_t limb = index / 64;
+  if (limb >= limbs_.size()) {
+    return false;
+  }
+  return ((limbs_[limb] >> (index % 64)) & 1u) != 0;
+}
+
+BigUint& BigUint::operator+=(const BigUint& other) {
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t rhs = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const std::uint64_t before = limbs_[i];
+    limbs_[i] = before + rhs;
+    std::uint64_t new_carry = limbs_[i] < before ? 1u : 0u;
+    limbs_[i] += carry;
+    if (limbs_[i] < carry) {
+      new_carry = 1;
+    }
+    carry = new_carry;
+  }
+  if (carry != 0) {
+    limbs_.push_back(carry);
+  }
+  return *this;
+}
+
+BigUint& BigUint::operator+=(std::uint64_t other) {
+  return *this += BigUint(other);
+}
+
+BigUint& BigUint::operator-=(const BigUint& other) {
+  CBC_EXPECTS(*this >= other, "BigUint subtraction would underflow");
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t rhs = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const std::uint64_t before = limbs_[i];
+    limbs_[i] = before - rhs;
+    std::uint64_t new_borrow = before < rhs ? 1u : 0u;
+    const std::uint64_t mid = limbs_[i];
+    limbs_[i] -= borrow;
+    if (mid < borrow) {
+      new_borrow = 1;
+    }
+    borrow = new_borrow;
+  }
+  CBC_CHECK(borrow == 0, "subtraction underflow despite comparison");
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::operator*=(const BigUint& other) {
+  if (is_zero() || other.is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<std::uint64_t> result(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      std::uint64_t lo;
+      std::uint64_t hi;
+      mul_u64(limbs_[i], other.limbs_[j], lo, hi);
+      // result[i+j] += lo + carry, propagating into hi.
+      std::uint64_t sum = result[i + j] + lo;
+      if (sum < lo) {
+        ++hi;
+      }
+      const std::uint64_t sum2 = sum + carry;
+      if (sum2 < carry) {
+        ++hi;
+      }
+      result[i + j] = sum2;
+      carry = hi;
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      const std::uint64_t sum = result[k] + carry;
+      carry = sum < carry ? 1u : 0u;
+      result[k] = sum;
+      ++k;
+    }
+  }
+  limbs_ = std::move(result);
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::operator<<=(std::size_t bits) {
+  if (is_zero() || bits == 0) {
+    return *this;
+  }
+  const std::size_t limb_shift = bits / 64;
+  const unsigned bit_shift = static_cast<unsigned>(bits % 64);
+  std::vector<std::uint64_t> result(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    result[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      result[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  limbs_ = std::move(result);
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::operator>>=(std::size_t bits) {
+  if (is_zero() || bits == 0) {
+    return *this;
+  }
+  const std::size_t limb_shift = bits / 64;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    return *this;
+  }
+  const unsigned bit_shift = static_cast<unsigned>(bits % 64);
+  std::vector<std::uint64_t> result(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    result[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      result[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  limbs_ = std::move(result);
+  trim();
+  return *this;
+}
+
+int BigUint::compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i > 0; --i) {
+    if (limbs_[i - 1] != other.limbs_[i - 1]) {
+      return limbs_[i - 1] < other.limbs_[i - 1] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t BigUint::div_mod_small(std::uint64_t divisor) {
+  CBC_EXPECTS(divisor != 0, "division by zero");
+  uint128_t remainder = 0;
+  for (std::size_t i = limbs_.size(); i > 0; --i) {
+    const uint128_t cur = (remainder << 64) | limbs_[i - 1];
+    limbs_[i - 1] = static_cast<std::uint64_t>(cur / divisor);
+    remainder = cur % divisor;
+  }
+  trim();
+  return static_cast<std::uint64_t>(remainder);
+}
+
+double BigUint::to_double() const {
+  const auto [mantissa, exponent] = frexp();
+  return std::ldexp(mantissa, static_cast<int>(exponent));
+}
+
+std::pair<double, std::int64_t> BigUint::frexp() const {
+  if (is_zero()) {
+    return {0.0, 0};
+  }
+  const std::size_t bits = bit_length();
+  // Extract the top (up to) 64 bits.
+  std::uint64_t top = 0;
+  if (bits <= 64) {
+    top = limbs_[0];
+  } else {
+    const BigUint shifted = *this >> (bits - 64);
+    top = shifted.limbs_[0];
+  }
+  // top has its highest bit at position 63 (when bits >= 64) or bits-1.
+  const unsigned top_bits = bits >= 64 ? 64u : static_cast<unsigned>(bits);
+  const double y = static_cast<double>(top) /
+                   std::ldexp(1.0, static_cast<int>(top_bits));
+  return {y, static_cast<std::int64_t>(bits)};
+}
+
+std::uint64_t BigUint::to_u64() const {
+  CBC_EXPECTS(fits_u64(), "value does not fit in 64 bits");
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+std::string BigUint::to_decimal() const {
+  if (is_zero()) {
+    return "0";
+  }
+  BigUint copy = *this;
+  std::string digits;
+  while (!copy.is_zero()) {
+    const std::uint64_t chunk = copy.div_mod_small(10'000'000'000'000'000'000ull);
+    if (copy.is_zero()) {
+      digits = std::to_string(chunk) + digits;
+    } else {
+      std::string part = std::to_string(chunk);
+      digits = std::string(19 - part.size(), '0') + part + digits;
+    }
+  }
+  return digits;
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+}  // namespace congestbc

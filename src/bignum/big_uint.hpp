@@ -1,0 +1,106 @@
+// Arbitrary-precision unsigned integers.
+//
+// The number of shortest paths sigma_st on an N-node graph can be as large
+// as (N/D)^D (paper, Section V "Large Value Challenge") — far beyond 64
+// bits.  The library's *distributed* algorithm never stores such values
+// exactly (that is the point of the paper's soft-float), but the test and
+// benchmark suites need exact reference counts to measure the soft-float's
+// relative error against.  BigUint provides exactly the operations those
+// reference computations need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace congestbc {
+
+/// Non-negative arbitrary-precision integer with value semantics.
+/// Representation: base-2^64 limbs, little-endian, no trailing zero limbs
+/// (the value 0 is an empty limb vector).
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+
+  /// From a 64-bit value.
+  explicit BigUint(std::uint64_t value);
+
+  /// Parses a decimal string (digits only).  Throws PreconditionError on
+  /// malformed input.
+  static BigUint from_decimal(const std::string& text);
+
+  /// 2^exponent.
+  static BigUint pow2(std::size_t exponent);
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  /// Number of significant bits (0 for the value 0).
+  std::size_t bit_length() const;
+
+  /// Value of bit `index` (0 = least significant).
+  bool bit(std::size_t index) const;
+
+  BigUint& operator+=(const BigUint& other);
+  BigUint& operator+=(std::uint64_t other);
+  /// Subtraction; precondition: *this >= other.
+  BigUint& operator-=(const BigUint& other);
+  BigUint& operator*=(const BigUint& other);
+  BigUint& operator<<=(std::size_t bits);
+  BigUint& operator>>=(std::size_t bits);
+
+  friend BigUint operator+(BigUint a, const BigUint& b) { return a += b; }
+  friend BigUint operator-(BigUint a, const BigUint& b) { return a -= b; }
+  friend BigUint operator*(BigUint a, const BigUint& b) { return a *= b; }
+  friend BigUint operator<<(BigUint a, std::size_t bits) { return a <<= bits; }
+  friend BigUint operator>>(BigUint a, std::size_t bits) { return a >>= bits; }
+
+  /// Three-way comparison: negative/zero/positive like memcmp.
+  int compare(const BigUint& other) const;
+
+  friend bool operator==(const BigUint& a, const BigUint& b) {
+    return a.compare(b) == 0;
+  }
+  friend bool operator!=(const BigUint& a, const BigUint& b) {
+    return a.compare(b) != 0;
+  }
+  friend bool operator<(const BigUint& a, const BigUint& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const BigUint& a, const BigUint& b) {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const BigUint& a, const BigUint& b) {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const BigUint& a, const BigUint& b) {
+    return a.compare(b) >= 0;
+  }
+
+  /// Divides by a small divisor in place, returning the remainder.
+  /// Precondition: divisor != 0.
+  std::uint64_t div_mod_small(std::uint64_t divisor);
+
+  /// Closest double (may overflow to +inf for gigantic values).
+  double to_double() const;
+
+  /// The value as y * 2^x with y in [0.5, 1); returns {y, x}.  For zero
+  /// returns {0.0, 0}.  Exact within double precision of the top 53 bits.
+  std::pair<double, std::int64_t> frexp() const;
+
+  /// Fits in 64 bits?
+  bool fits_u64() const { return limbs_.size() <= 1; }
+
+  /// Low 64 bits (precondition: fits_u64()).
+  std::uint64_t to_u64() const;
+
+  /// Decimal representation.
+  std::string to_decimal() const;
+
+ private:
+  void trim();
+
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace congestbc

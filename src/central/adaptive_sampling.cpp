@@ -1,0 +1,85 @@
+#include "central/adaptive_sampling.hpp"
+
+#include <queue>
+
+#include "common/assert.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+
+namespace {
+
+/// delta_s(target): one Brandes dependency accumulation, returning only
+/// the target's value.
+double dependency_on(const Graph& g, NodeId source, NodeId target) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<std::vector<NodeId>> preds(n);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  dist[source] = 0;
+  sigma[source] = 1.0;
+  std::queue<NodeId> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    order.push_back(v);
+    for (const NodeId w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push(w);
+      }
+      if (dist[w] == dist[v] + 1) {
+        sigma[w] += sigma[v];
+        preds[w].push_back(v);
+      }
+    }
+  }
+  CBC_EXPECTS(order.size() == n, "graph must be connected");
+  std::vector<double> delta(n, 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId w = *it;
+    for (const NodeId v : preds[w]) {
+      delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+    }
+  }
+  return target == source ? 0.0 : delta[target];
+}
+
+}  // namespace
+
+AdaptiveBcEstimate adaptive_sampled_bc(const Graph& g, NodeId target,
+                                       double alpha, Rng& rng,
+                                       const BcOptions& options) {
+  const NodeId n = g.num_nodes();
+  CBC_EXPECTS(target < n, "target out of range");
+  CBC_EXPECTS(alpha > 0.0, "alpha must be positive");
+  // Random source order, without replacement.
+  std::vector<NodeId> sources(n);
+  for (NodeId v = 0; v < n; ++v) {
+    sources[v] = v;
+  }
+  rng.shuffle(sources);
+
+  AdaptiveBcEstimate result;
+  double sum = 0.0;
+  const double threshold = alpha * static_cast<double>(n);
+  for (const NodeId s : sources) {
+    sum += dependency_on(g, s, target);
+    ++result.samples;
+    if (sum >= threshold && result.samples < n) {
+      result.threshold_hit = true;
+      break;
+    }
+  }
+  const double scale = result.threshold_hit
+                           ? static_cast<double>(n) /
+                                 static_cast<double>(result.samples)
+                           : 1.0;
+  result.betweenness = sum * scale / (options.halve ? 2.0 : 1.0);
+  return result;
+}
+
+}  // namespace congestbc

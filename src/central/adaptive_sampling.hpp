@@ -1,0 +1,33 @@
+// Adaptive-sampling approximation of a single node's betweenness
+// centrality — Bader, Kintali, Madduri, Mihail (WAW 2007), cited by the
+// paper's related work (Section II, [13]).
+//
+// Idea: sample sources one at a time, accumulating the dependency
+// delta_s(v) of each sample on the target node v; stop as soon as the
+// accumulated sum exceeds alpha * n (high-centrality nodes trip the
+// threshold after very few samples).  Estimate: n * sum / samples.
+#pragma once
+
+#include <cstddef>
+
+#include "central/brandes.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// Outcome of one adaptive estimation.
+struct AdaptiveBcEstimate {
+  double betweenness = 0.0;    ///< estimated C_B(v) (halved convention opt.)
+  std::size_t samples = 0;     ///< sources actually expanded
+  bool threshold_hit = false;  ///< false = exhausted all n sources (exact)
+};
+
+/// Estimates C_B(target).  `alpha` is the stopping constant (the paper's
+/// analysis suggests alpha >= 2 for high-BC nodes); sampling is without
+/// replacement, so after n samples the estimate is exact.
+AdaptiveBcEstimate adaptive_sampled_bc(const Graph& g, NodeId target,
+                                       double alpha, Rng& rng,
+                                       const BcOptions& options = {});
+
+}  // namespace congestbc

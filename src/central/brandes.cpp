@@ -1,0 +1,207 @@
+#include "central/brandes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/assert.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+
+namespace {
+
+/// Shared single-source BFS state for the Brandes variants.
+template <typename Sigma>
+struct SsspDag {
+  std::vector<std::uint32_t> dist;
+  std::vector<Sigma> sigma;
+  std::vector<std::vector<NodeId>> predecessors;
+  std::vector<NodeId> order;  // nodes in non-decreasing distance from s
+};
+
+template <typename Sigma>
+SsspDag<Sigma> build_dag(const Graph& g, NodeId source) {
+  const NodeId n = g.num_nodes();
+  SsspDag<Sigma> dag;
+  dag.dist.assign(n, kUnreachable);
+  dag.sigma.assign(n, Sigma{});
+  dag.predecessors.assign(n, {});
+  dag.order.reserve(n);
+
+  dag.dist[source] = 0;
+  dag.sigma[source] = Sigma(1);
+  std::queue<NodeId> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    dag.order.push_back(v);
+    for (const NodeId w : g.neighbors(v)) {
+      if (dag.dist[w] == kUnreachable) {
+        dag.dist[w] = dag.dist[v] + 1;
+        queue.push(w);
+      }
+      if (dag.dist[w] == dag.dist[v] + 1) {
+        dag.sigma[w] += dag.sigma[v];
+        dag.predecessors[w].push_back(v);
+      }
+    }
+  }
+  return dag;
+}
+
+/// One source's dependency accumulation (Algorithm 1 lines 20-29) into bc.
+template <typename Sigma, typename Acc>
+void accumulate_source(const Graph& g, NodeId source, std::vector<Acc>& bc) {
+  const auto dag = build_dag<Sigma>(g, source);
+  CBC_EXPECTS(dag.order.size() == g.num_nodes(), "graph must be connected");
+  std::vector<Acc> delta(g.num_nodes(), Acc{0});
+  for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
+    const NodeId w = *it;
+    for (const NodeId v : dag.predecessors[w]) {
+      Acc ratio;
+      if constexpr (std::is_same_v<Sigma, BigUint>) {
+        // sigma may exceed double range; form the ratio from frexp pairs.
+        const auto [yv, ev] = dag.sigma[v].frexp();
+        const auto [yw, ew] = dag.sigma[w].frexp();
+        ratio = std::ldexp(static_cast<Acc>(yv) / static_cast<Acc>(yw),
+                           static_cast<int>(ev - ew));
+      } else {
+        ratio = static_cast<Acc>(dag.sigma[v]) / static_cast<Acc>(dag.sigma[w]);
+      }
+      delta[v] += ratio * (Acc{1} + delta[w]);
+    }
+    if (w != source) {
+      bc[w] += delta[w];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> brandes_bc(const Graph& g, const BcOptions& options) {
+  CBC_EXPECTS(g.num_nodes() >= 1, "empty graph");
+  std::vector<double> bc(g.num_nodes(), 0.0);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    accumulate_source<double, double>(g, s, bc);
+  }
+  if (options.halve) {
+    for (auto& value : bc) {
+      value /= 2.0;
+    }
+  }
+  return bc;
+}
+
+std::vector<long double> brandes_bc_exact(const Graph& g,
+                                          const BcOptions& options) {
+  CBC_EXPECTS(g.num_nodes() >= 1, "empty graph");
+  std::vector<long double> bc(g.num_nodes(), 0.0L);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    accumulate_source<BigUint, long double>(g, s, bc);
+  }
+  if (options.halve) {
+    for (auto& value : bc) {
+      value /= 2.0L;
+    }
+  }
+  return bc;
+}
+
+std::vector<BigRational> brandes_bc_rational(const Graph& g,
+                                             const BcOptions& options) {
+  const NodeId n = g.num_nodes();
+  CBC_EXPECTS(n >= 1, "empty graph");
+  std::vector<BigRational> bc(n);
+  for (NodeId s = 0; s < n; ++s) {
+    const auto dag = build_dag<BigUint>(g, s);
+    CBC_EXPECTS(dag.order.size() == n, "graph must be connected");
+    std::vector<BigRational> delta(n);
+    for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
+      const NodeId w = *it;
+      for (const NodeId v : dag.predecessors[w]) {
+        // delta[v] += sigma_v / sigma_w * (1 + delta[w])
+        BigRational term(dag.sigma[v], dag.sigma[w]);
+        term *= BigRational(1) + delta[w];
+        delta[v] += term;
+      }
+      if (w != s) {
+        bc[w] += delta[w];
+      }
+    }
+  }
+  if (options.halve) {
+    const BigRational half(BigUint(1), BigUint(2));
+    for (auto& value : bc) {
+      value *= half;
+    }
+  }
+  return bc;
+}
+
+std::vector<BigUint> count_shortest_paths(const Graph& g, NodeId source) {
+  return build_dag<BigUint>(g, source).sigma;
+}
+
+std::vector<std::vector<NodeId>> shortest_path_predecessors(const Graph& g,
+                                                            NodeId source) {
+  return build_dag<BigUint>(g, source).predecessors;
+}
+
+std::vector<double> naive_bc(const Graph& g, const BcOptions& options) {
+  const NodeId n = g.num_nodes();
+  CBC_EXPECTS(n >= 1, "empty graph");
+  // All-pairs distances and path counts, one BFS per source.
+  std::vector<std::vector<std::uint32_t>> dist(n);
+  std::vector<std::vector<long double>> sigma(n);
+  for (NodeId s = 0; s < n; ++s) {
+    const auto dag = build_dag<long double>(g, s);
+    CBC_EXPECTS(dag.order.size() == n, "graph must be connected");
+    dist[s] = dag.dist;
+    sigma[s] = dag.sigma;
+  }
+  std::vector<double> bc(n, 0.0);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) {
+        continue;
+      }
+      for (NodeId v = 0; v < n; ++v) {
+        if (v == s || v == t) {
+          continue;
+        }
+        // sigma_st(v) = sigma_sv * sigma_vt when v lies on a shortest path.
+        if (dist[s][v] + dist[v][t] == dist[s][t]) {
+          bc[v] += static_cast<double>(sigma[s][v] * sigma[v][t] / sigma[s][t]);
+        }
+      }
+    }
+  }
+  if (options.halve) {
+    for (auto& value : bc) {
+      value /= 2.0;
+    }
+  }
+  return bc;
+}
+
+std::vector<double> sampled_bc(const Graph& g, std::size_t samples, Rng& rng,
+                               const BcOptions& options) {
+  const NodeId n = g.num_nodes();
+  CBC_EXPECTS(n >= 1, "empty graph");
+  CBC_EXPECTS(samples >= 1 && samples <= n, "sample count out of range");
+  const auto sources = rng.sample_without_replacement(n, samples);
+  std::vector<double> bc(n, 0.0);
+  for (const auto s : sources) {
+    accumulate_source<double, double>(g, static_cast<NodeId>(s), bc);
+  }
+  const double scale = static_cast<double>(n) / static_cast<double>(samples) /
+                       (options.halve ? 2.0 : 1.0);
+  for (auto& value : bc) {
+    value *= scale;
+  }
+  return bc;
+}
+
+}  // namespace congestbc

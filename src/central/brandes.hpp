@@ -1,0 +1,66 @@
+// Centralized betweenness-centrality baselines (paper Section IV).
+//
+// These are the reference implementations the distributed algorithm is
+// validated against:
+//   * brandes_bc       — Algorithm 1, double accumulators, O(NM);
+//   * brandes_bc_exact — Algorithm 1 with exact BigUint path counts and
+//                        long-double dependencies (the "ground truth" for
+//                        the soft-float error experiments; sigma can exceed
+//                        2^1000, which doubles cannot even represent);
+//   * naive_bc         — definition-level O(N^3) computation along
+//                        Eq. (4), an independent code path used to
+//                        cross-check Brandes itself;
+//   * sampled_bc       — the Brandes–Pich source-sampling estimator
+//                        referenced in Section II.
+#pragma once
+
+#include <vector>
+
+#include "bignum/big_rational.hpp"
+#include "bignum/big_uint.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// Output convention.  The paper's Eq. (10) sums ordered-pair dependencies
+/// and its Figure-1 example halves the sum for the undirected graph
+/// (C_B(v2) = 7/2); `halve = true` reproduces that convention.
+struct BcOptions {
+  bool halve = true;
+};
+
+/// Brandes' algorithm with double accumulators.  Precondition: connected.
+std::vector<double> brandes_bc(const Graph& g, const BcOptions& options = {});
+
+/// Brandes' algorithm with exact arbitrary-precision path counts; the
+/// dependency accumulation uses long double (64-bit mantissa, 15-bit
+/// exponent — exact enough to serve as ground truth for soft-float error
+/// measurements on graphs up to thousands of nodes).
+std::vector<long double> brandes_bc_exact(const Graph& g,
+                                          const BcOptions& options = {});
+
+/// Brandes' algorithm in exact rational arithmetic: no floating point
+/// anywhere, so results like the paper's C_B(v2) = 7/2 are pinned as
+/// literal fractions.  Denominators grow fast — validation-scale graphs
+/// only (N <~ 32).
+std::vector<BigRational> brandes_bc_rational(const Graph& g,
+                                             const BcOptions& options = {});
+
+/// Exact number of shortest paths from `source` to every node (Eq. (6)).
+std::vector<BigUint> count_shortest_paths(const Graph& g, NodeId source);
+
+/// Predecessor sets P_source(v) along shortest paths (Eq. (5)).
+std::vector<std::vector<NodeId>> shortest_path_predecessors(const Graph& g,
+                                                            NodeId source);
+
+/// Definition-level betweenness: for every pair (s, t) and node v, add
+/// sigma_st(v)/sigma_st.  O(N^3)-ish; for validation on small graphs only.
+std::vector<double> naive_bc(const Graph& g, const BcOptions& options = {});
+
+/// Brandes–Pich estimator: run the dependency accumulation from `samples`
+/// uniformly chosen sources and scale by N/samples.
+std::vector<double> sampled_bc(const Graph& g, std::size_t samples, Rng& rng,
+                               const BcOptions& options = {});
+
+}  // namespace congestbc

@@ -1,0 +1,83 @@
+#include "central/centralities.hpp"
+
+#include <queue>
+
+#include "common/assert.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+
+std::vector<double> closeness_centrality(const Graph& g) {
+  CBC_EXPECTS(g.num_nodes() >= 2, "closeness needs >= 2 nodes");
+  const auto sums = distance_sums(g);
+  std::vector<double> result(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    result[v] = 1.0 / static_cast<double>(sums[v]);
+  }
+  return result;
+}
+
+std::vector<double> graph_centrality(const Graph& g) {
+  CBC_EXPECTS(g.num_nodes() >= 2, "graph centrality needs >= 2 nodes");
+  const auto ecc = eccentricities(g);
+  std::vector<double> result(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    result[v] = 1.0 / static_cast<double>(ecc[v]);
+  }
+  return result;
+}
+
+std::vector<long double> stress_centrality(const Graph& g,
+                                           const BcOptions& options) {
+  const NodeId n = g.num_nodes();
+  CBC_EXPECTS(n >= 1, "empty graph");
+  std::vector<long double> stress(n, 0.0L);
+  for (NodeId s = 0; s < n; ++s) {
+    // BFS DAG from s with long-double path counts.
+    std::vector<std::uint32_t> dist(n, kUnreachable);
+    std::vector<long double> sigma(n, 0.0L);
+    std::vector<std::vector<NodeId>> preds(n);
+    std::vector<NodeId> order;
+    order.reserve(n);
+    dist[s] = 0;
+    sigma[s] = 1.0L;
+    std::queue<NodeId> queue;
+    queue.push(s);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      for (const NodeId w : g.neighbors(v)) {
+        if (dist[w] == kUnreachable) {
+          dist[w] = dist[v] + 1;
+          queue.push(w);
+        }
+        if (dist[w] == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          preds[w].push_back(v);
+        }
+      }
+    }
+    CBC_EXPECTS(order.size() == n, "graph must be connected");
+    // lambda_s(v) = sum over successors w of (1 + lambda_s(w)); then the
+    // stress dependency of s on v is sigma_sv * lambda_s(v).
+    std::vector<long double> lambda(n, 0.0L);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId w = *it;
+      for (const NodeId v : preds[w]) {
+        lambda[v] += 1.0L + lambda[w];
+      }
+      if (w != s) {
+        stress[w] += sigma[w] * lambda[w];
+      }
+    }
+  }
+  if (options.halve) {
+    for (auto& value : stress) {
+      value /= 2.0L;
+    }
+  }
+  return stress;
+}
+
+}  // namespace congestbc

@@ -1,0 +1,29 @@
+// Centralized reference implementations of the other centrality indices
+// the paper defines in Section I (Eqs. (1)-(3)): closeness, graph
+// (eccentricity-based) and stress centrality.  The distributed pipeline in
+// algo/centrality_suite computes all of them in the same O(N) rounds; these
+// are the ground-truth counterparts.
+#pragma once
+
+#include <vector>
+
+#include "central/brandes.hpp"
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// Eq. (1): C_C(v) = 1 / sum_t d(v, t).  Precondition: connected, N >= 2.
+std::vector<double> closeness_centrality(const Graph& g);
+
+/// Eq. (2): C_G(v) = 1 / max_t d(v, t).  Precondition: connected, N >= 2.
+std::vector<double> graph_centrality(const Graph& g);
+
+/// Eq. (3): C_S(v) = sum_{s!=t!=v} sigma_st(v); computed with the
+/// Brandes-style recursion lambda_s(v) = sum_{w: v in P_s(w)} (1 +
+/// lambda_s(w)) and C_S(v) = sum_s sigma_sv * lambda_s(v).  Long-double
+/// accumulators (counts can be exponential).  The `halve` option matches
+/// the undirected convention used for betweenness.
+std::vector<long double> stress_centrality(const Graph& g,
+                                           const BcOptions& options = {});
+
+}  // namespace congestbc

@@ -1,0 +1,122 @@
+#include "central/current_flow.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+
+namespace {
+
+/// Dense square matrix with row-major storage; just enough for the
+/// Laplacian inversion below.
+class Matrix {
+ public:
+  explicit Matrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * n_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * n_ + c]; }
+  std::size_t size() const { return n_; }
+
+  /// In-place Gauss–Jordan inversion with partial pivoting.  Throws
+  /// InvariantError on a (numerically) singular matrix.
+  Matrix inverse() const {
+    Matrix a = *this;
+    Matrix inv(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      inv.at(i, i) = 1.0;
+    }
+    for (std::size_t col = 0; col < n_; ++col) {
+      // Partial pivot.
+      std::size_t pivot = col;
+      for (std::size_t r = col + 1; r < n_; ++r) {
+        if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) {
+          pivot = r;
+        }
+      }
+      CBC_CHECK(std::abs(a.at(pivot, col)) > 1e-12,
+                "singular matrix in current-flow computation");
+      if (pivot != col) {
+        for (std::size_t c = 0; c < n_; ++c) {
+          std::swap(a.at(pivot, c), a.at(col, c));
+          std::swap(inv.at(pivot, c), inv.at(col, c));
+        }
+      }
+      const double scale = 1.0 / a.at(col, col);
+      for (std::size_t c = 0; c < n_; ++c) {
+        a.at(col, c) *= scale;
+        inv.at(col, c) *= scale;
+      }
+      for (std::size_t r = 0; r < n_; ++r) {
+        if (r == col) {
+          continue;
+        }
+        const double factor = a.at(r, col);
+        if (factor == 0.0) {
+          continue;
+        }
+        for (std::size_t c = 0; c < n_; ++c) {
+          a.at(r, c) -= factor * a.at(col, c);
+          inv.at(r, c) -= factor * inv.at(col, c);
+        }
+      }
+    }
+    return inv;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+}  // namespace
+
+std::vector<double> current_flow_bc(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  CBC_EXPECTS(n >= 3, "current-flow betweenness needs >= 3 nodes");
+  CBC_EXPECTS(is_connected(g), "graph must be connected");
+
+  // Reduced Laplacian: delete the row/column of the grounded node n-1.
+  const std::size_t m = n - 1;
+  Matrix laplacian(m);
+  for (NodeId v = 0; v < m; ++v) {
+    laplacian.at(v, v) = static_cast<double>(g.degree(v));
+    for (const NodeId w : g.neighbors(v)) {
+      if (w < m) {
+        laplacian.at(v, w) -= 1.0;
+      }
+    }
+  }
+  const Matrix t_reduced = laplacian.inverse();
+
+  // Potential lookup T(v, s) extended with zeros at the grounded node.
+  auto potential = [&](NodeId v, NodeId s) -> double {
+    if (v == n - 1 || s == n - 1) {
+      return 0.0;
+    }
+    return t_reduced.at(v, s);
+  };
+
+  std::vector<double> bc(n, 0.0);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = s + 1; t < n; ++t) {
+      // Node potentials for unit current s -> t.
+      for (NodeId v = 0; v < n; ++v) {
+        if (v == s || v == t) {
+          continue;
+        }
+        const double pv = potential(v, s) - potential(v, t);
+        double throughput = 0.0;
+        for (const NodeId w : g.neighbors(v)) {
+          const double pw = potential(w, s) - potential(w, t);
+          throughput += std::abs(pv - pw);
+        }
+        bc[v] += 0.5 * throughput;
+      }
+    }
+  }
+  return bc;
+}
+
+}  // namespace congestbc

@@ -1,0 +1,27 @@
+// Random-walk (current-flow) betweenness centrality — Newman 2005,
+// referenced by the paper's footnote 1 as explicit future work ("we did
+// not consider the random-walk based betweenness centrality ...
+// distributively computing this centrality will be our future work").
+//
+// This centralized implementation provides the reference semantics for
+// that future distributed work: the graph is treated as a resistor
+// network with unit conductances; for each source/sink pair (s, t) a unit
+// current flows and node v's throughput is half the absolute current over
+// its incident edges.  Summing over unordered pairs (excluding pairs
+// containing v) gives the centrality.  Cost: one dense (N-1)x(N-1)
+// Laplacian inversion, O(N^3), plus O(N^2 * deg) accumulation — intended
+// for validation-scale graphs.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// Current-flow betweenness, summed over unordered pairs s < t with
+/// v not in {s, t} (no normalization — divide by (N-1)(N-2)/2 for
+/// Newman's normalized variant).  Precondition: connected, N >= 3.
+std::vector<double> current_flow_bc(const Graph& g);
+
+}  // namespace congestbc

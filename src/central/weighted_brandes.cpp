@@ -1,0 +1,149 @@
+#include "central/weighted_brandes.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+namespace {
+
+constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+struct WeightedDag {
+  std::vector<std::uint64_t> dist;
+  std::vector<long double> sigma;
+  std::vector<std::vector<NodeId>> preds;
+  std::vector<NodeId> order;  // non-decreasing distance
+};
+
+WeightedDag weighted_sssp(const WeightedGraph& g, NodeId source) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> adj(n);
+  for (const auto& e : g.edges()) {
+    adj[e.u].emplace_back(e.v, e.weight);
+    adj[e.v].emplace_back(e.u, e.weight);
+  }
+  WeightedDag dag;
+  dag.dist.assign(n, kInf);
+  dag.sigma.assign(n, 0.0L);
+  dag.preds.assign(n, {});
+  using Item = std::pair<std::uint64_t, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dag.dist[source] = 0;
+  dag.sigma[source] = 1.0L;
+  heap.emplace(0, source);
+  std::vector<bool> settled(n, false);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (settled[v]) {
+      continue;
+    }
+    settled[v] = true;
+    dag.order.push_back(v);
+    for (const auto& [w, weight] : adj[v]) {
+      const std::uint64_t candidate = d + weight;
+      if (candidate < dag.dist[w]) {
+        dag.dist[w] = candidate;
+        dag.sigma[w] = dag.sigma[v];
+        dag.preds[w] = {v};
+        heap.emplace(candidate, w);
+      } else if (candidate == dag.dist[w] && !settled[w]) {
+        dag.sigma[w] += dag.sigma[v];
+        dag.preds[w].push_back(v);
+      }
+    }
+  }
+  return dag;
+}
+
+}  // namespace
+
+std::vector<double> weighted_brandes_bc(const WeightedGraph& g,
+                                        const BcOptions& options) {
+  const NodeId n = g.num_nodes();
+  CBC_EXPECTS(n >= 1, "empty graph");
+  std::vector<double> bc(n, 0.0);
+  for (NodeId s = 0; s < n; ++s) {
+    const auto dag = weighted_sssp(g, s);
+    CBC_EXPECTS(dag.order.size() == n, "graph must be connected");
+    std::vector<double> delta(n, 0.0);
+    for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
+      const NodeId w = *it;
+      for (const NodeId v : dag.preds[w]) {
+        delta[v] += static_cast<double>(dag.sigma[v] / dag.sigma[w]) *
+                    (1.0 + delta[w]);
+      }
+      if (w != s) {
+        bc[w] += delta[w];
+      }
+    }
+  }
+  if (options.halve) {
+    for (auto& value : bc) {
+      value /= 2.0;
+    }
+  }
+  return bc;
+}
+
+std::vector<double> weighted_closeness(const WeightedGraph& g) {
+  const NodeId n = g.num_nodes();
+  CBC_EXPECTS(n >= 2, "closeness needs >= 2 nodes");
+  std::vector<double> result(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto dist = dijkstra_distances(g, v);
+    std::uint64_t total = 0;
+    for (const auto d : dist) {
+      CBC_EXPECTS(d != kInf, "graph must be connected");
+      total += d;
+    }
+    result[v] = 1.0 / static_cast<double>(total);
+  }
+  return result;
+}
+
+std::vector<long double> weighted_stress(const WeightedGraph& g,
+                                         const BcOptions& options) {
+  const NodeId n = g.num_nodes();
+  CBC_EXPECTS(n >= 1, "empty graph");
+  std::vector<long double> stress(n, 0.0L);
+  for (NodeId s = 0; s < n; ++s) {
+    const auto dag = weighted_sssp(g, s);
+    CBC_EXPECTS(dag.order.size() == n, "graph must be connected");
+    std::vector<long double> lambda(n, 0.0L);
+    for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
+      const NodeId w = *it;
+      for (const NodeId v : dag.preds[w]) {
+        lambda[v] += 1.0L + lambda[w];
+      }
+      if (w != s) {
+        stress[w] += dag.sigma[w] * lambda[w];
+      }
+    }
+  }
+  if (options.halve) {
+    for (auto& value : stress) {
+      value /= 2.0L;
+    }
+  }
+  return stress;
+}
+
+std::uint64_t weighted_diameter(const WeightedGraph& g) {
+  CBC_EXPECTS(g.num_nodes() >= 1, "empty graph");
+  std::uint64_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto dist = dijkstra_distances(g, v);
+    for (const auto d : dist) {
+      CBC_EXPECTS(d != kInf, "graph must be connected");
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+}  // namespace congestbc

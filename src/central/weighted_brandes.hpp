@@ -1,0 +1,31 @@
+// Centralized weighted betweenness centrality (Brandes 2001, Dijkstra
+// variant) — the ground truth for the weighted-graph extension.
+#pragma once
+
+#include <vector>
+
+#include "central/brandes.hpp"
+#include "graph/weighted.hpp"
+
+namespace congestbc {
+
+/// Brandes' algorithm on positive-integer-weighted graphs: Dijkstra per
+/// source, dependency accumulation in reverse distance order.
+/// Precondition: connected.
+std::vector<double> weighted_brandes_bc(const WeightedGraph& g,
+                                        const BcOptions& options = {});
+
+/// Weighted closeness: 1 / sum of Dijkstra distances.  Precondition:
+/// connected, N >= 2.
+std::vector<double> weighted_closeness(const WeightedGraph& g);
+
+/// Weighted diameter (max pairwise Dijkstra distance).
+std::uint64_t weighted_diameter(const WeightedGraph& g);
+
+/// Weighted stress centrality: sum over pairs of the number of weighted
+/// shortest paths through v (same lambda recursion as the unweighted
+/// case, on the Dijkstra DAG).
+std::vector<long double> weighted_stress(const WeightedGraph& g,
+                                         const BcOptions& options = {});
+
+}  // namespace congestbc

@@ -1,0 +1,82 @@
+#include "common/args.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+Args Args::parse(int argc, const char* const* argv,
+                 const std::vector<std::string>& value_flags) {
+  Args args;
+  args.program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      args.positional_.push_back(std::move(token));
+      continue;
+    }
+    token = token.substr(2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      args.flags_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    const bool wants_value =
+        std::find(value_flags.begin(), value_flags.end(), token) !=
+        value_flags.end();
+    if (wants_value) {
+      CBC_EXPECTS(i + 1 < argc, "missing value for --" + token);
+      args.flags_[token] = argv[++i];
+    } else {
+      args.flags_[token] = "";
+    }
+  }
+  return args;
+}
+
+bool Args::has(const std::string& flag) const {
+  return flags_.count(flag) != 0;
+}
+
+std::optional<std::string> Args::get(const std::string& flag) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& flag,
+                         const std::string& fallback) const {
+  return get(flag).value_or(fallback);
+}
+
+std::int64_t Args::get_int_or(const std::string& flag,
+                              std::int64_t fallback) const {
+  const auto value = get(flag);
+  if (!value.has_value()) {
+    return fallback;
+  }
+  try {
+    return std::stoll(*value);
+  } catch (const std::exception&) {
+    throw PreconditionError("flag --" + flag + " expects an integer, got '" +
+                            *value + "'");
+  }
+}
+
+double Args::get_double_or(const std::string& flag, double fallback) const {
+  const auto value = get(flag);
+  if (!value.has_value()) {
+    return fallback;
+  }
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    throw PreconditionError("flag --" + flag + " expects a number, got '" +
+                            *value + "'");
+  }
+}
+
+}  // namespace congestbc

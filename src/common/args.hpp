@@ -1,0 +1,37 @@
+// Minimal command-line flag parser for the tools (no external deps).
+// Supports --flag value / --flag=value / bare booleans / positional args.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace congestbc {
+
+/// Parsed command line: flags plus positional arguments.
+class Args {
+ public:
+  /// Parses argv; throws PreconditionError on malformed input (an option
+  /// with a missing value).  Flags expecting values must be declared via
+  /// `value_flags`; everything else starting with "--" is boolean.
+  static Args parse(int argc, const char* const* argv,
+                    const std::vector<std::string>& value_flags);
+
+  bool has(const std::string& flag) const;
+  std::optional<std::string> get(const std::string& flag) const;
+  std::string get_or(const std::string& flag, const std::string& fallback) const;
+  std::int64_t get_int_or(const std::string& flag, std::int64_t fallback) const;
+  double get_double_or(const std::string& flag, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace congestbc

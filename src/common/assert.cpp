@@ -1,0 +1,29 @@
+#include "common/assert.hpp"
+
+#include <sstream>
+
+namespace congestbc::detail {
+
+namespace {
+std::string compose(const char* kind, const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  return os.str();
+}
+}  // namespace
+
+void fail_precondition(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  throw PreconditionError(compose("precondition", expr, file, line, msg));
+}
+
+void fail_invariant(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw InvariantError(compose("invariant", expr, file, line, msg));
+}
+
+}  // namespace congestbc::detail

@@ -1,0 +1,59 @@
+// Lightweight contract-checking helpers used across the library.
+//
+// Following the C++ Core Guidelines (I.6/I.8, E.12), preconditions and
+// invariants are checked with always-on macros that throw a descriptive
+// exception on violation.  Simulator-internal invariants that are hot
+// use CBC_DCHECK which compiles out in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace congestbc {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails; indicates a library bug or a
+/// CONGEST-model violation detected by the simulator.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void fail_precondition(const char* expr, const char* file, int line,
+                                    const std::string& msg);
+[[noreturn]] void fail_invariant(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+}  // namespace detail
+
+}  // namespace congestbc
+
+/// Precondition on public API arguments; always on.
+#define CBC_EXPECTS(cond, msg)                                                  \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::congestbc::detail::fail_precondition(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                           \
+  } while (false)
+
+/// Internal invariant; always on (cheap checks, error reporting paths).
+#define CBC_CHECK(cond, msg)                                                  \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::congestbc::detail::fail_invariant(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                         \
+  } while (false)
+
+/// Internal invariant on hot paths; compiled out when NDEBUG is defined.
+#ifdef NDEBUG
+#define CBC_DCHECK(cond, msg) \
+  do {                        \
+  } while (false)
+#else
+#define CBC_DCHECK(cond, msg) CBC_CHECK(cond, msg)
+#endif

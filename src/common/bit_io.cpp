@@ -1,0 +1,72 @@
+#include "common/bit_io.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace congestbc {
+
+void BitWriter::write(std::uint64_t value, unsigned bits) {
+  CBC_EXPECTS(bits <= 64, "bit field too wide");
+  CBC_EXPECTS(bits == 64 || (value >> bits) == 0, "value does not fit in field");
+  unsigned remaining = bits;
+  while (remaining > 0) {
+    const std::size_t byte_index = bit_size_ / 8;
+    const unsigned offset = static_cast<unsigned>(bit_size_ % 8);
+    if (byte_index == bytes_.size()) {
+      bytes_.push_back(0);
+    }
+    const unsigned take = std::min(8u - offset, remaining);
+    const auto mask = static_cast<std::uint64_t>((1u << take) - 1);
+    bytes_[byte_index] = static_cast<std::uint8_t>(
+        bytes_[byte_index] | ((value & mask) << offset));
+    value >>= take;
+    bit_size_ += take;
+    remaining -= take;
+  }
+}
+
+void BitWriter::write_varuint(std::uint64_t value) {
+  const unsigned width = bit_width_u64(value);
+  write(width - 1, 6);  // width is in [1, 64]; store biased by one
+  write(value, width);
+}
+
+std::uint64_t BitReader::read(unsigned bits) {
+  CBC_EXPECTS(bits <= 64, "bit field too wide");
+  CBC_CHECK(cursor_ + bits <= bit_size_, "read past end of message");
+  std::uint64_t value = 0;
+  unsigned produced = 0;
+  while (produced < bits) {
+    const std::size_t byte_index = cursor_ / 8;
+    const unsigned offset = static_cast<unsigned>(cursor_ % 8);
+    const unsigned take = std::min(8u - offset, bits - produced);
+    const auto chunk = static_cast<std::uint64_t>(
+        ((*bytes_)[byte_index] >> offset) & ((1u << take) - 1));
+    value |= chunk << produced;
+    produced += take;
+    cursor_ += take;
+  }
+  return value;
+}
+
+std::uint64_t BitReader::read_varuint() {
+  const auto width = static_cast<unsigned>(read(6)) + 1;
+  return read(width);
+}
+
+unsigned bit_width_u64(std::uint64_t value) {
+  if (value == 0) {
+    return 1;
+  }
+  return static_cast<unsigned>(64 - std::countl_zero(value));
+}
+
+unsigned ceil_log2(std::uint64_t n) {
+  CBC_EXPECTS(n >= 1, "ceil_log2 requires n >= 1");
+  if (n == 1) {
+    return 0;
+  }
+  return bit_width_u64(n - 1);
+}
+
+}  // namespace congestbc

@@ -1,0 +1,74 @@
+// Bit-level serialization used for CONGEST messages.
+//
+// The CONGEST model budgets each message in *bits*, so the simulator
+// accounts for the exact number of bits a message occupies.  BitWriter
+// appends little-endian bit fields; BitReader consumes them in the same
+// order.  Both operate on a byte vector so messages can be copied around
+// cheaply.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+/// Append-only bit stream.  Fields of up to 64 bits are appended LSB-first.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `bits` bits of `value`.  Precondition: bits <= 64 and
+  /// `value` fits in `bits` bits.
+  void write(std::uint64_t value, unsigned bits);
+
+  /// Appends a single boolean bit.
+  void write_bool(bool b) { write(b ? 1u : 0u, 1); }
+
+  /// Appends an unsigned value in unary-prefixed Elias-gamma-like coding:
+  /// fixed 6-bit length then the value's bits.  Handy for fields whose
+  /// magnitude varies a lot (keeps small values small).
+  void write_varuint(std::uint64_t value);
+
+  /// Number of bits written so far.
+  std::size_t bit_size() const { return bit_size_; }
+
+  /// Underlying bytes (the last byte may be partially filled).
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_size_ = 0;
+};
+
+/// Sequential reader over the bits produced by a BitWriter.
+class BitReader {
+ public:
+  BitReader(const std::vector<std::uint8_t>& bytes, std::size_t bit_size)
+      : bytes_(&bytes), bit_size_(bit_size) {}
+
+  /// Reads the next `bits` bits (bits <= 64).  Throws InvariantError when
+  /// reading past the end — a malformed message.
+  std::uint64_t read(unsigned bits);
+
+  bool read_bool() { return read(1) != 0; }
+
+  std::uint64_t read_varuint();
+
+  /// Bits remaining to be read.
+  std::size_t remaining() const { return bit_size_ - cursor_; }
+
+ private:
+  const std::vector<std::uint8_t>* bytes_;
+  std::size_t bit_size_;
+  std::size_t cursor_ = 0;
+};
+
+/// Number of bits needed to represent `value` (0 needs 1 bit).
+unsigned bit_width_u64(std::uint64_t value);
+
+/// ceil(log2(n)) for n >= 1; number of bits to address n distinct values.
+unsigned ceil_log2(std::uint64_t n);
+
+}  // namespace congestbc

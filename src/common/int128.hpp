@@ -1,0 +1,11 @@
+// 128-bit unsigned arithmetic used by the bignum and soft-float cores.
+// The __extension__ marker keeps -Wpedantic quiet about the GCC/Clang
+// builtin type (both supported compilers provide it on all 64-bit
+// targets).
+#pragma once
+
+namespace congestbc {
+
+__extension__ typedef unsigned __int128 uint128_t;
+
+}  // namespace congestbc

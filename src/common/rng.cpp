@@ -1,0 +1,64 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace congestbc {
+
+std::uint64_t Rng::next_u64() {
+  state_ += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  CBC_EXPECTS(bound >= 1, "bound must be positive");
+  // Rejection sampling over the largest multiple of bound.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t value = next_u64();
+  while (value >= limit) {
+    value = next_u64();
+  }
+  return value % bound;
+}
+
+std::int64_t Rng::next_in_range(std::int64_t lo, std::int64_t hi) {
+  CBC_EXPECTS(lo <= hi, "empty range");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range.
+  if (span == 0) {
+    return static_cast<std::int64_t>(next_u64());
+  }
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bernoulli(double p) {
+  CBC_EXPECTS(p >= 0.0 && p <= 1.0, "probability out of range");
+  return next_double() < p;
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  CBC_EXPECTS(k <= n, "cannot sample more values than the universe holds");
+  // Floyd's algorithm: k iterations, O(k) memory.
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(k));
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = next_below(j + 1);
+    if (!chosen.insert(t).second) {
+      chosen.insert(j);
+    }
+  }
+  std::vector<std::uint64_t> result(chosen.begin(), chosen.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace congestbc

@@ -1,0 +1,32 @@
+// Minimal aligned-column ASCII table printer used by the benchmark
+// harnesses to regenerate paper-style tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace congestbc {
+
+/// Collects rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a separator line under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+std::string format_double(double value, int digits = 6);
+
+}  // namespace congestbc

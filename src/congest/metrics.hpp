@@ -1,0 +1,52 @@
+// Measurement plane of the CONGEST simulator.
+//
+// The paper's claims are about rounds (Theorem 3) and per-edge bits
+// (Lemmas 3/5); the lower-bound experiments additionally need the bits
+// crossing a designated cut (Theorems 5/6).  RunMetrics captures all of
+// that, per round and in aggregate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace congestbc {
+
+/// Aggregates for one simulated round.
+struct RoundStats {
+  std::uint64_t physical_messages = 0;
+  std::uint64_t logical_messages = 0;
+  std::uint64_t bits = 0;
+  /// Largest physical message (= bundled bits) on any directed edge.
+  std::uint64_t max_bits_on_edge = 0;
+  /// Largest number of logical messages bundled on any directed edge.
+  std::uint64_t max_logical_on_edge = 0;
+};
+
+/// Whole-run measurements.
+struct RunMetrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t total_physical_messages = 0;
+  std::uint64_t total_logical_messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t max_bits_on_edge_round = 0;
+  std::uint64_t max_logical_on_edge_round = 0;
+  /// Bits that crossed the registered cut (either direction), total.
+  std::uint64_t cut_bits = 0;
+  /// Per-round detail (index = round number).
+  std::vector<RoundStats> per_round;
+
+  /// Max logical messages bundled on any edge within [first, last] rounds
+  /// inclusive — used to verify Lemma 4 over the aggregation epoch.
+  std::uint64_t max_logical_on_edge_in(std::uint64_t first,
+                                       std::uint64_t last) const {
+    std::uint64_t best = 0;
+    for (std::uint64_t r = first; r <= last && r < per_round.size(); ++r) {
+      best = best < per_round[r].max_logical_on_edge
+                 ? per_round[r].max_logical_on_edge
+                 : best;
+    }
+    return best;
+  }
+};
+
+}  // namespace congestbc

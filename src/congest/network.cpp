@@ -1,0 +1,207 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/bit_io.hpp"
+#include "congest/trace.hpp"
+
+namespace congestbc {
+
+namespace {
+
+std::uint64_t directed_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+/// One queued logical payload.
+struct PendingSend {
+  NodeId to;
+  std::vector<std::uint8_t> bytes;
+  std::size_t bits;
+};
+
+/// Concrete per-node context; reused across rounds.
+class ContextImpl final : public NodeContext {
+ public:
+  ContextImpl(const Graph& graph, NodeId id)
+      : graph_(&graph), id_(id) {}
+
+  NodeId id() const override { return id_; }
+  std::uint32_t num_nodes() const override { return graph_->num_nodes(); }
+  std::span<const NodeId> neighbors() const override {
+    return graph_->neighbors(id_);
+  }
+  std::uint64_t round() const override { return round_; }
+  const std::vector<InboundMessage>& inbox() const override { return inbox_; }
+
+  void send(NodeId neighbor, const BitWriter& payload) override {
+    CBC_EXPECTS(graph_->has_edge(id_, neighbor),
+                "node tried to send to a non-neighbor");
+    outbox_.push_back(PendingSend{neighbor, payload.bytes(), payload.bit_size()});
+  }
+
+  // -- harness side --
+  void begin_round(std::uint64_t round, std::vector<InboundMessage> inbox) {
+    round_ = round;
+    inbox_ = std::move(inbox);
+    outbox_.clear();
+  }
+  std::vector<PendingSend>& outbox() { return outbox_; }
+
+ private:
+  const Graph* graph_;
+  NodeId id_;
+  std::uint64_t round_ = 0;
+  std::vector<InboundMessage> inbox_;
+  std::vector<PendingSend> outbox_;
+};
+
+/// Appends `bits` bits of `src` to `writer` (bulk copy in 64-bit chunks).
+void append_bits(BitWriter& writer, const std::vector<std::uint8_t>& src,
+                 std::size_t bits) {
+  BitReader reader(src, bits);
+  std::size_t remaining = bits;
+  while (remaining > 0) {
+    const unsigned chunk = remaining >= 64 ? 64u : static_cast<unsigned>(remaining);
+    writer.write(reader.read(chunk), chunk);
+    remaining -= chunk;
+  }
+}
+
+}  // namespace
+
+std::uint64_t congest_budget_bits(std::uint32_t num_nodes) {
+  const std::uint64_t log_n = ceil_log2(num_nodes < 2 ? 2 : num_nodes);
+  // The floor of 8 "logical bits" keeps tiny graphs workable: the
+  // soft-float payload has a constant-bits floor (mantissa >= 8), so the
+  // O(log N) budget needs the same floor on its constant.
+  return 16 * std::max<std::uint64_t>(log_n, 8);
+}
+
+Network::Network(const Graph& graph, NetworkConfig config)
+    : graph_(&graph), config_(config) {
+  CBC_EXPECTS(graph.num_nodes() >= 1, "network needs at least one node");
+}
+
+void Network::register_cut(const std::vector<Edge>& cut_edges) {
+  for (const auto& e : cut_edges) {
+    CBC_EXPECTS(graph_->has_edge(e.u, e.v), "cut edge not present in graph");
+    cut_keys_.insert(directed_key(e.u, e.v));
+    cut_keys_.insert(directed_key(e.v, e.u));
+  }
+}
+
+RunMetrics Network::run(const ProgramFactory& factory) {
+  const NodeId n = graph_->num_nodes();
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    programs.push_back(factory(v));
+    CBC_CHECK(programs.back() != nullptr, "factory returned null program");
+  }
+  return run(programs);
+}
+
+RunMetrics Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
+  const NodeId n = graph_->num_nodes();
+  CBC_EXPECTS(programs.size() == n, "one program per node required");
+  std::vector<ContextImpl> contexts;
+  contexts.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    CBC_EXPECTS(programs[v] != nullptr, "null program");
+    contexts.emplace_back(*graph_, v);
+  }
+
+  RunMetrics metrics;
+  std::vector<std::vector<InboundMessage>> mailboxes(n);
+  bool messages_in_flight = false;
+
+  for (std::uint64_t round = 0;; ++round) {
+    CBC_CHECK(round < config_.max_rounds,
+              "simulation exceeded max_rounds = " +
+                  std::to_string(config_.max_rounds));
+
+    // Check termination: all done and nothing queued for delivery.
+    if (!messages_in_flight) {
+      const bool all_done =
+          std::all_of(programs.begin(), programs.end(),
+                      [](const auto& p) { return p->done(); });
+      if (all_done) {
+        metrics.rounds = round;
+        return metrics;
+      }
+    }
+
+    // Run every node on this round's inbox.
+    for (NodeId v = 0; v < n; ++v) {
+      contexts[v].begin_round(round, std::move(mailboxes[v]));
+      mailboxes[v].clear();
+      programs[v]->on_round(contexts[v]);
+    }
+
+    // Bundle outboxes into physical messages and account traffic.
+    RoundStats stats;
+    messages_in_flight = false;
+    for (NodeId v = 0; v < n; ++v) {
+      auto& outbox = contexts[v].outbox();
+      if (outbox.empty()) {
+        continue;
+      }
+      // Group logical sends by destination, preserving send order.
+      std::stable_sort(outbox.begin(), outbox.end(),
+                       [](const PendingSend& x, const PendingSend& y) {
+                         return x.to < y.to;
+                       });
+      std::size_t i = 0;
+      while (i < outbox.size()) {
+        const NodeId to = outbox[i].to;
+        BitWriter bundle;
+        std::uint64_t logical = 0;
+        while (i < outbox.size() && outbox[i].to == to) {
+          append_bits(bundle, outbox[i].bytes, outbox[i].bits);
+          ++logical;
+          ++i;
+        }
+        const std::uint64_t bits = bundle.bit_size();
+        if (config_.bits_per_edge_per_round != 0) {
+          CBC_CHECK(bits <= config_.bits_per_edge_per_round,
+                    "CONGEST violation: " + std::to_string(bits) +
+                        " bits on edge " + std::to_string(v) + "->" +
+                        std::to_string(to) + " in round " +
+                        std::to_string(round) + " (budget " +
+                        std::to_string(config_.bits_per_edge_per_round) + ")");
+        }
+        stats.physical_messages += 1;
+        stats.logical_messages += logical;
+        stats.bits += bits;
+        stats.max_bits_on_edge = std::max(stats.max_bits_on_edge, bits);
+        stats.max_logical_on_edge = std::max(stats.max_logical_on_edge, logical);
+        if (!cut_keys_.empty() && cut_keys_.count(directed_key(v, to)) != 0) {
+          metrics.cut_bits += bits;
+        }
+        if (config_.trace != nullptr) {
+          config_.trace->on_physical_message(TraceEvent{
+              round, v, to, static_cast<std::uint32_t>(bits),
+              static_cast<std::uint32_t>(logical)});
+        }
+        mailboxes[to].emplace_back(v, bundle.bytes(), bundle.bit_size());
+        messages_in_flight = true;
+      }
+    }
+
+    metrics.total_physical_messages += stats.physical_messages;
+    metrics.total_logical_messages += stats.logical_messages;
+    metrics.total_bits += stats.bits;
+    metrics.max_bits_on_edge_round =
+        std::max(metrics.max_bits_on_edge_round, stats.max_bits_on_edge);
+    metrics.max_logical_on_edge_round =
+        std::max(metrics.max_logical_on_edge_round, stats.max_logical_on_edge);
+    if (config_.record_per_round) {
+      metrics.per_round.push_back(stats);
+    }
+  }
+}
+
+}  // namespace congestbc

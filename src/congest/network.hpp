@@ -1,0 +1,81 @@
+// The synchronous CONGEST network simulator (paper Section III-A).
+//
+// Semantics:
+//   * time advances in globally synchronized rounds;
+//   * in each round every node runs its NodeProgram once, reading the
+//     messages sent to it in the previous round and sending at most one
+//     physical message per incident edge;
+//   * a physical message is the bundle of the logical messages queued to
+//     that neighbor in that round; its size is accounted in exact bits and
+//     checked against the configured budget B = O(log N)
+//     (a violation throws InvariantError — the simulator *faults* on any
+//     CONGEST violation instead of silently allowing it);
+//   * delivery is reliable and takes exactly one round.
+//
+// This simulator substitutes for the paper's (hypothetical) physical
+// message-passing network: the paper's complexity measure is rounds, which
+// the simulator counts exactly (see DESIGN.md, substitutions).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "congest/metrics.hpp"
+#include "congest/node.hpp"
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+class TraceSink;  // congest/trace.hpp
+
+/// Simulator knobs.
+struct NetworkConfig {
+  /// Per-directed-edge per-round bit budget; 0 disables the check (LOCAL
+  /// model).  Typical choice: congest_budget_bits(N).
+  std::uint64_t bits_per_edge_per_round = 0;
+  /// Hard stop — guards against non-terminating programs under test.
+  std::uint64_t max_rounds = 10'000'000;
+  /// Record per-round stats (cheap; on by default).
+  bool record_per_round = true;
+  /// Optional observer of every delivered physical message.
+  TraceSink* trace = nullptr;
+};
+
+/// The library's default CONGEST budget: beta * ceil(log2 N) bits with
+/// beta = 16 — the explicit constant behind every "O(log N) bits" claim
+/// (a bundle of a BFS-wave payload, a DFS token, and control fields fits;
+/// see DESIGN.md D3).
+std::uint64_t congest_budget_bits(std::uint32_t num_nodes);
+
+/// Builds the program for one node.  It receives only the node id; all
+/// topology knowledge must come from NodeContext.
+using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(NodeId)>;
+
+/// A simulated network over a fixed connected graph.
+class Network {
+ public:
+  Network(const Graph& graph, NetworkConfig config);
+
+  /// Registers the undirected edges whose traffic counts toward
+  /// RunMetrics::cut_bits.  Must be called before run().
+  void register_cut(const std::vector<Edge>& cut_edges);
+
+  /// Runs programs until every node reports done() and no message is in
+  /// flight.  Throws InvariantError on a CONGEST violation or when
+  /// max_rounds is exceeded.
+  RunMetrics run(const ProgramFactory& factory);
+
+  /// Same, over caller-owned programs (programs[v] runs on node v); the
+  /// caller can inspect per-node results afterwards.
+  RunMetrics run(std::vector<std::unique_ptr<NodeProgram>>& programs);
+
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  const Graph* graph_;
+  NetworkConfig config_;
+  std::unordered_set<std::uint64_t> cut_keys_;  // directed-edge keys
+};
+
+}  // namespace congestbc

@@ -1,0 +1,76 @@
+// Node-side programming model of the CONGEST simulator.
+//
+// A NodeProgram is the code running on one network node.  Its world view
+// is deliberately narrow, matching the model in the paper's Section III:
+//   * its own id and its neighbors' ids;
+//   * the total node count N (standard CONGEST assumption; it fixes the
+//     O(log N) field widths);
+//   * the synchronized round number;
+//   * the messages that arrived at the start of the round.
+// It must NOT inspect the global graph — all global information has to be
+// learned through messages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_io.hpp"
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// A delivered message: sender plus bit-exact payload.
+class InboundMessage {
+ public:
+  InboundMessage(NodeId from, std::vector<std::uint8_t> bytes,
+                 std::size_t bits)
+      : from_(from), bytes_(std::move(bytes)), bits_(bits) {}
+
+  NodeId from() const { return from_; }
+  std::size_t bit_size() const { return bits_; }
+
+  /// A fresh reader positioned at the start of the payload.
+  BitReader reader() const { return BitReader(bytes_, bits_); }
+
+ private:
+  NodeId from_;
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bits_;
+};
+
+/// The per-round window a program sees (provided by the Network).
+class NodeContext {
+ public:
+  virtual ~NodeContext() = default;
+
+  virtual NodeId id() const = 0;
+  virtual std::uint32_t num_nodes() const = 0;
+  virtual std::span<const NodeId> neighbors() const = 0;
+  virtual std::uint64_t round() const = 0;
+  virtual const std::vector<InboundMessage>& inbox() const = 0;
+
+  /// Queues a logical message to a neighbor; it arrives at the start of
+  /// the next round.  Logical messages to the same neighbor in the same
+  /// round are bundled into one physical message (DESIGN.md D3); the
+  /// simulator accounts bits and logical counts per (edge, round).
+  virtual void send(NodeId neighbor, const BitWriter& payload) = 0;
+};
+
+/// Code running on one node.  `on_round` is invoked exactly once per round
+/// for every node, in node-id order, with that round's inbox.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// One synchronous round: read ctx.inbox(), update state, ctx.send(...).
+  virtual void on_round(NodeContext& ctx) = 0;
+
+  /// Local termination flag; the simulation stops once every node is done
+  /// and no messages are in flight.  (Distributed termination *detection*
+  /// is the algorithms' own responsibility — see the phase switch in
+  /// algo/ — this flag only lets the harness stop the clock.)
+  virtual bool done() const = 0;
+};
+
+}  // namespace congestbc

@@ -1,0 +1,58 @@
+#include "congest/trace.hpp"
+
+#include <algorithm>
+
+namespace congestbc {
+
+void MessageTrace::on_physical_message(const TraceEvent& event) {
+  ++total_messages_;
+  if (per_round_.size() <= event.round) {
+    per_round_.resize(event.round + 1, 0);
+  }
+  ++per_round_[event.round];
+  if (events_.size() < max_events_) {
+    events_.push_back(event);
+  } else {
+    truncated_ = true;
+  }
+}
+
+std::vector<TraceEvent> MessageTrace::events_in_round(
+    std::uint64_t round) const {
+  std::vector<TraceEvent> result;
+  for (const auto& event : events_) {
+    if (event.round == round) {
+      result.push_back(event);
+    }
+  }
+  return result;
+}
+
+std::string MessageTrace::activity_timeline(unsigned width) const {
+  if (per_round_.empty() || width == 0) {
+    return "";
+  }
+  static constexpr char kLevels[] = " .:-=+*#%@";
+  const std::size_t rounds = per_round_.size();
+  std::vector<std::uint64_t> buckets(width, 0);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto bucket = static_cast<std::size_t>(
+        static_cast<unsigned long long>(r) * width / rounds);
+    buckets[bucket] += per_round_[r];
+  }
+  const std::uint64_t peak = *std::max_element(buckets.begin(), buckets.end());
+  std::string line;
+  line.reserve(width);
+  for (const auto value : buckets) {
+    if (peak == 0) {
+      line.push_back(' ');
+      continue;
+    }
+    const auto level =
+        static_cast<std::size_t>(value * 9 / peak);  // 0..9
+    line.push_back(kLevels[level]);
+  }
+  return line;
+}
+
+}  // namespace congestbc

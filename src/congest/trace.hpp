@@ -1,0 +1,69 @@
+// Message tracing for the CONGEST simulator.
+//
+// A TraceSink registered in NetworkConfig observes every physical message
+// (bundle) the network delivers; MessageTrace is the standard sink — a
+// bounded in-memory event log with per-round aggregation and an ASCII
+// activity timeline, used by the trace_demo example and for debugging
+// protocol phases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// One delivered physical message.
+struct TraceEvent {
+  std::uint64_t round;
+  NodeId from;
+  NodeId to;
+  std::uint32_t bits;
+  std::uint32_t logical;  ///< logical records bundled inside
+};
+
+/// Observer interface; implementations must tolerate high call rates.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_physical_message(const TraceEvent& event) = 0;
+};
+
+/// Bounded in-memory event log.
+class MessageTrace final : public TraceSink {
+ public:
+  /// Records at most `max_events` individual events (aggregates keep
+  /// counting past the cap).
+  explicit MessageTrace(std::size_t max_events = 1 << 20)
+      : max_events_(max_events) {}
+
+  void on_physical_message(const TraceEvent& event) override;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool truncated() const { return truncated_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+
+  /// Message count per round (index = round).
+  const std::vector<std::uint64_t>& messages_per_round() const {
+    return per_round_;
+  }
+
+  /// Events of one round (linear scan of the bounded log).
+  std::vector<TraceEvent> events_in_round(std::uint64_t round) const;
+
+  /// A fixed-width ASCII sparkline of per-round traffic — a quick visual
+  /// of the pipeline's phases (tree burst, staggered waves, quiet switch,
+  /// aggregation cascade).  Buckets rounds into `width` columns.
+  std::string activity_timeline(unsigned width = 64) const;
+
+ private:
+  std::size_t max_events_;
+  bool truncated_ = false;
+  std::uint64_t total_messages_ = 0;
+  std::vector<TraceEvent> events_;
+  std::vector<std::uint64_t> per_round_;
+};
+
+}  // namespace congestbc

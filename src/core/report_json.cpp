@@ -1,0 +1,190 @@
+#include "core/report_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (needs_comma_.back()) {
+    out_ += ',';
+  }
+  needs_comma_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  CBC_EXPECTS(needs_comma_.size() > 1, "unbalanced end_object");
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  CBC_EXPECTS(needs_comma_.size() > 1, "unbalanced end_array");
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  comma();
+  value_unchecked_string(name);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  comma();
+  value_unchecked_string(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  comma();
+  CBC_EXPECTS(std::isfinite(number), "JSON numbers must be finite");
+  std::ostringstream os;
+  os.precision(17);
+  os << number;
+  out_ += os.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  comma();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  comma();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+void JsonWriter::value_unchecked_string(const std::string& text) {
+  out_ += '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out_ += buf;
+        } else {
+          out_ += ch;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+namespace {
+
+void write_double_array(JsonWriter& json, const std::vector<double>& values) {
+  json.begin_array();
+  for (const double v : values) {
+    json.value(v);
+  }
+  json.end_array();
+}
+
+void write_result_body(JsonWriter& json, const DistributedBcResult& result) {
+  json.key("betweenness");
+  write_double_array(json, result.betweenness);
+  json.key("closeness");
+  write_double_array(json, result.closeness);
+  json.key("graph_centrality");
+  write_double_array(json, result.graph_centrality);
+  json.key("stress").begin_array();
+  for (const auto v : result.stress) {
+    json.value(static_cast<double>(v));
+  }
+  json.end_array();
+  json.key("eccentricities").begin_array();
+  for (const auto v : result.eccentricities) {
+    json.value(static_cast<std::uint64_t>(v));
+  }
+  json.end_array();
+  json.key("diameter").value(static_cast<std::uint64_t>(result.diameter));
+  json.key("rounds").value(result.rounds);
+  json.key("aggregation_epoch").value(result.aggregation_epoch);
+  json.key("metrics").begin_object();
+  json.key("total_physical_messages").value(result.metrics.total_physical_messages);
+  json.key("total_logical_messages").value(result.metrics.total_logical_messages);
+  json.key("total_bits").value(result.metrics.total_bits);
+  json.key("max_bits_on_edge_round").value(result.metrics.max_bits_on_edge_round);
+  json.key("max_logical_on_edge_round").value(result.metrics.max_logical_on_edge_round);
+  json.key("cut_bits").value(result.metrics.cut_bits);
+  json.end_object();
+  json.key("max_node_state_bytes")
+      .value(static_cast<std::uint64_t>(result.max_node_state_bytes));
+}
+
+}  // namespace
+
+std::string to_json(const DistributedBcResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  write_result_body(json, result);
+  json.end_object();
+  return json.str();
+}
+
+std::string to_json(const AnalysisReport& report) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("distributed").begin_object();
+  write_result_body(json, report.distributed);
+  json.end_object();
+  if (report.parity.has_value()) {
+    json.key("parity").begin_object();
+    json.key("max_abs_error").value(report.parity->max_abs_error);
+    json.key("max_rel_error").value(report.parity->max_rel_error);
+    json.key("mean_abs_error").value(report.parity->mean_abs_error);
+    json.key("worst_index")
+        .value(static_cast<std::uint64_t>(report.parity->worst_index));
+    json.end_object();
+  }
+  json.key("summary").value(report.summary());
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace congestbc

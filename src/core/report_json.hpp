@@ -1,0 +1,50 @@
+// JSON serialization of analysis results — the machine-readable side of
+// the CLI (congestbc_cli --json) and a stable interchange format for
+// downstream tooling (plotting, dashboards, regression tracking).
+//
+// The writer is deliberately minimal: objects, arrays, strings, numbers —
+// everything the reports need and nothing more.
+#pragma once
+
+#include <string>
+
+#include "algo/bc_pipeline.hpp"
+#include "core/runner.hpp"
+
+namespace congestbc {
+
+/// Minimal JSON document builder (RFC 8259 subset: no unicode escapes
+/// beyond the mandatory control characters).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Object key (must be inside an object, before its value).
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool flag);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+  void value_unchecked_string(const std::string& text);
+
+  std::string out_;
+  /// Tracks whether a separator is needed at each nesting level.
+  std::vector<bool> needs_comma_{false};
+  bool after_key_ = false;
+};
+
+/// Serializes the distributed result: centralities, diameter, rounds,
+/// traffic metrics.
+std::string to_json(const DistributedBcResult& result);
+
+/// Serializes a full analysis report (distributed result + parity).
+std::string to_json(const AnalysisReport& report);
+
+}  // namespace congestbc

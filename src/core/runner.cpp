@@ -1,0 +1,46 @@
+#include "core/runner.hpp"
+
+#include <sstream>
+
+#include "central/brandes.hpp"
+#include "common/assert.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+
+Runner::Runner(Graph graph) : graph_(std::move(graph)) {
+  CBC_EXPECTS(graph_.num_nodes() >= 1, "empty graph");
+  CBC_EXPECTS(is_connected(graph_),
+              "the CONGEST model assumes a connected network");
+}
+
+AnalysisReport Runner::analyze(const AnalysisOptions& options) const {
+  AnalysisReport report;
+  report.distributed = run_distributed_bc(graph_, options.distributed);
+  report.metrics = report.distributed.metrics;
+  if (options.compare_with_brandes) {
+    const BcOptions bc_options{options.distributed.halve};
+    if (options.exact_reference) {
+      const auto reference = brandes_bc_exact(graph_, bc_options);
+      report.parity = compare_vectors(report.distributed.betweenness, reference);
+    } else {
+      const auto reference = brandes_bc(graph_, bc_options);
+      report.parity = compare_vectors(report.distributed.betweenness, reference);
+    }
+  }
+  return report;
+}
+
+std::string AnalysisReport::summary() const {
+  std::ostringstream os;
+  os << "distributed BC over N=" << distributed.betweenness.size()
+     << " nodes: " << metrics.rounds << " rounds, D=" << distributed.diameter
+     << ", " << metrics.total_bits << " bits total, max "
+     << metrics.max_bits_on_edge_round << " bits/edge/round";
+  if (parity.has_value()) {
+    os << "; max relative error vs Brandes = " << parity->max_rel_error;
+  }
+  return os.str();
+}
+
+}  // namespace congestbc

@@ -1,0 +1,61 @@
+// The repository-level public API.
+//
+// A downstream user hands Runner a graph and gets back every centrality
+// the paper touches — computed by the O(N)-round distributed algorithm —
+// together with the simulator's cost metrics and (optionally) a
+// centralized-Brandes cross-check.
+//
+//   congestbc::Runner runner(graph);
+//   auto report = runner.analyze();
+//   report.distributed.betweenness[v];   // C_B(v)
+//   report.metrics.rounds;               // CONGEST rounds used
+//   report.parity->max_rel_error;        // vs centralized Brandes
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "algo/bc_pipeline.hpp"
+#include "core/validation.hpp"
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// What the analysis should include beyond the distributed run itself.
+struct AnalysisOptions {
+  DistributedBcOptions distributed;
+  /// Also run centralized Brandes and attach an ErrorStats cross-check.
+  bool compare_with_brandes = true;
+  /// Use the exact BigUint/long-double Brandes as the reference (slower;
+  /// needed when path counts overflow doubles).
+  bool exact_reference = false;
+};
+
+/// Everything a single analysis produces.
+struct AnalysisReport {
+  DistributedBcResult distributed;
+  RunMetrics metrics;  ///< alias of distributed.metrics, for convenience
+  /// Present when compare_with_brandes: distributed vs centralized BC.
+  std::optional<ErrorStats> parity;
+  /// One-paragraph human-readable summary (rounds, bits, parity).
+  std::string summary() const;
+};
+
+/// High-level facade around the distributed pipeline + baselines.
+class Runner {
+ public:
+  /// The graph must be connected (the model's standing assumption);
+  /// throws PreconditionError otherwise.  The graph is stored by value so
+  /// a Runner can safely outlive its argument.
+  explicit Runner(Graph graph);
+
+  /// Runs the distributed pipeline (and baseline cross-check) once.
+  AnalysisReport analyze(const AnalysisOptions& options = {}) const;
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  Graph graph_;
+};
+
+}  // namespace congestbc

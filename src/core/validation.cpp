@@ -1,0 +1,74 @@
+#include "core/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+namespace {
+template <typename Ref>
+ErrorStats compare_impl(const std::vector<double>& estimate,
+                        const std::vector<Ref>& reference, double rel_floor) {
+  CBC_EXPECTS(estimate.size() == reference.size(), "size mismatch");
+  CBC_EXPECTS(!estimate.empty(), "empty vectors");
+  ErrorStats stats;
+  double total_abs = 0.0;
+  for (std::size_t i = 0; i < estimate.size(); ++i) {
+    const double ref = static_cast<double>(reference[i]);
+    const double abs_err = std::abs(estimate[i] - ref);
+    const double rel_err = abs_err / std::max(std::abs(ref), rel_floor);
+    total_abs += abs_err;
+    if (rel_err > stats.max_rel_error) {
+      stats.max_rel_error = rel_err;
+      stats.worst_index = i;
+    }
+    stats.max_abs_error = std::max(stats.max_abs_error, abs_err);
+  }
+  stats.mean_abs_error = total_abs / static_cast<double>(estimate.size());
+  return stats;
+}
+}  // namespace
+
+ErrorStats compare_vectors(const std::vector<double>& estimate,
+                           const std::vector<double>& reference,
+                           double rel_floor) {
+  return compare_impl(estimate, reference, rel_floor);
+}
+
+ErrorStats compare_vectors(const std::vector<double>& estimate,
+                           const std::vector<long double>& reference,
+                           double rel_floor) {
+  return compare_impl(estimate, reference, rel_floor);
+}
+
+double top_k_overlap(const std::vector<double>& estimate,
+                     const std::vector<double>& reference, std::size_t k) {
+  CBC_EXPECTS(estimate.size() == reference.size(), "size mismatch");
+  CBC_EXPECTS(k >= 1 && k <= estimate.size(), "k out of range");
+  auto top_indices = [k](const std::vector<double>& values) {
+    std::vector<std::size_t> order(values.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(k),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        if (values[a] != values[b]) {
+                          return values[a] > values[b];
+                        }
+                        return a < b;
+                      });
+    order.resize(k);
+    std::sort(order.begin(), order.end());
+    return order;
+  };
+  const auto top_est = top_indices(estimate);
+  const auto top_ref = top_indices(reference);
+  std::vector<std::size_t> common;
+  std::set_intersection(top_est.begin(), top_est.end(), top_ref.begin(),
+                        top_ref.end(), std::back_inserter(common));
+  return static_cast<double>(common.size()) / static_cast<double>(k);
+}
+
+}  // namespace congestbc

@@ -1,0 +1,35 @@
+// Error metrics for comparing centrality vectors — used by the test suite
+// and by every bench that reports "distributed vs Brandes" parity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace congestbc {
+
+/// Summary of elementwise differences between an estimate and a reference.
+struct ErrorStats {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;  ///< relative to max(|ref|, floor)
+  double mean_abs_error = 0.0;
+  std::size_t worst_index = 0;
+};
+
+/// Compares estimate against reference.  `rel_floor` guards the relative
+/// error of near-zero reference entries.
+ErrorStats compare_vectors(const std::vector<double>& estimate,
+                           const std::vector<double>& reference,
+                           double rel_floor = 1e-9);
+
+/// Long-double reference overload (exact Brandes ground truth).
+ErrorStats compare_vectors(const std::vector<double>& estimate,
+                           const std::vector<long double>& reference,
+                           double rel_floor = 1e-9);
+
+/// Spearman-style top-k overlap: fraction of the true top-k nodes that
+/// appear in the estimated top-k (used by the sampling benches — ranking
+/// is what approximate BC is used for in practice).
+double top_k_overlap(const std::vector<double>& estimate,
+                     const std::vector<double>& reference, std::size_t k);
+
+}  // namespace congestbc

@@ -1,0 +1,297 @@
+#include "fpa/soft_float.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/int128.hpp"
+
+namespace congestbc {
+
+namespace {
+
+using u128 = uint128_t;
+
+unsigned bit_width_u128(u128 value) {
+  const auto hi = static_cast<std::uint64_t>(value >> 64);
+  if (hi != 0) {
+    return 64 + bit_width_u64(hi);
+  }
+  const auto lo = static_cast<std::uint64_t>(value);
+  return lo == 0 ? 0 : bit_width_u64(lo);
+}
+
+/// Core normalization: rounds the exact value `value * 2^exponent` (with an
+/// extra "sticky" flag marking already-dropped low-order bits) into a
+/// mantissa of exactly format.mantissa_bits bits.
+SoftFloat normalize(u128 value, std::int64_t exponent, bool sticky,
+                    const SoftFloatFormat& format, RoundingMode mode) {
+  CBC_EXPECTS(format.mantissa_bits >= 2 && format.mantissa_bits <= 62,
+              "mantissa width out of supported range [2, 62]");
+  CBC_EXPECTS(format.exponent_bits >= 2 && format.exponent_bits <= 62,
+              "exponent width out of supported range [2, 62]");
+  if (value == 0) {
+    CBC_CHECK(!sticky, "cannot normalize a pure-sticky value");
+    return SoftFloat{};
+  }
+  const unsigned L = format.mantissa_bits;
+  unsigned width = bit_width_u128(value);
+  if (width > L) {
+    const unsigned shift = width - L;
+    const u128 dropped = value & ((u128{1} << shift) - 1);
+    value >>= shift;
+    exponent += shift;
+    const bool inexact = dropped != 0 || sticky;
+    bool round_up = false;
+    switch (mode) {
+      case RoundingMode::kUp:
+        round_up = inexact;
+        break;
+      case RoundingMode::kDown:
+        round_up = false;
+        break;
+      case RoundingMode::kNearest: {
+        const u128 half = u128{1} << (shift - 1);
+        round_up = dropped > half || (dropped == half);
+        break;
+      }
+    }
+    if (round_up) {
+      value += 1;
+      if (value == (u128{1} << L)) {
+        value >>= 1;
+        exponent += 1;
+      }
+    }
+  } else if (width < L) {
+    value <<= (L - width);
+    exponent -= (L - width);
+    if (sticky && mode == RoundingMode::kUp) {
+      value += 1;  // exact bits were dropped earlier; bump to stay >= exact
+      if (value == (u128{1} << L)) {
+        value >>= 1;
+        exponent += 1;
+      }
+    }
+  } else if (sticky && mode == RoundingMode::kUp) {
+    value += 1;
+    if (value == (u128{1} << L)) {
+      value >>= 1;
+      exponent += 1;
+    }
+  }
+  CBC_CHECK(exponent >= -format.exponent_limit() &&
+                exponent <= format.exponent_limit(),
+            "SoftFloat exponent out of format range");
+  SoftFloat result = SoftFloat::make_raw(static_cast<std::uint64_t>(value),
+                                         exponent);
+  return result;
+}
+
+}  // namespace
+
+SoftFloatFormat SoftFloatFormat::for_graph(std::uint64_t num_nodes,
+                                           unsigned extra) {
+  CBC_EXPECTS(num_nodes >= 1, "graph must have at least one node");
+  const unsigned log_n = ceil_log2(num_nodes < 2 ? 2 : num_nodes);
+  unsigned mantissa = log_n + extra;
+  if (mantissa < 8) {
+    mantissa = 8;
+  }
+  if (mantissa > 62) {
+    mantissa = 62;
+  }
+  // sigma <= 2^N and reciprocals reach 2^-(N + 2L); psi sums add at most
+  // another factor of N.  Budget the exponent for |e| <= 4N + 8L + 128.
+  const std::uint64_t range = 4 * num_nodes + 8 * mantissa + 128;
+  unsigned exponent = ceil_log2(range) + 2;
+  if (exponent < 8) {
+    exponent = 8;
+  }
+  return SoftFloatFormat{mantissa, exponent};
+}
+
+SoftFloat SoftFloat::make_raw(std::uint64_t mantissa, std::int64_t exponent) {
+  SoftFloat f;
+  f.mantissa_ = mantissa;
+  f.exponent_ = mantissa == 0 ? 0 : exponent;
+  return f;
+}
+
+SoftFloat SoftFloat::make(std::uint64_t mantissa, std::int64_t exponent,
+                          const SoftFloatFormat& format, RoundingMode mode) {
+  return normalize(mantissa, exponent, /*sticky=*/false, format, mode);
+}
+
+SoftFloat SoftFloat::from_u64(std::uint64_t value, const SoftFloatFormat& format,
+                              RoundingMode mode) {
+  return normalize(value, 0, /*sticky=*/false, format, mode);
+}
+
+SoftFloat SoftFloat::from_big(const BigUint& value, const SoftFloatFormat& format,
+                              RoundingMode mode) {
+  const std::size_t width = value.bit_length();
+  if (width <= 64) {
+    return from_u64(value.is_zero() ? 0 : value.to_u64(), format, mode);
+  }
+  const std::size_t shift = width - 64;
+  BigUint top = value >> shift;
+  const std::uint64_t mantissa = top.to_u64();
+  // sticky = any dropped bit set
+  BigUint reconstructed = top << shift;
+  const bool sticky = reconstructed != value;
+  return normalize(mantissa, static_cast<std::int64_t>(shift), sticky, format,
+                   mode);
+}
+
+SoftFloat SoftFloat::from_double(double value, const SoftFloatFormat& format,
+                                 RoundingMode mode) {
+  CBC_EXPECTS(std::isfinite(value) && value >= 0.0,
+              "from_double requires a finite non-negative value");
+  if (value == 0.0) {
+    return SoftFloat{};
+  }
+  int exp = 0;
+  const double y = std::frexp(value, &exp);  // y in [0.5, 1)
+  // y = m / 2^53 with m a 53-bit integer, so y * 2^62 is exact.
+  const auto mantissa = static_cast<std::uint64_t>(std::ldexp(y, 62));
+  return normalize(mantissa, static_cast<std::int64_t>(exp) - 62,
+                   /*sticky=*/false, format, mode);
+}
+
+double SoftFloat::to_double() const {
+  if (mantissa_ == 0) {
+    return 0.0;
+  }
+  return std::ldexp(static_cast<double>(mantissa_),
+                    static_cast<int>(exponent_));
+}
+
+void SoftFloat::pack(BitWriter& writer, const SoftFloatFormat& format) const {
+  if (mantissa_ == 0) {
+    writer.write_bool(true);
+    writer.write(0, format.mantissa_bits);
+    writer.write(0, format.exponent_bits);
+    return;
+  }
+  CBC_CHECK(bit_width_u64(mantissa_) == format.mantissa_bits,
+            "packing a SoftFloat with a mismatched format");
+  const std::int64_t biased = exponent_ + format.exponent_limit();
+  CBC_CHECK(biased >= 0 &&
+                biased < (std::int64_t{1} << format.exponent_bits),
+            "exponent does not fit the wire format");
+  writer.write_bool(false);
+  writer.write(mantissa_, format.mantissa_bits);
+  writer.write(static_cast<std::uint64_t>(biased), format.exponent_bits);
+}
+
+SoftFloat SoftFloat::unpack(BitReader& reader, const SoftFloatFormat& format) {
+  const bool zero = reader.read_bool();
+  const std::uint64_t mantissa = reader.read(format.mantissa_bits);
+  const std::uint64_t biased = reader.read(format.exponent_bits);
+  if (zero) {
+    return SoftFloat{};
+  }
+  CBC_CHECK(bit_width_u64(mantissa) == format.mantissa_bits,
+            "wire mantissa is not normalized");
+  return make_raw(mantissa,
+                  static_cast<std::int64_t>(biased) - format.exponent_limit());
+}
+
+std::string SoftFloat::to_string() const {
+  std::ostringstream os;
+  os << mantissa_ << "*2^" << exponent_;
+  return os.str();
+}
+
+SoftFloat add(const SoftFloat& a, const SoftFloat& b,
+              const SoftFloatFormat& format, RoundingMode mode) {
+  if (a.is_zero()) {
+    return normalize(b.mantissa(), b.exponent(), false, format, mode);
+  }
+  if (b.is_zero()) {
+    return normalize(a.mantissa(), a.exponent(), false, format, mode);
+  }
+  const SoftFloat& hi = a.exponent() >= b.exponent() ? a : b;
+  const SoftFloat& lo = a.exponent() >= b.exponent() ? b : a;
+  const std::int64_t diff = hi.exponent() - lo.exponent();
+  if (diff > 64) {
+    // The smaller addend is below one ulp of the larger at 128-bit width;
+    // fold it into the sticky flag.
+    return normalize(hi.mantissa(), hi.exponent(), /*sticky=*/true, format,
+                     mode);
+  }
+  const u128 sum = (static_cast<u128>(hi.mantissa()) << static_cast<unsigned>(diff)) +
+                   lo.mantissa();
+  return normalize(sum, lo.exponent(), /*sticky=*/false, format, mode);
+}
+
+SoftFloat multiply(const SoftFloat& a, const SoftFloat& b,
+                   const SoftFloatFormat& format, RoundingMode mode) {
+  if (a.is_zero() || b.is_zero()) {
+    return SoftFloat{};
+  }
+  const u128 product = static_cast<u128>(a.mantissa()) * b.mantissa();
+  return normalize(product, a.exponent() + b.exponent(), false, format, mode);
+}
+
+SoftFloat reciprocal(const SoftFloat& a, const SoftFloatFormat& format,
+                     RoundingMode mode) {
+  CBC_EXPECTS(!a.is_zero(), "reciprocal of zero");
+  const unsigned L = bit_width_u64(a.mantissa());
+  // 1/(m * 2^e) = (2^(2L-1)/m) * 2^(-e-(2L-1)); the quotient lies in
+  // [2^(L-1), 2^L].
+  const u128 numerator = u128{1} << (2 * L - 1);
+  const u128 q = numerator / a.mantissa();
+  const u128 r = numerator % a.mantissa();
+  const std::int64_t exponent = -a.exponent() - (2 * static_cast<std::int64_t>(L) - 1);
+  return normalize(q, exponent, /*sticky=*/r != 0, format, mode);
+}
+
+int compare(const SoftFloat& a, const SoftFloat& b) {
+  if (a.is_zero() || b.is_zero()) {
+    if (a.is_zero() && b.is_zero()) {
+      return 0;
+    }
+    return a.is_zero() ? -1 : 1;
+  }
+  const std::int64_t msb_a =
+      a.exponent() + static_cast<std::int64_t>(bit_width_u64(a.mantissa()));
+  const std::int64_t msb_b =
+      b.exponent() + static_cast<std::int64_t>(bit_width_u64(b.mantissa()));
+  if (msb_a != msb_b) {
+    return msb_a < msb_b ? -1 : 1;
+  }
+  // Equal magnitude class: align to the lower exponent and compare exactly.
+  const std::int64_t diff = a.exponent() - b.exponent();
+  u128 ma = a.mantissa();
+  u128 mb = b.mantissa();
+  if (diff >= 0) {
+    ma <<= static_cast<unsigned>(diff);
+  } else {
+    mb <<= static_cast<unsigned>(-diff);
+  }
+  if (ma == mb) {
+    return 0;
+  }
+  return ma < mb ? -1 : 1;
+}
+
+int compare_with_big(const SoftFloat& a, const BigUint& b) {
+  if (a.is_zero()) {
+    return b.is_zero() ? 0 : -1;
+  }
+  const BigUint mantissa(a.mantissa());
+  if (a.exponent() >= 0) {
+    const BigUint lhs = mantissa << static_cast<std::size_t>(a.exponent());
+    return lhs.compare(b);
+  }
+  const BigUint rhs = b << static_cast<std::size_t>(-a.exponent());
+  return mantissa.compare(rhs);
+}
+
+double unit_relative_error(const SoftFloatFormat& format) {
+  return std::ldexp(1.0, -static_cast<int>(format.mantissa_bits) + 1);
+}
+
+}  // namespace congestbc

@@ -1,0 +1,134 @@
+// The paper's floating-point message encoding (Section VI).
+//
+// The number of shortest paths sigma_st can be exponential in N, but a
+// CONGEST message carries only O(log N) bits.  The paper therefore
+// represents every transmitted value as a = y * 2^x with y stored in L
+// mantissa bits and x in an O(log N)-bit exponent (2L bits total), and
+// proves (Lemma 1, Theorem 1) that ceil-rounding sigma and floor-rounding
+// the psi sums keeps the final betweenness centrality within relative
+// error O(2^-L).
+//
+// SoftFloat implements exactly that encoding with *directed* rounding:
+//   * RoundingMode::kUp   — result >= exact value (used for sigma, Lemma 1);
+//   * RoundingMode::kDown — result <= exact value (used for psi sums);
+//   * RoundingMode::kNearest — for ablation experiments (DESIGN.md D2).
+// Every arithmetic operation takes the format and mode explicitly so that
+// the error-bound experiments (bench_fp_error) can sweep L and the
+// rounding policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bignum/big_uint.hpp"
+#include "common/bit_io.hpp"
+
+namespace congestbc {
+
+/// Directed rounding policy for SoftFloat operations.
+enum class RoundingMode {
+  kUp,       ///< toward +infinity: result >= exact
+  kDown,     ///< toward zero/-infinity: result <= exact
+  kNearest,  ///< round half up; no one-sided guarantee
+};
+
+/// Bit layout of a transmitted value: 1 zero-flag bit + mantissa_bits +
+/// exponent_bits.  The paper's "2L bits" corresponds to
+/// mantissa_bits == exponent_bits == L.
+struct SoftFloatFormat {
+  unsigned mantissa_bits;
+  unsigned exponent_bits;
+
+  unsigned total_bits() const { return 1 + mantissa_bits + exponent_bits; }
+
+  /// Largest exponent magnitude representable (bias encoding).
+  std::int64_t exponent_limit() const {
+    return (std::int64_t{1} << (exponent_bits - 1)) - 1;
+  }
+
+  /// Format sized for an N-node graph: L = ceil(log2 N) + `extra` mantissa
+  /// bits, exponent wide enough for sigma up to 2^(2N) and its
+  /// reciprocals.  With extra = c*ceil(log2 N) the final BC error is
+  /// O(N^-c) (Corollary 1).
+  static SoftFloatFormat for_graph(std::uint64_t num_nodes, unsigned extra = 24);
+};
+
+/// A non-negative value mantissa * 2^exponent with the mantissa normalized
+/// into [2^(L-1), 2^L) (or exactly zero).  Immutable value type; all
+/// operations are free functions carrying the format/rounding explicitly.
+class SoftFloat {
+ public:
+  /// Zero.
+  SoftFloat() = default;
+
+  /// From an exact 64-bit count.
+  static SoftFloat from_u64(std::uint64_t value, const SoftFloatFormat& format,
+                            RoundingMode mode);
+
+  /// From an exact arbitrary-precision count.
+  static SoftFloat from_big(const BigUint& value, const SoftFloatFormat& format,
+                            RoundingMode mode);
+
+  /// From a finite non-negative double (exact capture of the 53-bit
+  /// mantissa, then normalized into the format).
+  static SoftFloat from_double(double value, const SoftFloatFormat& format,
+                               RoundingMode mode);
+
+  bool is_zero() const { return mantissa_ == 0; }
+  std::uint64_t mantissa() const { return mantissa_; }
+  std::int64_t exponent() const { return exponent_; }
+
+  /// Closest double (may be inf/0 for extreme exponents).
+  double to_double() const;
+
+  /// Serialization into a CONGEST message.
+  void pack(BitWriter& writer, const SoftFloatFormat& format) const;
+  static SoftFloat unpack(BitReader& reader, const SoftFloatFormat& format);
+
+  /// "m*2^e" debug form.
+  std::string to_string() const;
+
+  friend bool operator==(const SoftFloat& a, const SoftFloat& b) {
+    return a.mantissa_ == b.mantissa_ && (a.mantissa_ == 0 || a.exponent_ == b.exponent_);
+  }
+  friend bool operator!=(const SoftFloat& a, const SoftFloat& b) {
+    return !(a == b);
+  }
+
+  /// Raw constructor for internal/test use; normalizes `mantissa` into the
+  /// format with the given rounding.
+  static SoftFloat make(std::uint64_t mantissa, std::int64_t exponent,
+                        const SoftFloatFormat& format, RoundingMode mode);
+
+  /// Bit-exact constructor; trusts the caller that `mantissa` is already
+  /// normalized for its format.  Used by unpack and the arithmetic core.
+  static SoftFloat make_raw(std::uint64_t mantissa, std::int64_t exponent);
+
+ private:
+  std::uint64_t mantissa_ = 0;
+  std::int64_t exponent_ = 0;
+};
+
+/// a + b with directed rounding.
+SoftFloat add(const SoftFloat& a, const SoftFloat& b,
+              const SoftFloatFormat& format, RoundingMode mode);
+
+/// a * b with directed rounding.
+SoftFloat multiply(const SoftFloat& a, const SoftFloat& b,
+                   const SoftFloatFormat& format, RoundingMode mode);
+
+/// 1 / a with directed rounding.  Precondition: a != 0.
+SoftFloat reciprocal(const SoftFloat& a, const SoftFloatFormat& format,
+                     RoundingMode mode);
+
+/// Three-way comparison of the exact values (format-independent).
+int compare(const SoftFloat& a, const SoftFloat& b);
+
+/// Three-way comparison of a SoftFloat against an exact integer.
+int compare_with_big(const SoftFloat& a, const BigUint& b);
+
+/// Upper bound on the one-step relative error of the format: 2^-(L-1)
+/// (Lemma 1's bound with L mantissa bits).
+double unit_relative_error(const SoftFloatFormat& format);
+
+}  // namespace congestbc

@@ -1,0 +1,425 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace congestbc::gen {
+
+Graph path(NodeId n) {
+  CBC_EXPECTS(n >= 1, "path needs >= 1 node");
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    edges.push_back({v, v + 1});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph cycle(NodeId n) {
+  CBC_EXPECTS(n >= 3, "cycle needs >= 3 nodes");
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    edges.push_back({v, v + 1});
+  }
+  edges.push_back({0, n - 1});
+  return Graph(n, std::move(edges));
+}
+
+Graph star(NodeId n) {
+  CBC_EXPECTS(n >= 2, "star needs >= 2 nodes");
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId v = 1; v < n; ++v) {
+    edges.push_back({0, v});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph complete(NodeId n) {
+  CBC_EXPECTS(n >= 2, "complete graph needs >= 2 nodes");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      edges.push_back({u, v});
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  CBC_EXPECTS(a >= 1 && b >= 1, "both sides need >= 1 node");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) {
+      edges.push_back({u, a + v});
+    }
+  }
+  return Graph(a + b, std::move(edges));
+}
+
+Graph wheel(NodeId n) {
+  CBC_EXPECTS(n >= 4, "wheel needs >= 4 nodes");
+  std::vector<Edge> edges;
+  const NodeId hub = n - 1;
+  for (NodeId v = 0; v + 1 < hub; ++v) {
+    edges.push_back({v, v + 1});
+  }
+  edges.push_back({0, static_cast<NodeId>(hub - 1)});
+  for (NodeId v = 0; v < hub; ++v) {
+    edges.push_back({v, hub});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph balanced_tree(NodeId branching, unsigned height) {
+  CBC_EXPECTS(branching >= 2, "branching must be >= 2");
+  GraphBuilder builder;
+  builder.add_node();  // root = 0
+  std::vector<NodeId> frontier{0};
+  for (unsigned level = 0; level < height; ++level) {
+    std::vector<NodeId> next;
+    for (const NodeId parent : frontier) {
+      for (NodeId c = 0; c < branching; ++c) {
+        const NodeId child = builder.add_node();
+        builder.add_edge(parent, child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return std::move(builder).build();
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  CBC_EXPECTS(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.push_back({id(r, c), id(r, c + 1)});
+      }
+      if (r + 1 < rows) {
+        edges.push_back({id(r, c), id(r + 1, c)});
+      }
+    }
+  }
+  return Graph(rows * cols, std::move(edges));
+}
+
+Graph hypercube(unsigned dim) {
+  CBC_EXPECTS(dim >= 1 && dim <= 20, "hypercube dimension out of range");
+  const NodeId n = NodeId{1} << dim;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (NodeId v = 0; v < n; ++v) {
+    for (unsigned d = 0; d < dim; ++d) {
+      const NodeId w = v ^ (NodeId{1} << d);
+      if (v < w) {
+        edges.push_back({v, w});
+      }
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph random_tree(NodeId n, Rng& rng) {
+  CBC_EXPECTS(n >= 1, "tree needs >= 1 node");
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (NodeId v = 1; v < n; ++v) {
+    const auto parent = static_cast<NodeId>(rng.next_below(v));
+    edges.push_back({parent, v});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph erdos_renyi_connected(NodeId n, double p, Rng& rng) {
+  CBC_EXPECTS(n >= 1, "graph needs >= 1 node");
+  CBC_EXPECTS(p >= 0.0 && p <= 1.0, "probability out of range");
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.next_bernoulli(p)) {
+        edges.push_back({u, v});
+      }
+    }
+  }
+  // Connectivity backbone: a random recursive tree.
+  for (NodeId v = 1; v < n; ++v) {
+    const auto parent = static_cast<NodeId>(rng.next_below(v));
+    edges.push_back({parent, v});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph barabasi_albert(NodeId n, NodeId attach, Rng& rng) {
+  CBC_EXPECTS(attach >= 1, "attachment count must be >= 1");
+  CBC_EXPECTS(n > attach, "graph must be larger than the seed clique");
+  std::vector<Edge> edges;
+  // Seed: a small clique of attach+1 nodes.
+  for (NodeId u = 0; u <= attach; ++u) {
+    for (NodeId v = u + 1; v <= attach; ++v) {
+      edges.push_back({u, v});
+    }
+  }
+  // Repeated-endpoint list implements preferential attachment.
+  std::vector<NodeId> endpoints;
+  for (const auto& e : edges) {
+    endpoints.push_back(e.u);
+    endpoints.push_back(e.v);
+  }
+  for (NodeId v = attach + 1; v < n; ++v) {
+    std::vector<NodeId> chosen;
+    while (chosen.size() < attach) {
+      const NodeId candidate =
+          endpoints[static_cast<std::size_t>(rng.next_below(endpoints.size()))];
+      if (std::find(chosen.begin(), chosen.end(), candidate) == chosen.end()) {
+        chosen.push_back(candidate);
+      }
+    }
+    for (const NodeId target : chosen) {
+      edges.push_back({target, v});
+      endpoints.push_back(target);
+      endpoints.push_back(v);
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph watts_strogatz(NodeId n, NodeId k, double beta, Rng& rng) {
+  CBC_EXPECTS(n >= 4, "WS needs >= 4 nodes");
+  CBC_EXPECTS(k >= 1 && 2 * k < n, "k out of range");
+  CBC_EXPECTS(beta >= 0.0 && beta <= 1.0, "beta out of range");
+  std::vector<Edge> edges;
+  auto mod = [n](NodeId v) { return static_cast<NodeId>(v % n); };
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId j = 1; j <= k; ++j) {
+      NodeId target = mod(v + j);
+      if (j >= 2 && rng.next_bernoulli(beta)) {
+        // Rewire to a uniform non-self target; the j==1 ring is kept so
+        // the graph stays connected.
+        target = static_cast<NodeId>(rng.next_below(n));
+        if (target == v) {
+          target = mod(v + 1);
+        }
+      }
+      if (target != v) {
+        edges.push_back({std::min(v, target), std::max(v, target)});
+      }
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph lollipop(NodeId m, NodeId tail) {
+  CBC_EXPECTS(m >= 3, "clique needs >= 3 nodes");
+  CBC_EXPECTS(tail >= 1, "tail needs >= 1 node");
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < m; ++u) {
+    for (NodeId v = u + 1; v < m; ++v) {
+      edges.push_back({u, v});
+    }
+  }
+  for (NodeId i = 0; i < tail; ++i) {
+    const NodeId from = i == 0 ? static_cast<NodeId>(m - 1)
+                               : static_cast<NodeId>(m + i - 1);
+    edges.push_back({from, static_cast<NodeId>(m + i)});
+  }
+  return Graph(m + tail, std::move(edges));
+}
+
+Graph barbell(NodeId m, NodeId bridge) {
+  CBC_EXPECTS(m >= 3, "cliques need >= 3 nodes");
+  std::vector<Edge> edges;
+  const NodeId right = m + bridge;
+  for (NodeId u = 0; u < m; ++u) {
+    for (NodeId v = u + 1; v < m; ++v) {
+      edges.push_back({u, v});
+      edges.push_back({static_cast<NodeId>(right + u),
+                       static_cast<NodeId>(right + v)});
+    }
+  }
+  NodeId prev = m - 1;
+  for (NodeId i = 0; i < bridge; ++i) {
+    edges.push_back({prev, static_cast<NodeId>(m + i)});
+    prev = static_cast<NodeId>(m + i);
+  }
+  edges.push_back({prev, right});
+  return Graph(right + m, std::move(edges));
+}
+
+Graph caterpillar(NodeId spine, NodeId legs) {
+  CBC_EXPECTS(spine >= 1, "spine needs >= 1 node");
+  GraphBuilder builder;
+  NodeId prev = builder.add_node();
+  for (NodeId leg = 0; leg < legs; ++leg) {
+    builder.add_edge(prev, builder.add_node());
+  }
+  for (NodeId s = 1; s < spine; ++s) {
+    const NodeId cur = builder.add_node();
+    builder.add_edge(prev, cur);
+    for (NodeId leg = 0; leg < legs; ++leg) {
+      builder.add_edge(cur, builder.add_node());
+    }
+    prev = cur;
+  }
+  return std::move(builder).build();
+}
+
+Graph diamond_chain(unsigned k) {
+  CBC_EXPECTS(k >= 1, "chain needs >= 1 diamond");
+  GraphBuilder builder;
+  NodeId tail = builder.add_node();
+  for (unsigned i = 0; i < k; ++i) {
+    const NodeId top = builder.add_node();
+    const NodeId bottom = builder.add_node();
+    const NodeId head = builder.add_node();
+    builder.add_edge(tail, top);
+    builder.add_edge(tail, bottom);
+    builder.add_edge(top, head);
+    builder.add_edge(bottom, head);
+    tail = head;
+  }
+  return std::move(builder).build();
+}
+
+Graph layered_blowup(NodeId width, unsigned depth) {
+  CBC_EXPECTS(width >= 1 && depth >= 1, "need positive width and depth");
+  GraphBuilder builder;
+  const NodeId source = builder.add_node();
+  std::vector<NodeId> prev{source};
+  for (unsigned level = 0; level < depth; ++level) {
+    std::vector<NodeId> layer;
+    for (NodeId i = 0; i < width; ++i) {
+      layer.push_back(builder.add_node());
+    }
+    for (const NodeId a : prev) {
+      for (const NodeId b : layer) {
+        builder.add_edge(a, b);
+      }
+    }
+    prev = std::move(layer);
+  }
+  const NodeId sink = builder.add_node();
+  for (const NodeId a : prev) {
+    builder.add_edge(a, sink);
+  }
+  return std::move(builder).build();
+}
+
+Graph stochastic_block_model(NodeId blocks, NodeId per_block, double p_in,
+                             double p_out, Rng& rng) {
+  CBC_EXPECTS(blocks >= 1 && per_block >= 1, "need positive sizes");
+  CBC_EXPECTS(p_in >= 0.0 && p_in <= 1.0 && p_out >= 0.0 && p_out <= 1.0,
+              "probabilities out of range");
+  const NodeId n = blocks * per_block;
+  std::vector<Edge> edges;
+  auto block_of = [per_block](NodeId v) { return v / per_block; };
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double p = block_of(u) == block_of(v) ? p_in : p_out;
+      if (rng.next_bernoulli(p)) {
+        edges.push_back({u, v});
+      }
+    }
+  }
+  // Connectivity backbone: a path within each block plus a ring of
+  // block representatives.
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    if (block_of(v) == block_of(v + 1)) {
+      edges.push_back({v, static_cast<NodeId>(v + 1)});
+    }
+  }
+  for (NodeId b = 0; b + 1 < blocks; ++b) {
+    edges.push_back({static_cast<NodeId>(b * per_block),
+                     static_cast<NodeId>((b + 1) * per_block)});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph random_geometric(NodeId n, double radius, Rng& rng) {
+  CBC_EXPECTS(n >= 2, "need >= 2 nodes");
+  CBC_EXPECTS(radius > 0.0, "radius must be positive");
+  std::vector<std::pair<double, double>> points(n);
+  for (auto& [x, y] : points) {
+    x = rng.next_double();
+    y = rng.next_double();
+  }
+  // Sort by x so the connectivity backbone follows the geometry.
+  std::sort(points.begin(), points.end());
+  std::vector<Edge> edges;
+  const double r2 = radius * radius;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = points[u].first - points[v].first;
+      if (dx * dx > r2) {
+        break;  // points are x-sorted; no farther v can be in range
+      }
+      const double dy = points[u].second - points[v].second;
+      if (dx * dx + dy * dy <= r2) {
+        edges.push_back({u, v});
+      }
+    }
+  }
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    edges.push_back({v, static_cast<NodeId>(v + 1)});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph figure1_example() {
+  // Paper Figure 1: v1..v5 (0-based here).  Shortest-path structure gives
+  // C_B(v2) = 7/2 in the undirected convention used by the paper.
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 4}};
+  return Graph(5, std::move(edges));
+}
+
+std::vector<NamedGraph> standard_suite(NodeId n, std::uint64_t seed) {
+  CBC_EXPECTS(n >= 8, "suite graphs need >= 8 nodes");
+  Rng rng(seed);
+  std::vector<NamedGraph> suite;
+  suite.push_back({"path", path(n)});
+  suite.push_back({"cycle", cycle(n)});
+  suite.push_back({"star", star(n)});
+  suite.push_back({"complete", complete(static_cast<NodeId>(std::min<NodeId>(n, 24)))});
+  suite.push_back({"bipartite", complete_bipartite(n / 2, n - n / 2)});
+  suite.push_back({"tree:random", random_tree(n, rng)});
+  {
+    const auto height = static_cast<unsigned>(
+        std::max(1.0, std::floor(std::log2(static_cast<double>(n)))) - 1);
+    suite.push_back({"tree:binary", balanced_tree(2, height)});
+  }
+  {
+    const auto side = static_cast<NodeId>(
+        std::max(2.0, std::round(std::sqrt(static_cast<double>(n)))));
+    suite.push_back({"grid", grid(side, side)});
+  }
+  suite.push_back({"ER(p=2lnN/N)",
+                   erdos_renyi_connected(
+                       n, std::min(1.0, 2.0 * std::log(static_cast<double>(n)) /
+                                            static_cast<double>(n)),
+                       rng)});
+  suite.push_back({"BA(m=2)", barabasi_albert(n, 2, rng)});
+  suite.push_back({"WS(k=2,b=0.2)", watts_strogatz(n, 2, 0.2, rng)});
+  suite.push_back({"lollipop", lollipop(n / 2, n - n / 2)});
+  suite.push_back({"barbell", barbell(n / 3, n / 4)});
+  {
+    const NodeId blocks = 4;
+    const NodeId per_block = std::max<NodeId>(2, n / blocks);
+    suite.push_back({"SBM(4 blocks)",
+                     stochastic_block_model(blocks, per_block, 0.4, 0.02,
+                                            rng)});
+  }
+  suite.push_back({"geometric", random_geometric(
+                                    n, 1.8 / std::sqrt(static_cast<double>(n)),
+                                    rng)});
+  return suite;
+}
+
+}  // namespace congestbc::gen

@@ -1,0 +1,103 @@
+// Deterministic workload generators.
+//
+// Every generator returns a *connected* graph (the paper's algorithm, like
+// Brandes', assumes a connected network), and takes an explicit Rng where
+// randomness is involved so experiments are reproducible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace congestbc::gen {
+
+/// Simple path 0-1-...-(n-1).  n >= 1.
+Graph path(NodeId n);
+
+/// Cycle on n >= 3 nodes.
+Graph cycle(NodeId n);
+
+/// Star with center 0 and n-1 leaves.  n >= 2.
+Graph star(NodeId n);
+
+/// Complete graph K_n.  n >= 2.
+Graph complete(NodeId n);
+
+/// Complete bipartite K_{a,b}; side A is 0..a-1.  a, b >= 1.
+Graph complete_bipartite(NodeId a, NodeId b);
+
+/// Wheel: cycle on n-1 nodes plus a hub.  n >= 4.
+Graph wheel(NodeId n);
+
+/// Perfect `branching`-ary tree of the given height (height 0 = single
+/// node).  branching >= 2.
+Graph balanced_tree(NodeId branching, unsigned height);
+
+/// rows x cols grid.  rows, cols >= 1, rows*cols >= 1.
+Graph grid(NodeId rows, NodeId cols);
+
+/// d-dimensional hypercube (2^d nodes).  d >= 1.
+Graph hypercube(unsigned dim);
+
+/// Uniform random recursive tree on n nodes.  n >= 1.
+Graph random_tree(NodeId n, Rng& rng);
+
+/// Erdős–Rényi G(n, p) unioned with a random spanning tree so the result
+/// is always connected (documented deviation from pure ER).
+Graph erdos_renyi_connected(NodeId n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `attach` existing nodes.  n > attach >= 1.
+Graph barabasi_albert(NodeId n, NodeId attach, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbors per side;
+/// the non-adjacent lattice edges are rewired with probability `beta`.
+/// The immediate ring is kept intact so the graph stays connected.
+Graph watts_strogatz(NodeId n, NodeId k, double beta, Rng& rng);
+
+/// Lollipop: K_m glued to a path of `tail` extra nodes — the classic
+/// high-betweenness bridge workload.  m >= 3, tail >= 1.
+Graph lollipop(NodeId m, NodeId tail);
+
+/// Barbell: two K_m cliques joined by a path of `bridge` nodes.
+Graph barbell(NodeId m, NodeId bridge);
+
+/// Caterpillar: spine path with `legs` leaves per spine node.
+Graph caterpillar(NodeId spine, NodeId legs);
+
+/// Chain of `k` diamond gadgets: the number of shortest paths end-to-end
+/// is exactly 2^k — the soft-float torture test.
+Graph diamond_chain(unsigned k);
+
+/// `depth` layers of `width` nodes, consecutive layers completely joined,
+/// with single endpoint nodes on both sides: sigma(s, t) = width^depth.
+Graph layered_blowup(NodeId width, unsigned depth);
+
+/// Stochastic block model ("planted partition"): `blocks` communities of
+/// `per_block` nodes; intra-community edge probability p_in, inter
+/// p_out.  A spanning backbone keeps it connected.
+Graph stochastic_block_model(NodeId blocks, NodeId per_block, double p_in,
+                             double p_out, Rng& rng);
+
+/// Random geometric graph on the unit square: nodes within `radius`
+/// connect; a backbone path through the x-sorted order keeps it
+/// connected.
+Graph random_geometric(NodeId n, double radius, Rng& rng);
+
+/// The 5-node worked example of the paper's Figure 1:
+/// edges {v1v2, v2v3, v2v5, v3v4, v4v5} with v_i mapped to id i-1.
+Graph figure1_example();
+
+/// A generated graph together with a descriptive name, for sweep tables.
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+/// A cross-family suite of connected graphs of roughly `n` nodes each,
+/// used by integration tests and benches.
+std::vector<NamedGraph> standard_suite(NodeId n, std::uint64_t seed);
+
+}  // namespace congestbc::gen

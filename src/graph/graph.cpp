@@ -1,0 +1,87 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+Graph::Graph(NodeId num_nodes, std::vector<Edge> edges)
+    : num_nodes_(num_nodes) {
+  for (auto& e : edges) {
+    CBC_EXPECTS(e.u != e.v, "self-loops are not allowed");
+    if (e.u > e.v) {
+      std::swap(e.u, e.v);
+    }
+    CBC_EXPECTS(e.v < num_nodes_, "edge endpoint out of range");
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges_ = std::move(edges);
+
+  offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const auto& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  targets_.resize(2 * edges_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    targets_[cursor[e.u]++] = e.v;
+    targets_[cursor[e.v]++] = e.u;
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    std::sort(targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+              targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]));
+  }
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  CBC_EXPECTS(v < num_nodes_, "node out of range");
+  return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+std::size_t Graph::degree(NodeId v) const {
+  CBC_EXPECTS(v < num_nodes_, "node out of range");
+  return offsets_[v + 1] - offsets_[v];
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+NodeId GraphBuilder::ensure_node(NodeId v) {
+  if (v >= num_nodes_) {
+    num_nodes_ = v + 1;
+  }
+  return v;
+}
+
+NodeId GraphBuilder::add_node() {
+  return num_nodes_++;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  CBC_EXPECTS(u != v, "self-loops are not allowed");
+  ensure_node(u);
+  ensure_node(v);
+  edges_.push_back(Edge{u, v});
+}
+
+Graph GraphBuilder::build() && {
+  return Graph(num_nodes_, std::move(edges_));
+}
+
+}  // namespace congestbc

@@ -1,0 +1,80 @@
+// Undirected, unweighted, simple graph — the paper's input model (§III-B).
+//
+// Stored in CSR (compressed sparse row) form for cache-friendly neighbor
+// iteration; immutable after construction.  Nodes are dense ids 0..N-1,
+// matching the paper's O(log N)-bit identifier assumption.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace congestbc {
+
+using NodeId = std::uint32_t;
+
+/// An undirected edge as an unordered pair (stored with u < v).
+struct Edge {
+  NodeId u;
+  NodeId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Immutable undirected simple graph in CSR form.
+class Graph {
+ public:
+  /// Builds from an edge list.  Self-loops are rejected; duplicate edges
+  /// are collapsed.  `num_nodes` may exceed the largest endpoint to allow
+  /// isolated vertices.
+  Graph(NodeId num_nodes, std::vector<Edge> edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Neighbors of `v` in increasing id order.
+  std::span<const NodeId> neighbors(NodeId v) const;
+
+  std::size_t degree(NodeId v) const;
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// The deduplicated, sorted edge list (u < v in each pair).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  std::size_t max_degree() const;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::size_t> offsets_;  // size num_nodes_ + 1
+  std::vector<NodeId> targets_;       // size 2 * num_edges
+};
+
+/// Convenience mutable builder when edges are discovered incrementally.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  /// Ensures the node exists; returns its id unchanged.
+  NodeId ensure_node(NodeId v);
+
+  /// Allocates a fresh node and returns its id.
+  NodeId add_node();
+
+  /// Adds an undirected edge; endpoints are created as needed.
+  void add_edge(NodeId u, NodeId v);
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Finalizes into an immutable Graph.
+  Graph build() &&;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace congestbc

@@ -1,0 +1,118 @@
+#include "graph/io.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+namespace {
+
+/// Pulls the next non-comment, non-blank line; false at end of stream.
+bool next_content_line(std::istream& in, std::string& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    out = line;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+
+  std::string header;
+  CBC_EXPECTS(next_content_line(in, header), "missing header line");
+  std::istringstream hs(header);
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  CBC_EXPECTS(static_cast<bool>(hs >> n >> m), "malformed header line");
+  CBC_EXPECTS(n <= 0xFFFFFFFFull, "node count too large");
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::string row;
+    CBC_EXPECTS(next_content_line(in, row), "fewer edges than header declares");
+    std::istringstream rs(row);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    CBC_EXPECTS(static_cast<bool>(rs >> u >> v), "malformed edge line");
+    CBC_EXPECTS(u < n && v < n, "edge endpoint out of range");
+    CBC_EXPECTS(u != v, "self-loop in edge list");
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  return Graph(static_cast<NodeId>(n), std::move(edges));
+}
+
+Graph read_edge_list_text(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const auto& e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+std::string write_edge_list_text(const Graph& g) {
+  std::ostringstream out;
+  write_edge_list(out, g);
+  return out.str();
+}
+
+WeightedGraph read_weighted_edge_list(std::istream& in) {
+  std::string header;
+  CBC_EXPECTS(next_content_line(in, header), "missing header line");
+  std::istringstream hs(header);
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  CBC_EXPECTS(static_cast<bool>(hs >> n >> m), "malformed header line");
+  CBC_EXPECTS(n <= 0xFFFFFFFFull, "node count too large");
+
+  std::vector<WeightedEdge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::string row;
+    CBC_EXPECTS(next_content_line(in, row), "fewer edges than header declares");
+    std::istringstream rs(row);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    std::uint64_t w = 0;
+    CBC_EXPECTS(static_cast<bool>(rs >> u >> v >> w), "malformed edge line");
+    CBC_EXPECTS(u < n && v < n, "edge endpoint out of range");
+    CBC_EXPECTS(u != v, "self-loop in edge list");
+    CBC_EXPECTS(w >= 1 && w <= 0xFFFFFFFFull, "weight out of range");
+    edges.push_back(WeightedEdge{static_cast<NodeId>(u),
+                                 static_cast<NodeId>(v),
+                                 static_cast<std::uint32_t>(w)});
+  }
+  return WeightedGraph(static_cast<NodeId>(n), std::move(edges));
+}
+
+WeightedGraph read_weighted_edge_list_text(const std::string& text) {
+  std::istringstream in(text);
+  return read_weighted_edge_list(in);
+}
+
+void write_weighted_edge_list(std::ostream& out, const WeightedGraph& g) {
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const auto& e : g.edges()) {
+    out << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  }
+}
+
+std::string write_weighted_edge_list_text(const WeightedGraph& g) {
+  std::ostringstream out;
+  write_weighted_edge_list(out, g);
+  return out.str();
+}
+
+}  // namespace congestbc

@@ -1,0 +1,37 @@
+// Plain-text edge-list serialization.
+//
+// Format: optional comment lines starting with '#', then a header line
+// "N M" (node and edge counts), then M lines "u v".  This is the common
+// denominator of SNAP/DIMACS-style datasets, so real traces can be dropped
+// in without conversion.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/weighted.hpp"
+
+namespace congestbc {
+
+/// Parses a graph from a stream.  Throws PreconditionError on malformed
+/// input (bad counts, out-of-range endpoints, self-loops).
+Graph read_edge_list(std::istream& in);
+
+/// Parses a graph from a string.
+Graph read_edge_list_text(const std::string& text);
+
+/// Writes the canonical edge-list representation.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Returns the canonical edge-list representation as a string.
+std::string write_edge_list_text(const Graph& g);
+
+/// Weighted variant: "N M" header then M lines "u v w" (positive integer
+/// weights).
+WeightedGraph read_weighted_edge_list(std::istream& in);
+WeightedGraph read_weighted_edge_list_text(const std::string& text);
+void write_weighted_edge_list(std::ostream& out, const WeightedGraph& g);
+std::string write_weighted_edge_list_text(const WeightedGraph& g);
+
+}  // namespace congestbc

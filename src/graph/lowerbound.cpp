@@ -1,0 +1,304 @@
+#include "graph/lowerbound.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "common/bit_io.hpp"
+#include "common/int128.hpp"
+
+namespace congestbc::lb {
+
+namespace {
+
+unsigned popcount_u64(std::uint64_t v) {
+  return static_cast<unsigned>(__builtin_popcountll(v));
+}
+
+void validate_family(const SetFamily& family) {
+  CBC_EXPECTS(family.universe() % 2 == 0, "universe size must be even");
+  CBC_EXPECTS(family.universe() >= 2 && family.universe() <= 62,
+              "universe size out of range [2, 62]");
+  for (std::size_t j = 0; j < family.size(); ++j) {
+    CBC_EXPECTS(popcount_u64(family.set_mask(j)) == family.universe() / 2,
+                "every subset must have cardinality m/2");
+    CBC_EXPECTS((family.set_mask(j) >> family.universe()) == 0,
+                "subset contains out-of-universe elements");
+  }
+}
+
+void validate_distinct(const SetFamily& family) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t j = 0; j < family.size(); ++j) {
+    CBC_EXPECTS(seen.insert(family.set_mask(j)).second,
+                "subsets within a family must be pairwise distinct");
+  }
+}
+
+}  // namespace
+
+SetFamily::SetFamily(unsigned universe, std::vector<std::uint64_t> sets)
+    : universe_(universe), sets_(std::move(sets)) {
+  validate_family(*this);
+}
+
+bool SetFamily::contains(std::size_t j, unsigned element) const {
+  CBC_EXPECTS(j < sets_.size(), "subset index out of range");
+  CBC_EXPECTS(element < universe_, "element out of universe");
+  return ((sets_[j] >> element) & 1u) != 0;
+}
+
+bool SetFamily::families_intersect(const SetFamily& x, const SetFamily& y) {
+  return !matches(x, y).empty();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> SetFamily::matches(
+    const SetFamily& x, const SetFamily& y) {
+  CBC_EXPECTS(x.universe() == y.universe(), "families must share a universe");
+  std::vector<std::pair<std::size_t, std::size_t>> result;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      if (x.set_mask(i) == y.set_mask(j)) {
+        result.emplace_back(i, j);
+      }
+    }
+  }
+  return result;
+}
+
+SetFamily SetFamily::random(std::size_t n, unsigned m, Rng& rng) {
+  CBC_EXPECTS(m % 2 == 0 && m >= 2 && m <= 62, "universe size out of range");
+  CBC_EXPECTS(binomial(m, m / 2) >= n, "not enough distinct subsets exist");
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<std::uint64_t> sets;
+  while (sets.size() < n) {
+    // Uniform subset via rank sampling.
+    const std::uint64_t total = binomial(m, m / 2);
+    const std::uint64_t mask = unrank_subset(m, rng.next_below(total));
+    if (chosen.insert(mask).second) {
+      sets.push_back(mask);
+    }
+  }
+  return SetFamily(m, std::move(sets));
+}
+
+std::uint64_t SetFamily::unrank_subset(unsigned m, std::uint64_t rank) {
+  const unsigned k = m / 2;
+  CBC_EXPECTS(rank < binomial(m, k), "rank out of range");
+  // Combinatorial number system, elements chosen high-to-low.
+  std::uint64_t mask = 0;
+  std::uint64_t remaining = rank;
+  unsigned need = k;
+  for (unsigned element = m; element > 0 && need > 0; --element) {
+    const unsigned e = element - 1;
+    // Number of k-subsets of the remaining universe that *exclude* e.
+    const std::uint64_t without = binomial(e, need);
+    if (remaining >= without) {
+      mask |= (std::uint64_t{1} << e);
+      remaining -= without;
+      --need;
+    }
+  }
+  CBC_CHECK(need == 0, "unranking failed to place all elements");
+  return mask;
+}
+
+std::uint64_t SetFamily::rank_subset(unsigned m, std::uint64_t mask) {
+  const unsigned k = m / 2;
+  CBC_EXPECTS(popcount_u64(mask) == k, "mask must have m/2 elements");
+  CBC_EXPECTS((mask >> m) == 0, "mask exceeds universe");
+  std::uint64_t rank = 0;
+  unsigned need = k;
+  for (unsigned element = m; element > 0 && need > 0; --element) {
+    const unsigned e = element - 1;
+    const std::uint64_t without = binomial(e, need);
+    if ((mask >> e) & 1u) {
+      rank += without;
+      --need;
+    }
+  }
+  return rank;
+}
+
+std::uint64_t binomial(unsigned n, unsigned k) {
+  if (k > n) {
+    return 0;
+  }
+  k = std::min(k, n - k);
+  uint128_t result = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+    if (result > UINT64_MAX) {
+      return UINT64_MAX;
+    }
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+unsigned min_universe_for(std::uint64_t n) {
+  const std::uint64_t target =
+      n >= (std::uint64_t{1} << 32) ? UINT64_MAX : n * n;
+  for (unsigned m = 2; m <= 62; m += 2) {
+    if (binomial(m, m / 2) >= target) {
+      return m;
+    }
+  }
+  return 62;
+}
+
+DiameterGadget build_diameter_gadget(const SetFamily& x_family,
+                                     const SetFamily& y_family, unsigned x) {
+  CBC_EXPECTS(x >= 8, "Lemma 8 requires x >= 8");
+  CBC_EXPECTS(x_family.universe() == y_family.universe(),
+              "families must share a universe");
+  validate_family(x_family);
+  validate_family(y_family);
+  const unsigned m = x_family.universe();
+  const std::size_t n_left = x_family.size();
+  const std::size_t n_right = y_family.size();
+  CBC_EXPECTS(n_left >= 1 && n_right >= 1, "families must be non-empty");
+
+  GraphBuilder builder;
+  std::vector<NodeId> l(m);
+  std::vector<NodeId> l_prime(m);
+  for (unsigned i = 0; i < m; ++i) {
+    l[i] = builder.add_node();
+    l_prime[i] = builder.add_node();
+  }
+  const NodeId a = builder.add_node();
+  const NodeId b = builder.add_node();
+
+  DiameterGadget gadget{Graph(0, {}), x, {}, {}, a, b, {}, 0};
+
+  // Adds a path of `length` edges between `from` and `to`, returning the
+  // middle edge as the cut representative.
+  auto add_long_path = [&](NodeId from, NodeId to, unsigned length) -> Edge {
+    CBC_CHECK(length >= 2, "crossing paths need length >= 2");
+    NodeId prev = from;
+    Edge middle{0, 0};
+    for (unsigned step = 1; step < length; ++step) {
+      const NodeId next = builder.add_node();
+      if (step == length / 2) {
+        middle = Edge{std::min(prev, next), std::max(prev, next)};
+      }
+      builder.add_edge(prev, next);
+      prev = next;
+    }
+    builder.add_edge(prev, to);
+    return middle;
+  };
+
+  for (unsigned i = 0; i < m; ++i) {
+    gadget.cut_edges.push_back(add_long_path(l[i], l_prime[i], x - 6));
+    builder.add_edge(a, l[i]);
+    builder.add_edge(b, l_prime[i]);
+  }
+  gadget.cut_edges.push_back(add_long_path(a, b, x - 6));
+
+  for (std::size_t j = 0; j < n_left; ++j) {
+    const NodeId s = builder.add_node();
+    const NodeId s2 = builder.add_node();  // S''_j
+    const NodeId s1 = builder.add_node();  // S'_j
+    builder.add_edge(s, s2);
+    builder.add_edge(s2, s1);
+    for (unsigned i = 0; i < m; ++i) {
+      if (x_family.contains(j, i)) {
+        builder.add_edge(l[i], s);
+      }
+    }
+    gadget.s_prime.push_back(s1);
+  }
+  for (std::size_t j = 0; j < n_right; ++j) {
+    const NodeId t = builder.add_node();
+    const NodeId t2 = builder.add_node();
+    const NodeId t1 = builder.add_node();
+    builder.add_edge(t, t2);
+    builder.add_edge(t2, t1);
+    for (unsigned i = 0; i < m; ++i) {
+      if (!y_family.contains(j, i)) {
+        builder.add_edge(l_prime[i], t);
+      }
+    }
+    gadget.t_prime.push_back(t1);
+  }
+
+  gadget.expected_diameter =
+      SetFamily::families_intersect(x_family, y_family) ? x + 2 : x;
+  gadget.graph = std::move(builder).build();
+  return gadget;
+}
+
+BcGadget build_bc_gadget(const SetFamily& x_family, const SetFamily& y_family) {
+  CBC_EXPECTS(x_family.universe() == y_family.universe(),
+              "families must share a universe");
+  validate_family(x_family);
+  validate_family(y_family);
+  validate_distinct(x_family);
+  validate_distinct(y_family);
+  const unsigned m = x_family.universe();
+  const std::size_t n_left = x_family.size();
+  const std::size_t n_right = y_family.size();
+  CBC_EXPECTS(n_left >= 1 && n_right >= 1, "families must be non-empty");
+
+  GraphBuilder builder;
+  std::vector<NodeId> l(m);
+  std::vector<NodeId> l_prime(m);
+  for (unsigned i = 0; i < m; ++i) {
+    l[i] = builder.add_node();
+    l_prime[i] = builder.add_node();
+  }
+  const NodeId p = builder.add_node();
+  const NodeId q = builder.add_node();
+  const NodeId a = builder.add_node();
+  const NodeId b = builder.add_node();
+
+  BcGadget gadget{Graph(0, {}), {}, {}, {}, p, q, a, b, {}, {}};
+
+  for (unsigned i = 0; i < m; ++i) {
+    builder.add_edge(l[i], l_prime[i]);
+    gadget.cut_edges.push_back(
+        Edge{std::min(l[i], l_prime[i]), std::max(l[i], l_prime[i])});
+    builder.add_edge(a, l[i]);
+  }
+  builder.add_edge(p, q);
+  gadget.cut_edges.push_back(Edge{std::min(p, q), std::max(p, q)});
+  builder.add_edge(b, p);
+  builder.add_edge(a, b);
+  builder.add_edge(a, p);
+
+  for (std::size_t i = 0; i < n_left; ++i) {
+    const NodeId s = builder.add_node();
+    const NodeId f = builder.add_node();
+    builder.add_edge(s, f);
+    builder.add_edge(f, p);
+    builder.add_edge(f, b);
+    builder.add_edge(b, s);
+    for (unsigned e = 0; e < m; ++e) {
+      if (x_family.contains(i, e)) {
+        builder.add_edge(l[e], s);
+      }
+    }
+    gadget.s.push_back(s);
+    gadget.f.push_back(f);
+  }
+  for (std::size_t j = 0; j < n_right; ++j) {
+    const NodeId t = builder.add_node();
+    builder.add_edge(q, t);
+    for (unsigned e = 0; e < m; ++e) {
+      if (!y_family.contains(j, e)) {
+        builder.add_edge(l_prime[e], t);
+      }
+    }
+    gadget.t.push_back(t);
+  }
+
+  gadget.expected_bc_of_f.resize(n_left, 1.0);
+  for (const auto& [i, j] : SetFamily::matches(x_family, y_family)) {
+    (void)j;
+    gadget.expected_bc_of_f[i] = 1.5;
+  }
+  gadget.graph = std::move(builder).build();
+  return gadget;
+}
+
+}  // namespace congestbc::lb

@@ -1,0 +1,95 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  CBC_EXPECTS(source < g.num_nodes(), "source out of range");
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    for (const NodeId w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) {
+    return true;
+  }
+  const auto dist = bfs_distances(g, 0);
+  return std::find(dist.begin(), dist.end(), kUnreachable) == dist.end();
+}
+
+std::vector<std::uint32_t> eccentricities(const Graph& g) {
+  std::vector<std::uint32_t> ecc(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    std::uint32_t best = 0;
+    for (const auto d : dist) {
+      CBC_EXPECTS(d != kUnreachable, "graph must be connected");
+      best = std::max(best, d);
+    }
+    ecc[v] = best;
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  CBC_EXPECTS(g.num_nodes() > 0, "empty graph has no diameter");
+  const auto ecc = eccentricities(g);
+  return *std::max_element(ecc.begin(), ecc.end());
+}
+
+std::uint32_t radius(const Graph& g) {
+  CBC_EXPECTS(g.num_nodes() > 0, "empty graph has no radius");
+  const auto ecc = eccentricities(g);
+  return *std::min_element(ecc.begin(), ecc.end());
+}
+
+std::vector<std::uint64_t> distance_sums(const Graph& g) {
+  std::vector<std::uint64_t> sums(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    std::uint64_t total = 0;
+    for (const auto d : dist) {
+      CBC_EXPECTS(d != kUnreachable, "graph must be connected");
+      total += d;
+    }
+    sums[v] = total;
+  }
+  return sums;
+}
+
+std::vector<NodeId> bfs_tree_parents(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  std::vector<NodeId> parent(g.num_nodes(), source);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    CBC_EXPECTS(dist[v] != kUnreachable, "graph must be connected");
+    if (v == source) {
+      continue;
+    }
+    for (const NodeId w : g.neighbors(v)) {
+      if (dist[w] + 1 == dist[v]) {
+        parent[v] = w;  // neighbors are sorted: first hit is smallest id
+        break;
+      }
+    }
+  }
+  return parent;
+}
+
+}  // namespace congestbc

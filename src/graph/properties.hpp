@@ -1,0 +1,39 @@
+// Centralized structural queries used for validation, workload
+// characterization, and as building blocks of the baselines.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// Marker distance for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS distances from `source` (kUnreachable where disconnected).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// True when every node is reachable from node 0 (or the graph is empty).
+bool is_connected(const Graph& g);
+
+/// Exact eccentricity of each node (max distance).  Precondition: connected.
+std::vector<std::uint32_t> eccentricities(const Graph& g);
+
+/// Exact diameter (max eccentricity).  Precondition: connected, non-empty.
+std::uint32_t diameter(const Graph& g);
+
+/// Exact radius (min eccentricity).  Precondition: connected, non-empty.
+std::uint32_t radius(const Graph& g);
+
+/// Sum of distances from each node (for closeness).  Precondition: connected.
+std::vector<std::uint64_t> distance_sums(const Graph& g);
+
+/// A BFS tree from `source`: parent[v] (source's parent is itself).
+/// Ties broken toward the smallest-id parent.  Precondition: connected.
+std::vector<NodeId> bfs_tree_parents(const Graph& g, NodeId source);
+
+}  // namespace congestbc

@@ -1,0 +1,134 @@
+#include "graph/structure.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  constexpr std::uint32_t kUnassigned = 0xFFFFFFFF;
+  std::vector<std::uint32_t> component(g.num_nodes(), kUnassigned);
+  std::uint32_t next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (component[start] != kUnassigned) {
+      continue;
+    }
+    component[start] = next;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId w : g.neighbors(v)) {
+        if (component[w] == kUnassigned) {
+          component[w] = next;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return component;
+}
+
+std::uint32_t component_count(const Graph& g) {
+  const auto component = connected_components(g);
+  if (component.empty()) {
+    return 0;
+  }
+  return *std::max_element(component.begin(), component.end()) + 1;
+}
+
+namespace {
+
+/// Iterative Tarjan lowlink DFS computing bridges and articulation
+/// points in one pass.  The graph is simple, so "skip the parent node"
+/// is the correct parent-edge exclusion.
+struct LowlinkResult {
+  std::vector<Edge> bridges;
+  std::vector<NodeId> articulation_points;
+};
+
+LowlinkResult lowlink_scan(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  constexpr std::uint32_t kUnvisited = 0xFFFFFFFF;
+  std::vector<std::uint32_t> disc(n, kUnvisited);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<NodeId> parent(n, n);  // n = "no parent"
+  std::vector<bool> is_articulation(n, false);
+  std::uint32_t timer = 0;
+
+  struct Frame {
+    NodeId v;
+    std::size_t next_neighbor;
+  };
+
+  LowlinkResult result;
+  std::vector<Frame> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) {
+      continue;
+    }
+    std::uint32_t root_children = 0;
+    disc[root] = low[root] = timer++;
+    stack.push_back(Frame{root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const NodeId v = frame.v;
+      const auto nbrs = g.neighbors(v);
+      if (frame.next_neighbor < nbrs.size()) {
+        const NodeId w = nbrs[frame.next_neighbor++];
+        if (w == parent[v]) {
+          continue;  // the (single) tree edge back to the parent
+        }
+        if (disc[w] == kUnvisited) {
+          parent[w] = v;
+          if (v == root) {
+            ++root_children;
+          }
+          disc[w] = low[w] = timer++;
+          stack.push_back(Frame{w, 0});
+        } else {
+          low[v] = std::min(low[v], disc[w]);  // back edge
+        }
+        continue;
+      }
+      // v is fully expanded: propagate lowlink to the parent.
+      stack.pop_back();
+      if (!stack.empty()) {
+        const NodeId p = stack.back().v;
+        low[p] = std::min(low[p], low[v]);
+        if (low[v] > disc[p]) {
+          result.bridges.push_back(
+              Edge{std::min(p, v), std::max(p, v)});
+        }
+        if (p != root && low[v] >= disc[p]) {
+          is_articulation[p] = true;
+        }
+      }
+    }
+    if (root_children >= 2) {
+      is_articulation[root] = true;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_articulation[v]) {
+      result.articulation_points.push_back(v);
+    }
+  }
+  std::sort(result.bridges.begin(), result.bridges.end());
+  return result;
+}
+
+}  // namespace
+
+std::vector<Edge> bridges(const Graph& g) {
+  return lowlink_scan(g).bridges;
+}
+
+std::vector<NodeId> articulation_points(const Graph& g) {
+  return lowlink_scan(g).articulation_points;
+}
+
+}  // namespace congestbc

@@ -1,0 +1,29 @@
+// Structural decompositions: connected components, bridges, articulation
+// points (Tarjan/Hopcroft lowlink).  These are natural companions to
+// betweenness analysis — every bridge endpoint and articulation point
+// separates node pairs and therefore carries betweenness — and the test
+// suite uses exactly that relationship as a cross-check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// component id per node (0-based, in discovery order from node 0).
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+/// Number of connected components.
+std::uint32_t component_count(const Graph& g);
+
+/// All bridge edges (removal disconnects their endpoints), as (u < v)
+/// pairs in sorted order.
+std::vector<Edge> bridges(const Graph& g);
+
+/// All articulation points (removal increases the component count), in
+/// increasing id order.
+std::vector<NodeId> articulation_points(const Graph& g);
+
+}  // namespace congestbc

@@ -1,0 +1,124 @@
+#include "graph/weighted.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+WeightedGraph::WeightedGraph(NodeId num_nodes, std::vector<WeightedEdge> edges)
+    : num_nodes_(num_nodes) {
+  for (auto& e : edges) {
+    CBC_EXPECTS(e.u != e.v, "self-loops are not allowed");
+    CBC_EXPECTS(e.weight >= 1, "weights must be positive");
+    if (e.u > e.v) {
+      std::swap(e.u, e.v);
+    }
+    CBC_EXPECTS(e.v < num_nodes_, "edge endpoint out of range");
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.u != b.u) {
+                return a.u < b.u;
+              }
+              if (a.v != b.v) {
+                return a.v < b.v;
+              }
+              return a.weight < b.weight;
+            });
+  // Duplicate (u, v) pairs collapse to the lightest edge.
+  edges_.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (!edges_.empty() && edges_.back().u == e.u && edges_.back().v == e.v) {
+      continue;
+    }
+    edges_.push_back(e);
+  }
+}
+
+std::uint64_t WeightedGraph::total_weight() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) {
+    total += e.weight;
+  }
+  return total;
+}
+
+Subdivision subdivide(const WeightedGraph& g) {
+  GraphBuilder builder(g.num_nodes());
+  for (const auto& e : g.edges()) {
+    NodeId prev = e.u;
+    for (std::uint32_t step = 1; step < e.weight; ++step) {
+      const NodeId virtual_node = builder.add_node();
+      builder.add_edge(prev, virtual_node);
+      prev = virtual_node;
+    }
+    builder.add_edge(prev, e.v);
+  }
+  Subdivision result{std::move(builder).build(), {}, g.num_nodes()};
+  result.is_real.assign(result.graph.num_nodes(), false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    result.is_real[v] = true;
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> dijkstra_distances(const WeightedGraph& g,
+                                              NodeId source) {
+  CBC_EXPECTS(source < g.num_nodes(), "source out of range");
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+  // Adjacency list built on the fly (the class stores only the edge list).
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> adj(g.num_nodes());
+  for (const auto& e : g.edges()) {
+    adj[e.u].emplace_back(e.v, e.weight);
+    adj[e.v].emplace_back(e.u, e.weight);
+  }
+  std::vector<std::uint64_t> dist(g.num_nodes(), kInf);
+  using Item = std::pair<std::uint64_t, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[v]) {
+      continue;
+    }
+    for (const auto& [w, weight] : adj[v]) {
+      const std::uint64_t candidate = d + weight;
+      if (candidate < dist[w]) {
+        dist[w] = candidate;
+        heap.emplace(candidate, w);
+      }
+    }
+  }
+  return dist;
+}
+
+WeightedGraph with_random_weights(const Graph& g, std::uint32_t max_weight,
+                                  Rng& rng) {
+  CBC_EXPECTS(max_weight >= 1, "max_weight must be >= 1");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(g.num_edges());
+  for (const auto& e : g.edges()) {
+    edges.push_back(WeightedEdge{
+        e.u, e.v,
+        static_cast<std::uint32_t>(rng.next_below(max_weight)) + 1});
+  }
+  return WeightedGraph(g.num_nodes(), std::move(edges));
+}
+
+WeightedGraph scale_weights(const WeightedGraph& g, double rho) {
+  CBC_EXPECTS(rho > 0.0, "scaling factor must be positive");
+  std::vector<WeightedEdge> edges = g.edges();
+  for (auto& e : edges) {
+    const double scaled = std::round(static_cast<double>(e.weight) / rho);
+    e.weight = static_cast<std::uint32_t>(std::max(1.0, scaled));
+  }
+  return WeightedGraph(g.num_nodes(), std::move(edges));
+}
+
+}  // namespace congestbc

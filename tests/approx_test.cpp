@@ -1,0 +1,134 @@
+// Approximation baselines from the paper's related work: the Bader et al.
+// adaptive sampler ([13]) and Newman's current-flow betweenness ([4],
+// footnote-1 future work).
+#include <gtest/gtest.h>
+
+#include "central/adaptive_sampling.hpp"
+#include "central/brandes.hpp"
+#include "central/current_flow.hpp"
+#include "common/assert.hpp"
+#include "graph/generators.hpp"
+
+namespace congestbc {
+namespace {
+
+// --- adaptive sampling (Bader et al.) ---
+
+TEST(AdaptiveSampling, HighBcNodeStopsEarly) {
+  // The star center's dependency is ~n per source, so the alpha*n
+  // threshold trips after a handful of samples.
+  const Graph g = gen::star(64);
+  Rng rng(1);
+  const auto estimate = adaptive_sampled_bc(g, 0, 2.0, rng);
+  EXPECT_TRUE(estimate.threshold_hit);
+  EXPECT_LT(estimate.samples, 10u);
+  const auto exact = brandes_bc(g);
+  // Within a factor of 2 — the guarantee regime of the paper's Section II
+  // description of [13].
+  EXPECT_GT(estimate.betweenness, exact[0] / 2);
+  EXPECT_LT(estimate.betweenness, exact[0] * 2);
+}
+
+TEST(AdaptiveSampling, LowBcNodeExhaustsAndIsExact) {
+  const Graph g = gen::star(32);
+  Rng rng(2);
+  const auto estimate = adaptive_sampled_bc(g, 5, 2.0, rng);  // a leaf
+  EXPECT_FALSE(estimate.threshold_hit);
+  EXPECT_EQ(estimate.samples, 32u);
+  EXPECT_DOUBLE_EQ(estimate.betweenness, 0.0);
+}
+
+TEST(AdaptiveSampling, ExhaustedRunMatchesBrandesExactly) {
+  Rng rng(3);
+  const Graph g = gen::erdos_renyi_connected(24, 0.15, rng);
+  const auto exact = brandes_bc(g);
+  for (NodeId v = 0; v < g.num_nodes(); v += 5) {
+    Rng sample_rng(100 + v);
+    // alpha so large the threshold never trips.
+    const auto estimate = adaptive_sampled_bc(g, v, 1e9, sample_rng);
+    EXPECT_FALSE(estimate.threshold_hit);
+    EXPECT_NEAR(estimate.betweenness, exact[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST(AdaptiveSampling, EstimateInRightBallpark) {
+  Rng rng(4);
+  const Graph g = gen::barabasi_albert(80, 2, rng);
+  const auto exact = brandes_bc(g);
+  // Highest-degree hub.
+  NodeId hub = 0;
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > g.degree(hub)) {
+      hub = v;
+    }
+  }
+  Rng sample_rng(5);
+  const auto estimate = adaptive_sampled_bc(g, hub, 2.0, sample_rng);
+  EXPECT_GT(estimate.betweenness, exact[hub] / 3);
+  EXPECT_LT(estimate.betweenness, exact[hub] * 3);
+}
+
+TEST(AdaptiveSampling, Preconditions) {
+  const Graph g = gen::path(4);
+  Rng rng(6);
+  EXPECT_THROW(adaptive_sampled_bc(g, 9, 2.0, rng), PreconditionError);
+  EXPECT_THROW(adaptive_sampled_bc(g, 0, 0.0, rng), PreconditionError);
+}
+
+// --- current-flow betweenness (Newman) ---
+
+TEST(CurrentFlow, EqualsShortestPathBcOnTrees) {
+  // On a tree every s-t current follows the unique path: current-flow and
+  // shortest-path betweenness coincide (ordered sum vs unordered: brandes
+  // halved == unordered pair sum).
+  Rng rng(7);
+  const Graph g = gen::random_tree(24, rng);
+  const auto flow = current_flow_bc(g);
+  const auto sp = brandes_bc(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(flow[v], sp[v], 1e-8) << "node " << v;
+  }
+}
+
+TEST(CurrentFlow, StarCenter) {
+  const Graph g = gen::star(10);
+  const auto flow = current_flow_bc(g);
+  EXPECT_NEAR(flow[0], 36.0, 1e-8);  // C(9,2) leaf pairs
+  for (NodeId v = 1; v < 10; ++v) {
+    EXPECT_NEAR(flow[v], 0.0, 1e-8);
+  }
+}
+
+TEST(CurrentFlow, SymmetryOnCycle) {
+  const auto flow = current_flow_bc(gen::cycle(8));
+  for (NodeId v = 1; v < 8; ++v) {
+    EXPECT_NEAR(flow[v], flow[0], 1e-8);
+  }
+  // Current splits across both arcs, so every node carries some flow —
+  // strictly more than zero, strictly less than the path-graph extreme.
+  EXPECT_GT(flow[0], 0.0);
+}
+
+TEST(CurrentFlow, BridgeBeatsInteriorCliqueNodes) {
+  // All inter-clique current crosses the bridge, so it beats every
+  // *interior* clique node; the clique-junction nodes (4 and 6) carry the
+  // same inter-clique current PLUS intra-clique flow, so they top even
+  // the bridge — a qualitative difference from shortest-path betweenness
+  // worth pinning down.
+  const Graph g = gen::barbell(5, 1);
+  const auto flow = current_flow_bc(g);
+  const NodeId bridge = 5;  // the single path node between cliques
+  for (const NodeId interior : {0u, 1u, 2u, 3u}) {
+    EXPECT_GT(flow[bridge], flow[interior]);
+  }
+  const NodeId junction = 4;
+  EXPECT_GT(flow[junction], flow[bridge]);
+}
+
+TEST(CurrentFlow, Preconditions) {
+  EXPECT_THROW(current_flow_bc(gen::path(2)), PreconditionError);
+  EXPECT_THROW(current_flow_bc(Graph(4, {{0, 1}, {2, 3}})), PreconditionError);
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,79 @@
+// Distributed APSP (the counting phase standalone — the paper's
+// Algorithm 2 / the Holzer–Wattenhofer substrate).
+#include <gtest/gtest.h>
+
+#include "algo/apsp.hpp"
+#include "central/brandes.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(Apsp, DistancesMatchBfsEverywhere) {
+  for (const auto& [name, graph] : gen::standard_suite(24, 321)) {
+    const auto result = run_distributed_apsp(graph);
+    for (NodeId s = 0; s < graph.num_nodes(); ++s) {
+      const auto reference = bfs_distances(graph, s);
+      for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+        ASSERT_EQ(result.distances[v][s], reference[v])
+            << name << " s=" << s << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Apsp, SigmaExactBelowMantissa) {
+  Rng rng(11);
+  const Graph g = gen::erdos_renyi_connected(24, 0.2, rng);
+  const auto result = run_distributed_apsp(g);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const auto exact = count_shortest_paths(g, s);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      // Counts on a 24-node graph are far below 2^L: exactly represented.
+      ASSERT_EQ(result.sigma[v][s], exact[v].to_double());
+    }
+  }
+}
+
+TEST(Apsp, DiameterAndEccentricities) {
+  const Graph g = gen::grid(5, 7);
+  const auto result = run_distributed_apsp(g);
+  EXPECT_EQ(result.diameter, diameter(g));
+  const auto ecc = eccentricities(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(result.eccentricities[v], ecc[v]);
+  }
+}
+
+TEST(Apsp, CheaperThanFullPipeline) {
+  const Graph g = gen::cycle(32);
+  const auto apsp = run_distributed_apsp(g);
+  const auto full = run_distributed_bc(g);
+  EXPECT_LT(apsp.rounds, full.rounds);
+  EXPECT_LT(apsp.metrics.total_bits, full.metrics.total_bits);
+}
+
+TEST(Apsp, StillLinearRounds) {
+  for (const NodeId n : {16u, 32u, 64u}) {
+    const auto result = run_distributed_apsp(gen::path(n));
+    EXPECT_LE(result.rounds, 7ull * n + 60);
+  }
+}
+
+TEST(Apsp, RestrictedSources) {
+  const Graph g = gen::path(10);
+  DistributedBcOptions options;
+  std::vector<bool> sources(10, false);
+  sources[0] = sources[9] = true;
+  options.sources = sources;
+  const auto result = run_distributed_apsp(g, options);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(result.distances[v][0], v);
+    EXPECT_EQ(result.distances[v][9], 9 - v);
+    EXPECT_EQ(result.distances[v][4], kUnreachable);  // not a source
+  }
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,68 @@
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+namespace {
+
+Args parse(std::initializer_list<const char*> argv,
+           std::vector<std::string> value_flags = {}) {
+  std::vector<const char*> raw(argv);
+  return Args::parse(static_cast<int>(raw.size()), raw.data(), value_flags);
+}
+
+TEST(Args, ProgramAndPositional) {
+  const auto args = parse({"prog", "input.txt", "more"});
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"input.txt", "more"}));
+}
+
+TEST(Args, BooleanFlags) {
+  const auto args = parse({"prog", "--verbose", "--all"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.has("all"));
+  EXPECT_FALSE(args.has("quiet"));
+}
+
+TEST(Args, ValueFlagsSpaceSeparated) {
+  const auto args = parse({"prog", "--top", "5", "file"}, {"top"});
+  EXPECT_EQ(args.get_or("top", ""), "5");
+  EXPECT_EQ(args.get_int_or("top", 0), 5);
+  EXPECT_EQ(args.positional(), std::vector<std::string>{"file"});
+}
+
+TEST(Args, EqualsSyntaxNeedsNoDeclaration) {
+  const auto args = parse({"prog", "--n=42", "--rho=2.5"});
+  EXPECT_EQ(args.get_int_or("n", 0), 42);
+  EXPECT_DOUBLE_EQ(args.get_double_or("rho", 0.0), 2.5);
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.get_or("x", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int_or("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double_or("p", 0.5), 0.5);
+  EXPECT_FALSE(args.get("x").has_value());
+}
+
+TEST(Args, EmptyEqualsValue) {
+  const auto args = parse({"prog", "--name="});
+  EXPECT_TRUE(args.has("name"));
+  EXPECT_EQ(args.get_or("name", "x"), "");
+}
+
+TEST(Args, MissingValueThrows) {
+  EXPECT_THROW(parse({"prog", "--top"}, {"top"}), PreconditionError);
+}
+
+TEST(Args, MalformedNumbersThrow) {
+  const auto args = parse({"prog", "--n=abc"});
+  EXPECT_THROW(args.get_int_or("n", 0), PreconditionError);
+  EXPECT_THROW(args.get_double_or("n", 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace congestbc

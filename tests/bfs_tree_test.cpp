@@ -1,0 +1,121 @@
+#include "algo/bfs_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+namespace {
+
+struct TreeRun {
+  std::vector<const TreeBuilder*> trees;
+  RunMetrics metrics;
+  std::vector<std::unique_ptr<NodeProgram>> programs;  // keeps trees alive
+};
+
+TreeRun run_tree(const Graph& g, NodeId root) {
+  const WireFormat fmt =
+      WireFormat::for_graph(g.num_nodes(), SoftFloatFormat::for_graph(g.num_nodes()));
+  TreeRun run;
+  Network net(g, NetworkConfig{congest_budget_bits(g.num_nodes()), 100000, true});
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto p = std::make_unique<BfsTreeProgram>(v, root, fmt);
+    run.trees.push_back(&p->tree());
+    run.programs.push_back(std::move(p));
+  }
+  run.metrics = net.run(run.programs);
+  return run;
+}
+
+void check_tree(const Graph& g, NodeId root, const TreeRun& run) {
+  const auto dist = bfs_distances(g, root);
+  const auto& trees = run.trees;
+  EXPECT_TRUE(trees[root]->tree_complete());
+  EXPECT_EQ(trees[root]->subtree_count(), g.num_nodes());
+  std::uint32_t max_dist = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_dist = std::max(max_dist, dist[v]);
+    ASSERT_TRUE(trees[v]->has_dist());
+    EXPECT_EQ(trees[v]->dist(), dist[v]) << "node " << v;
+    if (v != root) {
+      EXPECT_TRUE(g.has_edge(v, trees[v]->parent()));
+      EXPECT_EQ(dist[trees[v]->parent()] + 1, dist[v]);
+      // Child lists are consistent with parents.
+      const auto& siblings = trees[trees[v]->parent()]->children();
+      EXPECT_TRUE(std::find(siblings.begin(), siblings.end(), v) !=
+                  siblings.end());
+    }
+  }
+  EXPECT_EQ(trees[root]->subtree_depth(), max_dist);
+  // Subtree counts add up: root count is N; each node's count is 1 + sum
+  // of children's counts.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::uint32_t expected = 1;
+    for (const NodeId c : trees[v]->children()) {
+      expected += trees[c]->subtree_count();
+    }
+    EXPECT_EQ(trees[v]->subtree_count(), expected);
+  }
+}
+
+TEST(BfsTree, SingleNode) {
+  const Graph g(1, {});
+  const auto run = run_tree(g, 0);
+  EXPECT_TRUE(run.trees[0]->tree_complete());
+  EXPECT_EQ(run.trees[0]->subtree_count(), 1u);
+  EXPECT_EQ(run.trees[0]->subtree_depth(), 0u);
+}
+
+TEST(BfsTree, PathGraph) {
+  const Graph g = gen::path(8);
+  const auto run = run_tree(g, 0);
+  check_tree(g, 0, run);
+  // Construction is O(D): depth 7 tree must finish within ~2D+constant.
+  EXPECT_LE(run.metrics.rounds, 2u * 7u + 6u);
+}
+
+TEST(BfsTree, PathFromMiddle) {
+  const Graph g = gen::path(9);
+  const auto run = run_tree(g, 4);
+  check_tree(g, 4, run);
+}
+
+TEST(BfsTree, StarFromLeaf) {
+  const Graph g = gen::star(10);
+  const auto run = run_tree(g, 3);
+  check_tree(g, 3, run);
+}
+
+TEST(BfsTree, TiesBreakTowardSmallestParent) {
+  // A 4-cycle: node 2 is reached simultaneously from 1 and 3.
+  const Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto run = run_tree(g, 0);
+  EXPECT_EQ(run.trees[2]->parent(), 1u);
+}
+
+class BfsTreeSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsTreeSuite, AllFamilies) {
+  const auto suite = gen::standard_suite(24, 7);
+  const auto& named = suite[static_cast<std::size_t>(GetParam())];
+  const auto run = run_tree(named.graph, 0);
+  check_tree(named.graph, 0, run);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, BfsTreeSuite, ::testing::Range(0, 15));
+
+TEST(BfsTree, CongestBudgetRespected) {
+  Rng rng(3);
+  const Graph g = gen::erdos_renyi_connected(64, 0.1, rng);
+  const auto run = run_tree(g, 0);
+  EXPECT_LE(run.metrics.max_bits_on_edge_round,
+            congest_budget_bits(g.num_nodes()));
+  check_tree(g, 0, run);
+}
+
+}  // namespace
+}  // namespace congestbc

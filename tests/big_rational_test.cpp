@@ -1,0 +1,147 @@
+#include "bignum/big_rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "central/brandes.hpp"
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(Gcd, KnownValues) {
+  EXPECT_EQ(gcd(BigUint(12), BigUint(18)), BigUint(6));
+  EXPECT_EQ(gcd(BigUint(17), BigUint(13)), BigUint(1));
+  EXPECT_EQ(gcd(BigUint(0), BigUint(7)), BigUint(7));
+  EXPECT_EQ(gcd(BigUint(7), BigUint(0)), BigUint(7));
+  EXPECT_EQ(gcd(BigUint(64), BigUint(48)), BigUint(16));
+}
+
+TEST(Gcd, HugeOperands) {
+  // gcd(2^200 * 3, 2^100 * 9) = 2^100 * 3.
+  const BigUint a = BigUint::pow2(200) * BigUint(3);
+  const BigUint b = BigUint::pow2(100) * BigUint(9);
+  EXPECT_EQ(gcd(a, b), BigUint::pow2(100) * BigUint(3));
+}
+
+TEST(Gcd, MatchesEuclidOnRandomInputs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t x = rng.next_u64() >> 32;
+    const std::uint64_t y = rng.next_u64() >> 32;
+    std::uint64_t a = x;
+    std::uint64_t b = y;
+    while (b != 0) {
+      const std::uint64_t t = a % b;
+      a = b;
+      b = t;
+    }
+    EXPECT_EQ(gcd(BigUint(x), BigUint(y)), BigUint(a));
+  }
+}
+
+TEST(BigRational, ConstructionReduces) {
+  const BigRational half(BigUint(4), BigUint(8));
+  EXPECT_EQ(half.numerator(), BigUint(1));
+  EXPECT_EQ(half.denominator(), BigUint(2));
+  EXPECT_EQ(half.to_string(), "1/2");
+}
+
+TEST(BigRational, WholeNumbers) {
+  const BigRational three(3);
+  EXPECT_EQ(three.to_string(), "3");
+  EXPECT_EQ(three.to_double(), 3.0);
+}
+
+TEST(BigRational, ZeroNormalizes) {
+  const BigRational zero(BigUint(0), BigUint(17));
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.denominator(), BigUint(1));
+}
+
+TEST(BigRational, RejectsZeroDenominator) {
+  EXPECT_THROW(BigRational(BigUint(1), BigUint(0)), PreconditionError);
+}
+
+TEST(BigRational, Arithmetic) {
+  const BigRational a(BigUint(1), BigUint(3));
+  const BigRational b(BigUint(1), BigUint(6));
+  EXPECT_EQ((a + b).to_string(), "1/2");
+  EXPECT_EQ((a * b).to_string(), "1/18");
+  EXPECT_EQ((a / b).to_string(), "2");
+  EXPECT_EQ(a.reciprocal().to_string(), "3");
+}
+
+TEST(BigRational, Comparison) {
+  const BigRational a(BigUint(2), BigUint(3));
+  const BigRational b(BigUint(3), BigUint(4));
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, BigRational(BigUint(4), BigUint(6)));
+}
+
+TEST(BigRational, FieldAxiomsFuzz) {
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BigRational a(BigUint(rng.next_below(1000) + 1),
+                        BigUint(rng.next_below(1000) + 1));
+    const BigRational b(BigUint(rng.next_below(1000) + 1),
+                        BigUint(rng.next_below(1000) + 1));
+    const BigRational c(BigUint(rng.next_below(1000) + 1),
+                        BigUint(rng.next_below(1000) + 1));
+    ASSERT_EQ(a + b, b + a);
+    ASSERT_EQ((a + b) + c, a + (b + c));
+    ASSERT_EQ(a * (b + c), a * b + a * c);
+    ASSERT_EQ((a / b) * b, a);
+    ASSERT_EQ(a * a.reciprocal(), BigRational(1));
+  }
+}
+
+TEST(BigRational, ToDoubleHugeMagnitudes) {
+  const BigRational tiny(BigUint(1), BigUint::pow2(300));
+  const BigRational huge(BigUint::pow2(300), BigUint(1));
+  EXPECT_NEAR(tiny.to_double() * huge.to_double(), 1.0, 1e-12);
+}
+
+// --- the payoff: exact rational Brandes ---
+
+TEST(RationalBrandes, Figure1IsExactlySevenHalves) {
+  const auto bc = brandes_bc_rational(gen::figure1_example());
+  EXPECT_EQ(bc[1], BigRational(BigUint(7), BigUint(2)));
+  EXPECT_EQ(bc[1].to_string(), "7/2");
+  EXPECT_EQ(bc[0], BigRational(0));
+  EXPECT_EQ(bc[2], BigRational(1));
+  EXPECT_EQ(bc[3], BigRational(BigUint(1), BigUint(2)));
+  EXPECT_EQ(bc[4], BigRational(1));
+}
+
+TEST(RationalBrandes, PathGraphIntegers) {
+  const auto bc = brandes_bc_rational(gen::path(5));
+  EXPECT_EQ(bc[1], BigRational(3));
+  EXPECT_EQ(bc[2], BigRational(4));
+}
+
+TEST(RationalBrandes, MatchesDoubleBrandes) {
+  Rng rng(3);
+  const Graph g = gen::erdos_renyi_connected(14, 0.25, rng);
+  const auto exact = brandes_bc_rational(g);
+  const auto approx = brandes_bc(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(exact[v].to_double(), approx[v],
+                1e-9 * std::max(1.0, approx[v]))
+        << "node " << v;
+  }
+}
+
+TEST(RationalBrandes, CycleValuesAreExactRationals) {
+  // C6: every node has exactly 2 (two 1/2-pairs + one full pair — see
+  // brandes_test); in rational arithmetic this is literal.
+  const auto bc = brandes_bc_rational(gen::cycle(6));
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(bc[v], BigRational(2));
+  }
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,197 @@
+#include "bignum/big_uint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/int128.hpp"
+#include "common/rng.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(BigUint, DefaultIsZero) {
+  BigUint zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_decimal(), "0");
+  EXPECT_EQ(zero.to_double(), 0.0);
+}
+
+TEST(BigUint, SmallValues) {
+  BigUint one(1);
+  EXPECT_FALSE(one.is_zero());
+  EXPECT_EQ(one.bit_length(), 1u);
+  EXPECT_EQ(one.to_u64(), 1u);
+  EXPECT_EQ(one.to_decimal(), "1");
+
+  BigUint big(UINT64_MAX);
+  EXPECT_EQ(big.bit_length(), 64u);
+  EXPECT_EQ(big.to_decimal(), "18446744073709551615");
+}
+
+TEST(BigUint, AdditionWithCarry) {
+  BigUint a(UINT64_MAX);
+  a += BigUint(1);
+  EXPECT_EQ(a.bit_length(), 65u);
+  EXPECT_FALSE(a.fits_u64());
+  EXPECT_EQ(a.to_decimal(), "18446744073709551616");
+}
+
+TEST(BigUint, AdditionCommutes) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    BigUint a(rng.next_u64());
+    BigUint b(rng.next_u64());
+    a <<= rng.next_below(100);
+    b <<= rng.next_below(100);
+    EXPECT_EQ(a + b, b + a);
+  }
+}
+
+TEST(BigUint, SubtractionInverse) {
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    BigUint a(rng.next_u64());
+    BigUint b(rng.next_u64());
+    a <<= rng.next_below(80);
+    const BigUint sum = a + b;
+    EXPECT_EQ(sum - b, a);
+    EXPECT_EQ(sum - a, b);
+  }
+}
+
+TEST(BigUint, SubtractionUnderflowThrows) {
+  BigUint small(3);
+  BigUint large(4);
+  EXPECT_THROW(small -= large, PreconditionError);
+}
+
+TEST(BigUint, MultiplicationMatchesU128) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const uint128_t p = static_cast<uint128_t>(a) * b;
+    BigUint product = BigUint(a) * BigUint(b);
+    BigUint expected(static_cast<std::uint64_t>(p));
+    BigUint hi(static_cast<std::uint64_t>(p >> 64));
+    expected += hi << 64;
+    EXPECT_EQ(product, expected);
+  }
+}
+
+TEST(BigUint, MultiplicationByZero) {
+  BigUint a(12345);
+  a <<= 200;
+  EXPECT_TRUE((a * BigUint()).is_zero());
+  EXPECT_TRUE((BigUint() * a).is_zero());
+}
+
+TEST(BigUint, PowerOfTwo) {
+  const BigUint p = BigUint::pow2(130);
+  EXPECT_EQ(p.bit_length(), 131u);
+  EXPECT_TRUE(p.bit(130));
+  EXPECT_FALSE(p.bit(129));
+  EXPECT_FALSE(p.bit(131));
+}
+
+TEST(BigUint, ShiftsRoundTrip) {
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    BigUint a(rng.next_u64() | 1);
+    const std::size_t shift = rng.next_below(300);
+    EXPECT_EQ((a << shift) >> shift, a);
+  }
+}
+
+TEST(BigUint, ShiftRightDropsBits) {
+  BigUint a(0b1011);
+  EXPECT_EQ((a >> 1).to_u64(), 0b101u);
+  EXPECT_EQ((a >> 4).to_u64(), 0u);
+}
+
+TEST(BigUint, CompareOrdering) {
+  BigUint a(5);
+  BigUint b = BigUint(5) << 64;
+  BigUint c = b + BigUint(1);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LE(a, a);
+  EXPECT_GT(c, a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, BigUint(5));
+}
+
+TEST(BigUint, DivModSmall) {
+  BigUint a = BigUint::from_decimal("123456789012345678901234567890");
+  const std::uint64_t rem = a.div_mod_small(1000000007);
+  // Cross-checked with Python: divmod(123456789012345678901234567890, 1000000007)
+  EXPECT_EQ(a.to_decimal(), "123456788148148161864");
+  EXPECT_EQ(rem, 197434842u);
+}
+
+TEST(BigUint, DecimalRoundTrip) {
+  const std::string cases[] = {
+      "0", "1", "9", "10", "18446744073709551615", "18446744073709551616",
+      "340282366920938463463374607431768211456",
+      "99999999999999999999999999999999999999999999"};
+  for (const auto& text : cases) {
+    EXPECT_EQ(BigUint::from_decimal(text).to_decimal(), text);
+  }
+}
+
+TEST(BigUint, FromDecimalRejectsGarbage) {
+  EXPECT_THROW(BigUint::from_decimal(""), PreconditionError);
+  EXPECT_THROW(BigUint::from_decimal("12a3"), PreconditionError);
+  EXPECT_THROW(BigUint::from_decimal("-5"), PreconditionError);
+}
+
+TEST(BigUint, ToDoubleAccuracy) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t v = rng.next_u64() >> 11;  // exactly representable
+    EXPECT_EQ(BigUint(v).to_double(), static_cast<double>(v));
+  }
+  // 2^100 is exactly representable in double.
+  EXPECT_EQ(BigUint::pow2(100).to_double(), std::ldexp(1.0, 100));
+}
+
+TEST(BigUint, FrexpNormalization) {
+  const auto [y, e] = BigUint::pow2(200).frexp();
+  EXPECT_DOUBLE_EQ(y, 0.5);
+  EXPECT_EQ(e, 201);
+
+  const auto [y2, e2] = BigUint(3).frexp();
+  EXPECT_DOUBLE_EQ(y2, 0.75);
+  EXPECT_EQ(e2, 2);
+}
+
+TEST(BigUint, FibonacciMatchesKnownValue) {
+  // A little integration exercise: F(300) has a well-known decimal value.
+  BigUint a(0);
+  BigUint b(1);
+  for (int i = 0; i < 300; ++i) {
+    BigUint next = a + b;
+    a = b;
+    b = std::move(next);
+  }
+  EXPECT_EQ(a.to_decimal(),
+            "222232244629420445529739893461909967206666939096499764990979600");
+}
+
+TEST(BigUint, FactorialBitLengths) {
+  BigUint fact(1);
+  for (std::uint64_t i = 2; i <= 100; ++i) {
+    fact *= BigUint(i);
+  }
+  // 100! has 525 bits and ends in lots of zeros.
+  EXPECT_EQ(fact.bit_length(), 525u);
+  const std::string dec = fact.to_decimal();
+  EXPECT_EQ(dec.size(), 158u);
+  EXPECT_EQ(dec.substr(dec.size() - 24), "000000000000000000000000");
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,124 @@
+#include "common/bit_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(BitIo, RoundTripSingleField) {
+  BitWriter w;
+  w.write(0b1011, 4);
+  EXPECT_EQ(w.bit_size(), 4u);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read(4), 0b1011u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BitIo, RoundTripMixedFields) {
+  BitWriter w;
+  w.write(1, 1);
+  w.write(0xABCD, 16);
+  w.write_bool(true);
+  w.write(0x123456789ABCDEFull, 60);
+  w.write(0, 3);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read(1), 1u);
+  EXPECT_EQ(r.read(16), 0xABCDu);
+  EXPECT_TRUE(r.read_bool());
+  EXPECT_EQ(r.read(60), 0x123456789ABCDEFull);
+  EXPECT_EQ(r.read(3), 0u);
+}
+
+TEST(BitIo, SixtyFourBitField) {
+  BitWriter w;
+  w.write(UINT64_MAX, 64);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read(64), UINT64_MAX);
+}
+
+TEST(BitIo, ZeroWidthFieldIsNoop) {
+  BitWriter w;
+  w.write(0, 0);
+  EXPECT_EQ(w.bit_size(), 0u);
+}
+
+TEST(BitIo, RejectsOverwideValue) {
+  BitWriter w;
+  EXPECT_THROW(w.write(4, 2), PreconditionError);
+}
+
+TEST(BitIo, RejectsOverwideField) {
+  BitWriter w;
+  EXPECT_THROW(w.write(0, 65), PreconditionError);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.write(3, 2);
+  BitReader r(w.bytes(), w.bit_size());
+  r.read(2);
+  EXPECT_THROW(r.read(1), InvariantError);
+}
+
+TEST(BitIo, VarUintRoundTrip) {
+  BitWriter w;
+  const std::uint64_t values[] = {0, 1, 2, 127, 128, 1u << 20, UINT64_MAX};
+  for (const auto v : values) {
+    w.write_varuint(v);
+  }
+  BitReader r(w.bytes(), w.bit_size());
+  for (const auto v : values) {
+    EXPECT_EQ(r.read_varuint(), v);
+  }
+}
+
+TEST(BitIo, RandomizedRoundTrip) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, unsigned>> fields;
+    const int count = static_cast<int>(rng.next_below(30)) + 1;
+    for (int i = 0; i < count; ++i) {
+      const unsigned bits = static_cast<unsigned>(rng.next_below(64)) + 1;
+      const std::uint64_t mask =
+          bits == 64 ? UINT64_MAX : ((std::uint64_t{1} << bits) - 1);
+      const std::uint64_t value = rng.next_u64() & mask;
+      fields.emplace_back(value, bits);
+      w.write(value, bits);
+    }
+    BitReader r(w.bytes(), w.bit_size());
+    for (const auto& [value, bits] : fields) {
+      ASSERT_EQ(r.read(bits), value);
+    }
+    ASSERT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(BitWidth, KnownValues) {
+  EXPECT_EQ(bit_width_u64(0), 1u);
+  EXPECT_EQ(bit_width_u64(1), 1u);
+  EXPECT_EQ(bit_width_u64(2), 2u);
+  EXPECT_EQ(bit_width_u64(255), 8u);
+  EXPECT_EQ(bit_width_u64(256), 9u);
+  EXPECT_EQ(bit_width_u64(UINT64_MAX), 64u);
+}
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(CeilLog2, RejectsZero) {
+  EXPECT_THROW(ceil_log2(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace congestbc

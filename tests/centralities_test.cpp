@@ -1,0 +1,141 @@
+#include "central/centralities.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "common/assert.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(Closeness, StarGraph) {
+  const auto cc = closeness_centrality(gen::star(5));
+  EXPECT_DOUBLE_EQ(cc[0], 1.0 / 4);
+  EXPECT_DOUBLE_EQ(cc[1], 1.0 / 7);
+}
+
+TEST(Closeness, PathEndpointsWorst) {
+  const auto cc = closeness_centrality(gen::path(7));
+  EXPECT_GT(cc[3], cc[0]);
+  EXPECT_DOUBLE_EQ(cc[0], cc[6]);
+}
+
+TEST(GraphCentrality, PathGraph) {
+  const auto cg = graph_centrality(gen::path(5));
+  EXPECT_DOUBLE_EQ(cg[0], 1.0 / 4);
+  EXPECT_DOUBLE_EQ(cg[2], 1.0 / 2);
+}
+
+TEST(GraphCentrality, CompleteGraphAllOne) {
+  const auto cg = graph_centrality(gen::complete(5));
+  for (const double value : cg) {
+    EXPECT_DOUBLE_EQ(value, 1.0);
+  }
+}
+
+TEST(Stress, StarGraph) {
+  // Center lies on all C(4,2)=6 leaf pairs, each with one shortest path.
+  const auto cs = stress_centrality(gen::star(5));
+  EXPECT_DOUBLE_EQ(static_cast<double>(cs[0]), 6.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(cs[1]), 0.0);
+}
+
+TEST(Stress, PathGraph) {
+  // On a path, stress == betweenness (unique shortest paths).
+  const auto cs = stress_centrality(gen::path(5));
+  EXPECT_DOUBLE_EQ(static_cast<double>(cs[1]), 3.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(cs[2]), 4.0);
+}
+
+TEST(Stress, Figure1Example) {
+  // sigma_st(v2) over all pairs: (v1,v3):1, (v1,v5):1, (v1,v4):2(both via
+  // v2), (v3,v5):1 (of two paths, one via v2).  Total = 5.
+  const auto cs = stress_centrality(gen::figure1_example());
+  EXPECT_DOUBLE_EQ(static_cast<double>(cs[1]), 5.0);
+}
+
+// Definition-level stress for cross-checking the recursion.
+std::vector<long double> naive_stress(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::vector<std::uint32_t>> dist(n);
+  std::vector<std::vector<long double>> sigma(n);
+  for (NodeId s = 0; s < n; ++s) {
+    dist[s] = bfs_distances(g, s);
+    sigma[s].assign(n, 0.0L);
+    sigma[s][s] = 1.0L;
+    // count paths via BFS order
+    std::vector<NodeId> order;
+    std::queue<NodeId> q;
+    q.push(s);
+    std::vector<bool> seen(n, false);
+    seen[s] = true;
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      order.push_back(v);
+      for (const NodeId w : g.neighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          q.push(w);
+        }
+        if (dist[s][w] == dist[s][v] + 1) {
+          sigma[s][w] += sigma[s][v];
+        }
+      }
+    }
+  }
+  std::vector<long double> stress(n, 0.0L);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) {
+        continue;
+      }
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != s && v != t && dist[s][v] + dist[v][t] == dist[s][t]) {
+          stress[v] += sigma[s][v] * sigma[v][t];
+        }
+      }
+    }
+  }
+  for (auto& value : stress) {
+    value /= 2.0L;
+  }
+  return stress;
+}
+
+TEST(Stress, MatchesNaiveDefinition) {
+  Rng rng(13);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = gen::erdos_renyi_connected(16, 0.2, rng);
+    const auto fast = stress_centrality(g);
+    const auto slow = naive_stress(g);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(static_cast<double>(fast[v]), static_cast<double>(slow[v]),
+                  1e-6)
+          << "trial " << trial << " node " << v;
+    }
+  }
+}
+
+TEST(Stress, ExponentialCounts) {
+  // In a diamond chain the middle of each diamond carries huge counts.
+  const Graph g = gen::diamond_chain(50);
+  const auto cs = stress_centrality(g);
+  // The joint between diamonds 24 and 25 sees 2^24-ish * 2^25-ish paths.
+  long double best = 0.0L;
+  for (const auto value : cs) {
+    best = std::max(best, value);
+  }
+  EXPECT_GT(best, 1e12L);
+}
+
+TEST(Centralities, RejectTrivialGraphs) {
+  EXPECT_THROW(closeness_centrality(Graph(1, {})), PreconditionError);
+  EXPECT_THROW(graph_centrality(Graph(1, {})), PreconditionError);
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/table.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(Assert, ExpectsThrowsPreconditionWithContext) {
+  try {
+    CBC_EXPECTS(1 == 2, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Assert, CheckThrowsInvariant) {
+  EXPECT_THROW(CBC_CHECK(false, "broken"), InvariantError);
+  EXPECT_NO_THROW(CBC_CHECK(true, "fine"));
+}
+
+TEST(Assert, ExceptionHierarchy) {
+  // Both are std::exceptions so a single catch site suffices downstream.
+  EXPECT_THROW(CBC_EXPECTS(false, ""), std::invalid_argument);
+  EXPECT_THROW(CBC_CHECK(false, ""), std::logic_error);
+}
+
+TEST(Table, AlignsColumns) {
+  Table table({"a", "long header"});
+  table.add_row({"xxxxx", "1"});
+  table.add_row({"y", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  // Every line starts at the same column widths: "xxxxx" sets column 0 to
+  // width 5, so "y" is padded.
+  EXPECT_NE(text.find("y      "), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), PreconditionError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(FormatDouble, SignificantDigits) {
+  EXPECT_EQ(format_double(3.14159265, 3), "3.14");
+  EXPECT_EQ(format_double(0.000123456, 3), "0.000123");
+  EXPECT_EQ(format_double(2.0, 6), "2");
+  EXPECT_EQ(format_double(1234567.0, 4), "1.235e+06");
+}
+
+}  // namespace
+}  // namespace congestbc

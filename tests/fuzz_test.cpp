@@ -1,0 +1,197 @@
+// Randomized end-to-end fuzzing: many seeds, structurally diverse random
+// graphs (including adversarial shapes: pendant chains off hubs, bridges,
+// near-cliques), always checking the full invariant bundle against
+// centralized references.  Complements the curated suites in
+// pipeline_property_test with broader randomized coverage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/bc_pipeline.hpp"
+#include "central/brandes.hpp"
+#include "congest/network.hpp"
+#include "core/validation.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+namespace {
+
+/// A structurally messy random connected graph: random tree backbone +
+/// random extra edges + pendant chains + an occasional hub.
+Graph messy_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto n_core = static_cast<NodeId>(8 + rng.next_below(24));
+  GraphBuilder builder;
+  builder.add_node();
+  for (NodeId v = 1; v < n_core; ++v) {
+    builder.add_edge(static_cast<NodeId>(rng.next_below(v)), builder.add_node());
+  }
+  // Extra edges.
+  const auto extras = rng.next_below(2 * n_core);
+  for (std::uint64_t i = 0; i < extras; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(n_core));
+    const auto v = static_cast<NodeId>(rng.next_below(n_core));
+    if (u != v) {
+      builder.add_edge(u, v);
+    }
+  }
+  // Pendant chains.
+  const auto chains = rng.next_below(4);
+  for (std::uint64_t c = 0; c < chains; ++c) {
+    NodeId prev = static_cast<NodeId>(rng.next_below(n_core));
+    const auto len = 1 + rng.next_below(6);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      const NodeId next = builder.add_node();
+      builder.add_edge(prev, next);
+      prev = next;
+    }
+  }
+  // Occasional hub connected to many nodes.
+  if (rng.next_bernoulli(0.3)) {
+    const NodeId hub = builder.add_node();
+    for (NodeId v = 0; v < n_core; v += 2) {
+      builder.add_edge(hub, v);
+    }
+  }
+  return std::move(builder).build();
+}
+
+class EndToEndFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EndToEndFuzz, DistributedMatchesBrandesWithAllInvariants) {
+  const Graph g = messy_graph(GetParam());
+  ASSERT_TRUE(is_connected(g));
+
+  DistributedBcOptions options;
+  options.root = static_cast<NodeId>(GetParam() % g.num_nodes());
+  const auto result = run_distributed_bc(g, options);
+
+  const auto reference = brandes_bc(g);
+  const auto stats = compare_vectors(result.betweenness, reference, 1e-6);
+  EXPECT_LT(stats.max_rel_error, 1e-6)
+      << "seed " << GetParam() << " N=" << g.num_nodes();
+
+  EXPECT_EQ(result.diameter, diameter(g));
+  EXPECT_LE(result.metrics.max_bits_on_edge_round,
+            congest_budget_bits(g.num_nodes()));
+  EXPECT_EQ(result.metrics.max_logical_on_edge_in(result.aggregation_epoch,
+                                                  result.metrics.rounds),
+            1u);
+  EXPECT_LE(result.rounds,
+            8ull * g.num_nodes() + 5ull * result.diameter + 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+class RelabelFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RelabelFuzz, BetweennessIsIsomorphismInvariant) {
+  // Relabel the nodes with a random permutation; the distributed BC of
+  // node pi(v) on the relabeled graph must equal that of v on the
+  // original — no hidden dependence on ids, root choice, or tie-breaks.
+  Rng rng(GetParam());
+  const Graph g = messy_graph(GetParam() * 31 + 7);
+  std::vector<NodeId> pi(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    pi[v] = v;
+  }
+  rng.shuffle(pi);
+  std::vector<Edge> relabeled;
+  for (const auto& e : g.edges()) {
+    relabeled.push_back(Edge{std::min(pi[e.u], pi[e.v]),
+                             std::max(pi[e.u], pi[e.v])});
+  }
+  const Graph h(g.num_nodes(), std::move(relabeled));
+
+  const auto bc_g = run_distributed_bc(g).betweenness;
+  const auto bc_h = run_distributed_bc(h).betweenness;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_NEAR(bc_g[v], bc_h[pi[v]],
+                1e-6 * std::max(1.0, std::abs(bc_g[v])))
+        << "seed " << GetParam() << " node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelabelFuzz,
+                         ::testing::Range<std::uint64_t>(50, 62));
+
+class SoftFloatFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoftFloatFuzz, OperationsStayBracketedAndTight) {
+  Rng rng(GetParam());
+  const SoftFloatFormat fmt{
+      static_cast<unsigned>(8 + rng.next_below(50)),
+      static_cast<unsigned>(12 + rng.next_below(20))};
+  const double eta = unit_relative_error(fmt);
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t x =
+        rng.next_u64() >> static_cast<unsigned>(rng.next_below(60));
+    const std::uint64_t y =
+        rng.next_u64() >> static_cast<unsigned>(rng.next_below(60));
+    if (x == 0 || y == 0) {
+      continue;
+    }
+    const auto fx_up = SoftFloat::from_u64(x, fmt, RoundingMode::kUp);
+    const auto fy_up = SoftFloat::from_u64(y, fmt, RoundingMode::kUp);
+    const auto fx_dn = SoftFloat::from_u64(x, fmt, RoundingMode::kDown);
+    const auto fy_dn = SoftFloat::from_u64(y, fmt, RoundingMode::kDown);
+
+    // Sum brackets.
+    const BigUint exact_sum = BigUint(x) + BigUint(y);
+    const auto sum_up = add(fx_up, fy_up, fmt, RoundingMode::kUp);
+    const auto sum_dn = add(fx_dn, fy_dn, fmt, RoundingMode::kDown);
+    ASSERT_GE(compare_with_big(sum_up, exact_sum), 0);
+    ASSERT_LE(compare_with_big(sum_dn, exact_sum), 0);
+    // Tightness: the bracket width stays within a few eta.
+    ASSERT_LE(sum_up.to_double(), sum_dn.to_double() * (1 + 8 * eta));
+
+    // Product brackets.
+    const BigUint exact_prod = BigUint(x) * BigUint(y);
+    const auto prod_up = multiply(fx_up, fy_up, fmt, RoundingMode::kUp);
+    const auto prod_dn = multiply(fx_dn, fy_dn, fmt, RoundingMode::kDown);
+    ASSERT_GE(compare_with_big(prod_up, exact_prod), 0);
+    ASSERT_LE(compare_with_big(prod_dn, exact_prod), 0);
+
+    // Reciprocal brackets: recip_dn <= 1/x <= recip_up.
+    const auto recip_up = reciprocal(fx_dn, fmt, RoundingMode::kUp);
+    const auto recip_dn = reciprocal(fx_up, fmt, RoundingMode::kDown);
+    const double exact_recip = 1.0 / static_cast<double>(x);
+    ASSERT_GE(recip_up.to_double(), exact_recip * (1 - 1e-12));
+    ASSERT_LE(recip_dn.to_double(), exact_recip * (1 + 1e-12));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftFloatFuzz,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+class BigUintFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigUintFuzz, RingAxioms) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    BigUint a(rng.next_u64());
+    BigUint b(rng.next_u64());
+    BigUint c(rng.next_u64());
+    a <<= rng.next_below(120);
+    b <<= rng.next_below(120);
+    c <<= rng.next_below(120);
+    // (a+b)+c == a+(b+c); a*(b+c) == a*b + a*c; (a+b)-b == a
+    ASSERT_EQ((a + b) + c, a + (b + c));
+    ASSERT_EQ(a * (b + c), a * b + a * c);
+    ASSERT_EQ((a + b) - b, a);
+    ASSERT_EQ(a * b, b * a);
+    // Decimal round trip.
+    ASSERT_EQ(BigUint::from_decimal(a.to_decimal()), a);
+    // Shift identities.
+    const auto k = rng.next_below(200);
+    ASSERT_EQ((a << k) >> k, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigUintFuzz,
+                         ::testing::Range<std::uint64_t>(200, 208));
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,89 @@
+// The gather-at-root baseline: exactness (the root runs centralized
+// Brandes, so values match to soft-float encoding precision) and the
+// Theta(D + M + N) round profile that motivates the paper's algorithm.
+#include <gtest/gtest.h>
+
+#include "algo/bc_pipeline.hpp"
+#include "algo/gather_baseline.hpp"
+#include "central/brandes.hpp"
+#include "core/validation.hpp"
+#include "graph/generators.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(Gather, MatchesBrandesOnSuite) {
+  for (const auto& [name, graph] : gen::standard_suite(20, 777)) {
+    const auto result = run_gather_bc(graph);
+    const auto reference = brandes_bc(graph);
+    const auto stats = compare_vectors(result.betweenness, reference, 1e-6);
+    EXPECT_LT(stats.max_rel_error, 1e-6) << name;
+  }
+}
+
+TEST(Gather, SingleNode) {
+  const auto result = run_gather_bc(Graph(1, {}));
+  EXPECT_EQ(result.betweenness[0], 0.0);
+}
+
+TEST(Gather, Figure1Example) {
+  const auto result = run_gather_bc(gen::figure1_example());
+  EXPECT_NEAR(result.betweenness[1], 3.5, 1e-6);
+}
+
+TEST(Gather, RootChoiceIrrelevant) {
+  const Graph g = gen::grid(4, 4);
+  const auto a = run_gather_bc(g, 0);
+  const auto b = run_gather_bc(g, 15);
+  // The root reads its own value in full double precision while everyone
+  // else gets the soft-float-encoded broadcast, so root choice shifts
+  // results by up to one encoding ulp (~2^-28 here).
+  const auto stats = compare_vectors(a.betweenness, b.betweenness, 1e-6);
+  EXPECT_LT(stats.max_rel_error, 1e-7);
+}
+
+TEST(Gather, UnhalvedConvention) {
+  const auto result = run_gather_bc(gen::path(5), 0, /*halve=*/false);
+  EXPECT_NEAR(result.betweenness[2], 8.0, 1e-6);
+}
+
+TEST(Gather, BottleneckCutForcesQuadraticRounds) {
+  // Edge streams parallelize over the root's incident tree edges, so on a
+  // complete graph gathering is O(N) too.  The separation appears at a
+  // bottleneck cut: on a barbell, the whole far clique (m(m-1)/2 edges)
+  // must squeeze through the single bridge edge one record per round,
+  // while the paper's pipeline stays O(N) regardless.
+  const Graph g = gen::barbell(48, 2);  // N=98, far clique: 1128 edges
+  const auto gather = run_gather_bc(g);
+  const auto pipeline = run_distributed_bc(g);
+  EXPECT_GE(gather.rounds, 48u * 47u / 2u);  // bridge serialization
+  EXPECT_GT(gather.rounds, pipeline.rounds);
+}
+
+TEST(Gather, CompleteGraphParallelizesStreams) {
+  // ... and the flip side: with a max-degree root, gathering K_24 needs
+  // far fewer rounds than M (the 23 incident edges stream in parallel).
+  const Graph dense = gen::complete(24);
+  const auto gather = run_gather_bc(dense);
+  EXPECT_LT(gather.rounds, dense.num_edges() / 2);
+}
+
+TEST(Gather, SparseGraphsAreComparable) {
+  // On a path M = N-1: gather is Theta(N) too (and here cheaper, since it
+  // skips the N staggered BFS waves).
+  const Graph g = gen::path(48);
+  const auto gather = run_gather_bc(g);
+  EXPECT_LE(gather.rounds, 6u * 48u);
+}
+
+TEST(Gather, StaysWithinCongestBudget) {
+  Rng rng(3);
+  const Graph g = gen::erdos_renyi_connected(32, 0.2, rng);
+  // run_gather_bc enforces the budget internally; completing is the check.
+  const auto result = run_gather_bc(g);
+  EXPECT_LE(result.metrics.max_bits_on_edge_round,
+            congest_budget_bits(g.num_nodes()));
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,240 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "central/brandes.hpp"
+#include "common/assert.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+namespace {
+
+using gen::NamedGraph;
+
+TEST(Generators, Path) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 4u);
+}
+
+TEST(Generators, SingleNodePath) {
+  const Graph g = gen::path(1);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = gen::cycle(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (NodeId v = 0; v < 7; ++v) {
+    EXPECT_EQ(g.degree(v), 2u);
+  }
+  EXPECT_EQ(diameter(g), 3u);
+}
+
+TEST(Generators, Star) {
+  const Graph g = gen::star(9);
+  EXPECT_EQ(g.degree(0), 8u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = gen::complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(diameter(g), 1u);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = gen::complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_EQ(diameter(g), 2u);
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(3), 3u);
+}
+
+TEST(Generators, Wheel) {
+  const Graph g = gen::wheel(8);
+  EXPECT_EQ(g.degree(7), 7u);  // hub
+  EXPECT_EQ(diameter(g), 2u);
+  for (NodeId v = 0; v < 7; ++v) {
+    EXPECT_EQ(g.degree(v), 3u);
+  }
+}
+
+TEST(Generators, BalancedTree) {
+  const Graph g = gen::balanced_tree(2, 3);
+  EXPECT_EQ(g.num_nodes(), 15u);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 6u);
+}
+
+TEST(Generators, Grid) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);
+  EXPECT_EQ(diameter(g), 5u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  EXPECT_EQ(diameter(g), 4u);
+  for (NodeId v = 0; v < 16; ++v) {
+    EXPECT_EQ(g.degree(v), 4u);
+  }
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(1);
+  const Graph g = gen::random_tree(50, rng);
+  EXPECT_EQ(g.num_edges(), 49u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, ErdosRenyiConnected) {
+  Rng rng(2);
+  for (const double p : {0.0, 0.05, 0.3}) {
+    const Graph g = gen::erdos_renyi_connected(40, p, rng);
+    EXPECT_EQ(g.num_nodes(), 40u);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, BarabasiAlbertDegrees) {
+  Rng rng(3);
+  const Graph g = gen::barabasi_albert(60, 2, rng);
+  EXPECT_EQ(g.num_nodes(), 60u);
+  EXPECT_TRUE(is_connected(g));
+  // Every non-seed node brings exactly 2 edges.
+  EXPECT_EQ(g.num_edges(), 3u + 57u * 2u);
+}
+
+TEST(Generators, WattsStrogatzStaysConnected) {
+  Rng rng(4);
+  for (const double beta : {0.0, 0.2, 1.0}) {
+    const Graph g = gen::watts_strogatz(40, 3, beta, rng);
+    EXPECT_EQ(g.num_nodes(), 40u);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, LollipopBridgeHasHighBc) {
+  const Graph g = gen::lollipop(8, 8);
+  EXPECT_TRUE(is_connected(g));
+  const auto bc = brandes_bc(g);
+  // The clique-tail junction (node 7) dominates every clique node.
+  for (NodeId v = 0; v < 7; ++v) {
+    EXPECT_GT(bc[7], bc[v]);
+  }
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = gen::barbell(5, 3);
+  EXPECT_EQ(g.num_nodes(), 13u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 6u);
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph g = gen::caterpillar(5, 2);
+  EXPECT_EQ(g.num_nodes(), 15u);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, DiamondChainPathCounts) {
+  // sigma(end, end) along a chain of k diamonds is exactly 2^k.
+  for (const unsigned k : {1u, 3u, 10u, 40u}) {
+    const Graph g = gen::diamond_chain(k);
+    EXPECT_EQ(g.num_nodes(), 1 + 3 * k);
+    const auto sigma = count_shortest_paths(g, 0);
+    EXPECT_EQ(sigma[g.num_nodes() - 1], BigUint::pow2(k));
+  }
+}
+
+TEST(Generators, LayeredBlowupPathCounts) {
+  // sigma(source, sink) = width^depth.
+  const Graph g = gen::layered_blowup(3, 4);
+  const auto sigma = count_shortest_paths(g, 0);
+  EXPECT_EQ(sigma[g.num_nodes() - 1], BigUint(81));
+}
+
+TEST(Generators, LayeredBlowupExponential) {
+  // 5^30 overflows 64 bits — checks BigUint plumbing end to end.
+  const Graph g = gen::layered_blowup(5, 30);
+  const auto sigma = count_shortest_paths(g, 0);
+  BigUint expected(1);
+  for (int i = 0; i < 30; ++i) {
+    expected *= BigUint(5);
+  }
+  EXPECT_EQ(sigma[g.num_nodes() - 1], expected);
+  EXPECT_GT(expected.bit_length(), 64u);
+}
+
+TEST(Generators, Figure1ExampleStructure) {
+  const Graph g = gen::figure1_example();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(diameter(g), 3u);
+  // d(v1, v4) = 3 and sigma_{v1 v4} = 2 as in the paper's walkthrough.
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[3], 3u);
+  const auto sigma = count_shortest_paths(g, 0);
+  EXPECT_EQ(sigma[3], BigUint(2));
+}
+
+TEST(Generators, StochasticBlockModel) {
+  Rng rng(31);
+  const Graph g = gen::stochastic_block_model(4, 10, 0.5, 0.02, rng);
+  EXPECT_EQ(g.num_nodes(), 40u);
+  EXPECT_TRUE(is_connected(g));
+  // Communities are denser inside than across: count edges of each kind.
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  for (const auto& e : g.edges()) {
+    (e.u / 10 == e.v / 10 ? intra : inter) += 1;
+  }
+  EXPECT_GT(intra, 3 * inter);
+}
+
+TEST(Generators, RandomGeometric) {
+  Rng rng(37);
+  const Graph g = gen::random_geometric(60, 0.25, rng);
+  EXPECT_EQ(g.num_nodes(), 60u);
+  EXPECT_TRUE(is_connected(g));
+  // Denser radius must produce at least as many edges on the same points
+  // ... regenerate with a fresh rng for each radius instead (points are
+  // drawn inside the generator): bigger radius, more edges in expectation.
+  Rng rng_small(99);
+  Rng rng_large(99);
+  const Graph sparse = gen::random_geometric(60, 0.1, rng_small);
+  const Graph dense = gen::random_geometric(60, 0.4, rng_large);
+  EXPECT_GT(dense.num_edges(), sparse.num_edges());
+}
+
+TEST(Generators, StandardSuiteAllConnected) {
+  for (const auto& [name, graph] : gen::standard_suite(32, 99)) {
+    EXPECT_GE(graph.num_nodes(), 8u) << name;
+    EXPECT_TRUE(is_connected(graph)) << name;
+  }
+}
+
+TEST(Generators, PreconditionViolations) {
+  Rng rng(5);
+  EXPECT_THROW(gen::cycle(2), PreconditionError);
+  EXPECT_THROW(gen::star(1), PreconditionError);
+  EXPECT_THROW(gen::complete(1), PreconditionError);
+  EXPECT_THROW(gen::wheel(3), PreconditionError);
+  EXPECT_THROW(gen::barabasi_albert(3, 3, rng), PreconditionError);
+  EXPECT_THROW(gen::watts_strogatz(4, 2, 0.1, rng), PreconditionError);
+  EXPECT_THROW(gen::lollipop(2, 1), PreconditionError);
+  EXPECT_THROW(gen::erdos_renyi_connected(10, 1.5, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,109 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0, {});
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, IsolatedNodes) {
+  Graph g(5, {});
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(g.neighbors(v).empty());
+    EXPECT_EQ(g.degree(v), 0u);
+  }
+}
+
+TEST(Graph, TriangleBasics) {
+  Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.degree(v), 2u);
+  }
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, NormalizesAndDeduplicatesEdges) {
+  Graph g(4, {{2, 1}, {1, 2}, {0, 3}, {3, 0}, {0, 3}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edges()[0], (Edge{0, 3}));
+  EXPECT_EQ(g.edges()[1], (Edge{1, 2}));
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(6, {{0, 5}, {0, 2}, {0, 4}, {0, 1}});
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 4u);
+  EXPECT_EQ(nbrs[3], 5u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph(3, {{1, 1}}), PreconditionError);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(Graph(3, {{0, 3}}), PreconditionError);
+}
+
+TEST(Graph, NeighborsOutOfRangeThrows) {
+  Graph g(2, {{0, 1}});
+  EXPECT_THROW(g.neighbors(2), PreconditionError);
+  EXPECT_THROW(g.degree(5), PreconditionError);
+}
+
+TEST(Graph, MaxDegree) {
+  Graph g(5, {{0, 1}, {0, 2}, {0, 3}, {3, 4}});
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(GraphBuilder, IncrementalConstruction) {
+  GraphBuilder builder;
+  const NodeId a = builder.add_node();
+  const NodeId b = builder.add_node();
+  const NodeId c = builder.add_node();
+  builder.add_edge(a, b);
+  builder.add_edge(b, c);
+  const Graph g = std::move(builder).build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_FALSE(g.has_edge(a, c));
+}
+
+TEST(GraphBuilder, EnsureNodeGrowsGraph) {
+  GraphBuilder builder;
+  builder.ensure_node(9);
+  EXPECT_EQ(builder.num_nodes(), 10u);
+  builder.add_edge(0, 9);
+  const Graph g = std::move(builder).build();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_TRUE(g.has_edge(0, 9));
+}
+
+TEST(GraphBuilder, AddEdgeCreatesEndpoints) {
+  GraphBuilder builder;
+  builder.add_edge(3, 7);
+  EXPECT_EQ(builder.num_nodes(), 8u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder builder;
+  EXPECT_THROW(builder.add_edge(2, 2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,80 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/weighted.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(GraphIo, ParsesSimpleEdgeList) {
+  const Graph g = read_edge_list_text("3 2\n0 1\n1 2\n");
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, SkipsCommentsAndBlankLines) {
+  const Graph g = read_edge_list_text(
+      "# a comment\n\n  # another\n4 2\n# mid comment\n0 3\n\n1 2\n");
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, RoundTrip) {
+  Rng rng(11);
+  const Graph original = gen::erdos_renyi_connected(25, 0.15, rng);
+  const Graph parsed = read_edge_list_text(write_edge_list_text(original));
+  EXPECT_EQ(parsed.num_nodes(), original.num_nodes());
+  EXPECT_EQ(parsed.edges(), original.edges());
+}
+
+TEST(GraphIo, MalformedInputs) {
+  EXPECT_THROW(read_edge_list_text(""), PreconditionError);
+  EXPECT_THROW(read_edge_list_text("abc\n"), PreconditionError);
+  EXPECT_THROW(read_edge_list_text("3 2\n0 1\n"), PreconditionError);
+  EXPECT_THROW(read_edge_list_text("3 1\n0 5\n"), PreconditionError);
+  EXPECT_THROW(read_edge_list_text("3 1\n1 1\n"), PreconditionError);
+  EXPECT_THROW(read_edge_list_text("3 1\nx y\n"), PreconditionError);
+}
+
+TEST(WeightedIo, RoundTrip) {
+  Rng rng(13);
+  const WeightedGraph original =
+      with_random_weights(gen::erdos_renyi_connected(15, 0.2, rng), 9, rng);
+  const WeightedGraph parsed =
+      read_weighted_edge_list_text(write_weighted_edge_list_text(original));
+  EXPECT_EQ(parsed.num_nodes(), original.num_nodes());
+  EXPECT_EQ(parsed.edges(), original.edges());
+}
+
+TEST(WeightedIo, ParsesWithComments) {
+  const WeightedGraph g = read_weighted_edge_list_text(
+      "# roads\n3 2\n0 1 5\n# middle\n1 2 7\n");
+  EXPECT_EQ(g.num_nodes(), 3u);
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edges()[0].weight, 5u);
+  EXPECT_EQ(g.edges()[1].weight, 7u);
+}
+
+TEST(WeightedIo, MalformedInputs) {
+  EXPECT_THROW(read_weighted_edge_list_text("3 1\n0 1\n"), PreconditionError);
+  EXPECT_THROW(read_weighted_edge_list_text("3 1\n0 1 0\n"),
+               PreconditionError);
+  EXPECT_THROW(read_weighted_edge_list_text("3 1\n0 3 2\n"),
+               PreconditionError);
+}
+
+TEST(GraphIo, EmptyGraph) {
+  const Graph g = read_edge_list_text("0 0\n");
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(write_edge_list_text(g), "0 0\n");
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,74 @@
+// End-to-end run on a real dataset: Zachary's karate club (1977), the
+// canonical social-network benchmark shipped in data/karate.txt.  The
+// expected values below were computed independently with networkx
+// (betweenness_centrality, normalized=False — the same unordered-pair
+// convention as our halved sums).
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "algo/bc_pipeline.hpp"
+#include "central/brandes.hpp"
+#include "core/validation.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+namespace {
+
+Graph load_karate() {
+  for (const char* path : {"data/karate.txt", "../data/karate.txt",
+                           "../../data/karate.txt"}) {
+    std::ifstream file(path);
+    if (file.good()) {
+      return read_edge_list(file);
+    }
+  }
+  throw std::runtime_error("data/karate.txt not found (run from repo root)");
+}
+
+TEST(Karate, LoadsAndIsConnected) {
+  const Graph g = load_karate();
+  EXPECT_EQ(g.num_nodes(), 34u);
+  EXPECT_EQ(g.num_edges(), 78u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 5u);
+}
+
+TEST(Karate, BrandesMatchesNetworkxReference) {
+  const Graph g = load_karate();
+  const auto bc = brandes_bc(g);
+  // networkx betweenness_centrality(normalized=False):
+  EXPECT_NEAR(bc[0], 231.071429, 1e-5);   // instructor (Mr. Hi)
+  EXPECT_NEAR(bc[33], 160.551587, 1e-5);  // club president (John A.)
+  EXPECT_NEAR(bc[32], 76.690476, 1e-5);
+  EXPECT_NEAR(bc[2], 75.850794, 1e-5);
+}
+
+TEST(Karate, DistributedMatchesBrandes) {
+  const Graph g = load_karate();
+  const auto result = run_distributed_bc(g);
+  const auto reference = brandes_bc(g);
+  const auto stats = compare_vectors(result.betweenness, reference, 1e-6);
+  EXPECT_LT(stats.max_rel_error, 1e-6);
+}
+
+TEST(Karate, FactionLeadersTopTheRanking) {
+  const Graph g = load_karate();
+  const auto result = run_distributed_bc(g);
+  // The two faction leaders carry the most betweenness — the structural
+  // fact behind the club's historical split.
+  for (NodeId v = 1; v < 33; ++v) {
+    EXPECT_LT(result.betweenness[v], result.betweenness[0]);
+  }
+  NodeId second = 1;
+  for (NodeId v = 1; v < 34; ++v) {
+    if (v != 0 && result.betweenness[v] > result.betweenness[second]) {
+      second = v;
+    }
+  }
+  EXPECT_EQ(second, 33u);
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,92 @@
+// Second real dataset: the Les Misérables character co-occurrence
+// network (Knuth 1993; 77 nodes, 254 weighted edges), exercising both the
+// unweighted pipeline and the weighted subdivision end to end.  Expected
+// values computed independently with networkx
+// (betweenness_centrality, normalized=False[, weight='weight']).
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "algo/bc_pipeline.hpp"
+#include "algo/weighted_bc.hpp"
+#include "central/brandes.hpp"
+#include "central/weighted_brandes.hpp"
+#include "core/validation.hpp"
+#include "graph/io.hpp"
+
+namespace congestbc {
+namespace {
+
+constexpr NodeId kValjean = 73;
+constexpr NodeId kMyriel = 62;
+constexpr NodeId kGavroche = 31;
+
+WeightedGraph load_lesmis() {
+  for (const char* path : {"data/lesmis.txt", "../data/lesmis.txt",
+                           "../../data/lesmis.txt"}) {
+    std::ifstream file(path);
+    if (file.good()) {
+      return read_weighted_edge_list(file);
+    }
+  }
+  throw std::runtime_error("data/lesmis.txt not found (run from repo root)");
+}
+
+Graph unweighted_view(const WeightedGraph& g) {
+  std::vector<Edge> edges;
+  for (const auto& e : g.edges()) {
+    edges.push_back({e.u, e.v});
+  }
+  return Graph(g.num_nodes(), std::move(edges));
+}
+
+TEST(LesMis, Loads) {
+  const WeightedGraph g = load_lesmis();
+  EXPECT_EQ(g.num_nodes(), 77u);
+  EXPECT_EQ(g.num_edges(), 254u);
+  EXPECT_EQ(g.total_weight(), 820u);
+}
+
+TEST(LesMis, UnweightedBetweennessMatchesNetworkx) {
+  const Graph g = unweighted_view(load_lesmis());
+  const auto bc = brandes_bc(g);
+  EXPECT_NEAR(bc[kValjean], 1624.4688, 1e-3);
+  EXPECT_NEAR(bc[kMyriel], 504.0, 1e-3);
+  EXPECT_NEAR(bc[kGavroche], 470.57063, 1e-3);
+}
+
+TEST(LesMis, DistributedUnweightedMatchesBrandes) {
+  const Graph g = unweighted_view(load_lesmis());
+  const auto result = run_distributed_bc(g);
+  const auto reference = brandes_bc(g);
+  const auto stats = compare_vectors(result.betweenness, reference, 1e-6);
+  EXPECT_LT(stats.max_rel_error, 1e-6);
+  // Valjean is the unambiguous hub of the novel.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v != kValjean) {
+      EXPECT_LT(result.betweenness[v], result.betweenness[kValjean]);
+    }
+  }
+}
+
+TEST(LesMis, WeightedBetweennessMatchesNetworkx) {
+  // weight-as-distance convention (networkx weight='weight').
+  const WeightedGraph g = load_lesmis();
+  const auto bc = weighted_brandes_bc(g);
+  EXPECT_NEAR(bc[kValjean], 1293.61407, 1e-3);
+  EXPECT_NEAR(bc[kGavroche], 812.68494, 1e-3);
+  EXPECT_NEAR(bc[kMyriel], 504.0, 1e-3);
+}
+
+TEST(LesMis, DistributedWeightedMatchesReference) {
+  const WeightedGraph g = load_lesmis();
+  const auto result = run_distributed_weighted_bc(g);
+  const auto reference = weighted_brandes_bc(g);
+  const auto stats = compare_vectors(result.betweenness, reference, 1e-6);
+  EXPECT_LT(stats.max_rel_error, 1e-6);
+  // Subdivision size: N' = N + sum(w-1) = 77 + (820-254) = 643.
+  EXPECT_EQ(result.subdivided_nodes, 643u);
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,286 @@
+#include "graph/lowerbound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "central/brandes.hpp"
+#include "common/assert.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+namespace {
+
+using lb::BcGadget;
+using lb::binomial;
+using lb::build_bc_gadget;
+using lb::build_diameter_gadget;
+using lb::DiameterGadget;
+using lb::min_universe_for;
+using lb::SetFamily;
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(4, 2), 6u);
+  EXPECT_EQ(binomial(10, 5), 252u);
+  EXPECT_EQ(binomial(5, 7), 0u);
+  EXPECT_EQ(binomial(62, 31), 465428353255261088ull);
+}
+
+TEST(Binomial, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(binomial(128, 64), UINT64_MAX);
+}
+
+TEST(MinUniverse, MatchesPaperChoice) {
+  // smallest even m with C(m, m/2) >= n^2
+  EXPECT_EQ(min_universe_for(1), 2u);   // C(2,1)=2 >= 1
+  EXPECT_EQ(min_universe_for(2), 4u);   // C(4,2)=6 >= 4
+  EXPECT_EQ(min_universe_for(10), 10u); // C(10,5)=252 >= 100
+}
+
+TEST(SetFamily, SubsetRankingRoundTrip) {
+  const unsigned m = 8;
+  const std::uint64_t total = binomial(m, m / 2);
+  for (std::uint64_t rank = 0; rank < total; ++rank) {
+    const std::uint64_t mask = SetFamily::unrank_subset(m, rank);
+    EXPECT_EQ(__builtin_popcountll(mask), 4);
+    EXPECT_EQ(SetFamily::rank_subset(m, mask), rank);
+  }
+}
+
+TEST(SetFamily, UnrankIsInjective) {
+  const unsigned m = 10;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t rank = 0; rank < binomial(m, m / 2); ++rank) {
+    EXPECT_TRUE(seen.insert(SetFamily::unrank_subset(m, rank)).second);
+  }
+}
+
+TEST(SetFamily, RandomFamilyValid) {
+  Rng rng(1);
+  const auto family = SetFamily::random(10, 8, rng);
+  EXPECT_EQ(family.size(), 10u);
+  for (std::size_t j = 0; j < family.size(); ++j) {
+    EXPECT_EQ(__builtin_popcountll(family.set_mask(j)), 4);
+  }
+}
+
+TEST(SetFamily, IntersectionDetection) {
+  const SetFamily x(4, {0b0011, 0b0101});
+  const SetFamily y_disjoint(4, {0b0110, 0b1001});
+  const SetFamily y_matching(4, {0b1100, 0b0101});
+  EXPECT_FALSE(SetFamily::families_intersect(x, y_disjoint));
+  EXPECT_TRUE(SetFamily::families_intersect(x, y_matching));
+  const auto m = SetFamily::matches(x, y_matching);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], (std::pair<std::size_t, std::size_t>{1, 1}));
+}
+
+TEST(SetFamily, RejectsWrongCardinality) {
+  EXPECT_THROW(SetFamily(4, {0b0111}), PreconditionError);
+  EXPECT_THROW(SetFamily(4, {0b10011}), PreconditionError);
+}
+
+// --- Figure 2 (diameter gadget, Lemma 8) ---
+
+class DiameterGadgetLemma : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DiameterGadgetLemma, DisjointFamiliesGiveDiameterX) {
+  const unsigned x = GetParam();
+  const SetFamily xf(4, {0b0011, 0b0101});
+  const SetFamily yf(4, {0b0110, 0b1010});
+  const auto gadget = build_diameter_gadget(xf, yf, x);
+  EXPECT_TRUE(is_connected(gadget.graph));
+  EXPECT_EQ(gadget.expected_diameter, x);
+  EXPECT_EQ(diameter(gadget.graph), x);
+}
+
+TEST_P(DiameterGadgetLemma, MatchingFamiliesGiveDiameterXPlus2) {
+  const unsigned x = GetParam();
+  const SetFamily xf(4, {0b0011, 0b0101});
+  const SetFamily yf(4, {0b0011, 0b0110});
+  const auto gadget = build_diameter_gadget(xf, yf, x);
+  EXPECT_EQ(gadget.expected_diameter, x + 2);
+  EXPECT_EQ(diameter(gadget.graph), x + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(XSweep, DiameterGadgetLemma,
+                         ::testing::Values(8u, 9u, 12u, 16u));
+
+TEST(DiameterGadget, SPrimeTPrimeDistancesMatchLemma8) {
+  const SetFamily xf(4, {0b0011, 0b0101, 0b1010});
+  const SetFamily yf(4, {0b0101, 0b1100, 0b0110});
+  const unsigned x = 10;
+  const auto gadget = build_diameter_gadget(xf, yf, x);
+  for (std::size_t i = 0; i < xf.size(); ++i) {
+    const auto dist = bfs_distances(gadget.graph, gadget.s_prime[i]);
+    for (std::size_t j = 0; j < yf.size(); ++j) {
+      const unsigned expected =
+          xf.set_mask(i) == yf.set_mask(j) ? x + 2 : x;
+      EXPECT_EQ(dist[gadget.t_prime[j]], expected) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(DiameterGadget, RandomInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto xf = SetFamily::random(5, 6, rng);
+    const auto yf = SetFamily::random(5, 6, rng);
+    const auto gadget = build_diameter_gadget(xf, yf, 9);
+    EXPECT_EQ(diameter(gadget.graph), gadget.expected_diameter) << trial;
+  }
+}
+
+TEST(DiameterGadget, CutEdgesArePresent) {
+  const SetFamily xf(4, {0b0011});
+  const SetFamily yf(4, {0b1100});
+  const auto gadget = build_diameter_gadget(xf, yf, 8);
+  EXPECT_EQ(gadget.cut_edges.size(), 4u + 1u);  // m paths + the A-B path
+  for (const auto& e : gadget.cut_edges) {
+    EXPECT_TRUE(gadget.graph.has_edge(e.u, e.v));
+  }
+}
+
+TEST(DiameterGadget, RejectsSmallX) {
+  const SetFamily xf(4, {0b0011});
+  const SetFamily yf(4, {0b1100});
+  EXPECT_THROW(build_diameter_gadget(xf, yf, 7), PreconditionError);
+}
+
+// --- Figure 3 (betweenness gadget, Lemma 9) ---
+
+TEST(BcGadgetLemma, ExactBcValuesNoMatch) {
+  const SetFamily xf(4, {0b0011, 0b0101});
+  const SetFamily yf(4, {0b0110, 0b1010});
+  const auto gadget = build_bc_gadget(xf, yf);
+  EXPECT_TRUE(is_connected(gadget.graph));
+  const auto bc = brandes_bc(gadget.graph);
+  for (std::size_t i = 0; i < xf.size(); ++i) {
+    EXPECT_NEAR(bc[gadget.f[i]], 1.0, 1e-9) << "F_" << i;
+    EXPECT_DOUBLE_EQ(gadget.expected_bc_of_f[i], 1.0);
+  }
+}
+
+TEST(BcGadgetLemma, ExactBcValuesWithPlantedMatch) {
+  const SetFamily xf(4, {0b0011, 0b0101, 0b1001});
+  const SetFamily yf(4, {0b0110, 0b0101, 0b1100});
+  const auto gadget = build_bc_gadget(xf, yf);
+  const auto bc = brandes_bc(gadget.graph);
+  EXPECT_NEAR(bc[gadget.f[0]], 1.0, 1e-9);
+  EXPECT_NEAR(bc[gadget.f[1]], 1.5, 1e-9);  // X_1 == Y_1
+  EXPECT_NEAR(bc[gadget.f[2]], 1.0, 1e-9);
+}
+
+TEST(BcGadgetLemma, RandomInstancesMatchLemma9) {
+  Rng rng(17);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto xf = SetFamily::random(4, 6, rng);
+    const auto yf = SetFamily::random(4, 6, rng);
+    const auto gadget = build_bc_gadget(xf, yf);
+    const auto bc = brandes_bc(gadget.graph);
+    for (std::size_t i = 0; i < xf.size(); ++i) {
+      EXPECT_NEAR(bc[gadget.f[i]], gadget.expected_bc_of_f[i], 1e-9)
+          << "trial " << trial << " F_" << i;
+    }
+  }
+}
+
+TEST(BcGadget, DistancesMatchPaperObservation) {
+  // d(S_i, T_j) = 3 when X_i != Y_j, 4 when X_i == Y_j.
+  const SetFamily xf(4, {0b0011, 0b1010});
+  const SetFamily yf(4, {0b0011, 0b0101});
+  const auto gadget = build_bc_gadget(xf, yf);
+  for (std::size_t i = 0; i < xf.size(); ++i) {
+    const auto dist = bfs_distances(gadget.graph, gadget.s[i]);
+    for (std::size_t j = 0; j < yf.size(); ++j) {
+      const unsigned expected = xf.set_mask(i) == yf.set_mask(j) ? 4u : 3u;
+      EXPECT_EQ(dist[gadget.t[j]], expected) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+// Parameterized exactness sweep: family size x planted-match count.
+class BcGadgetSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>> {};
+
+TEST_P(BcGadgetSweep, Lemma9ExactAcrossSizes) {
+  const auto [n, planted] = GetParam();
+  if (planted >= 1 && 2 * (planted - 1) >= n) {
+    GTEST_SKIP() << "not enough X slots to plant " << planted << " matches";
+  }
+  const unsigned m = lb::min_universe_for(n);
+  Rng rng(900 + n * 10 + planted);
+  SetFamily xf = SetFamily::random(n, m, rng);
+  std::vector<std::uint64_t> ysets;
+  while (ysets.size() < n) {
+    const std::uint64_t mask =
+        SetFamily::unrank_subset(m, rng.next_below(binomial(m, m / 2)));
+    bool clash = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      clash = clash || mask == xf.set_mask(i);
+    }
+    for (const auto existing : ysets) {
+      clash = clash || mask == existing;
+    }
+    if (!clash) {
+      ysets.push_back(mask);
+    }
+  }
+  for (unsigned p = 0; p < planted; ++p) {
+    ysets[p] = xf.set_mask(2 * p);
+  }
+  const auto gadget = build_bc_gadget(xf, SetFamily(m, ysets));
+  const auto bc = brandes_bc(gadget.graph);
+  unsigned matches_seen = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(bc[gadget.f[i]], gadget.expected_bc_of_f[i], 1e-9)
+        << "F_" << i;
+    if (gadget.expected_bc_of_f[i] > 1.25) {
+      ++matches_seen;
+    }
+  }
+  EXPECT_EQ(matches_seen, planted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesByPlanted, BcGadgetSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 4, 8, 12),
+                       ::testing::Values(0u, 1u, 2u)));
+
+TEST(BcGadget, HalfPointGapDistinguishable) {
+  // Theorem 6: an algorithm with relative error < 0.499 distinguishes 1
+  // from 1.5 — verify the gap really is 0.5 on a batch of instances.
+  Rng rng(23);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto xf = SetFamily::random(3, 6, rng);
+    const auto yf = SetFamily::random(3, 6, rng);
+    const auto gadget = build_bc_gadget(xf, yf);
+    const auto bc = brandes_bc(gadget.graph);
+    for (std::size_t i = 0; i < xf.size(); ++i) {
+      const double v = bc[gadget.f[i]];
+      EXPECT_TRUE(std::abs(v - 1.0) < 1e-6 || std::abs(v - 1.5) < 1e-6)
+          << "C_B(F_" << i << ") = " << v;
+    }
+  }
+}
+
+TEST(BcGadget, CutEdges) {
+  const SetFamily xf(4, {0b0011});
+  const SetFamily yf(4, {0b1100});
+  const auto gadget = build_bc_gadget(xf, yf);
+  EXPECT_EQ(gadget.cut_edges.size(), 4u + 1u);  // m L-L' edges + P-Q
+  for (const auto& e : gadget.cut_edges) {
+    EXPECT_TRUE(gadget.graph.has_edge(e.u, e.v));
+  }
+}
+
+TEST(BcGadget, RejectsDuplicateSubsets) {
+  EXPECT_THROW(build_bc_gadget(SetFamily(4, {0b0011, 0b0011}),
+                               SetFamily(4, {0b1100})),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,248 @@
+#include "congest/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "graph/generators.hpp"
+
+namespace congestbc {
+namespace {
+
+/// Floods a token: node 0 sends "1" to neighbors in round 0; every node
+/// forwards once.  Terminates when everyone has seen the token.
+class FloodProgram final : public NodeProgram {
+ public:
+  explicit FloodProgram(NodeId id) : id_(id) {}
+
+  void on_round(NodeContext& ctx) override {
+    if (id_ == 0 && ctx.round() == 0) {
+      seen_ = true;
+      broadcast(ctx);
+      return;
+    }
+    if (!seen_ && !ctx.inbox().empty()) {
+      seen_ = true;
+      receive_round_ = ctx.round();
+      broadcast(ctx);
+    }
+  }
+
+  bool done() const override { return seen_; }
+  std::uint64_t receive_round() const { return receive_round_; }
+
+ private:
+  void broadcast(NodeContext& ctx) {
+    BitWriter w;
+    w.write(1, 1);
+    for (const NodeId nbr : ctx.neighbors()) {
+      ctx.send(nbr, w);
+    }
+  }
+
+  NodeId id_;
+  bool seen_ = false;
+  std::uint64_t receive_round_ = 0;
+};
+
+/// Sends an oversized message in round 0 (budget violation fixture).
+class OversizeProgram final : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx) override {
+    if (ctx.round() == 0) {
+      BitWriter w;
+      for (int i = 0; i < 20; ++i) {
+        w.write(UINT64_MAX, 64);
+      }
+      for (const NodeId nbr : ctx.neighbors()) {
+        ctx.send(nbr, w);
+      }
+    }
+    sent_ = true;
+  }
+  bool done() const override { return sent_; }
+
+ private:
+  bool sent_ = false;
+};
+
+/// Never terminates (max_rounds fixture).
+class SpinProgram final : public NodeProgram {
+ public:
+  void on_round(NodeContext&) override {}
+  bool done() const override { return false; }
+};
+
+/// Sends to a non-neighbor (locality violation fixture).
+class IllegalSendProgram final : public NodeProgram {
+ public:
+  explicit IllegalSendProgram(NodeId id) : id_(id) {}
+  void on_round(NodeContext& ctx) override {
+    if (id_ == 0 && ctx.round() == 0) {
+      BitWriter w;
+      w.write(1, 1);
+      ctx.send(ctx.num_nodes() - 1, w);  // path graph: not a neighbor
+    }
+    done_ = true;
+  }
+  bool done() const override { return done_; }
+
+ private:
+  NodeId id_;
+  bool done_ = false;
+};
+
+TEST(Network, FloodTakesEccentricityRounds) {
+  const Graph g = gen::path(6);
+  Network net(g, NetworkConfig{64, 1000, true});
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  std::vector<FloodProgram*> views;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto p = std::make_unique<FloodProgram>(v);
+    views.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  const auto metrics = net.run(programs);
+  // Node k receives in round k (sent in round k-1).
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(views[v]->receive_round(), v);
+  }
+  // 5 propagation rounds + the final delivery round + the quiescent round.
+  EXPECT_EQ(metrics.rounds, 7u);
+}
+
+TEST(Network, CountsMessagesAndBits) {
+  const Graph g = gen::path(3);
+  Network net(g, NetworkConfig{64, 1000, true});
+  const auto metrics = net.run(
+      [](NodeId id) { return std::make_unique<FloodProgram>(id); });
+  // Round 0: node 0 -> node 1 (1 msg).  Round 1: node 1 -> {0, 2}.
+  // Round 2: node 2 -> 1.  All 1-bit payloads.
+  EXPECT_EQ(metrics.total_physical_messages, 4u);
+  EXPECT_EQ(metrics.total_logical_messages, 4u);
+  EXPECT_EQ(metrics.total_bits, 4u);
+  EXPECT_EQ(metrics.max_bits_on_edge_round, 1u);
+  EXPECT_EQ(metrics.max_logical_on_edge_round, 1u);
+}
+
+TEST(Network, PerRoundStatsRecorded) {
+  const Graph g = gen::star(5);
+  Network net(g, NetworkConfig{64, 1000, true});
+  const auto metrics = net.run(
+      [](NodeId id) { return std::make_unique<FloodProgram>(id); });
+  ASSERT_GE(metrics.per_round.size(), 2u);
+  EXPECT_EQ(metrics.per_round[0].physical_messages, 4u);  // center floods
+  EXPECT_EQ(metrics.per_round[1].physical_messages, 4u);  // leaves reply
+}
+
+TEST(Network, BundlesLogicalMessages) {
+  // A program that sends three logical messages to the same neighbor.
+  class Bundler final : public NodeProgram {
+   public:
+    explicit Bundler(NodeId id) : id_(id) {}
+    void on_round(NodeContext& ctx) override {
+      if (id_ == 0 && ctx.round() == 0) {
+        BitWriter w;
+        w.write(5, 3);
+        ctx.send(1, w);
+        ctx.send(1, w);
+        ctx.send(1, w);
+      }
+      if (id_ == 1 && !ctx.inbox().empty()) {
+        ASSERT_EQ(ctx.inbox().size(), 1u);  // one physical bundle
+        auto reader = ctx.inbox()[0].reader();
+        EXPECT_EQ(reader.read(3), 5u);
+        EXPECT_EQ(reader.read(3), 5u);
+        EXPECT_EQ(reader.read(3), 5u);
+        EXPECT_EQ(reader.remaining(), 0u);
+        verified_ = true;
+      }
+      if (ctx.round() > 0) {
+        finished_ = true;
+      }
+    }
+    bool done() const override { return finished_; }
+    bool verified() const { return verified_; }
+
+   private:
+    NodeId id_;
+    bool finished_ = false;
+    bool verified_ = false;
+  };
+
+  const Graph g = gen::path(2);
+  Network net(g, NetworkConfig{64, 100, true});
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<Bundler>(0));
+  programs.push_back(std::make_unique<Bundler>(1));
+  auto* receiver = static_cast<Bundler*>(programs[1].get());
+  const auto metrics = net.run(programs);
+  EXPECT_TRUE(receiver->verified());
+  EXPECT_EQ(metrics.total_physical_messages, 1u);
+  EXPECT_EQ(metrics.total_logical_messages, 3u);
+  EXPECT_EQ(metrics.max_logical_on_edge_round, 3u);
+}
+
+TEST(Network, EnforcesBitBudget) {
+  const Graph g = gen::path(2);
+  Network net(g, NetworkConfig{64, 100, true});
+  EXPECT_THROW(
+      net.run([](NodeId) { return std::make_unique<OversizeProgram>(); }),
+      InvariantError);
+}
+
+TEST(Network, ZeroBudgetDisablesCheck) {
+  const Graph g = gen::path(2);
+  Network net(g, NetworkConfig{0, 100, true});
+  const auto metrics = net.run(
+      [](NodeId) { return std::make_unique<OversizeProgram>(); });
+  EXPECT_EQ(metrics.max_bits_on_edge_round, 20u * 64u);
+}
+
+TEST(Network, MaxRoundsGuard) {
+  const Graph g = gen::path(2);
+  Network net(g, NetworkConfig{64, 10, true});
+  EXPECT_THROW(net.run([](NodeId) { return std::make_unique<SpinProgram>(); }),
+               InvariantError);
+}
+
+TEST(Network, RejectsNonNeighborSend) {
+  const Graph g = gen::path(4);
+  Network net(g, NetworkConfig{64, 100, true});
+  EXPECT_THROW(net.run([](NodeId id) {
+    return std::make_unique<IllegalSendProgram>(id);
+  }),
+               PreconditionError);
+}
+
+TEST(Network, CutBitsAccounting) {
+  const Graph g = gen::path(4);  // edges 0-1, 1-2, 2-3
+  Network net(g, NetworkConfig{64, 100, true});
+  net.register_cut({Edge{1, 2}});
+  const auto metrics = net.run(
+      [](NodeId id) { return std::make_unique<FloodProgram>(id); });
+  // Flood crosses 1->2 once and 2->1 once (node 2's broadcast).
+  EXPECT_EQ(metrics.cut_bits, 2u);
+}
+
+TEST(Network, RegisterCutRejectsNonEdge) {
+  const Graph g = gen::path(4);
+  Network net(g, NetworkConfig{64, 100, true});
+  EXPECT_THROW(net.register_cut({Edge{0, 3}}), PreconditionError);
+}
+
+TEST(Network, ImmediateTerminationWhenAllDone) {
+  class Idle final : public NodeProgram {
+   public:
+    void on_round(NodeContext&) override {}
+    bool done() const override { return true; }
+  };
+  const Graph g = gen::path(3);
+  Network net(g, NetworkConfig{64, 100, true});
+  const auto metrics =
+      net.run([](NodeId) { return std::make_unique<Idle>(); });
+  EXPECT_EQ(metrics.rounds, 0u);
+  EXPECT_EQ(metrics.total_physical_messages, 0u);
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,79 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "graph/generators.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(Properties, BfsDistancesOnPath) {
+  const Graph g = gen::path(6);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(dist[v], v);
+  }
+  const auto mid = bfs_distances(g, 3);
+  EXPECT_EQ(mid[0], 3u);
+  EXPECT_EQ(mid[5], 2u);
+}
+
+TEST(Properties, UnreachableMarked) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Properties, Connectivity) {
+  EXPECT_TRUE(is_connected(gen::cycle(5)));
+  EXPECT_FALSE(is_connected(Graph(3, {{0, 1}})));
+  EXPECT_TRUE(is_connected(Graph(0, {})));
+  EXPECT_TRUE(is_connected(Graph(1, {})));
+}
+
+TEST(Properties, EccentricitiesOnPath) {
+  const Graph g = gen::path(5);
+  const auto ecc = eccentricities(g);
+  EXPECT_EQ(ecc[0], 4u);
+  EXPECT_EQ(ecc[2], 2u);
+  EXPECT_EQ(ecc[4], 4u);
+}
+
+TEST(Properties, DiameterAndRadius) {
+  EXPECT_EQ(diameter(gen::path(9)), 8u);
+  EXPECT_EQ(radius(gen::path(9)), 4u);
+  EXPECT_EQ(diameter(gen::star(10)), 2u);
+  EXPECT_EQ(radius(gen::star(10)), 1u);
+  EXPECT_EQ(diameter(gen::complete(5)), 1u);
+}
+
+TEST(Properties, DistanceSums) {
+  const Graph g = gen::star(5);
+  const auto sums = distance_sums(g);
+  EXPECT_EQ(sums[0], 4u);        // center: four leaves at distance 1
+  EXPECT_EQ(sums[1], 1u + 3 * 2);  // leaf: center 1, other leaves 2
+}
+
+TEST(Properties, BfsTreeParentsAreCloser) {
+  Rng rng(7);
+  const Graph g = gen::erdos_renyi_connected(30, 0.1, rng);
+  const auto dist = bfs_distances(g, 0);
+  const auto parent = bfs_tree_parents(g, 0);
+  EXPECT_EQ(parent[0], 0u);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(g.has_edge(v, parent[v]));
+    EXPECT_EQ(dist[parent[v]] + 1, dist[v]);
+  }
+}
+
+TEST(Properties, EccentricitiesRejectDisconnected) {
+  const Graph g(3, {{0, 1}});
+  EXPECT_THROW(eccentricities(g), PreconditionError);
+  EXPECT_THROW(distance_sums(g), PreconditionError);
+}
+
+}  // namespace
+}  // namespace congestbc

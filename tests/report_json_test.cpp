@@ -1,0 +1,115 @@
+#include "core/report_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "graph/generators.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(JsonWriter, Primitives) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value(std::string("x"));
+  json.key("count").value(std::uint64_t{42});
+  json.key("ratio").value(0.5);
+  json.key("flag").value(true);
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"name":"x","count":42,"ratio":0.5,"flag":true})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("values").begin_array();
+  json.value(std::uint64_t{1});
+  json.value(std::uint64_t{2});
+  json.end_array();
+  json.key("inner").begin_object();
+  json.key("a").value(std::uint64_t{3});
+  json.end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"values":[1,2],"inner":{"a":3}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("text").value(std::string("a\"b\\c\nd"));
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"text\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriter, RejectsNonFinite) {
+  JsonWriter json;
+  json.begin_array();
+  EXPECT_THROW(json.value(std::nan("")), PreconditionError);
+}
+
+TEST(JsonWriter, UnbalancedCloseThrows) {
+  JsonWriter json;
+  EXPECT_THROW(json.end_object(), PreconditionError);
+}
+
+TEST(ReportJson, DistributedResultRoundTripFields) {
+  const auto result = run_distributed_bc(gen::figure1_example());
+  const std::string text = to_json(result);
+  // Spot-check structure without a JSON parser dependency.
+  EXPECT_NE(text.find("\"betweenness\":["), std::string::npos);
+  EXPECT_NE(text.find("\"diameter\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"rounds\":"), std::string::npos);
+  EXPECT_NE(text.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(text.find("3.5"), std::string::npos);  // C_B(v2)
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text.back(), '}');
+}
+
+TEST(ReportJson, AnalysisReportIncludesParity) {
+  Runner runner(gen::figure1_example());
+  const auto report = runner.analyze();
+  const std::string text = to_json(report);
+  EXPECT_NE(text.find("\"parity\":{"), std::string::npos);
+  EXPECT_NE(text.find("\"max_rel_error\":"), std::string::npos);
+  EXPECT_NE(text.find("\"summary\":\""), std::string::npos);
+}
+
+TEST(ReportJson, BalancedBrackets) {
+  Runner runner(gen::grid(3, 3));
+  const auto report = runner.analyze();
+  const std::string text = to_json(report);
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char ch : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (ch == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (ch == '"') {
+      in_string = !in_string;
+      continue;
+    }
+    if (in_string) {
+      continue;
+    }
+    if (ch == '{' || ch == '[') {
+      ++depth;
+    } else if (ch == '}' || ch == ']') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+}  // namespace
+}  // namespace congestbc

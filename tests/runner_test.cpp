@@ -1,0 +1,69 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "graph/generators.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(Runner, AnalyzeWithParity) {
+  const Graph g = gen::figure1_example();
+  Runner runner(g);
+  const auto report = runner.analyze();
+  ASSERT_TRUE(report.parity.has_value());
+  EXPECT_LT(report.parity->max_rel_error, 1e-6);
+  EXPECT_NEAR(report.distributed.betweenness[1], 3.5, 1e-6);
+  EXPECT_GT(report.metrics.rounds, 0u);
+}
+
+TEST(Runner, AnalyzeWithoutBaseline) {
+  Runner runner(gen::figure1_example());
+  AnalysisOptions options;
+  options.compare_with_brandes = false;
+  const auto report = runner.analyze(options);
+  EXPECT_FALSE(report.parity.has_value());
+}
+
+TEST(Runner, ExactReference) {
+  const Graph g = gen::diamond_chain(12);
+  Runner runner(g);
+  AnalysisOptions options;
+  options.exact_reference = true;
+  const auto report = runner.analyze(options);
+  ASSERT_TRUE(report.parity.has_value());
+  EXPECT_LT(report.parity->max_rel_error, 1e-4);
+}
+
+TEST(Runner, SummaryMentionsKeyNumbers) {
+  Runner runner(gen::star(6));
+  const auto report = runner.analyze();
+  const std::string text = report.summary();
+  EXPECT_NE(text.find("rounds"), std::string::npos);
+  EXPECT_NE(text.find("N=6"), std::string::npos);
+  EXPECT_NE(text.find("Brandes"), std::string::npos);
+}
+
+TEST(Runner, RejectsDisconnected) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(Runner runner(g), PreconditionError);
+}
+
+TEST(Runner, RejectsEmpty) {
+  const Graph g(0, {});
+  EXPECT_THROW(Runner runner(g), PreconditionError);
+}
+
+TEST(Runner, OptionsPropagate) {
+  Runner runner(gen::path(6));
+  AnalysisOptions options;
+  options.distributed.halve = false;
+  const auto report = runner.analyze(options);
+  EXPECT_NEAR(report.distributed.betweenness[2], 12.0, 1e-6);
+  ASSERT_TRUE(report.parity.has_value());
+  EXPECT_LT(report.parity->max_rel_error, 1e-6);
+}
+
+}  // namespace
+}  // namespace congestbc

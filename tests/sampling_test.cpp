@@ -1,0 +1,162 @@
+// The sampled-source estimator (related-work extension, Holzer thesis /
+// Brandes–Pich): only k staggered BFS waves run, and every node scales the
+// accumulated dependencies by N/k.
+#include <gtest/gtest.h>
+
+#include "algo/bc_pipeline.hpp"
+#include "central/brandes.hpp"
+#include "common/assert.hpp"
+#include "core/validation.hpp"
+#include "graph/generators.hpp"
+
+namespace congestbc {
+namespace {
+
+std::vector<bool> mask_from_sample(NodeId n, std::size_t k, Rng& rng) {
+  std::vector<bool> mask(n, false);
+  for (const auto s : rng.sample_without_replacement(n, k)) {
+    mask[static_cast<std::size_t>(s)] = true;
+  }
+  return mask;
+}
+
+TEST(Sampling, FullMaskEqualsExactAlgorithm) {
+  const Graph g = gen::figure1_example();
+  DistributedBcOptions options;
+  options.sources = std::vector<bool>(5, true);
+  const auto result = run_distributed_bc(g, options);
+  EXPECT_NEAR(result.betweenness[1], 3.5, 1e-6);
+}
+
+TEST(Sampling, SingleSourceScalesDependencies) {
+  // With only source v1 on the Figure-1 graph, the estimate for v2 is
+  // N * delta_{v1}(v2) / (k=1) / 2 = 5 * 3 / 2.
+  const Graph g = gen::figure1_example();
+  DistributedBcOptions options;
+  options.sources = std::vector<bool>{true, false, false, false, false};
+  const auto result = run_distributed_bc(g, options);
+  EXPECT_NEAR(result.betweenness[1], 5.0 * 3.0 / 2.0, 1e-6);
+  // v4 lies on no shortest path from v1.
+  EXPECT_NEAR(result.betweenness[3], 0.0, 1e-9);
+}
+
+TEST(Sampling, MatchesCentralizedRestrictedSum) {
+  // For any source subset S, the distributed estimate equals
+  // (N/|S|) * sum_{s in S} delta_s(v) / 2 — cross-check against a
+  // centralized computation of the same restricted sum.
+  Rng rng(3);
+  const Graph g = gen::barabasi_albert(24, 2, rng);
+  Rng mask_rng(4);
+  const auto mask = mask_from_sample(g.num_nodes(), 8, mask_rng);
+
+  DistributedBcOptions options;
+  options.sources = mask;
+  const auto result = run_distributed_bc(g, options);
+
+  // Build the restricted reference directly from pair dependencies
+  // (definition-level, independent of the Brandes code path).
+  std::vector<double> reference(g.num_nodes(), 0.0);
+  const NodeId n = g.num_nodes();
+  std::vector<std::vector<std::uint32_t>> dist(n);
+  std::vector<std::vector<long double>> sigma(n);
+  for (NodeId s = 0; s < n; ++s) {
+    dist[s].assign(n, 0);
+    sigma[s].assign(n, 0.0L);
+    // BFS counting
+    std::vector<std::int64_t> d(n, -1);
+    d[s] = 0;
+    sigma[s][s] = 1.0L;
+    std::size_t head = 0;
+    std::vector<NodeId> order{s};
+    while (head < order.size()) {
+      const NodeId v = order[head++];
+      for (const NodeId w : g.neighbors(v)) {
+        if (d[w] < 0) {
+          d[w] = d[v] + 1;
+          order.push_back(w);
+        }
+        if (d[w] == d[v] + 1) {
+          sigma[s][w] += sigma[s][v];
+        }
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      dist[s][v] = static_cast<std::uint32_t>(d[v]);
+    }
+  }
+  std::size_t k = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (!mask[s]) {
+      continue;
+    }
+    ++k;
+    for (NodeId t = 0; t < n; ++t) {
+      if (t == s) {
+        continue;
+      }
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != s && v != t && dist[s][v] + dist[v][t] == dist[s][t]) {
+          reference[v] += static_cast<double>(sigma[s][v] * sigma[v][t] /
+                                              sigma[s][t]);
+        }
+      }
+    }
+  }
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(k) / 2.0;
+  for (auto& value : reference) {
+    value *= scale;
+  }
+  const auto stats = compare_vectors(result.betweenness, reference, 1e-6);
+  EXPECT_LT(stats.max_rel_error, 1e-6);
+}
+
+TEST(Sampling, FewerSourcesFewerRounds) {
+  Rng rng(5);
+  const Graph g = gen::watts_strogatz(48, 2, 0.1, rng);
+  DistributedBcOptions full;
+  DistributedBcOptions sampled;
+  Rng mask_rng(6);
+  sampled.sources = mask_from_sample(g.num_nodes(), 8, mask_rng);
+  const auto full_result = run_distributed_bc(g, full);
+  const auto sampled_result = run_distributed_bc(g, sampled);
+  EXPECT_LT(sampled_result.rounds, full_result.rounds);
+}
+
+TEST(Sampling, RankingLargelyPreserved) {
+  Rng rng(7);
+  const Graph g = gen::barabasi_albert(64, 2, rng);
+  DistributedBcOptions options;
+  Rng mask_rng(8);
+  options.sources = mask_from_sample(g.num_nodes(), 32, mask_rng);
+  const auto result = run_distributed_bc(g, options);
+  const auto reference = brandes_bc(g);
+  EXPECT_GE(top_k_overlap(result.betweenness, reference, 8), 0.5);
+}
+
+TEST(Sampling, SampledRunStillCongestCompliant) {
+  Rng rng(9);
+  const Graph g = gen::erdos_renyi_connected(40, 0.1, rng);
+  DistributedBcOptions options;
+  Rng mask_rng(10);
+  options.sources = mask_from_sample(g.num_nodes(), 10, mask_rng);
+  const auto result = run_distributed_bc(g, options);
+  EXPECT_EQ(result.metrics.max_logical_on_edge_in(result.aggregation_epoch,
+                                                  result.metrics.rounds),
+            1u);
+}
+
+TEST(Sampling, RejectsEmptySourceSet) {
+  DistributedBcOptions options;
+  options.sources = std::vector<bool>(4, false);
+  EXPECT_THROW(run_distributed_bc(gen::path(4), options), PreconditionError);
+}
+
+TEST(Sampling, RejectsWrongMaskSize) {
+  DistributedBcOptions options;
+  options.sources = std::vector<bool>(3, true);
+  EXPECT_THROW(run_distributed_bc(gen::path(4), options), PreconditionError);
+}
+
+}  // namespace
+}  // namespace congestbc

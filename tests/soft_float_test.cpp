@@ -1,0 +1,291 @@
+#include "fpa/soft_float.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace congestbc {
+namespace {
+
+const SoftFloatFormat kFmt{16, 16};
+
+TEST(SoftFloat, ZeroBehaviour) {
+  SoftFloat zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.to_double(), 0.0);
+  EXPECT_EQ(compare(zero, zero), 0);
+}
+
+TEST(SoftFloat, ExactSmallIntegers) {
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    const auto up = SoftFloat::from_u64(v, kFmt, RoundingMode::kUp);
+    const auto down = SoftFloat::from_u64(v, kFmt, RoundingMode::kDown);
+    // Values below 2^16 are exactly representable with a 16-bit mantissa.
+    EXPECT_EQ(up.to_double(), static_cast<double>(v));
+    EXPECT_EQ(down.to_double(), static_cast<double>(v));
+  }
+}
+
+TEST(SoftFloat, MantissaIsNormalized) {
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t v = rng.next_u64() | 1;
+    const auto f = SoftFloat::from_u64(v, kFmt, RoundingMode::kUp);
+    EXPECT_EQ(bit_width_u64(f.mantissa()), kFmt.mantissa_bits);
+  }
+}
+
+TEST(SoftFloat, DirectedRoundingBrackets) {
+  Rng rng(11);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::uint64_t v = rng.next_u64();
+    if (v == 0) {
+      continue;
+    }
+    const auto up = SoftFloat::from_u64(v, kFmt, RoundingMode::kUp);
+    const auto down = SoftFloat::from_u64(v, kFmt, RoundingMode::kDown);
+    EXPECT_GE(compare_with_big(up, BigUint(v)), 0) << v;
+    EXPECT_LE(compare_with_big(down, BigUint(v)), 0) << v;
+  }
+}
+
+TEST(SoftFloat, Lemma1RelativeErrorBound) {
+  // Lemma 1: the ceil estimate a of b satisfies |a/b - 1| <= 2^-(L-1).
+  Rng rng(13);
+  const double eta = unit_relative_error(kFmt);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::uint64_t v = rng.next_u64() | 1;
+    const auto up = SoftFloat::from_u64(v, kFmt, RoundingMode::kUp);
+    const double rel = up.to_double() / static_cast<double>(v) - 1.0;
+    EXPECT_GE(rel, 0.0);
+    EXPECT_LE(rel, eta);
+  }
+}
+
+TEST(SoftFloat, FromBigMatchesFromU64) {
+  Rng rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t v = rng.next_u64() | 1;
+    const auto a = SoftFloat::from_u64(v, kFmt, RoundingMode::kUp);
+    const auto b = SoftFloat::from_big(BigUint(v), kFmt, RoundingMode::kUp);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(SoftFloat, FromBigHugeValueBrackets) {
+  // 2^200 + 12345: way beyond 64 bits.
+  BigUint huge = BigUint::pow2(200) + BigUint(12345);
+  const auto up = SoftFloat::from_big(huge, kFmt, RoundingMode::kUp);
+  const auto down = SoftFloat::from_big(huge, kFmt, RoundingMode::kDown);
+  EXPECT_GE(compare_with_big(up, huge), 0);
+  EXPECT_LE(compare_with_big(down, huge), 0);
+  EXPECT_GT(compare(up, down), 0);
+}
+
+TEST(SoftFloat, AdditionExactWhenRepresentable) {
+  const auto a = SoftFloat::from_u64(100, kFmt, RoundingMode::kUp);
+  const auto b = SoftFloat::from_u64(28, kFmt, RoundingMode::kUp);
+  const auto sum = add(a, b, kFmt, RoundingMode::kUp);
+  EXPECT_EQ(sum.to_double(), 128.0);
+}
+
+TEST(SoftFloat, AdditionDirectedRounding) {
+  Rng rng(19);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::uint64_t x = rng.next_u64() >> static_cast<unsigned>(rng.next_below(40));
+    const std::uint64_t y = rng.next_u64() >> static_cast<unsigned>(rng.next_below(40));
+    if (x == 0 || y == 0) {
+      continue;
+    }
+    const BigUint exact = BigUint(x) + BigUint(y);
+    const auto up =
+        add(SoftFloat::from_u64(x, kFmt, RoundingMode::kUp),
+            SoftFloat::from_u64(y, kFmt, RoundingMode::kUp), kFmt,
+            RoundingMode::kUp);
+    const auto down =
+        add(SoftFloat::from_u64(x, kFmt, RoundingMode::kDown),
+            SoftFloat::from_u64(y, kFmt, RoundingMode::kDown), kFmt,
+            RoundingMode::kDown);
+    EXPECT_GE(compare_with_big(up, exact), 0);
+    EXPECT_LE(compare_with_big(down, exact), 0);
+  }
+}
+
+TEST(SoftFloat, AdditionWithHugeMagnitudeGap) {
+  const auto big = SoftFloat::make(1, 100, kFmt, RoundingMode::kDown);
+  const auto tiny = SoftFloat::make(1, -100, kFmt, RoundingMode::kDown);
+  const auto down = add(big, tiny, kFmt, RoundingMode::kDown);
+  const auto up = add(big, tiny, kFmt, RoundingMode::kUp);
+  // Floor rounding absorbs the tiny addend; ceil must strictly grow.
+  EXPECT_EQ(compare(down, big), 0);
+  EXPECT_GT(compare(up, big), 0);
+}
+
+TEST(SoftFloat, MultiplicationDirectedRounding) {
+  Rng rng(23);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::uint64_t x = (rng.next_u64() >> 20) | 1;
+    const std::uint64_t y = (rng.next_u64() >> 20) | 1;
+    const BigUint exact = BigUint(x) * BigUint(y);
+    const auto up =
+        multiply(SoftFloat::from_u64(x, kFmt, RoundingMode::kUp),
+                 SoftFloat::from_u64(y, kFmt, RoundingMode::kUp), kFmt,
+                 RoundingMode::kUp);
+    const auto down =
+        multiply(SoftFloat::from_u64(x, kFmt, RoundingMode::kDown),
+                 SoftFloat::from_u64(y, kFmt, RoundingMode::kDown), kFmt,
+                 RoundingMode::kDown);
+    EXPECT_GE(compare_with_big(up, exact), 0);
+    EXPECT_LE(compare_with_big(down, exact), 0);
+  }
+}
+
+TEST(SoftFloat, MultiplyByZero) {
+  const auto a = SoftFloat::from_u64(7, kFmt, RoundingMode::kUp);
+  EXPECT_TRUE(multiply(a, SoftFloat{}, kFmt, RoundingMode::kUp).is_zero());
+}
+
+TEST(SoftFloat, ReciprocalBrackets) {
+  Rng rng(29);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::uint64_t v = (rng.next_u64() >> static_cast<unsigned>(
+                                 rng.next_below(50))) |
+                            1;
+    const auto f = SoftFloat::from_u64(v, kFmt, RoundingMode::kDown);
+    const auto up = reciprocal(f, kFmt, RoundingMode::kUp);
+    const auto down = reciprocal(f, kFmt, RoundingMode::kDown);
+    const double exact = 1.0 / f.to_double();
+    EXPECT_GE(up.to_double(), exact * (1 - 1e-12));
+    EXPECT_LE(down.to_double(), exact * (1 + 1e-12));
+    // And the two brackets are within one unit relative error.
+    EXPECT_LE(up.to_double() / down.to_double(),
+              1 + 4 * unit_relative_error(kFmt));
+  }
+}
+
+TEST(SoftFloat, ReciprocalOfPowerOfTwoIsExact) {
+  const auto f = SoftFloat::from_u64(1024, kFmt, RoundingMode::kUp);
+  const auto r = reciprocal(f, kFmt, RoundingMode::kDown);
+  EXPECT_EQ(r.to_double(), 1.0 / 1024.0);
+}
+
+TEST(SoftFloat, ReciprocalOfZeroThrows) {
+  EXPECT_THROW(reciprocal(SoftFloat{}, kFmt, RoundingMode::kUp),
+               PreconditionError);
+}
+
+TEST(SoftFloat, CompareTotalOrder) {
+  const auto a = SoftFloat::from_u64(3, kFmt, RoundingMode::kUp);
+  const auto b = SoftFloat::from_u64(4, kFmt, RoundingMode::kUp);
+  const auto c = SoftFloat::make(3, 50, kFmt, RoundingMode::kUp);
+  EXPECT_LT(compare(a, b), 0);
+  EXPECT_GT(compare(b, a), 0);
+  EXPECT_LT(compare(b, c), 0);
+  EXPECT_EQ(compare(a, a), 0);
+  EXPECT_LT(compare(SoftFloat{}, a), 0);
+}
+
+TEST(SoftFloat, PackUnpackRoundTrip) {
+  Rng rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t v = rng.next_u64() | 1;
+    const auto f = SoftFloat::from_u64(v, kFmt, RoundingMode::kUp);
+    BitWriter w;
+    f.pack(w, kFmt);
+    EXPECT_EQ(w.bit_size(), kFmt.total_bits());
+    BitReader r(w.bytes(), w.bit_size());
+    EXPECT_EQ(SoftFloat::unpack(r, kFmt), f);
+  }
+}
+
+TEST(SoftFloat, PackUnpackZero) {
+  BitWriter w;
+  SoftFloat{}.pack(w, kFmt);
+  EXPECT_EQ(w.bit_size(), kFmt.total_bits());
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_TRUE(SoftFloat::unpack(r, kFmt).is_zero());
+}
+
+TEST(SoftFloat, PackNegativeExponent) {
+  const auto f = reciprocal(SoftFloat::from_u64(12345, kFmt, RoundingMode::kUp),
+                            kFmt, RoundingMode::kDown);
+  BitWriter w;
+  f.pack(w, kFmt);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(SoftFloat::unpack(r, kFmt), f);
+}
+
+TEST(SoftFloat, ExponentOverflowDetected) {
+  const SoftFloatFormat narrow{8, 4};  // exponent limit = 7
+  EXPECT_THROW(SoftFloat::make(1, 100, narrow, RoundingMode::kUp),
+               InvariantError);
+}
+
+TEST(SoftFloat, FromDoubleExactForRepresentables) {
+  // Doubles with <= 16 mantissa bits round-trip exactly through the
+  // 16-bit test format.
+  for (const double v : {1.0, 2.5, 0.375, 1024.0, 65535.0, 3.0e-5}) {
+    const auto f = SoftFloat::from_double(v, kFmt, RoundingMode::kNearest);
+    // 3e-5 is not dyadic; allow one-ulp slack there, exact elsewhere.
+    EXPECT_NEAR(f.to_double(), v, v * unit_relative_error(kFmt));
+  }
+  EXPECT_EQ(SoftFloat::from_double(0.375, kFmt, RoundingMode::kUp).to_double(),
+            0.375);
+}
+
+TEST(SoftFloat, FromDoubleBrackets) {
+  Rng rng(41);
+  for (int trial = 0; trial < 300; ++trial) {
+    const double v = rng.next_double() * 1e6 + 1e-9;
+    const auto up = SoftFloat::from_double(v, kFmt, RoundingMode::kUp);
+    const auto down = SoftFloat::from_double(v, kFmt, RoundingMode::kDown);
+    EXPECT_GE(up.to_double(), v * (1 - 1e-15));
+    EXPECT_LE(down.to_double(), v * (1 + 1e-15));
+  }
+}
+
+TEST(SoftFloat, FromDoubleZeroAndRejects) {
+  EXPECT_TRUE(SoftFloat::from_double(0.0, kFmt, RoundingMode::kUp).is_zero());
+  EXPECT_THROW(SoftFloat::from_double(-1.0, kFmt, RoundingMode::kUp),
+               PreconditionError);
+  EXPECT_THROW(
+      SoftFloat::from_double(std::numeric_limits<double>::infinity(), kFmt,
+                             RoundingMode::kUp),
+      PreconditionError);
+}
+
+TEST(SoftFloatFormat, ForGraphScalesWithN) {
+  const auto small = SoftFloatFormat::for_graph(16);
+  const auto large = SoftFloatFormat::for_graph(1 << 20);
+  EXPECT_GT(large.mantissa_bits, small.mantissa_bits);
+  EXPECT_GT(large.exponent_bits, small.exponent_bits);
+  EXPECT_LE(large.mantissa_bits, 62u);
+  // Exponent range must cover sigma <= 2^N for the small case.
+  EXPECT_GE(small.exponent_limit(), 4 * 16);
+}
+
+TEST(SoftFloat, AccumulatedCeilSumStaysBracketed) {
+  // Summing k ceil-rounded terms keeps the result within (1+eta)^k above
+  // the exact sum — the inductive step behind Lemma 2's estimate.
+  Rng rng(37);
+  const int k = 200;
+  BigUint exact;
+  SoftFloat approx;
+  for (int i = 0; i < k; ++i) {
+    const std::uint64_t v = rng.next_u64() >> 30;
+    exact += BigUint(v);
+    approx = add(approx, SoftFloat::from_u64(v, kFmt, RoundingMode::kUp), kFmt,
+                 RoundingMode::kUp);
+  }
+  EXPECT_GE(compare_with_big(approx, exact), 0);
+  const double bound =
+      std::pow(1 + unit_relative_error(kFmt), k) * exact.to_double();
+  EXPECT_LE(approx.to_double(), bound * (1 + 1e-12));
+}
+
+}  // namespace
+}  // namespace congestbc

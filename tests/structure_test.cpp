@@ -1,0 +1,157 @@
+#include "graph/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "central/brandes.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(Components, SingleComponent) {
+  const Graph g = gen::cycle(6);
+  EXPECT_EQ(component_count(g), 1u);
+  const auto comp = connected_components(g);
+  for (const auto c : comp) {
+    EXPECT_EQ(c, 0u);
+  }
+}
+
+TEST(Components, MultipleComponents) {
+  const Graph g(7, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(component_count(g), 4u);  // {0,1,2}, {3,4}, {5}, {6}
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[6]);
+}
+
+TEST(Components, EmptyGraph) {
+  EXPECT_EQ(component_count(Graph(0, {})), 0u);
+}
+
+TEST(Bridges, EveryTreeEdgeIsABridge) {
+  Rng rng(1);
+  const Graph g = gen::random_tree(30, rng);
+  const auto found = bridges(g);
+  EXPECT_EQ(found.size(), g.num_edges());
+  EXPECT_EQ(found, g.edges());  // both sorted
+}
+
+TEST(Bridges, CycleHasNone) {
+  EXPECT_TRUE(bridges(gen::cycle(8)).empty());
+  EXPECT_TRUE(bridges(gen::complete(5)).empty());
+}
+
+TEST(Bridges, BarbellBridgePath) {
+  // barbell(4, 2): cliques 0-3 and 6-9, path 3-4-5-6.
+  const Graph g = gen::barbell(4, 2);
+  const auto found = bridges(g);
+  EXPECT_EQ(found, (std::vector<Edge>{{3, 4}, {4, 5}, {5, 6}}));
+}
+
+TEST(Bridges, MatchesRemovalDefinition) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::erdos_renyi_connected(16, 0.12, rng);
+    const auto found = bridges(g);
+    for (const auto& e : g.edges()) {
+      // Remove e; the edge is a bridge iff the graph disconnects.
+      std::vector<Edge> remaining;
+      for (const auto& other : g.edges()) {
+        if (other != e) {
+          remaining.push_back(other);
+        }
+      }
+      const Graph without(g.num_nodes(), std::move(remaining));
+      const bool disconnects = component_count(without) > 1;
+      const bool reported =
+          std::binary_search(found.begin(), found.end(), e);
+      EXPECT_EQ(reported, disconnects)
+          << "trial " << trial << " edge " << e.u << "-" << e.v;
+    }
+  }
+}
+
+TEST(Articulation, StarCenter) {
+  const auto points = articulation_points(gen::star(6));
+  EXPECT_EQ(points, std::vector<NodeId>{0});
+}
+
+TEST(Articulation, CycleHasNone) {
+  EXPECT_TRUE(articulation_points(gen::cycle(7)).empty());
+}
+
+TEST(Articulation, PathInteriorNodes) {
+  const auto points = articulation_points(gen::path(5));
+  EXPECT_EQ(points, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(Articulation, MatchesRemovalDefinition) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::erdos_renyi_connected(14, 0.15, rng);
+    const auto points = articulation_points(g);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      // Remove v; articulation iff the rest splits.
+      std::vector<Edge> remaining;
+      for (const auto& e : g.edges()) {
+        if (e.u != v && e.v != v) {
+          remaining.push_back(e);
+        }
+      }
+      // Count components among the surviving nodes.
+      const Graph without(g.num_nodes(), std::move(remaining));
+      const auto comp = connected_components(without);
+      std::vector<std::uint32_t> seen;
+      for (NodeId w = 0; w < g.num_nodes(); ++w) {
+        if (w != v) {
+          seen.push_back(comp[w]);
+        }
+      }
+      std::sort(seen.begin(), seen.end());
+      seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+      const bool splits = seen.size() > 1;
+      const bool reported =
+          std::binary_search(points.begin(), points.end(), v);
+      EXPECT_EQ(reported, splits) << "trial " << trial << " node " << v;
+    }
+  }
+}
+
+TEST(Articulation, PositiveBetweennessAtEveryArticulationPoint) {
+  // An articulation point separates at least one pair, so its (exact)
+  // betweenness is strictly positive — the structural cross-check that
+  // ties this module to the paper's subject.
+  Rng rng(4);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = gen::erdos_renyi_connected(20, 0.1, rng);
+    const auto points = articulation_points(g);
+    const auto bc = brandes_bc(g);
+    for (const NodeId v : points) {
+      EXPECT_GT(bc[v], 0.99) << "trial " << trial << " node " << v;
+    }
+  }
+}
+
+TEST(Bridges, EndpointsCarryAllCrossTraffic) {
+  // Removing a bridge splits the graph into sides of size a and b; each
+  // interior endpoint of the bridge has betweenness >= (a*b - something)
+  // ... at minimum, a bridge endpoint with degree > 1 has positive BC.
+  const Graph g = gen::barbell(5, 1);
+  const auto found = bridges(g);
+  ASSERT_FALSE(found.empty());
+  const auto bc = brandes_bc(g);
+  for (const auto& e : found) {
+    EXPECT_GT(bc[e.u] + bc[e.v], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,133 @@
+#include "congest/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/bc_pipeline.hpp"
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+
+namespace congestbc {
+namespace {
+
+/// Node 0 sends one 3-bit message to each neighbor in round 0.
+class OneShot final : public NodeProgram {
+ public:
+  explicit OneShot(NodeId id) : id_(id) {}
+  void on_round(NodeContext& ctx) override {
+    if (id_ == 0 && ctx.round() == 0) {
+      BitWriter w;
+      w.write(5, 3);
+      for (const NodeId nbr : ctx.neighbors()) {
+        ctx.send(nbr, w);
+      }
+    }
+    done_ = true;
+  }
+  bool done() const override { return done_; }
+
+ private:
+  NodeId id_;
+  bool done_ = false;
+};
+
+TEST(Trace, CapturesEveryMessage) {
+  const Graph g = gen::star(5);
+  MessageTrace trace;
+  NetworkConfig config{64, 100, true, &trace};
+  Network net(g, config);
+  net.run([](NodeId id) { return std::make_unique<OneShot>(id); });
+  EXPECT_EQ(trace.total_messages(), 4u);
+  ASSERT_EQ(trace.events().size(), 4u);
+  for (const auto& event : trace.events()) {
+    EXPECT_EQ(event.round, 0u);
+    EXPECT_EQ(event.from, 0u);
+    EXPECT_EQ(event.bits, 3u);
+    EXPECT_EQ(event.logical, 1u);
+  }
+  EXPECT_FALSE(trace.truncated());
+}
+
+TEST(Trace, PerRoundCountsMatchMetrics) {
+  const Graph g = gen::path(8);
+  MessageTrace trace;
+  DistributedBcOptions options;
+  options.trace = &trace;
+  const auto result = run_distributed_bc(g, options);
+  // The trace extends to the last round with traffic; the metrics cover
+  // every simulated round (trailing quiet rounds included).
+  ASSERT_LE(trace.messages_per_round().size(), result.metrics.per_round.size());
+  for (std::size_t r = 0; r < result.metrics.per_round.size(); ++r) {
+    const std::uint64_t traced = r < trace.messages_per_round().size()
+                                     ? trace.messages_per_round()[r]
+                                     : 0;
+    EXPECT_EQ(traced, result.metrics.per_round[r].physical_messages)
+        << "round " << r;
+  }
+  EXPECT_EQ(trace.total_messages(), result.metrics.total_physical_messages);
+}
+
+TEST(Trace, CapTruncatesEventsButNotAggregates) {
+  const Graph g = gen::complete(6);
+  MessageTrace trace(/*max_events=*/10);
+  DistributedBcOptions options;
+  options.trace = &trace;
+  const auto result = run_distributed_bc(g, options);
+  EXPECT_TRUE(trace.truncated());
+  EXPECT_EQ(trace.events().size(), 10u);
+  EXPECT_EQ(trace.total_messages(), result.metrics.total_physical_messages);
+}
+
+TEST(Trace, EventsInRound) {
+  const Graph g = gen::star(4);
+  MessageTrace trace;
+  NetworkConfig config{64, 100, true, &trace};
+  Network net(g, config);
+  net.run([](NodeId id) { return std::make_unique<OneShot>(id); });
+  EXPECT_EQ(trace.events_in_round(0).size(), 3u);
+  EXPECT_TRUE(trace.events_in_round(5).empty());
+}
+
+TEST(Trace, TimelineShapesMatchActivity) {
+  const Graph g = gen::path(12);
+  MessageTrace trace;
+  DistributedBcOptions options;
+  options.trace = &trace;
+  run_distributed_bc(g, options);
+  const std::string line = trace.activity_timeline(32);
+  EXPECT_EQ(line.size(), 32u);
+  // The run has at least one busy bucket ('@' is the per-line peak).
+  EXPECT_NE(line.find('@'), std::string::npos);
+}
+
+TEST(Trace, RunsAreFullyDeterministic) {
+  // Two identical runs must produce bit-identical message sequences —
+  // the reproducibility contract every experiment relies on.
+  const Graph g = gen::grid(4, 4);
+  auto run_once = [&] {
+    auto trace = std::make_unique<MessageTrace>();
+    DistributedBcOptions options;
+    options.trace = trace.get();
+    run_distributed_bc(g, options);
+    return trace;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a->events().size(), b->events().size());
+  for (std::size_t i = 0; i < a->events().size(); ++i) {
+    const auto& ea = a->events()[i];
+    const auto& eb = b->events()[i];
+    ASSERT_EQ(ea.round, eb.round);
+    ASSERT_EQ(ea.from, eb.from);
+    ASSERT_EQ(ea.to, eb.to);
+    ASSERT_EQ(ea.bits, eb.bits);
+    ASSERT_EQ(ea.logical, eb.logical);
+  }
+}
+
+TEST(Trace, EmptyTimeline) {
+  MessageTrace trace;
+  EXPECT_EQ(trace.activity_timeline(16), "");
+}
+
+}  // namespace
+}  // namespace congestbc

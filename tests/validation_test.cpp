@@ -1,0 +1,71 @@
+#include "core/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+namespace {
+
+TEST(Validation, IdenticalVectorsZeroError) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  const auto stats = compare_vectors(v, v);
+  EXPECT_EQ(stats.max_abs_error, 0.0);
+  EXPECT_EQ(stats.max_rel_error, 0.0);
+  EXPECT_EQ(stats.mean_abs_error, 0.0);
+}
+
+TEST(Validation, PicksWorstIndex) {
+  const std::vector<double> est{1.0, 2.2, 3.0};
+  const std::vector<double> ref{1.0, 2.0, 3.0};
+  const auto stats = compare_vectors(est, ref);
+  EXPECT_EQ(stats.worst_index, 1u);
+  EXPECT_NEAR(stats.max_abs_error, 0.2, 1e-12);
+  EXPECT_NEAR(stats.max_rel_error, 0.1, 1e-12);
+  EXPECT_NEAR(stats.mean_abs_error, 0.2 / 3, 1e-12);
+}
+
+TEST(Validation, RelFloorGuardsZeroReference) {
+  const std::vector<double> est{1e-12};
+  const std::vector<double> ref{0.0};
+  const auto stats = compare_vectors(est, ref, 1e-9);
+  EXPECT_LE(stats.max_rel_error, 1e-3 + 1e-15);
+}
+
+TEST(Validation, LongDoubleOverload) {
+  const std::vector<double> est{2.0};
+  const std::vector<long double> ref{2.0L};
+  EXPECT_EQ(compare_vectors(est, ref).max_abs_error, 0.0);
+}
+
+TEST(Validation, SizeMismatchThrows) {
+  EXPECT_THROW(
+      compare_vectors(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+      PreconditionError);
+}
+
+TEST(Validation, TopKOverlapFullMatch) {
+  const std::vector<double> ref{5, 4, 3, 2, 1};
+  EXPECT_EQ(top_k_overlap(ref, ref, 2), 1.0);
+}
+
+TEST(Validation, TopKOverlapDisjoint) {
+  const std::vector<double> est{0, 0, 0, 5, 6};
+  const std::vector<double> ref{6, 5, 0, 0, 0};
+  EXPECT_EQ(top_k_overlap(est, ref, 2), 0.0);
+}
+
+TEST(Validation, TopKOverlapPartial) {
+  const std::vector<double> est{9, 1, 8, 0, 0};
+  const std::vector<double> ref{9, 8, 1, 0, 0};
+  EXPECT_EQ(top_k_overlap(est, ref, 2), 0.5);
+}
+
+TEST(Validation, TopKRangeChecked) {
+  const std::vector<double> v{1, 2};
+  EXPECT_THROW(top_k_overlap(v, v, 0), PreconditionError);
+  EXPECT_THROW(top_k_overlap(v, v, 3), PreconditionError);
+}
+
+}  // namespace
+}  // namespace congestbc

@@ -1,0 +1,127 @@
+#include "algo/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "congest/network.hpp"
+
+namespace congestbc {
+namespace {
+
+WireFormat test_format(std::uint32_t n) {
+  return WireFormat::for_graph(n, SoftFloatFormat::for_graph(n));
+}
+
+TEST(Wire, FieldWidthsScaleLogarithmically) {
+  const auto small = test_format(16);
+  const auto large = test_format(1 << 20);
+  EXPECT_EQ(small.id_bits, 4u);
+  EXPECT_EQ(large.id_bits, 20u);
+  EXPECT_EQ(small.dist_bits, small.id_bits + 1);
+  EXPECT_EQ(small.time_bits, 2 * small.id_bits + 6);
+}
+
+TEST(Wire, SingleNodeGraphFormat) {
+  const auto fmt = test_format(1);
+  EXPECT_GE(fmt.id_bits, 1u);
+}
+
+TEST(Wire, TreeWaveRoundTrip) {
+  const auto fmt = test_format(100);
+  BitWriter w;
+  encode(w, fmt, TreeWaveMsg{42});
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(read_kind(r), MsgKind::kTreeWave);
+  EXPECT_EQ(decode_tree_wave(r, fmt).dist, 42u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, SubtreeUpRoundTrip) {
+  const auto fmt = test_format(100);
+  BitWriter w;
+  encode(w, fmt, SubtreeUpMsg{100, 17});
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(read_kind(r), MsgKind::kSubtreeUp);
+  const auto m = decode_subtree_up(r, fmt);
+  EXPECT_EQ(m.count, 100u);
+  EXPECT_EQ(m.depth, 17u);
+}
+
+TEST(Wire, DfsTokenRoundTrip) {
+  const auto fmt = test_format(64);
+  BitWriter w;
+  encode(w, fmt, DfsTokenMsg{126});
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(read_kind(r), MsgKind::kDfsToken);
+  EXPECT_EQ(decode_dfs_token(r, fmt).depth_estimate, 126u);
+}
+
+TEST(Wire, WaveRoundTrip) {
+  const auto fmt = test_format(256);
+  const auto sigma = SoftFloat::from_u64(123456789, fmt.sf, RoundingMode::kUp);
+  BitWriter w;
+  encode(w, fmt, WaveMsg{200, 31, sigma});
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(read_kind(r), MsgKind::kWave);
+  const auto m = decode_wave(r, fmt);
+  EXPECT_EQ(m.source, 200u);
+  EXPECT_EQ(m.dist, 31u);
+  EXPECT_EQ(m.sigma, sigma);
+}
+
+TEST(Wire, PhaseDownRoundTrip) {
+  const auto fmt = test_format(256);
+  BitWriter w;
+  encode(w, fmt, PhaseDownMsg{100, 5000});
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(read_kind(r), MsgKind::kPhaseDown);
+  const auto m = decode_phase_down(r, fmt);
+  EXPECT_EQ(m.diameter, 100u);
+  EXPECT_EQ(m.epoch, 5000u);
+}
+
+TEST(Wire, AggRoundTrip) {
+  const auto fmt = test_format(256);
+  const auto psi =
+      reciprocal(SoftFloat::from_u64(7, fmt.sf, RoundingMode::kUp), fmt.sf,
+                 RoundingMode::kDown);
+  const auto lambda = SoftFloat::from_u64(3, fmt.sf, RoundingMode::kDown);
+  BitWriter w;
+  encode(w, fmt, AggMsg{9, psi, lambda});
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(read_kind(r), MsgKind::kAgg);
+  const auto m = decode_agg(r, fmt);
+  EXPECT_EQ(m.source, 9u);
+  EXPECT_EQ(m.psi_value, psi);
+  EXPECT_EQ(m.lambda_value, lambda);
+}
+
+TEST(Wire, EveryMessageFitsTheCongestBudget) {
+  // Lemmas 3 and 5: each logical message is O(log N) bits; with the
+  // library's explicit constant every single message must fit the budget.
+  for (const std::uint32_t n : {2u, 16u, 256u, 4096u, 1u << 20}) {
+    const auto fmt = test_format(n);
+    const std::uint64_t budget = congest_budget_bits(n);
+    const auto sigma = SoftFloat::from_u64(1, fmt.sf, RoundingMode::kUp);
+
+    BitWriter wave;
+    encode(wave, fmt, WaveMsg{n - 1, n - 1, sigma});
+    EXPECT_LE(wave.bit_size(), budget) << "wave, n=" << n;
+
+    BitWriter agg;
+    encode(agg, fmt, AggMsg{n - 1, sigma, sigma});
+    EXPECT_LE(agg.bit_size(), budget) << "agg, n=" << n;
+
+    // Worst-case counting-phase bundle: wave + token + subtree + ecc +
+    // parent accept (phase transitions can overlap on one edge).
+    BitWriter bundle;
+    encode(bundle, fmt, WaveMsg{n - 1, n - 1, sigma});
+    encode(bundle, fmt, DfsTokenMsg{2 * (n > 1 ? n - 1 : 1)});
+    encode(bundle, fmt, SubtreeUpMsg{n, n - 1});
+    encode(bundle, fmt, EccUpMsg{n - 1});
+    encode(bundle, fmt, ParentAcceptMsg{});
+    EXPECT_LE(bundle.bit_size(), budget) << "bundle, n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace congestbc

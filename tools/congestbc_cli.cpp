@@ -1,0 +1,254 @@
+// congestbc_cli — compute centralities for an edge-list graph with the
+// distributed O(N)-round CONGEST algorithm.
+//
+// Usage:
+//   congestbc_cli GRAPH.txt [options]
+//   congestbc_cli --generate FAMILY --n N [--seed S] [options]
+//
+// Input format: "# comments", then "N M", then M lines "u v".
+//
+// Options:
+//   --generate F     synthesize instead of reading a file; F in {path,
+//                    cycle, star, grid, tree, er, ba, ws, lollipop, barbell}
+//   --n N            node-count target for --generate (default 64)
+//   --seed S         RNG seed for random families (default 1)
+//   --top K          print only the K highest-betweenness nodes (default 10)
+//   --all            print every node
+//   --samples K      sampled estimator with K sources (default: exact)
+//   --no-check       skip the centralized Brandes cross-check
+//   --no-halve       report ordered-pair sums (no /2)
+//   --mantissa L     soft-float mantissa bits (default log2(N)+24)
+//   --trace          print a per-round activity timeline of the run
+//   --json           emit the full report as JSON instead of tables
+//   --metrics        print detailed simulator metrics
+//   --stats          print graph statistics and exit
+//   --apsp           run the counting phase only and print the distance
+//                    matrix (small graphs)
+//   --weighted       input lines are "u v w" (positive integer weights);
+//                    runs the subdivision pipeline
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+
+#include "algo/apsp.hpp"
+#include "algo/weighted_bc.hpp"
+#include "central/weighted_brandes.hpp"
+#include "central/brandes.hpp"
+#include "common/args.hpp"
+#include "common/table.hpp"
+#include "congest/trace.hpp"
+#include "core/report_json.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+
+namespace {
+
+using namespace congestbc;
+
+constexpr const char* kUsage =
+    "usage: congestbc_cli GRAPH.txt [options]\n"
+    "       congestbc_cli --generate FAMILY --n N [options]\n"
+    "options: --top K | --all | --samples K | --no-check | --no-halve |\n"
+    "         --mantissa L | --metrics | --stats | --apsp | --trace |\n"
+    "         --json | --seed S\n";
+
+Graph load_graph(const Args& args) {
+  if (const auto family = args.get("generate")) {
+    const auto n = static_cast<NodeId>(args.get_int_or("n", 64));
+    Rng rng(static_cast<std::uint64_t>(args.get_int_or("seed", 1)));
+    if (*family == "path") return gen::path(n);
+    if (*family == "cycle") return gen::cycle(n);
+    if (*family == "star") return gen::star(n);
+    if (*family == "grid") {
+      const auto side = static_cast<NodeId>(
+          std::max(2.0, std::round(std::sqrt(static_cast<double>(n)))));
+      return gen::grid(side, side);
+    }
+    if (*family == "tree") return gen::random_tree(n, rng);
+    if (*family == "er") {
+      return gen::erdos_renyi_connected(
+          n, 2.0 * std::log(static_cast<double>(n)) / static_cast<double>(n),
+          rng);
+    }
+    if (*family == "ba") return gen::barabasi_albert(n, 2, rng);
+    if (*family == "ws") return gen::watts_strogatz(n, 2, 0.2, rng);
+    if (*family == "lollipop") return gen::lollipop(n / 2, n - n / 2);
+    if (*family == "barbell") return gen::barbell(n / 3, n / 4);
+    throw PreconditionError("unknown family: " + *family);
+  }
+  CBC_EXPECTS(args.positional().size() == 1, kUsage);
+  std::ifstream file(args.positional()[0]);
+  CBC_EXPECTS(file.good(), "cannot open " + args.positional()[0]);
+  return read_edge_list(file);
+}
+
+int run(int argc, char** argv) {
+  const Args args = Args::parse(
+      argc, argv, {"generate", "n", "seed", "top", "samples", "mantissa"});
+  if (args.has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (args.has("weighted")) {
+    CBC_EXPECTS(args.positional().size() == 1,
+                "--weighted requires an input file");
+    std::ifstream file(args.positional()[0]);
+    CBC_EXPECTS(file.good(), "cannot open " + args.positional()[0]);
+    const WeightedGraph wg = read_weighted_edge_list(file);
+    const auto result = run_distributed_weighted_bc(wg);
+    std::vector<NodeId> order(wg.num_nodes());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return result.betweenness[a] > result.betweenness[b];
+    });
+    const auto count = std::min<std::uint64_t>(
+        wg.num_nodes(),
+        static_cast<std::uint64_t>(args.get_int_or("top", 10)));
+    Table table({"node", "weighted betweenness", "weighted closeness"});
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const NodeId v = order[i];
+      table.add_row({std::to_string(v),
+                     format_double(result.betweenness[v], 6),
+                     format_double(result.closeness[v], 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\nsubdivided to " << result.subdivided_nodes << " nodes; "
+              << result.rounds << " rounds; weighted diameter "
+              << result.weighted_diameter << "\n";
+    return 0;
+  }
+
+  const Graph graph = load_graph(args);
+
+  if (args.has("stats")) {
+    std::cout << "nodes:     " << graph.num_nodes() << "\n"
+              << "edges:     " << graph.num_edges() << "\n"
+              << "max deg:   " << graph.max_degree() << "\n"
+              << "connected: " << (is_connected(graph) ? "yes" : "no") << "\n";
+    if (is_connected(graph) && graph.num_nodes() > 0) {
+      std::cout << "diameter:  " << diameter(graph) << "\n"
+                << "radius:    " << radius(graph) << "\n";
+    }
+    return 0;
+  }
+
+  if (args.has("apsp")) {
+    const auto result = run_distributed_apsp(graph);
+    std::cout << "distributed APSP: " << result.rounds << " rounds, diameter "
+              << result.diameter << "\n";
+    if (graph.num_nodes() <= 32) {
+      std::cout << "\ndistance matrix (row = node, col = source):\n";
+      for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+        for (NodeId s = 0; s < graph.num_nodes(); ++s) {
+          std::cout << result.distances[v][s]
+                    << (s + 1 == graph.num_nodes() ? "\n" : " ");
+        }
+      }
+    } else {
+      std::cout << "(distance matrix suppressed for N > 32)\n";
+    }
+    return 0;
+  }
+
+  AnalysisOptions options;
+  options.compare_with_brandes = !args.has("no-check");
+  options.distributed.halve = !args.has("no-halve");
+  MessageTrace trace;
+  if (args.has("trace")) {
+    options.distributed.trace = &trace;
+  }
+  if (const auto samples = args.get("samples")) {
+    const auto k = static_cast<std::size_t>(std::stoll(*samples));
+    CBC_EXPECTS(k >= 1 && k <= graph.num_nodes(), "bad --samples");
+    Rng rng(static_cast<std::uint64_t>(args.get_int_or("seed", 1)));
+    std::vector<bool> mask(graph.num_nodes(), false);
+    for (const auto s : rng.sample_without_replacement(graph.num_nodes(), k)) {
+      mask[static_cast<std::size_t>(s)] = true;
+    }
+    options.distributed.sources = mask;
+    options.compare_with_brandes = false;  // estimator: no exact parity
+  }
+  if (const auto mantissa = args.get("mantissa")) {
+    auto fmt = SoftFloatFormat::for_graph(graph.num_nodes());
+    fmt.mantissa_bits = static_cast<unsigned>(std::stoul(*mantissa));
+    options.distributed.format = fmt;
+    options.distributed.budget_bits = 0;
+  }
+
+  Runner runner(graph);
+  const auto report = runner.analyze(options);
+
+  if (args.has("json")) {
+    std::cout << to_json(report) << "\n";
+    return 0;
+  }
+
+  const auto count = args.has("all")
+                         ? graph.num_nodes()
+                         : std::min<std::uint64_t>(
+                               graph.num_nodes(),
+                               static_cast<std::uint64_t>(
+                                   args.get_int_or("top", 10)));
+  std::vector<NodeId> order(graph.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return report.distributed.betweenness[a] > report.distributed.betweenness[b];
+  });
+
+  Table table({"node", "betweenness", "closeness", "graph centrality",
+               "stress"});
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const NodeId v = order[i];
+    table.add_row(
+        {std::to_string(v),
+         format_double(report.distributed.betweenness[v], 6),
+         format_double(report.distributed.closeness[v], 4),
+         format_double(report.distributed.graph_centrality[v], 4),
+         format_double(static_cast<double>(report.distributed.stress[v]), 6)});
+  }
+  table.print(std::cout);
+  std::cout << "\n" << report.summary() << "\n";
+
+  if (args.has("trace")) {
+    std::cout << "\nactivity |" << trace.activity_timeline(64) << "| ("
+              << trace.total_messages() << " messages over "
+              << report.metrics.rounds << " rounds)\n";
+  }
+
+  if (args.has("metrics")) {
+    const auto& m = report.metrics;
+    std::cout << "\nsimulator metrics:\n"
+              << "  rounds:                 " << m.rounds << "\n"
+              << "  physical messages:      " << m.total_physical_messages
+              << "\n"
+              << "  logical messages:       " << m.total_logical_messages
+              << "\n"
+              << "  total bits:             " << m.total_bits << "\n"
+              << "  max bits/edge/round:    " << m.max_bits_on_edge_round
+              << "\n"
+              << "  max bundle size:        " << m.max_logical_on_edge_round
+              << "\n"
+              << "  aggregation epoch:      "
+              << report.distributed.aggregation_epoch << "\n"
+              << "  diameter:               " << report.distributed.diameter
+              << "\n"
+              << "  max node state (bytes): "
+              << report.distributed.max_node_state_bytes << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n" << kUsage;
+    return 1;
+  }
+}
