@@ -1,0 +1,130 @@
+// E16 — resilience cost of the self-healing transport (google-benchmark).
+//
+// The paper's round/bit bounds assume reliable synchronous delivery; this
+// bench measures what exactness costs once that assumption is dropped.
+// For drop rates p in {0, 0.01, 0.05, 0.1, 0.2} it runs the full BC
+// pipeline under the reliable transport and reports, as counters:
+//   * rounds        — outer (physical) rounds used
+//   * round_x       — rounds relative to the fault-free bare pipeline
+//   * bits_x        — total bits relative to the fault-free bare pipeline
+//   * retrans       — stop-and-wait retransmissions
+//   * dropped       — physical messages lost to the injected faults
+// The computed centralities are asserted bit-identical to the fault-free
+// reference on every iteration — a wrong-but-fast transport would be
+// meaningless to benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "algo/bc_pipeline.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace congestbc;
+
+/// Fault-free bare-pipeline baseline for a graph (computed once per
+/// benchmark registration; the reference for both correctness and cost).
+struct Baseline {
+  DistributedBcResult result;
+};
+
+const Baseline& baseline_for(const Graph& g) {
+  // Benchmarks for one graph family share a static: the generator is
+  // deterministic, so the graph (and hence the baseline) is too.
+  static Baseline cache;
+  static std::uint32_t cached_nodes = 0;
+  static std::uint64_t cached_edges = 0;
+  if (cached_nodes != g.num_nodes() || cached_edges != g.num_edges()) {
+    cache.result = run_distributed_bc(g);
+    cached_nodes = g.num_nodes();
+    cached_edges = g.num_edges();
+  }
+  return cache;
+}
+
+void run_reliable_under_drop(benchmark::State& state, const Graph& g,
+                             double drop) {
+  const Baseline& base = baseline_for(g);
+  DistributedBcOptions options;
+  options.reliable_transport = true;
+  if (drop > 0.0) {
+    options.faults = FaultPlan::uniform_drop(/*seed=*/42, drop);
+  }
+
+  std::uint64_t rounds = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t dropped = 0;
+  for (auto _ : state) {
+    BcRun run(g, options);
+    run.run();
+    const auto result = run.harvest();
+    if (result.betweenness != base.result.betweenness) {
+      std::cerr << "FATAL: reliable transport diverged from the fault-free "
+                   "reference (drop="
+                << drop << ")\n";
+      std::abort();
+    }
+    rounds = result.rounds;
+    bits = result.metrics.total_bits;
+    retransmissions = run.total_retransmissions();
+    dropped = result.metrics.dropped_messages;
+    benchmark::DoNotOptimize(result.betweenness.data());
+  }
+
+  const auto& ref = base.result.metrics;
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["round_x"] =
+      static_cast<double>(rounds) / static_cast<double>(ref.rounds);
+  state.counters["bits_x"] =
+      static_cast<double>(bits) / static_cast<double>(ref.total_bits);
+  state.counters["retrans"] = static_cast<double>(retransmissions);
+  state.counters["dropped"] = static_cast<double>(dropped);
+}
+
+void BM_ReliableBcGrid(benchmark::State& state) {
+  const Graph g = gen::grid(6, 6);
+  run_reliable_under_drop(state, g,
+                          static_cast<double>(state.range(0)) / 100.0);
+}
+BENCHMARK(BM_ReliableBcGrid)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReliableBcBa(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g = gen::barabasi_albert(48, 2, rng);
+  run_reliable_under_drop(state, g,
+                          static_cast<double>(state.range(0)) / 100.0);
+}
+BENCHMARK(BM_ReliableBcBa)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BareBcNoFaults(benchmark::State& state) {
+  // The denominator of the overhead ratios, measured directly so the
+  // wall-clock of transport framing is visible too.
+  const Graph g = gen::grid(6, 6);
+  for (auto _ : state) {
+    const auto result = run_distributed_bc(g);
+    benchmark::DoNotOptimize(result.betweenness.data());
+  }
+  const auto& ref = baseline_for(g).result.metrics;
+  state.counters["rounds"] = static_cast<double>(ref.rounds);
+  state.counters["bits"] = static_cast<double>(ref.total_bits);
+}
+BENCHMARK(BM_BareBcNoFaults)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the repo with AddressSanitizer + UBSan in a separate build tree
+# and runs the fault-injection test suite (ctest label "faults") under it.
+# The fault/reliable-transport layer moves raw payload bytes and juggles
+# message lifetimes across rounds — exactly the code that sanitizers pay
+# for.  Usage:
+#   scripts/check_sanitized.sh [BUILD_DIR] [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-asan}"
+shift || true
+
+cmake -S "$repo_root" -B "$build_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCONGESTBC_SANITIZE=address,undefined
+cmake --build "$build_dir" -j"$(nproc)" --target fault_test fuzz_test
+
+cd "$build_dir"
+ctest -L faults --output-on-failure "$@"
+echo "sanitized fault suite: OK"

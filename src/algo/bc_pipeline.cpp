@@ -3,58 +3,98 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "congest/reliable.hpp"
 
 namespace congestbc {
 
-DistributedBcResult run_distributed_bc(const Graph& g,
-                                       const DistributedBcOptions& options) {
+BcRun::BcRun(const Graph& g, const DistributedBcOptions& options)
+    : graph_(&g), options_(options) {
   const NodeId n = g.num_nodes();
   CBC_EXPECTS(n >= 1, "empty graph");
-  CBC_EXPECTS(options.root < n, "root out of range");
+  CBC_EXPECTS(options_.root < n, "root out of range");
 
-  BcProgramConfig config;
   const SoftFloatFormat sf =
-      options.format.value_or(SoftFloatFormat::for_graph(n));
-  config.wire = WireFormat::for_graph(n, sf);
-  config.root = options.root;
-  config.sigma_rounding = options.sigma_rounding;
-  config.psi_rounding = options.psi_rounding;
-  config.dfs_extra_pause = options.dfs_extra_pause;
-  config.sequential_counting = options.sequential_counting;
-  config.check_invariants = options.check_invariants;
-  config.halve = options.halve;
-  config.is_source =
-      options.sources.value_or(std::vector<bool>(n, true));
-  CBC_EXPECTS(config.is_source.size() == n, "sources mask must have size N");
-  config.counts_as_target = options.targets.value_or(std::vector<bool>{});
-  config.scale_by_sources = options.scale_by_sources;
-  config.counting_only = options.counting_only;
-  config.rebase_aggregation = options.rebase_aggregation;
+      options_.format.value_or(SoftFloatFormat::for_graph(n));
+  config_.wire = WireFormat::for_graph(n, sf);
+  config_.root = options_.root;
+  config_.sigma_rounding = options_.sigma_rounding;
+  config_.psi_rounding = options_.psi_rounding;
+  config_.dfs_extra_pause = options_.dfs_extra_pause;
+  config_.sequential_counting = options_.sequential_counting;
+  config_.check_invariants = options_.check_invariants;
+  config_.halve = options_.halve;
+  config_.is_source = options_.sources.value_or(std::vector<bool>(n, true));
+  CBC_EXPECTS(config_.is_source.size() == n, "sources mask must have size N");
+  config_.counts_as_target = options_.targets.value_or(std::vector<bool>{});
+  config_.scale_by_sources = options_.scale_by_sources;
+  config_.counting_only = options_.counting_only;
+  config_.rebase_aggregation = options_.rebase_aggregation;
 
-  NetworkConfig net_config;
-  net_config.bits_per_edge_per_round =
-      options.budget_bits.value_or(congest_budget_bits(n));
-  net_config.max_rounds = options.max_rounds;
-  net_config.trace = options.trace;
-
-  Network network(g, net_config);
-  if (!options.cut_edges.empty()) {
-    network.register_cut(options.cut_edges);
+  const std::uint64_t inner_budget =
+      options_.budget_bits.value_or(congest_budget_bits(n));
+  net_config_.bits_per_edge_per_round =
+      options_.reliable_transport && inner_budget != 0
+          ? reliable_budget_bits(inner_budget, options_.max_rounds)
+          : inner_budget;
+  net_config_.max_rounds = options_.max_rounds;
+  net_config_.trace = options_.trace;
+  net_config_.faults = options_.faults.empty() ? nullptr : &options_.faults;
+  net_config_.stall_window = options_.stall_window;
+  if (net_config_.stall_window == 0 && net_config_.faults != nullptr) {
+    // Auto window: comfortably longer than the pipeline's longest
+    // legitimate quiet stretch (the O(N + D)-round idle replay of the
+    // aggregation schedule), short enough to catch real stalls.
+    net_config_.stall_window = 8ull * n + 256;
   }
 
-  std::vector<std::unique_ptr<NodeProgram>> programs;
-  std::vector<BcProgram*> views;
-  programs.reserve(n);
-  views.reserve(n);
+  network_.emplace(g, net_config_);
+  if (!options_.cut_edges.empty()) {
+    network_->register_cut(options_.cut_edges);
+  }
+
+  programs_.reserve(n);
+  views_.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
-    auto program = std::make_unique<BcProgram>(v, config);
-    views.push_back(program.get());
-    programs.push_back(std::move(program));
+    auto program = std::make_unique<BcProgram>(v, config_);
+    views_.push_back(program.get());
+    if (options_.reliable_transport) {
+      auto transport =
+          std::make_unique<ReliableProgram>(std::move(program), inner_budget);
+      transports_.push_back(transport.get());
+      programs_.push_back(std::move(transport));
+    } else {
+      programs_.push_back(std::move(program));
+    }
   }
+}
 
+BcRun::~BcRun() = default;
+
+RunMetrics BcRun::run() {
+  try {
+    metrics_ = network_->run(programs_);
+  } catch (...) {
+    // Keep the partially filled counters (rounds, fault totals) so a
+    // post-mortem harvest still reports how far the run got.
+    metrics_ = network_->last_metrics();
+    throw;
+  }
+  return metrics_;
+}
+
+std::uint64_t BcRun::total_retransmissions() const {
+  std::uint64_t total = 0;
+  for (const ReliableProgram* transport : transports_) {
+    total += transport->retransmissions();
+  }
+  return total;
+}
+
+DistributedBcResult BcRun::harvest() const {
+  const NodeId n = graph_->num_nodes();
   DistributedBcResult result;
-  result.metrics = network.run(programs);
-  result.rounds = result.metrics.rounds;
+  result.metrics = metrics_;
+  result.rounds = metrics_.rounds;
 
   result.betweenness.resize(n);
   result.closeness.resize(n);
@@ -62,28 +102,35 @@ DistributedBcResult run_distributed_bc(const Graph& g,
   result.stress.resize(n);
   result.eccentricities.resize(n);
   result.bfs_start_rounds.resize(n);
-  if (options.keep_tables) {
+  if (options_.keep_tables) {
     result.tables.resize(n);
   }
   for (NodeId v = 0; v < n; ++v) {
-    const NodeOutputs& out = views[v]->outputs();
+    const NodeOutputs& out = views_[v]->outputs();
     result.betweenness[v] = out.betweenness;
     result.closeness[v] = out.closeness;
     result.graph_centrality[v] = out.graph_centrality;
     result.stress[v] = out.stress;
     result.eccentricities[v] = out.eccentricity;
-    result.bfs_start_rounds[v] = views[v]->bfs_start_round();
+    result.bfs_start_rounds[v] = views_[v]->bfs_start_round();
     result.max_node_state_bytes =
-        std::max(result.max_node_state_bytes, views[v]->state_bytes());
+        std::max(result.max_node_state_bytes, views_[v]->state_bytes());
     result.diameter = out.diameter;
     result.aggregation_epoch = out.aggregation_epoch;
     result.last_finish_round =
         std::max(result.last_finish_round, out.finish_round);
-    if (options.keep_tables) {
-      result.tables[v] = views[v]->table();
+    if (options_.keep_tables) {
+      result.tables[v] = views_[v]->table();
     }
   }
   return result;
+}
+
+DistributedBcResult run_distributed_bc(const Graph& g,
+                                       const DistributedBcOptions& options) {
+  BcRun run(g, options);
+  run.run();
+  return run.harvest();
 }
 
 }  // namespace congestbc

@@ -56,6 +56,19 @@ struct DistributedBcOptions {
   /// (paper-literal schedule).
   bool rebase_aggregation = false;
   std::uint64_t max_rounds = 50'000'000;
+  /// Fault schedule injected into the simulator (congest/fault.hpp);
+  /// empty = the paper's reliable network.
+  FaultPlan faults;
+  /// Wrap every node's program in the reliable transport
+  /// (congest/reliable.hpp): exact BC results survive drop/duplicate/
+  /// delay faults at the cost of extra rounds and header bits.  The
+  /// CONGEST budget is widened to reliable_budget_bits(inner budget).
+  bool reliable_transport = false;
+  /// Stall-watchdog window (NetworkConfig::stall_window).  0 = automatic:
+  /// 8N + 256 when faults are active (longer than any legitimate quiet
+  /// stretch of the aggregation schedule, which idles O(N + D) rounds),
+  /// disabled on a fault-free run.
+  std::uint64_t stall_window = 0;
 };
 
 /// Aggregate result of one run.
@@ -85,5 +98,54 @@ struct DistributedBcResult {
 /// any CONGEST/model violation detected by the simulator.
 DistributedBcResult run_distributed_bc(const Graph& g,
                                        const DistributedBcOptions& options = {});
+
+class ReliableProgram;  // congest/reliable.hpp
+
+/// The pipeline split into construct / run / harvest, so a supervising
+/// caller can salvage per-node partial state when run() throws — the
+/// watchdog runner (core/runner.hpp run_bc_with_watchdog) is the intended
+/// user; run_distributed_bc() is the one-call convenience wrapper.
+class BcRun {
+ public:
+  /// Builds the network and one program per node (wrapped in the reliable
+  /// transport when options.reliable_transport).  The graph must outlive
+  /// the BcRun.
+  BcRun(const Graph& g, const DistributedBcOptions& options);
+  ~BcRun();
+
+  BcRun(const BcRun&) = delete;
+  BcRun& operator=(const BcRun&) = delete;
+
+  /// Executes the network once; throws exactly like Network::run.
+  RunMetrics run();
+
+  /// Assembles a DistributedBcResult from whatever the programs hold
+  /// right now — complete after a clean run(), partial (per-node state as
+  /// of the failure) after run() threw.
+  DistributedBcResult harvest() const;
+
+  /// The per-node BC programs (inner programs under reliable transport).
+  const std::vector<BcProgram*>& views() const { return views_; }
+
+  /// The stall window the run actually uses (after the 0 = auto rule).
+  std::uint64_t effective_stall_window() const {
+    return net_config_.stall_window;
+  }
+
+  /// Total batch retransmissions across all nodes; 0 without the
+  /// reliable transport.
+  std::uint64_t total_retransmissions() const;
+
+ private:
+  const Graph* graph_;
+  DistributedBcOptions options_;  // owns the FaultPlan the network reads
+  BcProgramConfig config_;        // must outlive the programs
+  NetworkConfig net_config_;
+  std::optional<Network> network_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::vector<BcProgram*> views_;
+  std::vector<ReliableProgram*> transports_;  // empty unless reliable
+  RunMetrics metrics_;
+};
 
 }  // namespace congestbc

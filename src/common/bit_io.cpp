@@ -54,6 +54,18 @@ std::uint64_t BitReader::read_varuint() {
   return read(width);
 }
 
+void append_bits(BitWriter& dst, const std::vector<std::uint8_t>& src,
+                 std::size_t bits) {
+  BitReader reader(src, bits);
+  std::size_t remaining = bits;
+  while (remaining > 0) {
+    const unsigned chunk =
+        remaining >= 64 ? 64u : static_cast<unsigned>(remaining);
+    dst.write(reader.read(chunk), chunk);
+    remaining -= chunk;
+  }
+}
+
 unsigned bit_width_u64(std::uint64_t value) {
   if (value == 0) {
     return 1;

@@ -65,6 +65,12 @@ class BitReader {
   std::size_t cursor_ = 0;
 };
 
+/// Appends the first `bits` bits of `src` to `dst` (bulk copy in 64-bit
+/// chunks) — the bundling primitive shared by the simulator and the
+/// reliable transport.
+void append_bits(BitWriter& dst, const std::vector<std::uint8_t>& src,
+                 std::size_t bits);
+
 /// Number of bits needed to represent `value` (0 needs 1 bit).
 unsigned bit_width_u64(std::uint64_t value);
 

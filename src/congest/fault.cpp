@@ -1,0 +1,315 @@
+#include "congest/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+namespace {
+
+std::uint64_t undirected_key(NodeId u, NodeId v) {
+  const NodeId lo = u < v ? u : v;
+  const NodeId hi = u < v ? v : u;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/// SplitMix64 finalizer — the same mixer as common/rng.hpp, applied as a
+/// stateless hash so a message's fate depends only on (seed, round,
+/// from, to), never on how many other messages were classified before it.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) for one (seed, round, from, to) tuple.
+double message_draw(std::uint64_t seed, std::uint64_t round, NodeId from,
+                    NodeId to) {
+  std::uint64_t h = seed + 0x9E3779B97F4A7C15ull;
+  h = mix64(h ^ mix64(round + 0x9E3779B97F4A7C15ull));
+  h = mix64(h ^ mix64((static_cast<std::uint64_t>(from) << 32) | to));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void check_probability(double p, const char* name) {
+  CBC_EXPECTS(std::isfinite(p) && p >= 0.0 && p <= 1.0,
+              std::string(name) + " probability must be in [0, 1]");
+}
+
+void check_window(const OutageWindow& window) {
+  CBC_EXPECTS(window.first_round <= window.last_round,
+              "fault window is inverted (first_round > last_round)");
+}
+
+bool window_hits(const std::vector<OutageWindow>& windows,
+                 std::uint64_t round) {
+  for (const auto& w : windows) {
+    if (w.covers(round)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t parse_round_bound(const std::string& text) {
+  if (text == "inf" || text == "forever" || text == "%") {
+    return FaultPlan::kForever;
+  }
+  return static_cast<std::uint64_t>(std::stoull(text));
+}
+
+/// Splits "FIRST-LAST" (LAST may be "inf") into an OutageWindow.
+OutageWindow parse_window(const std::string& text) {
+  const auto dash = text.find('-');
+  CBC_EXPECTS(dash != std::string::npos,
+              "fault window must be FIRST-LAST, got '" + text + "'");
+  OutageWindow window;
+  window.first_round = parse_round_bound(text.substr(0, dash));
+  window.last_round = parse_round_bound(text.substr(dash + 1));
+  check_window(window);
+  return window;
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const {
+  return drop_probability == 0.0 && duplicate_probability == 0.0 &&
+         delay_probability == 0.0 && link_faults.empty() &&
+         node_faults.empty();
+}
+
+void FaultPlan::validate() const {
+  check_probability(drop_probability, "drop");
+  check_probability(duplicate_probability, "duplicate");
+  check_probability(delay_probability, "delay");
+  CBC_EXPECTS(
+      drop_probability + duplicate_probability + delay_probability <= 1.0,
+      "drop + duplicate + delay probabilities must sum to at most 1");
+  for (const auto& fault : link_faults) {
+    check_window(fault.window);
+    CBC_EXPECTS(fault.edge.u != fault.edge.v, "link fault on a self-loop");
+  }
+  for (const auto& fault : node_faults) {
+    check_window(fault.window);
+  }
+}
+
+FaultPlan FaultPlan::uniform_drop(std::uint64_t seed, double probability) {
+  check_probability(probability, "drop");
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_probability = probability;
+  return plan;
+}
+
+FaultPlan FaultPlan::drop_everything() {
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  return plan;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) {
+      continue;
+    }
+    const auto eq = item.find('=');
+    CBC_EXPECTS(eq != std::string::npos,
+                "fault spec items must be key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(std::stoull(value));
+    } else if (key == "drop") {
+      plan.drop_probability = std::stod(value);
+    } else if (key == "dup") {
+      plan.duplicate_probability = std::stod(value);
+    } else if (key == "delay") {
+      plan.delay_probability = std::stod(value);
+    } else if (key == "crash") {
+      // crash=NODE:FIRST-LAST
+      const auto colon = value.find(':');
+      CBC_EXPECTS(colon != std::string::npos,
+                  "crash spec must be NODE:FIRST-LAST, got '" + value + "'");
+      NodeFault fault;
+      fault.node =
+          static_cast<NodeId>(std::stoul(value.substr(0, colon)));
+      fault.window = parse_window(value.substr(colon + 1));
+      plan.node_faults.push_back(fault);
+    } else if (key == "link") {
+      // link=U-V:FIRST-LAST
+      const auto colon = value.find(':');
+      CBC_EXPECTS(colon != std::string::npos,
+                  "link spec must be U-V:FIRST-LAST, got '" + value + "'");
+      const std::string edge_text = value.substr(0, colon);
+      const auto dash = edge_text.find('-');
+      CBC_EXPECTS(dash != std::string::npos,
+                  "link endpoints must be U-V, got '" + edge_text + "'");
+      LinkFault fault;
+      fault.edge.u =
+          static_cast<NodeId>(std::stoul(edge_text.substr(0, dash)));
+      fault.edge.v =
+          static_cast<NodeId>(std::stoul(edge_text.substr(dash + 1)));
+      fault.window = parse_window(value.substr(colon + 1));
+      plan.link_faults.push_back(fault);
+    } else {
+      throw PreconditionError("unknown fault spec key: '" + key + "'");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  if (empty()) {
+    return "no faults";
+  }
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (drop_probability > 0.0) {
+    os << " drop=" << drop_probability;
+  }
+  if (duplicate_probability > 0.0) {
+    os << " dup=" << duplicate_probability;
+  }
+  if (delay_probability > 0.0) {
+    os << " delay=" << delay_probability;
+  }
+  if (!node_faults.empty()) {
+    os << " crashes=" << node_faults.size();
+  }
+  if (!link_faults.empty()) {
+    os << " link-outages=" << link_faults.size();
+  }
+  return os.str();
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kReceiverCrash:
+      return "receiver-crash";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, const Graph& graph)
+    : plan_(plan), graph_(&graph) {
+  plan_.validate();
+  node_windows_.resize(graph.num_nodes());
+  for (const auto& fault : plan_.node_faults) {
+    CBC_EXPECTS(fault.node < graph.num_nodes(),
+                "fault plan crashes node " + std::to_string(fault.node) +
+                    " outside the graph");
+    node_windows_[fault.node].push_back(fault.window);
+  }
+  for (const auto& fault : plan_.link_faults) {
+    CBC_EXPECTS(graph.has_edge(fault.edge.u, fault.edge.v),
+                "fault plan downs link " + std::to_string(fault.edge.u) +
+                    "-" + std::to_string(fault.edge.v) +
+                    " not present in the graph");
+    link_windows_[undirected_key(fault.edge.u, fault.edge.v)].push_back(
+        fault.window);
+  }
+}
+
+bool FaultInjector::node_up(NodeId v, std::uint64_t round) const {
+  return !window_hits(node_windows_[v], round);
+}
+
+bool FaultInjector::link_up(NodeId u, NodeId v, std::uint64_t round) const {
+  const auto it = link_windows_.find(undirected_key(u, v));
+  return it == link_windows_.end() || !window_hits(it->second, round);
+}
+
+FaultInjector::Delivery FaultInjector::classify(std::uint64_t round,
+                                                NodeId from, NodeId to) const {
+  const double total = plan_.drop_probability + plan_.duplicate_probability +
+                       plan_.delay_probability;
+  if (total == 0.0) {
+    return Delivery::kDeliver;
+  }
+  const double draw = message_draw(plan_.seed, round, from, to);
+  if (draw < plan_.drop_probability) {
+    return Delivery::kDrop;
+  }
+  if (draw < plan_.drop_probability + plan_.duplicate_probability) {
+    return Delivery::kDuplicate;
+  }
+  if (draw < total) {
+    return Delivery::kDelay;
+  }
+  return Delivery::kDeliver;
+}
+
+bool FaultInjector::permanently_partitions() const {
+  const NodeId n = graph_->num_nodes();
+  // Survivors: nodes with no window reaching kForever.
+  std::vector<bool> dead(n, false);
+  for (const auto& fault : plan_.node_faults) {
+    if (fault.window.last_round == FaultPlan::kForever) {
+      dead[fault.node] = true;
+    }
+  }
+  NodeId start = n;
+  NodeId alive = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!dead[v]) {
+      ++alive;
+      if (start == n) {
+        start = v;
+      }
+    }
+  }
+  if (alive <= 1) {
+    // Everyone (or everyone but one) is gone: the network cannot finish,
+    // and "partitioned" is the honest classification unless nothing died.
+    return alive < n;
+  }
+  // BFS over surviving nodes and permanently-up links.
+  std::vector<bool> visited(n, false);
+  std::vector<NodeId> queue{start};
+  visited[start] = true;
+  NodeId reached = 1;
+  while (!queue.empty()) {
+    const NodeId v = queue.back();
+    queue.pop_back();
+    for (const NodeId w : graph_->neighbors(v)) {
+      if (visited[w] || dead[w]) {
+        continue;
+      }
+      const auto it = link_windows_.find(undirected_key(v, w));
+      if (it != link_windows_.end()) {
+        bool cut_forever = false;
+        for (const auto& window : it->second) {
+          if (window.last_round == FaultPlan::kForever) {
+            cut_forever = true;
+            break;
+          }
+        }
+        if (cut_forever) {
+          continue;
+        }
+      }
+      visited[w] = true;
+      ++reached;
+      queue.push_back(w);
+    }
+  }
+  return reached < alive;
+}
+
+}  // namespace congestbc

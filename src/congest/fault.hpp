@@ -1,0 +1,150 @@
+// Deterministic fault injection for the CONGEST simulator.
+//
+// The paper's model (§III-A) assumes perfectly reliable synchronous
+// delivery; this layer lets every experiment ask "and what if it isn't?".
+// A FaultPlan is a *seeded, fully reproducible* schedule of adversities:
+//   * per-message uniform drop / duplicate / one-round-delay faults,
+//     decided by hashing (seed, round, from, to) — no shared RNG stream,
+//     so the decision for a message never depends on delivery order and
+//     two runs with the same seed are bit-for-bit identical;
+//   * per-edge link outages (the link is down for a round interval; every
+//     physical message on it, either direction, is lost);
+//   * node crash / crash-restart windows (a crashed node freezes: it does
+//     not run its program, sends nothing, and loses the messages that
+//     arrive while it is down).
+// The Network consults the plan at delivery time and counts every injected
+// event in RunMetrics (dropped/duplicated/delayed messages, crashed node
+// rounds); a TraceSink observes each event via on_fault().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// Inclusive round interval [first_round, last_round]; last_round ==
+/// FaultPlan::kForever means the fault never heals (a permanent crash or
+/// link cut — the ingredient of a crash-partition).
+struct OutageWindow {
+  std::uint64_t first_round = 0;
+  std::uint64_t last_round = 0;
+
+  bool covers(std::uint64_t round) const {
+    return round >= first_round && round <= last_round;
+  }
+  friend bool operator==(const OutageWindow&, const OutageWindow&) = default;
+};
+
+/// One undirected link down for a window (both directions lose traffic).
+struct LinkFault {
+  Edge edge;
+  OutageWindow window;
+  friend bool operator==(const LinkFault&, const LinkFault&) = default;
+};
+
+/// One node crashed for a window (crash-restart when the window ends).
+struct NodeFault {
+  NodeId node = 0;
+  OutageWindow window;
+  friend bool operator==(const NodeFault&, const NodeFault&) = default;
+};
+
+/// A complete, reproducible fault schedule.  Empty plan == the paper's
+/// reliable network; the simulator's fault path is bypassed entirely.
+struct FaultPlan {
+  static constexpr std::uint64_t kForever = ~0ull;
+
+  std::uint64_t seed = 0;
+  /// Per physical message, mutually exclusive (probabilities must sum to
+  /// at most 1; one hash draw decides drop vs duplicate vs delay).
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double delay_probability = 0.0;
+  std::vector<LinkFault> link_faults;
+  std::vector<NodeFault> node_faults;
+
+  /// True when the plan injects nothing at all.
+  bool empty() const;
+
+  /// Throws PreconditionError on out-of-range probabilities or inverted
+  /// windows.
+  void validate() const;
+
+  /// Uniform message-drop plan (the workhorse of the resilience benches).
+  static FaultPlan uniform_drop(std::uint64_t seed, double probability);
+
+  /// Adversarial plan that drops every message — the canonical stall.
+  static FaultPlan drop_everything();
+
+  /// Parses a comma-separated spec, e.g. the CLI's --faults value:
+  ///   "drop=0.1,dup=0.01,delay=0.05,seed=7"
+  ///   "crash=3:10-50,crash=9:100-inf,link=0-1:5-20,drop=0.02"
+  /// Keys: drop / dup / delay (probabilities), seed (u64),
+  /// crash=NODE:FIRST-LAST, link=U-V:FIRST-LAST ("inf" = forever).
+  static FaultPlan parse(const std::string& spec);
+
+  /// One-line human-readable description (CLI banners, bench tables).
+  std::string describe() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// What happened to one physical message (or one crashed-node round).
+enum class FaultKind : std::uint8_t {
+  kDrop,           ///< message lost (hash-drawn)
+  kDuplicate,      ///< message delivered twice in the same round
+  kDelay,          ///< message delivered one round late
+  kLinkDown,       ///< message lost to a scheduled link outage
+  kReceiverCrash,  ///< message lost because the receiver was crashed
+};
+
+const char* to_string(FaultKind kind);
+
+/// One injected fault, as observed by a TraceSink.
+struct FaultEvent {
+  std::uint64_t round = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  FaultKind kind = FaultKind::kDrop;
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// A FaultPlan compiled against a graph for O(1)-ish delivery-time
+/// queries.  Stateless between queries: every answer is a pure function
+/// of (plan, round, edge), which is what makes replay exact.
+class FaultInjector {
+ public:
+  enum class Delivery : std::uint8_t { kDeliver, kDrop, kDuplicate, kDelay };
+
+  /// Validates the plan and that scheduled faults reference real
+  /// nodes/edges of `graph` (throws PreconditionError otherwise).
+  FaultInjector(const FaultPlan& plan, const Graph& graph);
+
+  bool node_up(NodeId v, std::uint64_t round) const;
+  bool link_up(NodeId u, NodeId v, std::uint64_t round) const;
+
+  /// The fate of the physical message `from -> to` sent in `round`,
+  /// drawn from the seeded hash (link/node outages are not consulted
+  /// here — the Network checks those separately so it can attribute the
+  /// loss to the right FaultKind).
+  Delivery classify(std::uint64_t round, NodeId from, NodeId to) const;
+
+  /// True when the *permanent* faults (windows reaching kForever) leave
+  /// the surviving subgraph disconnected — the crash-partition class the
+  /// watchdog reports (core/runner.hpp).
+  bool permanently_partitions() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  const Graph* graph_;
+  std::vector<std::vector<OutageWindow>> node_windows_;   // by node id
+  std::unordered_map<std::uint64_t, std::vector<OutageWindow>> link_windows_;
+};
+
+}  // namespace congestbc

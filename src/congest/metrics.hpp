@@ -2,12 +2,17 @@
 //
 // The paper's claims are about rounds (Theorem 3) and per-edge bits
 // (Lemmas 3/5); the lower-bound experiments additionally need the bits
-// crossing a designated cut (Theorems 5/6).  RunMetrics captures all of
-// that, per round and in aggregate.
+// crossing a designated cut (Theorems 5/6); the fault-injection layer
+// (congest/fault.hpp) additionally counts every adversity it injects.
+// RunMetrics captures all of that, per round and in aggregate, and is
+// equality-comparable so determinism tests can assert byte-identical
+// replays.
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#include "common/assert.hpp"
 
 namespace congestbc {
 
@@ -20,6 +25,8 @@ struct RoundStats {
   std::uint64_t max_bits_on_edge = 0;
   /// Largest number of logical messages bundled on any directed edge.
   std::uint64_t max_logical_on_edge = 0;
+
+  friend bool operator==(const RoundStats&, const RoundStats&) = default;
 };
 
 /// Whole-run measurements.
@@ -32,13 +39,34 @@ struct RunMetrics {
   std::uint64_t max_logical_on_edge_round = 0;
   /// Bits that crossed the registered cut (either direction), total.
   std::uint64_t cut_bits = 0;
+  // --- injected-fault accounting (all zero on a fault-free run) ---
+  /// Physical messages lost: hash-drawn drops, link outages, and
+  /// messages that arrived at a crashed receiver.
+  std::uint64_t dropped_messages = 0;
+  /// Physical messages delivered twice in the same round.
+  std::uint64_t duplicated_messages = 0;
+  /// Physical messages delivered one round late.
+  std::uint64_t delayed_messages = 0;
+  /// Sum over rounds of the number of nodes crashed in that round.
+  std::uint64_t crashed_node_rounds = 0;
   /// Per-round detail (index = round number).
   std::vector<RoundStats> per_round;
 
   /// Max logical messages bundled on any edge within [first, last] rounds
   /// inclusive — used to verify Lemma 4 over the aggregation epoch.
+  /// `last` is clamped to the recorded range (callers conventionally pass
+  /// `rounds`, which is one past the final recorded index), but the
+  /// window must *start* inside it: querying entirely unrecorded rounds
+  /// would return 0 and let a Lemma-4 check pass vacuously, so that is a
+  /// precondition violation instead of a silent truncation.
   std::uint64_t max_logical_on_edge_in(std::uint64_t first,
                                        std::uint64_t last) const {
+    CBC_EXPECTS(first <= last, "inverted round window");
+    CBC_EXPECTS(first < per_round.size(),
+                "max_logical_on_edge_in window starts at round " +
+                    std::to_string(first) + " but only " +
+                    std::to_string(per_round.size()) +
+                    " rounds were recorded (was record_per_round off?)");
     std::uint64_t best = 0;
     for (std::uint64_t r = first; r <= last && r < per_round.size(); ++r) {
       best = best < per_round[r].max_logical_on_edge
@@ -47,6 +75,8 @@ struct RunMetrics {
     }
     return best;
   }
+
+  friend bool operator==(const RunMetrics&, const RunMetrics&) = default;
 };
 
 }  // namespace congestbc

@@ -1,6 +1,7 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 
 #include "common/assert.hpp"
@@ -58,18 +59,6 @@ class ContextImpl final : public NodeContext {
   std::vector<PendingSend> outbox_;
 };
 
-/// Appends `bits` bits of `src` to `writer` (bulk copy in 64-bit chunks).
-void append_bits(BitWriter& writer, const std::vector<std::uint8_t>& src,
-                 std::size_t bits) {
-  BitReader reader(src, bits);
-  std::size_t remaining = bits;
-  while (remaining > 0) {
-    const unsigned chunk = remaining >= 64 ? 64u : static_cast<unsigned>(remaining);
-    writer.write(reader.read(chunk), chunk);
-    remaining -= chunk;
-  }
-}
-
 }  // namespace
 
 std::uint64_t congest_budget_bits(std::uint32_t num_nodes) {
@@ -114,36 +103,93 @@ RunMetrics Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
     contexts.emplace_back(*graph_, v);
   }
 
-  RunMetrics metrics;
+  std::optional<FaultInjector> injector;
+  if (config_.faults != nullptr && !config_.faults->empty()) {
+    injector.emplace(*config_.faults, *graph_);
+  }
+
+  metrics_ = RunMetrics{};
   std::vector<std::vector<InboundMessage>> mailboxes(n);
+  // Messages hit by a kDelay fault in round r sit here through round r+1's
+  // delivery phase and land in the inbox read at round r+2 (one round late).
+  std::vector<std::vector<InboundMessage>> delayed_pending(n);
   bool messages_in_flight = false;
 
-  for (std::uint64_t round = 0;; ++round) {
-    CBC_CHECK(round < config_.max_rounds,
-              "simulation exceeded max_rounds = " +
-                  std::to_string(config_.max_rounds));
+  // Stall watchdog state.  Progress means: the done() count changed, a
+  // program's progress_marker() advanced, or a live node *without* a
+  // marker consumed a message.  Mere transmission is never progress —
+  // under a drop-everything plan senders stay busy forever while the
+  // computation goes nowhere — and consumption by marker-bearing programs
+  // (the reliable transport) is ignored too, because their control
+  // chatter keeps flowing even when retransmitting into a dead peer.
+  std::uint64_t stall_rounds = 0;
+  std::size_t last_done_count = 0;
+  std::vector<std::optional<std::uint64_t>> last_markers;
+  if (config_.stall_window != 0) {
+    last_markers.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      last_markers.push_back(programs[v]->progress_marker());
+    }
+  }
 
-    // Check termination: all done and nothing queued for delivery.
+  for (std::uint64_t round = 0;; ++round) {
+    metrics_.rounds = round;  // kept current so a throw reports progress
+    if (round >= config_.max_rounds) {
+      throw RoundLimitError("simulation exceeded max_rounds = " +
+                            std::to_string(config_.max_rounds));
+    }
+
+    // Check termination: all done and nothing queued for delivery
+    // (including messages still parked in the delay buffers).
     if (!messages_in_flight) {
       const bool all_done =
           std::all_of(programs.begin(), programs.end(),
                       [](const auto& p) { return p->done(); });
       if (all_done) {
-        metrics.rounds = round;
-        return metrics;
+        metrics_.rounds = round;
+        return metrics_;
       }
     }
 
-    // Run every node on this round's inbox.
+    // Run every node on this round's inbox.  A crashed node freezes: its
+    // program does not run (state persists for a crash-restart), it sends
+    // nothing, and every message in its mailbox is lost.
+    bool consumed_this_round = false;
     for (NodeId v = 0; v < n; ++v) {
-      contexts[v].begin_round(round, std::move(mailboxes[v]));
+      const bool up = !injector || injector->node_up(v, round);
+      if (up) {
+        if (config_.stall_window != 0 && !mailboxes[v].empty() &&
+            !last_markers[v].has_value()) {
+          consumed_this_round = true;
+        }
+        contexts[v].begin_round(round, std::move(mailboxes[v]));
+        mailboxes[v].clear();
+        programs[v]->on_round(contexts[v]);
+        continue;
+      }
+      metrics_.crashed_node_rounds += 1;
+      metrics_.dropped_messages += mailboxes[v].size();
+      if (config_.trace != nullptr) {
+        for (const auto& lost : mailboxes[v]) {
+          config_.trace->on_fault(
+              FaultEvent{round, lost.from(), v, FaultKind::kReceiverCrash});
+        }
+      }
       mailboxes[v].clear();
-      programs[v]->on_round(contexts[v]);
+      contexts[v].begin_round(round, {});  // clears any stale outbox
+    }
+
+    // Delayed messages from the previous round become deliverable now,
+    // ahead of this round's sends (they are older traffic).
+    for (NodeId v = 0; v < n; ++v) {
+      if (!delayed_pending[v].empty()) {
+        mailboxes[v] = std::move(delayed_pending[v]);
+        delayed_pending[v].clear();
+      }
     }
 
     // Bundle outboxes into physical messages and account traffic.
     RoundStats stats;
-    messages_in_flight = false;
     for (NodeId v = 0; v < n; ++v) {
       auto& outbox = contexts[v].outbox();
       if (outbox.empty()) {
@@ -165,41 +211,118 @@ RunMetrics Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
           ++i;
         }
         const std::uint64_t bits = bundle.bit_size();
-        if (config_.bits_per_edge_per_round != 0) {
-          CBC_CHECK(bits <= config_.bits_per_edge_per_round,
-                    "CONGEST violation: " + std::to_string(bits) +
-                        " bits on edge " + std::to_string(v) + "->" +
-                        std::to_string(to) + " in round " +
-                        std::to_string(round) + " (budget " +
-                        std::to_string(config_.bits_per_edge_per_round) + ")");
+        if (config_.bits_per_edge_per_round != 0 &&
+            bits > config_.bits_per_edge_per_round) {
+          throw CongestViolationError(
+              "CONGEST violation: " + std::to_string(bits) + " bits on edge " +
+              std::to_string(v) + "->" + std::to_string(to) + " in round " +
+              std::to_string(round) + " (budget " +
+              std::to_string(config_.bits_per_edge_per_round) + ")");
         }
+        // Transmission is accounted (and traced) whether or not the message
+        // survives: the sender spent the bits on the wire either way.
         stats.physical_messages += 1;
         stats.logical_messages += logical;
         stats.bits += bits;
         stats.max_bits_on_edge = std::max(stats.max_bits_on_edge, bits);
         stats.max_logical_on_edge = std::max(stats.max_logical_on_edge, logical);
         if (!cut_keys_.empty() && cut_keys_.count(directed_key(v, to)) != 0) {
-          metrics.cut_bits += bits;
+          metrics_.cut_bits += bits;
         }
         if (config_.trace != nullptr) {
           config_.trace->on_physical_message(TraceEvent{
               round, v, to, static_cast<std::uint32_t>(bits),
               static_cast<std::uint32_t>(logical)});
         }
+
+        if (injector) {
+          if (!injector->link_up(v, to, round)) {
+            metrics_.dropped_messages += 1;
+            if (config_.trace != nullptr) {
+              config_.trace->on_fault(
+                  FaultEvent{round, v, to, FaultKind::kLinkDown});
+            }
+            continue;
+          }
+          switch (injector->classify(round, v, to)) {
+            case FaultInjector::Delivery::kDrop:
+              metrics_.dropped_messages += 1;
+              if (config_.trace != nullptr) {
+                config_.trace->on_fault(
+                    FaultEvent{round, v, to, FaultKind::kDrop});
+              }
+              continue;
+            case FaultInjector::Delivery::kDuplicate:
+              metrics_.duplicated_messages += 1;
+              if (config_.trace != nullptr) {
+                config_.trace->on_fault(
+                    FaultEvent{round, v, to, FaultKind::kDuplicate});
+              }
+              mailboxes[to].emplace_back(v, bundle.bytes(), bundle.bit_size());
+              break;  // falls through to the normal delivery below
+            case FaultInjector::Delivery::kDelay:
+              metrics_.delayed_messages += 1;
+              if (config_.trace != nullptr) {
+                config_.trace->on_fault(
+                    FaultEvent{round, v, to, FaultKind::kDelay});
+              }
+              delayed_pending[to].emplace_back(v, bundle.bytes(),
+                                               bundle.bit_size());
+              continue;
+            case FaultInjector::Delivery::kDeliver:
+              break;
+          }
+        }
         mailboxes[to].emplace_back(v, bundle.bytes(), bundle.bit_size());
-        messages_in_flight = true;
       }
     }
 
-    metrics.total_physical_messages += stats.physical_messages;
-    metrics.total_logical_messages += stats.logical_messages;
-    metrics.total_bits += stats.bits;
-    metrics.max_bits_on_edge_round =
-        std::max(metrics.max_bits_on_edge_round, stats.max_bits_on_edge);
-    metrics.max_logical_on_edge_round =
-        std::max(metrics.max_logical_on_edge_round, stats.max_logical_on_edge);
+    metrics_.total_physical_messages += stats.physical_messages;
+    metrics_.total_logical_messages += stats.logical_messages;
+    metrics_.total_bits += stats.bits;
+    metrics_.max_bits_on_edge_round =
+        std::max(metrics_.max_bits_on_edge_round, stats.max_bits_on_edge);
+    metrics_.max_logical_on_edge_round =
+        std::max(metrics_.max_logical_on_edge_round, stats.max_logical_on_edge);
     if (config_.record_per_round) {
-      metrics.per_round.push_back(stats);
+      metrics_.per_round.push_back(stats);
+    }
+
+    messages_in_flight = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!mailboxes[v].empty() || !delayed_pending[v].empty()) {
+        messages_in_flight = true;
+        break;
+      }
+    }
+
+    if (config_.stall_window != 0) {
+      const auto done_count = static_cast<std::size_t>(
+          std::count_if(programs.begin(), programs.end(),
+                        [](const auto& p) { return p->done(); }));
+      bool marker_advanced = false;
+      for (NodeId v = 0; v < n; ++v) {
+        const auto marker = programs[v]->progress_marker();
+        if (marker != last_markers[v]) {
+          marker_advanced = true;
+          last_markers[v] = marker;
+        }
+      }
+      const bool progress = consumed_this_round || marker_advanced ||
+                            done_count != last_done_count;
+      last_done_count = done_count;
+      if (progress) {
+        stall_rounds = 0;
+      } else if (++stall_rounds >= config_.stall_window) {
+        throw StallError(
+            "network stalled: no message in flight and no program finished "
+            "for " +
+            std::to_string(stall_rounds) + " consecutive rounds (round " +
+            std::to_string(round) + ", " + std::to_string(done_count) + "/" +
+            std::to_string(n) +
+            " nodes done) — suspect message loss, a crash-partition, or a "
+            "protocol deadlock");
+      }
     }
   }
 }

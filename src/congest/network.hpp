@@ -8,9 +8,12 @@
 //   * a physical message is the bundle of the logical messages queued to
 //     that neighbor in that round; its size is accounted in exact bits and
 //     checked against the configured budget B = O(log N)
-//     (a violation throws InvariantError — the simulator *faults* on any
-//     CONGEST violation instead of silently allowing it);
-//   * delivery is reliable and takes exactly one round.
+//     (a violation throws CongestViolationError — the simulator *faults*
+//     on any CONGEST violation instead of silently allowing it);
+//   * by default delivery is reliable and takes exactly one round; an
+//     optional FaultPlan (congest/fault.hpp) injects deterministic drops,
+//     duplicates, one-round delays, link outages, and node crashes, all
+//     counted in RunMetrics and visible to the TraceSink.
 //
 // This simulator substitutes for the paper's (hypothetical) physical
 // message-passing network: the paper's complexity measure is rounds, which
@@ -21,6 +24,8 @@
 #include <memory>
 #include <unordered_set>
 
+#include "common/assert.hpp"
+#include "congest/fault.hpp"
 #include "congest/metrics.hpp"
 #include "congest/node.hpp"
 #include "graph/graph.hpp"
@@ -28,6 +33,28 @@
 namespace congestbc {
 
 class TraceSink;  // congest/trace.hpp
+
+/// The run exceeded NetworkConfig::max_rounds — a runaway-program guard,
+/// not a model violation.
+class RoundLimitError : public InvariantError {
+ public:
+  using InvariantError::InvariantError;
+};
+
+/// A program broke the CONGEST model (per-edge-per-round bit budget).
+class CongestViolationError : public InvariantError {
+ public:
+  using InvariantError::InvariantError;
+};
+
+/// The watchdog saw no delivery progress for NetworkConfig::stall_window
+/// consecutive rounds while the run was unfinished — the signature of a
+/// drop-everything fault plan, a crash-partition, or a deadlocked
+/// protocol.
+class StallError : public InvariantError {
+ public:
+  using InvariantError::InvariantError;
+};
 
 /// Simulator knobs.
 struct NetworkConfig {
@@ -38,8 +65,17 @@ struct NetworkConfig {
   std::uint64_t max_rounds = 10'000'000;
   /// Record per-round stats (cheap; on by default).
   bool record_per_round = true;
-  /// Optional observer of every delivered physical message.
+  /// Optional observer of every physical message (and injected fault).
   TraceSink* trace = nullptr;
+  /// Optional fault schedule; nullptr or an empty plan = the paper's
+  /// reliable network.  Must outlive run().
+  const FaultPlan* faults = nullptr;
+  /// Watchdog: throw StallError after this many consecutive rounds with
+  /// no message delivered and no program newly done while the run is
+  /// unfinished.  0 disables (only max_rounds guards).  Pick a window
+  /// larger than any legitimate quiet stretch of the protocol (the BC
+  /// pipeline idles O(N + D) rounds replaying the aggregation clock).
+  std::uint64_t stall_window = 0;
 };
 
 /// The library's default CONGEST budget: beta * ceil(log2 N) bits with
@@ -62,20 +98,29 @@ class Network {
   void register_cut(const std::vector<Edge>& cut_edges);
 
   /// Runs programs until every node reports done() and no message is in
-  /// flight.  Throws InvariantError on a CONGEST violation or when
-  /// max_rounds is exceeded.
+  /// flight.  Throws CongestViolationError on a CONGEST violation,
+  /// RoundLimitError when max_rounds is exceeded, and StallError when the
+  /// stall watchdog fires (all derive from InvariantError).
   RunMetrics run(const ProgramFactory& factory);
 
   /// Same, over caller-owned programs (programs[v] runs on node v); the
-  /// caller can inspect per-node results afterwards.
+  /// caller can inspect per-node results afterwards — including partial
+  /// state after a throw, which is what the watchdog runner
+  /// (core/runner.hpp) harvests.
   RunMetrics run(std::vector<std::unique_ptr<NodeProgram>>& programs);
 
   const Graph& graph() const { return *graph_; }
+
+  /// Metrics of the most recent run() — including the partially filled
+  /// counters of a run that threw (a failed run's fault and traffic
+  /// totals are exactly what the post-mortem wants).
+  const RunMetrics& last_metrics() const { return metrics_; }
 
  private:
   const Graph* graph_;
   NetworkConfig config_;
   std::unordered_set<std::uint64_t> cut_keys_;  // directed-edge keys
+  RunMetrics metrics_;
 };
 
 }  // namespace congestbc

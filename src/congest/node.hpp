@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -71,6 +72,18 @@ class NodeProgram {
   /// is the algorithms' own responsibility — see the phase switch in
   /// algo/ — this flag only lets the harness stop the clock.)
   virtual bool done() const = 0;
+
+  /// Stall-watchdog hook (NetworkConfig::stall_window).  Default nullopt:
+  /// the watchdog counts every message this node consumes as progress —
+  /// right for ordinary programs, whose traffic is all payload.  A
+  /// program that emits control chatter regardless of progress (the
+  /// reliable transport retransmitting into a dead peer forever) must
+  /// instead return a counter that changes exactly when it makes semantic
+  /// progress; returning a value also opts the node out of the
+  /// consumption fallback.
+  virtual std::optional<std::uint64_t> progress_marker() const {
+    return std::nullopt;
+  }
 };
 
 }  // namespace congestbc

@@ -17,6 +17,15 @@ void MessageTrace::on_physical_message(const TraceEvent& event) {
   }
 }
 
+void MessageTrace::on_fault(const FaultEvent& event) {
+  ++total_faults_;
+  if (fault_events_.size() < max_events_) {
+    fault_events_.push_back(event);
+  } else {
+    truncated_ = true;
+  }
+}
+
 std::vector<TraceEvent> MessageTrace::events_in_round(
     std::uint64_t round) const {
   std::vector<TraceEvent> result;

@@ -1,27 +1,33 @@
 // Message tracing for the CONGEST simulator.
 //
 // A TraceSink registered in NetworkConfig observes every physical message
-// (bundle) the network delivers; MessageTrace is the standard sink — a
-// bounded in-memory event log with per-round aggregation and an ASCII
-// activity timeline, used by the trace_demo example and for debugging
-// protocol phases.
+// (bundle) the network transmits — and, when a FaultPlan is active, every
+// fault the simulator injects (congest/fault.hpp).  MessageTrace is the
+// standard sink — a bounded in-memory event log with per-round
+// aggregation and an ASCII activity timeline, used by the trace_demo
+// example and for debugging protocol phases.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "congest/fault.hpp"
 #include "graph/graph.hpp"
 
 namespace congestbc {
 
-/// One delivered physical message.
+/// One transmitted physical message.  Under fault injection a traced
+/// message may still be lost, duplicated, or delayed afterwards — its
+/// fate arrives as a separate FaultEvent via on_fault().
 struct TraceEvent {
   std::uint64_t round;
   NodeId from;
   NodeId to;
   std::uint32_t bits;
   std::uint32_t logical;  ///< logical records bundled inside
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
 /// Observer interface; implementations must tolerate high call rates.
@@ -29,6 +35,9 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void on_physical_message(const TraceEvent& event) = 0;
+  /// Called once per injected fault; default no-op keeps fault-oblivious
+  /// sinks working unchanged.
+  virtual void on_fault(const FaultEvent& event) { (void)event; }
 };
 
 /// Bounded in-memory event log.
@@ -40,10 +49,15 @@ class MessageTrace final : public TraceSink {
       : max_events_(max_events) {}
 
   void on_physical_message(const TraceEvent& event) override;
+  void on_fault(const FaultEvent& event) override;
 
   const std::vector<TraceEvent>& events() const { return events_; }
   bool truncated() const { return truncated_; }
   std::uint64_t total_messages() const { return total_messages_; }
+
+  /// Injected-fault log (bounded by the same cap as events()).
+  const std::vector<FaultEvent>& fault_events() const { return fault_events_; }
+  std::uint64_t total_faults() const { return total_faults_; }
 
   /// Message count per round (index = round).
   const std::vector<std::uint64_t>& messages_per_round() const {
@@ -62,7 +76,9 @@ class MessageTrace final : public TraceSink {
   std::size_t max_events_;
   bool truncated_ = false;
   std::uint64_t total_messages_ = 0;
+  std::uint64_t total_faults_ = 0;
   std::vector<TraceEvent> events_;
+  std::vector<FaultEvent> fault_events_;
   std::vector<std::uint64_t> per_round_;
 };
 

@@ -31,6 +31,82 @@ AnalysisReport Runner::analyze(const AnalysisOptions& options) const {
   return report;
 }
 
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kComplete:
+      return "complete";
+    case RunStatus::kStall:
+      return "stall";
+    case RunStatus::kCrashPartition:
+      return "crash-partition";
+    case RunStatus::kRoundLimit:
+      return "round-limit";
+    case RunStatus::kCongestViolation:
+      return "congest-violation";
+    case RunStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+RunOutcome run_bc_with_watchdog(const Graph& g,
+                                const DistributedBcOptions& options) {
+  RunOutcome outcome;
+  BcRun run(g, options);
+  try {
+    run.run();
+  } catch (const StallError& e) {
+    outcome.detail = e.what();
+    // A stall with permanent faults that disconnect the survivors is a
+    // different diagnosis (no retry will help) than transient starvation.
+    const bool partitioned =
+        !options.faults.empty() &&
+        FaultInjector(options.faults, g).permanently_partitions();
+    outcome.status =
+        partitioned ? RunStatus::kCrashPartition : RunStatus::kStall;
+  } catch (const RoundLimitError& e) {
+    outcome.detail = e.what();
+    outcome.status = RunStatus::kRoundLimit;
+  } catch (const CongestViolationError& e) {
+    outcome.detail = e.what();
+    outcome.status = RunStatus::kCongestViolation;
+  } catch (const PreconditionError&) {
+    // Bad options (e.g. a fault plan naming a non-existent edge) are the
+    // caller's bug, not a run outcome — keep the documented throw.
+    throw;
+  } catch (const std::exception& e) {
+    outcome.detail = e.what();
+    outcome.status = RunStatus::kError;
+  }
+
+  outcome.result = run.harvest();
+  outcome.retransmissions = run.total_retransmissions();
+  outcome.completion.reserve(run.views().size());
+  for (const BcProgram* program : run.views()) {
+    NodeCompletion c;
+    c.done = program->done();
+    c.sources_counted = static_cast<std::uint32_t>(program->table().size());
+    outcome.nodes_finished += c.done ? 1u : 0u;
+    outcome.completion.push_back(c);
+  }
+  return outcome;
+}
+
+std::string RunOutcome::summary() const {
+  std::ostringstream os;
+  os << "status=" << to_string(status) << ": " << nodes_finished << "/"
+     << completion.size() << " nodes finished";
+  if (complete()) {
+    os << " in " << result.rounds << " rounds";
+    if (retransmissions != 0) {
+      os << " (" << retransmissions << " retransmissions)";
+    }
+  } else {
+    os << "; partial results only — " << detail;
+  }
+  return os.str();
+}
+
 std::string AnalysisReport::summary() const {
   std::ostringstream os;
   os << "distributed BC over N=" << distributed.betweenness.size()

@@ -12,14 +12,63 @@
 //   report.parity->max_rel_error;        // vs centralized Brandes
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "algo/bc_pipeline.hpp"
 #include "core/validation.hpp"
 #include "graph/graph.hpp"
 
 namespace congestbc {
+
+/// How a watchdogged run ended.
+enum class RunStatus : std::uint8_t {
+  kComplete,          ///< every node finished; result is exact
+  kStall,             ///< watchdog fired; faults starved the protocol
+  kCrashPartition,    ///< watchdog fired and the permanent faults provably
+                      ///< disconnect the surviving subgraph
+  kRoundLimit,        ///< max_rounds exhausted
+  kCongestViolation,  ///< a program broke the bit budget
+  kError,             ///< any other failure (message in detail)
+};
+
+const char* to_string(RunStatus status);
+
+/// Per-node progress snapshot at the moment the run ended.
+struct NodeCompletion {
+  bool done = false;
+  /// Sources this node has an L_v entry for — how far its counting phase
+  /// got before the failure.
+  std::uint32_t sources_counted = 0;
+};
+
+/// Structured result of run_bc_with_watchdog: instead of an exception, a
+/// classified status plus whatever the nodes had computed when the run
+/// ended.  On kComplete, `result` equals run_distributed_bc's output; on
+/// failure it is the partial harvest (unfinished nodes report the outputs
+/// they held at the failure round — typically zeros).
+struct RunOutcome {
+  RunStatus status = RunStatus::kComplete;
+  /// The underlying error message when status != kComplete.
+  std::string detail;
+  DistributedBcResult result;
+  std::vector<NodeCompletion> completion;  // one entry per node
+  std::uint32_t nodes_finished = 0;
+  /// Reliable-transport retransmissions (0 without it).
+  std::uint64_t retransmissions = 0;
+
+  bool complete() const { return status == RunStatus::kComplete; }
+  /// One-line human-readable outcome (CLI, logs).
+  std::string summary() const;
+};
+
+/// Runs the distributed pipeline under the stall watchdog and classifies
+/// the outcome instead of throwing: graceful degradation for faulty runs.
+/// PreconditionErrors (bad options) still throw.
+RunOutcome run_bc_with_watchdog(const Graph& g,
+                                const DistributedBcOptions& options = {});
 
 /// What the analysis should include beyond the distributed run itself.
 struct AnalysisOptions {

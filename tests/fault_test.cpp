@@ -1,0 +1,305 @@
+// Fault injection, reliable transport, and the watchdogged pipeline:
+//   * a FaultPlan is seeded and order-independent, so same-seed runs are
+//     byte-identical in metrics and trace;
+//   * the reliable transport recovers the *exact* fault-free BC values
+//     under drop/duplicate/delay faults (the synchronizer argument in
+//     congest/reliable.hpp);
+//   * adversarial plans (drop everything, permanent crash) end in a
+//     classified RunOutcome instead of a hang.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+
+#include "algo/bc_pipeline.hpp"
+#include "congest/fault.hpp"
+#include "congest/network.hpp"
+#include "congest/reliable.hpp"
+#include "congest/trace.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace congestbc {
+namespace {
+
+Graph load_dataset(const char* name) {
+  for (const std::string prefix : {"data/", "../data/", "../../data/"}) {
+    std::ifstream file(prefix + name);
+    if (file.good()) {
+      return read_edge_list(file);
+    }
+  }
+  throw std::runtime_error(std::string("data/") + name +
+                           " not found (run from repo root)");
+}
+
+// ---------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, EmptyAndValidate) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.validate();
+
+  plan.drop_probability = 0.1;
+  EXPECT_FALSE(plan.empty());
+  plan.validate();
+
+  plan.drop_probability = 0.7;
+  plan.duplicate_probability = 0.4;  // sums past 1
+  EXPECT_THROW(plan.validate(), PreconditionError);
+
+  FaultPlan inverted;
+  inverted.node_faults.push_back(NodeFault{0, OutageWindow{10, 5}});
+  EXPECT_THROW(inverted.validate(), PreconditionError);
+}
+
+TEST(FaultPlan, ParseRoundTripsTheCliSpec) {
+  const FaultPlan plan =
+      FaultPlan::parse("drop=0.1,dup=0.01,delay=0.05,seed=7,"
+                       "crash=3:10-50,crash=9:100-inf,link=0-1:5-20");
+  EXPECT_DOUBLE_EQ(plan.drop_probability, 0.1);
+  EXPECT_DOUBLE_EQ(plan.duplicate_probability, 0.01);
+  EXPECT_DOUBLE_EQ(plan.delay_probability, 0.05);
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.node_faults.size(), 2u);
+  EXPECT_EQ(plan.node_faults[0].node, 3u);
+  EXPECT_EQ(plan.node_faults[0].window, (OutageWindow{10, 50}));
+  EXPECT_EQ(plan.node_faults[1].window.last_round, FaultPlan::kForever);
+  ASSERT_EQ(plan.link_faults.size(), 1u);
+  EXPECT_EQ(plan.link_faults[0].edge.u, 0u);
+  EXPECT_EQ(plan.link_faults[0].edge.v, 1u);
+
+  EXPECT_THROW(FaultPlan::parse("drop=0.1,bogus=3"), PreconditionError);
+  EXPECT_FALSE(plan.describe().empty());
+}
+
+TEST(FaultInjector, RejectsFaultsOutsideTheGraph) {
+  const Graph g = gen::path(4);
+  FaultPlan bad_node;
+  bad_node.node_faults.push_back(NodeFault{9, OutageWindow{0, 1}});
+  EXPECT_THROW(FaultInjector(bad_node, g), PreconditionError);
+
+  FaultPlan bad_link;
+  bad_link.link_faults.push_back(LinkFault{Edge{0, 3}, OutageWindow{0, 1}});
+  EXPECT_THROW(FaultInjector(bad_link, g), PreconditionError);
+}
+
+TEST(FaultInjector, DetectsPermanentPartition) {
+  const Graph g = gen::path(5);  // 0-1-2-3-4
+  FaultPlan crash_middle;
+  crash_middle.node_faults.push_back(
+      NodeFault{2, OutageWindow{0, FaultPlan::kForever}});
+  EXPECT_TRUE(FaultInjector(crash_middle, g).permanently_partitions());
+
+  FaultPlan transient;
+  transient.node_faults.push_back(NodeFault{2, OutageWindow{0, 100}});
+  EXPECT_FALSE(FaultInjector(transient, g).permanently_partitions());
+
+  FaultPlan cut_link;
+  cut_link.link_faults.push_back(
+      LinkFault{Edge{1, 2}, OutageWindow{0, FaultPlan::kForever}});
+  EXPECT_TRUE(FaultInjector(cut_link, g).permanently_partitions());
+
+  const Graph ring = gen::cycle(5);
+  FaultPlan one_cut;  // a cycle survives one permanent link cut
+  one_cut.link_faults.push_back(
+      LinkFault{Edge{1, 2}, OutageWindow{0, FaultPlan::kForever}});
+  EXPECT_FALSE(FaultInjector(one_cut, ring).permanently_partitions());
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(FaultDeterminism, SameSeedSameMetricsAndTrace) {
+  const Graph g = load_dataset("karate.txt");
+  DistributedBcOptions options;
+  options.reliable_transport = true;
+  options.faults.seed = 42;
+  options.faults.drop_probability = 0.08;
+  options.faults.duplicate_probability = 0.02;
+  options.faults.delay_probability = 0.03;
+
+  MessageTrace trace_a;
+  MessageTrace trace_b;
+  options.trace = &trace_a;
+  const auto a = run_distributed_bc(g, options);
+  options.trace = &trace_b;
+  const auto b = run_distributed_bc(g, options);
+
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.betweenness, b.betweenness);
+  EXPECT_EQ(trace_a.events(), trace_b.events());
+  EXPECT_EQ(trace_a.fault_events(), trace_b.fault_events());
+  EXPECT_GT(a.metrics.dropped_messages, 0u);
+  EXPECT_GT(a.metrics.duplicated_messages, 0u);
+  EXPECT_GT(a.metrics.delayed_messages, 0u);
+  EXPECT_EQ(trace_a.total_faults(),
+            a.metrics.dropped_messages + a.metrics.duplicated_messages +
+                a.metrics.delayed_messages);
+}
+
+TEST(FaultDeterminism, DifferentSeedsDiverge) {
+  const Graph g = gen::cycle(16);
+  DistributedBcOptions options;
+  options.reliable_transport = true;
+  options.faults = FaultPlan::uniform_drop(1, 0.2);
+  const auto a = run_distributed_bc(g, options);
+  options.faults.seed = 2;
+  const auto b = run_distributed_bc(g, options);
+  // Different drop patterns: the metrics differ (results still agree).
+  EXPECT_NE(a.metrics, b.metrics);
+  EXPECT_EQ(a.betweenness, b.betweenness);
+}
+
+// -------------------------------------------------- exactness under faults
+
+void expect_reliable_run_is_bit_identical(const Graph& g) {
+  DistributedBcOptions clean;
+  const auto reference = run_distributed_bc(g, clean);
+
+  DistributedBcOptions faulty;
+  faulty.reliable_transport = true;
+  faulty.faults = FaultPlan::uniform_drop(1234, 0.10);
+  const auto result = run_distributed_bc(g, faulty);
+
+  ASSERT_GT(result.metrics.dropped_messages, 0u);
+  // Bit-identical, not approximately equal: the synchronizer feeds every
+  // inner round the exact fault-free inboxes.
+  EXPECT_EQ(result.betweenness, reference.betweenness);
+  EXPECT_EQ(result.closeness, reference.closeness);
+  EXPECT_EQ(result.graph_centrality, reference.graph_centrality);
+  EXPECT_EQ(result.stress, reference.stress);
+  EXPECT_EQ(result.eccentricities, reference.eccentricities);
+  EXPECT_EQ(result.diameter, reference.diameter);
+  // The recovery is not free: more rounds than the fault-free run.
+  EXPECT_GT(result.rounds, reference.rounds);
+}
+
+TEST(ReliableTransport, ExactBcUnderTenPercentDropOnKarate) {
+  expect_reliable_run_is_bit_identical(load_dataset("karate.txt"));
+}
+
+TEST(ReliableTransport, ExactBcUnderTenPercentDropOnLesmis) {
+  expect_reliable_run_is_bit_identical(load_dataset("lesmis.txt"));
+}
+
+TEST(ReliableTransport, ExactBcUnderMixedFaultsAndTransientOutages) {
+  const Graph g = load_dataset("karate.txt");
+  DistributedBcOptions clean;
+  const auto reference = run_distributed_bc(g, clean);
+
+  DistributedBcOptions faulty;
+  faulty.reliable_transport = true;
+  faulty.faults.seed = 99;
+  faulty.faults.drop_probability = 0.05;
+  faulty.faults.duplicate_probability = 0.05;
+  faulty.faults.delay_probability = 0.05;
+  // A transient link outage and a transient crash-restart: the transport
+  // retransmits across both.
+  faulty.faults.link_faults.push_back(LinkFault{Edge{0, 1}, {10, 60}});
+  faulty.faults.node_faults.push_back(NodeFault{5, {20, 40}});
+  const auto result = run_distributed_bc(g, faulty);
+
+  EXPECT_GT(result.metrics.crashed_node_rounds, 0u);
+  EXPECT_EQ(result.betweenness, reference.betweenness);
+  EXPECT_EQ(result.stress, reference.stress);
+}
+
+TEST(ReliableTransport, NoFaultsStillExact) {
+  // The wrapper alone (no faults) must not perturb results either.
+  const Graph g = load_dataset("karate.txt");
+  DistributedBcOptions clean;
+  const auto reference = run_distributed_bc(g, clean);
+  DistributedBcOptions wrapped;
+  wrapped.reliable_transport = true;
+  const auto result = run_distributed_bc(g, wrapped);
+  EXPECT_EQ(result.betweenness, reference.betweenness);
+  EXPECT_EQ(result.metrics.dropped_messages, 0u);
+}
+
+TEST(ReliableTransport, BudgetHelpersAreConsistent) {
+  const std::uint64_t inner = congest_budget_bits(34);
+  const std::uint64_t outer = reliable_budget_bits(inner, 1 << 20);
+  EXPECT_EQ(outer, inner + reliable_header_bits(inner, 1 << 20));
+  EXPECT_GT(outer, inner);
+}
+
+// ------------------------------------------------------ watchdog & outcome
+
+TEST(Watchdog, DropEverythingStallsAndIsClassified) {
+  const Graph g = load_dataset("karate.txt");
+  DistributedBcOptions options;
+  options.reliable_transport = true;
+  options.faults = FaultPlan::drop_everything();
+  options.stall_window = 64;
+
+  // The raw pipeline throws StallError...
+  EXPECT_THROW(run_distributed_bc(g, options), StallError);
+
+  // ...and the watchdog runner classifies it with partial completion.
+  const RunOutcome outcome = run_bc_with_watchdog(g, options);
+  EXPECT_EQ(outcome.status, RunStatus::kStall);
+  EXPECT_FALSE(outcome.complete());
+  EXPECT_LT(outcome.nodes_finished, g.num_nodes());
+  EXPECT_EQ(outcome.completion.size(), g.num_nodes());
+  EXPECT_FALSE(outcome.detail.empty());
+  EXPECT_FALSE(outcome.summary().empty());
+}
+
+TEST(Watchdog, PermanentCrashIsClassifiedAsPartition) {
+  const Graph g = gen::path(8);
+  DistributedBcOptions options;
+  options.reliable_transport = true;
+  options.faults.node_faults.push_back(
+      NodeFault{4, OutageWindow{0, FaultPlan::kForever}});
+  options.stall_window = 256;
+
+  const RunOutcome outcome = run_bc_with_watchdog(g, options);
+  EXPECT_EQ(outcome.status, RunStatus::kCrashPartition);
+  EXPECT_GT(outcome.result.metrics.crashed_node_rounds, 0u);
+  EXPECT_FALSE(outcome.completion[4].done);
+}
+
+TEST(Watchdog, CompleteRunReportsComplete) {
+  const Graph g = load_dataset("karate.txt");
+  DistributedBcOptions options;
+  options.reliable_transport = true;
+  options.faults = FaultPlan::uniform_drop(5, 0.1);
+  const RunOutcome outcome = run_bc_with_watchdog(g, options);
+  EXPECT_EQ(outcome.status, RunStatus::kComplete);
+  EXPECT_EQ(outcome.nodes_finished, g.num_nodes());
+  EXPECT_GT(outcome.retransmissions, 0u);
+  const auto reference = run_distributed_bc(g, DistributedBcOptions{});
+  EXPECT_EQ(outcome.result.betweenness, reference.betweenness);
+}
+
+TEST(Watchdog, RoundLimitIsClassified) {
+  const Graph g = gen::cycle(8);
+  DistributedBcOptions options;
+  options.reliable_transport = true;
+  options.faults = FaultPlan::uniform_drop(3, 0.3);
+  options.max_rounds = 10;  // far too few
+  const RunOutcome outcome = run_bc_with_watchdog(g, options);
+  EXPECT_EQ(outcome.status, RunStatus::kRoundLimit);
+}
+
+// ----------------------------------------------- unreliable without armor
+
+TEST(FaultsWithoutTransport, DropsCorruptTheBareAlgorithm) {
+  // Sanity check that the fault layer actually bites: without the
+  // reliable transport a lossy run cannot be trusted — it either stalls
+  // or (rarely) finishes with wrong values.  Either way it must not
+  // silently equal the reference.
+  const Graph g = load_dataset("karate.txt");
+  const auto reference = run_distributed_bc(g, DistributedBcOptions{});
+
+  DistributedBcOptions options;
+  options.faults = FaultPlan::uniform_drop(11, 0.10);
+  options.check_invariants = false;  // the program's own asserts may fire
+  const RunOutcome outcome = run_bc_with_watchdog(g, options);
+  EXPECT_TRUE(!outcome.complete() ||
+              outcome.result.betweenness != reference.betweenness);
+}
+
+}  // namespace
+}  // namespace congestbc

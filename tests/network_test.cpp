@@ -185,8 +185,14 @@ TEST(Network, BundlesLogicalMessages) {
 TEST(Network, EnforcesBitBudget) {
   const Graph g = gen::path(2);
   Network net(g, NetworkConfig{64, 100, true});
+  // The typed error still derives from InvariantError for older catch
+  // sites.
   EXPECT_THROW(
       net.run([](NodeId) { return std::make_unique<OversizeProgram>(); }),
+      CongestViolationError);
+  Network net2(g, NetworkConfig{64, 100, true});
+  EXPECT_THROW(
+      net2.run([](NodeId) { return std::make_unique<OversizeProgram>(); }),
       InvariantError);
 }
 
@@ -202,7 +208,73 @@ TEST(Network, MaxRoundsGuard) {
   const Graph g = gen::path(2);
   Network net(g, NetworkConfig{64, 10, true});
   EXPECT_THROW(net.run([](NodeId) { return std::make_unique<SpinProgram>(); }),
+               RoundLimitError);
+  Network net2(g, NetworkConfig{64, 10, true});
+  EXPECT_THROW(net2.run([](NodeId) { return std::make_unique<SpinProgram>(); }),
                InvariantError);
+}
+
+TEST(Network, StallWatchdogFiresOnDeadlockedPrograms) {
+  // SpinProgram never consumes, never sends, never finishes: with a stall
+  // window the network diagnoses the deadlock instead of spinning to
+  // max_rounds.
+  const Graph g = gen::path(2);
+  NetworkConfig config{64, 1'000'000, true};
+  config.stall_window = 8;
+  Network net(g, config);
+  try {
+    net.run([](NodeId) { return std::make_unique<SpinProgram>(); });
+    FAIL() << "expected StallError";
+  } catch (const StallError&) {
+    EXPECT_LT(net.last_metrics().rounds, 16u);
+  }
+}
+
+TEST(Network, StallWindowZeroDisablesWatchdog) {
+  const Graph g = gen::path(2);
+  NetworkConfig config{64, 50, true};
+  EXPECT_EQ(config.stall_window, 0u);  // default off
+  Network net(g, config);
+  EXPECT_THROW(net.run([](NodeId) { return std::make_unique<SpinProgram>(); }),
+               RoundLimitError);
+}
+
+TEST(Network, FaultFreeRunReportsZeroFaultCounters) {
+  const Graph g = gen::path(3);
+  Network net(g, NetworkConfig{64, 1000, true});
+  const auto metrics = net.run(
+      [](NodeId id) { return std::make_unique<FloodProgram>(id); });
+  EXPECT_EQ(metrics.dropped_messages, 0u);
+  EXPECT_EQ(metrics.duplicated_messages, 0u);
+  EXPECT_EQ(metrics.delayed_messages, 0u);
+  EXPECT_EQ(metrics.crashed_node_rounds, 0u);
+}
+
+TEST(Network, DropEverythingPlanSuppressesAllDeliveries) {
+  const Graph g = gen::path(3);
+  const FaultPlan plan = FaultPlan::drop_everything();
+  NetworkConfig config{64, 1000, true};
+  config.faults = &plan;
+  config.stall_window = 4;
+  Network net(g, config);
+  EXPECT_THROW(
+      net.run([](NodeId id) { return std::make_unique<FloodProgram>(id); }),
+      StallError);
+  const auto& metrics = net.last_metrics();
+  // Node 0 flooded (and keeps nothing pending); nothing ever arrived.
+  EXPECT_GT(metrics.dropped_messages, 0u);
+  EXPECT_EQ(metrics.dropped_messages, metrics.total_physical_messages);
+}
+
+TEST(RunMetrics, MaxLogicalOnEdgeInRejectsUnrecordedWindow) {
+  RunMetrics metrics;
+  metrics.rounds = 5;  // but record_per_round was off: per_round empty
+  EXPECT_THROW(metrics.max_logical_on_edge_in(2, 5), PreconditionError);
+  metrics.per_round.resize(5);
+  metrics.per_round[3].max_logical_on_edge = 7;
+  EXPECT_THROW(metrics.max_logical_on_edge_in(4, 2), PreconditionError);
+  EXPECT_EQ(metrics.max_logical_on_edge_in(0, 5), 7u);
+  EXPECT_EQ(metrics.max_logical_on_edge_in(0, 99), 7u);  // clamped end
 }
 
 TEST(Network, RejectsNonNeighborSend) {

@@ -65,5 +65,28 @@ TEST(Runner, OptionsPropagate) {
   EXPECT_LT(report.parity->max_rel_error, 1e-6);
 }
 
+TEST(Runner, WatchdogOutcomeMatchesPlainRunWhenFaultFree) {
+  const Graph g = gen::wheel(8);
+  const auto plain = run_distributed_bc(g);
+  const RunOutcome outcome = run_bc_with_watchdog(g);
+  EXPECT_TRUE(outcome.complete());
+  EXPECT_EQ(outcome.status, RunStatus::kComplete);
+  EXPECT_EQ(outcome.nodes_finished, g.num_nodes());
+  EXPECT_EQ(outcome.retransmissions, 0u);
+  EXPECT_EQ(outcome.result.betweenness, plain.betweenness);
+  EXPECT_EQ(outcome.result.metrics, plain.metrics);
+  const std::string text = outcome.summary();
+  EXPECT_NE(text.find("complete"), std::string::npos);
+}
+
+TEST(Runner, RunStatusNamesAreStable) {
+  EXPECT_STREQ(to_string(RunStatus::kComplete), "complete");
+  EXPECT_STREQ(to_string(RunStatus::kStall), "stall");
+  EXPECT_STREQ(to_string(RunStatus::kCrashPartition), "crash-partition");
+  EXPECT_STREQ(to_string(RunStatus::kRoundLimit), "round-limit");
+  EXPECT_STREQ(to_string(RunStatus::kCongestViolation), "congest-violation");
+  EXPECT_STREQ(to_string(RunStatus::kError), "error");
+}
+
 }  // namespace
 }  // namespace congestbc

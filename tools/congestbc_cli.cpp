@@ -26,6 +26,14 @@
 //                    matrix (small graphs)
 //   --weighted       input lines are "u v w" (positive integer weights);
 //                    runs the subdivision pipeline
+//   --faults SPEC    inject faults, e.g. "drop=0.1,seed=7" or
+//                    "crash=3:10-inf,link=0-1:5-20" (see congest/fault.hpp);
+//                    runs under the watchdog and reports the classified
+//                    outcome instead of asserting reliable delivery
+//   --reliable       wrap every node in the self-healing transport
+//                    (exact results survive drop/duplicate/delay faults)
+//   --stall-window N watchdog window in rounds (default: 8N+256 when
+//                    faults are active)
 #include <algorithm>
 #include <cmath>
 #include <fstream>
@@ -54,7 +62,8 @@ constexpr const char* kUsage =
     "       congestbc_cli --generate FAMILY --n N [options]\n"
     "options: --top K | --all | --samples K | --no-check | --no-halve |\n"
     "         --mantissa L | --metrics | --stats | --apsp | --trace |\n"
-    "         --json | --seed S\n";
+    "         --json | --seed S | --faults SPEC | --reliable |\n"
+    "         --stall-window N\n";
 
 Graph load_graph(const Args& args) {
   if (const auto family = args.get("generate")) {
@@ -87,8 +96,9 @@ Graph load_graph(const Args& args) {
 }
 
 int run(int argc, char** argv) {
-  const Args args = Args::parse(
-      argc, argv, {"generate", "n", "seed", "top", "samples", "mantissa"});
+  const Args args = Args::parse(argc, argv,
+                                {"generate", "n", "seed", "top", "samples",
+                                 "mantissa", "faults", "stall-window"});
   if (args.has("help")) {
     std::cout << kUsage;
     return 0;
@@ -152,6 +162,51 @@ int run(int argc, char** argv) {
       std::cout << "(distance matrix suppressed for N > 32)\n";
     }
     return 0;
+  }
+
+  if (args.has("faults") || args.has("reliable")) {
+    DistributedBcOptions bc_options;
+    bc_options.halve = !args.has("no-halve");
+    if (const auto spec = args.get("faults")) {
+      bc_options.faults = FaultPlan::parse(*spec);
+    }
+    bc_options.reliable_transport = args.has("reliable");
+    bc_options.stall_window =
+        static_cast<std::uint64_t>(args.get_int_or("stall-window", 0));
+    std::cout << "fault plan: " << bc_options.faults.describe() << "\n"
+              << "transport:  "
+              << (bc_options.reliable_transport ? "reliable (self-healing)"
+                                                : "bare (paper model)")
+              << "\n\n";
+    const RunOutcome outcome = run_bc_with_watchdog(graph, bc_options);
+
+    const auto count = args.has("all")
+                           ? graph.num_nodes()
+                           : std::min<std::uint64_t>(
+                                 graph.num_nodes(),
+                                 static_cast<std::uint64_t>(
+                                     args.get_int_or("top", 10)));
+    std::vector<NodeId> order(graph.num_nodes());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return outcome.result.betweenness[a] > outcome.result.betweenness[b];
+    });
+    Table table({"node", "betweenness", "closeness", "finished"});
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const NodeId v = order[i];
+      table.add_row({std::to_string(v),
+                     format_double(outcome.result.betweenness[v], 6),
+                     format_double(outcome.result.closeness[v], 4),
+                     outcome.completion[v].done ? "yes" : "no"});
+    }
+    table.print(std::cout);
+    std::cout << "\n" << outcome.summary() << "\n";
+    const auto& m = outcome.result.metrics;
+    std::cout << "fault events: dropped " << m.dropped_messages
+              << ", duplicated " << m.duplicated_messages << ", delayed "
+              << m.delayed_messages << ", crashed-node rounds "
+              << m.crashed_node_rounds << "\n";
+    return outcome.complete() ? 0 : 2;
   }
 
   AnalysisOptions options;
