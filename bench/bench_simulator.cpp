@@ -1,17 +1,65 @@
-// E12 — engineering throughput of the CONGEST simulator itself
-// (google-benchmark): wall-clock per full pipeline run and derived
-// message/round throughput.  Not a paper claim; it documents what a
-// downstream user can expect from the substrate.
+// E12 — engineering throughput of the CONGEST simulator itself.
+//
+// Two personalities in one binary:
+//
+//   * default: the google-benchmark suite (wall-clock per full pipeline
+//     run and derived message/round throughput).  Not a paper claim; it
+//     documents what a downstream user can expect from the substrate.
+//
+//   * `bench_simulator --engine-report [--baseline] [--out FILE]`:
+//     machine-readable engine comparison.  Runs the pipeline on the
+//     standard graphs (karate, lesmis, grid 14x14) under the legacy
+//     PR-1 engine and the arena engine at several thread counts, and
+//     writes BENCH_simulator.json with rounds/sec, logical-messages/sec
+//     and heap-allocation counts per run.  `--baseline` pins the legacy
+//     engine at threads=1 (the reproducible before-picture; diff two
+//     reports with scripts/bench_compare.py).
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
 
 #include "algo/bc_pipeline.hpp"
 #include "algo/bfs_tree.hpp"
 #include "central/brandes.hpp"
+#include "core/thread_pool.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+// ------------------------------------------------------------------
+// Global heap-allocation counter.  Counts every operator-new call in
+// the process — exactly the "allocation count" the engine report
+// publishes, because the point of the arena path is to drive this
+// number (per pipeline run) down to a warm-up constant.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
 
 namespace {
 
 using namespace congestbc;
+
+// ------------------------------------------------------------ benchmarks
 
 void BM_PipelineGrid(benchmark::State& state) {
   const auto side = static_cast<NodeId>(state.range(0));
@@ -78,6 +126,187 @@ void BM_SimulatorNetworkOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorNetworkOnly)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------------------- engine report
+
+Graph load_dataset(const char* name) {
+  for (const std::string prefix : {"data/", "../data/", "../../data/"}) {
+    std::ifstream file(prefix + name);
+    if (file.good()) {
+      return read_edge_list(file);
+    }
+  }
+  std::fprintf(stderr, "bench_simulator: data/%s not found (run from repo root)\n",
+               name);
+  std::exit(2);
+}
+
+struct ReportRow {
+  std::string graph;
+  std::uint32_t nodes = 0;
+  std::string engine;  ///< "legacy" or "arena"
+  unsigned threads = 1;
+  double seconds = 0;  ///< mean wall-clock per run
+  std::uint64_t rounds = 0;
+  double rounds_per_sec = 0;
+  std::uint64_t logical_messages = 0;
+  double messages_per_sec = 0;
+  std::uint64_t heap_allocations = 0;  ///< mean operator-new calls per run
+};
+
+ReportRow measure(const std::string& name, const Graph& g, bool legacy,
+                  unsigned threads, int repetitions) {
+  DistributedBcOptions options;
+  options.legacy_engine = legacy;
+  options.threads = threads;
+
+  run_distributed_bc(g, options);  // warm-up (page-in, allocator pools)
+
+  ReportRow row;
+  row.graph = name;
+  row.nodes = g.num_nodes();
+  row.engine = legacy ? "legacy" : "arena";
+  row.threads = threads;
+
+  double total_seconds = 0;
+  std::uint64_t total_allocs = 0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const std::uint64_t allocs_before =
+        g_heap_allocations.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = run_distributed_bc(g, options);
+    const auto t1 = std::chrono::steady_clock::now();
+    total_seconds += std::chrono::duration<double>(t1 - t0).count();
+    total_allocs +=
+        g_heap_allocations.load(std::memory_order_relaxed) - allocs_before;
+    row.rounds = result.rounds;
+    row.logical_messages = result.metrics.total_logical_messages;
+  }
+  row.seconds = total_seconds / repetitions;
+  row.heap_allocations = total_allocs / static_cast<std::uint64_t>(repetitions);
+  row.rounds_per_sec = static_cast<double>(row.rounds) / row.seconds;
+  row.messages_per_sec =
+      static_cast<double>(row.logical_messages) / row.seconds;
+  return row;
+}
+
+void write_json(const std::vector<ReportRow>& rows, const std::string& path,
+                bool baseline) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_simulator: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"congest-simulator-engine\",\n"
+      << "  \"mode\": \"" << (baseline ? "baseline" : "full") << "\",\n"
+      << "  \"hardware_threads\": " << ThreadPool::hardware_threads() << ",\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ReportRow& r = rows[i];
+    char buffer[512];
+    std::snprintf(buffer, sizeof buffer,
+                  "    {\"graph\": \"%s\", \"nodes\": %u, \"engine\": \"%s\", "
+                  "\"threads\": %u, \"seconds\": %.6f, \"rounds\": %llu, "
+                  "\"rounds_per_sec\": %.1f, \"logical_messages\": %llu, "
+                  "\"messages_per_sec\": %.1f, \"heap_allocations\": %llu}%s\n",
+                  r.graph.c_str(), r.nodes, r.engine.c_str(), r.threads,
+                  r.seconds, static_cast<unsigned long long>(r.rounds),
+                  r.rounds_per_sec,
+                  static_cast<unsigned long long>(r.logical_messages),
+                  r.messages_per_sec,
+                  static_cast<unsigned long long>(r.heap_allocations),
+                  i + 1 < rows.size() ? "," : "");
+    out << buffer;
+  }
+  out << "  ]\n}\n";
+}
+
+int run_engine_report(bool baseline, const std::string& out_path,
+                      int repetitions) {
+  struct Entry {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Entry> graphs;
+  graphs.push_back({"karate", load_dataset("karate.txt")});
+  graphs.push_back({"lesmis", load_dataset("lesmis.txt")});
+  graphs.push_back({"grid14", gen::grid(14, 14)});
+
+  std::vector<ReportRow> rows;
+  for (const Entry& e : graphs) {
+    std::vector<std::pair<bool, unsigned>> configs;
+    if (baseline) {
+      configs = {{true, 1}};  // the before-picture: legacy engine, one lane
+    } else {
+      configs = {{true, 1}, {false, 1}, {false, 2}, {false, 8}};
+    }
+    for (const auto& [legacy, threads] : configs) {
+      const ReportRow row =
+          measure(e.name, e.graph, legacy, threads, repetitions);
+      std::printf(
+          "%-8s %-6s threads=%u  %8.1f rounds/s  %10.0f msgs/s  %8llu allocs  "
+          "(%.3fs/run)\n",
+          row.graph.c_str(), row.engine.c_str(), row.threads,
+          row.rounds_per_sec, row.messages_per_sec,
+          static_cast<unsigned long long>(row.heap_allocations), row.seconds);
+      rows.push_back(row);
+    }
+  }
+
+  if (!baseline) {
+    // Headline ratio: allocation-free arena engine vs. the PR-1 engine,
+    // both sequential, on the largest graph.
+    const auto find = [&](const std::string& graph, const char* engine) {
+      for (const ReportRow& r : rows) {
+        if (r.graph == graph && r.engine == engine && r.threads == 1) {
+          return r;
+        }
+      }
+      std::fprintf(stderr, "missing row %s/%s\n", graph.c_str(), engine);
+      std::exit(2);
+    };
+    const ReportRow before = find("grid14", "legacy");
+    const ReportRow after = find("grid14", "arena");
+    std::printf("grid14 speedup (arena/legacy, threads=1): %.2fx; "
+                "allocations %llu -> %llu\n",
+                before.seconds / after.seconds,
+                static_cast<unsigned long long>(before.heap_allocations),
+                static_cast<unsigned long long>(after.heap_allocations));
+  }
+
+  write_json(rows, out_path, baseline);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool engine_report = false;
+  bool baseline = false;
+  int repetitions = 3;
+  std::string out_path = "BENCH_simulator.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--engine-report") {
+      engine_report = true;
+    } else if (arg == "--baseline") {
+      engine_report = true;
+      baseline = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--repetitions" && i + 1 < argc) {
+      repetitions = std::atoi(argv[++i]);
+    }
+  }
+  if (engine_report) {
+    return run_engine_report(baseline, out_path, repetitions < 1 ? 1 : repetitions);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,21 +1,36 @@
 #!/usr/bin/env bash
-# Builds the repo with AddressSanitizer + UBSan in a separate build tree
-# and runs the fault-injection test suite (ctest label "faults") under it.
-# The fault/reliable-transport layer moves raw payload bytes and juggles
-# message lifetimes across rounds — exactly the code that sanitizers pay
-# for.  Usage:
-#   scripts/check_sanitized.sh [BUILD_DIR] [extra ctest args...]
+# Sanitized runs of the code that sanitizers pay for:
+#
+#   * ASan+UBSan (build-asan): the fault-injection suite (ctest label
+#     "faults") plus the engine suite (label "perf") — the fault/
+#     reliable-transport layer moves raw payload bytes across rounds, and
+#     the arena engine hands out spans into recycled block memory.
+#   * TSan (build-tsan): the engine suite and the fault suite — the
+#     parallel node-execution phase must be data-race-free for any lane
+#     count, and TSan is the proof the determinism tests cannot give.
+#
+# Usage:
+#   scripts/check_sanitized.sh [BUILD_DIR_PREFIX] [extra ctest args...]
+# BUILD_DIR_PREFIX defaults to "<repo>/build"; the script uses
+# "<prefix>-asan" and "<prefix>-tsan".
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build-asan}"
+prefix="${1:-$repo_root/build}"
 shift || true
 
-cmake -S "$repo_root" -B "$build_dir" \
+echo "=== stage 1: address,undefined ==="
+cmake -S "$repo_root" -B "$prefix-asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCONGESTBC_SANITIZE=address,undefined
-cmake --build "$build_dir" -j"$(nproc)" --target fault_test fuzz_test
+cmake --build "$prefix-asan" -j"$(nproc)" --target fault_test fuzz_test engine_test
+(cd "$prefix-asan" && ctest -L 'faults|perf' --output-on-failure "$@")
+echo "sanitized (asan) fault+engine suites: OK"
 
-cd "$build_dir"
-ctest -L faults --output-on-failure "$@"
-echo "sanitized fault suite: OK"
+echo "=== stage 2: thread ==="
+cmake -S "$repo_root" -B "$prefix-tsan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCONGESTBC_SANITIZE=thread
+cmake --build "$prefix-tsan" -j"$(nproc)" --target engine_test fault_test
+(cd "$prefix-tsan" && ctest -L 'faults|perf' --output-on-failure "$@")
+echo "sanitized (tsan) engine+fault suites: OK"

@@ -37,6 +37,8 @@ BcRun::BcRun(const Graph& g, const DistributedBcOptions& options)
           ? reliable_budget_bits(inner_budget, options_.max_rounds)
           : inner_budget;
   net_config_.max_rounds = options_.max_rounds;
+  net_config_.threads = options_.threads;
+  net_config_.legacy_engine = options_.legacy_engine;
   net_config_.trace = options_.trace;
   net_config_.faults = options_.faults.empty() ? nullptr : &options_.faults;
   net_config_.stall_window = options_.stall_window;

@@ -69,6 +69,14 @@ struct DistributedBcOptions {
   /// stretch of the aggregation schedule, which idles O(N + D) rounds),
   /// disabled on a fault-free run.
   std::uint64_t stall_window = 0;
+  /// Simulator lanes for the node-execution phase (NetworkConfig::
+  /// threads): 1 = sequential, 0 = one per hardware thread.  Results are
+  /// bit-identical for every value.
+  unsigned threads = 1;
+  /// Run the PR-1 sequential allocating simulator engine instead
+  /// (NetworkConfig::legacy_engine) — the reproducible baseline of
+  /// `bench_simulator --baseline`; never faster, never different.
+  bool legacy_engine = false;
 };
 
 /// Aggregate result of one run.

@@ -41,7 +41,7 @@ std::uint64_t BitReader::read(unsigned bits) {
     const unsigned offset = static_cast<unsigned>(cursor_ % 8);
     const unsigned take = std::min(8u - offset, bits - produced);
     const auto chunk = static_cast<std::uint64_t>(
-        ((*bytes_)[byte_index] >> offset) & ((1u << take) - 1));
+        (data_[byte_index] >> offset) & ((1u << take) - 1));
     value |= chunk << produced;
     produced += take;
     cursor_ += take;
@@ -54,16 +54,38 @@ std::uint64_t BitReader::read_varuint() {
   return read(width);
 }
 
-void append_bits(BitWriter& dst, const std::vector<std::uint8_t>& src,
-                 std::size_t bits) {
+void BitWriter::append(const std::uint8_t* src, std::size_t bits) {
+  if (bits == 0) {
+    return;
+  }
+  if (bit_size_ % 8 == 0) {
+    // Byte-aligned: whole bytes move with one bulk copy.
+    const std::size_t whole = bits / 8;
+    const unsigned rem = static_cast<unsigned>(bits % 8);
+    bytes_.insert(bytes_.end(), src, src + whole);
+    bit_size_ += whole * 8;
+    if (rem != 0) {
+      write(static_cast<std::uint64_t>(src[whole]) & ((1u << rem) - 1), rem);
+    }
+    return;
+  }
   BitReader reader(src, bits);
   std::size_t remaining = bits;
   while (remaining > 0) {
     const unsigned chunk =
         remaining >= 64 ? 64u : static_cast<unsigned>(remaining);
-    dst.write(reader.read(chunk), chunk);
+    write(reader.read(chunk), chunk);
     remaining -= chunk;
   }
+}
+
+void append_bits(BitWriter& dst, const std::vector<std::uint8_t>& src,
+                 std::size_t bits) {
+  dst.append(src.data(), bits);
+}
+
+void append_bits(BitWriter& dst, const std::uint8_t* src, std::size_t bits) {
+  dst.append(src, bits);
 }
 
 unsigned bit_width_u64(std::uint64_t value) {

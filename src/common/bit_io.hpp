@@ -3,8 +3,10 @@
 // The CONGEST model budgets each message in *bits*, so the simulator
 // accounts for the exact number of bits a message occupies.  BitWriter
 // appends little-endian bit fields; BitReader consumes them in the same
-// order.  Both operate on a byte vector so messages can be copied around
-// cheaply.
+// order.  BitWriter owns a byte vector (reusable across rounds via
+// clear()/reserve_bits()); BitReader reads from any contiguous byte
+// range, owned or not — which is what lets the simulator hand programs
+// views into arena memory without copying.
 #pragma once
 
 #include <cstdint>
@@ -31,22 +33,46 @@ class BitWriter {
   /// magnitude varies a lot (keeps small values small).
   void write_varuint(std::uint64_t value);
 
+  /// Appends the first `bits` bits of `src` (byte-aligned fast path when
+  /// this writer currently ends on a byte boundary).
+  void append(const std::uint8_t* src, std::size_t bits);
+
   /// Number of bits written so far.
   std::size_t bit_size() const { return bit_size_; }
 
   /// Underlying bytes (the last byte may be partially filled).
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
 
+  /// Raw pointer to the underlying bytes (null only when empty).
+  const std::uint8_t* data() const { return bytes_.data(); }
+
+  /// Drops the content but keeps the capacity — the reuse primitive of the
+  /// zero-allocation send path (per-neighbor bundle slots are cleared and
+  /// refilled every round without touching the heap).
+  void clear() {
+    bytes_.clear();
+    bit_size_ = 0;
+  }
+
+  /// Ensures capacity for `bits` more bits without reallocation, so bundle
+  /// assembly of a known-size payload never grows the buffer mid-append.
+  void reserve_bits(std::size_t bits) { bytes_.reserve((bit_size_ + bits + 7) / 8); }
+
  private:
   std::vector<std::uint8_t> bytes_;
   std::size_t bit_size_ = 0;
 };
 
-/// Sequential reader over the bits produced by a BitWriter.
+/// Sequential reader over the bits produced by a BitWriter.  Non-owning:
+/// the byte range must outlive the reader.
 class BitReader {
  public:
   BitReader(const std::vector<std::uint8_t>& bytes, std::size_t bit_size)
-      : bytes_(&bytes), bit_size_(bit_size) {}
+      : data_(bytes.data()), bit_size_(bit_size) {}
+
+  /// Reads from a raw byte range (e.g. a payload span into arena memory).
+  BitReader(const std::uint8_t* data, std::size_t bit_size)
+      : data_(data), bit_size_(bit_size) {}
 
   /// Reads the next `bits` bits (bits <= 64).  Throws InvariantError when
   /// reading past the end — a malformed message.
@@ -60,16 +86,18 @@ class BitReader {
   std::size_t remaining() const { return bit_size_ - cursor_; }
 
  private:
-  const std::vector<std::uint8_t>* bytes_;
+  const std::uint8_t* data_;
   std::size_t bit_size_;
   std::size_t cursor_ = 0;
 };
 
-/// Appends the first `bits` bits of `src` to `dst` (bulk copy in 64-bit
-/// chunks) — the bundling primitive shared by the simulator and the
-/// reliable transport.
+/// Appends the first `bits` bits of `src` to `dst` — the bundling
+/// primitive shared by the simulator and the reliable transport.
 void append_bits(BitWriter& dst, const std::vector<std::uint8_t>& src,
                  std::size_t bits);
+
+/// Same, from a raw byte range.
+void append_bits(BitWriter& dst, const std::uint8_t* src, std::size_t bits);
 
 /// Number of bits needed to represent `value` (0 needs 1 bit).
 unsigned bit_width_u64(std::uint64_t value);

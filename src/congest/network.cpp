@@ -1,33 +1,106 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 #include <string>
 
 #include "common/assert.hpp"
 #include "common/bit_io.hpp"
+#include "congest/arena.hpp"
 #include "congest/trace.hpp"
+#include "core/thread_pool.hpp"
 
 namespace congestbc {
 
 namespace {
 
-std::uint64_t directed_key(NodeId from, NodeId to) {
-  return (static_cast<std::uint64_t>(from) << 32) | to;
-}
+// ---------------------------------------------------------------- engine
 
-/// One queued logical payload.
+/// Per-node context of the zero-allocation engine.  Sends append directly
+/// into per-neighbor bundle slots (indexed by adjacency position, so the
+/// merge phase needs no sort), and the inbox buffer is recycled with the
+/// mailbox every round.  Each node's context is touched only by the lane
+/// executing that node, plus the sequential merge phase — never two lanes
+/// at once.
+class SlotContext final : public NodeContext {
+ public:
+  struct Slot {
+    BitWriter writer;
+    std::uint64_t logical = 0;
+  };
+
+  SlotContext(const Graph& graph, NodeId id)
+      : graph_(&graph), id_(id), neighbors_(graph.neighbors(id)) {
+    slots_.resize(neighbors_.size());
+  }
+
+  NodeId id() const override { return id_; }
+  std::uint32_t num_nodes() const override { return graph_->num_nodes(); }
+  std::span<const NodeId> neighbors() const override { return neighbors_; }
+  std::uint64_t round() const override { return round_; }
+  const std::vector<InboundMessage>& inbox() const override { return inbox_; }
+
+  void send(NodeId neighbor, const BitWriter& payload) override {
+    const auto it =
+        std::lower_bound(neighbors_.begin(), neighbors_.end(), neighbor);
+    CBC_EXPECTS(it != neighbors_.end() && *it == neighbor,
+                "node tried to send to a non-neighbor");
+    Slot& slot = slots_[static_cast<std::size_t>(it - neighbors_.begin())];
+    slot.writer.append(payload.data(), payload.bit_size());
+    slot.logical += 1;
+  }
+
+  // -- harness side --
+  /// Starts a round: takes `mailbox`'s messages and leaves it the old
+  /// (cleared) inbox buffer, so the two vectors ping-pong and keep their
+  /// capacities — no steady-state allocation.
+  void begin_round(std::uint64_t round, std::vector<InboundMessage>& mailbox) {
+    round_ = round;
+    inbox_.clear();
+    inbox_.swap(mailbox);
+    clear_slots();
+  }
+  /// A crashed node's round: empty inbox, stale outbox discarded.
+  void begin_round_empty(std::uint64_t round) {
+    round_ = round;
+    inbox_.clear();
+    clear_slots();
+  }
+  std::vector<Slot>& slots() { return slots_; }
+
+ private:
+  void clear_slots() {
+    for (Slot& s : slots_) {
+      if (s.logical != 0) {
+        s.writer.clear();
+        s.logical = 0;
+      }
+    }
+  }
+
+  const Graph* graph_;
+  NodeId id_;
+  std::span<const NodeId> neighbors_;
+  std::uint64_t round_ = 0;
+  std::vector<InboundMessage> inbox_;
+  std::vector<Slot> slots_;
+};
+
+// ------------------------------------------------------- legacy baseline
+
+/// One queued logical payload (legacy engine).
 struct PendingSend {
   NodeId to;
   std::vector<std::uint8_t> bytes;
   std::size_t bits;
 };
 
-/// Concrete per-node context; reused across rounds.
-class ContextImpl final : public NodeContext {
+/// The PR-1 per-node context: owning per-send heap copies, kept verbatim
+/// as the reproducible baseline behind NetworkConfig::legacy_engine.
+class LegacyContext final : public NodeContext {
  public:
-  ContextImpl(const Graph& graph, NodeId id)
-      : graph_(&graph), id_(id) {}
+  LegacyContext(const Graph& graph, NodeId id) : graph_(&graph), id_(id) {}
 
   NodeId id() const override { return id_; }
   std::uint32_t num_nodes() const override { return graph_->num_nodes(); }
@@ -75,10 +148,16 @@ Network::Network(const Graph& graph, NetworkConfig config)
 }
 
 void Network::register_cut(const std::vector<Edge>& cut_edges) {
+  if (cut_flags_.empty()) {
+    cut_flags_.assign(graph_->num_directed_edges(), 0);
+  }
   for (const auto& e : cut_edges) {
     CBC_EXPECTS(graph_->has_edge(e.u, e.v), "cut edge not present in graph");
-    cut_keys_.insert(directed_key(e.u, e.v));
-    cut_keys_.insert(directed_key(e.v, e.u));
+    cut_flags_[graph_->adjacency_offset(e.u) +
+               graph_->neighbor_index(e.u, e.v)] = 1;
+    cut_flags_[graph_->adjacency_offset(e.v) +
+               graph_->neighbor_index(e.v, e.u)] = 1;
+    has_cut_ = true;
   }
 }
 
@@ -94,9 +173,14 @@ RunMetrics Network::run(const ProgramFactory& factory) {
 }
 
 RunMetrics Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
+  return config_.legacy_engine ? run_legacy(programs) : run_engine(programs);
+}
+
+RunMetrics Network::run_engine(
+    std::vector<std::unique_ptr<NodeProgram>>& programs) {
   const NodeId n = graph_->num_nodes();
   CBC_EXPECTS(programs.size() == n, "one program per node required");
-  std::vector<ContextImpl> contexts;
+  std::vector<SlotContext> contexts;
   contexts.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
     CBC_EXPECTS(programs[v] != nullptr, "null program");
@@ -109,11 +193,37 @@ RunMetrics Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
   }
 
   metrics_ = RunMetrics{};
+  arena_block_allocations_ = 0;
+  // Double-buffered payload storage: round r's deliveries live in
+  // arena[r & 1], are read by the programs in round r + 1, and the buffer
+  // is reclaimed at the delivery phase of round r + 2 — strictly after
+  // the last reader (one-round delay faults are re-copied into owning
+  // storage, so they never outlive the window).
+  PayloadArena arenas[2];
   std::vector<std::vector<InboundMessage>> mailboxes(n);
   // Messages hit by a kDelay fault in round r sit here through round r+1's
   // delivery phase and land in the inbox read at round r+2 (one round late).
   std::vector<std::vector<InboundMessage>> delayed_pending(n);
-  bool messages_in_flight = false;
+  for (NodeId v = 0; v < n; ++v) {
+    // A node receives at most one bundle per incident edge per round (one
+    // more under a duplicate fault) — sizing by degree makes mailbox
+    // growth a warm-up cost, not a steady-state one.
+    mailboxes[v].reserve(graph_->degree(v) + 1);
+  }
+  // Exact count of messages sitting in mailboxes + delay buffers; replaces
+  // the legacy engine's O(N) all-mailbox rescan every round.
+  std::uint64_t in_flight = 0;
+
+  const unsigned lanes =
+      config_.threads == 0 ? ThreadPool::hardware_threads() : config_.threads;
+  std::optional<ThreadPool> pool;
+  if (lanes > 1 && n > 1) {
+    pool.emplace(lanes);
+  }
+  std::vector<std::uint8_t> node_up;
+  if (injector) {
+    node_up.assign(n, 1);
+  }
 
   // Stall watchdog state.  Progress means: the done() count changed, a
   // program's progress_marker() advanced, or a live node *without* a
@@ -141,6 +251,272 @@ RunMetrics Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
 
     // Check termination: all done and nothing queued for delivery
     // (including messages still parked in the delay buffers).
+    if (in_flight == 0) {
+      const bool all_done =
+          std::all_of(programs.begin(), programs.end(),
+                      [](const auto& p) { return p->done(); });
+      if (all_done) {
+        metrics_.rounds = round;
+        return metrics_;
+      }
+    }
+
+    // Phase 1 (sequential): crash bookkeeping and the watchdog's
+    // consumption signal — everything that mutates shared metrics or the
+    // trace, in node-id order.  A crashed node freezes: its program does
+    // not run (state persists for a crash-restart), it sends nothing, and
+    // every message in its mailbox is lost.
+    bool consumed_this_round = false;
+    if (injector) {
+      for (NodeId v = 0; v < n; ++v) {
+        const bool up = injector->node_up(v, round);
+        node_up[v] = up ? 1 : 0;
+        if (up) {
+          continue;
+        }
+        metrics_.crashed_node_rounds += 1;
+        metrics_.dropped_messages += mailboxes[v].size();
+        in_flight -= mailboxes[v].size();
+        if (config_.trace != nullptr) {
+          for (const auto& lost : mailboxes[v]) {
+            config_.trace->on_fault(
+                FaultEvent{round, lost.from(), v, FaultKind::kReceiverCrash});
+          }
+        }
+        mailboxes[v].clear();
+      }
+    }
+    if (config_.stall_window != 0) {
+      for (NodeId v = 0; v < n; ++v) {
+        if ((!injector || node_up[v] != 0) && !mailboxes[v].empty() &&
+            !last_markers[v].has_value()) {
+          consumed_this_round = true;
+          break;
+        }
+      }
+    }
+
+    // Phase 2 (parallel): run every live node on this round's inbox.
+    // Each lane owns a contiguous node range and touches only those
+    // nodes' contexts and programs; the first exception in partition
+    // order is rethrown — the same one a sequential loop would raise.
+    const auto execute_nodes = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t v = lo; v < hi; ++v) {
+        if (injector && node_up[v] == 0) {
+          contexts[v].begin_round_empty(round);
+          continue;
+        }
+        contexts[v].begin_round(round, mailboxes[v]);
+        programs[v]->on_round(contexts[v]);
+      }
+    };
+    if (pool) {
+      pool->parallel_ranges(n, execute_nodes);
+    } else {
+      execute_nodes(0, n);
+    }
+    // Every mailbox was consumed (or lost to a crash); only the delay
+    // buffers still hold traffic, re-counted below.
+    in_flight = 0;
+
+    // Phase 3 (sequential): delayed messages from the previous round
+    // become deliverable now, ahead of this round's sends (they are
+    // older traffic).
+    for (NodeId v = 0; v < n; ++v) {
+      if (!delayed_pending[v].empty()) {
+        mailboxes[v].swap(delayed_pending[v]);
+        delayed_pending[v].clear();
+        in_flight += mailboxes[v].size();
+      }
+    }
+
+    // Phase 4 (sequential merge): bundle slots become physical messages;
+    // faults, metrics, cut accounting, and the trace all happen here in
+    // node-id order, so the observable stream is independent of `lanes`.
+    PayloadArena& arena = arenas[round & 1];
+    arena.reset();
+    RoundStats stats;
+    for (NodeId v = 0; v < n; ++v) {
+      auto& slots = contexts[v].slots();
+      const auto nbrs = graph_->neighbors(v);
+      const std::size_t base = graph_->adjacency_offset(v);
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        SlotContext::Slot& slot = slots[i];
+        if (slot.logical == 0) {
+          continue;
+        }
+        const NodeId to = nbrs[i];
+        const std::uint64_t bits = slot.writer.bit_size();
+        const std::uint64_t logical = slot.logical;
+        if (config_.bits_per_edge_per_round != 0 &&
+            bits > config_.bits_per_edge_per_round) {
+          throw CongestViolationError(
+              "CONGEST violation: " + std::to_string(bits) + " bits on edge " +
+              std::to_string(v) + "->" + std::to_string(to) + " in round " +
+              std::to_string(round) + " (budget " +
+              std::to_string(config_.bits_per_edge_per_round) + ")");
+        }
+        // Transmission is accounted (and traced) whether or not the message
+        // survives: the sender spent the bits on the wire either way.
+        stats.physical_messages += 1;
+        stats.logical_messages += logical;
+        stats.bits += bits;
+        stats.max_bits_on_edge = std::max(stats.max_bits_on_edge, bits);
+        stats.max_logical_on_edge = std::max(stats.max_logical_on_edge, logical);
+        if (has_cut_ && cut_flags_[base + i] != 0) {
+          metrics_.cut_bits += bits;
+        }
+        if (config_.trace != nullptr) {
+          config_.trace->on_physical_message(
+              TraceEvent{round, v, to, bits, logical});
+        }
+
+        bool duplicate = false;
+        if (injector) {
+          if (!injector->link_up(v, to, round)) {
+            metrics_.dropped_messages += 1;
+            if (config_.trace != nullptr) {
+              config_.trace->on_fault(
+                  FaultEvent{round, v, to, FaultKind::kLinkDown});
+            }
+            continue;
+          }
+          switch (injector->classify(round, v, to)) {
+            case FaultInjector::Delivery::kDrop:
+              metrics_.dropped_messages += 1;
+              if (config_.trace != nullptr) {
+                config_.trace->on_fault(
+                    FaultEvent{round, v, to, FaultKind::kDrop});
+              }
+              continue;
+            case FaultInjector::Delivery::kDuplicate:
+              metrics_.duplicated_messages += 1;
+              if (config_.trace != nullptr) {
+                config_.trace->on_fault(
+                    FaultEvent{round, v, to, FaultKind::kDuplicate});
+              }
+              duplicate = true;
+              break;  // falls through to the normal delivery below
+            case FaultInjector::Delivery::kDelay:
+              metrics_.delayed_messages += 1;
+              if (config_.trace != nullptr) {
+                config_.trace->on_fault(
+                    FaultEvent{round, v, to, FaultKind::kDelay});
+              }
+              // Cold path: the payload outlives the arena window, so it
+              // gets an owning copy.
+              delayed_pending[to].emplace_back(
+                  v,
+                  std::vector<std::uint8_t>(
+                      slot.writer.data(),
+                      slot.writer.data() + (bits + 7) / 8),
+                  bits);
+              in_flight += 1;
+              continue;
+            case FaultInjector::Delivery::kDeliver:
+              break;
+          }
+        }
+        // Hot path: one bump-copy into the round arena; the mailbox holds
+        // a view (a duplicate fault shares the same bytes).
+        const std::size_t nbytes = (bits + 7) / 8;
+        std::uint8_t* mem = arena.allocate(nbytes);
+        if (nbytes != 0) {
+          std::memcpy(mem, slot.writer.data(), nbytes);
+        }
+        const std::uint8_t* payload = mem;
+        if (duplicate) {
+          mailboxes[to].emplace_back(v, payload, bits);
+          in_flight += 1;
+        }
+        mailboxes[to].emplace_back(v, payload, bits);
+        in_flight += 1;
+      }
+    }
+    arena_block_allocations_ =
+        arenas[0].block_allocations() + arenas[1].block_allocations();
+
+    metrics_.total_physical_messages += stats.physical_messages;
+    metrics_.total_logical_messages += stats.logical_messages;
+    metrics_.total_bits += stats.bits;
+    metrics_.max_bits_on_edge_round =
+        std::max(metrics_.max_bits_on_edge_round, stats.max_bits_on_edge);
+    metrics_.max_logical_on_edge_round =
+        std::max(metrics_.max_logical_on_edge_round, stats.max_logical_on_edge);
+    if (config_.record_per_round) {
+      metrics_.per_round.push_back(stats);
+    }
+
+    if (config_.stall_window != 0) {
+      const auto done_count = static_cast<std::size_t>(
+          std::count_if(programs.begin(), programs.end(),
+                        [](const auto& p) { return p->done(); }));
+      bool marker_advanced = false;
+      for (NodeId v = 0; v < n; ++v) {
+        const auto marker = programs[v]->progress_marker();
+        if (marker != last_markers[v]) {
+          marker_advanced = true;
+          last_markers[v] = marker;
+        }
+      }
+      const bool progress = consumed_this_round || marker_advanced ||
+                            done_count != last_done_count;
+      last_done_count = done_count;
+      if (progress) {
+        stall_rounds = 0;
+      } else if (++stall_rounds >= config_.stall_window) {
+        throw StallError(
+            "network stalled: no message in flight and no program finished "
+            "for " +
+            std::to_string(stall_rounds) + " consecutive rounds (round " +
+            std::to_string(round) + ", " + std::to_string(done_count) + "/" +
+            std::to_string(n) +
+            " nodes done) — suspect message loss, a crash-partition, or a "
+            "protocol deadlock");
+      }
+    }
+  }
+}
+
+RunMetrics Network::run_legacy(
+    std::vector<std::unique_ptr<NodeProgram>>& programs) {
+  const NodeId n = graph_->num_nodes();
+  CBC_EXPECTS(programs.size() == n, "one program per node required");
+  std::vector<LegacyContext> contexts;
+  contexts.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    CBC_EXPECTS(programs[v] != nullptr, "null program");
+    contexts.emplace_back(*graph_, v);
+  }
+
+  std::optional<FaultInjector> injector;
+  if (config_.faults != nullptr && !config_.faults->empty()) {
+    injector.emplace(*config_.faults, *graph_);
+  }
+
+  metrics_ = RunMetrics{};
+  arena_block_allocations_ = 0;
+  std::vector<std::vector<InboundMessage>> mailboxes(n);
+  std::vector<std::vector<InboundMessage>> delayed_pending(n);
+  bool messages_in_flight = false;
+
+  std::uint64_t stall_rounds = 0;
+  std::size_t last_done_count = 0;
+  std::vector<std::optional<std::uint64_t>> last_markers;
+  if (config_.stall_window != 0) {
+    last_markers.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      last_markers.push_back(programs[v]->progress_marker());
+    }
+  }
+
+  for (std::uint64_t round = 0;; ++round) {
+    metrics_.rounds = round;  // kept current so a throw reports progress
+    if (round >= config_.max_rounds) {
+      throw RoundLimitError("simulation exceeded max_rounds = " +
+                            std::to_string(config_.max_rounds));
+    }
+
     if (!messages_in_flight) {
       const bool all_done =
           std::all_of(programs.begin(), programs.end(),
@@ -151,9 +527,6 @@ RunMetrics Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
       }
     }
 
-    // Run every node on this round's inbox.  A crashed node freezes: its
-    // program does not run (state persists for a crash-restart), it sends
-    // nothing, and every message in its mailbox is lost.
     bool consumed_this_round = false;
     for (NodeId v = 0; v < n; ++v) {
       const bool up = !injector || injector->node_up(v, round);
@@ -179,8 +552,6 @@ RunMetrics Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
       contexts[v].begin_round(round, {});  // clears any stale outbox
     }
 
-    // Delayed messages from the previous round become deliverable now,
-    // ahead of this round's sends (they are older traffic).
     for (NodeId v = 0; v < n; ++v) {
       if (!delayed_pending[v].empty()) {
         mailboxes[v] = std::move(delayed_pending[v]);
@@ -188,7 +559,6 @@ RunMetrics Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
       }
     }
 
-    // Bundle outboxes into physical messages and account traffic.
     RoundStats stats;
     for (NodeId v = 0; v < n; ++v) {
       auto& outbox = contexts[v].outbox();
@@ -219,20 +589,19 @@ RunMetrics Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
               std::to_string(round) + " (budget " +
               std::to_string(config_.bits_per_edge_per_round) + ")");
         }
-        // Transmission is accounted (and traced) whether or not the message
-        // survives: the sender spent the bits on the wire either way.
         stats.physical_messages += 1;
         stats.logical_messages += logical;
         stats.bits += bits;
         stats.max_bits_on_edge = std::max(stats.max_bits_on_edge, bits);
         stats.max_logical_on_edge = std::max(stats.max_logical_on_edge, logical);
-        if (!cut_keys_.empty() && cut_keys_.count(directed_key(v, to)) != 0) {
+        if (has_cut_ &&
+            cut_flags_[graph_->adjacency_offset(v) +
+                       graph_->neighbor_index(v, to)] != 0) {
           metrics_.cut_bits += bits;
         }
         if (config_.trace != nullptr) {
-          config_.trace->on_physical_message(TraceEvent{
-              round, v, to, static_cast<std::uint32_t>(bits),
-              static_cast<std::uint32_t>(logical)});
+          config_.trace->on_physical_message(
+              TraceEvent{round, v, to, bits, logical});
         }
 
         if (injector) {

@@ -15,6 +15,16 @@
 //     duplicates, one-round delays, link outages, and node crashes, all
 //     counted in RunMetrics and visible to the TraceSink.
 //
+// Execution engine (DESIGN.md, "execution engine"): each round splits
+// into a node-execution phase — embarrassingly parallel across nodes,
+// run on NetworkConfig::threads lanes with a static partition — and a
+// sequential merge phase that bundles outboxes, applies faults, accounts
+// metrics, and feeds the trace in node-id order.  Payloads live in a
+// double-buffered bump arena (congest/arena.hpp), so the hot path does
+// no per-message heap allocation and results are bit-identical for every
+// thread count.  The PR-1 sequential allocating engine is kept behind
+// NetworkConfig::legacy_engine as the benchmark baseline.
+//
 // This simulator substitutes for the paper's (hypothetical) physical
 // message-passing network: the paper's complexity measure is rounds, which
 // the simulator counts exactly (see DESIGN.md, substitutions).
@@ -22,7 +32,7 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_set>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "congest/fault.hpp"
@@ -76,6 +86,16 @@ struct NetworkConfig {
   /// larger than any legitimate quiet stretch of the protocol (the BC
   /// pipeline idles O(N + D) rounds replaying the aggregation clock).
   std::uint64_t stall_window = 0;
+  /// Lanes for the node-execution phase: 1 = sequential (default), 0 =
+  /// one per hardware thread.  Metrics, traces, fault outcomes, and
+  /// program results are bit-identical for every value — the merge phase
+  /// is always sequential in node-id order.
+  unsigned threads = 1;
+  /// Run the PR-1 sequential allocating engine instead (per-send heap
+  /// copies, per-outbox stable_sort, O(N) in-flight scan).  Ignores
+  /// `threads`.  Kept as the reproducible baseline for
+  /// `bench_simulator --baseline`; results are identical, only slower.
+  bool legacy_engine = false;
 };
 
 /// The library's default CONGEST budget: beta * ceil(log2 N) bits with
@@ -116,11 +136,26 @@ class Network {
   /// totals are exactly what the post-mortem wants).
   const RunMetrics& last_metrics() const { return metrics_; }
 
+  /// Payload-arena heap allocations performed by the most recent run()
+  /// of the zero-allocation engine (0 for the legacy engine) — flat
+  /// after warm-up; bench_simulator reports it.
+  std::uint64_t arena_block_allocations() const {
+    return arena_block_allocations_;
+  }
+
  private:
+  RunMetrics run_engine(std::vector<std::unique_ptr<NodeProgram>>& programs);
+  RunMetrics run_legacy(std::vector<std::unique_ptr<NodeProgram>>& programs);
+
   const Graph* graph_;
   NetworkConfig config_;
-  std::unordered_set<std::uint64_t> cut_keys_;  // directed-edge keys
+  /// Cut membership per directed edge, indexed by CSR adjacency position
+  /// (graph.adjacency_offset(u) + slot) — a flat bitmap probe on the hot
+  /// path instead of a hash-set lookup.
+  std::vector<std::uint8_t> cut_flags_;
+  bool has_cut_ = false;
   RunMetrics metrics_;
+  std::uint64_t arena_block_allocations_ = 0;
 };
 
 }  // namespace congestbc

@@ -21,22 +21,36 @@
 
 namespace congestbc {
 
-/// A delivered message: sender plus bit-exact payload.
+/// A delivered message: sender plus bit-exact payload.  Two storage
+/// modes share one type: the simulator's hot path delivers *views* into
+/// per-round arena memory (congest/arena.hpp) that outlives the message
+/// by construction, while the owning form copies the bytes — used where a
+/// payload must survive past the round (the delay-fault parking buffer,
+/// the reliable transport's reassembled batches, the legacy engine).
 class InboundMessage {
  public:
+  /// Owning: the message keeps the bytes alive itself.
   InboundMessage(NodeId from, std::vector<std::uint8_t> bytes,
                  std::size_t bits)
-      : from_(from), bytes_(std::move(bytes)), bits_(bits) {}
+      : from_(from), owned_(std::move(bytes)), bits_(bits) {}
+
+  /// Non-owning view; `data` must stay valid until the message is read
+  /// (the simulator guarantees one full round).
+  InboundMessage(NodeId from, const std::uint8_t* data, std::size_t bits)
+      : from_(from), data_(data), bits_(bits) {}
 
   NodeId from() const { return from_; }
   std::size_t bit_size() const { return bits_; }
 
   /// A fresh reader positioned at the start of the payload.
-  BitReader reader() const { return BitReader(bytes_, bits_); }
+  BitReader reader() const {
+    return BitReader(data_ != nullptr ? data_ : owned_.data(), bits_);
+  }
 
  private:
   NodeId from_;
-  std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint8_t> owned_;       // empty in view mode
+  const std::uint8_t* data_ = nullptr;    // null in owning mode
   std::size_t bits_;
 };
 
@@ -59,7 +73,11 @@ class NodeContext {
 };
 
 /// Code running on one node.  `on_round` is invoked exactly once per round
-/// for every node, in node-id order, with that round's inbox.
+/// for every node with that round's inbox — possibly concurrently across
+/// nodes (NetworkConfig::threads): nodes in one round are independent in
+/// the CONGEST model, so a program must only touch its own state and its
+/// NodeContext, never anything shared.  Delivery and all accounting stay
+/// sequential in node-id order, so results are identical either way.
 class NodeProgram {
  public:
   virtual ~NodeProgram() = default;

@@ -147,6 +147,7 @@ void ReliableProgram::parse_frame(PeerState& p,
     const std::uint64_t seq = reader.read_varuint();
     const std::uint64_t bits = reader.read_varuint();
     BitWriter payload;
+    payload.reserve_bits(bits);
     std::uint64_t remaining = bits;
     while (remaining > 0) {
       const unsigned chunk =
@@ -210,6 +211,7 @@ void ReliableProgram::maybe_execute_inner_round(const NodeContext& ctx) {
   }
 
   std::vector<InboundMessage> inbox;
+  inbox.reserve(peers_.size());
   if (round_to_run > 0) {
     const std::uint64_t idx = round_to_run - 1;
     for (auto& p : peers_) {  // peers_ sorted by id == simulator inbox order
@@ -259,6 +261,9 @@ void ReliableProgram::send_frames(NodeContext& ctx) {
       continue;
     }
     BitWriter frame;
+    // Header (three varuints + flags) is < 160 bits; sizing up front keeps
+    // frame assembly reallocation-free even with the payload batch.
+    frame.reserve_bits(160 + (p.unacked.empty() ? 0 : p.unacked.front().bits));
     frame.write_varuint(p.known_prefix);
     frame.write_varuint(executed_);
     frame.write_bool(quiet_);

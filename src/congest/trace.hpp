@@ -24,8 +24,12 @@ struct TraceEvent {
   std::uint64_t round;
   NodeId from;
   NodeId to;
-  std::uint32_t bits;
-  std::uint32_t logical;  ///< logical records bundled inside
+  /// Full-width counters: bundle sizes are budget-bounded in practice,
+  /// but the simulator accounts in std::uint64_t and the trace must not
+  /// silently truncate what it observes (LOCAL-model runs disable the
+  /// budget entirely).
+  std::uint64_t bits;
+  std::uint64_t logical;  ///< logical records bundled inside
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };

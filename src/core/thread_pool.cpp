@@ -1,0 +1,98 @@
+#include "core/thread_pool.hpp"
+
+namespace congestbc {
+
+unsigned ThreadPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : total_(threads == 0 ? hardware_threads() : threads) {
+  errors_.resize(total_);
+  workers_.reserve(total_ - 1);
+  for (unsigned lane = 1; lane < total_; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::run_chunk(unsigned lane) {
+  // Static partition: chunk boundaries depend only on (count, total_).
+  const std::size_t begin = job_count_ * lane / total_;
+  const std::size_t end = job_count_ * (lane + 1) / total_;
+  try {
+    if (begin < end) {
+      (*job_)(begin, end);
+    }
+  } catch (...) {
+    errors_[lane] = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(unsigned lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) {
+        return;
+      }
+      seen = generation_;
+    }
+    run_chunk(lane);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--unfinished_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_ranges(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (total_ == 1 || count <= 1) {
+    if (count > 0) {
+      fn(0, count);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_count_ = count;
+    job_ = &fn;
+    for (auto& e : errors_) {
+      e = nullptr;
+    }
+    unfinished_ = total_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunk(0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+    job_ = nullptr;
+  }
+  for (const std::exception_ptr& e : errors_) {
+    if (e != nullptr) {
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+}  // namespace congestbc

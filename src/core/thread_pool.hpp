@@ -1,0 +1,66 @@
+// A small persistent thread pool for deterministic data-parallel phases.
+//
+// parallel_ranges(count, fn) statically partitions [0, count) into one
+// contiguous chunk per thread and runs fn(begin, end) on each; the
+// calling thread works chunk 0 while the pool's workers take the rest,
+// and the call blocks until every chunk completes.  The partition is a
+// pure function of (count, thread count) — no work stealing, no atomics
+// in the work distribution — so a caller that keeps per-index state
+// disjoint gets bit-identical results for every thread count, which is
+// exactly the contract the CONGEST round engine builds its determinism
+// argument on (DESIGN.md, execution engine).
+//
+// Exceptions thrown inside a chunk are captured and the one from the
+// lowest chunk index is rethrown after all chunks finish, matching what
+// a sequential in-order loop would have thrown first.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace congestbc {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` total lanes (>= 1); `threads - 1` workers are
+  /// spawned, the calling thread is lane 0.  0 means one lane per
+  /// hardware thread.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threads() const { return total_; }
+
+  /// Runs fn(begin, end) over the static partition of [0, count); blocks
+  /// until every chunk is done, then rethrows the lowest-chunk exception
+  /// if any chunk threw.
+  void parallel_ranges(std::size_t count,
+                       const std::function<void(std::size_t, std::size_t)>& fn);
+
+  static unsigned hardware_threads();
+
+ private:
+  void worker_loop(unsigned lane);
+  void run_chunk(unsigned lane);
+
+  unsigned total_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  unsigned unfinished_ = 0;
+  std::size_t job_count_ = 0;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::vector<std::exception_ptr> errors_;
+  bool stopping_ = false;
+};
+
+}  // namespace congestbc

@@ -54,6 +54,15 @@ bool Graph::has_edge(NodeId u, NodeId v) const {
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
+std::size_t Graph::neighbor_index(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) {
+    return nbrs.size();
+  }
+  return static_cast<std::size_t>(it - nbrs.begin());
+}
+
 std::size_t Graph::max_degree() const {
   std::size_t best = 0;
   for (NodeId v = 0; v < num_nodes_; ++v) {

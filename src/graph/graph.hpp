@@ -41,6 +41,20 @@ class Graph {
 
   bool has_edge(NodeId u, NodeId v) const;
 
+  /// Number of directed adjacency entries (= 2 * num_edges()).  Directed
+  /// edges are densely indexed by their position in the CSR adjacency
+  /// array, which is what lets the simulator keep flat per-directed-edge
+  /// state (cut membership, bundle slots) instead of hash lookups.
+  std::size_t num_directed_edges() const { return targets_.size(); }
+
+  /// Start of `v`'s slice of the directed-edge index space; the directed
+  /// edge v->neighbors(v)[i] has index adjacency_offset(v) + i.
+  std::size_t adjacency_offset(NodeId v) const { return offsets_[v]; }
+
+  /// Position of `v` within u's sorted neighbor list (the local slot
+  /// index), or degree(u) when the edge is absent.
+  std::size_t neighbor_index(NodeId u, NodeId v) const;
+
   /// The deduplicated, sorted edge list (u < v in each pair).
   const std::vector<Edge>& edges() const { return edges_; }
 

@@ -34,6 +34,9 @@
 //                    (exact results survive drop/duplicate/delay faults)
 //   --stall-window N watchdog window in rounds (default: 8N+256 when
 //                    faults are active)
+//   --threads T      simulator lanes for the node-execution phase
+//                    (default 1; 0 = one per hardware thread; results are
+//                    bit-identical for every value)
 #include <algorithm>
 #include <cmath>
 #include <fstream>
@@ -63,7 +66,7 @@ constexpr const char* kUsage =
     "options: --top K | --all | --samples K | --no-check | --no-halve |\n"
     "         --mantissa L | --metrics | --stats | --apsp | --trace |\n"
     "         --json | --seed S | --faults SPEC | --reliable |\n"
-    "         --stall-window N\n";
+    "         --stall-window N | --threads T\n";
 
 Graph load_graph(const Args& args) {
   if (const auto family = args.get("generate")) {
@@ -98,7 +101,8 @@ Graph load_graph(const Args& args) {
 int run(int argc, char** argv) {
   const Args args = Args::parse(argc, argv,
                                 {"generate", "n", "seed", "top", "samples",
-                                 "mantissa", "faults", "stall-window"});
+                                 "mantissa", "faults", "stall-window",
+                                 "threads"});
   if (args.has("help")) {
     std::cout << kUsage;
     return 0;
@@ -173,6 +177,7 @@ int run(int argc, char** argv) {
     bc_options.reliable_transport = args.has("reliable");
     bc_options.stall_window =
         static_cast<std::uint64_t>(args.get_int_or("stall-window", 0));
+    bc_options.threads = static_cast<unsigned>(args.get_int_or("threads", 1));
     std::cout << "fault plan: " << bc_options.faults.describe() << "\n"
               << "transport:  "
               << (bc_options.reliable_transport ? "reliable (self-healing)"
@@ -212,6 +217,8 @@ int run(int argc, char** argv) {
   AnalysisOptions options;
   options.compare_with_brandes = !args.has("no-check");
   options.distributed.halve = !args.has("no-halve");
+  options.distributed.threads =
+      static_cast<unsigned>(args.get_int_or("threads", 1));
   MessageTrace trace;
   if (args.has("trace")) {
     options.distributed.trace = &trace;
