@@ -1,9 +1,11 @@
 #include "algo/bc_pipeline.hpp"
 
 #include <algorithm>
+#include <fstream>
 
 #include "common/assert.hpp"
 #include "congest/reliable.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace congestbc {
 
@@ -48,8 +50,20 @@ BcRun::BcRun(const Graph& g, const DistributedBcOptions& options)
     // aggregation schedule), short enough to catch real stalls.
     net_config_.stall_window = 8ull * n + 256;
   }
+  net_config_.checkpoint.every_rounds = options_.checkpoint_every;
+  net_config_.checkpoint.directory = options_.checkpoint_dir;
+  net_config_.checkpoint.keep_last = options_.checkpoint_keep_last;
+  net_config_.halt_at_round = options_.halt_at_round;
 
   network_.emplace(g, net_config_);
+  if (!options_.resume_from.empty()) {
+    std::ifstream in(options_.resume_from, std::ios::binary);
+    if (!in) {
+      throw SnapshotError("cannot open snapshot file: " +
+                          options_.resume_from);
+    }
+    network_->load_snapshot(in);
+  }
   if (!options_.cut_edges.empty()) {
     network_->register_cut(options_.cut_edges);
   }
@@ -84,6 +98,12 @@ RunMetrics BcRun::run() {
   return metrics_;
 }
 
+bool BcRun::suspended() const { return network_->suspended(); }
+
+void BcRun::save_snapshot(std::ostream& out) const {
+  network_->save_snapshot(out);
+}
+
 std::uint64_t BcRun::total_retransmissions() const {
   std::uint64_t total = 0;
   for (const ReliableProgram* transport : transports_) {
@@ -97,6 +117,9 @@ DistributedBcResult BcRun::harvest() const {
   DistributedBcResult result;
   result.metrics = metrics_;
   result.rounds = metrics_.rounds;
+  result.suspended = network_->suspended();
+  result.resumed_from_round = network_->resumed_from_round();
+  result.checkpoints = network_->checkpoints_written();
 
   result.betweenness.resize(n);
   result.closeness.resize(n);

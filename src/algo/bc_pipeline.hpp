@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "algo/bc_program.hpp"
@@ -77,6 +79,22 @@ struct DistributedBcOptions {
   /// (NetworkConfig::legacy_engine) — the reproducible baseline of
   /// `bench_simulator --baseline`; never faster, never different.
   bool legacy_engine = false;
+  // --- checkpoint / resume (src/snapshot) ---
+  /// Write a full snapshot every this many rounds (0 = off; needs
+  /// checkpoint_dir).  Atomic write-rename, newest checkpoint_keep_last
+  /// files kept.
+  std::uint64_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  unsigned checkpoint_keep_last = 2;
+  /// Path of a snapshot file to resume from ("" = start at round 0).
+  /// The graph, budget, and fault plan must match the original run; the
+  /// resumed run is bit-identical to the uninterrupted one.
+  std::string resume_from;
+  /// Suspend the run at the start of this round (0 = never): the
+  /// deterministic stand-in for a kill.  The result is partial
+  /// (DistributedBcResult::suspended) and, when checkpoint_dir is set,
+  /// the suspension state is also written there as a checkpoint.
+  std::uint64_t halt_at_round = 0;
 };
 
 /// Aggregate result of one run.
@@ -100,6 +118,14 @@ struct DistributedBcResult {
   std::vector<std::uint64_t> bfs_start_rounds;
   /// Per node: L_v (only when keep_tables).
   std::vector<std::vector<SourceEntry>> tables;
+  /// True when the run stopped at halt_at_round: all outputs above are the
+  /// partial state at that boundary, and the suspension snapshot is
+  /// available (BcRun::save_snapshot / the checkpoint directory).
+  bool suspended = false;
+  /// The boundary round this run resumed from, if it resumed.
+  std::optional<std::uint64_t> resumed_from_round;
+  /// Checkpoint files written, oldest first.
+  std::vector<std::string> checkpoints;
 };
 
 /// Runs the full pipeline on a connected graph.  Throws InvariantError on
@@ -139,6 +165,12 @@ class BcRun {
   std::uint64_t effective_stall_window() const {
     return net_config_.stall_window;
   }
+
+  /// True when run() returned because of options.halt_at_round.
+  bool suspended() const;
+
+  /// Serializes the suspension snapshot (only valid when suspended()).
+  void save_snapshot(std::ostream& out) const;
 
   /// Total batch retransmissions across all nodes; 0 without the
   /// reliable transport.

@@ -36,6 +36,7 @@
 #include "algo/wire.hpp"
 #include "congest/node.hpp"
 #include "fpa/soft_float.hpp"
+#include "snapshot/snapshottable.hpp"
 
 namespace congestbc {
 
@@ -109,12 +110,19 @@ struct NodeOutputs {
 };
 
 /// The full pipeline on one node.
-class BcProgram final : public NodeProgram {
+class BcProgram final : public NodeProgram, public Snapshottable {
  public:
   BcProgram(NodeId id, const BcProgramConfig& config);
 
   void on_round(NodeContext& ctx) override;
   bool done() const override { return finished_; }
+
+  /// Checkpoint support: serializes the evolving state of all five
+  /// sub-phases (the L_v table, DFS/phase-switch/aggregation cursors,
+  /// outputs).  Config-derived fields (entry_index_, expected_sources_,
+  /// source/target flags) are rebuilt, not stored.
+  void save_state(BitWriter& w) const override;
+  void load_state(BitReader& r) override;
 
   const NodeOutputs& outputs() const { return outputs_; }
   /// L_v, ordered by source discovery time (== T_s order).

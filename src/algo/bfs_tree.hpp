@@ -18,6 +18,7 @@
 #include "algo/parse.hpp"
 #include "algo/wire.hpp"
 #include "congest/node.hpp"
+#include "snapshot/snapshottable.hpp"
 
 namespace congestbc {
 
@@ -30,6 +31,11 @@ class TreeBuilder {
 
   /// Handles this round's tree-related records and emits replies/waves.
   void on_round(NodeContext& ctx, const std::vector<ParsedMsg>& msgs);
+
+  /// Checkpoint support (snapshot/snapshottable.hpp): the protocol state
+  /// only — id/root/format are reconstructed by the owner's constructor.
+  void save_state(BitWriter& w) const;
+  void load_state(BitReader& r);
 
   bool has_dist() const { return has_dist_; }
   std::uint32_t dist() const { return dist_; }
@@ -70,13 +76,16 @@ class TreeBuilder {
 };
 
 /// Standalone NodeProgram running just the tree construction.
-class BfsTreeProgram final : public NodeProgram {
+class BfsTreeProgram final : public NodeProgram, public Snapshottable {
  public:
   BfsTreeProgram(NodeId id, NodeId root, const WireFormat& fmt)
       : fmt_(fmt), builder_(id, root, fmt_) {}
 
   void on_round(NodeContext& ctx) override;
   bool done() const override;
+
+  void save_state(BitWriter& w) const override { builder_.save_state(w); }
+  void load_state(BitReader& r) override { builder_.load_state(r); }
 
   const TreeBuilder& tree() const { return builder_; }
 

@@ -49,6 +49,14 @@ class Rng {
   std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
                                                         std::uint64_t k);
 
+  /// The RNG cursor, for checkpoint/restore (src/snapshot): SplitMix64's
+  /// entire state is this one word, so save/restore of a stream position
+  /// is exact.  (The simulator itself never needs it — fault decisions
+  /// are stateless hashes — but workload generators replayed across a
+  /// snapshot boundary do.)
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t state) { state_ = state; }
+
  private:
   std::uint64_t state_;
 };

@@ -30,6 +30,12 @@ struct RoundStats {
 };
 
 /// Whole-run measurements.
+///
+/// Every counter is deliberately std::uint64_t (audited when the
+/// snapshot subsystem landed: totals here and in RoundStats would wrap a
+/// 32-bit type on large runs — total_bits alone passes 2^32 near
+/// ~50k rounds of karate — and the snapshot varuint encoding assumes
+/// full-width values round-trip).  Keep it that way when adding fields.
 struct RunMetrics {
   std::uint64_t rounds = 0;
   std::uint64_t total_physical_messages = 0;

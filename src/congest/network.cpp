@@ -1,8 +1,11 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
+#include <istream>
 #include <optional>
+#include <ostream>
 #include <string>
 
 #include "common/assert.hpp"
@@ -10,6 +13,8 @@
 #include "congest/arena.hpp"
 #include "congest/trace.hpp"
 #include "core/thread_pool.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/snapshottable.hpp"
 
 namespace congestbc {
 
@@ -132,7 +137,164 @@ class LegacyContext final : public NodeContext {
   std::vector<PendingSend> outbox_;
 };
 
+// ------------------------------------------------ snapshot field helpers
+
+/// Fingerprint of the topology a snapshot was taken on.  Resuming against
+/// a different graph would silently misroute every restored message, so
+/// load_snapshot() refuses unless this matches.
+std::uint64_t graph_fingerprint(const Graph& g) {
+  std::uint64_t h = fnv1a(nullptr, 0);
+  h = fnv1a_u64(g.num_nodes(), h);
+  h = fnv1a_u64(g.num_edges(), h);
+  for (const Edge& e : g.edges()) {
+    h = fnv1a_u64(e.u, h);
+    h = fnv1a_u64(e.v, h);
+  }
+  return h;
+}
+
+/// Fingerprint of the fault plan.  The injector is stateless — every
+/// decision is a pure hash of (seed, round, from, to) — so the plan's
+/// parameters ARE the complete RNG cursor: no per-stream position needs
+/// saving, and matching the fingerprint guarantees the resumed run draws
+/// the same fault for every future message.  0 == no plan.
+std::uint64_t fault_fingerprint(const FaultPlan* plan) {
+  if (plan == nullptr || plan->empty()) {
+    return 0;
+  }
+  std::uint64_t h = fnv1a(nullptr, 0);
+  h = fnv1a_u64(plan->seed, h);
+  h = fnv1a_u64(std::bit_cast<std::uint64_t>(plan->drop_probability), h);
+  h = fnv1a_u64(std::bit_cast<std::uint64_t>(plan->duplicate_probability), h);
+  h = fnv1a_u64(std::bit_cast<std::uint64_t>(plan->delay_probability), h);
+  h = fnv1a_u64(plan->link_faults.size(), h);
+  for (const LinkFault& f : plan->link_faults) {
+    h = fnv1a_u64(f.edge.u, h);
+    h = fnv1a_u64(f.edge.v, h);
+    h = fnv1a_u64(f.window.first_round, h);
+    h = fnv1a_u64(f.window.last_round, h);
+  }
+  h = fnv1a_u64(plan->node_faults.size(), h);
+  for (const NodeFault& f : plan->node_faults) {
+    h = fnv1a_u64(f.node, h);
+    h = fnv1a_u64(f.window.first_round, h);
+    h = fnv1a_u64(f.window.last_round, h);
+  }
+  return h;
+}
+
+void put_metrics(BitWriter& w, const RunMetrics& m) {
+  snap::put_u64(w, m.rounds);
+  snap::put_u64(w, m.total_physical_messages);
+  snap::put_u64(w, m.total_logical_messages);
+  snap::put_u64(w, m.total_bits);
+  snap::put_u64(w, m.max_bits_on_edge_round);
+  snap::put_u64(w, m.max_logical_on_edge_round);
+  snap::put_u64(w, m.cut_bits);
+  snap::put_u64(w, m.dropped_messages);
+  snap::put_u64(w, m.duplicated_messages);
+  snap::put_u64(w, m.delayed_messages);
+  snap::put_u64(w, m.crashed_node_rounds);
+  snap::put_u64(w, m.per_round.size());
+  for (const RoundStats& s : m.per_round) {
+    snap::put_u64(w, s.physical_messages);
+    snap::put_u64(w, s.logical_messages);
+    snap::put_u64(w, s.bits);
+    snap::put_u64(w, s.max_bits_on_edge);
+    snap::put_u64(w, s.max_logical_on_edge);
+  }
+}
+
+RunMetrics get_metrics(BitReader& r) {
+  RunMetrics m;
+  m.rounds = snap::get_u64(r);
+  m.total_physical_messages = snap::get_u64(r);
+  m.total_logical_messages = snap::get_u64(r);
+  m.total_bits = snap::get_u64(r);
+  m.max_bits_on_edge_round = snap::get_u64(r);
+  m.max_logical_on_edge_round = snap::get_u64(r);
+  m.cut_bits = snap::get_u64(r);
+  m.dropped_messages = snap::get_u64(r);
+  m.duplicated_messages = snap::get_u64(r);
+  m.delayed_messages = snap::get_u64(r);
+  m.crashed_node_rounds = snap::get_u64(r);
+  // Each RoundStats is five varuints of >= 7 bits each.
+  const std::uint64_t rounds = snap::get_count(r, 35);
+  m.per_round.reserve(rounds);
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    RoundStats s;
+    s.physical_messages = snap::get_u64(r);
+    s.logical_messages = snap::get_u64(r);
+    s.bits = snap::get_u64(r);
+    s.max_bits_on_edge = snap::get_u64(r);
+    s.max_logical_on_edge = snap::get_u64(r);
+    m.per_round.push_back(s);
+  }
+  return m;
+}
+
+/// Serializes one pending message: sender id, bit length, raw payload
+/// bits.  Works for both storage modes — arena views are read through
+/// reader() and thus materialize into the snapshot byte-for-byte.
+void put_message(BitWriter& w, const InboundMessage& msg) {
+  snap::put_u64(w, msg.from());
+  snap::put_u64(w, msg.bit_size());
+  BitReader payload = msg.reader();
+  std::size_t left = msg.bit_size();
+  while (left > 0) {
+    const unsigned chunk = left >= 64 ? 64u : static_cast<unsigned>(left);
+    w.write(payload.read(chunk), chunk);
+    left -= chunk;
+  }
+}
+
+/// Restores one pending message for destination `to` as an *owning*
+/// InboundMessage (the arena it once viewed is gone).  Validates the
+/// sender is a real neighbor — a corrupt `from` would otherwise plant a
+/// message the CONGEST topology cannot produce.
+InboundMessage get_message(BitReader& r, const Graph& g, NodeId to) {
+  const std::uint64_t from = snap::get_u64(r);
+  if (from >= g.num_nodes() ||
+      !g.has_edge(static_cast<NodeId>(from), to)) {
+    throw SnapshotError("corrupt snapshot: message for node " +
+                        std::to_string(to) + " claims non-neighbor sender " +
+                        std::to_string(from));
+  }
+  const std::uint64_t bits = snap::get_u64(r);
+  if (bits > r.remaining()) {
+    throw SnapshotError("corrupt snapshot: truncated message payload");
+  }
+  BitWriter payload;
+  payload.reserve_bits(static_cast<std::size_t>(bits));
+  std::uint64_t left = bits;
+  while (left > 0) {
+    const unsigned chunk = left >= 64 ? 64u : static_cast<unsigned>(left);
+    payload.write(r.read(chunk), chunk);
+    left -= chunk;
+  }
+  return InboundMessage(static_cast<NodeId>(from), payload.bytes(),
+                        static_cast<std::size_t>(bits));
+}
+
 }  // namespace
+
+/// Everything load_snapshot() parses, staged until the next run()
+/// consumes it at its top-of-round boundary.
+struct Network::ResumeState {
+  struct Blob {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t bits = 0;
+  };
+
+  std::uint64_t round = 0;
+  std::uint64_t stall_rounds = 0;
+  RunMetrics metrics;
+  std::vector<std::vector<InboundMessage>> mailboxes;
+  std::vector<std::vector<InboundMessage>> delayed;
+  std::vector<Blob> programs;
+};
+
+Network::~Network() = default;
 
 std::uint64_t congest_budget_bits(std::uint32_t num_nodes) {
   const std::uint64_t log_n = ceil_log2(num_nodes < 2 ? 2 : num_nodes);
@@ -173,7 +335,195 @@ RunMetrics Network::run(const ProgramFactory& factory) {
 }
 
 RunMetrics Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
+  suspended_payload_.reset();
+  resumed_from_round_.reset();
+  checkpoints_written_.clear();
   return config_.legacy_engine ? run_legacy(programs) : run_engine(programs);
+}
+
+void Network::save_snapshot(std::ostream& out) const {
+  if (suspended_payload_ == nullptr) {
+    throw SnapshotError(
+        "no suspended state to snapshot: save_snapshot() is only available "
+        "after a run() returned because of NetworkConfig::halt_at_round");
+  }
+  write_snapshot_container(out, *suspended_payload_);
+}
+
+void Network::load_snapshot(std::istream& in) {
+  const SnapshotPayload payload = read_snapshot_container(in);
+  auto state = std::make_unique<ResumeState>();
+  const NodeId n = graph_->num_nodes();
+  try {
+    BitReader r = payload.reader();
+    if (snap::get_u64(r) != graph_fingerprint(*graph_)) {
+      throw SnapshotError(
+          "snapshot rejected: it was taken on a different graph");
+    }
+    if (snap::get_u64(r) != fault_fingerprint(config_.faults)) {
+      throw SnapshotError(
+          "snapshot rejected: it was taken under a different fault plan");
+    }
+    if (snap::get_u64(r) != config_.bits_per_edge_per_round) {
+      throw SnapshotError(
+          "snapshot rejected: it was taken under a different CONGEST budget");
+    }
+    if (snap::get_bool(r) != config_.record_per_round) {
+      throw SnapshotError(
+          "snapshot rejected: record_per_round differs from the original "
+          "run (per-round metrics would diverge from the uninterrupted run)");
+    }
+    state->round = snap::get_u64(r);
+    if (state->round == 0) {
+      throw SnapshotError(
+          "corrupt snapshot: claims a round-0 boundary, which no writer "
+          "produces");
+    }
+    state->stall_rounds = snap::get_u64(r);
+    state->metrics = get_metrics(r);
+    state->mailboxes.resize(n);
+    state->delayed.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      // A message is at least a varuint sender + varuint length (7 bits
+      // each).
+      const std::uint64_t inbox_count = snap::get_count(r, 14);
+      state->mailboxes[v].reserve(inbox_count);
+      for (std::uint64_t i = 0; i < inbox_count; ++i) {
+        state->mailboxes[v].push_back(get_message(r, *graph_, v));
+      }
+      const std::uint64_t delayed_count = snap::get_count(r, 14);
+      state->delayed[v].reserve(delayed_count);
+      for (std::uint64_t i = 0; i < delayed_count; ++i) {
+        state->delayed[v].push_back(get_message(r, *graph_, v));
+      }
+    }
+    state->programs.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      state->programs[v].bits = snap::get_bits(r, state->programs[v].bytes);
+    }
+    if (r.remaining() != 0) {
+      throw SnapshotError("corrupt snapshot: " +
+                          std::to_string(r.remaining()) +
+                          " trailing bits after the last section");
+    }
+  } catch (const InvariantError& e) {
+    // The bit readers throw InvariantError past-the-end; on this path
+    // that means malformed input, not a library bug.
+    throw SnapshotError(std::string("corrupt snapshot: ") + e.what());
+  }
+  pending_resume_ = std::move(state);
+}
+
+BitWriter Network::encode_snapshot(
+    std::uint64_t round, std::uint64_t stall_rounds,
+    const std::vector<std::vector<InboundMessage>>& mailboxes,
+    const std::vector<std::vector<InboundMessage>>& delayed,
+    const std::vector<std::unique_ptr<NodeProgram>>& programs) const {
+  BitWriter w;
+  snap::put_u64(w, graph_fingerprint(*graph_));
+  snap::put_u64(w, fault_fingerprint(config_.faults));
+  snap::put_u64(w, config_.bits_per_edge_per_round);
+  snap::put_bool(w, config_.record_per_round);
+  snap::put_u64(w, round);
+  snap::put_u64(w, stall_rounds);
+  put_metrics(w, metrics_);
+  const NodeId n = graph_->num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    snap::put_u64(w, mailboxes[v].size());
+    for (const InboundMessage& msg : mailboxes[v]) {
+      put_message(w, msg);
+    }
+    snap::put_u64(w, delayed[v].size());
+    for (const InboundMessage& msg : delayed[v]) {
+      put_message(w, msg);
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const auto* snapshottable =
+        dynamic_cast<const Snapshottable*>(programs[v].get());
+    if (snapshottable == nullptr) {
+      throw SnapshotError(
+          "cannot checkpoint: program on node " + std::to_string(v) +
+          " does not implement Snapshottable");
+    }
+    BitWriter blob;
+    snapshottable->save_state(blob);
+    snap::put_bits(w, blob.data(), blob.bit_size());
+  }
+  return w;
+}
+
+bool Network::checkpoint_or_halt(
+    std::uint64_t round, std::uint64_t start_round, std::uint64_t stall_rounds,
+    const std::vector<std::vector<InboundMessage>>& mailboxes,
+    const std::vector<std::vector<InboundMessage>>& delayed,
+    const std::vector<std::unique_ptr<NodeProgram>>& programs) {
+  // Neither fires at the boundary the run started from: round 0 would
+  // snapshot the trivial initial state, and a resumed run re-entering its
+  // own boundary would rewrite the checkpoint it just loaded (or suspend
+  // instantly, making --resume after --halt-at-round impossible).
+  const bool halt = config_.halt_at_round != 0 &&
+                    round == config_.halt_at_round && round != start_round;
+  const bool checkpoint = config_.checkpoint.enabled() && round != 0 &&
+                          round != start_round &&
+                          round % config_.checkpoint.every_rounds == 0;
+  if (!halt && !checkpoint) {
+    return false;
+  }
+  BitWriter payload =
+      encode_snapshot(round, stall_rounds, mailboxes, delayed, programs);
+  if (checkpoint || (halt && !config_.checkpoint.directory.empty())) {
+    checkpoints_written_.push_back(
+        write_checkpoint_file(config_.checkpoint.directory, round, payload,
+                              config_.checkpoint.keep_last));
+  }
+  if (halt) {
+    suspended_payload_ = std::make_unique<BitWriter>(std::move(payload));
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Network::apply_pending_resume(
+    std::vector<std::vector<InboundMessage>>& mailboxes,
+    std::vector<std::vector<InboundMessage>>& delayed,
+    std::vector<std::unique_ptr<NodeProgram>>& programs,
+    std::uint64_t& stall_rounds) {
+  if (pending_resume_ == nullptr) {
+    return 0;
+  }
+  const std::unique_ptr<ResumeState> state = std::move(pending_resume_);
+  const NodeId n = graph_->num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    auto* snapshottable = dynamic_cast<Snapshottable*>(programs[v].get());
+    if (snapshottable == nullptr) {
+      throw SnapshotError("cannot resume: program on node " +
+                          std::to_string(v) +
+                          " does not implement Snapshottable");
+    }
+    BitReader r(state->programs[v].bytes.data(),
+                static_cast<std::size_t>(state->programs[v].bits));
+    try {
+      snapshottable->load_state(r);
+    } catch (const InvariantError& e) {
+      throw SnapshotError(
+          std::string("corrupt snapshot: program blob of node ") +
+          std::to_string(v) + " is malformed: " + e.what());
+    }
+    if (r.remaining() != 0) {
+      throw SnapshotError(
+          "corrupt snapshot: program blob of node " + std::to_string(v) +
+          " has " + std::to_string(r.remaining()) + " unconsumed bits");
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    mailboxes[v] = std::move(state->mailboxes[v]);
+    delayed[v] = std::move(state->delayed[v]);
+  }
+  metrics_ = std::move(state->metrics);
+  stall_rounds = state->stall_rounds;
+  resumed_from_round_ = state->round;
+  return state->round;
 }
 
 RunMetrics Network::run_engine(
@@ -214,6 +564,15 @@ RunMetrics Network::run_engine(
   // the legacy engine's O(N) all-mailbox rescan every round.
   std::uint64_t in_flight = 0;
 
+  // Resume (if a snapshot is staged): restores programs, mailboxes, delay
+  // buffers, metrics, and the watchdog counter, and moves the start round.
+  std::uint64_t stall_rounds = 0;
+  const std::uint64_t start_round =
+      apply_pending_resume(mailboxes, delayed_pending, programs, stall_rounds);
+  for (NodeId v = 0; v < n; ++v) {
+    in_flight += mailboxes[v].size() + delayed_pending[v].size();
+  }
+
   const unsigned lanes =
       config_.threads == 0 ? ThreadPool::hardware_threads() : config_.threads;
   std::optional<ThreadPool> pool;
@@ -232,7 +591,9 @@ RunMetrics Network::run_engine(
   // computation goes nowhere — and consumption by marker-bearing programs
   // (the reliable transport) is ignored too, because their control
   // chatter keeps flowing even when retransmitting into a dead peer.
-  std::uint64_t stall_rounds = 0;
+  // After a resume the markers and done count are re-read from the
+  // restored programs — identical to what the uninterrupted run carried
+  // across this boundary, since nothing mutates between rounds.
   std::size_t last_done_count = 0;
   std::vector<std::optional<std::uint64_t>> last_markers;
   if (config_.stall_window != 0) {
@@ -240,9 +601,14 @@ RunMetrics Network::run_engine(
     for (NodeId v = 0; v < n; ++v) {
       last_markers.push_back(programs[v]->progress_marker());
     }
+    if (start_round != 0) {
+      last_done_count = static_cast<std::size_t>(
+          std::count_if(programs.begin(), programs.end(),
+                        [](const auto& p) { return p->done(); }));
+    }
   }
 
-  for (std::uint64_t round = 0;; ++round) {
+  for (std::uint64_t round = start_round;; ++round) {
     metrics_.rounds = round;  // kept current so a throw reports progress
     if (round >= config_.max_rounds) {
       throw RoundLimitError("simulation exceeded max_rounds = " +
@@ -259,6 +625,14 @@ RunMetrics Network::run_engine(
         metrics_.rounds = round;
         return metrics_;
       }
+    }
+
+    // Top-of-round boundary: everything the rest of this round depends on
+    // is in programs/mailboxes/delayed_pending — snapshot (and/or
+    // suspend) here.
+    if (checkpoint_or_halt(round, start_round, stall_rounds, mailboxes,
+                           delayed_pending, programs)) {
+      return metrics_;  // suspended; save_snapshot() has the state
     }
 
     // Phase 1 (sequential): crash bookkeeping and the watchdog's
@@ -501,6 +875,15 @@ RunMetrics Network::run_legacy(
   bool messages_in_flight = false;
 
   std::uint64_t stall_rounds = 0;
+  const std::uint64_t start_round =
+      apply_pending_resume(mailboxes, delayed_pending, programs, stall_rounds);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!mailboxes[v].empty() || !delayed_pending[v].empty()) {
+      messages_in_flight = true;
+      break;
+    }
+  }
+
   std::size_t last_done_count = 0;
   std::vector<std::optional<std::uint64_t>> last_markers;
   if (config_.stall_window != 0) {
@@ -508,9 +891,14 @@ RunMetrics Network::run_legacy(
     for (NodeId v = 0; v < n; ++v) {
       last_markers.push_back(programs[v]->progress_marker());
     }
+    if (start_round != 0) {
+      last_done_count = static_cast<std::size_t>(
+          std::count_if(programs.begin(), programs.end(),
+                        [](const auto& p) { return p->done(); }));
+    }
   }
 
-  for (std::uint64_t round = 0;; ++round) {
+  for (std::uint64_t round = start_round;; ++round) {
     metrics_.rounds = round;  // kept current so a throw reports progress
     if (round >= config_.max_rounds) {
       throw RoundLimitError("simulation exceeded max_rounds = " +
@@ -525,6 +913,11 @@ RunMetrics Network::run_legacy(
         metrics_.rounds = round;
         return metrics_;
       }
+    }
+
+    if (checkpoint_or_halt(round, start_round, stall_rounds, mailboxes,
+                           delayed_pending, programs)) {
+      return metrics_;  // suspended; save_snapshot() has the state
     }
 
     bool consumed_this_round = false;

@@ -31,7 +31,10 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -39,6 +42,7 @@
 #include "congest/metrics.hpp"
 #include "congest/node.hpp"
 #include "graph/graph.hpp"
+#include "snapshot/checkpoint.hpp"
 
 namespace congestbc {
 
@@ -96,6 +100,20 @@ struct NetworkConfig {
   /// `threads`.  Kept as the reproducible baseline for
   /// `bench_simulator --baseline`; results are identical, only slower.
   bool legacy_engine = false;
+  /// Periodic checkpointing (snapshot/checkpoint.hpp): when enabled, the
+  /// run writes a full snapshot at every round divisible by
+  /// `checkpoint.every_rounds` (atomic write-rename, newest
+  /// `checkpoint.keep_last` kept), so a crashed or killed run can restart
+  /// from the last boundary via load_snapshot() instead of round 0.
+  /// Requires every program to implement Snapshottable.
+  CheckpointPolicy checkpoint{};
+  /// Suspend the run at the start of this round (0 = never): run()
+  /// captures a snapshot, returns the partial metrics, and
+  /// Network::suspended() turns true; save_snapshot() then serializes the
+  /// captured state.  The deterministic stand-in for "the operator killed
+  /// the process here" used by the resume tests and the CLI's
+  /// --halt-at-round.
+  std::uint64_t halt_at_round = 0;
 };
 
 /// The library's default CONGEST budget: beta * ceil(log2 N) bits with
@@ -112,6 +130,7 @@ using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(NodeId)>;
 class Network {
  public:
   Network(const Graph& graph, NetworkConfig config);
+  ~Network();
 
   /// Registers the undirected edges whose traffic counts toward
   /// RunMetrics::cut_bits.  Must be called before run().
@@ -143,9 +162,74 @@ class Network {
     return arena_block_allocations_;
   }
 
+  // --- checkpoint / restore (snapshot/snapshot.hpp) --------------------
+  //
+  // The snapshot of a run captures, at a round boundary, everything the
+  // next round depends on: every program's state (via Snapshottable),
+  // the pending mailboxes and delay-fault parking buffers (arena views
+  // materialized into owning bytes), the accumulated RunMetrics, the
+  // stall-watchdog counter, and the round number — plus fingerprints of
+  // the graph, the CONGEST budget, and the fault plan so a snapshot can
+  // only be resumed against the run it came from.  Resuming reproduces
+  // the uninterrupted run bit for bit: identical messages, metrics,
+  // traces, and outputs, for any `threads` value and either engine.
+
+  /// Serializes the state captured when the last run() suspended
+  /// (halt_at_round).  Throws SnapshotError when no suspended state
+  /// exists or the stream fails.
+  void save_snapshot(std::ostream& out) const;
+
+  /// Parses and validates a snapshot and stages it; the next run()
+  /// resumes from it instead of round 0 (the caller still constructs the
+  /// programs with their original configuration — load_snapshot restores
+  /// their state).  Throws SnapshotError on corruption or when the
+  /// snapshot does not match this network's graph/budget/fault plan.
+  void load_snapshot(std::istream& in);
+
+  /// True when the last run() returned because of halt_at_round (its
+  /// metrics are partial and save_snapshot() is available).
+  bool suspended() const { return suspended_payload_ != nullptr; }
+
+  /// The boundary round the last run() resumed from, if it resumed.
+  std::optional<std::uint64_t> resumed_from_round() const {
+    return resumed_from_round_;
+  }
+
+  /// Checkpoint files written by the last run(), oldest first (pruned
+  /// ones included — these are the paths as written).
+  const std::vector<std::string>& checkpoints_written() const {
+    return checkpoints_written_;
+  }
+
  private:
+  struct ResumeState;
+
   RunMetrics run_engine(std::vector<std::unique_ptr<NodeProgram>>& programs);
   RunMetrics run_legacy(std::vector<std::unique_ptr<NodeProgram>>& programs);
+
+  /// Serializes the complete engine state at the top-of-round boundary.
+  BitWriter encode_snapshot(
+      std::uint64_t round, std::uint64_t stall_rounds,
+      const std::vector<std::vector<InboundMessage>>& mailboxes,
+      const std::vector<std::vector<InboundMessage>>& delayed,
+      const std::vector<std::unique_ptr<NodeProgram>>& programs) const;
+
+  /// The checkpoint/halt hook shared by both engines.  Returns true when
+  /// the run must suspend now (halt_at_round reached).
+  bool checkpoint_or_halt(
+      std::uint64_t round, std::uint64_t start_round,
+      std::uint64_t stall_rounds,
+      const std::vector<std::vector<InboundMessage>>& mailboxes,
+      const std::vector<std::vector<InboundMessage>>& delayed,
+      const std::vector<std::unique_ptr<NodeProgram>>& programs);
+
+  /// Applies a staged ResumeState: restores metrics/messages/programs and
+  /// returns the round to restart from (0 when nothing is staged).
+  std::uint64_t apply_pending_resume(
+      std::vector<std::vector<InboundMessage>>& mailboxes,
+      std::vector<std::vector<InboundMessage>>& delayed,
+      std::vector<std::unique_ptr<NodeProgram>>& programs,
+      std::uint64_t& stall_rounds);
 
   const Graph* graph_;
   NetworkConfig config_;
@@ -156,6 +240,12 @@ class Network {
   bool has_cut_ = false;
   RunMetrics metrics_;
   std::uint64_t arena_block_allocations_ = 0;
+  /// Snapshot staged by load_snapshot(), consumed by the next run().
+  std::unique_ptr<ResumeState> pending_resume_;
+  /// Payload captured when halt_at_round suspended the last run().
+  std::unique_ptr<BitWriter> suspended_payload_;
+  std::optional<std::uint64_t> resumed_from_round_;
+  std::vector<std::string> checkpoints_written_;
 };
 
 }  // namespace congestbc

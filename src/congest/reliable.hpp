@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "congest/node.hpp"
+#include "snapshot/snapshottable.hpp"
 
 namespace congestbc {
 
@@ -67,7 +68,7 @@ std::uint64_t reliable_budget_bits(std::uint64_t inner_budget_bits,
 
 /// NodeProgram decorator adding the reliable transport.  Construct one
 /// per node, each wrapping that node's inner program.
-class ReliableProgram final : public NodeProgram {
+class ReliableProgram final : public NodeProgram, public Snapshottable {
  public:
   /// `inner_budget_bits` is the CONGEST budget the inner program was
   /// written against; each produced batch is checked against it
@@ -79,6 +80,15 @@ class ReliableProgram final : public NodeProgram {
 
   void on_round(NodeContext& ctx) override;
   bool done() const override;
+
+  /// Checkpoint support: the complete synchronizer state — per-peer ARQ
+  /// windows (stored batches, unacked queue, cumulative acks), the
+  /// alpha-synchronizer counters (executed/quiet), and the wrapped inner
+  /// program as a nested length-prefixed blob (decorator convention,
+  /// snapshot/snapshottable.hpp).  The inner program must itself be
+  /// Snapshottable.
+  void save_state(BitWriter& w) const override;
+  void load_state(BitReader& r) override;
 
   /// Watchdog hook: semantic progress is inner rounds executed, not the
   /// frame chatter — retransmitting into a dead peer is not progress.

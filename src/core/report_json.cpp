@@ -155,6 +155,20 @@ void write_result_body(JsonWriter& json, const DistributedBcResult& result) {
   json.end_object();
   json.key("max_node_state_bytes")
       .value(static_cast<std::uint64_t>(result.max_node_state_bytes));
+  // Resume lineage (src/snapshot): whether this result is partial
+  // (suspended at halt_at_round), where it resumed from, and the
+  // checkpoint files the run left behind.
+  json.key("suspended").value(result.suspended);
+  if (result.resumed_from_round.has_value()) {
+    json.key("resumed_from_round").value(*result.resumed_from_round);
+  }
+  if (!result.checkpoints.empty()) {
+    json.key("checkpoints").begin_array();
+    for (const auto& path : result.checkpoints) {
+      json.value(path);
+    }
+    json.end_array();
+  }
 }
 
 }  // namespace

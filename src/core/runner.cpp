@@ -35,6 +35,8 @@ const char* to_string(RunStatus status) {
   switch (status) {
     case RunStatus::kComplete:
       return "complete";
+    case RunStatus::kSuspended:
+      return "suspended";
     case RunStatus::kStall:
       return "stall";
     case RunStatus::kCrashPartition:
@@ -55,6 +57,12 @@ RunOutcome run_bc_with_watchdog(const Graph& g,
   BcRun run(g, options);
   try {
     run.run();
+    if (run.suspended()) {
+      outcome.status = RunStatus::kSuspended;
+      outcome.detail = "halted at round " +
+                       std::to_string(options.halt_at_round) +
+                       " (halt_at_round); resume from the written snapshot";
+    }
   } catch (const StallError& e) {
     outcome.detail = e.what();
     // A stall with permanent faults that disconnect the survivors is a
@@ -101,6 +109,9 @@ std::string RunOutcome::summary() const {
     if (retransmissions != 0) {
       os << " (" << retransmissions << " retransmissions)";
     }
+  } else if (status == RunStatus::kSuspended) {
+    os << "; suspended at round " << result.rounds
+       << " — resumable from the snapshot";
   } else {
     os << "; partial results only — " << detail;
   }

@@ -26,6 +26,8 @@ namespace congestbc {
 /// How a watchdogged run ended.
 enum class RunStatus : std::uint8_t {
   kComplete,          ///< every node finished; result is exact
+  kSuspended,         ///< halted at options.halt_at_round; a snapshot of the
+                      ///< boundary state was captured for --resume
   kStall,             ///< watchdog fired; faults starved the protocol
   kCrashPartition,    ///< watchdog fired and the permanent faults provably
                       ///< disconnect the surviving subgraph

@@ -1,0 +1,115 @@
+#include "snapshot/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "snapshot/snapshot.hpp"
+
+namespace congestbc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kPrefix[] = "ckpt-";
+constexpr char kSuffix[] = ".cbcsnap";
+
+bool is_checkpoint_name(const std::string& name) {
+  if (name.size() <= sizeof(kPrefix) - 1 + sizeof(kSuffix) - 1) {
+    return false;
+  }
+  if (name.rfind(kPrefix, 0) != 0 ||
+      name.compare(name.size() - (sizeof(kSuffix) - 1), sizeof(kSuffix) - 1,
+                   kSuffix) != 0) {
+    return false;
+  }
+  const std::string digits =
+      name.substr(sizeof(kPrefix) - 1,
+                  name.size() - (sizeof(kPrefix) - 1) - (sizeof(kSuffix) - 1));
+  return !digits.empty() &&
+         std::all_of(digits.begin(), digits.end(),
+                     [](char c) { return c >= '0' && c <= '9'; });
+}
+
+}  // namespace
+
+std::string checkpoint_file_name(std::uint64_t round) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%012llu%s", kPrefix,
+                static_cast<unsigned long long>(round), kSuffix);
+  return buf;
+}
+
+std::string write_checkpoint_file(const std::string& directory,
+                                  std::uint64_t round,
+                                  const BitWriter& payload,
+                                  unsigned keep_last) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    throw SnapshotError("cannot create checkpoint directory " + directory +
+                        ": " + ec.message());
+  }
+  const fs::path final_path = fs::path(directory) / checkpoint_file_name(round);
+  const fs::path tmp_path = fs::path(directory) /
+                            (checkpoint_file_name(round) + ".tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw SnapshotError("cannot open checkpoint temp file " +
+                          tmp_path.string());
+    }
+    write_snapshot_container(out, payload);
+    out.flush();
+    if (!out.good()) {
+      throw SnapshotError("checkpoint write failed: " + tmp_path.string());
+    }
+  }
+  // rename(2) within one directory is atomic: readers see either the old
+  // set of checkpoints or the complete new file, never a partial one.
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw SnapshotError("cannot finalize checkpoint " + final_path.string());
+  }
+
+  if (keep_last != 0) {
+    auto files = list_checkpoints(directory);
+    while (files.size() > keep_last) {
+      fs::remove(files.front(), ec);  // oldest first; best effort
+      files.erase(files.begin());
+    }
+  }
+  return final_path.string();
+}
+
+std::vector<std::string> list_checkpoints(const std::string& directory) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  fs::directory_iterator it(directory, ec);
+  if (ec) {
+    return files;
+  }
+  for (const auto& entry : it) {
+    if (entry.is_regular_file(ec) &&
+        is_checkpoint_name(entry.path().filename().string())) {
+      files.push_back(entry.path().string());
+    }
+  }
+  // Zero-padded round numbers: lexicographic == chronological.
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::optional<std::string> latest_checkpoint(const std::string& directory) {
+  auto files = list_checkpoints(directory);
+  if (files.empty()) {
+    return std::nullopt;
+  }
+  return files.back();
+}
+
+}  // namespace congestbc

@@ -37,6 +37,20 @@
 //   --threads T      simulator lanes for the node-execution phase
 //                    (default 1; 0 = one per hardware thread; results are
 //                    bit-identical for every value)
+//   --checkpoint-every N  write a full snapshot every N rounds into
+//                    --checkpoint-dir (atomic write-rename; newest
+//                    --checkpoint-keep files retained, default 2)
+//   --checkpoint-dir D    checkpoint directory (created on first write)
+//   --checkpoint-keep K   checkpoints retained on disk (0 = all)
+//   --resume FILE    resume a run from a snapshot file; the graph, budget,
+//                    and fault plan must match the original run — the
+//                    resumed run is bit-identical to the uninterrupted one
+//   --halt-at-round R     suspend at the start of round R (deterministic
+//                    stand-in for a kill; exit code 3); with
+//                    --checkpoint-dir the suspension snapshot is written
+//                    there, ready for --resume
+//   --dump-graph FILE     write the loaded/generated graph as a canonical
+//                    edge list and exit (dataset generation)
 #include <algorithm>
 #include <cmath>
 #include <fstream>
@@ -66,7 +80,9 @@ constexpr const char* kUsage =
     "options: --top K | --all | --samples K | --no-check | --no-halve |\n"
     "         --mantissa L | --metrics | --stats | --apsp | --trace |\n"
     "         --json | --seed S | --faults SPEC | --reliable |\n"
-    "         --stall-window N | --threads T\n";
+    "         --stall-window N | --threads T | --checkpoint-every N |\n"
+    "         --checkpoint-dir D | --checkpoint-keep K | --resume FILE |\n"
+    "         --halt-at-round R | --dump-graph FILE\n";
 
 Graph load_graph(const Args& args) {
   if (const auto family = args.get("generate")) {
@@ -102,7 +118,9 @@ int run(int argc, char** argv) {
   const Args args = Args::parse(argc, argv,
                                 {"generate", "n", "seed", "top", "samples",
                                  "mantissa", "faults", "stall-window",
-                                 "threads"});
+                                 "threads", "checkpoint-every",
+                                 "checkpoint-dir", "checkpoint-keep",
+                                 "resume", "halt-at-round", "dump-graph"});
   if (args.has("help")) {
     std::cout << kUsage;
     return 0;
@@ -138,6 +156,15 @@ int run(int argc, char** argv) {
 
   const Graph graph = load_graph(args);
 
+  if (const auto dump = args.get("dump-graph")) {
+    std::ofstream out(*dump);
+    CBC_EXPECTS(out.good(), "cannot open " + *dump + " for writing");
+    write_edge_list(out, graph);
+    std::cout << "wrote " << graph.num_nodes() << " nodes / "
+              << graph.num_edges() << " edges to " << *dump << "\n";
+    return 0;
+  }
+
   if (args.has("stats")) {
     std::cout << "nodes:     " << graph.num_nodes() << "\n"
               << "edges:     " << graph.num_edges() << "\n"
@@ -168,7 +195,13 @@ int run(int argc, char** argv) {
     return 0;
   }
 
-  if (args.has("faults") || args.has("reliable")) {
+  // Checkpoint/resume flags route through the watchdog path too: a
+  // suspended or resumed run wants the classified-outcome report, not an
+  // exception.
+  const bool snapshot_flags =
+      args.has("checkpoint-every") || args.has("checkpoint-dir") ||
+      args.has("resume") || args.has("halt-at-round");
+  if (args.has("faults") || args.has("reliable") || snapshot_flags) {
     DistributedBcOptions bc_options;
     bc_options.halve = !args.has("no-halve");
     if (const auto spec = args.get("faults")) {
@@ -178,6 +211,25 @@ int run(int argc, char** argv) {
     bc_options.stall_window =
         static_cast<std::uint64_t>(args.get_int_or("stall-window", 0));
     bc_options.threads = static_cast<unsigned>(args.get_int_or("threads", 1));
+    bc_options.checkpoint_every =
+        static_cast<std::uint64_t>(args.get_int_or("checkpoint-every", 0));
+    bc_options.checkpoint_dir = args.get("checkpoint-dir").value_or("");
+    bc_options.checkpoint_keep_last =
+        static_cast<unsigned>(args.get_int_or("checkpoint-keep", 2));
+    bc_options.resume_from = args.get("resume").value_or("");
+    bc_options.halt_at_round =
+        static_cast<std::uint64_t>(args.get_int_or("halt-at-round", 0));
+    if (args.has("json")) {
+      // Machine output: the result JSON carries the resume lineage
+      // (suspended / resumed_from_round / checkpoints); the exit code
+      // still distinguishes complete (0) / suspended (3) / failed (2).
+      const RunOutcome outcome = run_bc_with_watchdog(graph, bc_options);
+      std::cout << to_json(outcome.result) << "\n";
+      if (outcome.status == RunStatus::kSuspended) {
+        return 3;
+      }
+      return outcome.complete() ? 0 : 2;
+    }
     std::cout << "fault plan: " << bc_options.faults.describe() << "\n"
               << "transport:  "
               << (bc_options.reliable_transport ? "reliable (self-healing)"
@@ -211,6 +263,16 @@ int run(int argc, char** argv) {
               << ", duplicated " << m.duplicated_messages << ", delayed "
               << m.delayed_messages << ", crashed-node rounds "
               << m.crashed_node_rounds << "\n";
+    if (outcome.result.resumed_from_round.has_value()) {
+      std::cout << "resumed from round " << *outcome.result.resumed_from_round
+                << "\n";
+    }
+    for (const auto& path : outcome.result.checkpoints) {
+      std::cout << "checkpoint: " << path << "\n";
+    }
+    if (outcome.status == RunStatus::kSuspended) {
+      return 3;  // resumable suspension, not a failure
+    }
     return outcome.complete() ? 0 : 2;
   }
 
