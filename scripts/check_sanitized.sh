@@ -6,11 +6,14 @@
 #     reliable-transport layer moves raw payload bytes across rounds, and
 #     the arena engine hands out spans into recycled block memory — plus
 #     the snapshot suite (label "snapshot"), whose corruption fuzz feeds
-#     hostile bytes straight into the restore parsers.
-#   * TSan (build-tsan): the engine, fault, and snapshot suites — the
-#     parallel node-execution phase must be data-race-free for any lane
-#     count (including when resumed mid-run from a snapshot), and TSan is
-#     the proof the determinism tests cannot give.
+#     hostile bytes straight into the restore parsers, plus the service
+#     suite (label "service"), whose framing fuzz feeds hostile bytes
+#     into the daemon's wire-protocol decoder.
+#   * TSan (build-tsan): the engine, fault, snapshot, and service suites
+#     — the parallel node-execution phase must be data-race-free for any
+#     lane count (including when resumed mid-run from a snapshot), the
+#     daemon's io-thread/worker-pool scheduler likewise, and TSan is the
+#     proof the determinism tests cannot give.
 #
 # Usage:
 #   scripts/check_sanitized.sh [BUILD_DIR_PREFIX] [extra ctest args...]
@@ -26,14 +29,18 @@ echo "=== stage 1: address,undefined ==="
 cmake -S "$repo_root" -B "$prefix-asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCONGESTBC_SANITIZE=address,undefined
-cmake --build "$prefix-asan" -j"$(nproc)" --target fault_test fuzz_test engine_test snapshot_test
-(cd "$prefix-asan" && ctest -L 'faults|perf|snapshot' --output-on-failure "$@")
-echo "sanitized (asan) fault+engine+snapshot suites: OK"
+cmake --build "$prefix-asan" -j"$(nproc)" --target fault_test fuzz_test engine_test snapshot_test \
+  fingerprint_test service_protocol_test service_cache_test service_test \
+  congestbcd congestbc_client
+(cd "$prefix-asan" && ctest -L 'faults|perf|snapshot|service' --output-on-failure "$@")
+echo "sanitized (asan) fault+engine+snapshot+service suites: OK"
 
 echo "=== stage 2: thread ==="
 cmake -S "$repo_root" -B "$prefix-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCONGESTBC_SANITIZE=thread
-cmake --build "$prefix-tsan" -j"$(nproc)" --target engine_test fault_test snapshot_test
-(cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot' --output-on-failure "$@")
-echo "sanitized (tsan) engine+fault+snapshot suites: OK"
+cmake --build "$prefix-tsan" -j"$(nproc)" --target engine_test fault_test snapshot_test \
+  fingerprint_test service_protocol_test service_cache_test service_test \
+  congestbcd congestbc_client
+(cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot|service' --output-on-failure "$@")
+echo "sanitized (tsan) engine+fault+snapshot+service suites: OK"

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "congest/reliable.hpp"
+#include "snapshot/fingerprint.hpp"
 #include "snapshot/snapshot.hpp"
 
 namespace congestbc {
@@ -54,6 +55,7 @@ BcRun::BcRun(const Graph& g, const DistributedBcOptions& options)
   net_config_.checkpoint.directory = options_.checkpoint_dir;
   net_config_.checkpoint.keep_last = options_.checkpoint_keep_last;
   net_config_.halt_at_round = options_.halt_at_round;
+  net_config_.halt_request = options_.halt_request;
 
   network_.emplace(g, net_config_);
   if (!options_.resume_from.empty()) {
@@ -156,6 +158,66 @@ DistributedBcResult run_distributed_bc(const Graph& g,
   BcRun run(g, options);
   run.run();
   return run.harvest();
+}
+
+std::uint64_t options_fingerprint(const DistributedBcOptions& options,
+                                  NodeId num_nodes) {
+  // Bumped on any change to the field walk below — a stale cache entry
+  // keyed under an older walk must never be served for a new one.
+  constexpr std::uint64_t kOptionsFingerprintVersion = 1;
+
+  const SoftFloatFormat format =
+      options.format.value_or(SoftFloatFormat::for_graph(num_nodes));
+  const std::uint64_t budget =
+      options.budget_bits.value_or(congest_budget_bits(num_nodes));
+
+  FingerprintBuilder fp;
+  fp.mix(kOptionsFingerprintVersion)
+      .mix(format.mantissa_bits)
+      .mix(format.exponent_bits)
+      .mix(options.root)
+      .mix_bool(options.halve)
+      .mix(static_cast<std::uint64_t>(options.sigma_rounding))
+      .mix(static_cast<std::uint64_t>(options.psi_rounding))
+      .mix(options.dfs_extra_pause)
+      .mix_bool(options.sequential_counting)
+      .mix_bool(options.scale_by_sources)
+      .mix(budget)
+      .mix_bool(options.check_invariants)
+      .mix_bool(options.keep_tables)
+      .mix_bool(options.counting_only)
+      .mix_bool(options.rebase_aggregation)
+      .mix(options.max_rounds)
+      .mix_bool(options.reliable_transport);
+  // Source/target masks, defaults resolved: all-sources and
+  // empty-targets are hashed as their explicit equivalents.
+  const std::vector<bool> sources =
+      options.sources.value_or(std::vector<bool>(num_nodes, true));
+  fp.mix(sources.size());
+  for (const bool s : sources) {
+    fp.mix_bool(s);
+  }
+  const std::vector<bool> targets =
+      options.targets.value_or(std::vector<bool>{});
+  fp.mix(targets.size());
+  for (const bool t : targets) {
+    fp.mix_bool(t);
+  }
+  fp.mix(options.cut_edges.size());
+  for (const Edge& e : options.cut_edges) {
+    fp.mix(e.u).mix(e.v);
+  }
+  fp.mix(fault_fingerprint(options.faults.empty() ? nullptr
+                                                  : &options.faults));
+  return fp.value();
+}
+
+std::uint64_t run_fingerprint(const Graph& g,
+                              const DistributedBcOptions& options) {
+  FingerprintBuilder fp;
+  fp.mix(graph_fingerprint(g))
+      .mix(options_fingerprint(options, g.num_nodes()));
+  return fp.value();
 }
 
 }  // namespace congestbc

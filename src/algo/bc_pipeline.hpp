@@ -5,6 +5,7 @@
 // baselines and validation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -95,6 +96,11 @@ struct DistributedBcOptions {
   /// (DistributedBcResult::suspended) and, when checkpoint_dir is set,
   /// the suspension state is also written there as a checkpoint.
   std::uint64_t halt_at_round = 0;
+  /// Cooperative halt flag (NetworkConfig::halt_request): raise it from
+  /// another thread and the run suspends at the next round boundary the
+  /// same way halt_at_round does.  The serving daemon's SIGTERM drain and
+  /// per-job time budget are built on this.  Must outlive the run.
+  const std::atomic<bool>* halt_request = nullptr;
 };
 
 /// Aggregate result of one run.
@@ -132,6 +138,24 @@ struct DistributedBcResult {
 /// any CONGEST/model violation detected by the simulator.
 DistributedBcResult run_distributed_bc(const Graph& g,
                                        const DistributedBcOptions& options = {});
+
+/// Fingerprint of every option that determines the *result* of a run on
+/// an N-node graph, with defaults resolved first (so an explicit value
+/// equal to the default fingerprints identically).  Execution-strategy
+/// knobs — threads, legacy_engine, trace, stall_window, checkpoint/
+/// resume/halt plumbing — are deliberately excluded: the engine
+/// guarantees bit-identical results across all of them, so runs that
+/// differ only there share a fingerprint (and the service cache serves
+/// one from the other).  The fault plan enters via fault_fingerprint(),
+/// the same bytes the resume path validates.
+std::uint64_t options_fingerprint(const DistributedBcOptions& options,
+                                  NodeId num_nodes);
+
+/// Identity of a (graph, options) run: graph_fingerprint() folded with
+/// options_fingerprint().  The key of the service result cache, the
+/// coalescing map, and the job spool (src/service).
+std::uint64_t run_fingerprint(const Graph& g,
+                              const DistributedBcOptions& options);
 
 class ReliableProgram;  // congest/reliable.hpp
 

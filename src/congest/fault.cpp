@@ -75,12 +75,6 @@ OutageWindow parse_window(const std::string& text) {
 
 }  // namespace
 
-bool FaultPlan::empty() const {
-  return drop_probability == 0.0 && duplicate_probability == 0.0 &&
-         delay_probability == 0.0 && link_faults.empty() &&
-         node_faults.empty();
-}
-
 void FaultPlan::validate() const {
   check_probability(drop_probability, "drop");
   check_probability(duplicate_probability, "duplicate");

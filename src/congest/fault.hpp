@@ -67,8 +67,14 @@ struct FaultPlan {
   std::vector<LinkFault> link_faults;
   std::vector<NodeFault> node_faults;
 
-  /// True when the plan injects nothing at all.
-  bool empty() const;
+  /// True when the plan injects nothing at all.  Inline so header-only
+  /// consumers (snapshot/fingerprint.cpp, which must not link the congest
+  /// library it sits below) can call it.
+  bool empty() const {
+    return drop_probability == 0.0 && duplicate_probability == 0.0 &&
+           delay_probability == 0.0 && link_faults.empty() &&
+           node_faults.empty();
+  }
 
   /// Throws PreconditionError on out-of-range probabilities or inverted
   /// windows.

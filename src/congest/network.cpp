@@ -13,6 +13,7 @@
 #include "congest/arena.hpp"
 #include "congest/trace.hpp"
 #include "core/thread_pool.hpp"
+#include "snapshot/fingerprint.hpp"
 #include "snapshot/snapshot.hpp"
 #include "snapshot/snapshottable.hpp"
 
@@ -138,50 +139,14 @@ class LegacyContext final : public NodeContext {
 };
 
 // ------------------------------------------------ snapshot field helpers
-
-/// Fingerprint of the topology a snapshot was taken on.  Resuming against
-/// a different graph would silently misroute every restored message, so
-/// load_snapshot() refuses unless this matches.
-std::uint64_t graph_fingerprint(const Graph& g) {
-  std::uint64_t h = fnv1a(nullptr, 0);
-  h = fnv1a_u64(g.num_nodes(), h);
-  h = fnv1a_u64(g.num_edges(), h);
-  for (const Edge& e : g.edges()) {
-    h = fnv1a_u64(e.u, h);
-    h = fnv1a_u64(e.v, h);
-  }
-  return h;
-}
-
-/// Fingerprint of the fault plan.  The injector is stateless — every
-/// decision is a pure hash of (seed, round, from, to) — so the plan's
-/// parameters ARE the complete RNG cursor: no per-stream position needs
-/// saving, and matching the fingerprint guarantees the resumed run draws
-/// the same fault for every future message.  0 == no plan.
-std::uint64_t fault_fingerprint(const FaultPlan* plan) {
-  if (plan == nullptr || plan->empty()) {
-    return 0;
-  }
-  std::uint64_t h = fnv1a(nullptr, 0);
-  h = fnv1a_u64(plan->seed, h);
-  h = fnv1a_u64(std::bit_cast<std::uint64_t>(plan->drop_probability), h);
-  h = fnv1a_u64(std::bit_cast<std::uint64_t>(plan->duplicate_probability), h);
-  h = fnv1a_u64(std::bit_cast<std::uint64_t>(plan->delay_probability), h);
-  h = fnv1a_u64(plan->link_faults.size(), h);
-  for (const LinkFault& f : plan->link_faults) {
-    h = fnv1a_u64(f.edge.u, h);
-    h = fnv1a_u64(f.edge.v, h);
-    h = fnv1a_u64(f.window.first_round, h);
-    h = fnv1a_u64(f.window.last_round, h);
-  }
-  h = fnv1a_u64(plan->node_faults.size(), h);
-  for (const NodeFault& f : plan->node_faults) {
-    h = fnv1a_u64(f.node, h);
-    h = fnv1a_u64(f.window.first_round, h);
-    h = fnv1a_u64(f.window.last_round, h);
-  }
-  return h;
-}
+//
+// The graph and fault-plan fingerprints recorded in the engine section
+// live in snapshot/fingerprint.hpp — shared with the service layer's
+// result cache so "safe to resume" and "safe to serve from cache" key on
+// the same bytes.  Resuming against a different graph would silently
+// misroute every restored message, so load_snapshot() refuses unless
+// graph_fingerprint matches; same for the fault plan, whose stateless
+// injector makes the plan parameters the complete RNG cursor.
 
 void put_metrics(BitWriter& w, const RunMetrics& m) {
   snap::put_u64(w, m.rounds);
@@ -462,8 +427,11 @@ bool Network::checkpoint_or_halt(
   // snapshot the trivial initial state, and a resumed run re-entering its
   // own boundary would rewrite the checkpoint it just loaded (or suspend
   // instantly, making --resume after --halt-at-round impossible).
-  const bool halt = config_.halt_at_round != 0 &&
-                    round == config_.halt_at_round && round != start_round;
+  const bool halt =
+      round != start_round &&
+      ((config_.halt_at_round != 0 && round == config_.halt_at_round) ||
+       (config_.halt_request != nullptr &&
+        config_.halt_request->load(std::memory_order_relaxed)));
   const bool checkpoint = config_.checkpoint.enabled() && round != 0 &&
                           round != start_round &&
                           round % config_.checkpoint.every_rounds == 0;

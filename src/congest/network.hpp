@@ -30,6 +30,7 @@
 // the simulator counts exactly (see DESIGN.md, substitutions).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -114,6 +115,15 @@ struct NetworkConfig {
   /// the process here" used by the resume tests and the CLI's
   /// --halt-at-round.
   std::uint64_t halt_at_round = 0;
+  /// Cooperative external halt: when non-null and the pointee is true at
+  /// a round boundary, the run suspends there exactly like halt_at_round
+  /// (snapshot captured; checkpoint written when a checkpoint directory
+  /// is configured).  Unlike halt_at_round the *boundary reached* depends
+  /// on when the flag was raised, but the snapshot taken there is a
+  /// normal boundary snapshot: resuming it reproduces the uninterrupted
+  /// run bit for bit.  This is how the serving daemon (src/service)
+  /// drains in-flight jobs on SIGTERM.  Must outlive run().
+  const std::atomic<bool>* halt_request = nullptr;
 };
 
 /// The library's default CONGEST budget: beta * ceil(log2 N) bits with

@@ -1,5 +1,8 @@
 #include "core/thread_pool.hpp"
 
+#include <chrono>
+#include <utility>
+
 namespace congestbc {
 
 unsigned ThreadPool::hardware_threads() {
@@ -91,6 +94,89 @@ void ThreadPool::parallel_ranges(
   for (const std::exception_ptr& e : errors_) {
     if (e != nullptr) {
       std::rethrow_exception(e);
+    }
+  }
+}
+
+// ---------------------------------------------------------- WorkerPool
+
+WorkerPool::WorkerPool(unsigned threads)
+    : total_(threads == 0 ? ThreadPool::hardware_threads() : threads) {
+  workers_.reserve(total_);
+  for (unsigned i = 0; i < total_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+std::size_t WorkerPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void WorkerPool::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void WorkerPool::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+    queue_.clear();
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) {
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    const auto end = std::chrono::steady_clock::now();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
+    busy_nanos_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                .count()),
+        std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0 && queue_.empty()) {
+        idle_cv_.notify_all();
+      }
     }
   }
 }

@@ -15,8 +15,11 @@
 // a sequential in-order loop would have thrown first.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -61,6 +64,74 @@ class ThreadPool {
   const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
   std::vector<std::exception_ptr> errors_;
   bool stopping_ = false;
+};
+
+/// A FIFO task-queue executor: `threads` persistent workers drain
+/// independently submitted jobs.  The complement of ThreadPool —
+/// parallel_ranges() splits ONE computation across lanes and blocks;
+/// WorkerPool runs MANY unrelated computations concurrently and returns
+/// immediately.  The serving daemon (src/service) drains its bounded job
+/// queue through one of these.
+///
+/// Tasks must not throw — an escaping exception terminates the process
+/// (callers like the daemon classify failures inside the task via
+/// run_bc_with_watchdog).  Admission control is the caller's job: the
+/// internal queue is unbounded.
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers (>= 1; 0 = one per hardware thread).
+  explicit WorkerPool(unsigned threads);
+
+  /// stop()s and joins.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a task; a no-op after stop().
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.  Tasks
+  /// submitted while draining extend the wait.
+  void drain();
+
+  /// Graceful shutdown: running tasks finish, queued-but-unstarted tasks
+  /// are discarded (the daemon's drain re-spools them instead), workers
+  /// join.  Idempotent.
+  void stop();
+
+  unsigned threads() const { return total_; }
+
+  /// Tasks currently queued (not yet started).
+  std::size_t pending() const;
+
+  /// Workers currently executing a task.
+  unsigned busy() const { return busy_.load(std::memory_order_relaxed); }
+
+  std::uint64_t tasks_completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+  /// Total wall-nanoseconds workers spent inside tasks — the numerator of
+  /// the utilization metric (divide by elapsed * threads()).
+  std::uint64_t busy_nanos() const {
+    return busy_nanos_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop();
+
+  unsigned total_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  unsigned running_ = 0;
+  bool stopping_ = false;
+  std::atomic<unsigned> busy_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> busy_nanos_{0};
 };
 
 }  // namespace congestbc

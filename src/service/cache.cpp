@@ -1,0 +1,54 @@
+#include "service/cache.hpp"
+
+#include <utility>
+
+namespace congestbc::service {
+
+std::shared_ptr<const CachedResult> LruResultCache::get(
+    std::uint64_t fingerprint) {
+  const auto it = map_.find(fingerprint);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->result;
+}
+
+std::shared_ptr<const CachedResult> LruResultCache::peek(
+    std::uint64_t fingerprint) const {
+  const auto it = map_.find(fingerprint);
+  return it == map_.end() ? nullptr : it->second->result;
+}
+
+void LruResultCache::put(std::uint64_t fingerprint,
+                         std::shared_ptr<const CachedResult> result) {
+  if (capacity_ == 0) {
+    return;
+  }
+  const auto it = map_.find(fingerprint);
+  if (it != map_.end()) {
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{fingerprint, std::move(result)});
+  map_.emplace(fingerprint, lru_.begin());
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().fingerprint);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::vector<std::uint64_t> LruResultCache::keys_lru_order() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(lru_.size());
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    keys.push_back(it->fingerprint);
+  }
+  return keys;
+}
+
+}  // namespace congestbc::service

@@ -1,0 +1,160 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace congestbc::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder();
+}
+
+void Client::connect(const std::string& host, std::uint16_t port,
+                     int timeout_ms) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw_errno("socket()");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("bad daemon address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int saved = errno;
+    close();
+    errno = saved;
+    throw_errno("connect()");
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::send_frame(const Request& request) {
+  const std::vector<std::uint8_t> bytes = frame_bytes(encode_request(request));
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    throw_errno("send()");
+  }
+}
+
+Reply Client::read_reply() {
+  while (true) {
+    if (auto frame = decoder_.next()) {
+      return decode_reply(*frame);
+    }
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      throw std::runtime_error("daemon closed the connection");
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw std::runtime_error("timed out waiting for the daemon's reply");
+    }
+    throw_errno("recv()");
+  }
+}
+
+Reply Client::call(const Request& request) {
+  if (fd_ < 0) {
+    throw std::runtime_error("client is not connected");
+  }
+  send_frame(request);
+  Reply reply = read_reply();
+  if (reply.type == MsgType::kError) {
+    throw ProtocolError(reply.error.code, reply.error.message);
+  }
+  return reply;
+}
+
+SubmitReply Client::submit(const SubmitRequest& request) {
+  return call(make_submit(request)).submit;
+}
+
+StatusReply Client::status(std::uint64_t job_id) {
+  return call(make_job_request(MsgType::kStatus, job_id)).status;
+}
+
+ResultReply Client::result(std::uint64_t job_id) {
+  return call(make_job_request(MsgType::kResult, job_id)).result;
+}
+
+CancelReply Client::cancel(std::uint64_t job_id) {
+  return call(make_job_request(MsgType::kCancel, job_id)).cancel;
+}
+
+StatsReply Client::stats() { return call(make_plain(MsgType::kStats)).stats; }
+
+ShutdownReply Client::shutdown() {
+  return call(make_plain(MsgType::kShutdown)).shutdown;
+}
+
+ResultReply Client::wait_result(std::uint64_t job_id, int poll_ms,
+                                int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    ResultReply reply = result(job_id);
+    if (reply.ready || (reply.state != JobState::kQueued &&
+                        reply.state != JobState::kRunning)) {
+      return reply;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("timed out waiting for job " +
+                               std::to_string(job_id));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+}
+
+}  // namespace congestbc::service

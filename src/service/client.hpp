@@ -1,0 +1,59 @@
+// Blocking client for the BC serving daemon (service/daemon.hpp).
+//
+// One TCP connection, strict request/reply: every call sends one frame
+// and blocks for exactly one reply frame (the protocol guarantees the
+// daemon answers in order).  An ERROR reply from the daemon is rethrown
+// as the ProtocolError it encodes; socket failures and timeouts throw
+// std::runtime_error.  Both the congestbc_client tool and the in-process
+// service tests drive the daemon through this class, so the wire path is
+// exercised even when client and daemon share an address space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace congestbc::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects with send/receive timeouts of `timeout_ms`.
+  void connect(const std::string& host, std::uint16_t port,
+               int timeout_ms = 30000);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One round trip: send the request frame, block for the reply frame.
+  Reply call(const Request& request);
+
+  // Typed wrappers over call().
+  SubmitReply submit(const SubmitRequest& request);
+  StatusReply status(std::uint64_t job_id);
+  ResultReply result(std::uint64_t job_id);
+  CancelReply cancel(std::uint64_t job_id);
+  StatsReply stats();
+  ShutdownReply shutdown();
+
+  /// Polls RESULT every `poll_ms` until the reply is ready or the job
+  /// reaches a state polling cannot cure (failed lookups, cancellation,
+  /// drain suspension are returned to the caller to inspect).  Throws
+  /// std::runtime_error after `timeout_ms`.
+  ResultReply wait_result(std::uint64_t job_id, int poll_ms = 20,
+                          int timeout_ms = 120000);
+
+ private:
+  void send_frame(const Request& request);
+  Reply read_reply();
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace congestbc::service

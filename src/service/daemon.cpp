@@ -1,0 +1,1077 @@
+#include "service/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "congest/fault.hpp"
+#include "core/runner.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace congestbc::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Version of the spool file payloads (job-*.req, res-*.res).
+constexpr std::uint64_t kSpoolVersion = 1;
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(fp));
+  return std::string(buf);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// The servable block of an outcome — complete or partial harvest alike.
+ResultBlock outcome_to_block(const RunOutcome& outcome) {
+  ResultBlock block;
+  block.run_status = static_cast<std::uint8_t>(outcome.status);
+  block.detail = outcome.detail;
+  block.rounds = outcome.result.rounds;
+  block.diameter = outcome.result.diameter;
+  block.total_bits = outcome.result.metrics.total_bits;
+  block.total_physical_messages = outcome.result.metrics.total_physical_messages;
+  block.betweenness = outcome.result.betweenness;
+  block.closeness = outcome.result.closeness;
+  block.graph_centrality = outcome.result.graph_centrality;
+  block.stress = outcome.result.stress;
+  block.eccentricities = outcome.result.eccentricities;
+  return block;
+}
+
+/// Atomic small-file write (temp + rename), matching the checkpoint
+/// subsystem's crash-safety discipline.
+void write_file_atomic(const fs::path& target, const BitWriter& payload) {
+  fs::create_directories(target.parent_path());
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    write_snapshot_container(out, payload);
+    if (!out) {
+      throw SnapshotError("cannot write " + tmp.string());
+    }
+  }
+  fs::rename(tmp, target);
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)), cache_(config_.cache_capacity) {}
+
+Daemon::~Daemon() {
+  request_drain();
+  wait();
+  if (pool_) {
+    pool_->stop();
+  }
+  for (auto& session : sessions_) {
+    close_fd(session->fd);
+  }
+  sessions_.clear();
+  close_fd(listen_fd_);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+}
+
+void Daemon::start() {
+  if (started_) {
+    return;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    throw std::runtime_error("pipe() failed: " + std::string(std::strerror(errno)));
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+
+  pool_ = std::make_unique<WorkerPool>(config_.workers);
+  if (!config_.spool_dir.empty()) {
+    fs::create_directories(config_.spool_dir);
+    recover_spool();
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("socket() failed: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad listen address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw std::runtime_error("bind() failed: " + std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    throw std::runtime_error("listen() failed: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  set_nonblocking(listen_fd_);
+  last_metrics_dump_ = std::chrono::steady_clock::now();
+  started_ = true;
+}
+
+void Daemon::serve_async() {
+  serve_thread_ = std::thread([this] { serve(); });
+}
+
+void Daemon::wait() {
+  if (serve_thread_.joinable()) {
+    serve_thread_.join();
+  }
+}
+
+void Daemon::request_drain() {
+  drain_requested_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Daemon::notify_signal() {
+  // Async-signal-safe by construction: a lock-free atomic store and one
+  // write(2) on a nonblocking pipe — no locks, no allocation, no stdio.
+  drain_requested_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+StatsReply Daemon::stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_locked();
+}
+
+StatsReply Daemon::stats_locked() {
+  double utilization = 0.0;
+  const double uptime_ns = static_cast<double>(metrics_.uptime_ms()) * 1e6;
+  if (pool_ && uptime_ns > 0.0) {
+    utilization = static_cast<double>(pool_->busy_nanos()) /
+                  (uptime_ns * static_cast<double>(pool_->threads()));
+    utilization = std::clamp(utilization, 0.0, 1.0);
+  }
+  return metrics_.snapshot(queue_.size(), running_,
+                           pool_ ? pool_->threads() : 0, cache_.size(),
+                           cache_.hits(), cache_.misses(), cache_.evictions(),
+                           utilization);
+}
+
+// --------------------------------------------------------- poll loop
+
+void Daemon::serve() {
+  std::vector<pollfd> fds;
+  while (true) {
+    fds.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    int listen_idx = -1;
+    if (!draining_ && listen_fd_ >= 0) {
+      listen_idx = static_cast<int>(fds.size());
+      fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    }
+    const std::size_t base = fds.size();
+    for (const auto& session : sessions_) {
+      short events = 0;
+      if (!session->close_after_flush) {
+        events |= POLLIN;
+      }
+      if (session->out_pos < session->out.size()) {
+        events |= POLLOUT;
+      }
+      fds.push_back(pollfd{session->fd, events, 0});
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), 50);
+    if (rc < 0 && errno != EINTR) {
+      break;  // unrecoverable poll failure; fall through to drain
+    }
+
+    if (fds[0].revents & POLLIN) {
+      std::uint8_t buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+      }
+    }
+    if (drain_requested_.load(std::memory_order_relaxed) && !draining_) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      begin_drain_locked();
+    }
+    if (!draining_ && listen_idx >= 0 &&
+        (fds[static_cast<std::size_t>(listen_idx)].revents & POLLIN)) {
+      accept_clients();
+    }
+    for (std::size_t i = 0; i < sessions_.size() && base + i < fds.size(); ++i) {
+      Session& session = *sessions_[i];
+      const short revents = fds[base + i].revents;
+      if (revents & (POLLIN | POLLERR | POLLHUP)) {
+        handle_session_input(session);
+      }
+      if (!session.dead && session.out_pos < session.out.size()) {
+        flush_session_output(session);
+      }
+    }
+    sessions_.erase(
+        std::remove_if(sessions_.begin(), sessions_.end(),
+                       [](const std::unique_ptr<Session>& s) {
+                         if (s->dead) {
+                           int fd = s->fd;
+                           close_fd(fd);
+                           return true;
+                         }
+                         return false;
+                       }),
+        sessions_.end());
+
+    poll_tick_housekeeping();
+
+    if (draining_) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (drain_complete_locked()) {
+        break;
+      }
+    }
+  }
+  finish_drain();
+}
+
+void Daemon::accept_clients() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // EAGAIN/EWOULDBLOCK or transient accept failure
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sessions_.push_back(std::make_unique<Session>(fd, config_.max_frame_bytes));
+  }
+}
+
+void Daemon::handle_session_input(Session& session) {
+  std::uint8_t buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(session.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      session.decoder.feed(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof buf) {
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      session.dead = true;  // peer closed; nothing more to serve
+      return;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    session.dead = true;
+    return;
+  }
+
+  // Deframe + dispatch.  Any protocol violation gets one typed ERROR
+  // frame, then the connection is closed after the flush — a hostile or
+  // corrupted stream cannot be resynchronized safely.
+  try {
+    while (auto frame = session.decoder.next()) {
+      const Request request = decode_request(*frame);
+      append_reply(session, dispatch(request));
+    }
+  } catch (const ProtocolError& e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++metrics_.protocol_errors;
+    }
+    Reply reply;
+    reply.type = MsgType::kError;
+    reply.error.code = e.code();
+    reply.error.message = e.what();
+    append_reply(session, reply);
+    session.close_after_flush = true;
+  }
+}
+
+void Daemon::append_reply(Session& session, const Reply& reply) {
+  const std::vector<std::uint8_t> bytes = frame_bytes(encode_reply(reply));
+  session.out.insert(session.out.end(), bytes.begin(), bytes.end());
+}
+
+void Daemon::flush_session_output(Session& session) {
+  while (session.out_pos < session.out.size()) {
+    const ssize_t n =
+        ::send(session.fd, session.out.data() + session.out_pos,
+               session.out.size() - session.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      session.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;
+    }
+    session.dead = true;
+    return;
+  }
+  session.out.clear();
+  session.out_pos = 0;
+  if (session.close_after_flush) {
+    session.dead = true;
+  }
+}
+
+void Daemon::poll_tick_housekeeping() {
+  const auto now = std::chrono::steady_clock::now();
+  if (config_.job_time_budget_ms != 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, job] : jobs_) {
+      if (job->state != JobState::kRunning || job->budget_exceeded) {
+        continue;
+      }
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - job->started)
+              .count();
+      if (elapsed >= 0 &&
+          static_cast<std::uint64_t>(elapsed) > config_.job_time_budget_ms) {
+        job->budget_exceeded = true;
+        job->halt.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (!config_.metrics_path.empty() && config_.metrics_every_ms != 0) {
+    const auto since = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           now - last_metrics_dump_)
+                           .count();
+    if (since >= 0 &&
+        static_cast<std::uint64_t>(since) >= config_.metrics_every_ms) {
+      dump_metrics();
+      last_metrics_dump_ = now;
+    }
+  }
+}
+
+// ------------------------------------------------------------- drain
+
+void Daemon::begin_drain_locked() {
+  if (draining_) {
+    return;
+  }
+  draining_ = true;
+  drain_requested_.store(true, std::memory_order_relaxed);
+  close_fd(listen_fd_);
+  // Queued-but-unstarted jobs: suspend on the spot.  Their spool entries
+  // (written at admission) are what a restarted daemon re-enqueues.
+  for (const auto& job : queue_) {
+    job->state = JobState::kSuspended;
+    job->detail = config_.spool_dir.empty()
+                      ? "daemon drained before the job started (no spool "
+                        "directory; resubmit after restart)"
+                      : "daemon drained before the job started; spooled for "
+                        "restart";
+    ++metrics_.jobs_suspended;
+    inflight_.erase(job->fingerprint);
+  }
+  queue_.clear();
+  // Running jobs: cooperative halt — each suspends at its next round
+  // boundary, writing the suspension checkpoint when a spool is set.
+  for (const auto& [id, job] : jobs_) {
+    if (job->state == JobState::kRunning) {
+      job->halt.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool Daemon::drain_complete_locked() const { return running_ == 0; }
+
+void Daemon::finish_drain() {
+  if (pool_) {
+    pool_->stop();
+  }
+  if (!config_.spool_dir.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flush_cache_index_locked();
+  }
+  if (!config_.metrics_path.empty()) {
+    dump_metrics();
+  }
+  // Best-effort flush of replies already queued (e.g. the SHUTDOWN ack),
+  // bounded so a stuck client cannot wedge the exit.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+  bool pending = true;
+  while (pending && std::chrono::steady_clock::now() < deadline) {
+    pending = false;
+    for (auto& session : sessions_) {
+      if (!session->dead && session->out_pos < session->out.size()) {
+        flush_session_output(*session);
+        pending |= !session->dead && session->out_pos < session->out.size();
+      }
+    }
+    if (pending) {
+      ::poll(nullptr, 0, 10);
+    }
+  }
+  for (auto& session : sessions_) {
+    close_fd(session->fd);
+  }
+  sessions_.clear();
+}
+
+// -------------------------------------------------- request handling
+
+Reply Daemon::dispatch(const Request& request) {
+  Reply reply;
+  switch (request.type) {
+    case MsgType::kSubmit:
+      reply.type = MsgType::kSubmitReply;
+      reply.submit = handle_submit(request.submit);
+      break;
+    case MsgType::kStatus:
+      reply.type = MsgType::kStatusReply;
+      reply.status = handle_status(request.job.job_id);
+      break;
+    case MsgType::kResult:
+      reply.type = MsgType::kResultReply;
+      reply.result = handle_result(request.job.job_id);
+      break;
+    case MsgType::kCancel:
+      reply.type = MsgType::kCancelReply;
+      reply.cancel = handle_cancel(request.job.job_id);
+      break;
+    case MsgType::kStats:
+      reply.type = MsgType::kStatsReply;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        reply.stats = stats_locked();
+      }
+      break;
+    case MsgType::kShutdown:
+      reply.type = MsgType::kShutdownReply;
+      reply.shutdown = handle_shutdown();
+      break;
+    default:
+      throw ProtocolError(ProtoError::kUnknownType, "unhandled request type");
+  }
+  return reply;
+}
+
+void Daemon::parse_submit(const SubmitRequest& request, Graph& graph,
+                          DistributedBcOptions& options,
+                          SubmitRequest& canonical) const {
+  std::string text;
+  if (request.source == GraphSource::kPath) {
+    if (config_.graph_root.empty()) {
+      throw ProtocolError(ProtoError::kBadRequest,
+                          "path submits disabled (daemon has no --graph-root)");
+    }
+    std::error_code ec;
+    const fs::path root = fs::weakly_canonical(config_.graph_root, ec);
+    const fs::path resolved =
+        fs::weakly_canonical(fs::path(config_.graph_root) / request.graph, ec);
+    const std::string root_prefix = root.string() + "/";
+    if (ec || (resolved.string() != root.string() &&
+               resolved.string().rfind(root_prefix, 0) != 0)) {
+      throw ProtocolError(ProtoError::kBadRequest,
+                          "graph path escapes --graph-root");
+    }
+    std::ifstream in(resolved, std::ios::binary);
+    if (!in) {
+      throw ProtocolError(ProtoError::kBadRequest,
+                          "cannot open graph file: " + resolved.string());
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    text = request.graph;
+  }
+  try {
+    graph = read_edge_list_text(text);
+  } catch (const std::exception& e) {
+    throw ProtocolError(ProtoError::kBadRequest,
+                        std::string("bad graph: ") + e.what());
+  }
+  if (graph.num_nodes() == 0) {
+    throw ProtocolError(ProtoError::kBadRequest, "empty graph");
+  }
+  if (!is_connected(graph)) {
+    throw ProtocolError(ProtoError::kBadRequest,
+                        "graph is not connected (model precondition)");
+  }
+  FaultPlan plan;
+  if (!request.faults.empty()) {
+    try {
+      plan = FaultPlan::parse(request.faults);
+    } catch (const std::exception& e) {
+      throw ProtocolError(ProtoError::kBadRequest,
+                          std::string("bad fault spec: ") + e.what());
+    }
+  }
+  options = DistributedBcOptions{};
+  options.halve = request.halve;
+  options.reliable_transport = request.reliable;
+  options.faults = std::move(plan);
+  options.max_rounds = request.max_rounds == 0
+                           ? config_.max_rounds_cap
+                           : std::min(request.max_rounds, config_.max_rounds_cap);
+  options.threads = request.threads == 0 ? config_.default_threads
+                                         : static_cast<unsigned>(request.threads);
+  options.legacy_engine = request.legacy_engine;
+
+  // Canonical form: always inline, graph re-serialized, budgets resolved —
+  // so the spool is self-contained and a resubmit of either form
+  // fingerprints identically.
+  canonical = request;
+  canonical.source = GraphSource::kInline;
+  canonical.graph = write_edge_list_text(graph);
+  canonical.max_rounds = options.max_rounds;
+}
+
+SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
+  Graph graph(0, {});
+  DistributedBcOptions options;
+  SubmitRequest canonical;
+  std::string reject_detail;
+  bool parsed = false;
+  try {
+    parse_submit(request, graph, options, canonical);
+    parsed = true;
+  } catch (const std::exception& e) {
+    reject_detail = e.what();
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++metrics_.submits;
+  SubmitReply reply;
+  if (!parsed) {
+    reply.disposition = SubmitDisposition::kRejected;
+    reply.detail = reject_detail;
+    return reply;
+  }
+  const std::uint64_t fp = run_fingerprint(graph, options);
+  reply.fingerprint = fp;
+  if (draining_) {
+    ++metrics_.draining_rejections;
+    reply.disposition = SubmitDisposition::kDraining;
+    reply.detail = "daemon is draining";
+    return reply;
+  }
+  if (auto cached = cache_.get(fp)) {
+    auto job = std::make_shared<Job>();
+    job->id = next_job_id_++;
+    job->fingerprint = fp;
+    job->state = JobState::kDone;
+    job->result = std::move(cached);
+    job->from_cache = true;
+    job->submitted = std::chrono::steady_clock::now();
+    jobs_.emplace(job->id, job);
+    reply.disposition = SubmitDisposition::kCacheHit;
+    reply.job_id = job->id;
+    return reply;
+  }
+  if (const auto it = inflight_.find(fp); it != inflight_.end()) {
+    ++metrics_.coalesced;
+    reply.disposition = SubmitDisposition::kCoalesced;
+    reply.job_id = it->second->id;
+    return reply;
+  }
+  if (queue_.size() >= config_.queue_limit) {
+    ++metrics_.busy_rejections;
+    reply.disposition = SubmitDisposition::kBusy;
+    reply.detail = "queue full (" + std::to_string(queue_.size()) + " queued)";
+    return reply;
+  }
+  auto job = std::make_shared<Job>();
+  job->id = next_job_id_++;
+  job->fingerprint = fp;
+  job->request = std::move(canonical);
+  job->graph = std::move(graph);
+  job->options = std::move(options);
+  job->submitted = std::chrono::steady_clock::now();
+  admit_locked(job);
+  reply.disposition = SubmitDisposition::kQueued;
+  reply.job_id = job->id;
+  return reply;
+}
+
+void Daemon::admit_locked(const std::shared_ptr<Job>& job) {
+  jobs_.emplace(job->id, job);
+  inflight_.emplace(job->fingerprint, job);
+  queue_.push_back(job);
+  if (!config_.spool_dir.empty()) {
+    try {
+      spool_write_job(*job);
+    } catch (const std::exception&) {
+      // Persistence is best-effort: the job still runs, it just cannot be
+      // resumed across a restart.
+    }
+  }
+  pool_->submit([this, job] { execute_job(job); });
+}
+
+StatusReply Daemon::handle_status(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StatusReply reply;
+  reply.job_id = job_id;
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    reply.state = JobState::kUnknown;
+    reply.detail = "no such job";
+    return reply;
+  }
+  const Job& job = *it->second;
+  reply.state = job.state;
+  reply.fingerprint = job.fingerprint;
+  reply.detail = job.detail;
+  if (job.state == JobState::kQueued) {
+    const auto pos = std::find(queue_.begin(), queue_.end(), it->second);
+    reply.queue_position =
+        static_cast<std::uint32_t>(std::distance(queue_.begin(), pos));
+  }
+  return reply;
+}
+
+ResultReply Daemon::handle_result(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ResultReply reply;
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    reply.state = JobState::kUnknown;
+    reply.detail = "no such job";
+    return reply;
+  }
+  const Job& job = *it->second;
+  reply.state = job.state;
+  reply.fingerprint = job.fingerprint;
+  reply.detail = job.detail;
+  reply.from_cache = job.from_cache;
+  if ((job.state == JobState::kDone || job.state == JobState::kFailed) &&
+      job.result != nullptr) {
+    reply.ready = true;
+    reply.block_bytes = job.result->block_bytes;
+    reply.block_bits = job.result->block_bits;
+  }
+  return reply;
+}
+
+CancelReply Daemon::handle_cancel(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CancelReply reply;
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    reply.outcome = CancelOutcome::kNotFound;
+    return reply;
+  }
+  const std::shared_ptr<Job>& job = it->second;
+  switch (job->state) {
+    case JobState::kQueued: {
+      job->state = JobState::kCancelled;
+      job->detail = "cancelled before start";
+      const auto pos = std::find(queue_.begin(), queue_.end(), job);
+      if (pos != queue_.end()) {
+        queue_.erase(pos);
+      }
+      inflight_.erase(job->fingerprint);
+      ++metrics_.jobs_cancelled;
+      if (!config_.spool_dir.empty()) {
+        spool_remove_job(*job);
+      }
+      reply.outcome = CancelOutcome::kCancelled;
+      break;
+    }
+    case JobState::kRunning:
+      // Cooperative: the run suspends at the next round boundary and the
+      // completion path discards it.
+      job->cancel_requested = true;
+      job->halt.store(true, std::memory_order_relaxed);
+      reply.outcome = CancelOutcome::kCancelled;
+      break;
+    default:
+      reply.outcome = CancelOutcome::kTooLate;
+      break;
+  }
+  return reply;
+}
+
+ShutdownReply Daemon::handle_shutdown() {
+  request_drain();
+  ShutdownReply reply;
+  reply.draining = true;
+  return reply;
+}
+
+// --------------------------------------------------------- execution
+
+void Daemon::execute_job(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->state != JobState::kQueued || draining_) {
+      return;  // cancelled or suspended while waiting its turn
+    }
+    job->state = JobState::kRunning;
+    job->started = std::chrono::steady_clock::now();
+    ++running_;
+    const auto pos = std::find(queue_.begin(), queue_.end(), job);
+    if (pos != queue_.end()) {
+      queue_.erase(pos);
+    }
+  }
+
+  DistributedBcOptions options = job->options;
+  options.halt_request = &job->halt;
+  if (!config_.spool_dir.empty()) {
+    options.checkpoint_dir = ckpt_dir(job->fingerprint);
+    options.checkpoint_every = config_.checkpoint_every;
+    options.checkpoint_keep_last = config_.checkpoint_keep;
+    options.resume_from = job->resume_from;
+  }
+
+  RunOutcome outcome;
+  try {
+    outcome = run_bc_with_watchdog(job->graph, options);
+  } catch (const std::exception& e) {
+    outcome = RunOutcome{};
+    outcome.status = RunStatus::kError;
+    outcome.detail = e.what();
+  }
+
+  // Encode outside the lock — blocks can be large.
+  const ResultBlock block = outcome_to_block(outcome);
+  const BitWriter encoded = encode_result_block(block);
+  auto servable = std::make_shared<CachedResult>();
+  servable->block_bytes = encoded.bytes();
+  servable->block_bits = encoded.bit_size();
+  servable->run_status = block.run_status;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_ > 0) {
+    --running_;
+  }
+  const double latency_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - job->submitted)
+          .count();
+  inflight_.erase(job->fingerprint);
+
+  if (outcome.status == RunStatus::kSuspended) {
+    if (job->cancel_requested) {
+      job->state = JobState::kCancelled;
+      job->detail = "cancelled while running";
+      ++metrics_.jobs_cancelled;
+      if (!config_.spool_dir.empty()) {
+        spool_remove_job(*job);
+      }
+    } else if (job->budget_exceeded) {
+      job->state = JobState::kFailed;
+      job->detail = "wall-clock budget exceeded (" +
+                    std::to_string(config_.job_time_budget_ms) + " ms)";
+      job->result = servable;  // partial harvest, served but never cached
+      ++metrics_.jobs_failed;
+      metrics_.record_latency_ms(latency_ms);
+      if (!config_.spool_dir.empty()) {
+        spool_remove_job(*job);
+      }
+    } else {
+      // Drain suspension: the run just wrote its boundary checkpoint (when
+      // a spool is configured); the spool entry stays for the restart.
+      job->state = JobState::kSuspended;
+      job->detail = config_.spool_dir.empty()
+                        ? "suspended by drain (no spool directory; resubmit "
+                          "after restart)"
+                        : "suspended by drain; checkpointed for restart";
+      ++metrics_.jobs_suspended;
+    }
+  } else if (outcome.status == RunStatus::kComplete) {
+    job->state = JobState::kDone;
+    job->result = servable;
+    cache_.put(job->fingerprint, servable);
+    ++metrics_.jobs_completed;
+    metrics_.record_latency_ms(latency_ms);
+    if (!config_.spool_dir.empty()) {
+      try {
+        persist_cache_entry(job->fingerprint, *servable);
+      } catch (const std::exception&) {
+        // Warm-cache persistence is best-effort.
+      }
+      spool_remove_job(*job);
+    }
+  } else {
+    job->state = JobState::kFailed;
+    job->detail = outcome.detail.empty() ? to_string(outcome.status)
+                                         : outcome.detail;
+    job->result = servable;  // partial harvest (degraded serving)
+    ++metrics_.jobs_failed;
+    metrics_.record_latency_ms(latency_ms);
+    if (!config_.spool_dir.empty()) {
+      spool_remove_job(*job);
+    }
+  }
+  // Nudge the poll loop so a drain waiting on running_ notices promptly.
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+// ------------------------------------------------------- persistence
+
+std::string Daemon::jobs_dir() const { return config_.spool_dir + "/jobs"; }
+
+std::string Daemon::ckpt_dir(std::uint64_t fingerprint) const {
+  return config_.spool_dir + "/ckpt/" + fingerprint_hex(fingerprint);
+}
+
+std::string Daemon::cache_dir() const { return config_.spool_dir + "/cache"; }
+
+void Daemon::spool_write_job(const Job& job) const {
+  BitWriter payload;
+  payload.write_varuint(kSpoolVersion);
+  snap::put_u64(payload, job.fingerprint);
+  const BitWriter request = encode_request(make_submit(job.request));
+  snap::put_bits(payload, request.data(), request.bit_size());
+  write_file_atomic(
+      fs::path(jobs_dir()) / ("job-" + fingerprint_hex(job.fingerprint) + ".req"),
+      payload);
+}
+
+void Daemon::spool_remove_job(const Job& job) const {
+  std::error_code ec;
+  fs::remove(
+      fs::path(jobs_dir()) / ("job-" + fingerprint_hex(job.fingerprint) + ".req"),
+      ec);
+  fs::remove_all(ckpt_dir(job.fingerprint), ec);
+}
+
+void Daemon::persist_cache_entry(std::uint64_t fingerprint,
+                                 const CachedResult& result) const {
+  BitWriter payload;
+  payload.write_varuint(kSpoolVersion);
+  snap::put_u64(payload, fingerprint);
+  snap::put_u64(payload, result.run_status);
+  snap::put_bits(payload, result.block_bytes.data(),
+                 static_cast<std::size_t>(result.block_bits));
+  write_file_atomic(
+      fs::path(cache_dir()) / ("res-" + fingerprint_hex(fingerprint) + ".res"),
+      payload);
+}
+
+void Daemon::remove_cache_entry(std::uint64_t fingerprint) const {
+  std::error_code ec;
+  fs::remove(
+      fs::path(cache_dir()) / ("res-" + fingerprint_hex(fingerprint) + ".res"),
+      ec);
+}
+
+void Daemon::flush_cache_index_locked() const {
+  const std::vector<std::uint64_t> keys = cache_.keys_lru_order();
+  std::error_code ec;
+  fs::create_directories(cache_dir(), ec);
+  const fs::path index = fs::path(cache_dir()) / "index.txt";
+  const fs::path tmp = fs::path(cache_dir()) / "index.txt.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    for (const std::uint64_t fp : keys) {
+      out << fingerprint_hex(fp) << "\n";
+    }
+    if (!out) {
+      return;  // best-effort
+    }
+  }
+  fs::rename(tmp, index, ec);
+  // Prune result files the in-memory LRU evicted, so the restarted cache
+  // matches the drained one.
+  std::unordered_set<std::string> keep;
+  for (const std::uint64_t fp : keys) {
+    keep.insert("res-" + fingerprint_hex(fp) + ".res");
+  }
+  for (const auto& entry : fs::directory_iterator(cache_dir(), ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("res-", 0) == 0 && keep.find(name) == keep.end()) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
+
+void Daemon::recover_spool() {
+  std::error_code ec;
+
+  // 1. Warm cache, least recently used first so put() order restores
+  //    recency exactly as flushed.
+  const auto load_res = [this](std::uint64_t fp) -> bool {
+    std::ifstream in(
+        fs::path(cache_dir()) / ("res-" + fingerprint_hex(fp) + ".res"),
+        std::ios::binary);
+    if (!in) {
+      return false;
+    }
+    try {
+      const SnapshotPayload payload = read_snapshot_container(in);
+      BitReader r = payload.reader();
+      if (r.read_varuint() != kSpoolVersion) {
+        return false;
+      }
+      if (snap::get_u64(r) != fp) {
+        return false;
+      }
+      const std::uint64_t status = snap::get_u64(r);
+      auto result = std::make_shared<CachedResult>();
+      result->block_bits = snap::get_bits(r, result->block_bytes);
+      result->run_status = static_cast<std::uint8_t>(status);
+      cache_.put(fp, std::move(result));
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+
+  std::unordered_set<std::uint64_t> loaded;
+  {
+    std::ifstream index(fs::path(cache_dir()) / "index.txt");
+    std::string line;
+    while (std::getline(index, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      const std::uint64_t fp = std::strtoull(line.c_str(), nullptr, 16);
+      if (load_res(fp)) {
+        loaded.insert(fp);
+      }
+    }
+  }
+  // Entries persisted after the last index flush (crash, not drain) —
+  // recency is approximate for these, correctness is not affected.
+  for (const auto& entry : fs::directory_iterator(cache_dir(), ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("res-", 0) != 0 || name.size() != 4 + 16 + 4) {
+      continue;
+    }
+    const std::uint64_t fp = std::strtoull(name.substr(4, 16).c_str(), nullptr, 16);
+    if (loaded.find(fp) == loaded.end()) {
+      load_res(fp);
+    }
+  }
+
+  // 2. Interrupted jobs: re-admit each spooled request, resuming from its
+  //    latest checkpoint when one exists.
+  ec.clear();
+  for (const auto& entry : fs::directory_iterator(jobs_dir(), ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("job-", 0) != 0 || name.size() < 4 + 16 + 4) {
+      continue;
+    }
+    try {
+      std::ifstream in(entry.path(), std::ios::binary);
+      const SnapshotPayload container = read_snapshot_container(in);
+      BitReader r = container.reader();
+      if (r.read_varuint() != kSpoolVersion) {
+        fs::remove(entry.path(), ec);
+        continue;
+      }
+      const std::uint64_t fp = snap::get_u64(r);
+      FramePayload request_payload;
+      request_payload.bits = snap::get_bits(r, request_payload.bytes);
+      const Request request = decode_request(request_payload);
+      if (request.type != MsgType::kSubmit) {
+        fs::remove(entry.path(), ec);
+        continue;
+      }
+      Graph graph(0, {});
+      DistributedBcOptions options;
+      SubmitRequest canonical;
+      parse_submit(request.submit, graph, options, canonical);
+      if (run_fingerprint(graph, options) != fp) {
+        fs::remove(entry.path(), ec);  // stale or corrupted entry
+        continue;
+      }
+      if (cache_.peek(fp) != nullptr) {
+        // Finished before the previous daemon exited; nothing to resume.
+        fs::remove(entry.path(), ec);
+        fs::remove_all(ckpt_dir(fp), ec);
+        continue;
+      }
+      auto job = std::make_shared<Job>();
+      job->fingerprint = fp;
+      job->request = std::move(canonical);
+      job->graph = std::move(graph);
+      job->options = std::move(options);
+      job->submitted = std::chrono::steady_clock::now();
+      if (const auto checkpoint = latest_checkpoint(ckpt_dir(fp))) {
+        job->resume_from = *checkpoint;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->id = next_job_id_++;
+      ++metrics_.jobs_resumed;
+      admit_locked(job);
+    } catch (const std::exception&) {
+      fs::remove(entry.path(), ec);  // unreadable spool entry
+    }
+  }
+}
+
+void Daemon::dump_metrics() {
+  try {
+    const std::string json = to_json(stats());
+    const fs::path target(config_.metrics_path);
+    const fs::path tmp = config_.metrics_path + ".tmp";
+    if (target.has_parent_path()) {
+      fs::create_directories(target.parent_path());
+    }
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << json << "\n";
+      if (!out) {
+        return;
+      }
+    }
+    std::error_code ec;
+    fs::rename(tmp, target, ec);
+  } catch (const std::exception&) {
+    // Metrics are best-effort observability; never take the daemon down.
+  }
+}
+
+}  // namespace congestbc::service

@@ -1,0 +1,229 @@
+// The BC serving daemon: a poll(2)-based TCP server that turns the
+// one-shot pipeline (core/runner.hpp) into a long-lived service.
+//
+// Architecture (DESIGN.md §10):
+//
+//   clients ──TCP──▶ io thread (poll loop, framing, admission)
+//                      │ bounded queue, fingerprint coalescing
+//                      ▼
+//                    WorkerPool (core/thread_pool.hpp)
+//                      │ run_bc_with_watchdog + checkpoint policy
+//                      ▼
+//                    LRU result cache (service/cache.hpp)
+//
+// One io thread owns the sockets; N workers own the runs; a single
+// scheduler mutex guards the shared state between them (queue, jobs,
+// coalescing map, cache, metrics).  Clients poll RESULT — the daemon
+// never pushes — so the io thread never blocks on a slow client or a
+// slow job.
+//
+// Durability: with a spool directory configured, every admitted job is
+// persisted (job-<fp>.req) and checkpointed while it runs
+// (ckpt/<fp>/ckpt-*.cbcsnap, the PR-3 policy).  SIGTERM triggers a
+// graceful drain: stop admitting, raise every running job's cooperative
+// halt flag (DistributedBcOptions::halt_request) so it suspends at the
+// next round boundary with a checkpoint, flush the cache index, exit.  A
+// restarted daemon rescans the spool and resumes each job from its
+// latest checkpoint — bit-identical to an uninterrupted run, because the
+// checkpoint subsystem guarantees exactly that.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "algo/bc_pipeline.hpp"
+#include "core/thread_pool.hpp"
+#include "graph/graph.hpp"
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "service/protocol.hpp"
+
+namespace congestbc::service {
+
+struct DaemonConfig {
+  /// Listen address.  Loopback by default: the daemon trusts its clients
+  /// (no auth in protocol v1), so exposing it wider is an explicit choice.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is Daemon::port() after start().
+  std::uint16_t port = 0;
+  /// Concurrent job executions (WorkerPool size).  0 = hardware threads.
+  unsigned workers = 2;
+  /// Admission limit on jobs queued but not yet running; submits beyond
+  /// it get a typed BUSY reply.
+  std::size_t queue_limit = 16;
+  /// Result-cache entries (0 disables caching).
+  std::size_t cache_capacity = 64;
+  /// Durability root (jobs/, ckpt/, cache/ live under it).  Empty = no
+  /// persistence: drain abandons in-flight work instead of suspending it.
+  std::string spool_dir;
+  /// Base directory for GraphSource::kPath submits; empty = path submits
+  /// are rejected.  Resolved paths may not escape it.
+  std::string graph_root;
+  /// Per-job checkpoint cadence while running (rounds); effective only
+  /// with a spool_dir.  0 = only the suspension checkpoint at drain.
+  std::uint64_t checkpoint_every = 0;
+  unsigned checkpoint_keep = 2;
+  /// Admission-side cap on a job's round budget; per-request max_rounds
+  /// is clamped to it, 0 in the request means "the cap".
+  std::uint64_t max_rounds_cap = 50'000'000;
+  /// Wall-clock budget per job (ms); over-budget jobs are halted and
+  /// failed.  0 = unlimited.
+  std::uint64_t job_time_budget_ms = 0;
+  /// Simulator lanes per job when the request leaves threads == 0.
+  unsigned default_threads = 1;
+  /// Periodic JSON metrics dump (service/metrics.hpp to_json); empty
+  /// disables.  Always written once more at drain.
+  std::string metrics_path;
+  std::uint64_t metrics_every_ms = 1000;
+  /// Frame-size cap handed to each connection's FrameDecoder.
+  std::uint32_t max_frame_bytes = kMaxFramePayloadBytes;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds + listens, recovers the spool (resumable jobs re-enqueued,
+  /// persisted cache entries reloaded in LRU order), starts the workers.
+  /// Throws std::runtime_error on socket failure.
+  void start();
+
+  /// The bound port (after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Runs the poll loop in the calling thread; returns once a drain
+  /// completes.
+  void serve();
+
+  /// serve() on an internal thread; pair with wait().
+  void serve_async();
+  void wait();
+
+  /// Begins the graceful drain (thread-safe, idempotent).
+  void request_drain();
+
+  /// Async-signal-safe drain trigger for SIGTERM handlers: one write()
+  /// to the wake pipe, nothing else.
+  void notify_signal();
+
+  bool draining() const { return drain_requested_.load(std::memory_order_relaxed); }
+
+  /// Current stats snapshot (what a STATS request returns) — for tests
+  /// and the periodic dump.
+  StatsReply stats();
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    std::uint64_t fingerprint = 0;
+    JobState state = JobState::kQueued;
+    SubmitRequest request;  ///< canonical form (what the spool stores)
+    Graph graph{0, {}};
+    DistributedBcOptions options;  ///< result-determining fields resolved
+    std::string detail;
+    /// Set in terminal states; shared with the cache on kDone.
+    std::shared_ptr<const CachedResult> result;
+    bool from_cache = false;
+    bool cancel_requested = false;
+    bool budget_exceeded = false;
+    /// Snapshot path to resume from (spool recovery).
+    std::string resume_from;
+    /// Cooperative halt flag wired into the run (drain / cancel / budget).
+    std::atomic<bool> halt{false};
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point started;
+  };
+
+  struct Session {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> out;
+    std::size_t out_pos = 0;
+    bool close_after_flush = false;
+    bool dead = false;
+
+    explicit Session(int fd_in, std::uint32_t max_frame_bytes)
+        : fd(fd_in), decoder(max_frame_bytes) {}
+  };
+
+  // --- request handling (io thread) ---
+  Reply dispatch(const Request& request);
+  SubmitReply handle_submit(const SubmitRequest& request);
+  StatusReply handle_status(std::uint64_t job_id);
+  ResultReply handle_result(std::uint64_t job_id);
+  CancelReply handle_cancel(std::uint64_t job_id);
+  ShutdownReply handle_shutdown();
+  StatsReply stats_locked();
+
+  /// Parses + validates a submit into (graph, options, canonical
+  /// request); throws ProtocolError(kBadRequest) with the reason.
+  void parse_submit(const SubmitRequest& request, Graph& graph,
+                    DistributedBcOptions& options,
+                    SubmitRequest& canonical) const;
+
+  // --- execution (worker threads) ---
+  void execute_job(const std::shared_ptr<Job>& job);
+  void admit_locked(const std::shared_ptr<Job>& job);
+
+  // --- drain / poll loop internals (io thread) ---
+  void begin_drain_locked();
+  bool drain_complete_locked() const;
+  void finish_drain();
+  void poll_tick_housekeeping();
+  void handle_session_input(Session& session);
+  void flush_session_output(Session& session);
+  void accept_clients();
+  void append_reply(Session& session, const Reply& reply);
+
+  // --- spool persistence ---
+  std::string jobs_dir() const;
+  std::string ckpt_dir(std::uint64_t fingerprint) const;
+  std::string cache_dir() const;
+  void spool_write_job(const Job& job) const;
+  void spool_remove_job(const Job& job) const;
+  void persist_cache_entry(std::uint64_t fingerprint,
+                           const CachedResult& result) const;
+  void remove_cache_entry(std::uint64_t fingerprint) const;
+  void flush_cache_index_locked() const;
+  void recover_spool();
+  void dump_metrics();
+
+  DaemonConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> drain_requested_{false};
+  bool draining_ = false;  ///< drain observed by the io thread
+  bool started_ = false;
+
+  std::unique_ptr<WorkerPool> pool_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  /// Scheduler mutex: guards everything below (io thread + workers).
+  std::mutex mutex_;
+  std::uint64_t next_job_id_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;  // by id
+  /// Queued-or-running jobs by fingerprint — the coalescing map.
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> inflight_;
+  std::deque<std::shared_ptr<Job>> queue_;  ///< admission order
+  LruResultCache cache_;
+  ServiceMetrics metrics_;
+  std::uint64_t running_ = 0;
+
+  std::chrono::steady_clock::time_point last_metrics_dump_;
+  std::thread serve_thread_;
+};
+
+}  // namespace congestbc::service

@@ -1,0 +1,116 @@
+#include "service/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/report_json.hpp"
+
+namespace congestbc::service {
+
+void ServiceMetrics::record_latency_ms(double ms) {
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(ms);
+    latency_next_ = latencies_.size() % kLatencyWindow;
+    latency_full_ = latencies_.size() == kLatencyWindow;
+    return;
+  }
+  latencies_[latency_next_] = ms;
+  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+}
+
+double ServiceMetrics::latency_percentile(double p) const {
+  if (latencies_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Linear interpolation between the two bracketing order statistics.
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::uint64_t ServiceMetrics::uptime_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+StatsReply ServiceMetrics::snapshot(std::uint64_t queue_depth,
+                                    std::uint64_t running,
+                                    std::uint64_t workers,
+                                    std::uint64_t cache_entries,
+                                    std::uint64_t cache_hits,
+                                    std::uint64_t cache_misses,
+                                    std::uint64_t cache_evictions,
+                                    double worker_utilization) const {
+  StatsReply s;
+  s.uptime_ms = uptime_ms();
+  s.submits = submits;
+  s.cache_hits = cache_hits;
+  s.cache_misses = cache_misses;
+  s.coalesced = coalesced;
+  s.busy_rejections = busy_rejections;
+  s.draining_rejections = draining_rejections;
+  s.jobs_completed = jobs_completed;
+  s.jobs_failed = jobs_failed;
+  s.jobs_cancelled = jobs_cancelled;
+  s.jobs_suspended = jobs_suspended;
+  s.jobs_resumed = jobs_resumed;
+  s.protocol_errors = protocol_errors;
+  s.queue_depth = queue_depth;
+  s.running = running;
+  s.workers = workers;
+  s.cache_entries = cache_entries;
+  s.cache_evictions = cache_evictions;
+  s.qps = s.uptime_ms == 0
+              ? 0.0
+              : static_cast<double>(submits) * 1000.0 /
+                    static_cast<double>(s.uptime_ms);
+  s.worker_utilization = worker_utilization;
+  s.latency_p50_ms = latency_percentile(50.0);
+  s.latency_p90_ms = latency_percentile(90.0);
+  s.latency_p99_ms = latency_percentile(99.0);
+  return s;
+}
+
+std::string to_json(const StatsReply& stats) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("uptime_ms").value(stats.uptime_ms);
+  w.key("submits").value(stats.submits);
+  w.key("cache_hits").value(stats.cache_hits);
+  w.key("cache_misses").value(stats.cache_misses);
+  const std::uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  w.key("cache_hit_rate")
+      .value(lookups == 0 ? 0.0
+                          : static_cast<double>(stats.cache_hits) /
+                                static_cast<double>(lookups));
+  w.key("coalesced").value(stats.coalesced);
+  w.key("busy_rejections").value(stats.busy_rejections);
+  w.key("draining_rejections").value(stats.draining_rejections);
+  w.key("jobs_completed").value(stats.jobs_completed);
+  w.key("jobs_failed").value(stats.jobs_failed);
+  w.key("jobs_cancelled").value(stats.jobs_cancelled);
+  w.key("jobs_suspended").value(stats.jobs_suspended);
+  w.key("jobs_resumed").value(stats.jobs_resumed);
+  w.key("protocol_errors").value(stats.protocol_errors);
+  w.key("queue_depth").value(stats.queue_depth);
+  w.key("running").value(stats.running);
+  w.key("workers").value(stats.workers);
+  w.key("cache_entries").value(stats.cache_entries);
+  w.key("cache_evictions").value(stats.cache_evictions);
+  w.key("qps").value(stats.qps);
+  w.key("worker_utilization").value(stats.worker_utilization);
+  w.key("latency_p50_ms").value(stats.latency_p50_ms);
+  w.key("latency_p90_ms").value(stats.latency_p90_ms);
+  w.key("latency_p99_ms").value(stats.latency_p99_ms);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace congestbc::service

@@ -1,0 +1,72 @@
+// Serving-plane observability: counters, latency percentiles, and the
+// periodic JSON dump.
+//
+// The simulator's RunMetrics measures one run from the inside (rounds,
+// bits); ServiceMetrics measures the daemon from the outside — request
+// rates, cache effectiveness, queue pressure, tail latency, worker
+// utilization.  STATS replies and the JSON metrics file are two views of
+// the same StatsReply snapshot, so dashboards and clients can never
+// disagree.
+//
+// Not internally synchronized: the daemon mutates it under its scheduler
+// mutex (see cache.hpp for the rationale).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace congestbc::service {
+
+class ServiceMetrics {
+ public:
+  ServiceMetrics() : start_(std::chrono::steady_clock::now()) {}
+
+  // Admission-plane counters (the daemon bumps these directly).
+  std::uint64_t submits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t busy_rejections = 0;
+  std::uint64_t draining_rejections = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t jobs_suspended = 0;
+  std::uint64_t jobs_resumed = 0;
+  std::uint64_t protocol_errors = 0;
+
+  /// Submit-to-terminal latency of one finished job.  Keeps the most
+  /// recent kLatencyWindow samples (ring buffer): percentiles describe
+  /// recent behavior, not the daemon's whole life.
+  void record_latency_ms(double ms);
+
+  /// Interpolated percentile over the retained window; 0 when empty.
+  /// p in [0, 100].
+  double latency_percentile(double p) const;
+
+  std::uint64_t uptime_ms() const;
+
+  /// Builds the full snapshot from the counters plus the live gauges only
+  /// the daemon knows.
+  StatsReply snapshot(std::uint64_t queue_depth, std::uint64_t running,
+                      std::uint64_t workers, std::uint64_t cache_entries,
+                      std::uint64_t cache_hits, std::uint64_t cache_misses,
+                      std::uint64_t cache_evictions,
+                      double worker_utilization) const;
+
+  static constexpr std::size_t kLatencyWindow = 4096;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::vector<double> latencies_;  ///< ring buffer, kLatencyWindow cap
+  std::size_t latency_next_ = 0;
+  bool latency_full_ = false;
+};
+
+/// The StatsReply as a JSON object (core/report_json.hpp writer) — the
+/// payload of the daemon's --metrics-file dump.
+std::string to_json(const StatsReply& stats);
+
+}  // namespace congestbc::service

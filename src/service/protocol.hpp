@@ -1,0 +1,324 @@
+// Wire protocol of the BC serving daemon (congestbcd).
+//
+// Transport: a TCP byte stream carrying length-prefixed frames.  Each
+// frame is a fixed 10-byte header followed by a bit-exact payload
+// serialized with the same BitWriter/BitReader machinery the CONGEST
+// messages and snapshots use (common/bit_io.hpp):
+//
+//   bytes 0..3   magic "CBCP"
+//   u16   LE     protocol version (kProtocolVersion)
+//   u32   LE     payload length in BITS (bytes on the wire = ceil(bits/8))
+//   ...          payload bytes
+//
+// The payload starts with a varuint message type, then type-specific
+// fields.  Requests: SUBMIT (graph-or-path + run options), STATUS,
+// RESULT, CANCEL (by job id), STATS, SHUTDOWN (begin graceful drain).
+// Every request gets exactly one reply frame; clients poll RESULT until
+// the job reaches a terminal state (the daemon never pushes).
+//
+// Robustness contract (tests/service_protocol_test.cpp): any malformed
+// input — bad magic, unknown version, oversized length, truncated or
+// garbage payload, unknown type — yields a typed ProtocolError.  It must
+// never crash, read out of bounds, allocate unboundedly, or hang the
+// daemon; the daemon answers with an ERROR frame and closes the
+// connection.  Incomplete data is not an error: FrameDecoder simply
+// waits for more bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/bit_io.hpp"
+
+namespace congestbc::service {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Frames larger than this are rejected before any allocation happens —
+/// the daemon-side cap on hostile length fields.  Generous enough for an
+/// inline edge list of a multi-million-edge graph.
+inline constexpr std::uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+/// Why a frame or payload was rejected.
+enum class ProtoError : std::uint8_t {
+  kBadMagic = 1,     ///< first four bytes are not "CBCP"
+  kBadVersion = 2,   ///< version field != kProtocolVersion
+  kOversized = 3,    ///< length field exceeds kMaxFramePayloadBytes
+  kMalformed = 4,    ///< payload bits do not decode as the claimed type
+  kUnknownType = 5,  ///< message type is not one we speak
+  kBadRequest = 6,   ///< well-formed but semantically invalid (bad graph,
+                     ///< unreadable path, invalid fault spec)
+};
+
+const char* to_string(ProtoError code);
+
+/// Typed protocol failure.  Deliberately NOT an InvariantError: hostile
+/// bytes on a socket are an environmental fault, not a library bug.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ProtoError code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  ProtoError code() const { return code_; }
+
+ private:
+  ProtoError code_;
+};
+
+// ----------------------------------------------------------- messages
+
+enum class MsgType : std::uint8_t {
+  kSubmit = 1,
+  kStatus = 2,
+  kResult = 3,
+  kCancel = 4,
+  kStats = 5,
+  kShutdown = 6,
+  kSubmitReply = 65,
+  kStatusReply = 66,
+  kResultReply = 67,
+  kCancelReply = 68,
+  kStatsReply = 69,
+  kShutdownReply = 70,
+  kError = 71,
+};
+
+/// How the graph of a SUBMIT is transported.
+enum class GraphSource : std::uint8_t {
+  kInline = 0,  ///< canonical edge-list text in the frame
+  kPath = 1,    ///< server-side path (resolved under the daemon's
+                ///< --graph-root; the serving-farm shape where datasets
+                ///< live next to the daemon, not the client)
+};
+
+/// SUBMIT: one BC job.  Result-determining options mirror the
+/// DistributedBcOptions subset the daemon exposes; threads/legacy_engine
+/// are execution hints that do not enter the fingerprint (results are
+/// bit-identical across them, so they coalesce and share cache entries).
+struct SubmitRequest {
+  GraphSource source = GraphSource::kInline;
+  std::string graph;  ///< edge-list text (kInline) or path (kPath)
+  bool halve = true;
+  bool reliable = false;
+  /// Fault spec in FaultPlan::parse syntax; empty = reliable network.
+  std::string faults;
+  /// Per-job round budget; 0 = daemon default (always clamped to it).
+  std::uint64_t max_rounds = 0;
+  /// Execution hints (0 = daemon default; excluded from fingerprint).
+  std::uint32_t threads = 0;
+  bool legacy_engine = false;
+};
+
+/// STATUS / RESULT / CANCEL all address a job by daemon-assigned id.
+struct JobRequest {
+  std::uint64_t job_id = 0;
+};
+
+/// A decoded request frame.
+struct Request {
+  MsgType type = MsgType::kSubmit;
+  SubmitRequest submit;  ///< valid when type == kSubmit
+  JobRequest job;        ///< valid for kStatus/kResult/kCancel
+};
+
+/// What happened to a SUBMIT at admission.
+enum class SubmitDisposition : std::uint8_t {
+  kQueued = 0,     ///< fresh job admitted to the queue
+  kCacheHit = 1,   ///< identical fingerprint already completed; RESULT is
+                   ///< immediately ready, no execution scheduled
+  kCoalesced = 2,  ///< identical fingerprint already queued/running; this
+                   ///< client shares that execution
+  kBusy = 3,       ///< queue at its depth limit — retry later
+  kDraining = 4,   ///< daemon is draining; not admitting work
+  kRejected = 5,   ///< semantically invalid (detail says why)
+};
+
+const char* to_string(SubmitDisposition d);
+
+struct SubmitReply {
+  SubmitDisposition disposition = SubmitDisposition::kQueued;
+  std::uint64_t job_id = 0;       ///< 0 when not admitted
+  std::uint64_t fingerprint = 0;  ///< run_fingerprint of the job
+  std::string detail;
+};
+
+/// Lifecycle of a job inside the daemon.
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,       ///< completed; result cached and servable
+  kFailed = 3,     ///< terminal failure (stall, round/time budget, error)
+  kCancelled = 4,
+  kSuspended = 5,  ///< drain checkpointed it; a restarted daemon resumes
+  kUnknown = 6,    ///< no such job id
+};
+
+const char* to_string(JobState s);
+
+struct StatusReply {
+  JobState state = JobState::kUnknown;
+  std::uint64_t job_id = 0;
+  std::uint64_t fingerprint = 0;
+  /// Jobs ahead of this one (meaningful when kQueued).
+  std::uint32_t queue_position = 0;
+  std::string detail;
+};
+
+/// The cached/servable payload of a finished run.  Encoded once with
+/// encode_result_block(); the LRU cache stores those exact bytes, so a
+/// cache hit serves the byte-identical block a fresh execution produced
+/// (tests pin this).  Doubles and long doubles travel bit-exactly via
+/// the snapshot field codecs.
+struct ResultBlock {
+  std::uint8_t run_status = 0;  ///< congestbc::RunStatus
+  std::string detail;
+  std::uint64_t rounds = 0;
+  std::uint32_t diameter = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t total_physical_messages = 0;
+  std::vector<double> betweenness;
+  std::vector<double> closeness;
+  std::vector<double> graph_centrality;
+  std::vector<long double> stress;
+  std::vector<std::uint32_t> eccentricities;
+};
+
+struct ResultReply {
+  bool ready = false;
+  /// When !ready: the job's current state (clients keep polling on
+  /// kQueued/kRunning, give up otherwise).
+  JobState state = JobState::kUnknown;
+  bool from_cache = false;
+  std::uint64_t fingerprint = 0;
+  std::string detail;
+  /// When ready: the encoded ResultBlock, bit-exact as cached.
+  std::vector<std::uint8_t> block_bytes;
+  std::uint64_t block_bits = 0;
+};
+
+enum class CancelOutcome : std::uint8_t {
+  kCancelled = 0,  ///< dequeued before it ran, or halted while running
+  kTooLate = 1,    ///< already terminal (done/failed/cancelled)
+  kNotFound = 2,
+};
+
+const char* to_string(CancelOutcome o);
+
+struct CancelReply {
+  CancelOutcome outcome = CancelOutcome::kNotFound;
+};
+
+/// Counters + derived gauges; also what the periodic JSON metrics dump
+/// serializes (service/metrics.hpp).
+struct StatsReply {
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t submits = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t busy_rejections = 0;
+  std::uint64_t draining_rejections = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t jobs_suspended = 0;
+  std::uint64_t jobs_resumed = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t running = 0;
+  std::uint64_t workers = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_evictions = 0;
+  double qps = 0.0;
+  double worker_utilization = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p90_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
+
+struct ShutdownReply {
+  bool draining = false;  ///< true: drain begun (or already under way)
+};
+
+struct ErrorReply {
+  ProtoError code = ProtoError::kMalformed;
+  std::string message;
+};
+
+/// A decoded reply frame (client side).
+struct Reply {
+  MsgType type = MsgType::kError;
+  SubmitReply submit;
+  StatusReply status;
+  ResultReply result;
+  CancelReply cancel;
+  StatsReply stats;
+  ShutdownReply shutdown;
+  ErrorReply error;
+};
+
+// ------------------------------------------------------------ framing
+
+/// A complete extracted frame payload.
+struct FramePayload {
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t bits = 0;
+
+  BitReader reader() const {
+    return BitReader(bytes.data(), static_cast<std::size_t>(bits));
+  }
+};
+
+/// Wraps a payload in the frame header, ready to write to a socket.
+std::vector<std::uint8_t> frame_bytes(const BitWriter& payload);
+
+/// Incremental deframer for one connection.  feed() hostile bytes
+/// freely: header validation throws ProtocolError (bad magic / version /
+/// oversized length) before any payload allocation; incomplete frames
+/// just wait.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t max_payload_bytes = kMaxFramePayloadBytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Next complete frame, or nullopt when more bytes are needed.
+  std::optional<FramePayload> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::uint32_t max_payload_bytes_;
+  std::vector<std::uint8_t> buffer_;
+};
+
+// --------------------------------------------------- encode / decode
+
+BitWriter encode_request(const Request& request);
+BitWriter encode_reply(const Reply& reply);
+
+/// Decodes a request payload.  Throws ProtocolError (kMalformed /
+/// kUnknownType) on anything that does not decode cleanly — including
+/// trailing bits after the last field, which a well-formed encoder never
+/// produces.
+Request decode_request(const FramePayload& payload);
+
+/// Client-side counterpart of decode_request.
+Reply decode_reply(const FramePayload& payload);
+
+/// The servable result body (see ResultBlock).  decode throws
+/// ProtocolError on malformed input.
+BitWriter encode_result_block(const ResultBlock& block);
+ResultBlock decode_result_block(BitReader& r);
+
+// Convenience constructors for one-field requests/replies.
+Request make_submit(const SubmitRequest& submit);
+Request make_job_request(MsgType type, std::uint64_t job_id);
+Request make_plain(MsgType type);  ///< kStats / kShutdown
+
+}  // namespace congestbc::service

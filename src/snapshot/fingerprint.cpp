@@ -1,0 +1,66 @@
+#include "snapshot/fingerprint.hpp"
+
+#include <bit>
+
+#include "snapshot/snapshot.hpp"
+
+namespace congestbc {
+
+std::uint64_t graph_fingerprint(const Graph& g) {
+  std::uint64_t h = fnv1a(nullptr, 0);
+  h = fnv1a_u64(g.num_nodes(), h);
+  h = fnv1a_u64(g.num_edges(), h);
+  for (const Edge& e : g.edges()) {
+    h = fnv1a_u64(e.u, h);
+    h = fnv1a_u64(e.v, h);
+  }
+  return h;
+}
+
+std::uint64_t fault_fingerprint(const FaultPlan* plan) {
+  if (plan == nullptr || plan->empty()) {
+    return 0;
+  }
+  std::uint64_t h = fnv1a(nullptr, 0);
+  h = fnv1a_u64(plan->seed, h);
+  h = fnv1a_u64(std::bit_cast<std::uint64_t>(plan->drop_probability), h);
+  h = fnv1a_u64(std::bit_cast<std::uint64_t>(plan->duplicate_probability), h);
+  h = fnv1a_u64(std::bit_cast<std::uint64_t>(plan->delay_probability), h);
+  h = fnv1a_u64(plan->link_faults.size(), h);
+  for (const LinkFault& f : plan->link_faults) {
+    h = fnv1a_u64(f.edge.u, h);
+    h = fnv1a_u64(f.edge.v, h);
+    h = fnv1a_u64(f.window.first_round, h);
+    h = fnv1a_u64(f.window.last_round, h);
+  }
+  h = fnv1a_u64(plan->node_faults.size(), h);
+  for (const NodeFault& f : plan->node_faults) {
+    h = fnv1a_u64(f.node, h);
+    h = fnv1a_u64(f.window.first_round, h);
+    h = fnv1a_u64(f.window.last_round, h);
+  }
+  return h;
+}
+
+FingerprintBuilder& FingerprintBuilder::mix(std::uint64_t value) {
+  hash_ = fnv1a_u64(value, hash_);
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::mix_bool(bool value) {
+  hash_ = fnv1a_u64(value ? 1 : 0, hash_);
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::mix_double(double value) {
+  hash_ = fnv1a_u64(std::bit_cast<std::uint64_t>(value), hash_);
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::mix_bytes(const void* data,
+                                                  std::size_t size) {
+  hash_ = fnv1a(static_cast<const std::uint8_t*>(data), size, hash_);
+  return *this;
+}
+
+}  // namespace congestbc

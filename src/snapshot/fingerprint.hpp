@@ -1,0 +1,60 @@
+// Stable fingerprints of run inputs — the identity keys shared by the
+// checkpoint/resume path and the serving layer's result cache.
+//
+// A fingerprint is an FNV-1a hash over a canonical byte walk of the
+// object (snapshot/snapshot.hpp owns the hash primitives).  Two uses
+// depend on the *same* functions hashing the *same* bytes:
+//
+//   * resume safety: Network::load_snapshot refuses a snapshot whose
+//     recorded graph/fault-plan fingerprints differ from the network it
+//     is loaded into (congest/network.cpp);
+//   * result caching: the service layer (src/service) keys cached BC
+//     results by run_fingerprint(), which folds graph_fingerprint() and
+//     fault_fingerprint() into the options hash — so "safe to resume"
+//     and "safe to serve from cache" are provably the same byte
+//     comparison (tests/fingerprint_test.cpp pins this).
+//
+// Fingerprints are NOT cryptographic: they guard against operator error
+// (wrong file, wrong flags), not against an adversary manufacturing
+// collisions.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/fault.hpp"
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// Fingerprint of a graph's canonical form (node count, edge count, then
+/// the deduplicated sorted edge list).  Two Graphs built from permuted
+/// copies of the same edge list fingerprint identically; any topology
+/// difference — one edge, one node — changes it.
+std::uint64_t graph_fingerprint(const Graph& g);
+
+/// Fingerprint of a fault plan.  The injector is stateless — every
+/// decision is a pure hash of (seed, round, from, to) — so the plan's
+/// parameters ARE the complete RNG cursor: matching fingerprints
+/// guarantee a resumed run draws the same fault for every future
+/// message.  nullptr or an empty plan fingerprints as 0.
+std::uint64_t fault_fingerprint(const FaultPlan* plan);
+
+/// Incremental FNV-1a mixer for composite fingerprints (an options
+/// struct, a graph + options pair).  Field order is part of the format:
+/// reordering mixes changes every downstream fingerprint, so writers
+/// must only ever append.
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder& mix(std::uint64_t value);
+  FingerprintBuilder& mix_bool(bool value);
+  /// IEEE-754 bit pattern, so -0.0 != 0.0 and NaN payloads count.
+  FingerprintBuilder& mix_double(double value);
+  FingerprintBuilder& mix_bytes(const void* data, std::size_t size);
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;  // FNV-1a offset basis
+};
+
+}  // namespace congestbc

@@ -1,0 +1,154 @@
+// Fingerprint subsystem tests (src/snapshot/fingerprint.hpp +
+// algo options_fingerprint / run_fingerprint).
+//
+// The contract: the resume path and the service result cache key on the
+// SAME bytes.  A fingerprint must be (a) stable across processes and
+// representations of the same input, (b) sensitive to every
+// result-determining field, and (c) insensitive to every
+// execution-strategy knob the engine guarantees bit-identical results
+// for — threads, engine choice, tracing, checkpoint plumbing.
+#include <cstdint>
+#include <vector>
+
+#include "algo/bc_pipeline.hpp"
+#include "congest/fault.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "gtest/gtest.h"
+#include "snapshot/fingerprint.hpp"
+
+namespace congestbc {
+namespace {
+
+Graph triangle_plus_tail() {
+  return Graph(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+}
+
+TEST(GraphFingerprint, StableAcrossEdgeOrderAndDuplicates) {
+  const Graph a(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const Graph b(4, {{2, 3}, {0, 2}, {1, 2}, {0, 1}});       // permuted
+  const Graph c(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {1, 0}});  // duplicate
+  EXPECT_EQ(graph_fingerprint(a), graph_fingerprint(b));
+  EXPECT_EQ(graph_fingerprint(a), graph_fingerprint(c));
+}
+
+TEST(GraphFingerprint, SensitiveToTopology) {
+  const Graph base = triangle_plus_tail();
+  const Graph extra_edge(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {1, 3}});
+  const Graph extra_node(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_NE(graph_fingerprint(base), graph_fingerprint(extra_edge));
+  EXPECT_NE(graph_fingerprint(base), graph_fingerprint(extra_node));
+}
+
+TEST(FaultFingerprint, EmptyPlanIsZeroLikeNull) {
+  const FaultPlan empty;
+  EXPECT_EQ(fault_fingerprint(nullptr), 0u);
+  EXPECT_EQ(fault_fingerprint(&empty), 0u);
+}
+
+TEST(FaultFingerprint, SensitiveToEveryParameter) {
+  const FaultPlan base = FaultPlan::parse("drop=0.1,seed=7");
+  EXPECT_NE(fault_fingerprint(&base), 0u);
+  const FaultPlan other_seed = FaultPlan::parse("drop=0.1,seed=8");
+  const FaultPlan other_rate = FaultPlan::parse("drop=0.2,seed=7");
+  const FaultPlan with_crash = FaultPlan::parse("drop=0.1,seed=7,crash=1:5-9");
+  EXPECT_NE(fault_fingerprint(&base), fault_fingerprint(&other_seed));
+  EXPECT_NE(fault_fingerprint(&base), fault_fingerprint(&other_rate));
+  EXPECT_NE(fault_fingerprint(&base), fault_fingerprint(&with_crash));
+}
+
+TEST(FingerprintBuilder, OrderAndTypeSensitive) {
+  const auto ab =
+      FingerprintBuilder().mix(1).mix(2).value();
+  const auto ba =
+      FingerprintBuilder().mix(2).mix(1).value();
+  EXPECT_NE(ab, ba);
+  // -0.0 and 0.0 have different bit patterns and must hash differently.
+  EXPECT_NE(FingerprintBuilder().mix_double(0.0).value(),
+            FingerprintBuilder().mix_double(-0.0).value());
+  const std::uint8_t bytes[] = {1, 2, 3};
+  EXPECT_EQ(FingerprintBuilder().mix_bytes(bytes, 3).value(),
+            FingerprintBuilder().mix_bytes(bytes, 3).value());
+}
+
+TEST(OptionsFingerprint, ExplicitDefaultEqualsImplicitDefault) {
+  const Graph g = gen::cycle(16);
+  const DistributedBcOptions implicit;
+  DistributedBcOptions explicit_defaults;
+  // Spell out values options_fingerprint resolves from the graph size.
+  explicit_defaults.format = SoftFloatFormat::for_graph(g.num_nodes());
+  explicit_defaults.sources = std::vector<bool>(g.num_nodes(), true);
+  explicit_defaults.targets = std::vector<bool>{};  // empty = every target
+  EXPECT_EQ(options_fingerprint(implicit, g.num_nodes()),
+            options_fingerprint(explicit_defaults, g.num_nodes()));
+}
+
+TEST(OptionsFingerprint, ExecutionKnobsAreExcluded) {
+  const Graph g = gen::cycle(16);
+  const DistributedBcOptions base;
+  // Every knob the engine guarantees bit-identical results across must
+  // NOT enter the fingerprint — that is what lets the service cache
+  // serve a threads=4 submit from a threads=1 execution.
+  DistributedBcOptions threads = base;
+  threads.threads = 4;
+  DistributedBcOptions legacy = base;
+  legacy.legacy_engine = true;
+  DistributedBcOptions stall = base;
+  stall.stall_window = 12345;
+  DistributedBcOptions checkpointed = base;
+  checkpointed.checkpoint_every = 10;
+  checkpointed.checkpoint_dir = "/tmp/somewhere";
+  checkpointed.halt_at_round = 99;
+  const auto fp = options_fingerprint(base, g.num_nodes());
+  EXPECT_EQ(fp, options_fingerprint(threads, g.num_nodes()));
+  EXPECT_EQ(fp, options_fingerprint(legacy, g.num_nodes()));
+  EXPECT_EQ(fp, options_fingerprint(stall, g.num_nodes()));
+  EXPECT_EQ(fp, options_fingerprint(checkpointed, g.num_nodes()));
+}
+
+TEST(OptionsFingerprint, ResultDeterminingFieldsAreIncluded) {
+  const Graph g = gen::cycle(16);
+  const DistributedBcOptions base;
+  const auto fp = options_fingerprint(base, g.num_nodes());
+
+  DistributedBcOptions halve = base;
+  halve.halve = false;
+  DistributedBcOptions reliable = base;
+  reliable.reliable_transport = true;
+  DistributedBcOptions rounds = base;
+  rounds.max_rounds = 1234;
+  DistributedBcOptions faulty = base;
+  faulty.faults = FaultPlan::parse("drop=0.05,seed=3");
+  DistributedBcOptions sampled = base;
+  {
+    std::vector<bool> mask(g.num_nodes(), true);
+    mask[3] = false;
+    sampled.sources = mask;
+  }
+  DistributedBcOptions format = base;
+  {
+    auto fmt = SoftFloatFormat::for_graph(g.num_nodes());
+    fmt.mantissa_bits += 4;
+    format.format = fmt;
+  }
+  EXPECT_NE(fp, options_fingerprint(halve, g.num_nodes()));
+  EXPECT_NE(fp, options_fingerprint(reliable, g.num_nodes()));
+  EXPECT_NE(fp, options_fingerprint(rounds, g.num_nodes()));
+  EXPECT_NE(fp, options_fingerprint(faulty, g.num_nodes()));
+  EXPECT_NE(fp, options_fingerprint(sampled, g.num_nodes()));
+  EXPECT_NE(fp, options_fingerprint(format, g.num_nodes()));
+}
+
+TEST(RunFingerprint, CombinesGraphAndOptions) {
+  const Graph a = gen::cycle(16);
+  const Graph b = gen::path(16);
+  const DistributedBcOptions base;
+  DistributedBcOptions other = base;
+  other.halve = false;
+  EXPECT_EQ(run_fingerprint(a, base), run_fingerprint(a, base));
+  EXPECT_NE(run_fingerprint(a, base), run_fingerprint(b, base));
+  EXPECT_NE(run_fingerprint(a, base), run_fingerprint(a, other));
+}
+
+}  // namespace
+}  // namespace congestbc

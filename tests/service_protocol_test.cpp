@@ -1,0 +1,312 @@
+// Wire-protocol tests for the serving daemon (src/service/protocol.hpp).
+//
+// Two halves: (1) round-trip fidelity — every request/reply type and the
+// result block survive encode → frame → deframe → decode bit-exactly;
+// (2) the robustness contract — truncated, oversized, bit-flipped, or
+// outright garbage byte streams always produce a typed ProtocolError (or
+// a clean "need more bytes"), never a crash, hang, unbounded allocation,
+// or out-of-bounds read.  The fuzz loops here are what the sanitizer
+// stages of scripts/check_sanitized.sh lean on.
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gtest/gtest.h"
+#include "service/protocol.hpp"
+
+namespace congestbc::service {
+namespace {
+
+std::vector<std::uint8_t> frame_of(const Request& request) {
+  return frame_bytes(encode_request(request));
+}
+
+/// Feeds a byte stream and drains every decodable frame, classifying the
+/// outcome: decoded requests, a typed protocol error, or "needs more".
+struct DrainResult {
+  std::vector<Request> requests;
+  std::optional<ProtoError> error;
+};
+
+DrainResult drain(const std::vector<std::uint8_t>& bytes,
+                  std::size_t chunk = SIZE_MAX) {
+  DrainResult result;
+  FrameDecoder decoder;
+  std::size_t offset = 0;
+  try {
+    while (offset < bytes.size()) {
+      const std::size_t take = std::min(chunk, bytes.size() - offset);
+      decoder.feed(bytes.data() + offset, take);
+      offset += take;
+      while (auto frame = decoder.next()) {
+        result.requests.push_back(decode_request(*frame));
+      }
+    }
+  } catch (const ProtocolError& e) {
+    result.error = e.code();
+  }
+  return result;
+}
+
+SubmitRequest sample_submit() {
+  SubmitRequest submit;
+  submit.source = GraphSource::kInline;
+  submit.graph = "# toy\n3 2\n0 1\n1 2\n";
+  submit.halve = false;
+  submit.reliable = true;
+  submit.faults = "drop=0.1,seed=7";
+  submit.max_rounds = 123456789;
+  submit.threads = 4;
+  submit.legacy_engine = true;
+  return submit;
+}
+
+TEST(ProtocolRoundTrip, SubmitRequest) {
+  const Request original = make_submit(sample_submit());
+  const DrainResult result = drain(frame_of(original));
+  ASSERT_FALSE(result.error.has_value());
+  ASSERT_EQ(result.requests.size(), 1u);
+  const SubmitRequest& decoded = result.requests[0].submit;
+  EXPECT_EQ(decoded.source, original.submit.source);
+  EXPECT_EQ(decoded.graph, original.submit.graph);
+  EXPECT_EQ(decoded.halve, original.submit.halve);
+  EXPECT_EQ(decoded.reliable, original.submit.reliable);
+  EXPECT_EQ(decoded.faults, original.submit.faults);
+  EXPECT_EQ(decoded.max_rounds, original.submit.max_rounds);
+  EXPECT_EQ(decoded.threads, original.submit.threads);
+  EXPECT_EQ(decoded.legacy_engine, original.submit.legacy_engine);
+}
+
+TEST(ProtocolRoundTrip, JobAndPlainRequests) {
+  for (const MsgType type :
+       {MsgType::kStatus, MsgType::kResult, MsgType::kCancel}) {
+    const Request original = make_job_request(type, 0xdeadbeefcafe1234ull);
+    const DrainResult result = drain(frame_of(original));
+    ASSERT_FALSE(result.error.has_value());
+    ASSERT_EQ(result.requests.size(), 1u);
+    EXPECT_EQ(result.requests[0].type, type);
+    EXPECT_EQ(result.requests[0].job.job_id, 0xdeadbeefcafe1234ull);
+  }
+  for (const MsgType type : {MsgType::kStats, MsgType::kShutdown}) {
+    const DrainResult result = drain(frame_of(make_plain(type)));
+    ASSERT_FALSE(result.error.has_value());
+    ASSERT_EQ(result.requests.size(), 1u);
+    EXPECT_EQ(result.requests[0].type, type);
+  }
+}
+
+TEST(ProtocolRoundTrip, EveryReplyType) {
+  Reply reply;
+  reply.type = MsgType::kSubmitReply;
+  reply.submit = {SubmitDisposition::kCoalesced, 42, 0x1234, "shared"};
+  FrameDecoder decoder;
+  const auto bytes = frame_bytes(encode_reply(reply));
+  decoder.feed(bytes.data(), bytes.size());
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  const Reply decoded = decode_reply(*frame);
+  EXPECT_EQ(decoded.type, MsgType::kSubmitReply);
+  EXPECT_EQ(decoded.submit.disposition, SubmitDisposition::kCoalesced);
+  EXPECT_EQ(decoded.submit.job_id, 42u);
+  EXPECT_EQ(decoded.submit.fingerprint, 0x1234u);
+  EXPECT_EQ(decoded.submit.detail, "shared");
+
+  Reply stats;
+  stats.type = MsgType::kStatsReply;
+  stats.stats.submits = 7;
+  stats.stats.qps = 3.25;
+  stats.stats.latency_p99_ms = 17.5;
+  const auto stats_bytes = frame_bytes(encode_reply(stats));
+  decoder.feed(stats_bytes.data(), stats_bytes.size());
+  const auto stats_frame = decoder.next();
+  ASSERT_TRUE(stats_frame.has_value());
+  const Reply stats_decoded = decode_reply(*stats_frame);
+  EXPECT_EQ(stats_decoded.stats.submits, 7u);
+  EXPECT_EQ(stats_decoded.stats.qps, 3.25);
+  EXPECT_EQ(stats_decoded.stats.latency_p99_ms, 17.5);
+
+  Reply error;
+  error.type = MsgType::kError;
+  error.error = {ProtoError::kOversized, "too big"};
+  const auto error_bytes = frame_bytes(encode_reply(error));
+  decoder.feed(error_bytes.data(), error_bytes.size());
+  const auto error_frame = decoder.next();
+  ASSERT_TRUE(error_frame.has_value());
+  const Reply error_decoded = decode_reply(*error_frame);
+  EXPECT_EQ(error_decoded.error.code, ProtoError::kOversized);
+  EXPECT_EQ(error_decoded.error.message, "too big");
+}
+
+TEST(ProtocolRoundTrip, ResultBlockBitExact) {
+  ResultBlock block;
+  block.run_status = 2;
+  block.detail = "stalled at round 99";
+  block.rounds = 99;
+  block.diameter = 5;
+  block.total_bits = (1ull << 40) + 17;
+  block.total_physical_messages = 123456;
+  block.betweenness = {0.0, -0.0, 1.5, 231.0714285,
+                       std::numeric_limits<double>::denorm_min()};
+  block.closeness = {0.25, 0.5, 0.75, 1.0, 0.125};
+  block.graph_centrality = {0.2, 0.4, 0.6, 0.8, 1.0};
+  block.stress = {0.0L, 123456789.000000001L, 1.0L, 2.0L, 3.0L};
+  block.eccentricities = {1, 2, 3, 4, 5};
+  const BitWriter encoded = encode_result_block(block);
+  BitReader reader(encoded.data(), encoded.bit_size());
+  const ResultBlock decoded = decode_result_block(reader);
+  EXPECT_EQ(decoded.run_status, block.run_status);
+  EXPECT_EQ(decoded.detail, block.detail);
+  EXPECT_EQ(decoded.rounds, block.rounds);
+  EXPECT_EQ(decoded.diameter, block.diameter);
+  EXPECT_EQ(decoded.total_bits, block.total_bits);
+  ASSERT_EQ(decoded.betweenness.size(), block.betweenness.size());
+  for (std::size_t i = 0; i < block.betweenness.size(); ++i) {
+    // Bit-pattern comparison: -0.0 vs 0.0 and denormals must survive.
+    std::uint64_t want = 0;
+    std::uint64_t got = 0;
+    std::memcpy(&want, &block.betweenness[i], sizeof want);
+    std::memcpy(&got, &decoded.betweenness[i], sizeof got);
+    EXPECT_EQ(got, want) << "betweenness[" << i << "]";
+  }
+  EXPECT_EQ(decoded.stress, block.stress);
+  EXPECT_EQ(decoded.eccentricities, block.eccentricities);
+}
+
+TEST(Framing, ByteAtATimeAndBackToBack) {
+  const Request a = make_job_request(MsgType::kStatus, 7);
+  const Request b = make_plain(MsgType::kStats);
+  std::vector<std::uint8_t> stream = frame_of(a);
+  const std::vector<std::uint8_t> second = frame_of(b);
+  stream.insert(stream.end(), second.begin(), second.end());
+  const DrainResult result = drain(stream, 1);  // one byte per feed
+  ASSERT_FALSE(result.error.has_value());
+  ASSERT_EQ(result.requests.size(), 2u);
+  EXPECT_EQ(result.requests[0].type, MsgType::kStatus);
+  EXPECT_EQ(result.requests[1].type, MsgType::kStats);
+}
+
+TEST(Framing, TruncatedFrameJustWaits) {
+  const std::vector<std::uint8_t> full = frame_of(make_submit(sample_submit()));
+  for (const std::size_t cut : {std::size_t{1}, std::size_t{4}, std::size_t{9},
+                                full.size() - 1}) {
+    FrameDecoder decoder;
+    decoder.feed(full.data(), cut);
+    EXPECT_EQ(decoder.next(), std::nullopt) << "cut at " << cut;
+    // The remaining bytes complete the frame.
+    decoder.feed(full.data() + cut, full.size() - cut);
+    EXPECT_TRUE(decoder.next().has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(Framing, BadMagicBadVersionOversized) {
+  std::vector<std::uint8_t> frame = frame_of(make_plain(MsgType::kStats));
+  {
+    auto bad = frame;
+    bad[0] = 'X';
+    const DrainResult result = drain(bad);
+    ASSERT_TRUE(result.error.has_value());
+    EXPECT_EQ(*result.error, ProtoError::kBadMagic);
+  }
+  {
+    auto bad = frame;
+    bad[4] = 0xFF;  // version LE low byte
+    const DrainResult result = drain(bad);
+    ASSERT_TRUE(result.error.has_value());
+    EXPECT_EQ(*result.error, ProtoError::kBadVersion);
+  }
+  {
+    auto bad = frame;
+    // Length field = bits; claim ~2^31 bits >> 64 MiB cap.  The decoder
+    // must reject from the header alone, before allocating anything.
+    bad[6] = 0xFF;
+    bad[7] = 0xFF;
+    bad[8] = 0xFF;
+    bad[9] = 0x7F;
+    const DrainResult result = drain(bad);
+    ASSERT_TRUE(result.error.has_value());
+    EXPECT_EQ(*result.error, ProtoError::kOversized);
+  }
+}
+
+TEST(Framing, GarbagePayloadIsMalformedOrUnknown) {
+  // A syntactically valid frame whose payload is noise.
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitWriter payload;
+    const unsigned bits = 1 + static_cast<unsigned>(rng.next_below(256));
+    for (unsigned i = 0; i < bits; ++i) {
+      payload.write_bool(rng.next_below(2) == 1);
+    }
+    const DrainResult result = drain(frame_bytes(payload));
+    if (result.error.has_value()) {
+      EXPECT_TRUE(*result.error == ProtoError::kMalformed ||
+                  *result.error == ProtoError::kUnknownType)
+          << "trial " << trial;
+    } else {
+      // Astronomically unlikely but legal: the noise decoded cleanly.
+      EXPECT_EQ(result.requests.size(), 1u);
+    }
+  }
+}
+
+TEST(Framing, RandomByteStreamNeverCrashes) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> noise(1 + rng.next_below(512));
+    for (auto& byte : noise) {
+      byte = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    // Any outcome except a crash/hang is acceptable; errors must be typed.
+    const DrainResult result = drain(noise, 1 + rng.next_below(16));
+    (void)result;
+  }
+}
+
+TEST(Framing, BitFlippedValidFramesNeverCrash) {
+  const std::vector<std::uint8_t> frame = frame_of(make_submit(sample_submit()));
+  Rng rng(1234);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto mutated = frame;
+    const std::size_t byte = rng.next_below(mutated.size());
+    mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    const DrainResult result = drain(mutated);
+    if (!result.error.has_value()) {
+      // Flip landed somewhere harmless (e.g. inside the graph string).
+      EXPECT_LE(result.requests.size(), 1u);
+    }
+  }
+}
+
+TEST(Framing, TrailingBitsAfterValidPayloadAreMalformed) {
+  BitWriter payload = encode_request(make_plain(MsgType::kStats));
+  payload.write(0x2A, 7);  // junk a well-formed encoder never emits
+  const DrainResult result = drain(frame_bytes(payload));
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(*result.error, ProtoError::kMalformed);
+}
+
+TEST(Framing, HostileElementCountRejectedBeforeAllocation) {
+  // Hand-craft a result reply claiming a huge block length with almost no
+  // bytes behind it: get_count/get_bits must refuse, not resize.
+  BitWriter payload;
+  payload.write_varuint(static_cast<std::uint64_t>(MsgType::kResultReply));
+  payload.write_bool(true);                     // ready
+  payload.write_varuint(2);                     // state kDone
+  payload.write_bool(false);                    // from_cache
+  payload.write(0, 64);                         // fingerprint
+  payload.write_varuint(0);                     // detail length
+  payload.write_varuint((1ull << 33));          // block bit length: hostile
+  FrameDecoder decoder;
+  const auto bytes = frame_bytes(payload);
+  decoder.feed(bytes.data(), bytes.size());
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_THROW(decode_reply(*frame), ProtocolError);
+}
+
+}  // namespace
+}  // namespace congestbc::service

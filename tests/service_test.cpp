@@ -1,0 +1,590 @@
+// End-to-end tests of the BC serving daemon (src/service/daemon.hpp),
+// driven through real TCP sockets via the blocking Client.
+//
+// What is pinned here, per the service contract:
+//   * a SUBMIT computes the same bits a direct run_bc_with_watchdog call
+//     produces — the daemon adds serving, not numerics;
+//   * a cache hit serves the byte-identical encoded block the original
+//     execution produced, and execution hints (threads, engine) share
+//     cache entries because results are bit-identical across them;
+//   * identical concurrent submits coalesce into ONE execution with N
+//     correct replies;
+//   * admission control: queue-full -> kBusy, draining -> kDraining,
+//     semantic garbage -> kRejected, over-budget jobs fail cleanly;
+//   * hostile bytes on the socket get a typed ERROR frame and the daemon
+//     keeps serving everyone else;
+//   * a drain suspends in-flight work into the spool and a restarted
+//     daemon resumes it to a bit-identical result — in-process via
+//     request_drain() and at process level via real SIGTERM.
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "gtest/gtest.h"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/protocol.hpp"
+
+namespace congestbc::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("congestbc_service_test_" + tag + "_" +
+               std::to_string(static_cast<unsigned long>(::getpid())))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  const fs::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+/// An in-process daemon on an ephemeral loopback port, drained on exit.
+class DaemonHarness {
+ public:
+  explicit DaemonHarness(DaemonConfig config) : daemon_(std::move(config)) {
+    daemon_.start();
+    daemon_.serve_async();
+  }
+  ~DaemonHarness() { stop(); }
+
+  void stop() {
+    if (!stopped_) {
+      daemon_.request_drain();
+      daemon_.wait();
+      stopped_ = true;
+    }
+  }
+
+  Daemon& daemon() { return daemon_; }
+
+  void connect(Client& client) {
+    client.connect("127.0.0.1", daemon_.port());
+  }
+
+ private:
+  Daemon daemon_;
+  bool stopped_ = false;
+};
+
+std::string data_file(const std::string& name) {
+  std::ifstream in(std::string(CONGESTBC_DATA_DIR) + "/" + name,
+                   std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing data file " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+SubmitRequest inline_submit(const std::string& text) {
+  SubmitRequest submit;
+  submit.source = GraphSource::kInline;
+  submit.graph = text;
+  return submit;
+}
+
+ResultBlock decode_block(const ResultReply& reply) {
+  BitReader reader(reply.block_bytes.data(),
+                   static_cast<std::size_t>(reply.block_bits));
+  return decode_result_block(reader);
+}
+
+void expect_bit_equal(const std::vector<double>& got,
+                      const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    std::uint64_t got_bits = 0;
+    std::uint64_t want_bits = 0;
+    std::memcpy(&got_bits, &got[i], sizeof got_bits);
+    std::memcpy(&want_bits, &want[i], sizeof want_bits);
+    EXPECT_EQ(got_bits, want_bits) << what << "[" << i << "]";
+  }
+}
+
+// Long doubles carry padding bytes on x86-64, so memcmp would compare
+// garbage; value equality is exact for them (the codec is lossless).
+void expect_bit_equal(const std::vector<long double>& got,
+                      const std::vector<long double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << what << "[" << i << "]";
+  }
+}
+
+/// The block a served result must match, computed by a direct local run.
+void expect_matches_local_run(const ResultReply& reply, const Graph& graph,
+                              const DistributedBcOptions& options) {
+  ASSERT_TRUE(reply.ready);
+  const ResultBlock block = decode_block(reply);
+  const RunOutcome fresh = run_bc_with_watchdog(graph, options);
+  ASSERT_EQ(fresh.status, RunStatus::kComplete) << fresh.detail;
+  EXPECT_EQ(block.run_status, static_cast<std::uint8_t>(RunStatus::kComplete));
+  EXPECT_EQ(block.rounds, fresh.result.rounds);
+  EXPECT_EQ(block.diameter, fresh.result.diameter);
+  EXPECT_EQ(block.total_bits, fresh.result.metrics.total_bits);
+  expect_bit_equal(block.betweenness, fresh.result.betweenness, "betweenness");
+  expect_bit_equal(block.closeness, fresh.result.closeness, "closeness");
+  expect_bit_equal(block.graph_centrality, fresh.result.graph_centrality,
+                   "graph_centrality");
+  expect_bit_equal(block.stress, fresh.result.stress, "stress");
+  EXPECT_EQ(block.eccentricities, fresh.result.eccentricities);
+}
+
+TEST(ServiceDaemon, SubmitComputesAndMatchesLocalRunBitExactly) {
+  DaemonHarness harness(DaemonConfig{});
+  Client client;
+  harness.connect(client);
+
+  const std::string karate = data_file("karate.txt");
+  const SubmitReply admitted = client.submit(inline_submit(karate));
+  ASSERT_EQ(admitted.disposition, SubmitDisposition::kQueued) << admitted.detail;
+  ASSERT_NE(admitted.job_id, 0u);
+  ASSERT_NE(admitted.fingerprint, 0u);
+
+  const ResultReply reply = client.wait_result(admitted.job_id);
+  EXPECT_FALSE(reply.from_cache);
+  EXPECT_EQ(reply.fingerprint, admitted.fingerprint);
+  expect_matches_local_run(reply, read_edge_list_text(karate),
+                           DistributedBcOptions{});
+
+  const StatusReply status = client.status(admitted.job_id);
+  EXPECT_EQ(status.state, JobState::kDone);
+}
+
+TEST(ServiceDaemon, CacheHitIsBitIdenticalAcrossEnginesAndThreads) {
+  DaemonHarness harness(DaemonConfig{});
+  Client client;
+  harness.connect(client);
+
+  for (const char* name : {"karate.txt", "lesmis.txt"}) {
+    const std::string text = data_file(name);
+    const Graph graph = read_edge_list_text(text);
+
+    // One fresh execution (daemon default: threads=1, current engine).
+    const SubmitReply first = client.submit(inline_submit(text));
+    ASSERT_EQ(first.disposition, SubmitDisposition::kQueued) << first.detail;
+    const ResultReply fresh = client.wait_result(first.job_id);
+    ASSERT_TRUE(fresh.ready);
+
+    // Every (engine, threads) variant maps to the same fingerprint and is
+    // served the byte-identical cached block.
+    for (const bool legacy : {false, true}) {
+      for (const std::uint32_t threads : {1u, 4u}) {
+        SubmitRequest variant = inline_submit(text);
+        variant.legacy_engine = legacy;
+        variant.threads = threads;
+        const SubmitReply hit = client.submit(variant);
+        EXPECT_EQ(hit.disposition, SubmitDisposition::kCacheHit)
+            << name << " legacy=" << legacy << " threads=" << threads;
+        EXPECT_EQ(hit.fingerprint, first.fingerprint);
+        const ResultReply cached = client.wait_result(hit.job_id);
+        ASSERT_TRUE(cached.ready);
+        EXPECT_TRUE(cached.from_cache);
+        EXPECT_EQ(cached.block_bits, fresh.block_bits);
+        EXPECT_EQ(cached.block_bytes, fresh.block_bytes)
+            << name << ": cached bytes differ from the fresh execution";
+
+        // And the cached bytes match what that exact configuration would
+        // have computed locally — the claim behind sharing the entry.
+        DistributedBcOptions options;
+        options.legacy_engine = legacy;
+        options.threads = threads;
+        expect_matches_local_run(cached, graph, options);
+      }
+    }
+  }
+
+  const StatsReply stats = harness.daemon().stats();
+  EXPECT_EQ(stats.jobs_completed, 2u);  // one execution per graph
+  EXPECT_EQ(stats.cache_hits, 8u);      // 2 graphs x 2 engines x 2 thread counts
+}
+
+TEST(ServiceDaemon, ConcurrentIdenticalSubmitsCoalesceIntoOneExecution) {
+  DaemonHarness harness(DaemonConfig{});
+  const std::string text = write_edge_list_text(gen::cycle(600));
+
+  constexpr int kClients = 6;
+  std::vector<std::vector<std::uint8_t>> blocks(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client;
+      harness.connect(client);
+      const SubmitReply reply = client.submit(inline_submit(text));
+      ASSERT_NE(reply.disposition, SubmitDisposition::kRejected) << reply.detail;
+      const ResultReply result = client.wait_result(reply.job_id);
+      ASSERT_TRUE(result.ready);
+      blocks[static_cast<std::size_t>(i)] = result.block_bytes;
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  for (int i = 1; i < kClients; ++i) {
+    EXPECT_EQ(blocks[static_cast<std::size_t>(i)], blocks[0])
+        << "client " << i << " saw different bytes";
+  }
+  // Exactly one execution; every other submit shared it, either while it
+  // was in flight (coalesced) or after it finished (cache hit) — the
+  // split depends on timing, the sum does not.
+  const StatsReply stats = harness.daemon().stats();
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_EQ(stats.coalesced + stats.cache_hits, kClients - 1u);
+}
+
+TEST(ServiceDaemon, QueueLimitZeroAnswersBusy) {
+  DaemonConfig config;
+  config.queue_limit = 0;  // every fresh submit finds the queue full
+  DaemonHarness harness(config);
+  Client client;
+  harness.connect(client);
+
+  const SubmitReply reply =
+      client.submit(inline_submit(data_file("karate.txt")));
+  EXPECT_EQ(reply.disposition, SubmitDisposition::kBusy);
+  EXPECT_EQ(reply.job_id, 0u);
+  EXPECT_EQ(harness.daemon().stats().busy_rejections, 1u);
+}
+
+TEST(ServiceDaemon, DrainingAnswersDraining) {
+  DaemonHarness harness(DaemonConfig{});
+  Client client;
+  harness.connect(client);
+
+  // Something slow in flight so the drain stays pending while we probe.
+  const SubmitReply slow =
+      client.submit(inline_submit(write_edge_list_text(gen::cycle(600))));
+  ASSERT_EQ(slow.disposition, SubmitDisposition::kQueued);
+  const ShutdownReply shutdown = client.shutdown();
+  EXPECT_TRUE(shutdown.draining);
+
+  // The running job halts at its next round boundary, so the drain can
+  // complete (closing our connection) before this probe lands — both a
+  // kDraining reply and a dropped connection honor the contract.
+  try {
+    const SubmitReply refused =
+        client.submit(inline_submit(data_file("karate.txt")));
+    EXPECT_EQ(refused.disposition, SubmitDisposition::kDraining);
+    EXPECT_GE(harness.daemon().stats().draining_rejections, 1u);
+  } catch (const std::exception&) {
+    harness.stop();
+    EXPECT_TRUE(harness.daemon().draining());
+  }
+}
+
+TEST(ServiceDaemon, SemanticGarbageIsRejectedWithReason) {
+  DaemonConfig config;
+  config.graph_root = CONGESTBC_DATA_DIR;
+  DaemonHarness harness(config);
+  Client client;
+  harness.connect(client);
+
+  const auto rejected = [&](const SubmitRequest& submit) {
+    const SubmitReply reply = client.submit(submit);
+    EXPECT_EQ(reply.disposition, SubmitDisposition::kRejected);
+    EXPECT_EQ(reply.job_id, 0u);
+    return reply.detail;
+  };
+
+  EXPECT_NE(rejected(inline_submit("4 2\n0 1\n2 3\n")).find("not connected"),
+            std::string::npos);
+  EXPECT_NE(rejected(inline_submit("this is not a graph")).find("bad graph"),
+            std::string::npos);
+  EXPECT_NE(rejected(inline_submit("0 0\n")).find("graph"), std::string::npos);
+  SubmitRequest bad_faults = inline_submit(data_file("karate.txt"));
+  bad_faults.faults = "drop=banana";
+  EXPECT_NE(rejected(bad_faults).find("fault"), std::string::npos);
+
+  SubmitRequest escape;
+  escape.source = GraphSource::kPath;
+  escape.graph = "../ISSUE.md";
+  EXPECT_NE(rejected(escape).find("graph-root"), std::string::npos);
+
+  // A path submit that stays inside the root is served.
+  SubmitRequest by_path;
+  by_path.source = GraphSource::kPath;
+  by_path.graph = "karate.txt";
+  const SubmitReply ok = client.submit(by_path);
+  EXPECT_EQ(ok.disposition, SubmitDisposition::kQueued) << ok.detail;
+  EXPECT_TRUE(client.wait_result(ok.job_id).ready);
+}
+
+TEST(ServiceDaemon, PathSubmitsDisabledWithoutGraphRoot) {
+  DaemonHarness harness(DaemonConfig{});
+  Client client;
+  harness.connect(client);
+  SubmitRequest by_path;
+  by_path.source = GraphSource::kPath;
+  by_path.graph = "karate.txt";
+  const SubmitReply reply = client.submit(by_path);
+  EXPECT_EQ(reply.disposition, SubmitDisposition::kRejected);
+  EXPECT_NE(reply.detail.find("graph-root"), std::string::npos);
+}
+
+TEST(ServiceDaemon, CancelSemantics) {
+  DaemonConfig config;
+  config.workers = 1;  // so a second submit is reliably still queued
+  DaemonHarness harness(config);
+  Client client;
+  harness.connect(client);
+
+  EXPECT_EQ(client.cancel(12345).outcome, CancelOutcome::kNotFound);
+
+  const SubmitReply slow =
+      client.submit(inline_submit(write_edge_list_text(gen::cycle(600))));
+  ASSERT_EQ(slow.disposition, SubmitDisposition::kQueued);
+  const SubmitReply queued =
+      client.submit(inline_submit(data_file("karate.txt")));
+  ASSERT_EQ(queued.disposition, SubmitDisposition::kQueued);
+
+  EXPECT_EQ(client.cancel(queued.job_id).outcome, CancelOutcome::kCancelled);
+  const ResultReply cancelled = client.result(queued.job_id);
+  EXPECT_FALSE(cancelled.ready);
+  EXPECT_EQ(cancelled.state, JobState::kCancelled);
+
+  const ResultReply done = client.wait_result(slow.job_id);
+  ASSERT_TRUE(done.ready);
+  EXPECT_EQ(client.cancel(slow.job_id).outcome, CancelOutcome::kTooLate);
+  EXPECT_EQ(harness.daemon().stats().jobs_cancelled, 1u);
+}
+
+TEST(ServiceDaemon, TimeBudgetHaltsAndFailsTheJob) {
+  DaemonConfig config;
+  config.job_time_budget_ms = 150;  // cycle(1000) needs seconds
+  DaemonHarness harness(config);
+  Client client;
+  harness.connect(client);
+
+  const SubmitReply reply =
+      client.submit(inline_submit(write_edge_list_text(gen::cycle(1000))));
+  ASSERT_EQ(reply.disposition, SubmitDisposition::kQueued);
+  const ResultReply result = client.wait_result(reply.job_id);
+  // Failed jobs still serve their partial harvest, but are never "done".
+  ASSERT_TRUE(result.ready);
+  const ResultBlock block = decode_block(result);
+  EXPECT_NE(block.run_status, static_cast<std::uint8_t>(RunStatus::kComplete));
+  EXPECT_EQ(client.status(reply.job_id).state, JobState::kFailed);
+  EXPECT_EQ(harness.daemon().stats().jobs_failed, 1u);
+
+  // And a failed run is never cached: resubmitting tries again.
+  const SubmitReply retry =
+      client.submit(inline_submit(write_edge_list_text(gen::cycle(1000))));
+  EXPECT_NE(retry.disposition, SubmitDisposition::kCacheHit);
+}
+
+// Hostile bytes over a raw socket: the daemon answers a typed ERROR frame,
+// closes that connection, and keeps serving everyone else.
+TEST(ServiceDaemon, GarbageBytesGetTypedErrorAndDaemonSurvives) {
+  DaemonHarness harness(DaemonConfig{});
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(harness.daemon().port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(fd, garbage, sizeof(garbage) - 1, 0), 0);
+
+  // Read until the daemon closes the connection; the bytes it sent first
+  // must decode as an ERROR reply.
+  std::vector<std::uint8_t> received;
+  std::uint8_t chunk[256];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;
+    }
+    received.insert(received.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  FrameDecoder decoder;
+  decoder.feed(received.data(), received.size());
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value()) << "no ERROR frame before close";
+  const Reply reply = decode_reply(*frame);
+  ASSERT_EQ(reply.type, MsgType::kError);
+  EXPECT_EQ(reply.error.code, ProtoError::kBadMagic);
+  EXPECT_GE(harness.daemon().stats().protocol_errors, 1u);
+
+  // The daemon is still healthy for well-behaved clients.
+  Client client;
+  harness.connect(client);
+  const SubmitReply ok = client.submit(inline_submit(data_file("karate.txt")));
+  ASSERT_EQ(ok.disposition, SubmitDisposition::kQueued) << ok.detail;
+  EXPECT_TRUE(client.wait_result(ok.job_id).ready);
+}
+
+void wait_until_running(Client& client, std::uint64_t job_id) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (client.status(job_id).state == JobState::kRunning) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "job " << job_id << " never started running";
+}
+
+// The drain/resume contract, in-process: a running job is suspended into
+// the spool at drain and a restarted daemon resumes it from its
+// checkpoint to the same bits an uninterrupted run produces.
+TEST(ServiceDaemon, DrainSuspendsAndRestartedDaemonResumesBitIdentically) {
+  TempDir spool("drain_resume");
+  const Graph graph = gen::cycle(1000);
+  const std::string text = write_edge_list_text(graph);
+
+  DaemonConfig config;
+  config.spool_dir = spool.str();
+  std::uint64_t fingerprint = 0;
+  {
+    DaemonHarness first(config);
+    Client client;
+    first.connect(client);
+    const SubmitReply reply = client.submit(inline_submit(text));
+    ASSERT_EQ(reply.disposition, SubmitDisposition::kQueued) << reply.detail;
+    fingerprint = reply.fingerprint;
+    wait_until_running(client, reply.job_id);
+    client.close();
+    first.stop();  // drain: suspend at the next round boundary + checkpoint
+    EXPECT_EQ(first.daemon().stats().jobs_suspended, 1u);
+  }
+
+  // The suspension checkpoint is on disk under the job's fingerprint.
+  EXPECT_TRUE(
+      fs::exists(spool.path() / "ckpt" /
+                 [&] {
+                   char hex[17];
+                   std::snprintf(hex, sizeof hex, "%016llx",
+                                 static_cast<unsigned long long>(fingerprint));
+                   return std::string(hex);
+                 }()));
+
+  DaemonHarness second(config);
+  EXPECT_EQ(second.daemon().stats().jobs_resumed, 1u);
+  Client client;
+  second.connect(client);
+  // The identical submit attaches to the resumed execution (or to its
+  // result, if the resume already finished).
+  const SubmitReply attach = client.submit(inline_submit(text));
+  ASSERT_TRUE(attach.disposition == SubmitDisposition::kCoalesced ||
+              attach.disposition == SubmitDisposition::kCacheHit)
+      << to_string(attach.disposition) << " " << attach.detail;
+  EXPECT_EQ(attach.fingerprint, fingerprint);
+  const ResultReply resumed = client.wait_result(attach.job_id);
+  expect_matches_local_run(resumed, graph, DistributedBcOptions{});
+}
+
+#ifdef CONGESTBCD_PATH
+struct SpawnedDaemon {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+/// fork/execs the real congestbcd binary and parses "LISTENING <port>".
+SpawnedDaemon spawn_daemon(const std::string& spool) {
+  int out_pipe[2];
+  if (::pipe(out_pipe) != 0) {
+    return {};
+  }
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::execl(CONGESTBCD_PATH, "congestbcd", "--port", "0", "--workers", "1",
+            "--spool", spool.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  ::close(out_pipe[1]);
+  SpawnedDaemon daemon;
+  daemon.pid = pid;
+  FILE* out = ::fdopen(out_pipe[0], "r");
+  char line[256];
+  while (out != nullptr && std::fgets(line, sizeof line, out) != nullptr) {
+    unsigned port = 0;
+    if (std::sscanf(line, "LISTENING %u", &port) == 1) {
+      daemon.port = static_cast<std::uint16_t>(port);
+      break;
+    }
+  }
+  // Leak `out` deliberately: closing it would close the child's stdout
+  // reader while the daemon still writes its drain message.
+  return daemon;
+}
+
+// The acceptance drill with a real process and a real SIGTERM: kill the
+// daemon mid-job, restart it on the same spool, get the same bits.
+TEST(ServiceDaemon, SigtermDrainThenRestartResumesAcrossProcesses) {
+  TempDir spool("sigterm_resume");
+  const Graph graph = gen::cycle(1000);
+  const std::string text = write_edge_list_text(graph);
+
+  const SpawnedDaemon first = spawn_daemon(spool.str());
+  ASSERT_GT(first.pid, 0);
+  ASSERT_NE(first.port, 0) << "daemon never announced LISTENING";
+  {
+    Client client;
+    client.connect("127.0.0.1", first.port);
+    const SubmitReply reply = client.submit(inline_submit(text));
+    ASSERT_EQ(reply.disposition, SubmitDisposition::kQueued) << reply.detail;
+    wait_until_running(client, reply.job_id);
+  }
+  ASSERT_EQ(::kill(first.pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(first.pid, &status, 0), first.pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "daemon did not drain cleanly on SIGTERM";
+
+  const SpawnedDaemon second = spawn_daemon(spool.str());
+  ASSERT_GT(second.pid, 0);
+  ASSERT_NE(second.port, 0);
+  Client client;
+  client.connect("127.0.0.1", second.port);
+  EXPECT_GE(client.stats().jobs_resumed, 1u);
+  const SubmitReply attach = client.submit(inline_submit(text));
+  ASSERT_TRUE(attach.disposition == SubmitDisposition::kCoalesced ||
+              attach.disposition == SubmitDisposition::kCacheHit)
+      << to_string(attach.disposition) << " " << attach.detail;
+  const ResultReply resumed = client.wait_result(attach.job_id);
+  expect_matches_local_run(resumed, graph, DistributedBcOptions{});
+
+  EXPECT_TRUE(client.shutdown().draining);
+  ASSERT_EQ(::waitpid(second.pid, &status, 0), second.pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+#endif  // CONGESTBCD_PATH
+
+}  // namespace
+}  // namespace congestbc::service

@@ -51,8 +51,16 @@
 //                    there, ready for --resume
 //   --dump-graph FILE     write the loaded/generated graph as a canonical
 //                    edge list and exit (dataset generation)
+//
+// Subcommands:
+//   congestbc_cli fingerprint GRAPH.txt [--no-halve --faults SPEC
+//                    --reliable --mantissa L]
+//                    print the graph / options / run fingerprints — the key
+//                    the serving daemon's result cache, coalescing map, and
+//                    job spool all share (src/snapshot/fingerprint.hpp)
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <numeric>
@@ -69,6 +77,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
+#include "snapshot/fingerprint.hpp"
 
 namespace {
 
@@ -77,6 +86,7 @@ using namespace congestbc;
 constexpr const char* kUsage =
     "usage: congestbc_cli GRAPH.txt [options]\n"
     "       congestbc_cli --generate FAMILY --n N [options]\n"
+    "       congestbc_cli fingerprint GRAPH.txt [options]\n"
     "options: --top K | --all | --samples K | --no-check | --no-halve |\n"
     "         --mantissa L | --metrics | --stats | --apsp | --trace |\n"
     "         --json | --seed S | --faults SPEC | --reliable |\n"
@@ -123,6 +133,47 @@ int run(int argc, char** argv) {
                                  "resume", "halt-at-round", "dump-graph"});
   if (args.has("help")) {
     std::cout << kUsage;
+    return 0;
+  }
+  if (!args.positional().empty() && args.positional()[0] == "fingerprint") {
+    // The exact key bytes the serving daemon hashes at admission: result
+    // cache hits, in-flight coalescing, and spool-resume validation all
+    // key on run_fingerprint, so this subcommand lets an operator predict
+    // (or debug) whether two submits will share one execution.
+    Graph graph = [&] {
+      if (args.get("generate")) {
+        return load_graph(args);
+      }
+      CBC_EXPECTS(args.positional().size() == 2,
+                  "usage: congestbc_cli fingerprint GRAPH.txt [options]");
+      std::ifstream file(args.positional()[1]);
+      CBC_EXPECTS(file.good(), "cannot open " + args.positional()[1]);
+      return read_edge_list(file);
+    }();
+    DistributedBcOptions bc_options;
+    bc_options.halve = !args.has("no-halve");
+    if (const auto spec = args.get("faults")) {
+      bc_options.faults = FaultPlan::parse(*spec);
+    }
+    bc_options.reliable_transport = args.has("reliable");
+    if (const auto mantissa = args.get("mantissa")) {
+      auto fmt = SoftFloatFormat::for_graph(graph.num_nodes());
+      fmt.mantissa_bits = static_cast<unsigned>(std::stoul(*mantissa));
+      bc_options.format = fmt;
+      bc_options.budget_bits = 0;
+    }
+    const auto hex = [](std::uint64_t fp) {
+      char buf[19];
+      std::snprintf(buf, sizeof buf, "0x%016llx",
+                    static_cast<unsigned long long>(fp));
+      return std::string(buf);
+    };
+    std::cout << "graph fingerprint:   " << hex(graph_fingerprint(graph))
+              << "\n"
+              << "options fingerprint: "
+              << hex(options_fingerprint(bc_options, graph.num_nodes())) << "\n"
+              << "run fingerprint:     "
+              << hex(run_fingerprint(graph, bc_options)) << "\n";
     return 0;
   }
   if (args.has("weighted")) {

@@ -1,0 +1,406 @@
+// congestbc_client — command-line client and load generator for the BC
+// serving daemon (congestbcd).
+//
+// Usage:
+//   congestbc_client [--host A --port P] COMMAND ...
+//
+// Commands:
+//   submit GRAPH.txt   submit a job (inline graph); prints the admission
+//                      disposition, job id, and fingerprint
+//       --path NAME    submit by server-side path (daemon --graph-root)
+//       --no-halve --faults SPEC --reliable --max-rounds R --threads T
+//       --legacy       result-shaping / execution options
+//       --wait         poll until the result is ready and print it
+//   status JOB         query a job's lifecycle state
+//   result JOB         fetch (and print) a finished job's result
+//   cancel JOB         cancel a queued or running job
+//   stats              print the daemon's serving statistics
+//   shutdown           begin a graceful drain
+//   loadgen            spawn a daemon, fire concurrent mixed submits at
+//                      it, drain it, and verify a clean exit — the smoke
+//                      e2e wired into ctest (label: service)
+//       --daemon BIN   path to the congestbcd binary (required)
+//       --graphs A,B   comma-separated edge-list files to rotate through
+//       --submits N    total submits (default 50)
+//       --concurrency C  client threads (default 8)
+//       --spool DIR    hand the spawned daemon a spool directory
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/args.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+
+namespace {
+
+using namespace congestbc;
+using namespace congestbc::service;
+
+constexpr const char* kUsage =
+    "usage: congestbc_client [--host A --port P] COMMAND ...\n"
+    "commands: submit GRAPH.txt [--path NAME --no-halve --faults SPEC\n"
+    "          --reliable --max-rounds R --threads T --legacy --wait]\n"
+    "          status JOB | result JOB | cancel JOB | stats | shutdown\n"
+    "          loadgen --daemon BIN --graphs A,B [--submits N\n"
+    "          --concurrency C --spool DIR]\n";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string hex16(std::uint64_t value) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+SubmitRequest build_submit(const Args& args, const std::string& operand) {
+  SubmitRequest request;
+  if (args.has("path")) {
+    request.source = GraphSource::kPath;
+    request.graph = *args.get("path");
+  } else {
+    request.source = GraphSource::kInline;
+    request.graph = read_file(operand);
+  }
+  request.halve = !args.has("no-halve");
+  request.reliable = args.has("reliable");
+  request.faults = args.get("faults").value_or("");
+  request.max_rounds =
+      static_cast<std::uint64_t>(args.get_int_or("max-rounds", 0));
+  request.threads = static_cast<std::uint32_t>(args.get_int_or("threads", 0));
+  request.legacy_engine = args.has("legacy");
+  return request;
+}
+
+void print_result(const ResultReply& reply) {
+  std::cout << "state: " << to_string(reply.state)
+            << (reply.from_cache ? " (from cache)" : "") << "\n"
+            << "fingerprint: " << hex16(reply.fingerprint) << "\n";
+  if (!reply.detail.empty()) {
+    std::cout << "detail: " << reply.detail << "\n";
+  }
+  if (!reply.ready) {
+    return;
+  }
+  BitReader reader(reply.block_bytes.data(),
+                   static_cast<std::size_t>(reply.block_bits));
+  const ResultBlock block = decode_result_block(reader);
+  std::cout << "run status: " << static_cast<unsigned>(block.run_status)
+            << ", rounds: " << block.rounds << ", diameter: " << block.diameter
+            << ", total bits: " << block.total_bits << "\n";
+  const std::size_t n = block.betweenness.size();
+  std::cout << "betweenness (" << n << " nodes):";
+  for (std::size_t v = 0; v < n && v < 8; ++v) {
+    std::cout << " " << block.betweenness[v];
+  }
+  if (n > 8) {
+    std::cout << " ...";
+  }
+  std::cout << "\n";
+}
+
+void print_stats(const StatsReply& s) {
+  std::cout << "uptime_ms=" << s.uptime_ms << " submits=" << s.submits
+            << " cache_hits=" << s.cache_hits
+            << " cache_misses=" << s.cache_misses
+            << " coalesced=" << s.coalesced << " busy=" << s.busy_rejections
+            << " completed=" << s.jobs_completed << " failed=" << s.jobs_failed
+            << " cancelled=" << s.jobs_cancelled
+            << " suspended=" << s.jobs_suspended
+            << " resumed=" << s.jobs_resumed << " queue=" << s.queue_depth
+            << " running=" << s.running << " workers=" << s.workers
+            << " cache_entries=" << s.cache_entries << " qps=" << s.qps
+            << " utilization=" << s.worker_utilization
+            << " p50_ms=" << s.latency_p50_ms << " p99_ms=" << s.latency_p99_ms
+            << "\n";
+}
+
+// ------------------------------------------------------------ loadgen
+
+struct SpawnedDaemon {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+/// fork/execs congestbcd with an ephemeral port and parses the announced
+/// "LISTENING <port>" line from its stdout.
+SpawnedDaemon spawn_daemon(const std::string& binary,
+                           const std::string& spool) {
+  int out_pipe[2];
+  if (::pipe(out_pipe) != 0) {
+    throw std::runtime_error("pipe() failed");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error("fork() failed");
+  }
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    std::vector<std::string> argv_strings = {binary, "--port", "0",
+                                             "--workers", "2"};
+    if (!spool.empty()) {
+      argv_strings.push_back("--spool");
+      argv_strings.push_back(spool);
+    }
+    std::vector<char*> argv;
+    argv.reserve(argv_strings.size() + 1);
+    for (auto& s : argv_strings) {
+      argv.push_back(s.data());
+    }
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  ::close(out_pipe[1]);
+  // Read the child's stdout line by line until the port announcement.
+  std::string line;
+  SpawnedDaemon daemon;
+  daemon.pid = pid;
+  char ch;
+  while (::read(out_pipe[0], &ch, 1) == 1) {
+    if (ch != '\n') {
+      line.push_back(ch);
+      continue;
+    }
+    if (line.rfind("LISTENING ", 0) == 0) {
+      daemon.port = static_cast<std::uint16_t>(std::stoi(line.substr(10)));
+      break;
+    }
+    line.clear();
+  }
+  ::close(out_pipe[0]);
+  if (daemon.port == 0) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    throw std::runtime_error("daemon never announced LISTENING");
+  }
+  return daemon;
+}
+
+int run_loadgen(const Args& args) {
+  const auto binary = args.get("daemon");
+  if (!binary) {
+    throw std::runtime_error("loadgen requires --daemon BIN");
+  }
+  std::vector<std::string> graph_texts;
+  {
+    std::stringstream list(args.get("graphs").value_or(""));
+    std::string path;
+    while (std::getline(list, path, ',')) {
+      if (!path.empty()) {
+        graph_texts.push_back(read_file(path));
+      }
+    }
+  }
+  if (graph_texts.empty()) {
+    throw std::runtime_error("loadgen requires --graphs A[,B...]");
+  }
+  const int submits = static_cast<int>(args.get_int_or("submits", 50));
+  const int concurrency = static_cast<int>(args.get_int_or("concurrency", 8));
+
+  const SpawnedDaemon daemon =
+      spawn_daemon(*binary, args.get("spool").value_or(""));
+  std::cout << "loadgen: daemon pid " << daemon.pid << " on port "
+            << daemon.port << "\n";
+
+  // Mixed traffic: rotate graphs, vary execution hints (threads / engine)
+  // so identical result-keys flow in through different execution knobs —
+  // exactly what coalescing and the cache must unify.
+  std::atomic<int> next{0};
+  std::atomic<int> ok{0};
+  std::atomic<int> failed{0};
+  std::mutex log_mutex;
+  auto worker = [&] {
+    try {
+      Client client;
+      client.connect("127.0.0.1", daemon.port);
+      while (true) {
+        const int i = next.fetch_add(1);
+        if (i >= submits) {
+          return;
+        }
+        SubmitRequest request;
+        request.source = GraphSource::kInline;
+        request.graph = graph_texts[static_cast<std::size_t>(i) %
+                                    graph_texts.size()];
+        request.halve = true;
+        request.threads = (i % 3 == 0) ? 2 : 1;
+        request.legacy_engine = (i % 5 == 0);
+        const SubmitReply submitted = client.submit(request);
+        if (submitted.disposition == SubmitDisposition::kBusy) {
+          // Admission control said try later: count as served backpressure.
+          ++ok;
+          continue;
+        }
+        if (submitted.job_id == 0) {
+          ++failed;
+          continue;
+        }
+        if (i % 7 == 0) {
+          (void)client.status(submitted.job_id);  // mix queries into the load
+        }
+        const ResultReply result = client.wait_result(submitted.job_id);
+        if (result.ready &&
+            result.state == JobState::kDone) {
+          ++ok;
+        } else {
+          ++failed;
+          std::lock_guard<std::mutex> lock(log_mutex);
+          std::cerr << "loadgen: job " << submitted.job_id << " ended "
+                    << to_string(result.state) << ": " << result.detail
+                    << "\n";
+        }
+      }
+    } catch (const std::exception& e) {
+      ++failed;
+      std::lock_guard<std::mutex> lock(log_mutex);
+      std::cerr << "loadgen worker: " << e.what() << "\n";
+    }
+  };
+  std::vector<std::thread> workers;
+  for (int c = 0; c < concurrency; ++c) {
+    workers.emplace_back(worker);
+  }
+  for (auto& thread : workers) {
+    thread.join();
+  }
+
+  int exit_code = 0;
+  {
+    Client client;
+    client.connect("127.0.0.1", daemon.port);
+    const StatsReply stats = client.stats();
+    print_stats(stats);
+    if (stats.coalesced + stats.cache_hits == 0 && submits > 4) {
+      std::cerr << "loadgen: expected identical submits to coalesce or hit "
+                   "the cache\n";
+      exit_code = 1;
+    }
+    const ShutdownReply drain = client.shutdown();
+    if (!drain.draining) {
+      std::cerr << "loadgen: SHUTDOWN did not begin a drain\n";
+      exit_code = 1;
+    }
+  }
+  int status = 0;
+  ::waitpid(daemon.pid, &status, 0);
+  const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  std::cout << "loadgen: " << ok.load() << "/" << submits << " served, "
+            << failed.load() << " failed, daemon exit "
+            << (clean ? "clean" : "UNCLEAN") << "\n";
+  if (!clean || failed.load() != 0 || ok.load() != submits) {
+    exit_code = 1;
+  }
+  return exit_code;
+}
+
+int run(int argc, char** argv) {
+  const Args args = Args::parse(
+      argc, argv,
+      {"host", "port", "path", "faults", "max-rounds", "threads", "daemon",
+       "graphs", "submits", "concurrency", "spool"});
+  if (args.has("help") || args.positional().empty()) {
+    std::cout << kUsage;
+    return args.has("help") ? 0 : 1;
+  }
+  const std::string& command = args.positional()[0];
+  if (command == "loadgen") {
+    return run_loadgen(args);
+  }
+
+  Client client;
+  client.connect(args.get("host").value_or("127.0.0.1"),
+                 static_cast<std::uint16_t>(args.get_int_or("port", 0)));
+
+  if (command == "submit") {
+    const bool by_path = args.has("path");
+    if (!by_path && args.positional().size() != 2) {
+      throw std::runtime_error("submit needs GRAPH.txt (or --path NAME)");
+    }
+    const SubmitRequest request = build_submit(
+        args, by_path ? std::string() : args.positional()[1]);
+    const SubmitReply reply = client.submit(request);
+    std::cout << "disposition: " << to_string(reply.disposition)
+              << "\njob: " << reply.job_id
+              << "\nfingerprint: " << hex16(reply.fingerprint) << "\n";
+    if (!reply.detail.empty()) {
+      std::cout << "detail: " << reply.detail << "\n";
+    }
+    if (reply.job_id != 0 && args.has("wait")) {
+      print_result(client.wait_result(reply.job_id));
+    }
+    return reply.job_id != 0 ? 0 : 1;
+  }
+  if (command == "status" || command == "result" || command == "cancel") {
+    if (args.positional().size() != 2) {
+      throw std::runtime_error(command + " needs a JOB id");
+    }
+    const std::uint64_t job_id = std::stoull(args.positional()[1]);
+    if (command == "status") {
+      const StatusReply reply = client.status(job_id);
+      std::cout << "state: " << to_string(reply.state)
+                << "\nfingerprint: " << hex16(reply.fingerprint)
+                << "\nqueue position: " << reply.queue_position << "\n";
+      if (!reply.detail.empty()) {
+        std::cout << "detail: " << reply.detail << "\n";
+      }
+      return 0;
+    }
+    if (command == "result") {
+      const ResultReply reply = client.result(job_id);
+      if (!reply.ready) {
+        std::cout << "not ready (state: " << to_string(reply.state) << ")\n";
+        return 2;
+      }
+      print_result(reply);
+      return 0;
+    }
+    const CancelReply reply = client.cancel(job_id);
+    std::cout << "cancel: " << to_string(reply.outcome) << "\n";
+    return reply.outcome == CancelOutcome::kCancelled ? 0 : 1;
+  }
+  if (command == "stats") {
+    print_stats(client.stats());
+    return 0;
+  }
+  if (command == "shutdown") {
+    const ShutdownReply reply = client.shutdown();
+    std::cout << (reply.draining ? "draining" : "not draining") << "\n";
+    return 0;
+  }
+  throw std::runtime_error("unknown command: " + command);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "congestbc_client: " << e.what() << "\n" << kUsage;
+    return 1;
+  }
+}
