@@ -210,7 +210,11 @@ void Daemon::serve() {
     const std::size_t base = fds.size();
     for (const auto& session : sessions_) {
       short events = 0;
-      if (!session->close_after_flush) {
+      // Backpressure: a session sitting on too much un-flushed reply data
+      // stops being read (and TCP pushes back on the peer) until the
+      // backlog drains.
+      if (!session->close_after_flush &&
+          session->pending_out() <= config_.session_out_limit) {
         events |= POLLIN;
       }
       if (session->out_pos < session->out.size()) {
@@ -242,6 +246,11 @@ void Daemon::serve() {
       const short revents = fds[base + i].revents;
       if (revents & (POLLIN | POLLERR | POLLHUP)) {
         handle_session_input(session);
+      }
+      // Run the dispatch loop every tick, not just on input: frames held
+      // back by output backpressure resume once the backlog drains.
+      if (!session.dead && !session.close_after_flush) {
+        process_session_frames(session);
       }
       if (!session.dead && session.out_pos < session.out.size()) {
         flush_session_output(session);
@@ -311,12 +320,20 @@ void Daemon::handle_session_input(Session& session) {
     session.dead = true;
     return;
   }
+}
 
-  // Deframe + dispatch.  Any protocol violation gets one typed ERROR
-  // frame, then the connection is closed after the flush — a hostile or
-  // corrupted stream cannot be resynchronized safely.
+// Deframe + dispatch.  Any protocol violation gets one typed ERROR
+// frame, then the connection is closed after the flush — a hostile or
+// corrupted stream cannot be resynchronized safely.  The loop pauses
+// while the session's un-flushed output exceeds its backpressure limit;
+// buffered frames stay in the decoder until the backlog drains.
+void Daemon::process_session_frames(Session& session) {
   try {
-    while (auto frame = session.decoder.next()) {
+    while (session.pending_out() <= config_.session_out_limit) {
+      auto frame = session.decoder.next();
+      if (!frame) {
+        break;
+      }
       const Request request = decode_request(*frame);
       append_reply(session, dispatch(request));
     }
@@ -329,6 +346,20 @@ void Daemon::handle_session_input(Session& session) {
     reply.type = MsgType::kError;
     reply.error.code = e.code();
     reply.error.message = e.what();
+    append_reply(session, reply);
+    session.close_after_flush = true;
+  } catch (const std::exception& e) {
+    // Never-crash backstop: anything that escapes the typed path (an
+    // allocation failure on a hostile size, an invariant trip) costs the
+    // offending session its connection, not the daemon its life.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++metrics_.protocol_errors;
+    }
+    Reply reply;
+    reply.type = MsgType::kError;
+    reply.error.code = ProtoError::kBadRequest;
+    reply.error.message = std::string("internal error: ") + e.what();
     append_reply(session, reply);
     session.close_after_flush = true;
   }
@@ -366,21 +397,27 @@ void Daemon::flush_session_output(Session& session) {
 
 void Daemon::poll_tick_housekeeping() {
   const auto now = std::chrono::steady_clock::now();
-  if (config_.job_time_budget_ms != 0) {
+  {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& [id, job] : jobs_) {
-      if (job->state != JobState::kRunning || job->budget_exceeded) {
-        continue;
-      }
-      const auto elapsed =
-          std::chrono::duration_cast<std::chrono::milliseconds>(now - job->started)
-              .count();
-      if (elapsed >= 0 &&
-          static_cast<std::uint64_t>(elapsed) > config_.job_time_budget_ms) {
-        job->budget_exceeded = true;
-        job->halt.store(true, std::memory_order_relaxed);
+    if (config_.job_time_budget_ms != 0) {
+      // Only queued/running jobs live in the coalescing map, so this scan
+      // is bounded by queue_limit + workers, not by the job table.
+      for (auto& [fp, job] : inflight_) {
+        if (job->state != JobState::kRunning || job->budget_exceeded) {
+          continue;
+        }
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                                  job->started)
+                .count();
+        if (elapsed >= 0 &&
+            static_cast<std::uint64_t>(elapsed) > config_.job_time_budget_ms) {
+          job->budget_exceeded = true;
+          job->halt.store(true, std::memory_order_relaxed);
+        }
       }
     }
+    gc_jobs_locked(now);
   }
   if (!config_.metrics_path.empty() && config_.metrics_every_ms != 0) {
     const auto since = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -609,6 +646,7 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
     job->from_cache = true;
     job->submitted = std::chrono::steady_clock::now();
     jobs_.emplace(job->id, job);
+    mark_terminal_locked(job);
     reply.disposition = SubmitDisposition::kCacheHit;
     reply.job_id = job->id;
     return reply;
@@ -636,6 +674,37 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
   reply.disposition = SubmitDisposition::kQueued;
   reply.job_id = job->id;
   return reply;
+}
+
+void Daemon::mark_terminal_locked(const std::shared_ptr<Job>& job) {
+  job->terminal_at = std::chrono::steady_clock::now();
+  terminal_order_.push_back(job->id);
+}
+
+void Daemon::gc_jobs_locked(std::chrono::steady_clock::time_point now) {
+  // terminal_order_ is completion-ordered, so the front is always the
+  // next eviction candidate; one pass never revisits survivors.
+  while (!terminal_order_.empty()) {
+    const auto it = jobs_.find(terminal_order_.front());
+    if (it == jobs_.end()) {
+      terminal_order_.pop_front();
+      continue;
+    }
+    const bool over_cap = terminal_order_.size() > config_.job_retention_limit;
+    bool expired = false;
+    if (config_.job_retention_ms != 0) {
+      const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           now - it->second->terminal_at)
+                           .count();
+      expired = age >= 0 &&
+                static_cast<std::uint64_t>(age) >= config_.job_retention_ms;
+    }
+    if (!over_cap && !expired) {
+      break;
+    }
+    jobs_.erase(it);
+    terminal_order_.pop_front();
+  }
 }
 
 void Daemon::admit_locked(const std::shared_ptr<Job>& job) {
@@ -717,6 +786,7 @@ CancelReply Daemon::handle_cancel(std::uint64_t job_id) {
       }
       inflight_.erase(job->fingerprint);
       ++metrics_.jobs_cancelled;
+      mark_terminal_locked(job);
       if (!config_.spool_dir.empty()) {
         spool_remove_job(*job);
       }
@@ -724,11 +794,13 @@ CancelReply Daemon::handle_cancel(std::uint64_t job_id) {
       break;
     }
     case JobState::kRunning:
-      // Cooperative: the run suspends at the next round boundary and the
-      // completion path discards it.
+      // Cooperative and best-effort: the run usually suspends at its next
+      // round boundary and the completion path discards it — but a run
+      // that finishes before observing the halt still lands kDone.  The
+      // reply says "requested", not "cancelled", for exactly that reason.
       job->cancel_requested = true;
       job->halt.store(true, std::memory_order_relaxed);
-      reply.outcome = CancelOutcome::kCancelled;
+      reply.outcome = CancelOutcome::kRequested;
       break;
     default:
       reply.outcome = CancelOutcome::kTooLate;
@@ -786,6 +858,14 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
   servable->block_bytes = encoded.bytes();
   servable->block_bits = encoded.bit_size();
   servable->run_status = block.run_status;
+  // A block too large for one RESULT frame must fail here, with a typed
+  // detail, rather than trip frame_bytes' invariant on the reply path.
+  const bool block_servable = encoded.bit_size() <= kMaxServableBlockBits;
+  const std::string unservable_detail =
+      "result block (" + std::to_string((encoded.bit_size() + 7) / 8) +
+      " bytes) exceeds the " + std::to_string(kMaxFramePayloadBytes >> 20) +
+      " MiB frame cap; graph too large to serve over protocol v" +
+      std::to_string(kProtocolVersion);
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (running_ > 0) {
@@ -802,6 +882,7 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
       job->state = JobState::kCancelled;
       job->detail = "cancelled while running";
       ++metrics_.jobs_cancelled;
+      mark_terminal_locked(job);
       if (!config_.spool_dir.empty()) {
         spool_remove_job(*job);
       }
@@ -809,9 +890,14 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
       job->state = JobState::kFailed;
       job->detail = "wall-clock budget exceeded (" +
                     std::to_string(config_.job_time_budget_ms) + " ms)";
-      job->result = servable;  // partial harvest, served but never cached
+      if (block_servable) {
+        job->result = servable;  // partial harvest, served but never cached
+      } else {
+        job->detail += "; " + unservable_detail;
+      }
       ++metrics_.jobs_failed;
       metrics_.record_latency_ms(latency_ms);
+      mark_terminal_locked(job);
       if (!config_.spool_dir.empty()) {
         spool_remove_job(*job);
       }
@@ -826,16 +912,25 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
       ++metrics_.jobs_suspended;
     }
   } else if (outcome.status == RunStatus::kComplete) {
-    job->state = JobState::kDone;
-    job->result = servable;
-    cache_.put(job->fingerprint, servable);
-    ++metrics_.jobs_completed;
+    if (block_servable) {
+      job->state = JobState::kDone;
+      job->result = servable;
+      cache_.put(job->fingerprint, servable);
+      ++metrics_.jobs_completed;
+    } else {
+      job->state = JobState::kFailed;
+      job->detail = unservable_detail;
+      ++metrics_.jobs_failed;
+    }
     metrics_.record_latency_ms(latency_ms);
+    mark_terminal_locked(job);
     if (!config_.spool_dir.empty()) {
-      try {
-        persist_cache_entry(job->fingerprint, *servable);
-      } catch (const std::exception&) {
-        // Warm-cache persistence is best-effort.
+      if (job->state == JobState::kDone) {
+        try {
+          persist_cache_entry(job->fingerprint, *servable);
+        } catch (const std::exception&) {
+          // Warm-cache persistence is best-effort.
+        }
       }
       spool_remove_job(*job);
     }
@@ -843,9 +938,14 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
     job->state = JobState::kFailed;
     job->detail = outcome.detail.empty() ? to_string(outcome.status)
                                          : outcome.detail;
-    job->result = servable;  // partial harvest (degraded serving)
+    if (block_servable) {
+      job->result = servable;  // partial harvest (degraded serving)
+    } else {
+      job->detail += "; " + unservable_detail;
+    }
     ++metrics_.jobs_failed;
     metrics_.record_latency_ms(latency_ms);
+    mark_terminal_locked(job);
     if (!config_.spool_dir.empty()) {
       spool_remove_job(*job);
     }

@@ -85,6 +85,18 @@ struct DaemonConfig {
   std::uint64_t metrics_every_ms = 1000;
   /// Frame-size cap handed to each connection's FrameDecoder.
   std::uint32_t max_frame_bytes = kMaxFramePayloadBytes;
+  /// How long a terminal job (done/failed/cancelled) stays addressable by
+  /// STATUS/RESULT before it is garbage-collected and answers kUnknown.
+  /// 0 = no time limit (job_retention_limit still applies).
+  std::uint64_t job_retention_ms = 300'000;
+  /// Hard cap on retained terminal jobs — the oldest are collected first.
+  /// Bounds daemon memory even under a flood of fire-and-forget submits.
+  std::size_t job_retention_limit = 1024;
+  /// Write-side backpressure: once a session has this many un-flushed
+  /// reply bytes, the daemon stops reading and processing its requests
+  /// until the backlog drains.  Worst-case buffered output per session is
+  /// this limit plus one maximal reply frame.
+  std::size_t session_out_limit = 64u << 20;
 };
 
 class Daemon {
@@ -144,6 +156,8 @@ class Daemon {
     std::atomic<bool> halt{false};
     std::chrono::steady_clock::time_point submitted;
     std::chrono::steady_clock::time_point started;
+    /// When the job entered a terminal state (GC eligibility clock).
+    std::chrono::steady_clock::time_point terminal_at;
   };
 
   struct Session {
@@ -156,6 +170,9 @@ class Daemon {
 
     explicit Session(int fd_in, std::uint32_t max_frame_bytes)
         : fd(fd_in), decoder(max_frame_bytes) {}
+
+    /// Reply bytes appended but not yet written to the socket.
+    std::size_t pending_out() const { return out.size() - out_pos; }
   };
 
   // --- request handling (io thread) ---
@@ -176,6 +193,11 @@ class Daemon {
   // --- execution (worker threads) ---
   void execute_job(const std::shared_ptr<Job>& job);
   void admit_locked(const std::shared_ptr<Job>& job);
+  /// Stamps the terminal clock and enrolls the job for retention GC.
+  void mark_terminal_locked(const std::shared_ptr<Job>& job);
+  /// Evicts terminal jobs past the retention TTL or count cap; evicted
+  /// ids answer kUnknown afterwards.
+  void gc_jobs_locked(std::chrono::steady_clock::time_point now);
 
   // --- drain / poll loop internals (io thread) ---
   void begin_drain_locked();
@@ -183,6 +205,7 @@ class Daemon {
   void finish_drain();
   void poll_tick_housekeeping();
   void handle_session_input(Session& session);
+  void process_session_frames(Session& session);
   void flush_session_output(Session& session);
   void accept_clients();
   void append_reply(Session& session, const Reply& reply);
@@ -218,6 +241,8 @@ class Daemon {
   /// Queued-or-running jobs by fingerprint — the coalescing map.
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> inflight_;
   std::deque<std::shared_ptr<Job>> queue_;  ///< admission order
+  /// Terminal job ids oldest-first — the retention GC scan order.
+  std::deque<std::uint64_t> terminal_order_;
   LruResultCache cache_;
   ServiceMetrics metrics_;
   std::uint64_t running_ = 0;

@@ -29,7 +29,9 @@ void put_string(BitWriter& w, const std::string& s) {
 
 std::string get_string(BitReader& r) {
   const std::uint64_t size = r.read_varuint();
-  if (size * 8 > r.remaining()) {
+  // Divide instead of multiplying: `size * 8` wraps for hostile lengths
+  // >= 2^61, which would slip past the check and into the allocation.
+  if (size > r.remaining() / 8) {
     throw ProtocolError(ProtoError::kMalformed,
                         "string length " + std::to_string(size) +
                             " exceeds the remaining payload");
@@ -191,7 +193,7 @@ void encode_cancel_reply_body(BitWriter& w, const CancelReply& m) {
 CancelReply decode_cancel_reply_body(BitReader& r) {
   CancelReply m;
   const std::uint64_t o = r.read_varuint();
-  if (o > static_cast<std::uint64_t>(CancelOutcome::kNotFound)) {
+  if (o > static_cast<std::uint64_t>(CancelOutcome::kRequested)) {
     throw ProtocolError(ProtoError::kMalformed, "unknown cancel outcome");
   }
   m.outcome = static_cast<CancelOutcome>(o);
@@ -340,6 +342,8 @@ const char* to_string(CancelOutcome o) {
       return "too-late";
     case CancelOutcome::kNotFound:
       return "not-found";
+    case CancelOutcome::kRequested:
+      return "requested";
   }
   return "unknown";
 }

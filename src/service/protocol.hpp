@@ -42,6 +42,14 @@ inline constexpr std::uint16_t kProtocolVersion = 1;
 /// inline edge list of a multi-million-edge graph.
 inline constexpr std::uint32_t kMaxFramePayloadBytes = 64u << 20;
 
+/// Largest encoded ResultBlock the daemon will serve.  A RESULT reply
+/// must fit the frame cap together with its envelope fields (type, flags,
+/// fingerprint, detail), so the block cap leaves a kibibyte of slack.
+/// Jobs whose block exceeds it fail with a typed detail at completion
+/// time instead of blowing up frame_bytes on the reply path.
+inline constexpr std::uint64_t kMaxServableBlockBits =
+    (static_cast<std::uint64_t>(kMaxFramePayloadBytes) - 1024) * 8;
+
 /// Why a frame or payload was rejected.
 enum class ProtoError : std::uint8_t {
   kBadMagic = 1,     ///< first four bytes are not "CBCP"
@@ -200,9 +208,13 @@ struct ResultReply {
 };
 
 enum class CancelOutcome : std::uint8_t {
-  kCancelled = 0,  ///< dequeued before it ran, or halted while running
+  kCancelled = 0,  ///< dequeued before it ran — never executed
   kTooLate = 1,    ///< already terminal (done/failed/cancelled)
   kNotFound = 2,
+  kRequested = 3,  ///< halt raised on a running job: best-effort — it
+                   ///< usually lands kCancelled at its next round
+                   ///< boundary, but a run that finishes first still
+                   ///< completes (and is cached) as kDone
 };
 
 const char* to_string(CancelOutcome o);

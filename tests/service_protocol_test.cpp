@@ -289,6 +289,24 @@ TEST(Framing, TrailingBitsAfterValidPayloadAreMalformed) {
   EXPECT_EQ(*result.error, ProtoError::kMalformed);
 }
 
+TEST(Framing, HostileStringLengthOverflowRejected) {
+  // A varuint string length near 2^61 makes a naive `size * 8` bound
+  // check wrap to a tiny number and pass; the decoder must reject it
+  // (by dividing, not multiplying) before the string allocation.
+  const std::uint64_t hostile_lengths[] = {
+      1ull << 61, (1ull << 61) + 1, (1ull << 63) + 5,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t hostile : hostile_lengths) {
+    BitWriter payload;
+    payload.write_varuint(static_cast<std::uint64_t>(MsgType::kSubmit));
+    payload.write_varuint(0);        // source: kInline
+    payload.write_varuint(hostile);  // graph string length
+    const DrainResult result = drain(frame_bytes(payload));
+    ASSERT_TRUE(result.error.has_value()) << "length " << hostile;
+    EXPECT_EQ(*result.error, ProtoError::kMalformed) << "length " << hostile;
+  }
+}
+
 TEST(Framing, HostileElementCountRejectedBeforeAllocation) {
   // Hand-craft a result reply claiming a huge block length with almost no
   // bytes behind it: get_count/get_bits must refuse, not resize.

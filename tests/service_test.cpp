@@ -457,6 +457,108 @@ void wait_until_running(Client& client, std::uint64_t job_id) {
   FAIL() << "job " << job_id << " never started running";
 }
 
+// Cancelling a RUNNING job is best-effort: the reply says kRequested (the
+// halt flag is raised, not yet observed), and the job normally lands
+// kCancelled at its next round boundary.
+TEST(ServiceDaemon, CancelRunningJobRepliesRequestedThenCancels) {
+  DaemonConfig config;
+  config.workers = 1;
+  DaemonHarness harness(config);
+  Client client;
+  harness.connect(client);
+
+  // cycle(800) runs for seconds — plenty of round boundaries to halt at.
+  const SubmitReply slow =
+      client.submit(inline_submit(write_edge_list_text(gen::cycle(800))));
+  ASSERT_EQ(slow.disposition, SubmitDisposition::kQueued) << slow.detail;
+  wait_until_running(client, slow.job_id);
+
+  EXPECT_EQ(client.cancel(slow.job_id).outcome, CancelOutcome::kRequested);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  JobState state = client.status(slow.job_id).state;
+  while (state == JobState::kRunning &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    state = client.status(slow.job_id).state;
+  }
+  EXPECT_EQ(state, JobState::kCancelled);
+  EXPECT_EQ(harness.daemon().stats().jobs_cancelled, 1u);
+}
+
+// Terminal jobs are garbage-collected after the retention TTL: the id
+// answers kUnknown, but the cached result survives independently.
+TEST(ServiceDaemon, TerminalJobsAreGarbageCollectedAfterRetention) {
+  DaemonConfig config;
+  config.job_retention_ms = 50;
+  DaemonHarness harness(config);
+  Client client;
+  harness.connect(client);
+
+  const std::string karate = data_file("karate.txt");
+  const SubmitReply reply = client.submit(inline_submit(karate));
+  ASSERT_EQ(reply.disposition, SubmitDisposition::kQueued) << reply.detail;
+  ASSERT_TRUE(client.wait_result(reply.job_id).ready);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (client.status(reply.job_id).state != JobState::kUnknown &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(client.status(reply.job_id).state, JobState::kUnknown);
+  EXPECT_EQ(client.result(reply.job_id).state, JobState::kUnknown);
+
+  // The result cache is keyed by fingerprint, not job id: still a hit.
+  const SubmitReply again = client.submit(inline_submit(karate));
+  EXPECT_EQ(again.disposition, SubmitDisposition::kCacheHit);
+}
+
+// Write-side backpressure: a client that pipelines a burst of requests
+// without reading still gets every reply, in order — frames the daemon
+// held back while the session's output backlog was over the limit are
+// processed once it drains.
+TEST(ServiceDaemon, PipelinedRequestsSurviveOutputBackpressure) {
+  DaemonConfig config;
+  config.session_out_limit = 64;  // force constant pause/resume
+  DaemonHarness harness(config);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(harness.daemon().port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  constexpr std::uint64_t kRequests = 50;
+  std::vector<std::uint8_t> burst;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    const auto frame =
+        frame_bytes(encode_request(make_job_request(MsgType::kStatus, 1000 + i)));
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_EQ(::send(fd, burst.data(), burst.size(), 0),
+            static_cast<ssize_t>(burst.size()));
+
+  FrameDecoder decoder;
+  std::uint64_t decoded = 0;
+  std::uint8_t chunk[512];
+  while (decoded < kRequests) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0) << "connection closed after " << decoded << " replies";
+    decoder.feed(chunk, static_cast<std::size_t>(n));
+    while (auto frame = decoder.next()) {
+      const Reply reply = decode_reply(*frame);
+      ASSERT_EQ(reply.type, MsgType::kStatusReply);
+      EXPECT_EQ(reply.status.job_id, 1000 + decoded);  // in-order replies
+      EXPECT_EQ(reply.status.state, JobState::kUnknown);
+      ++decoded;
+    }
+  }
+  ::close(fd);
+}
+
 // The drain/resume contract, in-process: a running job is suspended into
 // the spool at drain and a restarted daemon resumes it from its
 // checkpoint to the same bits an uninterrupted run produces.

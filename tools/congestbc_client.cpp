@@ -380,7 +380,10 @@ int run(int argc, char** argv) {
     }
     const CancelReply reply = client.cancel(job_id);
     std::cout << "cancel: " << to_string(reply.outcome) << "\n";
-    return reply.outcome == CancelOutcome::kCancelled ? 0 : 1;
+    return reply.outcome == CancelOutcome::kCancelled ||
+                   reply.outcome == CancelOutcome::kRequested
+               ? 0
+               : 1;
   }
   if (command == "stats") {
     print_stats(client.stats());

@@ -29,6 +29,10 @@
 //   --time-budget MS  wall-clock budget per job; over-budget jobs are
 //                     halted and failed (default 0 = unlimited)
 //   --threads T       default simulator lanes per job (default 1)
+//   --job-retention MS     how long finished/failed/cancelled jobs stay
+//                     addressable by STATUS/RESULT before they answer
+//                     kUnknown (default 300000; 0 = no time limit, a
+//                     count cap still bounds the table)
 //   --metrics-file F  periodic JSON metrics dump (service/metrics.hpp)
 //   --metrics-every MS     dump cadence (default 1000)
 //
@@ -56,7 +60,8 @@ constexpr const char* kUsage =
     "                   --cache N --spool DIR --graph-root DIR\n"
     "                   --checkpoint-every N --checkpoint-keep K\n"
     "                   --max-rounds R --time-budget MS --threads T\n"
-    "                   --metrics-file F --metrics-every MS]\n";
+    "                   --job-retention MS --metrics-file F\n"
+    "                   --metrics-every MS]\n";
 
 int run(int argc, char** argv) {
   using congestbc::Args;
@@ -64,7 +69,8 @@ int run(int argc, char** argv) {
       argc, argv,
       {"host", "port", "workers", "queue-limit", "cache", "spool",
        "graph-root", "checkpoint-every", "checkpoint-keep", "max-rounds",
-       "time-budget", "threads", "metrics-file", "metrics-every"});
+       "time-budget", "threads", "job-retention", "metrics-file",
+       "metrics-every"});
   if (args.has("help")) {
     std::cout << kUsage;
     return 0;
@@ -88,6 +94,8 @@ int run(int argc, char** argv) {
   config.job_time_budget_ms =
       static_cast<std::uint64_t>(args.get_int_or("time-budget", 0));
   config.default_threads = static_cast<unsigned>(args.get_int_or("threads", 1));
+  config.job_retention_ms =
+      static_cast<std::uint64_t>(args.get_int_or("job-retention", 300'000));
   config.metrics_path = args.get("metrics-file").value_or("");
   config.metrics_every_ms =
       static_cast<std::uint64_t>(args.get_int_or("metrics-every", 1000));
