@@ -8,12 +8,15 @@
 #     the snapshot suite (label "snapshot"), whose corruption fuzz feeds
 #     hostile bytes straight into the restore parsers, plus the service
 #     suite (label "service"), whose framing fuzz feeds hostile bytes
-#     into the daemon's wire-protocol decoder.
-#   * TSan (build-tsan): the engine, fault, snapshot, and service suites
-#     — the parallel node-execution phase must be data-race-free for any
-#     lane count (including when resumed mid-run from a snapshot), the
-#     daemon's io-thread/worker-pool scheduler likewise, and TSan is the
-#     proof the determinism tests cannot give.
+#     into the daemon's wire-protocol decoder, plus the observability
+#     suite (label "obs"), whose exporters walk recorder snapshots.
+#   * TSan (build-tsan): the engine, fault, snapshot, service, and obs
+#     suites — the parallel node-execution phase must be data-race-free
+#     for any lane count (including when resumed mid-run from a
+#     snapshot), the daemon's io-thread/worker-pool scheduler likewise,
+#     the flight recorder's lock-free ring is hammered from concurrent
+#     lanes (and the recorder-on/off bit-identity tests run with all
+#     threads), and TSan is the proof the determinism tests cannot give.
 #
 # Usage:
 #   scripts/check_sanitized.sh [BUILD_DIR_PREFIX] [extra ctest args...]
@@ -31,9 +34,9 @@ cmake -S "$repo_root" -B "$prefix-asan" \
   -DCONGESTBC_SANITIZE=address,undefined
 cmake --build "$prefix-asan" -j"$(nproc)" --target fault_test fuzz_test engine_test snapshot_test \
   fingerprint_test service_protocol_test service_cache_test service_test \
-  congestbcd congestbc_client
-(cd "$prefix-asan" && ctest -L 'faults|perf|snapshot|service' --output-on-failure "$@")
-echo "sanitized (asan) fault+engine+snapshot+service suites: OK"
+  obs_test obs_golden_test congestbcd congestbc_client
+(cd "$prefix-asan" && ctest -L 'faults|perf|snapshot|service|obs' --output-on-failure "$@")
+echo "sanitized (asan) fault+engine+snapshot+service+obs suites: OK"
 
 echo "=== stage 2: thread ==="
 cmake -S "$repo_root" -B "$prefix-tsan" \
@@ -41,6 +44,6 @@ cmake -S "$repo_root" -B "$prefix-tsan" \
   -DCONGESTBC_SANITIZE=thread
 cmake --build "$prefix-tsan" -j"$(nproc)" --target engine_test fault_test snapshot_test \
   fingerprint_test service_protocol_test service_cache_test service_test \
-  congestbcd congestbc_client
-(cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot|service' --output-on-failure "$@")
-echo "sanitized (tsan) engine+fault+snapshot+service suites: OK"
+  obs_test obs_golden_test congestbcd congestbc_client
+(cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot|service|obs' --output-on-failure "$@")
+echo "sanitized (tsan) engine+fault+snapshot+service+obs suites: OK"

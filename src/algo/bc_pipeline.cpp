@@ -43,6 +43,7 @@ BcRun::BcRun(const Graph& g, const DistributedBcOptions& options)
   net_config_.threads = options_.threads;
   net_config_.legacy_engine = options_.legacy_engine;
   net_config_.trace = options_.trace;
+  net_config_.recorder = options_.recorder;
   net_config_.faults = options_.faults.empty() ? nullptr : &options_.faults;
   net_config_.stall_window = options_.stall_window;
   if (net_config_.stall_window == 0 && net_config_.faults != nullptr) {
@@ -148,6 +149,52 @@ DistributedBcResult BcRun::harvest() const {
         std::max(result.last_finish_round, out.finish_round);
     if (options_.keep_tables) {
       result.tables[v] = views_[v]->table();
+    }
+  }
+
+  // Phase profile: the logical phase boundaries are pure functions of
+  // the harvested outputs — the first counting wave starts at min_s T_s,
+  // the aggregation waves at the (broadcast, hence global) epoch — so
+  // the profile needs no runtime sampling and inherits the pipeline's
+  // bit-identity across engines and thread counts.
+  {
+    const std::uint64_t total = metrics_.rounds;
+    std::uint64_t counting_begin = total;
+    for (const std::uint64_t t : result.bfs_start_rounds) {
+      if (t > 0 && t < counting_begin) {
+        counting_begin = t;
+      }
+    }
+    const bool has_aggregation = result.aggregation_epoch > 0 &&
+                                 result.aggregation_epoch <= total;
+    const std::uint64_t counting_end =
+        has_aggregation && result.aggregation_epoch > counting_begin
+            ? result.aggregation_epoch
+            : total;
+    const auto make_phase = [this](const char* name, std::uint64_t begin,
+                                   std::uint64_t end) {
+      obs::PhaseStats phase;
+      phase.name = name;
+      phase.begin_round = begin;
+      phase.end_round = end;
+      phase.rounds = end > begin ? end - begin : 0;
+      const std::uint64_t limit =
+          std::min<std::uint64_t>(end, metrics_.per_round.size());
+      for (std::uint64_t r = begin; r < limit; ++r) {
+        const RoundStats& stats =
+            metrics_.per_round[static_cast<std::size_t>(r)];
+        phase.physical_messages += stats.physical_messages;
+        phase.logical_messages += stats.logical_messages;
+        phase.bits += stats.bits;
+      }
+      return phase;
+    };
+    result.phase_profile.push_back(make_phase("tree_build", 0, counting_begin));
+    result.phase_profile.push_back(
+        make_phase("counting", counting_begin, counting_end));
+    if (has_aggregation) {
+      result.phase_profile.push_back(
+          make_phase("aggregation", result.aggregation_epoch, total));
     }
   }
   return result;

@@ -18,6 +18,8 @@
 #include "congest/trace.hpp"
 #include "fpa/soft_float.hpp"
 #include "graph/graph.hpp"
+#include "obs/phase_profile.hpp"
+#include "obs/recorder.hpp"
 
 namespace congestbc {
 
@@ -51,6 +53,11 @@ struct DistributedBcOptions {
   std::vector<Edge> cut_edges;
   /// Optional message-trace observer (congest/trace.hpp).
   TraceSink* trace = nullptr;
+  /// Optional flight recorder (obs/recorder.hpp) fed wall-clock phase
+  /// spans by the simulator.  Pure observation — excluded from
+  /// options_fingerprint() like `trace`, bit-identical results with it
+  /// on or off.  Must outlive the run.
+  obs::FlightRecorder* recorder = nullptr;
   /// Stop after the counting phase (distributed APSP mode; betweenness
   /// and stress come back zero).  Prefer run_distributed_apsp().
   bool counting_only = false;
@@ -122,6 +129,12 @@ struct DistributedBcResult {
   RunMetrics metrics;
   /// Per node: the round its own BFS wave started (T_v; 0 for non-sources).
   std::vector<std::uint64_t> bfs_start_rounds;
+  /// The run's logical phases (tree build + DFS, counting waves,
+  /// aggregation) with their round ranges and per-range traffic sums —
+  /// derived deterministically from the outputs above (DESIGN.md §11),
+  /// so it is bit-identical across engines and thread counts.  Traffic
+  /// sums are zero when per-round recording was off.
+  std::vector<obs::PhaseStats> phase_profile;
   /// Per node: L_v (only when keep_tables).
   std::vector<std::vector<SourceEntry>> tables;
   /// True when the run stopped at halt_at_round: all outputs above are the

@@ -13,6 +13,7 @@
 #include "congest/arena.hpp"
 #include "congest/trace.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/span.hpp"
 #include "snapshot/fingerprint.hpp"
 #include "snapshot/snapshot.hpp"
 #include "snapshot/snapshottable.hpp"
@@ -609,31 +610,35 @@ RunMetrics Network::run_engine(
     // not run (state persists for a crash-restart), it sends nothing, and
     // every message in its mailbox is lost.
     bool consumed_this_round = false;
-    if (injector) {
-      for (NodeId v = 0; v < n; ++v) {
-        const bool up = injector->node_up(v, round);
-        node_up[v] = up ? 1 : 0;
-        if (up) {
-          continue;
-        }
-        metrics_.crashed_node_rounds += 1;
-        metrics_.dropped_messages += mailboxes[v].size();
-        in_flight -= mailboxes[v].size();
-        if (config_.trace != nullptr) {
-          for (const auto& lost : mailboxes[v]) {
-            config_.trace->on_fault(
-                FaultEvent{round, lost.from(), v, FaultKind::kReceiverCrash});
+    {
+      obs::ScopedSpan obs_span(config_.recorder, obs::Phase::kCrashBookkeeping,
+                               round);
+      if (injector) {
+        for (NodeId v = 0; v < n; ++v) {
+          const bool up = injector->node_up(v, round);
+          node_up[v] = up ? 1 : 0;
+          if (up) {
+            continue;
           }
+          metrics_.crashed_node_rounds += 1;
+          metrics_.dropped_messages += mailboxes[v].size();
+          in_flight -= mailboxes[v].size();
+          if (config_.trace != nullptr) {
+            for (const auto& lost : mailboxes[v]) {
+              config_.trace->on_fault(
+                  FaultEvent{round, lost.from(), v, FaultKind::kReceiverCrash});
+            }
+          }
+          mailboxes[v].clear();
         }
-        mailboxes[v].clear();
       }
-    }
-    if (config_.stall_window != 0) {
-      for (NodeId v = 0; v < n; ++v) {
-        if ((!injector || node_up[v] != 0) && !mailboxes[v].empty() &&
-            !last_markers[v].has_value()) {
-          consumed_this_round = true;
-          break;
+      if (config_.stall_window != 0) {
+        for (NodeId v = 0; v < n; ++v) {
+          if ((!injector || node_up[v] != 0) && !mailboxes[v].empty() &&
+              !last_markers[v].has_value()) {
+            consumed_this_round = true;
+            break;
+          }
         }
       }
     }
@@ -643,6 +648,13 @@ RunMetrics Network::run_engine(
     // nodes' contexts and programs; the first exception in partition
     // order is rethrown — the same one a sequential loop would raise.
     const auto execute_nodes = [&](std::size_t lo, std::size_t hi) {
+      // The static partition assigns lane l the range starting at
+      // floor(n*l/lanes); ceil(lo*lanes/n) inverts that, giving the
+      // recorder one trace track per worker lane.
+      const auto lane =
+          static_cast<std::uint32_t>(pool ? (lo * lanes + n - 1) / n : 0);
+      obs::ScopedSpan obs_span(config_.recorder, obs::Phase::kNodeExecute,
+                               round, lane);
       for (std::size_t v = lo; v < hi; ++v) {
         if (injector && node_up[v] == 0) {
           contexts[v].begin_round_empty(round);
@@ -664,17 +676,25 @@ RunMetrics Network::run_engine(
     // Phase 3 (sequential): delayed messages from the previous round
     // become deliverable now, ahead of this round's sends (they are
     // older traffic).
-    for (NodeId v = 0; v < n; ++v) {
-      if (!delayed_pending[v].empty()) {
-        mailboxes[v].swap(delayed_pending[v]);
-        delayed_pending[v].clear();
-        in_flight += mailboxes[v].size();
+    {
+      obs::ScopedSpan obs_span(config_.recorder, obs::Phase::kDelayedRelease,
+                               round);
+      for (NodeId v = 0; v < n; ++v) {
+        if (!delayed_pending[v].empty()) {
+          mailboxes[v].swap(delayed_pending[v]);
+          delayed_pending[v].clear();
+          in_flight += mailboxes[v].size();
+        }
       }
     }
 
     // Phase 4 (sequential merge): bundle slots become physical messages;
     // faults, metrics, cut accounting, and the trace all happen here in
     // node-id order, so the observable stream is independent of `lanes`.
+    // The span runs to the end of the iteration, covering the merge and
+    // the end-of-round watchdog bookkeeping.
+    obs::ScopedSpan obs_merge_span(config_.recorder, obs::Phase::kMerge,
+                                   round);
     PayloadArena& arena = arenas[round & 1];
     arena.reset();
     RoundStats stats;
@@ -887,6 +907,11 @@ RunMetrics Network::run_legacy(
                            delayed_pending, programs)) {
       return metrics_;  // suspended; save_snapshot() has the state
     }
+
+    // The legacy engine is sequential, so one whole-round span is its
+    // flight-recorder granularity.
+    obs::ScopedSpan obs_round_span(config_.recorder, obs::Phase::kRound,
+                                   round);
 
     bool consumed_this_round = false;
     for (NodeId v = 0; v < n; ++v) {

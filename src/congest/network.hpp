@@ -47,6 +47,10 @@
 
 namespace congestbc {
 
+namespace obs {
+class FlightRecorder;  // obs/recorder.hpp
+}
+
 class TraceSink;  // congest/trace.hpp
 
 /// The run exceeded NetworkConfig::max_rounds — a runaway-program guard,
@@ -82,6 +86,13 @@ struct NetworkConfig {
   bool record_per_round = true;
   /// Optional observer of every physical message (and injected fault).
   TraceSink* trace = nullptr;
+  /// Optional flight recorder (obs/recorder.hpp): both engines feed it
+  /// wall-clock spans for every round phase.  Pure observation — the
+  /// recorder never influences execution, so results, metrics, and
+  /// traces are bit-identical with it on or off (tests/obs_test.cpp),
+  /// and like `trace` it is excluded from options fingerprints.  Must
+  /// outlive run().
+  obs::FlightRecorder* recorder = nullptr;
   /// Optional fault schedule; nullptr or an empty plan = the paper's
   /// reliable network.  Must outlive run().
   const FaultPlan* faults = nullptr;

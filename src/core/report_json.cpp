@@ -155,6 +155,19 @@ void write_result_body(JsonWriter& json, const DistributedBcResult& result) {
   json.end_object();
   json.key("max_node_state_bytes")
       .value(static_cast<std::uint64_t>(result.max_node_state_bytes));
+  json.key("phase_profile").begin_array();
+  for (const auto& phase : result.phase_profile) {
+    json.begin_object();
+    json.key("name").value(phase.name);
+    json.key("begin_round").value(phase.begin_round);
+    json.key("end_round").value(phase.end_round);
+    json.key("rounds").value(phase.rounds);
+    json.key("physical_messages").value(phase.physical_messages);
+    json.key("logical_messages").value(phase.logical_messages);
+    json.key("bits").value(phase.bits);
+    json.end_object();
+  }
+  json.end_array();
   // Resume lineage (src/snapshot): whether this result is partial
   // (suspended at halt_at_round), where it resumed from, and the
   // checkpoint files the run left behind.

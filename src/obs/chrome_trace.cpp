@@ -1,0 +1,187 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace congestbc::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out += buf;
+}
+
+/// Microseconds with fixed three decimals — stable formatting so only
+/// the sampled clock, never the renderer, varies between runs.
+void append_us(std::string& out, std::uint64_t nanoseconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64,
+                nanoseconds / 1000, nanoseconds % 1000);
+  out += buf;
+}
+
+class EventList {
+ public:
+  explicit EventList(std::string& out) : out_(out) {}
+
+  /// Starts one event object and returns the accumulator; the caller
+  /// appends `"key":value` pairs and calls close().
+  std::string& open() {
+    if (!first_) {
+      out_ += ",\n";
+    }
+    first_ = false;
+    out_ += "{";
+    return out_;
+  }
+
+  void close() { out_ += "}"; }
+
+ private:
+  std::string& out_;
+  bool first_ = true;
+};
+
+void append_meta(EventList& events, const char* kind, std::uint64_t pid,
+                 std::uint64_t tid, const std::string& name) {
+  std::string& out = events.open();
+  out += "\"name\":\"";
+  out += kind;
+  out += "\",\"ph\":\"M\",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"tid\":";
+  append_u64(out, tid);
+  out += ",\"args\":{\"name\":\"";
+  append_escaped(out, name);
+  out += "\"}";
+  events.close();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const FlightRecorder* recorder,
+                              const std::vector<PhaseStats>& phases,
+                              const std::vector<CounterSeries>& counters,
+                              const std::vector<TraceInstant>& instants,
+                              const ChromeTraceOptions& options) {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"traceEvents\":[\n";
+  EventList events(out);
+
+  append_meta(events, "process_name", 1, 0, "logical rounds");
+  append_meta(events, "thread_name", 1, 0, "phases");
+
+  for (const PhaseStats& phase : phases) {
+    std::string& e = events.open();
+    e += "\"name\":\"";
+    append_escaped(e, phase.name);
+    e += "\",\"ph\":\"X\",\"cat\":\"phase\",\"pid\":1,\"tid\":0,\"ts\":";
+    append_u64(e, phase.begin_round);
+    e += ",\"dur\":";
+    append_u64(e, phase.rounds);
+    e += ",\"args\":{\"rounds\":";
+    append_u64(e, phase.rounds);
+    e += ",\"physical_messages\":";
+    append_u64(e, phase.physical_messages);
+    e += ",\"logical_messages\":";
+    append_u64(e, phase.logical_messages);
+    e += ",\"bits\":";
+    append_u64(e, phase.bits);
+    e += "}";
+    events.close();
+  }
+
+  for (const TraceInstant& instant : instants) {
+    std::string& e = events.open();
+    e += "\"name\":\"";
+    append_escaped(e, instant.name);
+    e += "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":0,\"ts\":";
+    append_u64(e, instant.round);
+    events.close();
+  }
+
+  for (const CounterSeries& series : counters) {
+    std::size_t stride = 1;
+    if (options.max_counter_samples != 0 &&
+        series.values.size() > options.max_counter_samples) {
+      stride = (series.values.size() + options.max_counter_samples - 1) /
+               options.max_counter_samples;
+    }
+    for (std::size_t i = 0; i < series.values.size(); i += stride) {
+      std::string& e = events.open();
+      e += "\"name\":\"";
+      append_escaped(e, series.name);
+      e += "\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":";
+      append_u64(e, series.first_round + i);
+      e += ",\"args\":{\"value\":";
+      append_u64(e, series.values[i]);
+      e += "}";
+      events.close();
+    }
+  }
+
+  if (recorder != nullptr && options.include_recorder_spans) {
+    const std::vector<SpanEvent> spans = recorder->snapshot();
+    std::uint64_t t0 = 0;
+    bool have_t0 = false;
+    std::uint32_t max_lane = 0;
+    for (const SpanEvent& span : spans) {
+      if (!have_t0 || span.start_ns < t0) {
+        t0 = span.start_ns;
+        have_t0 = true;
+      }
+      max_lane = std::max(max_lane, span.lane);
+    }
+    append_meta(events, "process_name", 2, 0, "workers");
+    for (std::uint32_t lane = 0; lane <= max_lane && have_t0; ++lane) {
+      append_meta(events, "thread_name", 2, lane,
+                  "lane " + std::to_string(lane));
+    }
+    for (const SpanEvent& span : spans) {
+      std::string& e = events.open();
+      e += "\"name\":\"";
+      e += phase_name(span.phase);
+      e += "\",\"ph\":\"X\",\"cat\":\"engine\",\"pid\":2,\"tid\":";
+      append_u64(e, span.lane);
+      e += ",\"ts\":";
+      append_us(e, span.start_ns - t0);
+      e += ",\"dur\":";
+      append_us(e, span.duration_ns);
+      e += ",\"args\":{\"round\":";
+      append_u64(e, span.round);
+      e += "}";
+      events.close();
+    }
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace congestbc::obs

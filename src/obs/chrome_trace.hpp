@@ -1,0 +1,55 @@
+// Chrome trace-event JSON exporter (loadable in chrome://tracing and
+// Perfetto).
+//
+// Two groups of tracks come out of one run:
+//   pid 1 "logical rounds" — the deterministic phase timeline in round
+//     units (1 round = 1 µs of trace time) plus "C" counter tracks for
+//     per-round traffic and "i" instants marking counting-wave starts.
+//   pid 2 "workers"        — wall-clock spans from the flight recorder,
+//     one tid per engine lane.
+//
+// The logical tracks are a pure function of the run's deterministic
+// outputs, so an export with `include_recorder_spans = false` is
+// byte-stable and golden-testable; the worker tracks carry real
+// timestamps and are only structurally checked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/phase_profile.hpp"
+#include "obs/recorder.hpp"
+
+namespace congestbc::obs {
+
+/// One per-round counter track ("C" events), e.g. bits on wire.
+struct CounterSeries {
+  std::string name;
+  std::uint64_t first_round = 0;
+  std::vector<std::uint64_t> values;  ///< values[i] is round first_round+i
+};
+
+/// A point marker on the logical track, e.g. "wave s=3 start".
+struct TraceInstant {
+  std::string name;
+  std::uint64_t round = 0;
+};
+
+struct ChromeTraceOptions {
+  /// Include the wall-clock worker spans (pid 2).  Off = deterministic
+  /// output.
+  bool include_recorder_spans = true;
+  /// Counter tracks are downsampled to at most this many points each so
+  /// huge runs stay loadable; 0 keeps every round.
+  std::size_t max_counter_samples = 4096;
+};
+
+/// Renders a `{"traceEvents":[...]}` document.  `recorder` may be null.
+std::string chrome_trace_json(const FlightRecorder* recorder,
+                              const std::vector<PhaseStats>& phases,
+                              const std::vector<CounterSeries>& counters,
+                              const std::vector<TraceInstant>& instants,
+                              const ChromeTraceOptions& options = {});
+
+}  // namespace congestbc::obs

@@ -1,0 +1,54 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+
+namespace congestbc::obs {
+
+namespace {
+
+/// Index of the smallest bucket whose bound 2^i holds `value`.
+unsigned bucket_index(std::uint64_t value) {
+  if (value <= 1) {
+    return 0;
+  }
+  const unsigned i = static_cast<unsigned>(std::bit_width(value - 1));
+  return i < Histogram::kBuckets ? i : Histogram::kBuckets;
+}
+
+}  // namespace
+
+void Histogram::add(std::uint64_t value) {
+  buckets_.at(bucket_index(value)) += 1;
+  count_ += 1;
+  sum_ += value;
+  if (count_ == 1 || value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (unsigned i = 0; i <= kBuckets; ++i) {
+    buckets_.at(i) += other.buckets_.at(i);
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::string Histogram::summary() const {
+  return "count=" + std::to_string(count_) + " sum=" + std::to_string(sum_) +
+         " min=" + std::to_string(min()) + " max=" + std::to_string(max_);
+}
+
+}  // namespace congestbc::obs

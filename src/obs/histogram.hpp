@@ -1,0 +1,49 @@
+// Power-of-two histogram for observability counters (DESIGN.md §11).
+//
+// Bucket i holds values v with v <= 2^i (the smallest such i), the
+// classic Prometheus exponential layout, so prom_text.hpp can render it
+// as a native `histogram` type with le="1","2","4",...  All state is a
+// fixed array — adding a sample is O(1) and allocation-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace congestbc::obs {
+
+class Histogram {
+ public:
+  /// Buckets 2^0 .. 2^(kBuckets-1); larger samples land in the overflow
+  /// (+Inf) bucket.  2^39 ≈ 5.5e11 covers rounds, bits, messages and
+  /// millisecond latencies comfortably.
+  static constexpr unsigned kBuckets = 40;
+
+  void add(std::uint64_t value);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  /// Smallest / largest sample; 0 when empty.
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+
+  /// Samples in bucket i (non-cumulative); i == kBuckets is overflow.
+  std::uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+  /// Inclusive upper bound of bucket i (2^i).
+  static std::uint64_t upper_bound(unsigned i) { return std::uint64_t{1} << i; }
+
+  /// "count=N sum=S min=m max=M" — for logs and CLI summaries.
+  std::string summary() const;
+
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
+ private:
+  std::array<std::uint64_t, kBuckets + 1> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace congestbc::obs

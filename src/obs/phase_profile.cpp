@@ -1,0 +1,20 @@
+#include "obs/phase_profile.hpp"
+
+namespace congestbc::obs {
+
+std::string format_phase_timeline(const std::vector<PhaseStats>& phases) {
+  std::string out;
+  for (const PhaseStats& phase : phases) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += phase.name;
+    out += ":[" + std::to_string(phase.begin_round) + "," +
+           std::to_string(phase.end_round) + ")";
+    out += " msgs=" + std::to_string(phase.physical_messages);
+    out += " bits=" + std::to_string(phase.bits);
+  }
+  return out;
+}
+
+}  // namespace congestbc::obs

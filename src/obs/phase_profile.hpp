@@ -1,0 +1,36 @@
+// Per-phase round/traffic accounting for one pipeline run.
+//
+// The BC pipeline's logical phases (BFS-tree build + DFS token, the
+// staggered counting waves, the Algorithm 3 aggregation waves) occupy
+// disjoint round ranges that are pure functions of the run's recorded
+// outputs — so the profile is derived deterministically after the run
+// (algo/bc_pipeline.cpp harvest()) rather than sampled during it, and
+// is bit-identical across engines and thread counts like everything
+// else in DistributedBcResult.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace congestbc::obs {
+
+struct PhaseStats {
+  std::string name;
+  /// Round range [begin_round, end_round) the phase occupied.
+  std::uint64_t begin_round = 0;
+  std::uint64_t end_round = 0;
+  std::uint64_t rounds = 0;  ///< end_round - begin_round
+  /// Traffic summed over the range (0 when per-round recording was off).
+  std::uint64_t physical_messages = 0;
+  std::uint64_t logical_messages = 0;
+  std::uint64_t bits = 0;
+
+  friend bool operator==(const PhaseStats&, const PhaseStats&) = default;
+};
+
+/// One-line rendering for STATUS replies and CLI output, e.g.
+/// "tree_build:[0,9) msgs=312 bits=9984; counting:[9,131) ...".
+std::string format_phase_timeline(const std::vector<PhaseStats>& phases);
+
+}  // namespace congestbc::obs

@@ -1,0 +1,95 @@
+#include "obs/prom_text.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace congestbc::obs {
+
+namespace {
+
+void append_help_text(std::string& out, const std::string& help) {
+  for (const char c : help) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out += buf;
+}
+
+void append_double(std::string& out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out += buf;
+}
+
+}  // namespace
+
+void PromWriter::header(const std::string& name, const std::string& help,
+                        const char* type) {
+  out_ += "# HELP " + name + " ";
+  append_help_text(out_, help);
+  out_ += "\n# TYPE " + name + " ";
+  out_ += type;
+  out_ += "\n";
+}
+
+void PromWriter::counter(const std::string& name, const std::string& help,
+                         std::uint64_t value) {
+  header(name, help, "counter");
+  out_ += name + " ";
+  append_u64(out_, value);
+  out_ += "\n";
+}
+
+void PromWriter::gauge(const std::string& name, const std::string& help,
+                       double value) {
+  header(name, help, "gauge");
+  out_ += name + " ";
+  append_double(out_, value);
+  out_ += "\n";
+}
+
+void PromWriter::histogram(const std::string& name, const std::string& help,
+                           const Histogram& histogram) {
+  header(name, help, "histogram");
+  // Cumulative buckets up to the last non-empty one keep the output
+  // short; +Inf always closes the series.
+  unsigned last = 0;
+  for (unsigned i = 0; i <= Histogram::kBuckets; ++i) {
+    if (histogram.bucket(i) != 0) {
+      last = i;
+    }
+  }
+  std::uint64_t cumulative = 0;
+  for (unsigned i = 0; i <= last && i < Histogram::kBuckets; ++i) {
+    cumulative += histogram.bucket(i);
+    out_ += name + "_bucket{le=\"";
+    append_u64(out_, Histogram::upper_bound(i));
+    out_ += "\"} ";
+    append_u64(out_, cumulative);
+    out_ += "\n";
+  }
+  out_ += name + "_bucket{le=\"+Inf\"} ";
+  append_u64(out_, histogram.count());
+  out_ += "\n";
+  out_ += name + "_sum ";
+  append_u64(out_, histogram.sum());
+  out_ += "\n";
+  out_ += name + "_count ";
+  append_u64(out_, histogram.count());
+  out_ += "\n";
+}
+
+}  // namespace congestbc::obs

@@ -1,0 +1,38 @@
+// Prometheus text-format (exposition format 0.0.4) rendering.
+//
+// A small append-only writer: the daemon composes its /metrics body
+// from counters, gauges and obs::Histogram instances.  Output is fully
+// deterministic for a given sequence of calls (fixed float formatting),
+// which is what the golden test pins down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/histogram.hpp"
+
+namespace congestbc::obs {
+
+class PromWriter {
+ public:
+  /// Monotonic counter: `# TYPE name counter` + one sample.
+  void counter(const std::string& name, const std::string& help,
+               std::uint64_t value);
+
+  void gauge(const std::string& name, const std::string& help, double value);
+
+  /// Full native histogram: cumulative `_bucket{le=...}` samples for
+  /// every non-empty prefix, `+Inf`, `_sum` and `_count`.
+  void histogram(const std::string& name, const std::string& help,
+                 const Histogram& histogram);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void header(const std::string& name, const std::string& help,
+              const char* type);
+
+  std::string out_;
+};
+
+}  // namespace congestbc::obs

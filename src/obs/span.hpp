@@ -1,0 +1,56 @@
+// ScopedSpan: the one hook instrumented code uses to feed the flight
+// recorder.  Construction samples the clock, destruction records the
+// span — both no-ops when the recorder pointer is null, and the whole
+// type compiles down to nothing when CONGESTBC_OBS_DISABLED is defined
+// (CMake: -DCONGESTBC_OBS=OFF), so the engine's hot path carries at
+// most one predictable null check per phase when tracing is off.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/recorder.hpp"
+
+namespace congestbc::obs {
+
+#if defined(CONGESTBC_OBS_DISABLED)
+
+class ScopedSpan {
+ public:
+  ScopedSpan(FlightRecorder*, Phase, std::uint64_t = 0, std::uint32_t = 0) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+#else
+
+class ScopedSpan {
+ public:
+  ScopedSpan(FlightRecorder* recorder, Phase phase, std::uint64_t round = 0,
+             std::uint32_t lane = 0)
+      : recorder_(recorder),
+        round_(round),
+        start_ns_(recorder != nullptr ? FlightRecorder::now_ns() : 0),
+        lane_(lane),
+        phase_(phase) {}
+
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->record(phase_, round_, lane_, start_ns_,
+                        FlightRecorder::now_ns() - start_ns_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  FlightRecorder* recorder_;
+  std::uint64_t round_;
+  std::uint64_t start_ns_;
+  std::uint32_t lane_;
+  Phase phase_;
+};
+
+#endif
+
+}  // namespace congestbc::obs

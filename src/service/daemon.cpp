@@ -19,6 +19,7 @@
 
 #include "congest/fault.hpp"
 #include "core/runner.hpp"
+#include "obs/phase_profile.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "snapshot/checkpoint.hpp"
@@ -301,7 +302,7 @@ void Daemon::handle_session_input(Session& session) {
   while (true) {
     const ssize_t n = ::recv(session.fd, buf, sizeof buf, 0);
     if (n > 0) {
-      session.decoder.feed(buf, static_cast<std::size_t>(n));
+      feed_session_bytes(session, buf, static_cast<std::size_t>(n));
       if (static_cast<std::size_t>(n) < sizeof buf) {
         break;
       }
@@ -322,12 +323,85 @@ void Daemon::handle_session_input(Session& session) {
   }
 }
 
+// Hard cap on a buffered HTTP request: /metrics needs one short line,
+// so anything larger is hostile.
+constexpr std::size_t kMaxHttpRequestBytes = 8192;
+
+void Daemon::feed_session_bytes(Session& session, const std::uint8_t* data,
+                                std::size_t n) {
+  if (session.mode == Session::Mode::kFrames) {
+    session.decoder.feed(data, n);
+    return;
+  }
+  session.sniff.insert(session.sniff.end(), data, data + n);
+  if (session.mode == Session::Mode::kUnknown) {
+    if (session.sniff.size() < 4) {
+      return;  // not enough bytes to tell HTTP from CBCP yet
+    }
+    if (std::memcmp(session.sniff.data(), "GET ", 4) == 0) {
+      session.mode = Session::Mode::kHttp;
+    } else {
+      session.mode = Session::Mode::kFrames;
+      session.decoder.feed(session.sniff.data(), session.sniff.size());
+      session.sniff.clear();
+      session.sniff.shrink_to_fit();
+      return;
+    }
+  }
+  if (session.sniff.size() > kMaxHttpRequestBytes) {
+    session.dead = true;
+  }
+}
+
+void Daemon::process_http_request(Session& session) {
+  static constexpr char kTerminator[] = "\r\n\r\n";
+  const auto end = std::search(session.sniff.begin(), session.sniff.end(),
+                               kTerminator, kTerminator + 4);
+  if (end == session.sniff.end()) {
+    return;  // headers still arriving
+  }
+  // Request line: "GET <path> HTTP/1.x".
+  std::string line(session.sniff.begin(),
+                   std::find(session.sniff.begin(), session.sniff.end(), '\r'));
+  std::string path;
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 != std::string::npos) {
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    path = line.substr(sp1 + 1, sp2 == std::string::npos ? std::string::npos
+                                                         : sp2 - sp1 - 1);
+  }
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+  if (path == "/metrics") {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body = prometheus_text(stats_locked(), metrics_.latency_ms_hist,
+                           metrics_.job_rounds_hist,
+                           metrics_.round_throughput_hist);
+  } else {
+    status = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found; try /metrics\n";
+  }
+  std::string response = "HTTP/1.1 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  session.out.insert(session.out.end(), response.begin(), response.end());
+  session.sniff.clear();
+  session.close_after_flush = true;  // one request per connection
+}
+
 // Deframe + dispatch.  Any protocol violation gets one typed ERROR
 // frame, then the connection is closed after the flush — a hostile or
 // corrupted stream cannot be resynchronized safely.  The loop pauses
 // while the session's un-flushed output exceeds its backpressure limit;
 // buffered frames stay in the decoder until the backlog drains.
 void Daemon::process_session_frames(Session& session) {
+  if (session.mode == Session::Mode::kHttp) {
+    process_http_request(session);
+    return;
+  }
   try {
     while (session.pending_out() <= config_.session_out_limit) {
       auto frame = session.decoder.next();
@@ -736,6 +810,7 @@ StatusReply Daemon::handle_status(std::uint64_t job_id) {
   reply.state = job.state;
   reply.fingerprint = job.fingerprint;
   reply.detail = job.detail;
+  reply.phase_timeline = job.phase_timeline;
   if (job.state == JobState::kQueued) {
     const auto pos = std::find(queue_.begin(), queue_.end(), it->second);
     reply.queue_position =
@@ -876,6 +951,10 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
           std::chrono::steady_clock::now() - job->submitted)
           .count();
   inflight_.erase(job->fingerprint);
+  // Partial runs carry a (truncated) profile too — useful for debugging
+  // a cancelled or over-budget job.
+  job->phase_timeline =
+      obs::format_phase_timeline(outcome.result.phase_profile);
 
   if (outcome.status == RunStatus::kSuspended) {
     if (job->cancel_requested) {
@@ -897,6 +976,7 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
       }
       ++metrics_.jobs_failed;
       metrics_.record_latency_ms(latency_ms);
+      metrics_.record_job_rounds(outcome.result.rounds, latency_ms);
       mark_terminal_locked(job);
       if (!config_.spool_dir.empty()) {
         spool_remove_job(*job);
@@ -923,6 +1003,7 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
       ++metrics_.jobs_failed;
     }
     metrics_.record_latency_ms(latency_ms);
+    metrics_.record_job_rounds(outcome.result.rounds, latency_ms);
     mark_terminal_locked(job);
     if (!config_.spool_dir.empty()) {
       if (job->state == JobState::kDone) {
@@ -945,6 +1026,7 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
     }
     ++metrics_.jobs_failed;
     metrics_.record_latency_ms(latency_ms);
+    metrics_.record_job_rounds(outcome.result.rounds, latency_ms);
     mark_terminal_locked(job);
     if (!config_.spool_dir.empty()) {
       spool_remove_job(*job);

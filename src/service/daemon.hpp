@@ -158,15 +158,29 @@ class Daemon {
     std::chrono::steady_clock::time_point started;
     /// When the job entered a terminal state (GC eligibility clock).
     std::chrono::steady_clock::time_point terminal_at;
+    /// Logical phase timeline of the harvested run
+    /// (obs::format_phase_timeline); set when the run returns, served in
+    /// STATUS replies.
+    std::string phase_timeline;
   };
 
   struct Session {
+    /// What the first bytes said this connection speaks: CBCP frames, or
+    /// HTTP ("GET ...") for the plaintext /metrics endpoint.  Sniffed
+    /// before anything reaches the FrameDecoder (which would answer
+    /// kBadMagic).
+    enum class Mode : std::uint8_t { kUnknown, kFrames, kHttp };
+
     int fd = -1;
     FrameDecoder decoder;
     std::vector<std::uint8_t> out;
     std::size_t out_pos = 0;
     bool close_after_flush = false;
     bool dead = false;
+    Mode mode = Mode::kUnknown;
+    /// Bytes buffered while the mode is unknown; for kHttp, the request
+    /// accumulates here until the blank line.
+    std::vector<std::uint8_t> sniff;
 
     explicit Session(int fd_in, std::uint32_t max_frame_bytes)
         : fd(fd_in), decoder(max_frame_bytes) {}
@@ -205,7 +219,13 @@ class Daemon {
   void finish_drain();
   void poll_tick_housekeeping();
   void handle_session_input(Session& session);
+  /// Routes received bytes by Session::Mode (sniffing on first contact).
+  void feed_session_bytes(Session& session, const std::uint8_t* data,
+                          std::size_t n);
   void process_session_frames(Session& session);
+  /// Answers one buffered HTTP request (GET /metrics → Prometheus text)
+  /// and closes the connection after the flush.
+  void process_http_request(Session& session);
   void flush_session_output(Session& session);
   void accept_clients();
   void append_reply(Session& session, const Reply& reply);

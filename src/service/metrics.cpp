@@ -4,10 +4,12 @@
 #include <cmath>
 
 #include "core/report_json.hpp"
+#include "obs/prom_text.hpp"
 
 namespace congestbc::service {
 
 void ServiceMetrics::record_latency_ms(double ms) {
+  latency_ms_hist.add(static_cast<std::uint64_t>(ms < 0.0 ? 0.0 : ms));
   if (latencies_.size() < kLatencyWindow) {
     latencies_.push_back(ms);
     latency_next_ = latencies_.size() % kLatencyWindow;
@@ -31,6 +33,16 @@ double ServiceMetrics::latency_percentile(double p) const {
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void ServiceMetrics::record_job_rounds(std::uint64_t rounds,
+                                       double latency_ms) {
+  job_rounds_hist.add(rounds);
+  // Sub-millisecond jobs round up to 1 ms so the throughput stays finite
+  // (and conservative) instead of exploding.
+  const double ms = latency_ms < 1.0 ? 1.0 : latency_ms;
+  round_throughput_hist.add(
+      static_cast<std::uint64_t>(static_cast<double>(rounds) * 1000.0 / ms));
 }
 
 std::uint64_t ServiceMetrics::uptime_ms() const {
@@ -110,6 +122,73 @@ std::string to_json(const StatsReply& stats) {
   w.key("latency_p90_ms").value(stats.latency_p90_ms);
   w.key("latency_p99_ms").value(stats.latency_p99_ms);
   w.end_object();
+  return w.str();
+}
+
+std::string prometheus_text(const StatsReply& stats,
+                            const obs::Histogram& latency_ms,
+                            const obs::Histogram& job_rounds,
+                            const obs::Histogram& round_throughput) {
+  obs::PromWriter w;
+  w.gauge("congestbcd_uptime_ms", "Milliseconds since the daemon started",
+          static_cast<double>(stats.uptime_ms));
+  w.counter("congestbcd_submits_total", "SUBMIT requests accepted for parsing",
+            stats.submits);
+  w.counter("congestbcd_cache_hits_total",
+            "Submits answered from the result cache", stats.cache_hits);
+  w.counter("congestbcd_cache_misses_total",
+            "Cache lookups that missed", stats.cache_misses);
+  w.counter("congestbcd_coalesced_total",
+            "Submits attached to an identical in-flight job", stats.coalesced);
+  w.counter("congestbcd_busy_rejections_total",
+            "Submits rejected because the queue was full",
+            stats.busy_rejections);
+  w.counter("congestbcd_draining_rejections_total",
+            "Submits rejected during drain", stats.draining_rejections);
+  w.counter("congestbcd_jobs_completed_total", "Jobs finished successfully",
+            stats.jobs_completed);
+  w.counter("congestbcd_jobs_failed_total", "Jobs that ended in failure",
+            stats.jobs_failed);
+  w.counter("congestbcd_jobs_cancelled_total", "Jobs cancelled by clients",
+            stats.jobs_cancelled);
+  w.counter("congestbcd_jobs_suspended_total",
+            "Jobs suspended with a resumable checkpoint", stats.jobs_suspended);
+  w.counter("congestbcd_jobs_resumed_total",
+            "Jobs resumed from a spooled checkpoint", stats.jobs_resumed);
+  w.counter("congestbcd_protocol_errors_total",
+            "Malformed frames answered with a typed error",
+            stats.protocol_errors);
+  w.gauge("congestbcd_queue_depth", "Jobs admitted but not yet running",
+          static_cast<double>(stats.queue_depth));
+  w.gauge("congestbcd_running_jobs", "Jobs currently executing",
+          static_cast<double>(stats.running));
+  w.gauge("congestbcd_workers", "Worker pool size",
+          static_cast<double>(stats.workers));
+  w.gauge("congestbcd_cache_entries", "Result-cache entries resident",
+          static_cast<double>(stats.cache_entries));
+  w.counter("congestbcd_cache_evictions_total", "Result-cache LRU evictions",
+            stats.cache_evictions);
+  w.gauge("congestbcd_qps", "Submits per second over the daemon lifetime",
+          stats.qps);
+  w.gauge("congestbcd_worker_utilization",
+          "Fraction of worker wall-time spent inside jobs",
+          stats.worker_utilization);
+  w.gauge("congestbcd_job_latency_p50_ms",
+          "Median submit-to-terminal latency (recent window)",
+          stats.latency_p50_ms);
+  w.gauge("congestbcd_job_latency_p90_ms",
+          "p90 submit-to-terminal latency (recent window)",
+          stats.latency_p90_ms);
+  w.gauge("congestbcd_job_latency_p99_ms",
+          "p99 submit-to-terminal latency (recent window)",
+          stats.latency_p99_ms);
+  w.histogram("congestbcd_job_latency_ms",
+              "Submit-to-terminal latency of terminal jobs (ms)", latency_ms);
+  w.histogram("congestbcd_job_rounds",
+              "Simulated CONGEST rounds per executed job", job_rounds);
+  w.histogram("congestbcd_job_round_throughput",
+              "Simulated rounds per wall-second per executed job",
+              round_throughput);
   return w.str();
 }
 

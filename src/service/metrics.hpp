@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "service/protocol.hpp"
 
 namespace congestbc::service {
@@ -37,10 +38,22 @@ class ServiceMetrics {
   std::uint64_t jobs_resumed = 0;
   std::uint64_t protocol_errors = 0;
 
+  // Whole-life histograms behind the /metrics endpoint (the percentile
+  // window above describes recent behavior; these never forget).
+  obs::Histogram latency_ms_hist;
+  obs::Histogram job_rounds_hist;
+  /// Simulated rounds per wall-second of one job — the per-job round
+  /// throughput the /metrics endpoint exposes.
+  obs::Histogram round_throughput_hist;
+
   /// Submit-to-terminal latency of one finished job.  Keeps the most
   /// recent kLatencyWindow samples (ring buffer): percentiles describe
-  /// recent behavior, not the daemon's whole life.
+  /// recent behavior, not the daemon's whole life.  Also feeds
+  /// latency_ms_hist.
   void record_latency_ms(double ms);
+
+  /// Round count + throughput of one terminal job that actually ran.
+  void record_job_rounds(std::uint64_t rounds, double latency_ms);
 
   /// Interpolated percentile over the retained window; 0 when empty.
   /// p in [0, 100].
@@ -68,5 +81,13 @@ class ServiceMetrics {
 /// The StatsReply as a JSON object (core/report_json.hpp writer) — the
 /// payload of the daemon's --metrics-file dump.
 std::string to_json(const StatsReply& stats);
+
+/// The same snapshot (plus the whole-life histograms) as a Prometheus
+/// text-format (0.0.4) page — the body of the daemon's GET /metrics
+/// reply.  Deterministic for fixed inputs (golden-tested).
+std::string prometheus_text(const StatsReply& stats,
+                            const obs::Histogram& latency_ms,
+                            const obs::Histogram& job_rounds,
+                            const obs::Histogram& round_throughput);
 
 }  // namespace congestbc::service

@@ -137,6 +137,7 @@ void encode_status_reply_body(BitWriter& w, const StatusReply& m) {
   w.write(m.fingerprint, 64);
   w.write_varuint(m.queue_position);
   put_string(w, m.detail);
+  put_string(w, m.phase_timeline);
 }
 
 StatusReply decode_status_reply_body(BitReader& r) {
@@ -146,6 +147,7 @@ StatusReply decode_status_reply_body(BitReader& r) {
   m.fingerprint = r.read(64);
   m.queue_position = static_cast<std::uint32_t>(r.read_varuint());
   m.detail = get_string(r);
+  m.phase_timeline = get_string(r);
   return m;
 }
 

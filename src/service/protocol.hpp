@@ -35,7 +35,9 @@
 
 namespace congestbc::service {
 
-inline constexpr std::uint16_t kProtocolVersion = 1;
+// v2 added StatusReply::phase_timeline (PR 5); the version gates the
+// whole frame, so v1 peers get kBadVersion instead of a misparse.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
 /// Frames larger than this are rejected before any allocation happens —
 /// the daemon-side cap on hostile length fields.  Generous enough for an
@@ -173,6 +175,10 @@ struct StatusReply {
   /// Jobs ahead of this one (meaningful when kQueued).
   std::uint32_t queue_position = 0;
   std::string detail;
+  /// The finished run's logical phase timeline
+  /// (obs::format_phase_timeline); empty until the job is terminal with
+  /// a harvested result.
+  std::string phase_timeline;
 };
 
 /// The cached/servable payload of a finished run.  Encoded once with

@@ -1,0 +1,288 @@
+// Property-based differential sweep (ISSUE: observability PR satellite):
+// family x size x engine x thread-count, every combination differentially
+// validated against the centralized oracles —
+//   * betweenness vs brandes_bc within the Theorem-1 soft-float envelope
+//     (1+eta)^(2D+4) - 1,
+//   * per-node distance tables vs bfs_distances (exact),
+//   * per-node sigma-hat tables vs count_shortest_paths within the
+//     ceil-rounding envelope (1+eta)^(D+1) - 1 (sigma-hat >= sigma), and
+//   * closeness vs the exact distance sums (integers on the wire).
+// The disconnected family exercises the component-stitching pattern: the
+// pipeline requires a connected graph, so each component runs separately
+// and the results are stitched back into full-graph index space.
+//
+// Every case carries the ctest label `property`; `ctest -L property`
+// runs the full matrix (tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "algo/bc_pipeline.hpp"
+#include "central/brandes.hpp"
+#include "central/centralities.hpp"
+#include "core/validation.hpp"
+#include "fpa/soft_float.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace congestbc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Graph families
+
+/// A star of ceil(n/2) leaves with a path tail hanging off leaf 1 — the
+/// "hub + chain" shape that stresses both the high-degree DFS fan-out
+/// and the long-diameter counting waves in one graph.
+Graph star_plus_path(NodeId n) {
+  const NodeId hub_leaves = n / 2;
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v <= hub_leaves; ++v) {
+    edges.push_back({0, v});
+  }
+  for (NodeId v = hub_leaves; v + 1 < n; ++v) {
+    edges.push_back({v, v + 1});
+  }
+  return Graph(n, std::move(edges));
+}
+
+/// Components of a disconnected graph as (full-graph node id) lists,
+/// smallest id first within and across components.
+std::vector<std::vector<NodeId>> connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<bool> seen(n, false);
+  std::vector<std::vector<NodeId>> components;
+  for (NodeId start = 0; start < n; ++start) {
+    if (seen[start]) {
+      continue;
+    }
+    std::vector<NodeId> queue{start};
+    seen[start] = true;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const NodeId w : g.neighbors(queue[head])) {
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+    components.push_back(std::move(queue));
+  }
+  return components;
+}
+
+/// The induced subgraph on `nodes` with ids remapped to 0..k-1 in the
+/// order given.
+Graph induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> local(g.num_nodes(), 0);
+  std::vector<bool> member(g.num_nodes(), false);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    local[nodes[i]] = static_cast<NodeId>(i);
+    member[nodes[i]] = true;
+  }
+  std::vector<Edge> edges;
+  for (const Edge& e : g.edges()) {
+    if (member[e.u] && member[e.v]) {
+      edges.push_back({local[e.u], local[e.v]});
+    }
+  }
+  return Graph(static_cast<NodeId>(nodes.size()), std::move(edges));
+}
+
+/// Three far-apart components: a cycle, a grid, and a path, with a couple
+/// of isolated-free small sizes.  Betweenness of a disconnected graph is
+/// the disjoint union of the per-component values.
+Graph multi_component(NodeId n) {
+  const NodeId a = std::max<NodeId>(3, n / 3);       // cycle
+  const NodeId b = std::max<NodeId>(4, n / 3);       // grid-ish (2 x b/2)
+  const NodeId c = std::max<NodeId>(2, n - a - b);   // path
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < a; ++v) {
+    edges.push_back({v, static_cast<NodeId>((v + 1) % a)});
+  }
+  const Graph grid_part = gen::grid(2, b / 2);
+  for (const Edge& e : grid_part.edges()) {
+    edges.push_back(
+        {static_cast<NodeId>(a + e.u), static_cast<NodeId>(a + e.v)});
+  }
+  const NodeId base = static_cast<NodeId>(a + grid_part.num_nodes());
+  for (NodeId v = 0; v + 1 < c; ++v) {
+    edges.push_back(
+        {static_cast<NodeId>(base + v), static_cast<NodeId>(base + v + 1)});
+  }
+  return Graph(static_cast<NodeId>(base + c), std::move(edges));
+}
+
+Graph make_family(int family, NodeId n) {
+  Rng rng(0x5eedULL + n);
+  switch (family) {
+    case 0:
+      return gen::erdos_renyi_connected(n, std::min(0.9, 6.0 / n), rng);
+    case 1:
+      return gen::barabasi_albert(n, 2, rng);
+    case 2:
+      return gen::grid(std::max<NodeId>(2, n / 8), 8);
+    case 3:
+      return star_plus_path(n);
+    default:
+      return multi_component(n);
+  }
+}
+
+const char* family_name(int family) {
+  switch (family) {
+    case 0:
+      return "er";
+    case 1:
+      return "ba";
+    case 2:
+      return "grid";
+    case 3:
+      return "star_path";
+    default:
+      return "multi_component";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Oracles and envelopes
+
+/// Theorem 1 multiplicative envelope for BC on a diameter-D graph with
+/// mantissa length L: (1+eta)^(2D+4) - 1, eta = 2^-(L-1).
+double theorem1_envelope(NodeId n, std::uint32_t diameter_bound) {
+  const unsigned mantissa = SoftFloatFormat::for_graph(n).mantissa_bits;
+  const double eta = std::ldexp(1.0, -static_cast<int>(mantissa) + 1);
+  return std::pow(1.0 + eta, 2.0 * diameter_bound + 4.0) - 1.0;
+}
+
+/// Differentially validates one connected run against the oracles.
+/// `offset_nodes` maps local ids back to full-graph ids for SCOPED_TRACE
+/// labels only.
+void check_connected_run(const Graph& g, const DistributedBcResult& result) {
+  const NodeId n = g.num_nodes();
+  const std::uint32_t dia = diameter(g);
+  ASSERT_EQ(result.diameter, dia);
+
+  // Betweenness within the Theorem-1 envelope (plus double-accumulation
+  // headroom on the oracle side).
+  const auto reference = brandes_bc(g);
+  const auto stats = compare_vectors(result.betweenness, reference, 1e-6);
+  EXPECT_LT(stats.max_rel_error, theorem1_envelope(n, dia) + 1e-9)
+      << "worst node " << stats.worst_index;
+
+  // Closeness rides on exact integer distance sums.
+  const auto cc = closeness_centrality(g);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_NEAR(result.closeness[v], cc[v], 1e-12) << "node " << v;
+  }
+
+  // Per-node tables: exact distances, sigma-hat within the ceil-rounding
+  // envelope [sigma, (1+eta)^(D+1) sigma].
+  ASSERT_EQ(result.tables.size(), n);
+  const unsigned mantissa = SoftFloatFormat::for_graph(n).mantissa_bits;
+  const double eta = std::ldexp(1.0, -static_cast<int>(mantissa) + 1);
+  const double sigma_envelope =
+      std::pow(1.0 + eta, static_cast<double>(dia) + 1.0);
+  for (NodeId s = 0; s < n; ++s) {
+    const auto dist = bfs_distances(g, s);
+    const auto sigma = count_shortest_paths(g, s);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == s) {
+        continue;
+      }
+      const SourceEntry* entry = nullptr;
+      for (const SourceEntry& candidate : result.tables[v]) {
+        if (candidate.source == s) {
+          entry = &candidate;
+          break;
+        }
+      }
+      ASSERT_NE(entry, nullptr) << "missing table entry s=" << s
+                                << " v=" << v;
+      EXPECT_EQ(entry->dist, dist[v]) << "s=" << s << " v=" << v;
+      const double exact = sigma[v].to_double();
+      const double approx = entry->sigma.to_double();
+      EXPECT_GE(approx, exact * (1.0 - 1e-12)) << "s=" << s << " v=" << v;
+      EXPECT_LE(approx, exact * sigma_envelope * (1.0 + 1e-12))
+          << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// The sweep
+
+struct Mode {
+  const char* name;
+  bool legacy;
+  unsigned threads;
+};
+
+constexpr Mode kModes[] = {
+    {"engine_t1", false, 1},
+    {"engine_tall", false, 0},
+    {"legacy", true, 1},
+};
+
+class PropertySweep
+    : public ::testing::TestWithParam<std::tuple<int, NodeId, int>> {};
+
+TEST_P(PropertySweep, DifferentialOracles) {
+  const auto [family, size, mode_index] = GetParam();
+  const Mode& mode = kModes[mode_index];
+  const Graph g = make_family(family, size);
+  SCOPED_TRACE(std::string(family_name(family)) + " N=" +
+               std::to_string(g.num_nodes()) + " mode=" + mode.name);
+
+  DistributedBcOptions options;
+  options.keep_tables = true;
+  options.legacy_engine = mode.legacy;
+  options.threads = mode.threads;
+
+  if (is_connected(g)) {
+    check_connected_run(g, run_distributed_bc(g, options));
+    return;
+  }
+
+  // Disconnected: run per component, stitch, and compare against the
+  // per-component oracle in full-graph index space.
+  std::vector<double> stitched(g.num_nodes(), 0.0);
+  std::vector<double> reference(g.num_nodes(), 0.0);
+  double worst_envelope = 0.0;
+  for (const auto& nodes : connected_components(g)) {
+    const Graph sub = induced_subgraph(g, nodes);
+    if (sub.num_nodes() == 1) {
+      continue;  // isolated node: zero betweenness by definition
+    }
+    const auto result = run_distributed_bc(sub, options);
+    check_connected_run(sub, result);
+    const auto oracle = brandes_bc(sub);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      stitched[nodes[i]] = result.betweenness[i];
+      reference[nodes[i]] = oracle[i];
+    }
+    worst_envelope = std::max(
+        worst_envelope, theorem1_envelope(sub.num_nodes(), diameter(sub)));
+  }
+  const auto stats = compare_vectors(stitched, reference, 1e-6);
+  EXPECT_LT(stats.max_rel_error, worst_envelope + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamilySizeMode, PropertySweep,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values<NodeId>(8, 24, 48, 96, 200),
+                       ::testing::Range(0, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, NodeId, int>>&
+           param_info) {
+      return std::string(family_name(std::get<0>(param_info.param))) + "_" +
+             std::to_string(std::get<1>(param_info.param)) + "_" +
+             kModes[std::get<2>(param_info.param)].name;
+    });
+
+}  // namespace
+}  // namespace congestbc

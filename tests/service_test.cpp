@@ -413,7 +413,10 @@ TEST(ServiceDaemon, GarbageBytesGetTypedErrorAndDaemonSurvives) {
   addr.sin_port = htons(harness.daemon().port());
   ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
-  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  // Not "GET ..." — that prefix now selects the HTTP /metrics path
+  // (MetricsEndpointServesConsistentCounters); anything else must still
+  // get the typed CBCP ERROR.
+  const char garbage[] = "PUT /x HTTP/1.1\r\n\r\n";
   ASSERT_GT(::send(fd, garbage, sizeof(garbage) - 1, 0), 0);
 
   // Read until the daemon closes the connection; the bytes it sent first
@@ -606,6 +609,116 @@ TEST(ServiceDaemon, DrainSuspendsAndRestartedDaemonResumesBitIdentically) {
   EXPECT_EQ(attach.fingerprint, fingerprint);
   const ResultReply resumed = client.wait_result(attach.job_id);
   expect_matches_local_run(resumed, graph, DistributedBcOptions{});
+}
+
+/// One blocking HTTP exchange against the daemon's listener: sends the
+/// request verbatim, reads to close, returns the raw response.
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// Value of a Prometheus sample line ("name 42") in a scrape body.
+double metric_value(const std::string& body, const std::string& name) {
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(name + " ", 0) == 0) {
+      return std::stod(line.substr(name.size() + 1));
+    }
+  }
+  ADD_FAILURE() << "metric " << name << " not found in scrape";
+  return -1.0;
+}
+
+TEST(ServiceDaemon, MetricsEndpointServesConsistentCounters) {
+  DaemonHarness harness(DaemonConfig{});
+  Client client;
+  harness.connect(client);
+
+  // Mixed workload: two fresh executions, one cache hit, one rejected
+  // submit (bad graph), so every counter the consistency check reads is
+  // exercised.
+  const std::string karate = data_file("karate.txt");
+  const SubmitReply first = client.submit(inline_submit(karate));
+  ASSERT_EQ(first.disposition, SubmitDisposition::kQueued) << first.detail;
+  ASSERT_TRUE(client.wait_result(first.job_id).ready);
+
+  const SubmitReply hit = client.submit(inline_submit(karate));
+  EXPECT_EQ(hit.disposition, SubmitDisposition::kCacheHit);
+
+  const SubmitReply second = client.submit(inline_submit(data_file("lesmis.txt")));
+  ASSERT_EQ(second.disposition, SubmitDisposition::kQueued) << second.detail;
+  ASSERT_TRUE(client.wait_result(second.job_id).ready);
+
+  const SubmitReply rejected = client.submit(inline_submit("not a graph"));
+  EXPECT_EQ(rejected.disposition, SubmitDisposition::kRejected);
+
+  // A finished job's STATUS carries its phase timeline.
+  const StatusReply status = client.status(first.job_id);
+  ASSERT_EQ(status.state, JobState::kDone);
+  EXPECT_NE(status.phase_timeline.find("tree_build"), std::string::npos)
+      << status.phase_timeline;
+  EXPECT_NE(status.phase_timeline.find("counting"), std::string::npos);
+
+  const std::string response = http_exchange(
+      harness.daemon().port(), "GET /metrics HTTP/1.0\r\nHost: t\r\n\r\n");
+  ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  ASSERT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string body = response.substr(response.find("\r\n\r\n") + 4);
+
+  // Counter consistency over the known workload.
+  EXPECT_EQ(metric_value(body, "congestbcd_submits_total"), 4.0);
+  EXPECT_EQ(metric_value(body, "congestbcd_cache_hits_total"), 1.0);
+  EXPECT_EQ(metric_value(body, "congestbcd_cache_misses_total"), 2.0);
+  EXPECT_EQ(metric_value(body, "congestbcd_jobs_completed_total"), 2.0);
+  EXPECT_EQ(metric_value(body, "congestbcd_jobs_failed_total"), 0.0);
+  EXPECT_EQ(metric_value(body, "congestbcd_jobs_cancelled_total"), 0.0);
+  EXPECT_EQ(metric_value(body, "congestbcd_queue_depth"), 0.0);
+  EXPECT_EQ(metric_value(body, "congestbcd_running_jobs"), 0.0);
+  // Every admitted execution is accounted: completed + failed + cancelled
+  // + inflight + cache hits + rejections == submits (the bad-graph submit
+  // is the remainder).
+  const double accounted =
+      metric_value(body, "congestbcd_jobs_completed_total") +
+      metric_value(body, "congestbcd_jobs_failed_total") +
+      metric_value(body, "congestbcd_jobs_cancelled_total") +
+      metric_value(body, "congestbcd_queue_depth") +
+      metric_value(body, "congestbcd_running_jobs") +
+      metric_value(body, "congestbcd_cache_hits_total");
+  EXPECT_EQ(accounted + 1.0, metric_value(body, "congestbcd_submits_total"));
+  EXPECT_LE(metric_value(body, "congestbcd_cache_hits_total"),
+            metric_value(body, "congestbcd_submits_total"));
+  // Latency/round histograms saw exactly the two executions.
+  EXPECT_EQ(metric_value(body, "congestbcd_job_latency_ms_count"), 2.0);
+  EXPECT_EQ(metric_value(body, "congestbcd_job_rounds_count"), 2.0);
+  EXPECT_GT(metric_value(body, "congestbcd_job_rounds_sum"), 0.0);
+
+  // Unknown paths get a 404, and the daemon keeps serving CBCP clients.
+  const std::string missing = http_exchange(
+      harness.daemon().port(), "GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
+  const SubmitReply after = client.submit(inline_submit(karate));
+  EXPECT_EQ(after.disposition, SubmitDisposition::kCacheHit);
 }
 
 #ifdef CONGESTBCD_PATH

@@ -19,6 +19,10 @@
 //   --no-halve       report ordered-pair sums (no /2)
 //   --mantissa L     soft-float mantissa bits (default log2(N)+24)
 //   --trace          print a per-round activity timeline of the run
+//   --trace-out FILE write a Chrome trace-event JSON file (open it in
+//                    chrome://tracing or Perfetto): the logical phase
+//                    timeline, per-round traffic counters, and the
+//                    flight recorder's wall-clock engine spans
 //   --json           emit the full report as JSON instead of tables
 //   --metrics        print detailed simulator metrics
 //   --stats          print graph statistics and exit
@@ -64,6 +68,7 @@
 #include <fstream>
 #include <iostream>
 #include <numeric>
+#include <optional>
 
 #include "algo/apsp.hpp"
 #include "algo/weighted_bc.hpp"
@@ -73,6 +78,8 @@
 #include "common/table.hpp"
 #include "congest/trace.hpp"
 #include "core/report_json.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/recorder.hpp"
 #include "core/runner.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -89,10 +96,47 @@ constexpr const char* kUsage =
     "       congestbc_cli fingerprint GRAPH.txt [options]\n"
     "options: --top K | --all | --samples K | --no-check | --no-halve |\n"
     "         --mantissa L | --metrics | --stats | --apsp | --trace |\n"
-    "         --json | --seed S | --faults SPEC | --reliable |\n"
+    "         --trace-out FILE | --json | --seed S | --faults SPEC |\n"
+    "         --reliable |\n"
     "         --stall-window N | --threads T | --checkpoint-every N |\n"
     "         --checkpoint-dir D | --checkpoint-keep K | --resume FILE |\n"
     "         --halt-at-round R | --dump-graph FILE\n";
+
+/// Assembles and writes the --trace-out file: deterministic logical
+/// tracks (phase timeline, per-round traffic, counting-wave starts) plus
+/// the flight recorder's wall-clock engine spans.
+void write_trace_out(const std::string& path,
+                     const obs::FlightRecorder& recorder,
+                     const DistributedBcResult& result) {
+  std::vector<obs::CounterSeries> counters;
+  if (!result.metrics.per_round.empty()) {
+    obs::CounterSeries bits;
+    bits.name = "bits_on_wire";
+    obs::CounterSeries msgs;
+    msgs.name = "physical_messages";
+    for (const RoundStats& stats : result.metrics.per_round) {
+      bits.values.push_back(stats.bits);
+      msgs.values.push_back(stats.physical_messages);
+    }
+    counters.push_back(std::move(bits));
+    counters.push_back(std::move(msgs));
+  }
+  std::vector<obs::TraceInstant> instants;
+  if (result.bfs_start_rounds.size() <= 512) {
+    for (std::size_t v = 0; v < result.bfs_start_rounds.size(); ++v) {
+      if (result.bfs_start_rounds[v] > 0) {
+        instants.push_back(obs::TraceInstant{
+            "wave s=" + std::to_string(v), result.bfs_start_rounds[v]});
+      }
+    }
+  }
+  std::ofstream out(path);
+  CBC_EXPECTS(out.good(), "cannot open " + path + " for writing");
+  out << obs::chrome_trace_json(&recorder, result.phase_profile, counters,
+                                instants);
+  std::cerr << "wrote trace: " << path << " (" << recorder.recorded()
+            << " engine spans, " << recorder.dropped() << " dropped)\n";
+}
 
 Graph load_graph(const Args& args) {
   if (const auto family = args.get("generate")) {
@@ -130,7 +174,8 @@ int run(int argc, char** argv) {
                                  "mantissa", "faults", "stall-window",
                                  "threads", "checkpoint-every",
                                  "checkpoint-dir", "checkpoint-keep",
-                                 "resume", "halt-at-round", "dump-graph"});
+                                 "resume", "halt-at-round", "dump-graph",
+                                 "trace-out"});
   if (args.has("help")) {
     std::cout << kUsage;
     return 0;
@@ -270,11 +315,20 @@ int run(int argc, char** argv) {
     bc_options.resume_from = args.get("resume").value_or("");
     bc_options.halt_at_round =
         static_cast<std::uint64_t>(args.get_int_or("halt-at-round", 0));
+    std::optional<obs::FlightRecorder> recorder;
+    const auto trace_out = args.get("trace-out");
+    if (trace_out) {
+      recorder.emplace();
+      bc_options.recorder = &*recorder;
+    }
     if (args.has("json")) {
       // Machine output: the result JSON carries the resume lineage
       // (suspended / resumed_from_round / checkpoints); the exit code
       // still distinguishes complete (0) / suspended (3) / failed (2).
       const RunOutcome outcome = run_bc_with_watchdog(graph, bc_options);
+      if (trace_out) {
+        write_trace_out(*trace_out, *recorder, outcome.result);
+      }
       std::cout << to_json(outcome.result) << "\n";
       if (outcome.status == RunStatus::kSuspended) {
         return 3;
@@ -287,6 +341,9 @@ int run(int argc, char** argv) {
                                                 : "bare (paper model)")
               << "\n\n";
     const RunOutcome outcome = run_bc_with_watchdog(graph, bc_options);
+    if (trace_out) {
+      write_trace_out(*trace_out, *recorder, outcome.result);
+    }
 
     const auto count = args.has("all")
                            ? graph.num_nodes()
@@ -336,6 +393,12 @@ int run(int argc, char** argv) {
   if (args.has("trace")) {
     options.distributed.trace = &trace;
   }
+  std::optional<obs::FlightRecorder> recorder;
+  const auto trace_out = args.get("trace-out");
+  if (trace_out) {
+    recorder.emplace();
+    options.distributed.recorder = &*recorder;
+  }
   if (const auto samples = args.get("samples")) {
     const auto k = static_cast<std::size_t>(std::stoll(*samples));
     CBC_EXPECTS(k >= 1 && k <= graph.num_nodes(), "bad --samples");
@@ -356,6 +419,9 @@ int run(int argc, char** argv) {
 
   Runner runner(graph);
   const auto report = runner.analyze(options);
+  if (trace_out) {
+    write_trace_out(*trace_out, *recorder, report.distributed);
+  }
 
   if (args.has("json")) {
     std::cout << to_json(report) << "\n";

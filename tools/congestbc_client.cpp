@@ -367,6 +367,9 @@ int run(int argc, char** argv) {
       if (!reply.detail.empty()) {
         std::cout << "detail: " << reply.detail << "\n";
       }
+      if (!reply.phase_timeline.empty()) {
+        std::cout << "phases: " << reply.phase_timeline << "\n";
+      }
       return 0;
     }
     if (command == "result") {

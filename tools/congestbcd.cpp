@@ -6,6 +6,12 @@
 // run fingerprint, and — with a spool directory — survives kill/restart
 // by checkpointing in-flight jobs and resuming them on the next start.
 //
+// The same port also answers plaintext `GET /metrics` (Prometheus text
+// format 0.0.4) with the live counters, gauges, and latency/round
+// histograms — `curl http://HOST:PORT/metrics` scrapes a running daemon
+// without any client tooling.  Connections are sniffed: anything that
+// does not start with "GET " is treated as CBCP frames.
+//
 // Usage:
 //   congestbcd [options]
 //
