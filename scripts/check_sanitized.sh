@@ -9,14 +9,19 @@
 #     hostile bytes straight into the restore parsers, plus the service
 #     suite (label "service"), whose framing fuzz feeds hostile bytes
 #     into the daemon's wire-protocol decoder, plus the observability
-#     suite (label "obs"), whose exporters walk recorder snapshots.
-#   * TSan (build-tsan): the engine, fault, snapshot, service, and obs
-#     suites — the parallel node-execution phase must be data-race-free
-#     for any lane count (including when resumed mid-run from a
-#     snapshot), the daemon's io-thread/worker-pool scheduler likewise,
-#     the flight recorder's lock-free ring is hammered from concurrent
-#     lanes (and the recorder-on/off bit-identity tests run with all
-#     threads), and TSan is the proof the determinism tests cannot give.
+#     suite (label "obs"), whose exporters walk recorder snapshots, plus
+#     the chaos suite (label "chaos"), which tears, corrupts, and cuts
+#     live sockets mid-frame and kill -9s the daemon mid-job — exactly
+#     the paths where a stale pointer or overflow would hide.
+#   * TSan (build-tsan): the engine, fault, snapshot, service, obs, and
+#     chaos suites — the parallel node-execution phase must be
+#     data-race-free for any lane count (including when resumed mid-run
+#     from a snapshot), the daemon's io-thread/worker-pool scheduler
+#     likewise, the flight recorder's lock-free ring is hammered from
+#     concurrent lanes (and the recorder-on/off bit-identity tests run
+#     with all threads), the chaos proxy's relay threads and the retry
+#     loop race connect/close against injected RSTs, and TSan is the
+#     proof the determinism tests cannot give.
 #
 # Usage:
 #   scripts/check_sanitized.sh [BUILD_DIR_PREFIX] [extra ctest args...]
@@ -34,9 +39,9 @@ cmake -S "$repo_root" -B "$prefix-asan" \
   -DCONGESTBC_SANITIZE=address,undefined
 cmake --build "$prefix-asan" -j"$(nproc)" --target fault_test fuzz_test engine_test snapshot_test \
   fingerprint_test service_protocol_test service_cache_test service_test \
-  obs_test obs_golden_test congestbcd congestbc_client
-(cd "$prefix-asan" && ctest -L 'faults|perf|snapshot|service|obs' --output-on-failure "$@")
-echo "sanitized (asan) fault+engine+snapshot+service+obs suites: OK"
+  chaos_test obs_test obs_golden_test congestbcd congestbc_client chaosproxy
+(cd "$prefix-asan" && ctest -L 'faults|perf|snapshot|service|obs|chaos' --output-on-failure "$@")
+echo "sanitized (asan) fault+engine+snapshot+service+obs+chaos suites: OK"
 
 echo "=== stage 2: thread ==="
 cmake -S "$repo_root" -B "$prefix-tsan" \
@@ -44,6 +49,6 @@ cmake -S "$repo_root" -B "$prefix-tsan" \
   -DCONGESTBC_SANITIZE=thread
 cmake --build "$prefix-tsan" -j"$(nproc)" --target engine_test fault_test snapshot_test \
   fingerprint_test service_protocol_test service_cache_test service_test \
-  obs_test obs_golden_test congestbcd congestbc_client
-(cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot|service|obs' --output-on-failure "$@")
-echo "sanitized (tsan) engine+fault+snapshot+service+obs suites: OK"
+  chaos_test obs_test obs_golden_test congestbcd congestbc_client chaosproxy
+(cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot|service|obs|chaos' --output-on-failure "$@")
+echo "sanitized (tsan) engine+fault+snapshot+service+obs+chaos suites: OK"

@@ -1,0 +1,493 @@
+#include "service/chaos.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace congestbc::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// SplitMix64 finalizer — the same stateless-hash idiom as
+/// congest/fault.cpp, so a chunk's fate depends only on (seed, conn,
+/// direction, chunk index), never on relay timing.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t chunk_hash(std::uint64_t seed, std::uint64_t conn, int direction,
+                         std::uint64_t index) {
+  std::uint64_t h = seed + 0x9E3779B97F4A7C15ull;
+  h = mix64(h ^ mix64(conn + 0x9E3779B97F4A7C15ull));
+  h = mix64(h ^ mix64((static_cast<std::uint64_t>(direction + 1) << 56) ^
+                      index));
+  return h;
+}
+
+double chunk_draw(std::uint64_t hash) {
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+void check_probability(double p, const char* name) {
+  CBC_EXPECTS(std::isfinite(p) && p >= 0.0 && p <= 1.0,
+              std::string(name) + " probability must be in [0, 1]");
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  CBC_EXPECTS(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+              "chaosproxy: fcntl(O_NONBLOCK) failed");
+}
+
+constexpr std::size_t kReadBuf = 16 * 1024;
+/// Backpressure cap per direction: stop reading the source while this
+/// much is buffered, so a stalled peer cannot balloon the relay.
+constexpr std::size_t kBacklogCap = 256 * 1024;
+
+enum class Fate : std::uint8_t { kDeliver, kCorrupt, kStall, kCut, kRst };
+
+}  // namespace
+
+// ------------------------------------------------------------ ChaosPlan
+
+void ChaosPlan::validate() const {
+  check_probability(corrupt_probability, "corrupt");
+  check_probability(stall_probability, "stall");
+  check_probability(cut_probability, "cut");
+  check_probability(rst_probability, "rst");
+  CBC_EXPECTS(corrupt_probability + stall_probability + cut_probability +
+                      rst_probability <=
+                  1.0,
+              "corrupt + stall + cut + rst probabilities must sum to at "
+              "most 1");
+}
+
+ChaosPlan ChaosPlan::parse(const std::string& spec) {
+  ChaosPlan plan;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) {
+      continue;
+    }
+    const auto eq = item.find('=');
+    CBC_EXPECTS(eq != std::string::npos,
+                "chaos spec items must be key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(std::stoull(value));
+    } else if (key == "corrupt") {
+      plan.corrupt_probability = std::stod(value);
+    } else if (key == "stall") {
+      plan.stall_probability = std::stod(value);
+    } else if (key == "cut") {
+      plan.cut_probability = std::stod(value);
+    } else if (key == "rst") {
+      plan.rst_probability = std::stod(value);
+    } else if (key == "stall-ms") {
+      plan.stall_ms = static_cast<std::uint64_t>(std::stoull(value));
+    } else if (key == "partial") {
+      plan.partial_cap = static_cast<std::uint64_t>(std::stoull(value));
+    } else if (key == "grace") {
+      plan.grace_chunks = static_cast<std::uint64_t>(std::stoull(value));
+    } else {
+      CBC_EXPECTS(false, "unknown chaos spec key '" + key + "'");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+std::string ChaosPlan::describe() const {
+  if (empty()) {
+    return "no chaos (faithful relay)";
+  }
+  std::ostringstream out;
+  out << "seed=" << seed;
+  if (corrupt_probability > 0.0) {
+    out << " corrupt=" << corrupt_probability;
+  }
+  if (stall_probability > 0.0) {
+    out << " stall=" << stall_probability << " (" << stall_ms << " ms)";
+  }
+  if (cut_probability > 0.0) {
+    out << " cut=" << cut_probability;
+  }
+  if (rst_probability > 0.0) {
+    out << " rst=" << rst_probability;
+  }
+  if (partial_cap > 0) {
+    out << " partial<=" << partial_cap << "B";
+  }
+  if (grace_chunks > 0) {
+    out << " grace=" << grace_chunks;
+  }
+  return out.str();
+}
+
+// ----------------------------------------------------------- ChaosProxy
+
+/// One relayed connection: two fds and two directed flows.  Direction 0
+/// is client→upstream, 1 is upstream→client.
+struct ChaosProxy::Conn {
+  int fd[2] = {-1, -1};  ///< fd[0] = client side, fd[1] = upstream side
+  std::uint64_t id = 0;
+
+  struct Flow {
+    std::deque<std::uint8_t> backlog;  ///< read but not yet chunked
+    std::vector<std::uint8_t> chunk;   ///< current chunk, fate applied
+    std::size_t chunk_off = 0;
+    std::uint64_t chunk_index = 0;
+    Clock::time_point release = Clock::time_point::min();
+    bool src_eof = false;
+    bool cut_after_chunk = false;
+    bool wr_shutdown = false;
+  } flow[2];  ///< flow[d] moves bytes from fd[d] to fd[1 - d]
+
+  bool dead = false;
+};
+
+ChaosProxy::ChaosProxy(ChaosPlan plan, std::string upstream_host,
+                       std::uint16_t upstream_port)
+    : plan_(plan),
+      upstream_host_(std::move(upstream_host)),
+      upstream_port_(upstream_port) {
+  plan_.validate();
+}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::start(std::uint16_t listen_port) {
+  CBC_EXPECTS(!running_.load(), "chaosproxy already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  CBC_EXPECTS(listen_fd_ >= 0, "chaosproxy: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(listen_port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  CBC_EXPECTS(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr) == 0,
+              "chaosproxy: bind() failed");
+  CBC_EXPECTS(::listen(listen_fd_, 64) == 0, "chaosproxy: listen() failed");
+  socklen_t len = sizeof addr;
+  CBC_EXPECTS(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len) == 0,
+              "chaosproxy: getsockname() failed");
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+  CBC_EXPECTS(::pipe(wake_fds_) == 0, "chaosproxy: pipe() failed");
+  set_nonblocking(wake_fds_[0]);
+  running_.store(true);
+  thread_ = std::thread([this] { run(); });
+}
+
+void ChaosProxy::stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  for (auto& conn : conns_) {
+    kill(*conn, /*with_rst=*/false);
+  }
+  conns_.clear();
+  for (int* fd : {&listen_fd_, &wake_fds_[0], &wake_fds_[1]}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+void ChaosProxy::accept_one() {
+  const int client = ::accept(listen_fd_, nullptr, nullptr);
+  if (client < 0) {
+    return;  // EAGAIN / transient: the loop re-polls
+  }
+  const int upstream = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (upstream < 0) {
+    ::close(client);
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(upstream_port_);
+  const std::string resolved =
+      upstream_host_ == "localhost" ? "127.0.0.1" : upstream_host_;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(upstream, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    // Upstream down (e.g. the daemon was just killed): drop the client;
+    // it sees EOF and heals by retrying.
+    ::close(client);
+    ::close(upstream);
+    return;
+  }
+  set_nonblocking(client);
+  set_nonblocking(upstream);
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  ::setsockopt(upstream, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  auto conn = std::make_unique<Conn>();
+  conn->fd[0] = client;
+  conn->fd[1] = upstream;
+  conn->id = next_conn_id_++;
+  conns_.push_back(std::move(conn));
+  stats_.connections.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ChaosProxy::kill(Conn& conn, bool with_rst) {
+  if (conn.dead) {
+    return;
+  }
+  if (with_rst && conn.fd[0] >= 0) {
+    // linger(0): close() sends RST instead of FIN, so the client sees
+    // ECONNRESET — the "switch ate my connection" failure mode.
+    linger lg{1, 0};
+    ::setsockopt(conn.fd[0], SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  }
+  for (int d = 0; d < 2; ++d) {
+    if (conn.fd[d] >= 0) {
+      ::close(conn.fd[d]);
+      conn.fd[d] = -1;
+    }
+  }
+  conn.dead = true;
+}
+
+/// Carves the next chunk out of `flow[direction]`'s backlog and applies
+/// its hash-drawn fate.  Returns false when the connection died.
+bool ChaosProxy::shape_chunk(Conn& conn, int direction) {
+  auto& flow = conn.flow[direction];
+  if (!flow.chunk.empty() || flow.backlog.empty()) {
+    return true;
+  }
+  std::size_t len = flow.backlog.size();
+  if (plan_.partial_cap > 0) {
+    len = std::min(len, static_cast<std::size_t>(plan_.partial_cap));
+  }
+  flow.chunk.assign(flow.backlog.begin(),
+                    flow.backlog.begin() + static_cast<std::ptrdiff_t>(len));
+  flow.backlog.erase(flow.backlog.begin(),
+                     flow.backlog.begin() + static_cast<std::ptrdiff_t>(len));
+  flow.chunk_off = 0;
+  flow.release = Clock::time_point::min();
+  const std::uint64_t index = flow.chunk_index++;
+  stats_.chunks.fetch_add(1, std::memory_order_relaxed);
+
+  Fate fate = Fate::kDeliver;
+  const std::uint64_t hash = chunk_hash(plan_.seed, conn.id, direction, index);
+  if (index >= plan_.grace_chunks) {
+    const double u = chunk_draw(hash);
+    if (u < plan_.corrupt_probability) {
+      fate = Fate::kCorrupt;
+    } else if (u < plan_.corrupt_probability + plan_.stall_probability) {
+      fate = Fate::kStall;
+    } else if (u < plan_.corrupt_probability + plan_.stall_probability +
+                       plan_.cut_probability) {
+      fate = Fate::kCut;
+    } else if (u < plan_.corrupt_probability + plan_.stall_probability +
+                       plan_.cut_probability + plan_.rst_probability) {
+      fate = Fate::kRst;
+    }
+  }
+  switch (fate) {
+    case Fate::kDeliver:
+      break;
+    case Fate::kCorrupt:
+      // Any single-byte flip breaks the frame's FNV-1a checksum; the
+      // position is hash-derived so replays corrupt the same byte.
+      flow.chunk[mix64(hash) % flow.chunk.size()] ^= 0x5A;
+      stats_.corrupted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Fate::kStall:
+      flow.release = Clock::now() + std::chrono::milliseconds(plan_.stall_ms);
+      stats_.stalled.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Fate::kCut:
+      // Forward a torn prefix, then hang up: the receiver holds half a
+      // frame and then sees EOF.
+      flow.chunk.resize((flow.chunk.size() + 1) / 2);
+      flow.cut_after_chunk = true;
+      stats_.cut.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Fate::kRst:
+      stats_.rst.fetch_add(1, std::memory_order_relaxed);
+      kill(conn, /*with_rst=*/true);
+      return false;
+  }
+  return true;
+}
+
+/// Writes the current chunk toward fd[1 - direction].  Returns false
+/// when the connection died.
+bool ChaosProxy::flush_chunk(Conn& conn, int direction) {
+  auto& flow = conn.flow[direction];
+  const int dst = conn.fd[1 - direction];
+  while (!flow.chunk.empty() && Clock::now() >= flow.release) {
+    const ssize_t n =
+        ::send(dst, flow.chunk.data() + flow.chunk_off,
+               flow.chunk.size() - flow.chunk_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;  // destination full: re-poll
+      }
+      kill(conn, /*with_rst=*/false);
+      return false;
+    }
+    flow.chunk_off += static_cast<std::size_t>(n);
+    if (flow.chunk_off == flow.chunk.size()) {
+      flow.chunk.clear();
+      flow.chunk_off = 0;
+      if (flow.cut_after_chunk) {
+        kill(conn, /*with_rst=*/false);
+        return false;
+      }
+      if (!shape_chunk(conn, direction)) {
+        return false;
+      }
+    }
+  }
+  // Propagate EOF once everything read before it has been relayed.
+  if (flow.src_eof && flow.backlog.empty() && flow.chunk.empty() &&
+      !flow.wr_shutdown) {
+    ::shutdown(dst, SHUT_WR);
+    flow.wr_shutdown = true;
+  }
+  return true;
+}
+
+void ChaosProxy::pump(Conn& conn) {
+  for (int d = 0; d < 2 && !conn.dead; ++d) {
+    if (!shape_chunk(conn, d)) {
+      return;
+    }
+    if (!flush_chunk(conn, d)) {
+      return;
+    }
+  }
+  if (conn.flow[0].wr_shutdown && conn.flow[1].wr_shutdown) {
+    kill(conn, /*with_rst=*/false);
+  }
+}
+
+void ChaosProxy::run() {
+  while (running_.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> pfds;
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    // Map pollfd index -> (conn index, side) for the dispatch below.
+    std::vector<std::pair<std::size_t, int>> where;
+    int timeout_ms = 200;
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      Conn& conn = *conns_[i];
+      if (conn.dead) {
+        continue;
+      }
+      for (int d = 0; d < 2; ++d) {
+        auto& flow = conn.flow[d];
+        short events = 0;
+        if (!flow.src_eof && flow.backlog.size() < kBacklogCap) {
+          events |= POLLIN;
+        }
+        if (!flow.chunk.empty() && now >= flow.release) {
+          // Waiting to write into the opposite fd.
+          pfds.push_back({conn.fd[1 - d], POLLOUT, 0});
+          where.emplace_back(i, 1 - d);
+        }
+        if (!flow.chunk.empty() && now < flow.release) {
+          const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+              flow.release - now);
+          timeout_ms = std::min<int>(
+              timeout_ms, std::max<int>(1, static_cast<int>(left.count())));
+        }
+        if (events != 0) {
+          pfds.push_back({conn.fd[d], events, 0});
+          where.emplace_back(i, d);
+        }
+      }
+    }
+    const int rc =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      break;
+    }
+    if (!running_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    if (pfds[0].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_fds_[0], drain, sizeof drain) > 0) {
+      }
+    }
+    if (pfds[1].revents & POLLIN) {
+      accept_one();
+    }
+    // Read newly arrived bytes, then pump every live connection (stall
+    // releases fire on the poll timeout even with no fd activity).
+    for (std::size_t p = 2; p < pfds.size(); ++p) {
+      const auto [ci, side] = where[p - 2];
+      Conn& conn = *conns_[ci];
+      if (conn.dead || !(pfds[p].revents & (POLLIN | POLLERR | POLLHUP))) {
+        continue;
+      }
+      auto& flow = conn.flow[side];
+      std::uint8_t buf[kReadBuf];
+      while (!flow.src_eof && flow.backlog.size() < kBacklogCap) {
+        const ssize_t n = ::recv(conn.fd[side], buf, sizeof buf, 0);
+        if (n > 0) {
+          flow.backlog.insert(flow.backlog.end(), buf, buf + n);
+          continue;
+        }
+        if (n == 0) {
+          flow.src_eof = true;
+          break;
+        }
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          break;
+        }
+        kill(conn, /*with_rst=*/false);
+        break;
+      }
+    }
+    for (auto& conn : conns_) {
+      if (!conn->dead) {
+        pump(*conn);
+      }
+    }
+    std::erase_if(conns_,
+                  [](const std::unique_ptr<Conn>& c) { return c->dead; });
+  }
+}
+
+}  // namespace congestbc::service

@@ -1,0 +1,126 @@
+// Deterministic socket-level chaos for the serving path.
+//
+// PR 1's FaultPlan proved the *simulated* CONGEST network stays
+// bit-identical under seeded adversity; this is the same idea applied to
+// the real TCP path between a client and congestbcd.  A ChaosProxy
+// listens on a loopback port, relays every accepted connection to the
+// upstream daemon, and misbehaves on the way: it re-chunks the byte
+// stream and, per chunk, may corrupt a byte (tripping the CBCP header
+// checksum), stall, forward only a torn prefix before disconnecting, or
+// reset the connection outright.  Capping the chunk size yields partial
+// writes and torn frames even when nothing else fires.
+//
+// Every decision is a pure function of (seed, connection, direction,
+// chunk index) via the same SplitMix64-finalizer hashing FaultPlan uses
+// — no RNG stream, no ordering dependence — so a failing chaos run is
+// replayable from its seed alone.  The injector never rewrites lengths
+// or invents bytes: corruption is detectable (checksum), cuts and RSTs
+// are observable (EOF/ECONNRESET), and stalls are bounded, which is
+// exactly the fault model the self-healing client (service/retry.hpp)
+// promises to survive.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace congestbc::service {
+
+/// A seeded, fully reproducible schedule of socket adversity.  The four
+/// probabilities are mutually exclusive per chunk (they must sum to at
+/// most 1; one hash draw decides).  Empty plan == a faithful relay.
+struct ChaosPlan {
+  std::uint64_t seed = 0;
+  double corrupt_probability = 0.0;  ///< XOR one byte of the chunk
+  double stall_probability = 0.0;    ///< hold the chunk for stall_ms
+  double cut_probability = 0.0;      ///< forward a torn prefix, then FIN
+  double rst_probability = 0.0;      ///< reset the connection (ECONNRESET)
+  std::uint64_t stall_ms = 100;
+  /// Max bytes relayed per chunk (0 = no cap).  Small values force
+  /// partial writes and torn frames on every connection.
+  std::uint64_t partial_cap = 0;
+  /// First N chunks of every direction pass clean — lets a connection
+  /// get far enough to make later injections interesting.
+  std::uint64_t grace_chunks = 0;
+
+  bool empty() const {
+    return corrupt_probability == 0.0 && stall_probability == 0.0 &&
+           cut_probability == 0.0 && rst_probability == 0.0 &&
+           partial_cap == 0;
+  }
+
+  /// Throws PreconditionError on out-of-range or over-unit summed
+  /// probabilities.
+  void validate() const;
+
+  /// Parses a comma-separated spec (the --chaos CLI value), e.g.
+  ///   "seed=7,corrupt=0.05,stall=0.1,stall-ms=50,partial=64"
+  ///   "seed=3,cut=0.02,rst=0.01,grace=2"
+  /// Keys: seed, corrupt, stall, cut, rst (probabilities),
+  /// stall-ms, partial, grace (u64).
+  static ChaosPlan parse(const std::string& spec);
+
+  /// One-line human-readable description (CLI banners, test logs).
+  std::string describe() const;
+
+  friend bool operator==(const ChaosPlan&, const ChaosPlan&) = default;
+};
+
+/// Injection counters, readable while the proxy serves.
+struct ChaosStats {
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> corrupted{0};
+  std::atomic<std::uint64_t> stalled{0};
+  std::atomic<std::uint64_t> cut{0};
+  std::atomic<std::uint64_t> rst{0};
+};
+
+/// The relay itself.  start() binds a loopback listener and launches the
+/// relay thread; stop() (or destruction) tears everything down.  Safe to
+/// run in-process next to the daemon and its clients — the chaos tests
+/// and loadgen do exactly that — or standalone via tools/chaosproxy.
+class ChaosProxy {
+ public:
+  ChaosProxy(ChaosPlan plan, std::string upstream_host,
+             std::uint16_t upstream_port);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds 127.0.0.1:`listen_port` (0 = ephemeral) and starts relaying.
+  void start(std::uint16_t listen_port = 0);
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+  const ChaosPlan& plan() const { return plan_; }
+  const ChaosStats& stats() const { return stats_; }
+
+ private:
+  struct Conn;
+
+  void run();
+  void accept_one();
+  void pump(Conn& conn);
+  bool shape_chunk(Conn& conn, int direction);
+  bool flush_chunk(Conn& conn, int direction);
+  void kill(Conn& conn, bool with_rst);
+
+  ChaosPlan plan_;
+  std::string upstream_host_;
+  std::uint16_t upstream_port_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 0;
+  ChaosStats stats_;
+};
+
+}  // namespace congestbc::service

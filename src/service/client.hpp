@@ -7,8 +7,17 @@
 // std::runtime_error.  Both the congestbc_client tool and the in-process
 // service tests drive the daemon through this class, so the wire path is
 // exercised even when client and daemon share an address space.
+//
+// Deadline accounting: the socket is non-blocking and every operation —
+// including connect() itself — runs a poll(2) loop against an absolute
+// deadline computed once at entry.  A partial read or write never
+// resets the clock (the old SO_RCVTIMEO scheme restarted the timer on
+// every syscall, so a trickling peer could stretch one "30 s" call
+// indefinitely), and EINTR recomputes the remaining budget from the
+// original deadline instead of retrying with a stale timeout.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -24,11 +33,17 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects with send/receive timeouts of `timeout_ms`.
+  /// Connects within `timeout_ms` (a blocking ::connect to a dead host
+  /// could otherwise hang for minutes); the same value becomes the
+  /// per-call I/O deadline until set_io_timeout() changes it.
   void connect(const std::string& host, std::uint16_t port,
                int timeout_ms = 30000);
   bool connected() const { return fd_ >= 0; }
   void close();
+
+  /// Per-call deadline for subsequent call()s, in ms from call entry.
+  void set_io_timeout(int timeout_ms) { io_timeout_ms_ = timeout_ms; }
+  int io_timeout() const { return io_timeout_ms_; }
 
   /// One round trip: send the request frame, block for the reply frame.
   Reply call(const Request& request);
@@ -49,10 +64,13 @@ class Client {
                           int timeout_ms = 120000);
 
  private:
-  void send_frame(const Request& request);
-  Reply read_reply();
+  using Deadline = std::chrono::steady_clock::time_point;
+
+  void send_frame(const Request& request, Deadline deadline);
+  Reply read_reply(Deadline deadline);
 
   int fd_ = -1;
+  int io_timeout_ms_ = 30000;
   FrameDecoder decoder_;
 };
 

@@ -491,6 +491,37 @@ void Daemon::poll_tick_housekeeping() {
         }
       }
     }
+    // Client deadlines: a queued job whose submitter's budget ran out
+    // fails on the spot (it will never be collected); a running one is
+    // asked to halt at its next round boundary and fails in
+    // execute_job's completion path.
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      const std::shared_ptr<Job> job = it->second;
+      if (job->deadline == std::chrono::steady_clock::time_point::max() ||
+          now < job->deadline) {
+        ++it;
+        continue;
+      }
+      if (job->state == JobState::kQueued) {
+        job->state = JobState::kFailed;
+        job->detail = "client deadline expired before the job started";
+        const auto pos = std::find(queue_.begin(), queue_.end(), job);
+        if (pos != queue_.end()) {
+          queue_.erase(pos);
+        }
+        ++metrics_.jobs_failed;
+        ++metrics_.deadline_expired;
+        mark_terminal_locked(job);
+        retire_job_locked(*job);
+        it = inflight_.erase(it);
+        continue;
+      }
+      if (job->state == JobState::kRunning && !job->deadline_exceeded) {
+        job->deadline_exceeded = true;
+        job->halt.store(true, std::memory_order_relaxed);
+      }
+      ++it;
+    }
     gc_jobs_locked(now);
   }
   if (!config_.metrics_path.empty() && config_.metrics_every_ms != 0) {
@@ -680,6 +711,10 @@ void Daemon::parse_submit(const SubmitRequest& request, Graph& graph,
   canonical.source = GraphSource::kInline;
   canonical.graph = write_edge_list_text(graph);
   canonical.max_rounds = options.max_rounds;
+  // Retry metadata never reaches the spool or the fingerprint: attempt 3
+  // of a submit must coalesce with attempt 1.
+  canonical.deadline_ms = 0;
+  canonical.attempt = 1;
 }
 
 SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
@@ -697,6 +732,9 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++metrics_.submits;
+  if (request.attempt > 1) {
+    ++metrics_.retried_submits;
+  }
   SubmitReply reply;
   if (!parsed) {
     reply.disposition = SubmitDisposition::kRejected;
@@ -727,6 +765,18 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
   }
   if (const auto it = inflight_.find(fp); it != inflight_.end()) {
     ++metrics_.coalesced;
+    // The coalesced job serves every submitter, so it lives until the
+    // *latest* deadline among them — and forever if any submitter had
+    // none (time_point::max() means "no deadline").
+    if (request.deadline_ms == 0) {
+      it->second->deadline = std::chrono::steady_clock::time_point::max();
+    } else if (it->second->deadline !=
+               std::chrono::steady_clock::time_point::max()) {
+      it->second->deadline =
+          std::max(it->second->deadline,
+                   std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(request.deadline_ms));
+    }
     reply.disposition = SubmitDisposition::kCoalesced;
     reply.job_id = it->second->id;
     return reply;
@@ -737,6 +787,26 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
     reply.detail = "queue full (" + std::to_string(queue_.size()) + " queued)";
     return reply;
   }
+  if (request.deadline_ms != 0) {
+    // Deadline-aware admission: when the client's remaining budget cannot
+    // plausibly cover queue wait + run (estimated from the p50 of recent
+    // jobs), reject now so the client retries elsewhere or gives up —
+    // instead of burning a worker on a result nobody will wait for.
+    // With no latency history yet the estimate is zero and every deadline
+    // is accepted.
+    const double p50 = metrics_.latency_percentile(50.0);
+    const double estimated_ms =
+        p50 * static_cast<double>(queue_.size() + 1);
+    if (estimated_ms > static_cast<double>(request.deadline_ms)) {
+      ++metrics_.deadline_rejections;
+      reply.disposition = SubmitDisposition::kDeadline;
+      reply.detail = "deadline " + std::to_string(request.deadline_ms) +
+                     " ms < estimated " +
+                     std::to_string(static_cast<std::uint64_t>(estimated_ms)) +
+                     " ms (p50 latency x queue depth)";
+      return reply;
+    }
+  }
   auto job = std::make_shared<Job>();
   job->id = next_job_id_++;
   job->fingerprint = fp;
@@ -744,6 +814,10 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
   job->graph = std::move(graph);
   job->options = std::move(options);
   job->submitted = std::chrono::steady_clock::now();
+  if (request.deadline_ms != 0) {
+    job->deadline =
+        job->submitted + std::chrono::milliseconds(request.deadline_ms);
+  }
   admit_locked(job);
   reply.disposition = SubmitDisposition::kQueued;
   reply.job_id = job->id;
@@ -788,6 +862,11 @@ void Daemon::admit_locked(const std::shared_ptr<Job>& job) {
   if (!config_.spool_dir.empty()) {
     try {
       spool_write_job(*job);
+      // ADMIT lands only after the .req does: a journal entry without a
+      // matching spool file would resurrect a job with no request body.
+      if (journal_) {
+        journal_->append(SpoolJournal::Record::kAdmit, job->fingerprint);
+      }
     } catch (const std::exception&) {
       // Persistence is best-effort: the job still runs, it just cannot be
       // resumed across a restart.
@@ -862,9 +941,7 @@ CancelReply Daemon::handle_cancel(std::uint64_t job_id) {
       inflight_.erase(job->fingerprint);
       ++metrics_.jobs_cancelled;
       mark_terminal_locked(job);
-      if (!config_.spool_dir.empty()) {
-        spool_remove_job(*job);
-      }
+      retire_job_locked(*job);
       reply.outcome = CancelOutcome::kCancelled;
       break;
     }
@@ -962,9 +1039,7 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
       job->detail = "cancelled while running";
       ++metrics_.jobs_cancelled;
       mark_terminal_locked(job);
-      if (!config_.spool_dir.empty()) {
-        spool_remove_job(*job);
-      }
+      retire_job_locked(*job);
     } else if (job->budget_exceeded) {
       job->state = JobState::kFailed;
       job->detail = "wall-clock budget exceeded (" +
@@ -978,9 +1053,21 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
       metrics_.record_latency_ms(latency_ms);
       metrics_.record_job_rounds(outcome.result.rounds, latency_ms);
       mark_terminal_locked(job);
-      if (!config_.spool_dir.empty()) {
-        spool_remove_job(*job);
+      retire_job_locked(*job);
+    } else if (job->deadline_exceeded) {
+      job->state = JobState::kFailed;
+      job->detail = "client deadline expired while the job ran";
+      if (block_servable) {
+        job->result = servable;  // partial harvest, served but never cached
+      } else {
+        job->detail += "; " + unservable_detail;
       }
+      ++metrics_.jobs_failed;
+      ++metrics_.deadline_expired;
+      metrics_.record_latency_ms(latency_ms);
+      metrics_.record_job_rounds(outcome.result.rounds, latency_ms);
+      mark_terminal_locked(job);
+      retire_job_locked(*job);
     } else {
       // Drain suspension: the run just wrote its boundary checkpoint (when
       // a spool is configured); the spool entry stays for the restart.
@@ -1013,6 +1100,9 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
           // Warm-cache persistence is best-effort.
         }
       }
+      if (journal_) {
+        journal_->append(SpoolJournal::Record::kTerminal, job->fingerprint);
+      }
       spool_remove_job(*job);
     }
   } else {
@@ -1028,9 +1118,7 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
     metrics_.record_latency_ms(latency_ms);
     metrics_.record_job_rounds(outcome.result.rounds, latency_ms);
     mark_terminal_locked(job);
-    if (!config_.spool_dir.empty()) {
-      spool_remove_job(*job);
-    }
+    retire_job_locked(*job);
   }
   // Nudge the poll loop so a drain waiting on running_ notices promptly.
   if (wake_pipe_[1] >= 0) {
@@ -1048,6 +1136,38 @@ std::string Daemon::ckpt_dir(std::uint64_t fingerprint) const {
 }
 
 std::string Daemon::cache_dir() const { return config_.spool_dir + "/cache"; }
+
+std::string Daemon::quarantine_dir() const {
+  return config_.spool_dir + "/quarantine";
+}
+
+void Daemon::quarantine_path(const std::string& path) {
+  std::error_code ec;
+  const fs::path source(path);
+  fs::create_directories(quarantine_dir(), ec);
+  fs::path target = fs::path(quarantine_dir()) / source.filename();
+  for (int suffix = 1; fs::exists(target, ec); ++suffix) {
+    target = fs::path(quarantine_dir()) /
+             (source.filename().string() + "." + std::to_string(suffix));
+  }
+  fs::rename(source, target, ec);
+  if (ec) {
+    // Same-filesystem rename should not fail; if it somehow does, fall
+    // back to removal so the bad file cannot be re-trusted next start.
+    fs::remove_all(source, ec);
+  }
+  ++metrics_.quarantined_files;
+}
+
+void Daemon::retire_job_locked(const Job& job) {
+  if (config_.spool_dir.empty()) {
+    return;
+  }
+  if (journal_) {
+    journal_->append(SpoolJournal::Record::kTerminal, job.fingerprint);
+  }
+  spool_remove_job(job);
+}
 
 void Daemon::spool_write_job(const Job& job) const {
   BitWriter payload;
@@ -1121,12 +1241,34 @@ void Daemon::flush_cache_index_locked() const {
 void Daemon::recover_spool() {
   std::error_code ec;
 
+  // 0. Journal replay: which spooled jobs are live work vs leftovers of
+  //    finished work.  A corrupt journal never blocks startup — replay
+  //    simply stops at the last intact record, and an unopenable file
+  //    just means serving without lifecycle records this run.
+  journal_ = std::make_unique<SpoolJournal>(config_.spool_dir + "/journal.log");
+  std::unordered_set<std::uint64_t> journal_live;
+  std::unordered_set<std::uint64_t> journal_retired;
+  try {
+    const SpoolJournal::Recovery recovery = journal_->open_and_recover();
+    journal_live.insert(recovery.live.begin(), recovery.live.end());
+    journal_retired.insert(recovery.retired.begin(), recovery.retired.end());
+    // Compact to *empty*, not to the live set: every re-admitted job
+    // appends a fresh ADMIT through admit_locked below, and a pre-seeded
+    // record would double-count it (net 2, so one TERMINAL later would
+    // leave a phantom live entry).
+    journal_->compact({});
+  } catch (const std::exception&) {
+    journal_.reset();
+  }
+
   // 1. Warm cache, least recently used first so put() order restores
-  //    recency exactly as flushed.
+  //    recency exactly as flushed.  A missing file is a non-event (index
+  //    staleness); a file that fails its CBCSNAP1 hash or decodes wrong
+  //    is quarantined — startup must survive arbitrary disk corruption.
   const auto load_res = [this](std::uint64_t fp) -> bool {
-    std::ifstream in(
-        fs::path(cache_dir()) / ("res-" + fingerprint_hex(fp) + ".res"),
-        std::ios::binary);
+    const fs::path path =
+        fs::path(cache_dir()) / ("res-" + fingerprint_hex(fp) + ".res");
+    std::ifstream in(path, std::ios::binary);
     if (!in) {
       return false;
     }
@@ -1134,10 +1276,10 @@ void Daemon::recover_spool() {
       const SnapshotPayload payload = read_snapshot_container(in);
       BitReader r = payload.reader();
       if (r.read_varuint() != kSpoolVersion) {
-        return false;
+        throw SnapshotError("spool version mismatch");
       }
       if (snap::get_u64(r) != fp) {
-        return false;
+        throw SnapshotError("fingerprint mismatch");
       }
       const std::uint64_t status = snap::get_u64(r);
       auto result = std::make_shared<CachedResult>();
@@ -1146,6 +1288,7 @@ void Daemon::recover_spool() {
       cache_.put(fp, std::move(result));
       return true;
     } catch (const std::exception&) {
+      quarantine_path(path.string());
       return false;
     }
   };
@@ -1178,7 +1321,10 @@ void Daemon::recover_spool() {
   }
 
   // 2. Interrupted jobs: re-admit each spooled request, resuming from its
-  //    latest checkpoint when one exists.
+  //    newest *valid* checkpoint.  The journal separates live work from
+  //    the leftovers of finished work (a kill -9 between the TERMINAL
+  //    record and the unlink leaves a stale .req that must never re-run);
+  //    anything unreadable or inconsistent is quarantined, not trusted.
   ec.clear();
   for (const auto& entry : fs::directory_iterator(jobs_dir(), ec)) {
     const std::string name = entry.path().filename().string();
@@ -1190,15 +1336,23 @@ void Daemon::recover_spool() {
       const SnapshotPayload container = read_snapshot_container(in);
       BitReader r = container.reader();
       if (r.read_varuint() != kSpoolVersion) {
-        fs::remove(entry.path(), ec);
+        quarantine_path(entry.path().string());
         continue;
       }
       const std::uint64_t fp = snap::get_u64(r);
+      if (journal_retired.count(fp) != 0 && journal_live.count(fp) == 0) {
+        // The journal says this job already finished; the crash landed in
+        // the window between its TERMINAL record and the unlink.  Remove,
+        // never re-run — re-running would duplicate completed work.
+        fs::remove(entry.path(), ec);
+        fs::remove_all(ckpt_dir(fp), ec);
+        continue;
+      }
       FramePayload request_payload;
       request_payload.bits = snap::get_bits(r, request_payload.bytes);
       const Request request = decode_request(request_payload);
       if (request.type != MsgType::kSubmit) {
-        fs::remove(entry.path(), ec);
+        quarantine_path(entry.path().string());
         continue;
       }
       Graph graph(0, {});
@@ -1206,7 +1360,7 @@ void Daemon::recover_spool() {
       SubmitRequest canonical;
       parse_submit(request.submit, graph, options, canonical);
       if (run_fingerprint(graph, options) != fp) {
-        fs::remove(entry.path(), ec);  // stale or corrupted entry
+        quarantine_path(entry.path().string());  // stale or corrupted entry
         continue;
       }
       if (cache_.peek(fp) != nullptr) {
@@ -1221,15 +1375,33 @@ void Daemon::recover_spool() {
       job->graph = std::move(graph);
       job->options = std::move(options);
       job->submitted = std::chrono::steady_clock::now();
-      if (const auto checkpoint = latest_checkpoint(ckpt_dir(fp))) {
-        job->resume_from = *checkpoint;
+      // Newest checkpoint that actually decodes; corrupt ones (torn
+      // writes, bit rot) are quarantined and the scan falls back to the
+      // next-oldest — worst case the job restarts from round zero.
+      const std::vector<std::string> checkpoints =
+          list_checkpoints(ckpt_dir(fp));
+      for (auto ck = checkpoints.rbegin(); ck != checkpoints.rend(); ++ck) {
+        bool valid = false;
+        std::ifstream ckin(*ck, std::ios::binary);
+        if (ckin) {
+          try {
+            (void)read_snapshot_container(ckin);
+            valid = true;
+          } catch (const std::exception&) {
+          }
+        }
+        if (valid) {
+          job->resume_from = *ck;
+          break;
+        }
+        quarantine_path(*ck);
       }
       std::lock_guard<std::mutex> lock(mutex_);
       job->id = next_job_id_++;
       ++metrics_.jobs_resumed;
       admit_locked(job);
     } catch (const std::exception&) {
-      fs::remove(entry.path(), ec);  // unreadable spool entry
+      quarantine_path(entry.path().string());  // unreadable spool entry
     }
   }
 }

@@ -43,6 +43,7 @@
 #include "core/thread_pool.hpp"
 #include "graph/graph.hpp"
 #include "service/cache.hpp"
+#include "service/journal.hpp"
 #include "service/metrics.hpp"
 #include "service/protocol.hpp"
 
@@ -150,6 +151,12 @@ class Daemon {
     bool from_cache = false;
     bool cancel_requested = false;
     bool budget_exceeded = false;
+    /// Halted because the client's propagated deadline lapsed mid-run.
+    bool deadline_exceeded = false;
+    /// Absolute client deadline — the max over every submitter that
+    /// coalesced onto this execution; time_point::max() = none.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
     /// Snapshot path to resume from (spool recovery).
     std::string resume_from;
     /// Cooperative halt flag wired into the run (drain / cancel / budget).
@@ -234,8 +241,18 @@ class Daemon {
   std::string jobs_dir() const;
   std::string ckpt_dir(std::uint64_t fingerprint) const;
   std::string cache_dir() const;
+  std::string quarantine_dir() const;
   void spool_write_job(const Job& job) const;
   void spool_remove_job(const Job& job) const;
+  /// Journals the terminal transition, then removes the spool entry.
+  /// The order is the crash-safety invariant: a kill -9 between the two
+  /// leaves a stale .req that recovery recognizes (terminal record) and
+  /// removes instead of re-running.
+  void retire_job_locked(const Job& job);
+  /// Moves a corrupt/truncated spool file (or directory) into
+  /// <spool>/quarantine/ and counts it — startup never trusts, deletes,
+  /// or dies on bad state.
+  void quarantine_path(const std::string& path);
   void persist_cache_entry(std::uint64_t fingerprint,
                            const CachedResult& result) const;
   void remove_cache_entry(std::uint64_t fingerprint) const;
@@ -266,6 +283,10 @@ class Daemon {
   LruResultCache cache_;
   ServiceMetrics metrics_;
   std::uint64_t running_ = 0;
+  /// Spool lifecycle journal (null without a spool dir or when the
+  /// journal file is unwritable — then recovery falls back to trusting
+  /// the .req files alone).  Appended under mutex_.
+  std::unique_ptr<SpoolJournal> journal_;
 
   std::chrono::steady_clock::time_point last_metrics_dump_;
   std::thread serve_thread_;

@@ -1,0 +1,214 @@
+#include "service/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <unordered_map>
+#include <vector>
+
+#include "snapshot/snapshot.hpp"
+
+namespace congestbc::service {
+
+namespace {
+
+// One record: kind byte, fingerprint (u64 LE), FNV-1a guard over the
+// first 9 bytes (u64 LE).  Fixed size keeps torn-tail detection trivial:
+// anything shorter than 17 bytes at the end of the file is a tail.
+constexpr std::size_t kRecordBytes = 1 + 8 + 8;
+
+void encode_record(std::uint8_t* out, SpoolJournal::Record kind,
+                   std::uint64_t fp) {
+  out[0] = static_cast<std::uint8_t>(kind);
+  for (unsigned i = 0; i < 8; ++i) {
+    out[1 + i] = static_cast<std::uint8_t>((fp >> (8 * i)) & 0xff);
+  }
+  const std::uint64_t guard = fnv1a(out, 9);
+  for (unsigned i = 0; i < 8; ++i) {
+    out[9 + i] = static_cast<std::uint8_t>((guard >> (8 * i)) & 0xff);
+  }
+}
+
+/// Returns true and fills (kind, fp) when the 17 bytes are an intact
+/// record.
+bool decode_record(const std::uint8_t* in, std::uint8_t& kind,
+                   std::uint64_t& fp) {
+  std::uint64_t guard = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    guard |= static_cast<std::uint64_t>(in[9 + i]) << (8 * i);
+  }
+  if (guard != fnv1a(in, 9)) {
+    return false;
+  }
+  kind = in[0];
+  if (kind != static_cast<std::uint8_t>(SpoolJournal::Record::kAdmit) &&
+      kind != static_cast<std::uint8_t>(SpoolJournal::Record::kTerminal)) {
+    return false;
+  }
+  fp = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    fp |= static_cast<std::uint64_t>(in[1 + i]) << (8 * i);
+  }
+  return true;
+}
+
+}  // namespace
+
+SpoolJournal::~SpoolJournal() { close(); }
+
+void SpoolJournal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+SpoolJournal::Recovery SpoolJournal::open_and_recover() {
+  close();
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(fs::path(path_).parent_path(), ec);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot open spool journal " + path_ + ": " +
+                             std::strerror(errno));
+  }
+
+  std::vector<std::uint8_t> bytes;
+  {
+    std::uint8_t buf[4096];
+    off_t pos = 0;
+    while (true) {
+      const ssize_t n = ::pread(fd_, buf, sizeof buf, pos);
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n <= 0) {
+        break;
+      }
+      bytes.insert(bytes.end(), buf, buf + n);
+      pos += n;
+    }
+  }
+
+  Recovery recovery;
+  // Net admit count per fingerprint.  A fingerprint can legitimately
+  // cycle admit→terminal→admit (resubmitted after a cache eviction), so
+  // this is a counter, not a set.
+  std::unordered_map<std::uint64_t, std::int64_t> net;
+  std::unordered_map<std::uint64_t, bool> saw_terminal;
+  std::size_t intact = 0;
+  while (intact + kRecordBytes <= bytes.size()) {
+    std::uint8_t kind = 0;
+    std::uint64_t fp = 0;
+    if (!decode_record(bytes.data() + intact, kind, fp)) {
+      break;  // corrupt record: everything after it is untrustworthy
+    }
+    intact += kRecordBytes;
+    ++recovery.records;
+    if (kind == static_cast<std::uint8_t>(Record::kAdmit)) {
+      ++net[fp];
+    } else {
+      --net[fp];
+      saw_terminal[fp] = true;
+    }
+  }
+  recovery.torn_bytes = bytes.size() - intact;
+  for (const auto& [fp, count] : net) {
+    if (count > 0) {
+      recovery.live.push_back(fp);
+    } else if (saw_terminal[fp]) {
+      recovery.retired.push_back(fp);
+    }
+  }
+  if (recovery.torn_bytes > 0) {
+    // Drop the torn tail so the next append starts on a record boundary.
+    if (::ftruncate(fd_, static_cast<off_t>(intact)) != 0) {
+      ++write_failures_;
+    }
+  }
+  return recovery;
+}
+
+void SpoolJournal::append(Record kind, std::uint64_t fingerprint) {
+  if (fd_ < 0) {
+    ++write_failures_;
+    return;
+  }
+  std::uint8_t record[kRecordBytes];
+  encode_record(record, kind, fingerprint);
+  std::size_t written = 0;
+  while (written < sizeof record) {
+    const ssize_t n =
+        ::write(fd_, record + written, sizeof record - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    ++write_failures_;
+    return;
+  }
+  if (::fsync(fd_) != 0) {
+    ++write_failures_;
+  }
+}
+
+void SpoolJournal::compact(const std::vector<std::uint64_t>& live) {
+  namespace fs = std::filesystem;
+  const std::string tmp = path_ + ".tmp";
+  const int tmp_fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) {
+    ++write_failures_;
+    return;
+  }
+  bool ok = true;
+  for (const std::uint64_t fp : live) {
+    std::uint8_t record[kRecordBytes];
+    encode_record(record, Record::kAdmit, fp);
+    std::size_t written = 0;
+    while (ok && written < sizeof record) {
+      const ssize_t n =
+          ::write(tmp_fd, record + written, sizeof record - written);
+      if (n > 0) {
+        written += static_cast<std::size_t>(n);
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else {
+        ok = false;
+      }
+    }
+  }
+  ok = ok && ::fsync(tmp_fd) == 0;
+  ::close(tmp_fd);
+  if (!ok) {
+    ++write_failures_;
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path_, ec);
+  if (ec) {
+    ++write_failures_;
+    fs::remove(tmp, ec);
+    return;
+  }
+  // Reopen the append fd on the new inode.
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    ++write_failures_;
+  }
+}
+
+}  // namespace congestbc::service

@@ -1,0 +1,82 @@
+// Append-truncate-safe journal for the daemon's job spool.
+//
+// The spool files themselves are atomic (write-temp + rename), but the
+// *lifecycle* of a spooled job was not: a `kill -9` landing between a
+// job's terminal transition and the unlink of its job-<fp>.req re-ran
+// the job on the next start (duplication), and nothing distinguished
+// "this .req is live work" from "this .req is a leftover of finished
+// work".  The journal closes that window with two tiny fsynced records:
+//
+//   ADMIT <fp>     appended right after job-<fp>.req lands on disk
+//   TERMINAL <fp>  appended right before job-<fp>.req is unlinked
+//
+// Recovery replays the journal; an fp whose admits outnumber its
+// terminals is live (resume it), anything else is finished (its stale
+// .req, if the crash preserved one, is removed — never re-run).  Each
+// record carries its own FNV-1a guard, and a torn tail — the half
+// record a kill -9 can leave — is detected and truncated away, never
+// misparsed: the journal is readable after any prefix of any append.
+//
+// Not internally synchronized: the daemon appends under its scheduler
+// mutex, and recovery runs before serving starts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace congestbc::service {
+
+class SpoolJournal {
+ public:
+  enum class Record : std::uint8_t {
+    kAdmit = 1,     ///< job admitted; its .req is on disk
+    kTerminal = 2,  ///< job reached a terminal state; .req unlink follows
+  };
+
+  /// What replaying the journal found.
+  struct Recovery {
+    /// Fingerprints with more admits than terminals — jobs to resume.
+    std::vector<std::uint64_t> live;
+    /// Fingerprints that reached a terminal record — their stale .req
+    /// files (if any survived the crash) must be removed, not re-run.
+    std::vector<std::uint64_t> retired;
+    std::uint64_t records = 0;    ///< intact records replayed
+    std::uint64_t torn_bytes = 0;  ///< truncated tail (0 = clean file)
+  };
+
+  explicit SpoolJournal(std::string path) : path_(std::move(path)) {}
+  ~SpoolJournal();
+
+  SpoolJournal(const SpoolJournal&) = delete;
+  SpoolJournal& operator=(const SpoolJournal&) = delete;
+
+  /// Replays the journal (creating it when absent), truncates any torn
+  /// tail, and opens for appending.  Throws std::runtime_error only when
+  /// the file cannot be opened at all — a corrupt *content* never fails
+  /// recovery, it just ends the replay at the last intact record.
+  Recovery open_and_recover();
+
+  /// Appends one record and fsyncs.  Failures are swallowed (the spool
+  /// is best-effort durability; an unwritable journal must not take down
+  /// admission) but remembered in write_failures().
+  void append(Record kind, std::uint64_t fingerprint);
+
+  /// Rewrites the journal to one ADMIT per `live` fingerprint (atomic
+  /// write-temp + rename), dropping the replayed history.  Called after
+  /// recovery so the file stays proportional to live work, not lifetime
+  /// traffic.
+  void compact(const std::vector<std::uint64_t>& live);
+
+  void close();
+
+  const std::string& path() const { return path_; }
+  std::uint64_t write_failures() const { return write_failures_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t write_failures_ = 0;
+};
+
+}  // namespace congestbc::service

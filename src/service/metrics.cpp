@@ -79,6 +79,10 @@ StatsReply ServiceMetrics::snapshot(std::uint64_t queue_depth,
   s.workers = workers;
   s.cache_entries = cache_entries;
   s.cache_evictions = cache_evictions;
+  s.retried_submits = retried_submits;
+  s.deadline_rejections = deadline_rejections;
+  s.deadline_expired = deadline_expired;
+  s.quarantined_files = quarantined_files;
   s.qps = s.uptime_ms == 0
               ? 0.0
               : static_cast<double>(submits) * 1000.0 /
@@ -116,6 +120,10 @@ std::string to_json(const StatsReply& stats) {
   w.key("workers").value(stats.workers);
   w.key("cache_entries").value(stats.cache_entries);
   w.key("cache_evictions").value(stats.cache_evictions);
+  w.key("retried_submits").value(stats.retried_submits);
+  w.key("deadline_rejections").value(stats.deadline_rejections);
+  w.key("deadline_expired").value(stats.deadline_expired);
+  w.key("quarantined_files").value(stats.quarantined_files);
   w.key("qps").value(stats.qps);
   w.key("worker_utilization").value(stats.worker_utilization);
   w.key("latency_p50_ms").value(stats.latency_p50_ms);
@@ -168,6 +176,19 @@ std::string prometheus_text(const StatsReply& stats,
           static_cast<double>(stats.cache_entries));
   w.counter("congestbcd_cache_evictions_total", "Result-cache LRU evictions",
             stats.cache_evictions);
+  w.counter("congestbcd_retried_submits_total",
+            "Submits marked by the client as a retry (attempt > 1)",
+            stats.retried_submits);
+  w.counter("congestbcd_deadline_rejections_total",
+            "Submits rejected at admission because the client deadline "
+            "could not be met",
+            stats.deadline_rejections);
+  w.counter("congestbcd_deadline_expired_total",
+            "Admitted jobs failed because the client deadline ran out",
+            stats.deadline_expired);
+  w.counter("congestbcd_quarantined_files_total",
+            "Corrupt spool/cache/checkpoint files quarantined at startup",
+            stats.quarantined_files);
   w.gauge("congestbcd_qps", "Submits per second over the daemon lifetime",
           stats.qps);
   w.gauge("congestbcd_worker_utilization",

@@ -37,6 +37,14 @@ class ServiceMetrics {
   std::uint64_t jobs_suspended = 0;
   std::uint64_t jobs_resumed = 0;
   std::uint64_t protocol_errors = 0;
+  // Chaos/retry-plane counters (PR 6): visibility into the self-healing
+  // path — how often clients resend, how often deadline admission says
+  // no, how many jobs die mid-run on an expired budget, and how many
+  // state files the startup integrity scan had to quarantine.
+  std::uint64_t retried_submits = 0;
+  std::uint64_t deadline_rejections = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t quarantined_files = 0;
 
   // Whole-life histograms behind the /metrics endpoint (the percentile
   // window above describes recent behavior; these never forget).

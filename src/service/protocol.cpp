@@ -11,7 +11,8 @@ namespace congestbc::service {
 namespace {
 
 constexpr char kMagic[4] = {'C', 'B', 'C', 'P'};
-constexpr std::size_t kHeaderBytes = 10;
+constexpr std::size_t kHeaderBytes = 18;
+constexpr std::size_t kChecksumOffset = 10;
 
 // ---- payload field helpers -------------------------------------------
 //
@@ -84,6 +85,8 @@ void encode_submit_body(BitWriter& w, const SubmitRequest& s) {
   w.write_varuint(s.max_rounds);
   w.write_varuint(s.threads);
   w.write_bool(s.legacy_engine);
+  w.write_varuint(s.deadline_ms);
+  w.write_varuint(s.attempt);
 }
 
 SubmitRequest decode_submit_body(BitReader& r) {
@@ -101,6 +104,8 @@ SubmitRequest decode_submit_body(BitReader& r) {
   s.max_rounds = r.read_varuint();
   s.threads = static_cast<std::uint32_t>(r.read_varuint());
   s.legacy_engine = r.read_bool();
+  s.deadline_ms = r.read_varuint();
+  s.attempt = static_cast<std::uint32_t>(r.read_varuint());
   return s;
 }
 
@@ -114,7 +119,7 @@ void encode_submit_reply_body(BitWriter& w, const SubmitReply& m) {
 SubmitReply decode_submit_reply_body(BitReader& r) {
   SubmitReply m;
   const std::uint64_t d = r.read_varuint();
-  if (d > static_cast<std::uint64_t>(SubmitDisposition::kRejected)) {
+  if (d > static_cast<std::uint64_t>(SubmitDisposition::kDeadline)) {
     throw ProtocolError(ProtoError::kMalformed, "unknown submit disposition");
   }
   m.disposition = static_cast<SubmitDisposition>(d);
@@ -227,6 +232,10 @@ void encode_stats_reply_body(BitWriter& w, const StatsReply& m) {
   w.write_varuint(m.workers);
   w.write_varuint(m.cache_entries);
   w.write_varuint(m.cache_evictions);
+  w.write_varuint(m.retried_submits);
+  w.write_varuint(m.deadline_rejections);
+  w.write_varuint(m.deadline_expired);
+  w.write_varuint(m.quarantined_files);
   put_gauge(w, m.qps);
   put_gauge(w, m.worker_utilization);
   put_gauge(w, m.latency_p50_ms);
@@ -254,6 +263,10 @@ StatsReply decode_stats_reply_body(BitReader& r) {
   m.workers = r.read_varuint();
   m.cache_entries = r.read_varuint();
   m.cache_evictions = r.read_varuint();
+  m.retried_submits = r.read_varuint();
+  m.deadline_rejections = r.read_varuint();
+  m.deadline_expired = r.read_varuint();
+  m.quarantined_files = r.read_varuint();
   m.qps = get_gauge(r);
   m.worker_utilization = get_gauge(r);
   m.latency_p50_ms = get_gauge(r);
@@ -270,7 +283,7 @@ void encode_error_body(BitWriter& w, const ErrorReply& m) {
 ErrorReply decode_error_body(BitReader& r) {
   ErrorReply m;
   const std::uint64_t c = r.read_varuint();
-  if (c < 1 || c > static_cast<std::uint64_t>(ProtoError::kBadRequest)) {
+  if (c < 1 || c > static_cast<std::uint64_t>(ProtoError::kCorrupted)) {
     throw ProtocolError(ProtoError::kMalformed, "unknown error code");
   }
   m.code = static_cast<ProtoError>(c);
@@ -294,6 +307,8 @@ const char* to_string(ProtoError code) {
       return "unknown-type";
     case ProtoError::kBadRequest:
       return "bad-request";
+    case ProtoError::kCorrupted:
+      return "corrupted";
   }
   return "unknown";
 }
@@ -312,6 +327,8 @@ const char* to_string(SubmitDisposition d) {
       return "draining";
     case SubmitDisposition::kRejected:
       return "rejected";
+    case SubmitDisposition::kDeadline:
+      return "deadline";
   }
   return "unknown";
 }
@@ -365,6 +382,11 @@ std::vector<std::uint8_t> frame_bytes(const BitWriter& payload) {
   for (unsigned i = 0; i < 4; ++i) {
     out.push_back(static_cast<std::uint8_t>((bits >> (8 * i)) & 0xff));
   }
+  const std::uint64_t checksum =
+      fnv1a(payload.data(), static_cast<std::size_t>(bytes));
+  for (unsigned i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((checksum >> (8 * i)) & 0xff));
+  }
   out.insert(out.end(), payload.data(),
              payload.data() + static_cast<std::size_t>(bytes));
   return out;
@@ -409,6 +431,18 @@ std::optional<FramePayload> FrameDecoder::next() {
   }
   if (buffer_.size() < kHeaderBytes + payload_bytes) {
     return std::nullopt;
+  }
+  std::uint64_t claimed = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    claimed |= static_cast<std::uint64_t>(buffer_[kChecksumOffset + i])
+               << (8 * i);
+  }
+  const std::uint64_t actual = fnv1a(buffer_.data() + kHeaderBytes,
+                                     static_cast<std::size_t>(payload_bytes));
+  if (claimed != actual) {
+    throw ProtocolError(ProtoError::kCorrupted,
+                        "frame checksum mismatch: payload bytes were "
+                        "corrupted in transit");
   }
   FramePayload payload;
   payload.bits = bits;

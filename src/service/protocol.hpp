@@ -1,13 +1,17 @@
 // Wire protocol of the BC serving daemon (congestbcd).
 //
 // Transport: a TCP byte stream carrying length-prefixed frames.  Each
-// frame is a fixed 10-byte header followed by a bit-exact payload
+// frame is a fixed 18-byte header followed by a bit-exact payload
 // serialized with the same BitWriter/BitReader machinery the CONGEST
 // messages and snapshots use (common/bit_io.hpp):
 //
 //   bytes 0..3   magic "CBCP"
 //   u16   LE     protocol version (kProtocolVersion)
 //   u32   LE     payload length in BITS (bytes on the wire = ceil(bits/8))
+//   u64   LE     FNV-1a of the payload bytes (snapshot.hpp fnv1a) — wire
+//                corruption of a frame body is detected before decoding
+//                and surfaces as ProtoError::kCorrupted, never as a
+//                plausible-but-wrong decode
 //   ...          payload bytes
 //
 // The payload starts with a varuint message type, then type-specific
@@ -35,9 +39,11 @@
 
 namespace congestbc::service {
 
-// v2 added StatusReply::phase_timeline (PR 5); the version gates the
-// whole frame, so v1 peers get kBadVersion instead of a misparse.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+// v2 added StatusReply::phase_timeline (PR 5); v3 added the header
+// payload checksum, SubmitRequest deadline/attempt fields, and the
+// retry/chaos stats counters (PR 6).  The version gates the whole
+// frame, so older peers get kBadVersion instead of a misparse.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 
 /// Frames larger than this are rejected before any allocation happens —
 /// the daemon-side cap on hostile length fields.  Generous enough for an
@@ -61,6 +67,8 @@ enum class ProtoError : std::uint8_t {
   kUnknownType = 5,  ///< message type is not one we speak
   kBadRequest = 6,   ///< well-formed but semantically invalid (bad graph,
                      ///< unreadable path, invalid fault spec)
+  kCorrupted = 7,    ///< header checksum does not match the payload bytes
+                     ///< (wire corruption; retryable on a fresh connection)
 };
 
 const char* to_string(ProtoError code);
@@ -120,6 +128,16 @@ struct SubmitRequest {
   /// Execution hints (0 = daemon default; excluded from fingerprint).
   std::uint32_t threads = 0;
   bool legacy_engine = false;
+  /// Client's remaining deadline budget in ms (0 = none).  Admission
+  /// rejects (kDeadline) jobs it estimates cannot finish in time, and
+  /// housekeeping expires jobs whose budget lapses while queued/running.
+  /// Excluded from the fingerprint: retries of the same job carry a
+  /// shrinking budget yet still coalesce onto one execution.
+  std::uint64_t deadline_ms = 0;
+  /// 1-based attempt number stamped by the retrying client; attempts > 1
+  /// are counted as retried_submits in STATS.  Excluded from the
+  /// fingerprint for the same reason as deadline_ms.
+  std::uint32_t attempt = 1;
 };
 
 /// STATUS / RESULT / CANCEL all address a job by daemon-assigned id.
@@ -144,6 +162,8 @@ enum class SubmitDisposition : std::uint8_t {
   kBusy = 3,       ///< queue at its depth limit — retry later
   kDraining = 4,   ///< daemon is draining; not admitting work
   kRejected = 5,   ///< semantically invalid (detail says why)
+  kDeadline = 6,   ///< deadline budget too small for the estimated wait —
+                   ///< retrying with the same budget will not help
 };
 
 const char* to_string(SubmitDisposition d);
@@ -250,6 +270,16 @@ struct StatsReply {
   std::uint64_t workers = 0;
   std::uint64_t cache_entries = 0;
   std::uint64_t cache_evictions = 0;
+  /// Submits whose SubmitRequest::attempt was > 1 (client retries seen).
+  std::uint64_t retried_submits = 0;
+  /// Submits rejected at admission because the deadline budget was too
+  /// small for the estimated queue wait.
+  std::uint64_t deadline_rejections = 0;
+  /// Jobs failed because their deadline lapsed while queued or running.
+  std::uint64_t deadline_expired = 0;
+  /// Corrupt/truncated spool, cache, or checkpoint files moved aside by
+  /// the startup integrity scan (or on read) instead of trusted/deleted.
+  std::uint64_t quarantined_files = 0;
   double qps = 0.0;
   double worker_utilization = 0.0;
   double latency_p50_ms = 0.0;

@@ -1,0 +1,156 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+namespace congestbc::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ms_until(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() <= 0 ? 0 : static_cast<std::uint64_t>(left.count());
+}
+
+int clamp_to_int(std::uint64_t ms) {
+  const auto cap =
+      static_cast<std::uint64_t>(std::numeric_limits<int>::max());
+  return static_cast<int>(std::min(ms, cap));
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(std::string host, std::uint16_t port,
+                               RetryPolicy policy)
+    : host_(std::move(host)),
+      port_(port),
+      policy_(policy),
+      jitter_(policy.jitter_seed) {}
+
+void RetryingClient::ensure_connected(std::uint64_t remaining_ms) {
+  if (client_.connected()) {
+    return;
+  }
+  const std::uint64_t budget = std::min(
+      remaining_ms, static_cast<std::uint64_t>(policy_.attempt_timeout_ms));
+  client_.connect(host_, port_, std::max(1, clamp_to_int(budget)));
+  ++stats_.reconnects;
+}
+
+std::uint64_t RetryingClient::backoff_for(int attempt,
+                                          std::uint64_t remaining_ms) {
+  double base = static_cast<double>(policy_.initial_backoff_ms) *
+                std::pow(policy_.backoff_multiplier, attempt - 1);
+  base = std::min(base, static_cast<double>(policy_.max_backoff_ms));
+  // Jitter in [0.5, 1.0]× desynchronizes retry herds; the seeded stream
+  // keeps a given (seed, attempt) schedule replayable.
+  const double jittered = base * (0.5 + 0.5 * jitter_.next_double());
+  const auto chosen = static_cast<std::uint64_t>(jittered);
+  return std::min(chosen, remaining_ms);
+}
+
+ResultReply RetryingClient::submit_and_wait(SubmitRequest request) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(policy_.overall_deadline_ms);
+  std::string last_error = "no attempt was made";
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    std::uint64_t remaining = ms_until(deadline);
+    if (remaining == 0) {
+      throw RetryError("overall deadline exhausted after " +
+                           std::to_string(stats_.attempts) +
+                           " attempt(s); last error: " + last_error,
+                       /*retryable_cause=*/true);
+    }
+    ++stats_.attempts;
+    request.attempt = static_cast<std::uint32_t>(attempt);
+    request.deadline_ms = remaining;
+    try {
+      ensure_connected(remaining);
+      client_.set_io_timeout(std::max(
+          1, clamp_to_int(std::min(
+                 remaining,
+                 static_cast<std::uint64_t>(policy_.attempt_timeout_ms)))));
+      const SubmitReply sub = client_.submit(request);
+      switch (sub.disposition) {
+        case SubmitDisposition::kRejected:
+          throw RetryError("daemon rejected the job: " + sub.detail,
+                           /*retryable_cause=*/false);
+        case SubmitDisposition::kDeadline:
+          throw RetryError(
+              "daemon refused the job: deadline budget too small: " +
+                  sub.detail,
+              /*retryable_cause=*/false);
+        case SubmitDisposition::kBusy:
+        case SubmitDisposition::kDraining:
+          last_error = std::string("submit answered ") +
+                       to_string(sub.disposition);
+          break;  // soft refusal: back off and resubmit
+        default: {
+          // Admitted (queued / coalesced / cache hit): poll out the
+          // remaining overall budget.  Each RESULT round trip is still
+          // bounded by the per-attempt I/O deadline set above.
+          const ResultReply res = client_.wait_result(
+              sub.job_id, policy_.poll_ms,
+              std::max(1, clamp_to_int(ms_until(deadline))));
+          if (res.ready) {
+            return res;
+          }
+          if (res.state == JobState::kFailed) {
+            // Deterministic failure (bad run, budget, deadline expiry):
+            // the same submit fails the same way every time.
+            throw RetryError("job failed: " + res.detail,
+                             /*retryable_cause=*/false);
+          }
+          // kCancelled / kSuspended / kUnknown: a resubmit converges on
+          // the cache, a resumed execution, or a fresh one — retry.
+          last_error =
+              std::string("job ended ") + to_string(res.state) +
+              (res.detail.empty() ? "" : (": " + res.detail));
+          break;
+        }
+      }
+    } catch (const RetryError&) {
+      throw;
+    } catch (const ProtocolError& e) {
+      if (e.code() == ProtoError::kBadRequest ||
+          e.code() == ProtoError::kBadVersion) {
+        // The daemon understood us and said no; retrying cannot change
+        // its mind.
+        throw RetryError(std::string("daemon rejected the request: ") +
+                             e.what(),
+                         /*retryable_cause=*/false);
+      }
+      if (e.code() == ProtoError::kCorrupted) {
+        ++stats_.corrupted_frames;
+      }
+      ++stats_.transport_errors;
+      client_.close();
+      last_error = std::string(to_string(e.code())) + ": " + e.what();
+    } catch (const std::runtime_error& e) {
+      ++stats_.transport_errors;
+      client_.close();
+      last_error = e.what();
+    }
+    remaining = ms_until(deadline);
+    if (remaining == 0 || attempt == policy_.max_attempts) {
+      break;
+    }
+    const std::uint64_t pause = backoff_for(attempt, remaining);
+    if (pause > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(pause));
+      stats_.backoff_ms += pause;
+    }
+  }
+  throw RetryError("retry budget exhausted after " +
+                       std::to_string(stats_.attempts) +
+                       " attempt(s); last error: " + last_error,
+                   /*retryable_cause=*/true);
+}
+
+}  // namespace congestbc::service

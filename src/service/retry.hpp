@@ -1,0 +1,109 @@
+// Self-healing wrapper around the daemon client (service/client.hpp).
+//
+// A RetryingClient owns one Client and one RetryPolicy and turns the
+// raw single-connection request/reply API into an at-most-one-execution,
+// eventually-answered submit path:
+//
+//   * Transport failures (connection refused/reset, torn frames, header
+//     checksum mismatches — ProtoError::kCorrupted — and per-attempt
+//     deadline timeouts) tear the connection down, back off with
+//     exponential, seeded-jitter delays, and retry on a fresh socket.
+//   * Retries are idempotent by construction: a resubmit carries the
+//     same result-determining fields, so the daemon's fingerprint
+//     coalescing and result cache converge every attempt onto the one
+//     execution (kCoalesced while it runs, kCacheHit after it lands).
+//   * Deadline propagation: each attempt stamps the *remaining* overall
+//     budget into SubmitRequest::deadline_ms and its 1-based attempt
+//     number into SubmitRequest::attempt, so the daemon can refuse work
+//     it cannot finish in time and the operator can count retries.
+//
+// Non-retryable outcomes — kRejected, kDeadline, a job that terminally
+// failed, or an exhausted budget — surface as RetryError with the last
+// cause attached: the caller always gets the exact answer or a typed
+// failure, never a hang.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+#include "service/client.hpp"
+
+namespace congestbc::service {
+
+/// Backoff and budget knobs.  The defaults suit an interactive client;
+/// chaos tests crank max_attempts up and the backoff down.
+struct RetryPolicy {
+  int max_attempts = 5;
+  std::uint64_t initial_backoff_ms = 25;
+  double backoff_multiplier = 2.0;
+  std::uint64_t max_backoff_ms = 2000;
+  /// Seed for the jitter stream: the same seed replays the same backoff
+  /// schedule, keeping chaos runs deterministic end to end.
+  std::uint64_t jitter_seed = 0;
+  /// Wall-clock budget across all attempts, connects, and backoffs.
+  std::uint64_t overall_deadline_ms = 120'000;
+  /// Per-attempt I/O deadline (connect and each round trip).
+  int attempt_timeout_ms = 10'000;
+  /// RESULT poll cadence while a submitted job runs.
+  int poll_ms = 20;
+};
+
+/// What the healing cost: exposed by the loadgen as attempt counts and
+/// retry amplification.
+struct RetryStats {
+  std::uint64_t attempts = 0;        ///< submit attempts (first one included)
+  std::uint64_t reconnects = 0;      ///< connections (re)established
+  std::uint64_t transport_errors = 0;  ///< socket/timeout failures healed
+  std::uint64_t corrupted_frames = 0;  ///< kCorrupted checksum mismatches seen
+  std::uint64_t backoff_ms = 0;      ///< total time spent backing off
+};
+
+/// Terminal failure of the retry loop.  `retryable_cause()` says whether
+/// the last error was transport-level (budget ran out mid-healing) or a
+/// daemon verdict that retrying cannot change.
+class RetryError : public std::runtime_error {
+ public:
+  RetryError(const std::string& message, bool retryable_cause)
+      : std::runtime_error(message), retryable_cause_(retryable_cause) {}
+
+  bool retryable_cause() const { return retryable_cause_; }
+
+ private:
+  bool retryable_cause_;
+};
+
+class RetryingClient {
+ public:
+  RetryingClient(std::string host, std::uint16_t port, RetryPolicy policy);
+
+  /// Submits the job and polls until its RESULT is ready, healing
+  /// transport failures along the way.  Throws RetryError when the
+  /// budget is exhausted or the daemon's verdict is final; rethrows
+  /// ProtocolError only for non-retryable protocol verdicts
+  /// (kBadRequest on a malformed submit).
+  ResultReply submit_and_wait(SubmitRequest request);
+
+  const RetryStats& stats() const { return stats_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// The wrapped raw client, for callers that need one-shot calls
+  /// (stats/shutdown) on the same connection between healed submits.
+  Client& raw() { return client_; }
+
+ private:
+  /// Backoff for `attempt` (1-based) with seeded jitter in [0.5, 1.0]×,
+  /// clamped to both the policy cap and the remaining overall budget.
+  std::uint64_t backoff_for(int attempt, std::uint64_t remaining_ms);
+  void ensure_connected(std::uint64_t remaining_ms);
+
+  std::string host_;
+  std::uint16_t port_;
+  RetryPolicy policy_;
+  Rng jitter_;
+  Client client_;
+  RetryStats stats_;
+};
+
+}  // namespace congestbc::service

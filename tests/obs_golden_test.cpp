@@ -113,6 +113,10 @@ TEST(ObsGolden, PrometheusText) {
   stats.workers = 4;
   stats.cache_entries = 48;
   stats.cache_evictions = 9;
+  stats.retried_submits = 11;
+  stats.deadline_rejections = 8;
+  stats.deadline_expired = 13;
+  stats.quarantined_files = 15;
   stats.qps = 1.96721;
   stats.worker_utilization = 0.4375;
   stats.latency_p50_ms = 12.5;

@@ -307,6 +307,157 @@ TEST(Framing, HostileStringLengthOverflowRejected) {
   }
 }
 
+// ------------------------------------------------------------------
+// Reply-side fuzz: the client's view of the wire.  A chaos proxy (or a
+// hostile network) tears, truncates, and corrupts reply bytes; the
+// client decoder must answer every such stream with a decoded reply, a
+// typed ProtocolError, or "feed me more" — never a crash, hang, or a
+// silently wrong field.
+
+struct ReplyDrain {
+  std::vector<Reply> replies;
+  std::optional<ProtoError> error;
+};
+
+ReplyDrain drain_replies(const std::vector<std::uint8_t>& bytes,
+                         std::size_t chunk = SIZE_MAX) {
+  ReplyDrain result;
+  FrameDecoder decoder;
+  std::size_t offset = 0;
+  try {
+    while (offset < bytes.size()) {
+      const std::size_t take = std::min(chunk, bytes.size() - offset);
+      decoder.feed(bytes.data() + offset, take);
+      offset += take;
+      while (auto frame = decoder.next()) {
+        result.replies.push_back(decode_reply(*frame));
+      }
+    }
+  } catch (const ProtocolError& e) {
+    result.error = e.code();
+  }
+  return result;
+}
+
+Reply sample_result_reply() {
+  Reply reply;
+  reply.type = MsgType::kResultReply;
+  reply.result.ready = true;
+  reply.result.state = JobState::kDone;
+  reply.result.from_cache = true;
+  reply.result.fingerprint = 0xfeedface12345678ull;
+  reply.result.detail = "served from cache";
+  reply.result.block_bytes = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03};
+  reply.result.block_bits = 7 * 8;
+  return reply;
+}
+
+TEST(ReplyFuzz, TornReplyDecodedByteAtATimeMatchesWholeFrame) {
+  const auto bytes = frame_bytes(encode_reply(sample_result_reply()));
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{17}, bytes.size()}) {
+    const ReplyDrain result = drain_replies(bytes, chunk);
+    ASSERT_FALSE(result.error.has_value()) << "chunk " << chunk;
+    ASSERT_EQ(result.replies.size(), 1u) << "chunk " << chunk;
+    const Reply& decoded = result.replies[0];
+    EXPECT_EQ(decoded.type, MsgType::kResultReply);
+    EXPECT_TRUE(decoded.result.ready);
+    EXPECT_EQ(decoded.result.fingerprint, 0xfeedface12345678ull);
+    EXPECT_EQ(decoded.result.detail, "served from cache");
+    EXPECT_EQ(decoded.result.block_bytes,
+              sample_result_reply().result.block_bytes);
+  }
+}
+
+TEST(ReplyFuzz, EveryShortPrefixJustWaitsOrFailsTyped) {
+  const auto bytes = frame_bytes(encode_reply(sample_result_reply()));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() + cut);
+    const ReplyDrain result = drain_replies(prefix);
+    EXPECT_TRUE(result.replies.empty()) << "cut " << cut;
+    EXPECT_FALSE(result.error.has_value())
+        << "an honest prefix of a valid frame must wait, not error (cut "
+        << cut << ")";
+  }
+}
+
+TEST(ReplyFuzz, CorruptedPayloadByteIsCaughtByChecksum) {
+  const auto clean = frame_bytes(encode_reply(sample_result_reply()));
+  constexpr std::size_t kHeader = 18;  // magic+version+bits+checksum
+  ASSERT_GT(clean.size(), kHeader);
+  for (std::size_t byte = kHeader; byte < clean.size(); ++byte) {
+    auto mutated = clean;
+    mutated[byte] ^= 0xFF;
+    const ReplyDrain result = drain_replies(mutated);
+    ASSERT_TRUE(result.error.has_value()) << "payload byte " << byte;
+    EXPECT_EQ(*result.error, ProtoError::kCorrupted) << "byte " << byte;
+  }
+}
+
+TEST(ReplyFuzz, CorruptedHeaderBytesFailTypedNotSilent) {
+  const auto clean = frame_bytes(encode_reply(sample_result_reply()));
+  for (std::size_t byte = 0; byte < 6; ++byte) {  // magic + version
+    auto mutated = clean;
+    mutated[byte] ^= 0x59;
+    const ReplyDrain result = drain_replies(mutated);
+    ASSERT_TRUE(result.error.has_value()) << "header byte " << byte;
+    EXPECT_TRUE(*result.error == ProtoError::kBadMagic ||
+                *result.error == ProtoError::kBadVersion)
+        << "header byte " << byte;
+  }
+}
+
+TEST(ReplyFuzz, BitFlippedReplyFramesNeverCrash) {
+  Reply stats;
+  stats.type = MsgType::kStatsReply;
+  stats.stats.submits = 1234;
+  stats.stats.qps = 9.75;
+  for (const Reply& reply : {sample_result_reply(), stats}) {
+    const auto clean = frame_bytes(encode_reply(reply));
+    Rng rng(4242);
+    for (int trial = 0; trial < 300; ++trial) {
+      auto mutated = clean;
+      const std::size_t byte = rng.next_below(mutated.size());
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+      // Feed in chaotic chunk sizes too: corruption and tearing compose.
+      const ReplyDrain result =
+          drain_replies(mutated, 1 + rng.next_below(24));
+      if (!result.error.has_value()) {
+        EXPECT_LE(result.replies.size(), 1u);
+      }
+    }
+  }
+}
+
+TEST(ReplyFuzz, BackToBackRepliesSurviveArbitraryTearing) {
+  Reply error;
+  error.type = MsgType::kError;
+  error.error = {ProtoError::kBadRequest, "no such job"};
+  Reply status;
+  status.type = MsgType::kStatusReply;
+  status.status.state = JobState::kRunning;
+  status.status.job_id = 99;
+  status.status.detail = "round 17";
+
+  std::vector<std::uint8_t> stream;
+  for (const Reply& reply : {sample_result_reply(), error, status}) {
+    const auto bytes = frame_bytes(encode_reply(reply));
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  Rng rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    const ReplyDrain result = drain_replies(stream, 1 + rng.next_below(13));
+    ASSERT_FALSE(result.error.has_value()) << "trial " << trial;
+    ASSERT_EQ(result.replies.size(), 3u) << "trial " << trial;
+    EXPECT_EQ(result.replies[0].type, MsgType::kResultReply);
+    EXPECT_EQ(result.replies[1].type, MsgType::kError);
+    EXPECT_EQ(result.replies[1].error.message, "no such job");
+    EXPECT_EQ(result.replies[2].type, MsgType::kStatusReply);
+    EXPECT_EQ(result.replies[2].status.detail, "round 17");
+  }
+}
+
 TEST(Framing, HostileElementCountRejectedBeforeAllocation) {
   // Hand-craft a result reply claiming a huge block length with almost no
   // bytes behind it: get_count/get_bits must refuse, not resize.

@@ -1,0 +1,97 @@
+// chaosproxy — deterministic TCP chaos relay for congestbcd
+// (src/service/chaos.hpp).
+//
+// Sits between a client and the daemon and injects seeded, replayable
+// socket adversity: byte corruption (tripping the CBCP frame checksum),
+// stalls, torn-prefix disconnects, RSTs, and capped partial writes.
+// Every decision is a pure function of (seed, connection, direction,
+// chunk index), so a failure observed behind the proxy is reproducible
+// from the plan spec alone.
+//
+// Usage:
+//   chaosproxy --upstream-port P [options]
+//
+// Options:
+//   --upstream-host H   daemon address (default 127.0.0.1)
+//   --upstream-port P   daemon port (required)
+//   --port P            listen port (default 0 = ephemeral; announced as
+//                       "LISTENING <port>" on stdout, same contract as
+//                       congestbcd)
+//   --chaos SPEC        ChaosPlan::parse spec, e.g.
+//                       "seed=7,corrupt=0.05,stall=0.1,stall-ms=50,partial=64"
+//                       (default: faithful relay)
+//
+// SIGTERM/SIGINT stop the relay and print the injection counters.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include "common/args.hpp"
+#include "service/chaos.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_term(int) { g_stop.store(true); }
+
+constexpr const char* kUsage =
+    "usage: chaosproxy --upstream-port P [--upstream-host H --port P\n"
+    "                   --chaos SPEC]\n";
+
+int run(int argc, char** argv) {
+  using congestbc::Args;
+  const Args args = Args::parse(
+      argc, argv, {"upstream-host", "upstream-port", "port", "chaos"});
+  if (args.has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const auto upstream_port = args.get("upstream-port");
+  if (!upstream_port) {
+    std::cerr << "chaosproxy: --upstream-port is required\n" << kUsage;
+    return 1;
+  }
+
+  congestbc::service::ChaosPlan plan;
+  if (const auto spec = args.get("chaos")) {
+    plan = congestbc::service::ChaosPlan::parse(*spec);
+  }
+  congestbc::service::ChaosProxy proxy(
+      plan, args.get("upstream-host").value_or("127.0.0.1"),
+      static_cast<std::uint16_t>(std::stoul(*upstream_port)));
+  proxy.start(static_cast<std::uint16_t>(args.get_int_or("port", 0)));
+
+  std::signal(SIGTERM, handle_term);
+  std::signal(SIGINT, handle_term);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::cout << "LISTENING " << proxy.port() << std::endl;
+  std::cout << "chaos: " << plan.describe() << std::endl;
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  proxy.stop();
+
+  const auto& s = proxy.stats();
+  std::cout << "connections=" << s.connections.load()
+            << " chunks=" << s.chunks.load()
+            << " corrupted=" << s.corrupted.load()
+            << " stalled=" << s.stalled.load() << " cut=" << s.cut.load()
+            << " rst=" << s.rst.load() << std::endl;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "chaosproxy: " << e.what() << "\n" << kUsage;
+    return 1;
+  }
+}

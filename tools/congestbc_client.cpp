@@ -11,6 +11,10 @@
 //       --no-halve --faults SPEC --reliable --max-rounds R --threads T
 //       --legacy       result-shaping / execution options
 //       --wait         poll until the result is ready and print it
+//       --retry        self-healing submit: retry with backoff + jitter
+//                      through transport faults until the result lands
+//                      or --deadline MS (default 120000) expires;
+//                      implies --wait
 //   status JOB         query a job's lifecycle state
 //   result JOB         fetch (and print) a finished job's result
 //   cancel JOB         cancel a queued or running job
@@ -24,15 +28,25 @@
 //       --submits N    total submits (default 50)
 //       --concurrency C  client threads (default 8)
 //       --spool DIR    hand the spawned daemon a spool directory
+//       --chaos SPEC   interpose an in-process chaos proxy with this
+//                      ChaosPlan spec between the clients and the daemon
+//       --chaos-seed S shorthand for a moderate built-in plan seeded S
+//       --retry        wrap workers in the self-healing RetryingClient;
+//                      reports attempt counts and retry amplification
+//       --deadline MS  per-submit client deadline, propagated to the
+//                      daemon's admission control
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -40,8 +54,10 @@
 #include <vector>
 
 #include "common/args.hpp"
+#include "service/chaos.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
+#include "service/retry.hpp"
 
 namespace {
 
@@ -51,10 +67,12 @@ using namespace congestbc::service;
 constexpr const char* kUsage =
     "usage: congestbc_client [--host A --port P] COMMAND ...\n"
     "commands: submit GRAPH.txt [--path NAME --no-halve --faults SPEC\n"
-    "          --reliable --max-rounds R --threads T --legacy --wait]\n"
+    "          --reliable --max-rounds R --threads T --legacy --wait\n"
+    "          --retry --deadline MS]\n"
     "          status JOB | result JOB | cancel JOB | stats | shutdown\n"
     "          loadgen --daemon BIN --graphs A,B [--submits N\n"
-    "          --concurrency C --spool DIR]\n";
+    "          --concurrency C --spool DIR --chaos SPEC --chaos-seed S\n"
+    "          --retry --deadline MS]\n";
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -220,11 +238,39 @@ int run_loadgen(const Args& args) {
   }
   const int submits = static_cast<int>(args.get_int_or("submits", 50));
   const int concurrency = static_cast<int>(args.get_int_or("concurrency", 8));
+  const auto deadline_ms =
+      static_cast<std::uint64_t>(args.get_int_or("deadline", 0));
+  const bool use_retry = args.has("retry");
+
+  ChaosPlan plan;
+  if (const auto spec = args.get("chaos")) {
+    plan = ChaosPlan::parse(*spec);
+  } else if (args.has("chaos-seed")) {
+    // Moderate built-in adversity: enough corruption and stalling that a
+    // non-healing client would fail, mild enough that the retry path must
+    // converge on every submit.
+    plan = ChaosPlan::parse(
+        "seed=" + std::to_string(args.get_int_or("chaos-seed", 1)) +
+        ",corrupt=0.02,stall=0.05,stall-ms=20,cut=0.01,partial=512,grace=2");
+  }
 
   const SpawnedDaemon daemon =
       spawn_daemon(*binary, args.get("spool").value_or(""));
   std::cout << "loadgen: daemon pid " << daemon.pid << " on port "
             << daemon.port << "\n";
+
+  // With a chaos plan, every worker connection runs through an in-process
+  // deterministic chaos proxy; the drain/stats connection at the end goes
+  // straight to the daemon so teardown is never a casualty of the test.
+  std::unique_ptr<ChaosProxy> proxy;
+  std::uint16_t connect_port = daemon.port;
+  if (!plan.empty()) {
+    proxy = std::make_unique<ChaosProxy>(plan, "127.0.0.1", daemon.port);
+    proxy->start();
+    connect_port = proxy->port();
+    std::cout << "loadgen: chaos proxy on port " << connect_port << " ("
+              << plan.describe() << ")\n";
+  }
 
   // Mixed traffic: rotate graphs, vary execution hints (threads / engine)
   // so identical result-keys flow in through different execution knobs —
@@ -232,24 +278,82 @@ int run_loadgen(const Args& args) {
   std::atomic<int> next{0};
   std::atomic<int> ok{0};
   std::atomic<int> failed{0};
+  std::atomic<std::uint64_t> attempts{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> backoff_ms{0};
+  std::atomic<std::uint64_t> corrupted_frames{0};
+  std::mutex lat_mutex;
+  std::vector<double> latencies;
+  const auto note_latency = [&](std::chrono::steady_clock::time_point t0) {
+    const double ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    std::lock_guard<std::mutex> lock(lat_mutex);
+    latencies.push_back(ms);
+  };
   std::mutex log_mutex;
-  auto worker = [&] {
+
+  auto make_request = [&](int i) {
+    SubmitRequest request;
+    request.source = GraphSource::kInline;
+    request.graph =
+        graph_texts[static_cast<std::size_t>(i) % graph_texts.size()];
+    request.halve = true;
+    request.threads = (i % 3 == 0) ? 2 : 1;
+    request.legacy_engine = (i % 5 == 0);
+    request.deadline_ms = deadline_ms;
+    return request;
+  };
+
+  auto retry_worker = [&](unsigned widx) {
+    RetryPolicy policy;
+    policy.jitter_seed = widx + 1;  // distinct backoff phase per worker
+    RetryingClient client("127.0.0.1", connect_port, policy);
+    while (true) {
+      const int i = next.fetch_add(1);
+      if (i >= submits) {
+        break;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        const ResultReply result = client.submit_and_wait(make_request(i));
+        note_latency(t0);
+        if (result.ready && result.state == JobState::kDone) {
+          ++ok;
+        } else {
+          ++failed;
+          std::lock_guard<std::mutex> lock(log_mutex);
+          std::cerr << "loadgen: submit " << i << " ended "
+                    << to_string(result.state) << ": " << result.detail
+                    << "\n";
+        }
+      } catch (const std::exception& e) {
+        note_latency(t0);
+        ++failed;
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::cerr << "loadgen: submit " << i << " gave up: " << e.what()
+                  << "\n";
+      }
+    }
+    attempts += client.stats().attempts;
+    reconnects += client.stats().reconnects;
+    backoff_ms += client.stats().backoff_ms;
+    corrupted_frames += client.stats().corrupted_frames;
+  };
+
+  auto plain_worker = [&](unsigned) {
     try {
       Client client;
-      client.connect("127.0.0.1", daemon.port);
+      client.connect("127.0.0.1", connect_port);
       while (true) {
         const int i = next.fetch_add(1);
         if (i >= submits) {
           return;
         }
-        SubmitRequest request;
-        request.source = GraphSource::kInline;
-        request.graph = graph_texts[static_cast<std::size_t>(i) %
-                                    graph_texts.size()];
-        request.halve = true;
-        request.threads = (i % 3 == 0) ? 2 : 1;
-        request.legacy_engine = (i % 5 == 0);
-        const SubmitReply submitted = client.submit(request);
+        const auto t0 = std::chrono::steady_clock::now();
+        ++attempts;
+        const SubmitReply submitted = client.submit(make_request(i));
         if (submitted.disposition == SubmitDisposition::kBusy) {
           // Admission control said try later: count as served backpressure.
           ++ok;
@@ -263,6 +367,7 @@ int run_loadgen(const Args& args) {
           (void)client.status(submitted.job_id);  // mix queries into the load
         }
         const ResultReply result = client.wait_result(submitted.job_id);
+        note_latency(t0);
         if (result.ready &&
             result.state == JobState::kDone) {
           ++ok;
@@ -280,9 +385,14 @@ int run_loadgen(const Args& args) {
       std::cerr << "loadgen worker: " << e.what() << "\n";
     }
   };
+
   std::vector<std::thread> workers;
   for (int c = 0; c < concurrency; ++c) {
-    workers.emplace_back(worker);
+    if (use_retry) {
+      workers.emplace_back(retry_worker, static_cast<unsigned>(c));
+    } else {
+      workers.emplace_back(plain_worker, static_cast<unsigned>(c));
+    }
   }
   for (auto& thread : workers) {
     thread.join();
@@ -308,6 +418,38 @@ int run_loadgen(const Args& args) {
   int status = 0;
   ::waitpid(daemon.pid, &status, 0);
   const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  if (proxy) {
+    proxy->stop();
+    const ChaosStats& cs = proxy->stats();
+    std::cout << "loadgen: chaos injected corrupted=" << cs.corrupted.load()
+              << " stalled=" << cs.stalled.load() << " cut=" << cs.cut.load()
+              << " rst=" << cs.rst.load() << " over " << cs.chunks.load()
+              << " chunks on " << cs.connections.load() << " connections\n";
+  }
+
+  const auto percentile = [&](double p) {
+    if (latencies.empty()) {
+      return 0.0;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(latencies.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, latencies.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return latencies[lo] + (latencies[hi] - latencies[lo]) * frac;
+  };
+  std::cout << "loadgen: latency_ms p50=" << percentile(50) << " p90="
+            << percentile(90) << " p99=" << percentile(99) << "\n";
+  const double amplification =
+      submits == 0 ? 0.0
+                   : static_cast<double>(attempts.load()) /
+                         static_cast<double>(submits);
+  std::cout << "loadgen: attempts=" << attempts.load()
+            << " retry_amplification=" << amplification
+            << " reconnects=" << reconnects.load()
+            << " corrupted_frames=" << corrupted_frames.load()
+            << " backoff_ms=" << backoff_ms.load() << "\n";
   std::cout << "loadgen: " << ok.load() << "/" << submits << " served, "
             << failed.load() << " failed, daemon exit "
             << (clean ? "clean" : "UNCLEAN") << "\n";
@@ -321,7 +463,8 @@ int run(int argc, char** argv) {
   const Args args = Args::parse(
       argc, argv,
       {"host", "port", "path", "faults", "max-rounds", "threads", "daemon",
-       "graphs", "submits", "concurrency", "spool"});
+       "graphs", "submits", "concurrency", "spool", "chaos", "chaos-seed",
+       "deadline"});
   if (args.has("help") || args.positional().empty()) {
     std::cout << kUsage;
     return args.has("help") ? 0 : 1;
@@ -329,6 +472,37 @@ int run(int argc, char** argv) {
   const std::string& command = args.positional()[0];
   if (command == "loadgen") {
     return run_loadgen(args);
+  }
+
+  if (command == "submit" && args.has("retry")) {
+    // Self-healing submit: retry with backoff through transport faults
+    // and soft refusals until the result lands or the deadline expires.
+    // Implies --wait (submit_and_wait polls the result out).
+    const bool by_path = args.has("path");
+    if (!by_path && args.positional().size() != 2) {
+      throw std::runtime_error("submit needs GRAPH.txt (or --path NAME)");
+    }
+    RetryPolicy policy;
+    policy.overall_deadline_ms = static_cast<std::uint64_t>(
+        args.get_int_or("deadline", 120'000));
+    RetryingClient healing(
+        args.get("host").value_or("127.0.0.1"),
+        static_cast<std::uint16_t>(args.get_int_or("port", 0)), policy);
+    const SubmitRequest request = build_submit(
+        args, by_path ? std::string() : args.positional()[1]);
+    try {
+      print_result(healing.submit_and_wait(request));
+      std::cout << "attempts: " << healing.stats().attempts
+                << "\nreconnects: " << healing.stats().reconnects
+                << "\nbackoff_ms: " << healing.stats().backoff_ms << "\n";
+      return 0;
+    } catch (const RetryError& e) {
+      std::cerr << "congestbc_client: " << e.what()
+                << (e.retryable_cause() ? " (retry budget exhausted)"
+                                        : " (not retryable)")
+                << "\n";
+      return 1;
+    }
   }
 
   Client client;
