@@ -12,6 +12,12 @@ in only one file are reported but never fatal, so a baseline produced
 with `bench_simulator --baseline` (legacy engine only) can be compared
 against a full report.
 
+Oversubscribed rows — threads greater than the hardware_threads the row
+(or, for old reports, the file header) records — carry no timing signal:
+the lanes time-share cores, so wall-clock is scheduler noise.  Their
+throughput metrics are skipped; heap allocations are deterministic and
+are still compared.
+
 Exit status: 0 = no regression, 1 = regression, 2 = bad input.
 """
 from __future__ import annotations
@@ -29,13 +35,21 @@ def load_rows(path: str) -> dict[tuple[str, str, int], dict]:
         sys.exit(f"bench_compare: cannot read {path}: {e}")
     if report.get("benchmark") != "congest-simulator-engine":
         sys.exit(f"bench_compare: {path} is not a bench_simulator engine report")
+    header_hw = int(report.get("hardware_threads", 0))
     rows = {}
     for row in report.get("rows", []):
         key = (row["graph"], row["engine"], int(row["threads"]))
+        # Pre-frontier reports carried hardware_threads only in the header.
+        row.setdefault("hardware_threads", header_hw)
         rows[key] = row
     if not rows:
         sys.exit(f"bench_compare: {path} has no rows")
     return rows
+
+
+def oversubscribed(row: dict) -> bool:
+    hw = int(row.get("hardware_threads", 0))
+    return hw != 0 and int(row["threads"]) > hw
 
 
 def main() -> int:
@@ -52,6 +66,7 @@ def main() -> int:
 
     regressions = []
     compared = 0
+    skipped_timing = 0
     for key in sorted(base):
         if key not in cand:
             print(f"  (only in baseline: {key})")
@@ -59,11 +74,14 @@ def main() -> int:
         b, c = base[key], cand[key]
         compared += 1
         label = f"{key[0]}/{key[1]}/threads={key[2]}"
-        for metric in ("rounds_per_sec", "messages_per_sec"):
-            if c[metric] < b[metric] * (1.0 - tol):
-                regressions.append(
-                    f"{label}: {metric} {b[metric]:.1f} -> {c[metric]:.1f} "
-                    f"({c[metric] / b[metric] - 1.0:+.1%})")
+        if oversubscribed(b) or oversubscribed(c):
+            skipped_timing += 1
+        else:
+            for metric in ("rounds_per_sec", "messages_per_sec"):
+                if c[metric] < b[metric] * (1.0 - tol):
+                    regressions.append(
+                        f"{label}: {metric} {b[metric]:.1f} -> {c[metric]:.1f} "
+                        f"({c[metric] / b[metric] - 1.0:+.1%})")
         if c["heap_allocations"] > b["heap_allocations"] * (1.0 + tol):
             regressions.append(
                 f"{label}: heap_allocations {b['heap_allocations']} -> "
@@ -79,7 +97,10 @@ def main() -> int:
         for r in regressions:
             print(f"  {r}")
         return 1
-    print(f"OK: {compared} row(s) compared, none regressed past {tol:.0%}")
+    note = (f" ({skipped_timing} oversubscribed row(s): timing skipped, "
+            f"allocations checked)" if skipped_timing else "")
+    print(f"OK: {compared} row(s) compared, none regressed past "
+          f"{tol:.0%}{note}")
     return 0
 
 

@@ -2,9 +2,11 @@
 # Sanitized runs of the code that sanitizers pay for:
 #
 #   * ASan+UBSan (build-asan): the fault-injection suite (ctest label
-#     "faults") plus the engine suite (label "perf") — the fault/
+#     "faults") plus the engine suites (label "perf": arena determinism
+#     and the frontier identity matrix, which runs the new sparse-ER and
+#     BA generators at sanitizer-sized node counts) — the fault/
 #     reliable-transport layer moves raw payload bytes across rounds, and
-#     the arena engine hands out spans into recycled block memory — plus
+#     the arena/lane engines hand out spans into recycled block memory — plus
 #     the snapshot suite (label "snapshot"), whose corruption fuzz feeds
 #     hostile bytes straight into the restore parsers, plus the service
 #     suite (label "service"), whose framing fuzz feeds hostile bytes
@@ -15,7 +17,9 @@
 #     the paths where a stale pointer or overflow would hide.
 #   * TSan (build-tsan): the engine, fault, snapshot, service, obs, and
 #     chaos suites — the parallel node-execution phase must be
-#     data-race-free for any lane count (including when resumed mid-run
+#     data-race-free for any lane count (including the frontier engine's
+#     per-lane arena/outbox dispatch, which the identity tests force to
+#     multi-lane even on one core, and when resumed mid-run
 #     from a snapshot), the daemon's io-thread/worker-pool scheduler
 #     likewise, the flight recorder's lock-free ring is hammered from
 #     concurrent lanes (and the recorder-on/off bit-identity tests run
@@ -37,7 +41,7 @@ echo "=== stage 1: address,undefined ==="
 cmake -S "$repo_root" -B "$prefix-asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCONGESTBC_SANITIZE=address,undefined
-cmake --build "$prefix-asan" -j"$(nproc)" --target fault_test fuzz_test engine_test snapshot_test \
+cmake --build "$prefix-asan" -j"$(nproc)" --target fault_test fuzz_test engine_test frontier_test snapshot_test \
   fingerprint_test service_protocol_test service_cache_test service_test \
   chaos_test obs_test obs_golden_test congestbcd congestbc_client chaosproxy
 (cd "$prefix-asan" && ctest -L 'faults|perf|snapshot|service|obs|chaos' --output-on-failure "$@")
@@ -47,7 +51,7 @@ echo "=== stage 2: thread ==="
 cmake -S "$repo_root" -B "$prefix-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCONGESTBC_SANITIZE=thread
-cmake --build "$prefix-tsan" -j"$(nproc)" --target engine_test fault_test snapshot_test \
+cmake --build "$prefix-tsan" -j"$(nproc)" --target engine_test frontier_test fault_test snapshot_test \
   fingerprint_test service_protocol_test service_cache_test service_test \
   chaos_test obs_test obs_golden_test congestbcd congestbc_client chaosproxy
 (cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot|service|obs|chaos' --output-on-failure "$@")

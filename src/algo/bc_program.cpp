@@ -77,6 +77,34 @@ void BcProgram::on_round(NodeContext& ctx) {
   handle_aggregation(ctx, msgs);
 }
 
+std::uint64_t BcProgram::next_active_round(std::uint64_t from) const {
+  if (finished_) {
+    return kActiveOnMessage;
+  }
+  std::uint64_t best = tree_.next_active_round(from);
+  const auto consider = [&](std::uint64_t round) {
+    const std::uint64_t wake = round > from ? round : from;
+    if (wake < best) {
+      best = wake;
+    }
+  };
+  // The BFS-start timer is one-shot but stays set after firing (the value
+  // doubles as T_v); a past value is a fired one.
+  if (my_bfs_round_opt_.has_value() && *my_bfs_round_opt_ >= from) {
+    consider(*my_bfs_round_opt_);
+  }
+  if (pending_token_round_.has_value()) {
+    consider(*pending_token_round_);
+  }
+  if (phase_down_seen_ && !config_->counting_only) {
+    if (agg_cursor_ < agg_schedule_.size()) {
+      consider(agg_schedule_[agg_cursor_].round);
+    }
+    consider(finalize_round_);
+  }
+  return best;
+}
+
 void BcProgram::handle_wave_msgs(NodeContext& ctx,
                                  const std::vector<ParsedMsg>& msgs) {
   std::vector<std::size_t> fresh;

@@ -117,6 +117,14 @@ class BcProgram final : public NodeProgram, public Snapshottable {
   void on_round(NodeContext& ctx) override;
   bool done() const override { return finished_; }
 
+  /// Frontier-scheduling contract: the earliest round >= `from` with a
+  /// pending spontaneous action.  Every timer of the five sub-phases is
+  /// enumerated; everything else the program does is a reaction to an
+  /// inbound message (which wakes the node regardless).  Fired one-shot
+  /// timers are excluded — my_bfs_round_opt_ stays set after its exact-
+  /// equality round has passed, so it only counts while still >= from.
+  std::uint64_t next_active_round(std::uint64_t from) const override;
+
   /// Checkpoint support: serializes the evolving state of all five
   /// sub-phases (the L_v table, DFS/phase-switch/aggregation cursors,
   /// outputs).  Config-derived fields (entry_index_, expected_sources_,

@@ -32,6 +32,21 @@ class TreeBuilder {
   /// Handles this round's tree-related records and emits replies/waves.
   void on_round(NodeContext& ctx, const std::vector<ParsedMsg>& msgs);
 
+  /// Frontier-scheduling support (NodeProgram::next_active_round): the
+  /// earliest round >= `from` the builder might act without input.  Two
+  /// spontaneous actions exist: the root's bootstrap (its very first
+  /// round) and the finalize_children timer at wave_round_ + 2; everything
+  /// else is a reaction to an inbound record.
+  std::uint64_t next_active_round(std::uint64_t from) const {
+    if (!started_ && is_root()) {
+      return from;
+    }
+    if (has_dist_ && !children_final_) {
+      return wave_round_ + 2 > from ? wave_round_ + 2 : from;
+    }
+    return kActiveOnMessage;
+  }
+
   /// Checkpoint support (snapshot/snapshottable.hpp): the protocol state
   /// only — id/root/format are reconstructed by the owner's constructor.
   void save_state(BitWriter& w) const;
@@ -83,6 +98,9 @@ class BfsTreeProgram final : public NodeProgram, public Snapshottable {
 
   void on_round(NodeContext& ctx) override;
   bool done() const override;
+  std::uint64_t next_active_round(std::uint64_t from) const override {
+    return builder_.next_active_round(from);
+  }
 
   void save_state(BitWriter& w) const override { builder_.save_state(w); }
   void load_state(BitReader& r) override { builder_.load_state(r); }

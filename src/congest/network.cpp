@@ -1,12 +1,16 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cstring>
+#include <limits>
 #include <istream>
 #include <optional>
 #include <ostream>
+#include <queue>
 #include <string>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "common/bit_io.hpp"
@@ -92,6 +96,100 @@ class SlotContext final : public NodeContext {
   std::uint64_t round_ = 0;
   std::vector<InboundMessage> inbox_;
   std::vector<Slot> slots_;
+};
+
+// ------------------------------------------------- frontier engine lane
+
+/// One lane's execution scratch for the frontier engine: a reusable slot
+/// slab (sized once to the graph's maximum degree), the ping-pong inbox
+/// buffer, and the outbox of bundles this lane produced this round.  A
+/// lane processes a contiguous chunk of the sorted active set, flushing
+/// each node's bundles into the lane-private arena before moving on — so
+/// the parallel phase shares no mutable cache line across lanes, and the
+/// sequential merge replays lane outboxes in lane order, which *is*
+/// ascending (node, adjacency) order because chunks are contiguous ranges
+/// of a sorted list.
+class LaneContext final : public NodeContext {
+ public:
+  struct Slot {
+    BitWriter writer;
+    std::uint64_t logical = 0;
+  };
+  /// One flushed bundle: where it came from, which adjacency slot (the
+  /// merge derives the destination), and a view into the lane arena.
+  struct OutRec {
+    NodeId from;
+    std::uint32_t adj_index;
+    const std::uint8_t* data;
+    std::uint64_t bits;
+    std::uint64_t logical;
+  };
+
+  explicit LaneContext(const Graph& graph) : graph_(&graph) {
+    slots_.resize(graph.max_degree());
+  }
+
+  NodeId id() const override { return id_; }
+  std::uint32_t num_nodes() const override { return graph_->num_nodes(); }
+  std::span<const NodeId> neighbors() const override { return neighbors_; }
+  std::uint64_t round() const override { return round_; }
+  const std::vector<InboundMessage>& inbox() const override { return inbox_; }
+
+  void send(NodeId neighbor, const BitWriter& payload) override {
+    const auto it =
+        std::lower_bound(neighbors_.begin(), neighbors_.end(), neighbor);
+    CBC_EXPECTS(it != neighbors_.end() && *it == neighbor,
+                "node tried to send to a non-neighbor");
+    Slot& slot = slots_[static_cast<std::size_t>(it - neighbors_.begin())];
+    slot.writer.append(payload.data(), payload.bit_size());
+    slot.logical += 1;
+  }
+
+  // -- harness side --
+  /// Points the context at node `v` and takes its mailbox; the mailbox is
+  /// left holding the previously used (cleared) inbox buffer, so the
+  /// buffers circulate within the lane and keep their capacities.
+  void begin(NodeId v, std::uint64_t round,
+             std::vector<InboundMessage>& mailbox) {
+    id_ = v;
+    neighbors_ = graph_->neighbors(v);
+    round_ = round;
+    inbox_.clear();
+    inbox_.swap(mailbox);
+  }
+
+  /// Moves the current node's non-empty bundles into `arena` + the lane
+  /// outbox and clears the touched slots, leaving the slab ready for the
+  /// lane's next node.
+  void flush(PayloadArena& arena) {
+    for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+      Slot& slot = slots_[i];
+      if (slot.logical == 0) {
+        continue;
+      }
+      const std::uint64_t bits = slot.writer.bit_size();
+      const std::size_t nbytes = (bits + 7) / 8;
+      std::uint8_t* mem = arena.allocate(nbytes);
+      if (nbytes != 0) {
+        std::memcpy(mem, slot.writer.data(), nbytes);
+      }
+      outbox_.push_back(OutRec{id_, static_cast<std::uint32_t>(i), mem, bits,
+                               slot.logical});
+      slot.writer.clear();
+      slot.logical = 0;
+    }
+  }
+
+  std::vector<OutRec>& outbox() { return outbox_; }
+
+ private:
+  const Graph* graph_;
+  NodeId id_ = 0;
+  std::span<const NodeId> neighbors_;
+  std::uint64_t round_ = 0;
+  std::vector<InboundMessage> inbox_;
+  std::vector<Slot> slots_;
+  std::vector<OutRec> outbox_;
 };
 
 // ------------------------------------------------------- legacy baseline
@@ -304,7 +402,13 @@ RunMetrics Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
   suspended_payload_.reset();
   resumed_from_round_.reset();
   checkpoints_written_.clear();
-  return config_.legacy_engine ? run_legacy(programs) : run_engine(programs);
+  if (config_.legacy_engine || config_.engine == EngineKind::kLegacy) {
+    return run_legacy(programs);
+  }
+  if (config_.engine == EngineKind::kArena) {
+    return run_engine(programs);
+  }
+  return run_frontier(programs);
 }
 
 void Network::save_snapshot(std::ostream& out) const {
@@ -577,7 +681,31 @@ RunMetrics Network::run_engine(
     }
   }
 
-  for (std::uint64_t round = start_round;; ++round) {
+  // Hoisted out of the round loop: constructing a std::function per round
+  // was one heap allocation per round — the thread-count-dependent
+  // allocation drift bench_simulator now asserts against.  The lambda
+  // reads `round` through this reference.
+  std::uint64_t round = start_round;
+  const std::function<void(std::size_t, std::size_t)> execute_nodes =
+      [&](std::size_t lo, std::size_t hi) {
+        // The static partition assigns lane l the range starting at
+        // floor(n*l/lanes); ceil(lo*lanes/n) inverts that, giving the
+        // recorder one trace track per worker lane.
+        const auto lane =
+            static_cast<std::uint32_t>(pool ? (lo * lanes + n - 1) / n : 0);
+        obs::ScopedSpan obs_span(config_.recorder, obs::Phase::kNodeExecute,
+                                 round, lane);
+        for (std::size_t v = lo; v < hi; ++v) {
+          if (injector && node_up[v] == 0) {
+            contexts[v].begin_round_empty(round);
+            continue;
+          }
+          contexts[v].begin_round(round, mailboxes[v]);
+          programs[v]->on_round(contexts[v]);
+        }
+      };
+
+  for (;; ++round) {
     metrics_.rounds = round;  // kept current so a throw reports progress
     if (round >= config_.max_rounds) {
       throw RoundLimitError("simulation exceeded max_rounds = " +
@@ -647,23 +775,6 @@ RunMetrics Network::run_engine(
     // Each lane owns a contiguous node range and touches only those
     // nodes' contexts and programs; the first exception in partition
     // order is rethrown — the same one a sequential loop would raise.
-    const auto execute_nodes = [&](std::size_t lo, std::size_t hi) {
-      // The static partition assigns lane l the range starting at
-      // floor(n*l/lanes); ceil(lo*lanes/n) inverts that, giving the
-      // recorder one trace track per worker lane.
-      const auto lane =
-          static_cast<std::uint32_t>(pool ? (lo * lanes + n - 1) / n : 0);
-      obs::ScopedSpan obs_span(config_.recorder, obs::Phase::kNodeExecute,
-                               round, lane);
-      for (std::size_t v = lo; v < hi; ++v) {
-        if (injector && node_up[v] == 0) {
-          contexts[v].begin_round_empty(round);
-          continue;
-        }
-        contexts[v].begin_round(round, mailboxes[v]);
-        programs[v]->on_round(contexts[v]);
-      }
-    };
     if (pool) {
       pool->parallel_ranges(n, execute_nodes);
     } else {
@@ -837,6 +948,472 @@ RunMetrics Network::run_engine(
             "protocol deadlock");
       }
     }
+  }
+}
+
+RunMetrics Network::run_frontier(
+    std::vector<std::unique_ptr<NodeProgram>>& programs) {
+  const NodeId n = graph_->num_nodes();
+  CBC_EXPECTS(programs.size() == n, "one program per node required");
+  for (NodeId v = 0; v < n; ++v) {
+    CBC_EXPECTS(programs[v] != nullptr, "null program");
+  }
+
+  std::optional<FaultInjector> injector;
+  if (config_.faults != nullptr && !config_.faults->empty()) {
+    injector.emplace(*config_.faults, *graph_);
+  }
+
+  metrics_ = RunMetrics{};
+  arena_block_allocations_ = 0;
+  std::vector<std::vector<InboundMessage>> mailboxes(n);
+  std::vector<std::vector<InboundMessage>> delayed_pending(n);
+  for (NodeId v = 0; v < n; ++v) {
+    mailboxes[v].reserve(graph_->degree(v) + 1);
+  }
+  std::uint64_t in_flight = 0;
+
+  std::uint64_t stall_rounds = 0;
+  const std::uint64_t start_round =
+      apply_pending_resume(mailboxes, delayed_pending, programs, stall_rounds);
+  for (NodeId v = 0; v < n; ++v) {
+    in_flight += mailboxes[v].size() + delayed_pending[v].size();
+  }
+
+  unsigned lanes =
+      config_.threads == 0 ? ThreadPool::hardware_threads() : config_.threads;
+  if (config_.frontier_clamp_lanes) {
+    lanes = std::min(lanes, ThreadPool::hardware_threads());
+  }
+  std::optional<ThreadPool> pool;
+  if (lanes > 1 && n > 1) {
+    pool.emplace(lanes);
+  }
+  const unsigned lane_count = pool ? lanes : 1;
+  std::vector<LaneContext> lane_ctxs;
+  lane_ctxs.reserve(lane_count);
+  for (unsigned lane = 0; lane < lane_count; ++lane) {
+    lane_ctxs.emplace_back(*graph_);
+  }
+  // Per-lane double-buffered payload storage, same two-round lifetime as
+  // the arena engine's global pair: lane arenas for round r are reset at
+  // the top of round r + 2, strictly after the last reader.  Lane-private
+  // arenas keep the parallel flush free of shared mutable cache lines.
+  std::vector<std::array<PayloadArena, 2>> lane_arenas(lane_count);
+
+  std::vector<std::uint8_t> node_up;
+  if (injector) {
+    node_up.assign(n, 1);
+  }
+
+  // --- SoA per-node scheduling state -----------------------------------
+  // wake_[v] is the round the node asked to act in without a message
+  // (kActiveOnMessage = not armed); the heap holds (round, node) pairs
+  // and is lazily cleaned: an entry is live iff wake_[v] still equals its
+  // round.  active_stamp_[v] == r + 1 marks "already in round r's active
+  // set", deduplicating message marks against timer wakes.
+  std::vector<std::uint64_t> wake(n, kActiveOnMessage);
+  std::vector<std::uint64_t> active_stamp(n, 0);
+  std::vector<std::uint8_t> done_flags(n, 0);
+  std::size_t done_count = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (programs[v]->done()) {
+      done_flags[v] = 1;
+      ++done_count;
+    }
+  }
+  using WakeEntry = std::pair<std::uint64_t, NodeId>;
+  std::priority_queue<WakeEntry, std::vector<WakeEntry>, std::greater<>>
+      wake_heap;
+  std::vector<NodeId> active;
+  std::vector<NodeId> msg_wake;
+  std::vector<NodeId> delayed_nodes;
+
+  const auto arm_wake = [&](NodeId v, std::uint64_t from) {
+    const std::uint64_t w = programs[v]->next_active_round(from);
+    if (w == kActiveOnMessage) {
+      wake[v] = kActiveOnMessage;
+      return;
+    }
+    const std::uint64_t wr = w > from ? w : from;
+    wake[v] = wr;
+    wake_heap.emplace(wr, v);
+  };
+  const auto mark = [&](NodeId v, std::uint64_t target) {
+    if (active_stamp[v] < target + 1) {
+      active_stamp[v] = target + 1;
+      msg_wake.push_back(v);
+    }
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    arm_wake(v, start_round);
+    if (!mailboxes[v].empty()) {
+      mark(v, start_round);
+    }
+    if (!delayed_pending[v].empty()) {
+      delayed_nodes.push_back(v);
+    }
+  }
+
+  // Watchdog state, mirrored from the arena engine; done counting is
+  // incremental here (done_flags above) because only ran nodes can flip.
+  std::size_t last_done_count = 0;
+  std::vector<std::optional<std::uint64_t>> last_markers;
+  if (config_.stall_window != 0) {
+    last_markers.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      last_markers.push_back(programs[v]->progress_marker());
+    }
+    if (start_round != 0) {
+      last_done_count = done_count;
+    }
+  }
+
+  // Hoisted (one-time) dispatch callables — see the arena engine's note
+  // on per-round std::function allocations.
+  std::uint64_t round = start_round;
+  const auto run_range = [&](unsigned lane, std::size_t lo, std::size_t hi) {
+    obs::ScopedSpan obs_span(config_.recorder, obs::Phase::kLaneDispatch,
+                             round, lane);
+    LaneContext& ctx = lane_ctxs[lane];
+    PayloadArena& arena = lane_arenas[lane][round & 1];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId v = active[i];
+      if (injector && node_up[v] == 0) {
+        continue;  // frozen: mailbox already cleared, no slots touched
+      }
+      ctx.begin(v, round, mailboxes[v]);
+      programs[v]->on_round(ctx);
+      ctx.flush(arena);
+    }
+  };
+  const std::function<void(unsigned, std::size_t, std::size_t)> lane_fn =
+      run_range;
+
+  for (;;) {
+    metrics_.rounds = round;  // kept current so a throw reports progress
+    if (round >= config_.max_rounds) {
+      throw RoundLimitError("simulation exceeded max_rounds = " +
+                            std::to_string(config_.max_rounds));
+    }
+
+    if (in_flight == 0 && done_count == n) {
+      metrics_.rounds = round;
+      return metrics_;
+    }
+
+    if (checkpoint_or_halt(round, start_round, stall_rounds, mailboxes,
+                           delayed_pending, programs)) {
+      return metrics_;  // suspended; save_snapshot() has the state
+    }
+
+    // Quiescence fast-forward: with no message in flight, no node due,
+    // and no fault plan (crash schedules make every round observable),
+    // the intervening rounds are provably empty — record them as such
+    // without running the phase machinery.  The skip stops at the next
+    // timer wake and at every boundary the full loop would act on: the
+    // round limit, the round where the stall watchdog fires (executed
+    // normally so the error text matches the arena engine exactly), the
+    // next checkpoint boundary, halt_at_round, and a polling cap when an
+    // external halt flag is registered.
+    if (!injector && in_flight == 0 && msg_wake.empty()) {
+      while (!wake_heap.empty() &&
+             wake[wake_heap.top().second] != wake_heap.top().first) {
+        wake_heap.pop();  // stale entry, superseded by a later re-arm
+      }
+      if (wake_heap.empty() || wake_heap.top().first > round) {
+        std::uint64_t target = wake_heap.empty()
+                                   ? std::numeric_limits<std::uint64_t>::max()
+                                   : wake_heap.top().first;
+        target = std::min(target, config_.max_rounds);
+        if (config_.stall_window != 0) {
+          target = std::min(
+              target, round + (config_.stall_window - stall_rounds) - 1);
+        }
+        if (config_.checkpoint.enabled()) {
+          const std::uint64_t every = config_.checkpoint.every_rounds;
+          target = std::min(target, (round / every + 1) * every);
+        }
+        if (config_.halt_at_round != 0 && config_.halt_at_round > round) {
+          target = std::min(target, config_.halt_at_round);
+        }
+        if (config_.halt_request != nullptr) {
+          target = std::min(target, round + 1024);
+        }
+        if (target > round) {
+          obs::ScopedSpan obs_span(config_.recorder,
+                                   obs::Phase::kQuiescenceSkip, round);
+          for (std::uint64_t rr = round; rr < target; ++rr) {
+            metrics_.rounds = rr;
+            if (config_.record_per_round) {
+              metrics_.per_round.push_back(RoundStats{});
+            }
+            if (config_.stall_window != 0) {
+              ++stall_rounds;
+            }
+          }
+          round = target;
+          continue;  // re-enter the loop top at the first non-empty round
+        }
+      }
+    }
+
+    // Phase 1 (sequential): crash bookkeeping, identical to the arena
+    // engine.  Only active nodes can hold mail (every delivery marks its
+    // receiver), so clearing crashed mailboxes over all nodes matches the
+    // arena scan message-for-message.
+    if (injector) {
+      obs::ScopedSpan obs_span(config_.recorder, obs::Phase::kCrashBookkeeping,
+                               round);
+      for (NodeId v = 0; v < n; ++v) {
+        const bool up = injector->node_up(v, round);
+        node_up[v] = up ? 1 : 0;
+        if (up) {
+          continue;
+        }
+        metrics_.crashed_node_rounds += 1;
+        metrics_.dropped_messages += mailboxes[v].size();
+        in_flight -= mailboxes[v].size();
+        if (config_.trace != nullptr) {
+          for (const auto& lost : mailboxes[v]) {
+            config_.trace->on_fault(
+                FaultEvent{round, lost.from(), v, FaultKind::kReceiverCrash});
+          }
+        }
+        mailboxes[v].clear();
+      }
+    }
+
+    // Phase 2a (sequential): build this round's active set — the nodes
+    // marked by last round's deliveries plus the nodes whose timer wake
+    // is due — sorted ascending so contiguous chunks of it preserve the
+    // arena engine's node-id merge order.
+    bool consumed_this_round = false;
+    {
+      obs::ScopedSpan obs_span(config_.recorder, obs::Phase::kActiveSetBuild,
+                               round);
+      active.clear();
+      for (const NodeId v : msg_wake) {
+        if (active_stamp[v] == round + 1) {
+          active.push_back(v);
+        }
+      }
+      msg_wake.clear();
+      while (!wake_heap.empty() && wake_heap.top().first <= round) {
+        const auto [wr, v] = wake_heap.top();
+        wake_heap.pop();
+        if (wake[v] != wr) {
+          continue;  // stale entry
+        }
+        if (active_stamp[v] != round + 1) {
+          active_stamp[v] = round + 1;
+          active.push_back(v);
+        }
+      }
+      std::sort(active.begin(), active.end());
+      if (config_.stall_window != 0) {
+        for (const NodeId v : active) {
+          if ((!injector || node_up[v] != 0) && !mailboxes[v].empty() &&
+              !last_markers[v].has_value()) {
+            consumed_this_round = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // Phase 2b (parallel): run the active nodes.  Each lane executes a
+    // contiguous chunk of the sorted active set and flushes bundles into
+    // its private arena; small active sets stay on the calling thread so
+    // dispatch overhead never dominates a sparse frontier.
+    for (unsigned lane = 0; lane < lane_count; ++lane) {
+      lane_arenas[lane][round & 1].reset();
+    }
+    if (pool && active.size() >= config_.frontier_min_parallel_nodes) {
+      pool->parallel_ranges(active.size(), lane_fn);
+    } else if (!active.empty()) {
+      run_range(0, 0, active.size());
+    }
+    in_flight = 0;
+
+    // Phase 3 (sequential): release last round's delayed messages; their
+    // receivers become active next round like any other delivery.
+    {
+      obs::ScopedSpan obs_span(config_.recorder, obs::Phase::kDelayedRelease,
+                               round);
+      for (const NodeId v : delayed_nodes) {
+        if (delayed_pending[v].empty()) {
+          continue;  // duplicate entry, already released
+        }
+        mailboxes[v].swap(delayed_pending[v]);
+        delayed_pending[v].clear();
+        in_flight += mailboxes[v].size();
+        mark(v, round + 1);
+      }
+      delayed_nodes.clear();
+    }
+
+    // Phase 4 (sequential merge): replay lane outboxes in lane order.
+    // Chunks are contiguous ranges of the ascending active set, so this
+    // visits bundles in exactly the arena engine's (node id, adjacency
+    // index) order for every lane count — the determinism argument of
+    // DESIGN.md §13.  The span runs to the end of the iteration, covering
+    // the merge and the watchdog bookkeeping.
+    obs::ScopedSpan obs_merge_span(config_.recorder, obs::Phase::kMerge,
+                                   round);
+    RoundStats stats;
+    for (unsigned lane = 0; lane < lane_count; ++lane) {
+      for (const LaneContext::OutRec& rec : lane_ctxs[lane].outbox()) {
+        const NodeId v = rec.from;
+        const NodeId to = graph_->neighbors(v)[rec.adj_index];
+        const std::uint64_t bits = rec.bits;
+        if (config_.bits_per_edge_per_round != 0 &&
+            bits > config_.bits_per_edge_per_round) {
+          throw CongestViolationError(
+              "CONGEST violation: " + std::to_string(bits) + " bits on edge " +
+              std::to_string(v) + "->" + std::to_string(to) + " in round " +
+              std::to_string(round) + " (budget " +
+              std::to_string(config_.bits_per_edge_per_round) + ")");
+        }
+        stats.physical_messages += 1;
+        stats.logical_messages += rec.logical;
+        stats.bits += bits;
+        stats.max_bits_on_edge = std::max(stats.max_bits_on_edge, bits);
+        stats.max_logical_on_edge =
+            std::max(stats.max_logical_on_edge, rec.logical);
+        if (has_cut_ &&
+            cut_flags_[graph_->adjacency_offset(v) + rec.adj_index] != 0) {
+          metrics_.cut_bits += bits;
+        }
+        if (config_.trace != nullptr) {
+          config_.trace->on_physical_message(
+              TraceEvent{round, v, to, bits, rec.logical});
+        }
+
+        bool duplicate = false;
+        if (injector) {
+          if (!injector->link_up(v, to, round)) {
+            metrics_.dropped_messages += 1;
+            if (config_.trace != nullptr) {
+              config_.trace->on_fault(
+                  FaultEvent{round, v, to, FaultKind::kLinkDown});
+            }
+            continue;
+          }
+          switch (injector->classify(round, v, to)) {
+            case FaultInjector::Delivery::kDrop:
+              metrics_.dropped_messages += 1;
+              if (config_.trace != nullptr) {
+                config_.trace->on_fault(
+                    FaultEvent{round, v, to, FaultKind::kDrop});
+              }
+              continue;
+            case FaultInjector::Delivery::kDuplicate:
+              metrics_.duplicated_messages += 1;
+              if (config_.trace != nullptr) {
+                config_.trace->on_fault(
+                    FaultEvent{round, v, to, FaultKind::kDuplicate});
+              }
+              duplicate = true;
+              break;  // falls through to the normal delivery below
+            case FaultInjector::Delivery::kDelay:
+              metrics_.delayed_messages += 1;
+              if (config_.trace != nullptr) {
+                config_.trace->on_fault(
+                    FaultEvent{round, v, to, FaultKind::kDelay});
+              }
+              // Cold path: the payload outlives the lane arena window, so
+              // it gets an owning copy.
+              delayed_pending[to].emplace_back(
+                  v,
+                  std::vector<std::uint8_t>(rec.data,
+                                            rec.data + (bits + 7) / 8),
+                  bits);
+              delayed_nodes.push_back(to);
+              in_flight += 1;
+              continue;
+            case FaultInjector::Delivery::kDeliver:
+              break;
+          }
+        }
+        // Hot path: the payload already lives in the lane arena (copied
+        // once, in parallel, at flush) — the mailbox takes a view.
+        if (duplicate) {
+          mailboxes[to].emplace_back(v, rec.data, bits);
+          in_flight += 1;
+        }
+        mailboxes[to].emplace_back(v, rec.data, bits);
+        in_flight += 1;
+        mark(to, round + 1);
+      }
+      lane_ctxs[lane].outbox().clear();
+    }
+    arena_block_allocations_ = 0;
+    for (unsigned lane = 0; lane < lane_count; ++lane) {
+      arena_block_allocations_ += lane_arenas[lane][0].block_allocations() +
+                                  lane_arenas[lane][1].block_allocations();
+    }
+
+    metrics_.total_physical_messages += stats.physical_messages;
+    metrics_.total_logical_messages += stats.logical_messages;
+    metrics_.total_bits += stats.bits;
+    metrics_.max_bits_on_edge_round =
+        std::max(metrics_.max_bits_on_edge_round, stats.max_bits_on_edge);
+    metrics_.max_logical_on_edge_round =
+        std::max(metrics_.max_logical_on_edge_round, stats.max_logical_on_edge);
+    if (config_.record_per_round) {
+      metrics_.per_round.push_back(stats);
+    }
+
+    // Sequential post-pass over the nodes that ran: re-arm their timer
+    // wakes and fold their done()/marker deltas into the watchdog state.
+    // A crashed active node is retried next round — a conservative
+    // over-approximation (the contract makes unneeded runs no-ops).
+    bool marker_advanced = false;
+    for (const NodeId v : active) {
+      if (injector && node_up[v] == 0) {
+        wake[v] = round + 1;
+        wake_heap.emplace(round + 1, v);
+        continue;
+      }
+      arm_wake(v, round + 1);
+      const std::uint8_t d = programs[v]->done() ? 1 : 0;
+      if (d != done_flags[v]) {
+        done_flags[v] = d;
+        if (d != 0) {
+          ++done_count;
+        } else {
+          --done_count;
+        }
+      }
+      if (config_.stall_window != 0) {
+        const auto marker = programs[v]->progress_marker();
+        if (marker != last_markers[v]) {
+          marker_advanced = true;
+          last_markers[v] = marker;
+        }
+      }
+    }
+
+    if (config_.stall_window != 0) {
+      const bool progress = consumed_this_round || marker_advanced ||
+                            done_count != last_done_count;
+      last_done_count = done_count;
+      if (progress) {
+        stall_rounds = 0;
+      } else if (++stall_rounds >= config_.stall_window) {
+        throw StallError(
+            "network stalled: no message in flight and no program finished "
+            "for " +
+            std::to_string(stall_rounds) + " consecutive rounds (round " +
+            std::to_string(round) + ", " + std::to_string(done_count) + "/" +
+            std::to_string(n) +
+            " nodes done) — suspect message loss, a crash-partition, or a "
+            "protocol deadlock");
+      }
+    }
+    ++round;
   }
 }
 

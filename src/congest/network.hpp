@@ -15,15 +15,18 @@
 //     duplicates, one-round delays, link outages, and node crashes, all
 //     counted in RunMetrics and visible to the TraceSink.
 //
-// Execution engine (DESIGN.md, "execution engine"): each round splits
-// into a node-execution phase — embarrassingly parallel across nodes,
-// run on NetworkConfig::threads lanes with a static partition — and a
-// sequential merge phase that bundles outboxes, applies faults, accounts
-// metrics, and feeds the trace in node-id order.  Payloads live in a
-// double-buffered bump arena (congest/arena.hpp), so the hot path does
-// no per-message heap allocation and results are bit-identical for every
-// thread count.  The PR-1 sequential allocating engine is kept behind
-// NetworkConfig::legacy_engine as the benchmark baseline.
+// Execution engines (DESIGN.md §8/§13): each round splits into a
+// node-execution phase — embarrassingly parallel across nodes, run on
+// NetworkConfig::threads lanes — and a sequential merge phase that
+// bundles outboxes, applies faults, accounts metrics, and feeds the
+// trace in (node, adjacency) order.  Payloads live in double-buffered
+// bump arenas (congest/arena.hpp), so the hot path does no per-message
+// heap allocation and results are bit-identical for every thread count
+// and every EngineKind.  The default frontier engine additionally runs
+// only the *active* nodes each round (mail or a due
+// NodeProgram::next_active_round timer) and fast-forwards quiescent
+// stretches; the PR-2 static-partition engine and the PR-1 sequential
+// allocating engine are kept as baselines.
 //
 // This simulator substitutes for the paper's (hypothetical) physical
 // message-passing network: the paper's complexity measure is rounds, which
@@ -75,6 +78,25 @@ class StallError : public InvariantError {
   using InvariantError::InvariantError;
 };
 
+/// Which round engine executes the run.  All three produce bit-identical
+/// metrics, traces, fault outcomes, and program results (asserted by
+/// tests/frontier_test.cpp); they differ only in speed and memory.
+enum class EngineKind : std::uint8_t {
+  /// Frontier-aware scheduler (default): each round runs only the nodes
+  /// with mail or a due timer (NodeProgram::next_active_round), partitions
+  /// the *sorted active set* across lanes with per-lane arenas/outboxes,
+  /// and fast-forwards fully quiescent stretches.  O(active) per round
+  /// instead of O(N) — the engine that makes 10^5..10^6-node graphs
+  /// tractable.
+  kFrontier = 0,
+  /// PR-2 static-partition engine: every node runs every round over a
+  /// fixed node-range split, global double-buffered arena.
+  kArena = 1,
+  /// PR-1 sequential allocating engine (per-send heap copies, per-outbox
+  /// stable_sort) — the reproducible baseline.
+  kLegacy = 2,
+};
+
 /// Simulator knobs.
 struct NetworkConfig {
   /// Per-directed-edge per-round bit budget; 0 disables the check (LOCAL
@@ -107,11 +129,21 @@ struct NetworkConfig {
   /// program results are bit-identical for every value — the merge phase
   /// is always sequential in node-id order.
   unsigned threads = 1;
-  /// Run the PR-1 sequential allocating engine instead (per-send heap
-  /// copies, per-outbox stable_sort, O(N) in-flight scan).  Ignores
-  /// `threads`.  Kept as the reproducible baseline for
-  /// `bench_simulator --baseline`; results are identical, only slower.
+  /// Engine selection; results are bit-identical across all values.
+  EngineKind engine = EngineKind::kFrontier;
+  /// Compatibility alias: true forces EngineKind::kLegacy (the PR-1
+  /// sequential allocating engine; ignores `threads`).  Kept because the
+  /// flag predates the enum and is plumbed through existing callers.
   bool legacy_engine = false;
+  /// Frontier engine: active sets smaller than this run on the calling
+  /// thread even when a pool exists — chunking a handful of nodes across
+  /// lanes costs more in wakeups than it saves (and this is what makes
+  /// the engine "never slower than 1 thread" on small graphs).
+  std::size_t frontier_min_parallel_nodes = 256;
+  /// Frontier engine: clamp the lane count to the hardware thread count.
+  /// Oversubscribing lanes can only add scheduling overhead; tests turn
+  /// this off to exercise real multi-lane dispatch on any host.
+  bool frontier_clamp_lanes = true;
   /// Periodic checkpointing (snapshot/checkpoint.hpp): when enabled, the
   /// run writes a full snapshot at every round divisible by
   /// `checkpoint.every_rounds` (atomic write-rename, newest
@@ -226,6 +258,7 @@ class Network {
   struct ResumeState;
 
   RunMetrics run_engine(std::vector<std::unique_ptr<NodeProgram>>& programs);
+  RunMetrics run_frontier(std::vector<std::unique_ptr<NodeProgram>>& programs);
   RunMetrics run_legacy(std::vector<std::unique_ptr<NodeProgram>>& programs);
 
   /// Serializes the complete engine state at the top-of-round boundary.

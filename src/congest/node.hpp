@@ -72,18 +72,46 @@ class NodeContext {
   virtual void send(NodeId neighbor, const BitWriter& payload) = 0;
 };
 
-/// Code running on one node.  `on_round` is invoked exactly once per round
-/// for every node with that round's inbox — possibly concurrently across
-/// nodes (NetworkConfig::threads): nodes in one round are independent in
-/// the CONGEST model, so a program must only touch its own state and its
-/// NodeContext, never anything shared.  Delivery and all accounting stay
-/// sequential in node-id order, so results are identical either way.
+/// next_active_round(): the program will act at the next round the engine
+/// asks about — the conservative default that keeps every program correct
+/// under the frontier engine (the node is simply scheduled every round).
+inline constexpr std::uint64_t kActiveEveryRound = 0;
+
+/// next_active_round(): the program is purely reactive — it changes state
+/// or sends only in rounds where its inbox is non-empty, so the engine
+/// need not run it until a message arrives.
+inline constexpr std::uint64_t kActiveOnMessage = ~std::uint64_t{0};
+
+/// Code running on one node.  `on_round` is invoked with that round's
+/// inbox — possibly concurrently across nodes (NetworkConfig::threads):
+/// nodes in one round are independent in the CONGEST model, so a program
+/// must only touch its own state and its NodeContext, never anything
+/// shared.  Delivery and all accounting stay sequential in node-id order,
+/// so results are identical either way.  The default (arena and legacy)
+/// engines run every node every round; the frontier engine runs a node
+/// only in rounds where it has mail or where next_active_round() said it
+/// might act — identical observable behavior, because a skipped round is
+/// one the program itself declared a no-op.
 class NodeProgram {
  public:
   virtual ~NodeProgram() = default;
 
   /// One synchronous round: read ctx.inbox(), update state, ctx.send(...).
   virtual void on_round(NodeContext& ctx) = 0;
+
+  /// Frontier-scheduling contract: the earliest round >= `from` in which
+  /// this node might change state or send *without receiving a message*
+  /// (a pending timer, a scheduled send, a bootstrap).  Rounds before the
+  /// returned value with an empty inbox are guaranteed no-ops, so the
+  /// engine may skip them; message arrival always wakes a node regardless.
+  /// Return kActiveOnMessage when no such spontaneous action is pending,
+  /// or kActiveEveryRound (the default) to opt out of sparse scheduling
+  /// entirely.  Over-approximating (waking too often) is always safe;
+  /// under-approximating breaks the run.
+  virtual std::uint64_t next_active_round(std::uint64_t from) const {
+    (void)from;
+    return kActiveEveryRound;
+  }
 
   /// Local termination flag; the simulation stops once every node is done
   /// and no messages are in flight.  (Distributed termination *detection*

@@ -36,7 +36,11 @@ void ThreadPool::run_chunk(unsigned lane) {
   const std::size_t end = job_count_ * (lane + 1) / total_;
   try {
     if (begin < end) {
-      (*job_)(begin, end);
+      if (lane_job_ != nullptr) {
+        (*lane_job_)(lane, begin, end);
+      } else {
+        (*job_)(begin, end);
+      }
     }
   } catch (...) {
     errors_[lane] = std::current_exception();
@@ -78,6 +82,7 @@ void ThreadPool::parallel_ranges(
     std::lock_guard<std::mutex> lock(mutex_);
     job_count_ = count;
     job_ = &fn;
+    lane_job_ = nullptr;
     for (auto& e : errors_) {
       e = nullptr;
     }
@@ -90,6 +95,40 @@ void ThreadPool::parallel_ranges(
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return unfinished_ == 0; });
     job_ = nullptr;
+  }
+  for (const std::exception_ptr& e : errors_) {
+    if (e != nullptr) {
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ThreadPool::parallel_ranges(
+    std::size_t count,
+    const std::function<void(unsigned, std::size_t, std::size_t)>& fn) {
+  if (total_ == 1 || count <= 1) {
+    if (count > 0) {
+      fn(0, 0, count);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_count_ = count;
+    lane_job_ = &fn;
+    job_ = nullptr;
+    for (auto& e : errors_) {
+      e = nullptr;
+    }
+    unfinished_ = total_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunk(0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+    lane_job_ = nullptr;
   }
   for (const std::exception_ptr& e : errors_) {
     if (e != nullptr) {

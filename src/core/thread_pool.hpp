@@ -47,6 +47,15 @@ class ThreadPool {
   void parallel_ranges(std::size_t count,
                        const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Lane-aware variant: fn(lane, begin, end), where `lane` is the chunk
+  /// index (0 = the calling thread).  Lets callers keep per-lane scratch
+  /// without inverting the partition arithmetic; empty chunks are never
+  /// invoked, so a lane that received no work must not be assumed to have
+  /// run.
+  void parallel_ranges(
+      std::size_t count,
+      const std::function<void(unsigned, std::size_t, std::size_t)>& fn);
+
   static unsigned hardware_threads();
 
  private:
@@ -62,6 +71,8 @@ class ThreadPool {
   unsigned unfinished_ = 0;
   std::size_t job_count_ = 0;
   const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  const std::function<void(unsigned, std::size_t, std::size_t)>* lane_job_ =
+      nullptr;
   std::vector<std::exception_ptr> errors_;
   bool stopping_ = false;
 };

@@ -158,6 +158,58 @@ Graph erdos_renyi_connected(NodeId n, double p, Rng& rng) {
   return Graph(n, std::move(edges));
 }
 
+Graph erdos_renyi_sparse(NodeId n, double avg_degree, Rng& rng) {
+  CBC_EXPECTS(n >= 1, "graph needs >= 1 node");
+  CBC_EXPECTS(avg_degree >= 0.0, "average degree must be non-negative");
+  const double p =
+      n >= 2 ? std::min(avg_degree / static_cast<double>(n - 1), 1.0) : 0.0;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(avg_degree / 2.0 *
+                                         static_cast<double>(n)) +
+                n);
+  if (p >= 1.0) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        edges.push_back({u, v});
+      }
+    }
+  } else if (p > 0.0) {
+    // Walk the strict upper triangle as one linear index; the gap to the
+    // next present edge is geometric with parameter p, so the loop body
+    // runs once per *edge*, not once per pair.
+    const double log1mp = std::log1p(-p);
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    std::uint64_t idx = 0;
+    NodeId u = 0;
+    // Pairs (u, *) occupy linear indices [row_base, row_base + n - 1 - u).
+    std::uint64_t row_base = 0;
+    while (idx < total) {
+      const double uni = rng.next_double();  // in [0, 1)
+      const double gap = std::floor(std::log1p(-uni) / log1mp);
+      idx += gap >= static_cast<double>(total) ? total
+                                               : static_cast<std::uint64_t>(gap);
+      if (idx >= total) {
+        break;
+      }
+      while (idx >= row_base + (n - 1 - u)) {
+        row_base += n - 1 - u;
+        ++u;
+      }
+      const auto v = static_cast<NodeId>(u + 1 + (idx - row_base));
+      edges.push_back({u, v});
+      ++idx;
+    }
+  }
+  // Connectivity backbone: a random recursive tree (same deviation from
+  // pure ER as erdos_renyi_connected; duplicates are merged by Graph).
+  for (NodeId v = 1; v < n; ++v) {
+    const auto parent = static_cast<NodeId>(rng.next_below(v));
+    edges.push_back({parent, v});
+  }
+  return Graph(n, std::move(edges));
+}
+
 Graph barabasi_albert(NodeId n, NodeId attach, Rng& rng) {
   CBC_EXPECTS(attach >= 1, "attachment count must be >= 1");
   CBC_EXPECTS(n > attach, "graph must be larger than the seed clique");

@@ -48,6 +48,15 @@ Graph random_tree(NodeId n, Rng& rng);
 /// is always connected (documented deviation from pure ER).
 Graph erdos_renyi_connected(NodeId n, double p, Rng& rng);
 
+/// Sparse Erdős–Rényi: same G(n, p)-plus-backbone model as
+/// erdos_renyi_connected, but sampled with geometric gap-skipping over
+/// the upper-triangle edge index — O(m + n) instead of the O(n^2)
+/// Bernoulli sweep, which is what makes 10^5..10^6-node ER graphs
+/// generable at all.  `avg_degree` fixes p = avg_degree / (n - 1).
+/// Draws differ from erdos_renyi_connected (different RNG walk), so the
+/// two are distinct, individually reproducible families.
+Graph erdos_renyi_sparse(NodeId n, double avg_degree, Rng& rng);
+
 /// Barabási–Albert preferential attachment: each new node attaches to
 /// `attach` existing nodes.  n > attach >= 1.
 Graph barabasi_albert(NodeId n, NodeId attach, Rng& rng);

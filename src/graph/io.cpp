@@ -1,6 +1,8 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/assert.hpp"
 
@@ -66,6 +68,83 @@ std::string write_edge_list_text(const Graph& g) {
   std::ostringstream out;
   write_edge_list(out, g);
   return out.str();
+}
+
+Graph read_snap_edge_list(std::istream& in) {
+  // Pass 1: read pairs, densely remap ids in first-appearance order.
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  std::vector<Edge> edges;
+  std::string row;
+  const auto intern = [&](std::uint64_t raw) {
+    const auto [it, inserted] =
+        remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    CBC_EXPECTS(!inserted || remap.size() <= 0xFFFFFFFFull,
+                "too many distinct node ids");
+    return it->second;
+  };
+  while (next_content_line(in, row)) {
+    std::istringstream rs(row);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    CBC_EXPECTS(static_cast<bool>(rs >> u >> v), "malformed edge line");
+    if (u == v) {
+      continue;  // SNAP dumps occasionally carry self-loops; drop them
+    }
+    edges.push_back({intern(u), intern(v)});
+  }
+  CBC_EXPECTS(!edges.empty(), "SNAP edge list contains no edges");
+  const auto n = static_cast<NodeId>(remap.size());
+
+  // Pass 2: largest connected component by union-find.
+  std::vector<NodeId> parent(n);
+  for (NodeId v = 0; v < n; ++v) {
+    parent[v] = v;
+  }
+  const auto find = [&](NodeId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];  // path halving
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : edges) {
+    const NodeId ru = find(e.u);
+    const NodeId rv = find(e.v);
+    if (ru != rv) {
+      parent[ru] = rv;
+    }
+  }
+  std::vector<std::uint32_t> comp_size(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    ++comp_size[find(v)];
+  }
+  const NodeId best_root = static_cast<NodeId>(
+      std::max_element(comp_size.begin(), comp_size.end()) -
+      comp_size.begin());
+
+  // Pass 3: renumber the surviving component to 0..N-1, preserving
+  // first-appearance order.
+  constexpr NodeId kOut = ~NodeId{0};
+  std::vector<NodeId> dense(n, kOut);
+  NodeId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (find(v) == best_root) {
+      dense[v] = next++;
+    }
+  }
+  std::vector<Edge> kept;
+  kept.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (dense[e.u] != kOut && dense[e.v] != kOut) {
+      kept.push_back({dense[e.u], dense[e.v]});
+    }
+  }
+  return Graph(next, std::move(kept));
+}
+
+Graph read_snap_edge_list_text(const std::string& text) {
+  std::istringstream in(text);
+  return read_snap_edge_list(in);
 }
 
 WeightedGraph read_weighted_edge_list(std::istream& in) {

@@ -27,6 +27,18 @@ void write_edge_list(std::ostream& out, const Graph& g);
 /// Returns the canonical edge-list representation as a string.
 std::string write_edge_list_text(const Graph& g);
 
+/// Parses a headerless SNAP-style edge list: any number of "u v" lines
+/// with '#' comment lines anywhere, arbitrary (sparse, non-contiguous)
+/// node ids.  Ids are densely remapped in first-appearance order,
+/// self-loops are skipped, duplicate edges merge, and the result is
+/// restricted to the largest connected component (the pipeline assumes a
+/// connected network) with node ids renumbered to 0..N-1.  This is the
+/// format SNAP datasets ship in, so real traces load without conversion.
+Graph read_snap_edge_list(std::istream& in);
+
+/// Parses a SNAP-style edge list from a string.
+Graph read_snap_edge_list_text(const std::string& text);
+
 /// Weighted variant: "N M" header then M lines "u v w" (positive integer
 /// weights).
 WeightedGraph read_weighted_edge_list(std::istream& in);

@@ -24,6 +24,12 @@ const char* phase_name(Phase phase) {
       return "aggregation";
     case Phase::kJob:
       return "job";
+    case Phase::kActiveSetBuild:
+      return "active_set_build";
+    case Phase::kLaneDispatch:
+      return "lane_dispatch";
+    case Phase::kQuiescenceSkip:
+      return "quiescence_skip";
   }
   return "unknown";
 }

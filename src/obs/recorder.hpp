@@ -38,6 +38,9 @@ enum class Phase : std::uint16_t {
   kCountingWave = 7,      ///< pipeline: staggered per-source counting
   kAggregation = 8,       ///< pipeline: Algorithm 3 aggregation waves
   kJob = 9,               ///< daemon: one job execution end to end
+  kActiveSetBuild = 10,   ///< frontier engine: wake-heap pop + mark merge
+  kLaneDispatch = 11,     ///< frontier engine: one lane's active chunk
+  kQuiescenceSkip = 12,   ///< frontier engine: fast-forwarded empty rounds
 };
 
 const char* phase_name(Phase phase);

@@ -217,6 +217,45 @@ TEST(Generators, RandomGeometric) {
   EXPECT_GT(dense.num_edges(), sparse.num_edges());
 }
 
+TEST(Generators, ErdosRenyiSparse) {
+  Rng rng(41);
+  const Graph g = gen::erdos_renyi_sparse(500, 4.0, rng);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_TRUE(is_connected(g));
+  // Expected ER edges: n * avg_degree / 2 = 1000, plus the spanning
+  // backbone (<= n-1, minus overlaps).  A 3-sigma band around that.
+  EXPECT_GT(g.num_edges(), 900u);
+  EXPECT_LT(g.num_edges(), 1700u);
+
+  // Deterministic: the same seed reproduces the graph bit-for-bit.
+  Rng rng_again(41);
+  const Graph again = gen::erdos_renyi_sparse(500, 4.0, rng_again);
+  EXPECT_EQ(g.edges(), again.edges());
+
+  // The gap-skipping sampler must handle the degenerate corners the
+  // Bernoulli sweep handles: saturated p and the 2-node graph.
+  Rng rng_full(7);
+  const Graph full = gen::erdos_renyi_sparse(12, 11.0, rng_full);
+  EXPECT_EQ(full.num_edges(), 12u * 11u / 2u);  // p = 1: the clique
+  Rng rng_tiny(7);
+  const Graph tiny = gen::erdos_renyi_sparse(2, 1.0, rng_tiny);
+  EXPECT_EQ(tiny.num_nodes(), 2u);
+  EXPECT_TRUE(is_connected(tiny));
+}
+
+TEST(Generators, ErdosRenyiSparseMatchesDensityAtScale) {
+  // The reason the generator exists: 10^5 nodes in O(m + n).  Degree
+  // must concentrate around avg_degree (plus ~2 backbone edges/node).
+  Rng rng(43);
+  const Graph g = gen::erdos_renyi_sparse(100'000, 4.0, rng);
+  EXPECT_EQ(g.num_nodes(), 100'000u);
+  EXPECT_TRUE(is_connected(g));
+  const double avg_degree =
+      2.0 * static_cast<double>(g.num_edges()) / g.num_nodes();
+  EXPECT_GT(avg_degree, 3.9);
+  EXPECT_LT(avg_degree, 6.1);
+}
+
 TEST(Generators, StandardSuiteAllConnected) {
   for (const auto& [name, graph] : gen::standard_suite(32, 99)) {
     EXPECT_GE(graph.num_nodes(), 8u) << name;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
@@ -74,6 +78,70 @@ TEST(GraphIo, EmptyGraph) {
   const Graph g = read_edge_list_text("0 0\n");
   EXPECT_EQ(g.num_nodes(), 0u);
   EXPECT_EQ(write_edge_list_text(g), "0 0\n");
+}
+
+TEST(SnapIo, HeaderlessSparseIdsRemapInFirstAppearanceOrder) {
+  // SNAP dumps: no header, '#' comments, arbitrary non-contiguous ids.
+  const Graph g = read_snap_edge_list_text(
+      "# Directed graph (each unordered pair of nodes is saved once)\n"
+      "# FromNodeId\tToNodeId\n"
+      "101 4\n"
+      "4 9000000000\n"
+      "101 9000000000\n");
+  EXPECT_EQ(g.num_nodes(), 3u);  // 101 -> 0, 4 -> 1, 9000000000 -> 2
+  ASSERT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.edges()[0], (Edge{0, 1}));
+}
+
+TEST(SnapIo, DropsSelfLoopsAndMergesDuplicates) {
+  const Graph g = read_snap_edge_list_text("1 2\n2 1\n1 2\n2 2\n2 3\n");
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);  // {1,2} once, {2,3} once, 2-2 dropped
+}
+
+TEST(SnapIo, KeepsLargestConnectedComponent) {
+  // Two components: a 4-node path and a 2-node edge.  Only the path
+  // survives, renumbered 0..3 in first-appearance order.
+  const Graph g = read_snap_edge_list_text(
+      "10 11\n"
+      "50 60\n"
+      "11 12\n"
+      "12 13\n");
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);   // node 10: endpoint of the path
+  EXPECT_EQ(g.neighbors(1).size(), 2u);   // node 11: interior
+}
+
+TEST(SnapIo, RoundTripsThroughCanonicalFormat) {
+  Rng rng(17);
+  const Graph original = gen::erdos_renyi_sparse(200, 4.0, rng);
+  std::string snap_text;
+  for (const auto& e : original.edges()) {
+    snap_text += std::to_string(e.u * 7 + 3) + " " +
+                 std::to_string(e.v * 7 + 3) + "\n";
+  }
+  const Graph parsed = read_snap_edge_list_text(snap_text);
+  // Connected input, injective id transform: same size; first-appearance
+  // renumbering need not match node ids, so compare degree multisets.
+  EXPECT_EQ(parsed.num_nodes(), original.num_nodes());
+  EXPECT_EQ(parsed.num_edges(), original.num_edges());
+  std::vector<std::size_t> da, db;
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    da.push_back(original.neighbors(v).size());
+    db.push_back(parsed.neighbors(v).size());
+  }
+  std::sort(da.begin(), da.end());
+  std::sort(db.begin(), db.end());
+  EXPECT_EQ(da, db);
+}
+
+TEST(SnapIo, MalformedInputs) {
+  EXPECT_THROW(read_snap_edge_list_text(""), PreconditionError);
+  EXPECT_THROW(read_snap_edge_list_text("# only comments\n"),
+               PreconditionError);
+  EXPECT_THROW(read_snap_edge_list_text("1 x\n"), PreconditionError);
+  EXPECT_THROW(read_snap_edge_list_text("1 1\n"), PreconditionError);
 }
 
 }  // namespace

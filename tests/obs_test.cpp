@@ -113,6 +113,11 @@ TEST(PhaseTest, NamesAreStable) {
                "delayed_release");
   EXPECT_STREQ(obs::phase_name(obs::Phase::kMerge), "merge");
   EXPECT_STREQ(obs::phase_name(obs::Phase::kRound), "round");
+  EXPECT_STREQ(obs::phase_name(obs::Phase::kActiveSetBuild),
+               "active_set_build");
+  EXPECT_STREQ(obs::phase_name(obs::Phase::kLaneDispatch), "lane_dispatch");
+  EXPECT_STREQ(obs::phase_name(obs::Phase::kQuiescenceSkip),
+               "quiescence_skip");
 }
 
 // ---------------------------------------------------------------------
@@ -278,7 +283,7 @@ TEST(PromTextTest, RendersAllMetricKinds) {
 
 struct EngineMode {
   const char* name;
-  bool legacy;
+  EngineKind engine;
   unsigned threads;
 };
 
@@ -292,8 +297,12 @@ TEST_P(ObsBitIdentity, RecorderOnOffIsBitIdentical) {
   const auto run_once = [&](obs::FlightRecorder* recorder,
                             MessageTrace* trace) {
     DistributedBcOptions options;
-    options.legacy_engine = mode.legacy;
+    options.engine = mode.engine;
     options.threads = mode.threads;
+    // Force the frontier engine's multi-lane dispatch even on a
+    // single-core host, so the recorder hooks in the parallel path run.
+    options.frontier_clamp_lanes = false;
+    options.frontier_min_parallel_nodes = 1;
     options.keep_tables = true;
     options.recorder = recorder;
     options.trace = trace;
@@ -328,12 +337,64 @@ TEST_P(ObsBitIdentity, RecorderOnOffIsBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(
     Engines, ObsBitIdentity,
-    ::testing::Values(EngineMode{"engine_t1", false, 1},
-                      EngineMode{"engine_tall", false, 0},
-                      EngineMode{"legacy", true, 1}),
+    ::testing::Values(EngineMode{"arena_t1", EngineKind::kArena, 1},
+                      EngineMode{"arena_tall", EngineKind::kArena, 0},
+                      EngineMode{"legacy", EngineKind::kLegacy, 1},
+                      EngineMode{"frontier_t1", EngineKind::kFrontier, 1},
+                      EngineMode{"frontier_t4", EngineKind::kFrontier, 4}),
     [](const ::testing::TestParamInfo<EngineMode>& param_info) {
       return std::string(param_info.param.name);
     });
+
+// The frontier engine must narrate its new phases to the recorder: the
+// active-set build and the per-lane dispatch every executed round, and
+// quiescence skips whenever the run has fully idle stretches (the
+// staggered BFS/aggregation schedule always has some).  The spans then
+// flow into the Chrome trace export like any other phase.
+TEST(FrontierSpans, NewPhasesAreRecorded) {
+  Rng rng(7);
+  const Graph g = gen::erdos_renyi_connected(40, 0.12, rng);
+  obs::FlightRecorder recorder(1 << 18);
+  DistributedBcOptions options;
+  options.engine = EngineKind::kFrontier;
+  options.threads = 2;
+  options.frontier_clamp_lanes = false;
+  options.frontier_min_parallel_nodes = 1;
+  options.recorder = &recorder;
+  run_distributed_bc(g, options);
+
+#if !defined(CONGESTBC_OBS_DISABLED)
+  std::size_t active_builds = 0;
+  std::size_t lane_dispatches = 0;
+  std::size_t quiescence_skips = 0;
+  for (const auto& event : recorder.snapshot()) {
+    switch (event.phase) {
+      case obs::Phase::kActiveSetBuild:
+        ++active_builds;
+        break;
+      case obs::Phase::kLaneDispatch:
+        ++lane_dispatches;
+        break;
+      case obs::Phase::kQuiescenceSkip:
+        ++quiescence_skips;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(active_builds, 0u);
+  EXPECT_GT(lane_dispatches, 0u);
+  EXPECT_GT(quiescence_skips, 0u);
+
+  // And the exporter renders them under their stable names.
+  obs::ChromeTraceOptions trace_options;
+  const std::string json = obs::chrome_trace_json(
+      &recorder, {}, {}, {}, trace_options);
+  EXPECT_NE(json.find("active_set_build"), std::string::npos);
+  EXPECT_NE(json.find("lane_dispatch"), std::string::npos);
+  EXPECT_NE(json.find("quiescence_skip"), std::string::npos);
+#endif
+}
 
 }  // namespace
 }  // namespace congestbc
