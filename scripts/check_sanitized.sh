@@ -13,10 +13,12 @@
 #     into the daemon's wire-protocol decoder, plus the observability
 #     suite (label "obs"), whose exporters walk recorder snapshots, plus
 #     the chaos suite (label "chaos"), which tears, corrupts, and cuts
-#     live sockets mid-frame and kill -9s the daemon mid-job — exactly
+#     live sockets mid-frame and kill -9s the daemon mid-job, plus the
+#     stream suite (label "stream"), whose mutation batches and journal
+#     replay rewrite live adjacency and delta logs in place — exactly
 #     the paths where a stale pointer or overflow would hide.
-#   * TSan (build-tsan): the engine, fault, snapshot, service, obs, and
-#     chaos suites — the parallel node-execution phase must be
+#   * TSan (build-tsan): the engine, fault, snapshot, service, obs,
+#     chaos, and stream suites — the parallel node-execution phase must be
 #     data-race-free for any lane count (including the frontier engine's
 #     per-lane arena/outbox dispatch, which the identity tests force to
 #     multi-lane even on one core, and when resumed mid-run
@@ -43,9 +45,9 @@ cmake -S "$repo_root" -B "$prefix-asan" \
   -DCONGESTBC_SANITIZE=address,undefined
 cmake --build "$prefix-asan" -j"$(nproc)" --target fault_test fuzz_test engine_test frontier_test snapshot_test \
   fingerprint_test service_protocol_test service_cache_test service_test \
-  chaos_test obs_test obs_golden_test congestbcd congestbc_client chaosproxy
-(cd "$prefix-asan" && ctest -L 'faults|perf|snapshot|service|obs|chaos' --output-on-failure "$@")
-echo "sanitized (asan) fault+engine+snapshot+service+obs+chaos suites: OK"
+  chaos_test stream_test obs_test obs_golden_test congestbcd congestbc_client chaosproxy
+(cd "$prefix-asan" && ctest -L 'faults|perf|snapshot|service|obs|chaos|stream' --output-on-failure "$@")
+echo "sanitized (asan) fault+engine+snapshot+service+obs+chaos+stream suites: OK"
 
 echo "=== stage 2: thread ==="
 cmake -S "$repo_root" -B "$prefix-tsan" \
@@ -53,6 +55,6 @@ cmake -S "$repo_root" -B "$prefix-tsan" \
   -DCONGESTBC_SANITIZE=thread
 cmake --build "$prefix-tsan" -j"$(nproc)" --target engine_test frontier_test fault_test snapshot_test \
   fingerprint_test service_protocol_test service_cache_test service_test \
-  chaos_test obs_test obs_golden_test congestbcd congestbc_client chaosproxy
-(cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot|service|obs|chaos' --output-on-failure "$@")
-echo "sanitized (tsan) engine+fault+snapshot+service+obs+chaos suites: OK"
+  chaos_test stream_test obs_test obs_golden_test congestbcd congestbc_client chaosproxy
+(cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot|service|obs|chaos|stream' --output-on-failure "$@")
+echo "sanitized (tsan) engine+fault+snapshot+service+obs+chaos+stream suites: OK"

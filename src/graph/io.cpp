@@ -70,7 +70,7 @@ std::string write_edge_list_text(const Graph& g) {
   return out.str();
 }
 
-Graph read_snap_edge_list(std::istream& in) {
+Graph read_snap_edge_list(std::istream& in, bool keep_all_components) {
   // Pass 1: read pairs, densely remap ids in first-appearance order.
   std::unordered_map<std::uint64_t, NodeId> remap;
   std::vector<Edge> edges;
@@ -94,6 +94,11 @@ Graph read_snap_edge_list(std::istream& in) {
   }
   CBC_EXPECTS(!edges.empty(), "SNAP edge list contains no edges");
   const auto n = static_cast<NodeId>(remap.size());
+  if (keep_all_components) {
+    // Every interned node survives; the dense remap above already
+    // renumbered them 0..N-1 in first-appearance order.
+    return Graph(n, std::move(edges));
+  }
 
   // Pass 2: largest connected component by union-find.
   std::vector<NodeId> parent(n);
@@ -142,9 +147,10 @@ Graph read_snap_edge_list(std::istream& in) {
   return Graph(next, std::move(kept));
 }
 
-Graph read_snap_edge_list_text(const std::string& text) {
+Graph read_snap_edge_list_text(const std::string& text,
+                               bool keep_all_components) {
   std::istringstream in(text);
-  return read_snap_edge_list(in);
+  return read_snap_edge_list(in, keep_all_components);
 }
 
 WeightedGraph read_weighted_edge_list(std::istream& in) {

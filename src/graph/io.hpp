@@ -34,10 +34,17 @@ std::string write_edge_list_text(const Graph& g);
 /// restricted to the largest connected component (the pipeline assumes a
 /// connected network) with node ids renumbered to 0..N-1.  This is the
 /// format SNAP datasets ship in, so real traces load without conversion.
-Graph read_snap_edge_list(std::istream& in);
+///
+/// `keep_all_components` skips the largest-component restriction and
+/// returns every interned node (still densely renumbered in
+/// first-appearance order).  Streaming callers need this: a
+/// VersionedGraph fixes its node universe at creation, and nodes that
+/// start out disconnected may be wired in by later insertions.
+Graph read_snap_edge_list(std::istream& in, bool keep_all_components = false);
 
 /// Parses a SNAP-style edge list from a string.
-Graph read_snap_edge_list_text(const std::string& text);
+Graph read_snap_edge_list_text(const std::string& text,
+                               bool keep_all_components = false);
 
 /// Weighted variant: "N M" header then M lines "u v w" (positive integer
 /// weights).

@@ -42,6 +42,16 @@ void LruResultCache::put(std::uint64_t fingerprint,
   }
 }
 
+bool LruResultCache::erase(std::uint64_t fingerprint) {
+  const auto it = map_.find(fingerprint);
+  if (it == map_.end()) {
+    return false;
+  }
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
 std::vector<std::uint64_t> LruResultCache::keys_lru_order() const {
   std::vector<std::uint64_t> keys;
   keys.reserve(lru_.size());

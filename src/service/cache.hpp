@@ -52,6 +52,11 @@ class LruResultCache {
   /// over capacity.
   void put(std::uint64_t fingerprint, std::shared_ptr<const CachedResult> result);
 
+  /// Removes one entry (targeted invalidation — a stream mutation
+  /// superseding the fingerprint, not capacity pressure, so it does NOT
+  /// count as an eviction).  Returns whether the entry existed.
+  bool erase(std::uint64_t fingerprint);
+
   /// Fingerprints in least-to-most recently used order — the persisted
   /// index a restarted daemon replays (in order) to restore recency.
   std::vector<std::uint64_t> keys_lru_order() const;

@@ -209,6 +209,10 @@ SubmitReply Client::submit(const SubmitRequest& request) {
   return call(make_submit(request)).submit;
 }
 
+MutateReply Client::mutate(const MutateRequest& request) {
+  return call(make_mutate(request)).mutate;
+}
+
 StatusReply Client::status(std::uint64_t job_id) {
   return call(make_job_request(MsgType::kStatus, job_id)).status;
 }

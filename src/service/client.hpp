@@ -50,6 +50,7 @@ class Client {
 
   // Typed wrappers over call().
   SubmitReply submit(const SubmitRequest& request);
+  MutateReply mutate(const MutateRequest& request);
   StatusReply status(std::uint64_t job_id);
   ResultReply result(std::uint64_t job_id);
   CancelReply cancel(std::uint64_t job_id);

@@ -23,6 +23,7 @@
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "snapshot/checkpoint.hpp"
+#include "snapshot/fingerprint.hpp"
 #include "snapshot/snapshot.hpp"
 
 namespace congestbc::service {
@@ -84,6 +85,83 @@ void write_file_atomic(const fs::path& target, const BitWriter& payload) {
     }
   }
   fs::rename(tmp, target);
+}
+
+/// Atomic plain-text write for the stream log files (base edge lists,
+/// batch files) — same temp + rename discipline.
+void write_text_atomic(const fs::path& target, const std::string& text) {
+  fs::create_directories(target.parent_path());
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << text;
+    if (!out) {
+      throw std::runtime_error("cannot write " + tmp.string());
+    }
+  }
+  fs::rename(tmp, target);
+}
+
+/// Cache key of an incremental result: the classic run fingerprint
+/// folded with a domain tag.  Incremental scores are bit-identical to a
+/// from-scratch *decomposed* recompute, not to a combined engine run
+/// over the same graph/options, so the two product families must never
+/// share cache entries.
+std::uint64_t tagged_incremental_fingerprint(std::uint64_t run_fp) {
+  static const std::uint8_t kTag[] = {'i', 'n', 'c', '-', 'b', 'c'};
+  return fnv1a_u64(run_fp, fnv1a(kTag, sizeof kTag));
+}
+
+/// Stream namespace names become spool directory names, so they are
+/// restricted to a filesystem-safe alphabet.
+bool valid_stream_ns(const std::string& ns) {
+  if (ns.empty() || ns.size() > 64) {
+    return false;
+  }
+  for (const char c : ns) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Batch file body: one canonical op per line, "i u v" / "d u v".
+std::string format_stream_batch(const std::vector<GraphDeltaOp>& delta) {
+  std::string text;
+  for (const GraphDeltaOp& op : delta) {
+    text += op.insert ? 'i' : 'd';
+    text += ' ';
+    text += std::to_string(op.u);
+    text += ' ';
+    text += std::to_string(op.v);
+    text += '\n';
+  }
+  return text;
+}
+
+/// Parses a batch file back into wire ops (replayed through
+/// VersionedGraph::apply, which re-canonicalizes them against the same
+/// graph state and therefore reproduces the same delta + fingerprint).
+std::vector<stream::EdgeOp> parse_stream_batch(std::istream& in) {
+  std::vector<stream::EdgeOp> ops;
+  std::string kind;
+  unsigned long long u = 0;
+  unsigned long long v = 0;
+  while (in >> kind >> u >> v) {
+    if (kind != "i" && kind != "d") {
+      throw std::runtime_error("bad stream batch op kind: " + kind);
+    }
+    stream::EdgeOp op;
+    op.kind = kind == "i" ? stream::EdgeOpKind::kInsert
+                          : stream::EdgeOpKind::kRemove;
+    op.u = static_cast<NodeId>(u);
+    op.v = static_cast<NodeId>(v);
+    ops.push_back(op);
+  }
+  return ops;
 }
 
 }  // namespace
@@ -190,10 +268,14 @@ StatsReply Daemon::stats_locked() {
                   (uptime_ns * static_cast<double>(pool_->threads()));
     utilization = std::clamp(utilization, 0.0, 1.0);
   }
+  std::uint64_t graph_version = 0;
+  for (const auto& [ns, state] : streams_) {
+    graph_version = std::max(graph_version, state.graph->version());
+  }
   return metrics_.snapshot(queue_.size(), running_,
                            pool_ ? pool_->threads() : 0, cache_.size(),
                            cache_.hits(), cache_.misses(), cache_.evictions(),
-                           utilization);
+                           utilization, graph_version);
 }
 
 // --------------------------------------------------------- poll loop
@@ -612,6 +694,10 @@ Reply Daemon::dispatch(const Request& request) {
       reply.type = MsgType::kSubmitReply;
       reply.submit = handle_submit(request.submit);
       break;
+    case MsgType::kMutate:
+      reply.type = MsgType::kMutateReply;
+      reply.mutate = handle_mutate(request.mutate);
+      break;
     case MsgType::kStatus:
       reply.type = MsgType::kStatusReply;
       reply.status = handle_status(request.job.job_id);
@@ -715,6 +801,39 @@ void Daemon::parse_submit(const SubmitRequest& request, Graph& graph,
   // of a submit must coalesce with attempt 1.
   canonical.deadline_ms = 0;
   canonical.attempt = 1;
+  // Stream addressing is resolved to the inline text above before
+  // parse_submit runs, so the canonical form (and with it the spool and
+  // the fingerprint) is self-contained: a version-addressed submit
+  // fingerprints identically to an inline submit of the same edges.
+  canonical.stream_ns.clear();
+  canonical.stream_version = 0;
+  canonical.incremental = false;
+}
+
+std::uint64_t Daemon::resolve_stream_submit(SubmitRequest& request) {
+  if (!request.graph.empty() || request.source == GraphSource::kPath) {
+    throw ProtocolError(ProtoError::kBadRequest,
+                        "stream-addressed submit must not carry a graph");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(request.stream_ns);
+  if (it == streams_.end()) {
+    throw ProtocolError(ProtoError::kBadRequest,
+                        "unknown stream namespace: " + request.stream_ns);
+  }
+  const stream::VersionedGraph& vg = *it->second.graph;
+  const std::uint64_t version =
+      request.stream_version == 0 ? vg.version() : request.stream_version;
+  if (version > vg.version()) {
+    throw ProtocolError(ProtoError::kBadRequest,
+                        "stream version " + std::to_string(version) +
+                            " beyond head " + std::to_string(vg.version()));
+  }
+  request.source = GraphSource::kInline;
+  request.graph = version == vg.version()
+                      ? write_edge_list_text(vg.head())
+                      : write_edge_list_text(vg.at(version));
+  return version;
 }
 
 SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
@@ -723,8 +842,21 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
   SubmitRequest canonical;
   std::string reject_detail;
   bool parsed = false;
+  std::uint64_t stream_version = 0;
   try {
-    parse_submit(request, graph, options, canonical);
+    SubmitRequest effective = request;
+    if (!request.stream_ns.empty()) {
+      stream_version = resolve_stream_submit(effective);
+      if (effective.incremental && !effective.faults.empty()) {
+        throw ProtocolError(ProtoError::kBadRequest,
+                            "incremental submit cannot carry a fault plan "
+                            "(the maintainer assumes fault-free runs)");
+      }
+    } else if (request.incremental) {
+      throw ProtocolError(ProtoError::kBadRequest,
+                          "incremental submit requires a stream namespace");
+    }
+    parse_submit(effective, graph, options, canonical);
     parsed = true;
   } catch (const std::exception& e) {
     reject_detail = e.what();
@@ -741,8 +873,21 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
     reply.detail = reject_detail;
     return reply;
   }
-  const std::uint64_t fp = run_fingerprint(graph, options);
+  // Incremental results live under a tagged key: same graph + options,
+  // different product family (decomposed vs combined summation).
+  const std::uint64_t fp =
+      request.incremental
+          ? tagged_incremental_fingerprint(run_fingerprint(graph, options))
+          : run_fingerprint(graph, options);
   reply.fingerprint = fp;
+  if (!request.stream_ns.empty()) {
+    // Track what this namespace's working set has cached so a MUTATE can
+    // invalidate exactly these entries.
+    const auto it = streams_.find(request.stream_ns);
+    if (it != streams_.end()) {
+      it->second.live_cache_fps.insert(fp);
+    }
+  }
   if (draining_) {
     ++metrics_.draining_rejections;
     reply.disposition = SubmitDisposition::kDraining;
@@ -813,6 +958,10 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
   job->request = std::move(canonical);
   job->graph = std::move(graph);
   job->options = std::move(options);
+  if (request.incremental) {
+    job->stream_ns = request.stream_ns;
+    job->stream_version = stream_version;
+  }
   job->submitted = std::chrono::steady_clock::now();
   if (request.deadline_ms != 0) {
     job->deadline =
@@ -821,6 +970,124 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
   admit_locked(job);
   reply.disposition = SubmitDisposition::kQueued;
   reply.job_id = job->id;
+  return reply;
+}
+
+MutateReply Daemon::handle_mutate(const MutateRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MutateReply reply;
+  if (draining_) {
+    reply.outcome = MutateOutcome::kDraining;
+    reply.detail = "daemon is draining";
+    return reply;
+  }
+  if (!valid_stream_ns(request.ns)) {
+    reply.outcome = MutateOutcome::kRejected;
+    reply.detail = "bad namespace (1-64 chars of [A-Za-z0-9_-] required)";
+    return reply;
+  }
+  std::vector<stream::EdgeOp> ops;
+  ops.reserve(request.ops.size());
+  for (const MutateOp& op : request.ops) {
+    stream::EdgeOp e;
+    e.kind = op.kind == 1 ? stream::EdgeOpKind::kInsert
+                          : stream::EdgeOpKind::kRemove;
+    e.u = op.u;
+    e.v = op.v;
+    ops.push_back(e);
+  }
+
+  auto it = streams_.find(request.ns);
+  if (it == streams_.end()) {
+    // Creation: the first MUTATE naming a namespace must carry the
+    // version-0 graph and expect version 0; ops ride along as version 1.
+    if (request.base_graph.empty()) {
+      reply.outcome = MutateOutcome::kRejected;
+      reply.detail =
+          "unknown namespace '" + request.ns + "' (creation needs base_graph)";
+      return reply;
+    }
+    if (request.base_version != 0) {
+      reply.outcome = MutateOutcome::kRejected;
+      reply.detail = "creation requires base_version 0";
+      return reply;
+    }
+    Graph base(0, {});
+    try {
+      base = read_edge_list_text(request.base_graph);
+    } catch (const std::exception& e) {
+      reply.outcome = MutateOutcome::kRejected;
+      reply.detail = std::string("bad base graph: ") + e.what();
+      return reply;
+    }
+    if (base.num_nodes() == 0) {
+      reply.outcome = MutateOutcome::kRejected;
+      reply.detail = "empty base graph";
+      return reply;
+    }
+    // Validate the ride-along batch before anything is committed, so a
+    // bad batch rejects the whole creation.
+    try {
+      (void)stream::VersionedGraph::canonicalize(base, ops);
+    } catch (const std::exception& e) {
+      reply.outcome = MutateOutcome::kRejected;
+      reply.detail = std::string("bad batch: ") + e.what();
+      return reply;
+    }
+    StreamNamespace state;
+    state.graph = std::make_unique<stream::VersionedGraph>(std::move(base));
+    it = streams_.emplace(request.ns, std::move(state)).first;
+    StreamNamespace& s = it->second;
+    persist_stream_version(request.ns, s);  // version 0
+    reply.outcome = MutateOutcome::kCreated;
+    if (!ops.empty()) {
+      const stream::ApplyOutcome out = s.graph->apply(ops);
+      persist_stream_version(request.ns, s);  // version 1
+      metrics_.mutations_applied += out.applied;
+      reply.applied = out.applied;
+      reply.dropped = out.dropped;
+    }
+    reply.version = s.graph->version();
+    reply.fingerprint = s.graph->fingerprint();
+    return reply;
+  }
+
+  StreamNamespace& s = it->second;
+  if (!request.base_graph.empty()) {
+    reply.outcome = MutateOutcome::kRejected;
+    reply.detail = "base_graph is only valid when creating a namespace";
+    return reply;
+  }
+  if (request.base_version != s.graph->version()) {
+    // Optimistic concurrency: report the actual head so the client can
+    // re-read and rebase its batch.
+    reply.outcome = MutateOutcome::kVersionConflict;
+    reply.version = s.graph->version();
+    reply.fingerprint = s.graph->fingerprint();
+    reply.detail = "expected base version " +
+                   std::to_string(s.graph->version()) + ", got " +
+                   std::to_string(request.base_version);
+    return reply;
+  }
+  stream::ApplyOutcome out;
+  try {
+    out = s.graph->apply(ops);
+  } catch (const std::exception& e) {
+    reply.outcome = MutateOutcome::kRejected;
+    reply.detail = std::string("bad batch: ") + e.what();
+    return reply;
+  }
+  // Commit order: batch file, then journal record (fsynced), then the
+  // reply the caller sends — an acknowledged version is always
+  // replayable after a crash.
+  persist_stream_version(request.ns, s);
+  metrics_.mutations_applied += out.applied;
+  invalidate_stream_cache_locked(s);
+  reply.outcome = MutateOutcome::kApplied;
+  reply.version = out.version;
+  reply.fingerprint = out.fingerprint;
+  reply.applied = out.applied;
+  reply.dropped = out.dropped;
   return reply;
 }
 
@@ -859,7 +1126,7 @@ void Daemon::admit_locked(const std::shared_ptr<Job>& job) {
   jobs_.emplace(job->id, job);
   inflight_.emplace(job->fingerprint, job);
   queue_.push_back(job);
-  if (!config_.spool_dir.empty()) {
+  if (!config_.spool_dir.empty() && job->stream_ns.empty()) {
     try {
       spool_write_job(*job);
       // ADMIT lands only after the .req does: a journal entry without a
@@ -971,6 +1238,10 @@ ShutdownReply Daemon::handle_shutdown() {
 // --------------------------------------------------------- execution
 
 void Daemon::execute_job(const std::shared_ptr<Job>& job) {
+  if (!job->stream_ns.empty()) {
+    execute_incremental_job(job);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (job->state != JobState::kQueued || draining_) {
@@ -1127,6 +1398,148 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
   }
 }
 
+void Daemon::execute_incremental_job(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->state != JobState::kQueued || draining_) {
+      return;
+    }
+    job->state = JobState::kRunning;
+    job->started = std::chrono::steady_clock::now();
+    ++running_;
+    const auto pos = std::find(queue_.begin(), queue_.end(), job);
+    if (pos != queue_.end()) {
+      queue_.erase(pos);
+    }
+  }
+
+  // Check the namespace's maintainer out and collect the canonical
+  // deltas between its version and the job's target.  A missing,
+  // checked-out, or option-incompatible maintainer means a cold start
+  // (full decomposed build at the target version) — always correct,
+  // just not incremental.
+  std::unique_ptr<stream::IncrementalBc> maintainer;
+  std::vector<GraphDeltaOp> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = streams_.find(job->stream_ns);
+    if (it != streams_.end()) {
+      StreamNamespace& s = it->second;
+      if (s.maintainer && s.maintainer_version <= job->stream_version &&
+          s.graph->version() >= job->stream_version) {
+        const stream::IncrementalBcConfig& c = s.maintainer->config();
+        if (c.halve == job->options.halve &&
+            c.legacy_engine == job->options.legacy_engine &&
+            c.engine == job->options.engine &&
+            c.max_rounds == job->options.max_rounds) {
+          for (std::uint64_t v = s.maintainer_version + 1;
+               v <= job->stream_version; ++v) {
+            const std::vector<GraphDeltaOp>& d = s.graph->delta(v);
+            pending.insert(pending.end(), d.begin(), d.end());
+          }
+          maintainer = std::move(s.maintainer);
+        }
+      }
+    }
+  }
+
+  stream::IncrementalApplyStats stats;
+  std::string detail;
+  bool failed = false;
+  try {
+    if (maintainer) {
+      stats = maintainer->apply(job->graph, pending);
+      detail = "incremental@v" + std::to_string(job->stream_version) + ": " +
+               std::to_string(stats.dirty_sources) + " dirty / " +
+               std::to_string(stats.clean_sources) + " clean";
+    } else {
+      stream::IncrementalBcConfig cfg;
+      cfg.halve = job->options.halve;
+      cfg.max_rounds = job->options.max_rounds;
+      cfg.threads = job->options.threads;
+      cfg.engine = job->options.engine;
+      cfg.legacy_engine = job->options.legacy_engine;
+      maintainer = std::make_unique<stream::IncrementalBc>(job->graph, cfg);
+      stats.dirty_sources = maintainer->sources().size();
+      detail = "incremental@v" + std::to_string(job->stream_version) +
+               ": full build (" + std::to_string(stats.dirty_sources) +
+               " sources)";
+    }
+  } catch (const std::exception& e) {
+    failed = true;
+    detail = std::string("incremental run failed: ") + e.what();
+    maintainer.reset();
+  }
+
+  // Encode outside the lock, mirroring execute_job.
+  ResultBlock block;
+  block.detail = detail;
+  if (failed) {
+    block.run_status = static_cast<std::uint8_t>(RunStatus::kError);
+  } else {
+    const stream::MaintainedScores& scores = maintainer->scores();
+    block.run_status = static_cast<std::uint8_t>(RunStatus::kComplete);
+    block.rounds = scores.rounds;
+    block.diameter = scores.diameter;
+    block.betweenness = scores.betweenness;
+    block.closeness = scores.closeness;
+    block.graph_centrality = scores.graph_centrality;
+    block.stress = scores.stress;
+    block.eccentricities = scores.eccentricities;
+  }
+  const BitWriter encoded = encode_result_block(block);
+  auto servable = std::make_shared<CachedResult>();
+  servable->block_bytes = encoded.bytes();
+  servable->block_bits = encoded.bit_size();
+  servable->run_status = block.run_status;
+  const bool block_servable = encoded.bit_size() <= kMaxServableBlockBits;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_ > 0) {
+    --running_;
+  }
+  const double latency_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - job->submitted)
+          .count();
+  inflight_.erase(job->fingerprint);
+  metrics_.dirty_sources_rerun += stats.dirty_sources;
+  if (maintainer) {
+    // Check the maintainer back in unless a concurrent job already
+    // installed one.
+    const auto it = streams_.find(job->stream_ns);
+    if (it != streams_.end() && !it->second.maintainer) {
+      it->second.maintainer = std::move(maintainer);
+      it->second.maintainer_version = job->stream_version;
+    }
+  }
+  if (!failed && block_servable) {
+    job->state = JobState::kDone;
+    job->detail = detail;
+    job->result = servable;
+    cache_.put(job->fingerprint, servable);
+    ++metrics_.jobs_completed;
+    if (!config_.spool_dir.empty()) {
+      try {
+        persist_cache_entry(job->fingerprint, *servable);
+      } catch (const std::exception&) {
+        // Warm-cache persistence is best-effort.
+      }
+    }
+  } else {
+    job->state = JobState::kFailed;
+    job->detail = failed ? detail : "incremental result exceeds the frame cap";
+    ++metrics_.jobs_failed;
+  }
+  metrics_.record_latency_ms(latency_ms);
+  metrics_.record_job_rounds(block.rounds, latency_ms);
+  mark_terminal_locked(job);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
 // ------------------------------------------------------- persistence
 
 std::string Daemon::jobs_dir() const { return config_.spool_dir + "/jobs"; }
@@ -1160,8 +1573,8 @@ void Daemon::quarantine_path(const std::string& path) {
 }
 
 void Daemon::retire_job_locked(const Job& job) {
-  if (config_.spool_dir.empty()) {
-    return;
+  if (config_.spool_dir.empty() || !job.stream_ns.empty()) {
+    return;  // incremental maintainer jobs are never spooled
   }
   if (journal_) {
     journal_->append(SpoolJournal::Record::kTerminal, job.fingerprint);
@@ -1208,6 +1621,125 @@ void Daemon::remove_cache_entry(std::uint64_t fingerprint) const {
       ec);
 }
 
+// ---------------------------------------------------- streaming plane
+
+std::string Daemon::stream_dir(const std::string& ns) const {
+  return config_.spool_dir + "/stream/" + ns;
+}
+
+void Daemon::persist_stream_version(const std::string& ns,
+                                    const StreamNamespace& state) {
+  if (config_.spool_dir.empty()) {
+    return;  // memory-only streaming (like every other spool-less path)
+  }
+  const stream::VersionedGraph& vg = *state.graph;
+  try {
+    const fs::path dir(stream_dir(ns));
+    if (vg.version() == 0) {
+      write_text_atomic(dir / "base.txt", write_edge_list_text(vg.head()));
+    } else {
+      write_text_atomic(
+          dir / ("mut-" + std::to_string(vg.version()) + ".txt"),
+          format_stream_batch(vg.delta(vg.version())));
+    }
+    // Journal after the file: the record is the commit marker.
+    if (journal_) {
+      journal_->append(SpoolJournal::Record::kMutate, vg.fingerprint());
+    }
+  } catch (const std::exception&) {
+    // Best-effort durability, like the job spool: the mutation still
+    // applies in memory, it just cannot be replayed across a restart.
+  }
+}
+
+void Daemon::invalidate_stream_cache_locked(StreamNamespace& state) {
+  for (const std::uint64_t fp : state.live_cache_fps) {
+    if (cache_.erase(fp)) {
+      ++metrics_.cache_invalidations;
+      if (!config_.spool_dir.empty()) {
+        remove_cache_entry(fp);
+      }
+    }
+  }
+  state.live_cache_fps.clear();
+}
+
+std::vector<std::uint64_t> Daemon::recover_streams(
+    const std::vector<std::uint64_t>& journaled_mutations, bool trust_all) {
+  std::vector<std::uint64_t> heads;
+  std::error_code ec;
+  const fs::path root = fs::path(config_.spool_dir) / "stream";
+  if (!fs::exists(root, ec)) {
+    return heads;
+  }
+  const std::unordered_set<std::uint64_t> acked(journaled_mutations.begin(),
+                                                journaled_mutations.end());
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (entry.is_directory(ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& ns : names) {
+    const fs::path dir = root / ns;
+    try {
+      if (!valid_stream_ns(ns)) {
+        throw std::runtime_error("bad namespace directory name");
+      }
+      const auto load_base = [&dir]() {
+        std::ifstream in(dir / "base.txt", std::ios::binary);
+        if (!in) {
+          throw std::runtime_error("missing base.txt");
+        }
+        return read_edge_list(in);
+      };
+      auto vg = std::make_unique<stream::VersionedGraph>(load_base());
+      const bool base_acked = trust_all || acked.count(vg->fingerprint()) != 0;
+      // Forward replay: find the highest version whose chained
+      // fingerprint the journal acknowledged.  Versions past it are torn
+      // commits (batch file written, crash before the journal record).
+      std::uint64_t accepted = 0;
+      std::uint64_t replayed = 0;
+      for (std::uint64_t v = 1;; ++v) {
+        std::ifstream in(dir / ("mut-" + std::to_string(v) + ".txt"));
+        if (!in) {
+          break;
+        }
+        vg->apply(parse_stream_batch(in));
+        replayed = v;
+        if (trust_all || acked.count(vg->fingerprint()) != 0) {
+          accepted = v;
+        }
+      }
+      if (accepted == 0 && !base_acked) {
+        throw std::runtime_error("no acknowledged version in the journal");
+      }
+      for (std::uint64_t v = accepted + 1; v <= replayed; ++v) {
+        fs::remove(dir / ("mut-" + std::to_string(v) + ".txt"), ec);
+      }
+      if (accepted != replayed) {
+        // Rebuild without the discarded tail.
+        vg = std::make_unique<stream::VersionedGraph>(load_base());
+        for (std::uint64_t v = 1; v <= accepted; ++v) {
+          std::ifstream in(dir / ("mut-" + std::to_string(v) + ".txt"));
+          if (!in) {
+            throw std::runtime_error("batch file vanished during recovery");
+          }
+          vg->apply(parse_stream_batch(in));
+        }
+      }
+      StreamNamespace state;
+      state.graph = std::move(vg);
+      heads.push_back(state.graph->fingerprint());
+      streams_.emplace(ns, std::move(state));
+    } catch (const std::exception&) {
+      quarantine_path(dir.string());
+    }
+  }
+  return heads;
+}
+
 void Daemon::flush_cache_index_locked() const {
   const std::vector<std::uint64_t> keys = cache_.keys_lru_order();
   std::error_code ec;
@@ -1248,17 +1780,32 @@ void Daemon::recover_spool() {
   journal_ = std::make_unique<SpoolJournal>(config_.spool_dir + "/journal.log");
   std::unordered_set<std::uint64_t> journal_live;
   std::unordered_set<std::uint64_t> journal_retired;
+  std::vector<std::uint64_t> journal_mutations;
+  bool journal_ok = false;
   try {
     const SpoolJournal::Recovery recovery = journal_->open_and_recover();
     journal_live.insert(recovery.live.begin(), recovery.live.end());
     journal_retired.insert(recovery.retired.begin(), recovery.retired.end());
-    // Compact to *empty*, not to the live set: every re-admitted job
-    // appends a fresh ADMIT through admit_locked below, and a pre-seeded
-    // record would double-count it (net 2, so one TERMINAL later would
-    // leave a phantom live entry).
-    journal_->compact({});
+    journal_mutations = recovery.mutations;
+    journal_ok = true;
   } catch (const std::exception&) {
     journal_.reset();
+  }
+
+  // 0b. Stream namespaces replay before the compaction that drops their
+  //     mutation records.  Without a journal every intact file is
+  //     trusted, mirroring how .req files are trusted below.
+  const std::vector<std::uint64_t> stream_heads =
+      recover_streams(journal_mutations, !journal_ok);
+  if (journal_) {
+    // Compact the *job* records to empty, not to the live set: every
+    // re-admitted job appends a fresh ADMIT through admit_locked below,
+    // and a pre-seeded record would double-count it (net 2, so one
+    // TERMINAL later would leave a phantom live entry).  The stream
+    // plane keeps exactly one MUTATE record per namespace — its head
+    // fingerprint, which transitively authenticates the whole on-disk
+    // delta chain.
+    journal_->compact({}, stream_heads);
   }
 
   // 1. Warm cache, least recently used first so put() order restores

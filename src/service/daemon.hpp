@@ -32,11 +32,13 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "algo/bc_pipeline.hpp"
@@ -46,6 +48,8 @@
 #include "service/journal.hpp"
 #include "service/metrics.hpp"
 #include "service/protocol.hpp"
+#include "stream/incremental_bc.hpp"
+#include "stream/versioned_graph.hpp"
 
 namespace congestbc::service {
 
@@ -169,6 +173,29 @@ class Daemon {
     /// (obs::format_phase_timeline); set when the run returns, served in
     /// STATUS replies.
     std::string phase_timeline;
+    /// Non-empty: an incremental maintainer job against this stream
+    /// namespace at stream_version (v4).  Such jobs are never spooled
+    /// (re-requesting one after a restart is cheap and the maintainer
+    /// state they need is rebuilt from the stream log anyway) and ignore
+    /// cooperative halt — the maintainer runs to completion.
+    std::string stream_ns;
+    std::uint64_t stream_version = 0;
+  };
+
+  /// One live mutable graph (v4 streaming plane).  Guarded by mutex_.
+  struct StreamNamespace {
+    std::unique_ptr<stream::VersionedGraph> graph;
+    /// Run fingerprints of result-cache entries produced through this
+    /// namespace since its last mutation.  A MUTATE superseding the head
+    /// erases exactly these (targeted invalidation, not a flush).
+    std::unordered_set<std::uint64_t> live_cache_fps;
+    /// Incremental maintainer, built lazily by the first incremental
+    /// submit.  Null while checked out by a worker (see
+    /// execute_incremental_job) — a concurrent incremental job for the
+    /// same namespace then cold-starts its own rather than waiting.
+    std::unique_ptr<stream::IncrementalBc> maintainer;
+    /// The stream version maintainer's summaries describe.
+    std::uint64_t maintainer_version = 0;
   };
 
   struct Session {
@@ -199,6 +226,7 @@ class Daemon {
   // --- request handling (io thread) ---
   Reply dispatch(const Request& request);
   SubmitReply handle_submit(const SubmitRequest& request);
+  MutateReply handle_mutate(const MutateRequest& request);
   StatusReply handle_status(std::uint64_t job_id);
   ResultReply handle_result(std::uint64_t job_id);
   CancelReply handle_cancel(std::uint64_t job_id);
@@ -211,8 +239,20 @@ class Daemon {
                     DistributedBcOptions& options,
                     SubmitRequest& canonical) const;
 
+  /// Resolves a stream-addressed submit (stream_ns set) into an inline
+  /// one: materializes the addressed version under mutex_ and rewrites
+  /// request.graph with its edge-list text.  Returns the resolved
+  /// version.  Throws ProtocolError(kBadRequest) on an unknown
+  /// namespace, a version beyond the head, or a non-empty inline graph.
+  std::uint64_t resolve_stream_submit(SubmitRequest& request);
+
   // --- execution (worker threads) ---
   void execute_job(const std::shared_ptr<Job>& job);
+  /// Serves an incremental submit from the namespace's maintainer:
+  /// checks the maintainer out under mutex_, advances it over the
+  /// pending deltas (or cold-starts at the target version), assembles,
+  /// caches under the job's tagged fingerprint, and checks it back in.
+  void execute_incremental_job(const std::shared_ptr<Job>& job);
   void admit_locked(const std::shared_ptr<Job>& job);
   /// Stamps the terminal clock and enrolls the job for retention GC.
   void mark_terminal_locked(const std::shared_ptr<Job>& job);
@@ -260,6 +300,28 @@ class Daemon {
   void recover_spool();
   void dump_metrics();
 
+  // --- streaming plane (v4) ---
+  std::string stream_dir(const std::string& ns) const;
+  /// Persists one committed stream version (base edge list for version
+  /// 0, the canonical batch otherwise) and journals its chained
+  /// fingerprint — in that order, so an acknowledged version is always
+  /// replayable and a batch file without its record is a torn commit.
+  void persist_stream_version(const std::string& ns,
+                              const StreamNamespace& state);
+  /// Erases the cache entries a mutation superseded (memory + disk) and
+  /// counts them.
+  void invalidate_stream_cache_locked(StreamNamespace& state);
+  /// Rebuilds streams_ from <spool>/stream/ at startup, accepting each
+  /// namespace's batch files up to the highest version whose chained
+  /// fingerprint the journal acknowledged (a later acknowledged
+  /// fingerprint transitively authenticates its whole prefix — it chains
+  /// over every earlier delta); trailing files are torn commits and are
+  /// removed.  `trust_all` (journal unavailable) accepts every intact
+  /// file instead.  Returns the per-namespace head fingerprints to seed
+  /// the compacted journal with.
+  std::vector<std::uint64_t> recover_streams(
+      const std::vector<std::uint64_t>& journaled_mutations, bool trust_all);
+
   DaemonConfig config_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -280,6 +342,9 @@ class Daemon {
   std::deque<std::shared_ptr<Job>> queue_;  ///< admission order
   /// Terminal job ids oldest-first — the retention GC scan order.
   std::deque<std::uint64_t> terminal_order_;
+  /// Live stream namespaces by name (ordered so recovery, iteration,
+  /// and the journal seed are deterministic).
+  std::map<std::string, StreamNamespace> streams_;
   LruResultCache cache_;
   ServiceMetrics metrics_;
   std::uint64_t running_ = 0;

@@ -46,7 +46,8 @@ bool decode_record(const std::uint8_t* in, std::uint8_t& kind,
   }
   kind = in[0];
   if (kind != static_cast<std::uint8_t>(SpoolJournal::Record::kAdmit) &&
-      kind != static_cast<std::uint8_t>(SpoolJournal::Record::kTerminal)) {
+      kind != static_cast<std::uint8_t>(SpoolJournal::Record::kTerminal) &&
+      kind != static_cast<std::uint8_t>(SpoolJournal::Record::kMutate)) {
     return false;
   }
   fp = 0;
@@ -112,9 +113,11 @@ SpoolJournal::Recovery SpoolJournal::open_and_recover() {
     ++recovery.records;
     if (kind == static_cast<std::uint8_t>(Record::kAdmit)) {
       ++net[fp];
-    } else {
+    } else if (kind == static_cast<std::uint8_t>(Record::kTerminal)) {
       --net[fp];
       saw_terminal[fp] = true;
+    } else {
+      recovery.mutations.push_back(fp);
     }
   }
   recovery.torn_bytes = bytes.size() - intact;
@@ -160,7 +163,8 @@ void SpoolJournal::append(Record kind, std::uint64_t fingerprint) {
   }
 }
 
-void SpoolJournal::compact(const std::vector<std::uint64_t>& live) {
+void SpoolJournal::compact(const std::vector<std::uint64_t>& live,
+                           const std::vector<std::uint64_t>& mutations) {
   namespace fs = std::filesystem;
   const std::string tmp = path_ + ".tmp";
   const int tmp_fd =
@@ -170,9 +174,9 @@ void SpoolJournal::compact(const std::vector<std::uint64_t>& live) {
     return;
   }
   bool ok = true;
-  for (const std::uint64_t fp : live) {
+  const auto write_record = [&](Record kind, std::uint64_t fp) {
     std::uint8_t record[kRecordBytes];
-    encode_record(record, Record::kAdmit, fp);
+    encode_record(record, kind, fp);
     std::size_t written = 0;
     while (ok && written < sizeof record) {
       const ssize_t n =
@@ -185,6 +189,12 @@ void SpoolJournal::compact(const std::vector<std::uint64_t>& live) {
         ok = false;
       }
     }
+  };
+  for (const std::uint64_t fp : live) {
+    write_record(Record::kAdmit, fp);
+  }
+  for (const std::uint64_t fp : mutations) {
+    write_record(Record::kMutate, fp);
   }
   ok = ok && ::fsync(tmp_fd) == 0;
   ::close(tmp_fd);

@@ -32,6 +32,12 @@ class SpoolJournal {
   enum class Record : std::uint8_t {
     kAdmit = 1,     ///< job admitted; its .req is on disk
     kTerminal = 2,  ///< job reached a terminal state; .req unlink follows
+    kMutate = 3,    ///< stream mutation committed: the fingerprint is the
+                    ///< chained graph fingerprint of the new version,
+                    ///< appended after the batch file lands and before
+                    ///< the MUTATE reply — so an acknowledged version is
+                    ///< always replayable, and a batch file without its
+                    ///< record is an unacknowledged torn commit
   };
 
   /// What replaying the journal found.
@@ -41,6 +47,11 @@ class SpoolJournal {
     /// Fingerprints that reached a terminal record — their stale .req
     /// files (if any survived the crash) must be removed, not re-run.
     std::vector<std::uint64_t> retired;
+    /// Chained graph fingerprints of committed stream mutations, in
+    /// journal order.  Stream recovery accepts a namespace's batch
+    /// files only up to the highest version whose fingerprint appears
+    /// here; trailing files beyond it are torn commits.
+    std::vector<std::uint64_t> mutations;
     std::uint64_t records = 0;    ///< intact records replayed
     std::uint64_t torn_bytes = 0;  ///< truncated tail (0 = clean file)
   };
@@ -62,11 +73,13 @@ class SpoolJournal {
   /// admission) but remembered in write_failures().
   void append(Record kind, std::uint64_t fingerprint);
 
-  /// Rewrites the journal to one ADMIT per `live` fingerprint (atomic
-  /// write-temp + rename), dropping the replayed history.  Called after
-  /// recovery so the file stays proportional to live work, not lifetime
-  /// traffic.
-  void compact(const std::vector<std::uint64_t>& live);
+  /// Rewrites the journal to one ADMIT per `live` fingerprint plus one
+  /// MUTATE per `mutations` fingerprint (atomic write-temp + rename),
+  /// dropping the replayed history.  Called after recovery so the file
+  /// stays proportional to live work — the daemon passes only each
+  /// stream namespace's *head* fingerprint, not the whole chain.
+  void compact(const std::vector<std::uint64_t>& live,
+               const std::vector<std::uint64_t>& mutations = {});
 
   void close();
 

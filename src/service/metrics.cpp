@@ -59,7 +59,8 @@ StatsReply ServiceMetrics::snapshot(std::uint64_t queue_depth,
                                     std::uint64_t cache_hits,
                                     std::uint64_t cache_misses,
                                     std::uint64_t cache_evictions,
-                                    double worker_utilization) const {
+                                    double worker_utilization,
+                                    std::uint64_t graph_version) const {
   StatsReply s;
   s.uptime_ms = uptime_ms();
   s.submits = submits;
@@ -83,6 +84,10 @@ StatsReply ServiceMetrics::snapshot(std::uint64_t queue_depth,
   s.deadline_rejections = deadline_rejections;
   s.deadline_expired = deadline_expired;
   s.quarantined_files = quarantined_files;
+  s.mutations_applied = mutations_applied;
+  s.graph_version = graph_version;
+  s.dirty_sources_rerun = dirty_sources_rerun;
+  s.cache_invalidations = cache_invalidations;
   s.qps = s.uptime_ms == 0
               ? 0.0
               : static_cast<double>(submits) * 1000.0 /
@@ -124,6 +129,10 @@ std::string to_json(const StatsReply& stats) {
   w.key("deadline_rejections").value(stats.deadline_rejections);
   w.key("deadline_expired").value(stats.deadline_expired);
   w.key("quarantined_files").value(stats.quarantined_files);
+  w.key("mutations_applied").value(stats.mutations_applied);
+  w.key("graph_version").value(stats.graph_version);
+  w.key("dirty_sources_rerun").value(stats.dirty_sources_rerun);
+  w.key("cache_invalidations").value(stats.cache_invalidations);
   w.key("qps").value(stats.qps);
   w.key("worker_utilization").value(stats.worker_utilization);
   w.key("latency_p50_ms").value(stats.latency_p50_ms);
@@ -189,6 +198,18 @@ std::string prometheus_text(const StatsReply& stats,
   w.counter("congestbcd_quarantined_files_total",
             "Corrupt spool/cache/checkpoint files quarantined at startup",
             stats.quarantined_files);
+  w.counter("congestbcd_mutations_applied_total",
+            "Edge operations applied to live stream graphs",
+            stats.mutations_applied);
+  w.gauge("congestbcd_graph_version",
+          "Highest live stream-graph version across namespaces",
+          static_cast<double>(stats.graph_version));
+  w.counter("congestbcd_dirty_sources_rerun_total",
+            "Sources re-executed by incremental BC maintainers",
+            stats.dirty_sources_rerun);
+  w.counter("congestbcd_cache_invalidations_total",
+            "Result-cache entries invalidated by stream mutations",
+            stats.cache_invalidations);
   w.gauge("congestbcd_qps", "Submits per second over the daemon lifetime",
           stats.qps);
   w.gauge("congestbcd_worker_utilization",

@@ -45,6 +45,12 @@ class ServiceMetrics {
   std::uint64_t deadline_rejections = 0;
   std::uint64_t deadline_expired = 0;
   std::uint64_t quarantined_files = 0;
+  // Streaming-plane counters (PR 8): the mutation ingest path — edge ops
+  // that changed a live graph, sources the incremental maintainers had
+  // to re-run, and cache entries invalidated by fingerprint delta.
+  std::uint64_t mutations_applied = 0;
+  std::uint64_t dirty_sources_rerun = 0;
+  std::uint64_t cache_invalidations = 0;
 
   // Whole-life histograms behind the /metrics endpoint (the percentile
   // window above describes recent behavior; these never forget).
@@ -74,8 +80,8 @@ class ServiceMetrics {
   StatsReply snapshot(std::uint64_t queue_depth, std::uint64_t running,
                       std::uint64_t workers, std::uint64_t cache_entries,
                       std::uint64_t cache_hits, std::uint64_t cache_misses,
-                      std::uint64_t cache_evictions,
-                      double worker_utilization) const;
+                      std::uint64_t cache_evictions, double worker_utilization,
+                      std::uint64_t graph_version = 0) const;
 
   static constexpr std::size_t kLatencyWindow = 4096;
 

@@ -87,6 +87,9 @@ void encode_submit_body(BitWriter& w, const SubmitRequest& s) {
   w.write_bool(s.legacy_engine);
   w.write_varuint(s.deadline_ms);
   w.write_varuint(s.attempt);
+  put_string(w, s.stream_ns);
+  w.write_varuint(s.stream_version);
+  w.write_bool(s.incremental);
 }
 
 SubmitRequest decode_submit_body(BitReader& r) {
@@ -106,7 +109,77 @@ SubmitRequest decode_submit_body(BitReader& r) {
   s.legacy_engine = r.read_bool();
   s.deadline_ms = r.read_varuint();
   s.attempt = static_cast<std::uint32_t>(r.read_varuint());
+  s.stream_ns = get_string(r);
+  s.stream_version = r.read_varuint();
+  s.incremental = r.read_bool();
   return s;
+}
+
+void encode_mutate_body(BitWriter& w, const MutateRequest& m) {
+  put_string(w, m.ns);
+  w.write_varuint(m.base_version);
+  put_string(w, m.base_graph);
+  w.write_varuint(m.ops.size());
+  for (const MutateOp& op : m.ops) {
+    w.write_varuint(op.kind);
+    w.write_varuint(op.u);
+    w.write_varuint(op.v);
+  }
+}
+
+MutateRequest decode_mutate_body(BitReader& r) {
+  MutateRequest m;
+  m.ns = get_string(r);
+  m.base_version = r.read_varuint();
+  m.base_graph = get_string(r);
+  // Each op is three varuints — at least 6 bits even in the tightest
+  // imaginable encoding, so hostile counts cannot out-allocate the
+  // payload they rode in on.
+  const std::uint64_t count = get_count(r, 6);
+  m.ops.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MutateOp op;
+    const std::uint64_t kind = r.read_varuint();
+    if (kind < 1 || kind > 2) {
+      throw ProtocolError(ProtoError::kMalformed,
+                          "unknown edge op kind " + std::to_string(kind));
+    }
+    op.kind = static_cast<std::uint8_t>(kind);
+    const std::uint64_t u = r.read_varuint();
+    const std::uint64_t v = r.read_varuint();
+    if (u > UINT32_MAX || v > UINT32_MAX) {
+      throw ProtocolError(ProtoError::kMalformed,
+                          "edge op endpoint exceeds the node id width");
+    }
+    op.u = static_cast<std::uint32_t>(u);
+    op.v = static_cast<std::uint32_t>(v);
+    m.ops.push_back(op);
+  }
+  return m;
+}
+
+void encode_mutate_reply_body(BitWriter& w, const MutateReply& m) {
+  w.write_varuint(static_cast<std::uint64_t>(m.outcome));
+  w.write_varuint(m.version);
+  w.write(m.fingerprint, 64);
+  w.write_varuint(m.applied);
+  w.write_varuint(m.dropped);
+  put_string(w, m.detail);
+}
+
+MutateReply decode_mutate_reply_body(BitReader& r) {
+  MutateReply m;
+  const std::uint64_t o = r.read_varuint();
+  if (o > static_cast<std::uint64_t>(MutateOutcome::kDraining)) {
+    throw ProtocolError(ProtoError::kMalformed, "unknown mutate outcome");
+  }
+  m.outcome = static_cast<MutateOutcome>(o);
+  m.version = r.read_varuint();
+  m.fingerprint = r.read(64);
+  m.applied = r.read_varuint();
+  m.dropped = r.read_varuint();
+  m.detail = get_string(r);
+  return m;
 }
 
 void encode_submit_reply_body(BitWriter& w, const SubmitReply& m) {
@@ -241,6 +314,10 @@ void encode_stats_reply_body(BitWriter& w, const StatsReply& m) {
   put_gauge(w, m.latency_p50_ms);
   put_gauge(w, m.latency_p90_ms);
   put_gauge(w, m.latency_p99_ms);
+  w.write_varuint(m.mutations_applied);
+  w.write_varuint(m.graph_version);
+  w.write_varuint(m.dirty_sources_rerun);
+  w.write_varuint(m.cache_invalidations);
 }
 
 StatsReply decode_stats_reply_body(BitReader& r) {
@@ -272,6 +349,10 @@ StatsReply decode_stats_reply_body(BitReader& r) {
   m.latency_p50_ms = get_gauge(r);
   m.latency_p90_ms = get_gauge(r);
   m.latency_p99_ms = get_gauge(r);
+  m.mutations_applied = r.read_varuint();
+  m.graph_version = r.read_varuint();
+  m.dirty_sources_rerun = r.read_varuint();
+  m.cache_invalidations = r.read_varuint();
   return m;
 }
 
@@ -349,6 +430,22 @@ const char* to_string(JobState s) {
       return "suspended";
     case JobState::kUnknown:
       return "unknown";
+  }
+  return "unknown";
+}
+
+const char* to_string(MutateOutcome o) {
+  switch (o) {
+    case MutateOutcome::kApplied:
+      return "applied";
+    case MutateOutcome::kCreated:
+      return "created";
+    case MutateOutcome::kVersionConflict:
+      return "version-conflict";
+    case MutateOutcome::kRejected:
+      return "rejected";
+    case MutateOutcome::kDraining:
+      return "draining";
   }
   return "unknown";
 }
@@ -465,6 +562,9 @@ BitWriter encode_request(const Request& request) {
     case MsgType::kSubmit:
       encode_submit_body(w, request.submit);
       break;
+    case MsgType::kMutate:
+      encode_mutate_body(w, request.mutate);
+      break;
     case MsgType::kStatus:
     case MsgType::kResult:
     case MsgType::kCancel:
@@ -488,6 +588,10 @@ Request decode_request(const FramePayload& payload) {
       case static_cast<std::uint64_t>(MsgType::kSubmit):
         request.type = MsgType::kSubmit;
         request.submit = decode_submit_body(r);
+        break;
+      case static_cast<std::uint64_t>(MsgType::kMutate):
+        request.type = MsgType::kMutate;
+        request.mutate = decode_mutate_body(r);
         break;
       case static_cast<std::uint64_t>(MsgType::kStatus):
       case static_cast<std::uint64_t>(MsgType::kResult):
@@ -538,6 +642,9 @@ BitWriter encode_reply(const Reply& reply) {
     case MsgType::kError:
       encode_error_body(w, reply.error);
       break;
+    case MsgType::kMutateReply:
+      encode_mutate_reply_body(w, reply.mutate);
+      break;
     default:
       CBC_EXPECTS(false, "encode_reply: not a reply type");
   }
@@ -577,6 +684,10 @@ Reply decode_reply(const FramePayload& payload) {
       case static_cast<std::uint64_t>(MsgType::kError):
         reply.type = MsgType::kError;
         reply.error = decode_error_body(r);
+        break;
+      case static_cast<std::uint64_t>(MsgType::kMutateReply):
+        reply.type = MsgType::kMutateReply;
+        reply.mutate = decode_mutate_reply_body(r);
         break;
       default:
         throw ProtocolError(ProtoError::kUnknownType,
@@ -665,6 +776,13 @@ Request make_plain(MsgType type) {
               "make_plain: not a bodyless type");
   Request request;
   request.type = type;
+  return request;
+}
+
+Request make_mutate(const MutateRequest& mutate) {
+  Request request;
+  request.type = MsgType::kMutate;
+  request.mutate = mutate;
   return request;
 }
 

@@ -41,9 +41,12 @@ namespace congestbc::service {
 
 // v2 added StatusReply::phase_timeline (PR 5); v3 added the header
 // payload checksum, SubmitRequest deadline/attempt fields, and the
-// retry/chaos stats counters (PR 6).  The version gates the whole
-// frame, so older peers get kBadVersion instead of a misparse.
-inline constexpr std::uint16_t kProtocolVersion = 3;
+// retry/chaos stats counters (PR 6); v4 added the streaming-graph
+// surface — MUTATE frames, the SubmitRequest stream-addressing fields,
+// and the mutation/version stats counters (PR 8).  The version gates
+// the whole frame, so older peers get kBadVersion instead of a
+// misparse.
+inline constexpr std::uint16_t kProtocolVersion = 4;
 
 /// Frames larger than this are rejected before any allocation happens —
 /// the daemon-side cap on hostile length fields.  Generous enough for an
@@ -95,6 +98,7 @@ enum class MsgType : std::uint8_t {
   kCancel = 4,
   kStats = 5,
   kShutdown = 6,
+  kMutate = 7,
   kSubmitReply = 65,
   kStatusReply = 66,
   kResultReply = 67,
@@ -102,6 +106,7 @@ enum class MsgType : std::uint8_t {
   kStatsReply = 69,
   kShutdownReply = 70,
   kError = 71,
+  kMutateReply = 72,
 };
 
 /// How the graph of a SUBMIT is transported.
@@ -138,6 +143,61 @@ struct SubmitRequest {
   /// are counted as retried_submits in STATS.  Excluded from the
   /// fingerprint for the same reason as deadline_ms.
   std::uint32_t attempt = 1;
+  // --- v4 stream addressing (ignored when stream_ns is empty) ---------
+  /// Run against a live stream namespace (created by MUTATE) instead of
+  /// an inline/path graph; `graph` must then be empty.
+  std::string stream_ns;
+  /// Which version of the namespace to run at; 0 = the live head at
+  /// admission time (the reply's fingerprint pins which one that was).
+  std::uint64_t stream_version = 0;
+  /// Serve from the namespace's incremental BC maintainer (dirty-source
+  /// recompute, sum-decomposed assembly) instead of a classic combined
+  /// engine run.  Incremental results live under a tagged fingerprint —
+  /// they are bit-identical to a from-scratch *decomposed* recompute,
+  /// not to a combined run, so the two never share cache entries.
+  bool incremental = false;
+};
+
+/// One edge operation of a MUTATE batch (wire form of
+/// stream::EdgeOp; kind: 1 = insert, 2 = remove).
+struct MutateOp {
+  std::uint8_t kind = 1;
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+};
+
+/// MUTATE: apply a batch of edge ops to a named stream namespace at an
+/// expected base version (optimistic concurrency).  A namespace is
+/// created by the first MUTATE that names it: base_version must be 0
+/// and base_graph carries the version-0 edge-list text; ops may ride
+/// along and are applied on top as version 1.
+struct MutateRequest {
+  std::string ns;
+  std::uint64_t base_version = 0;
+  /// Version-0 edge-list text; only meaningful (and only allowed) when
+  /// the namespace does not exist yet.
+  std::string base_graph;
+  std::vector<MutateOp> ops;
+};
+
+enum class MutateOutcome : std::uint8_t {
+  kApplied = 0,          ///< batch applied; version/fingerprint are the new head
+  kCreated = 1,          ///< namespace created (and ops, if any, applied)
+  kVersionConflict = 2,  ///< base_version != live head; version/fingerprint
+                         ///< report the actual head so the client can rebase
+  kRejected = 3,         ///< semantically invalid (detail says why)
+  kDraining = 4,         ///< daemon is draining; not accepting mutations
+};
+
+const char* to_string(MutateOutcome o);
+
+struct MutateReply {
+  MutateOutcome outcome = MutateOutcome::kRejected;
+  std::uint64_t version = 0;      ///< new head (or actual head on conflict)
+  std::uint64_t fingerprint = 0;  ///< chained fingerprint at that version
+  std::uint64_t applied = 0;      ///< ops that changed the edge set
+  std::uint64_t dropped = 0;      ///< no-ops/duplicates canonicalized away
+  std::string detail;
 };
 
 /// STATUS / RESULT / CANCEL all address a job by daemon-assigned id.
@@ -150,6 +210,7 @@ struct Request {
   MsgType type = MsgType::kSubmit;
   SubmitRequest submit;  ///< valid when type == kSubmit
   JobRequest job;        ///< valid for kStatus/kResult/kCancel
+  MutateRequest mutate;  ///< valid when type == kMutate
 };
 
 /// What happened to a SUBMIT at admission.
@@ -285,6 +346,16 @@ struct StatsReply {
   double latency_p50_ms = 0.0;
   double latency_p90_ms = 0.0;
   double latency_p99_ms = 0.0;
+  // --- v4 streaming counters (appended after the gauges: the wire
+  // format is append-only) ---------------------------------------------
+  /// Edge ops that changed a live graph (MUTATE, after canonicalization).
+  std::uint64_t mutations_applied = 0;
+  /// Gauge: highest live version across stream namespaces (0 = none).
+  std::uint64_t graph_version = 0;
+  /// Sources re-run by the incremental maintainers (dirty after a batch).
+  std::uint64_t dirty_sources_rerun = 0;
+  /// Result-cache entries invalidated by fingerprint delta on MUTATE.
+  std::uint64_t cache_invalidations = 0;
 };
 
 struct ShutdownReply {
@@ -306,6 +377,7 @@ struct Reply {
   StatsReply stats;
   ShutdownReply shutdown;
   ErrorReply error;
+  MutateReply mutate;
 };
 
 // ------------------------------------------------------------ framing
@@ -368,5 +440,6 @@ ResultBlock decode_result_block(BitReader& r);
 Request make_submit(const SubmitRequest& submit);
 Request make_job_request(MsgType type, std::uint64_t job_id);
 Request make_plain(MsgType type);  ///< kStats / kShutdown
+Request make_mutate(const MutateRequest& mutate);
 
 }  // namespace congestbc::service

@@ -17,6 +17,19 @@ std::uint64_t graph_fingerprint(const Graph& g) {
   return h;
 }
 
+std::uint64_t chain_graph_fingerprint(
+    std::uint64_t base_fp, const std::vector<GraphDeltaOp>& delta) {
+  std::uint64_t h = fnv1a(nullptr, 0);
+  h = fnv1a_u64(base_fp, h);
+  h = fnv1a_u64(delta.size(), h);
+  for (const GraphDeltaOp& op : delta) {
+    h = fnv1a_u64(op.insert ? 1 : 2, h);
+    h = fnv1a_u64(op.u, h);
+    h = fnv1a_u64(op.v, h);
+  }
+  return h;
+}
+
 std::uint64_t fault_fingerprint(const FaultPlan* plan) {
   if (plan == nullptr || plan->empty()) {
     return 0;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "congest/fault.hpp"
 #include "graph/graph.hpp"
@@ -31,6 +32,31 @@ namespace congestbc {
 /// copies of the same edge list fingerprint identically; any topology
 /// difference — one edge, one node — changes it.
 std::uint64_t graph_fingerprint(const Graph& g);
+
+/// One edge operation of a delta batch, in the canonical form the
+/// chained fingerprint hashes: endpoints normalized u < v.  The stream
+/// subsystem (src/stream/versioned_graph.hpp) converts its wire-level
+/// ops into this before chaining.
+struct GraphDeltaOp {
+  bool insert = true;  // false = delete
+  NodeId u = 0;
+  NodeId v = 0;
+};
+
+/// Chains a canonical delta batch onto a base graph fingerprint:
+/// fingerprint(v+1) = chain_graph_fingerprint(fingerprint(v), delta).
+/// O(|delta|), and the chain seeded at graph_fingerprint(base) gives
+/// every version a stable identity without rehashing the whole edge
+/// list.  The hash is deliberately order-sensitive — two different op
+/// orders yield different fingerprints — so callers must canonicalize
+/// batches (sort, dedup) before chaining; VersionedGraph does.
+///
+/// Note: a chained fingerprint identifies a *mutation history*, not the
+/// resulting edge set — it is intentionally distinct from
+/// graph_fingerprint(materialized graph), so version-addressed cache
+/// entries can never collide with static-graph entries.
+std::uint64_t chain_graph_fingerprint(std::uint64_t base_fp,
+                                      const std::vector<GraphDeltaOp>& delta);
 
 /// Fingerprint of a fault plan.  The injector is stateless — every
 /// decision is a pure hash of (seed, round, from, to) — so the plan's

@@ -1,0 +1,115 @@
+#include "stream/versioned_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace congestbc::stream {
+
+VersionedGraph::VersionedGraph(Graph base)
+    : num_nodes_(base.num_nodes()), base_(base), head_(std::move(base)) {
+  fingerprints_.push_back(graph_fingerprint(base_));
+}
+
+std::vector<GraphDeltaOp> VersionedGraph::canonicalize(
+    const Graph& current, const std::vector<EdgeOp>& ops) {
+  // Net effect per normalized edge, last op wins; std::map keeps the
+  // result sorted by (u, v) — the canonical order the fingerprint chain
+  // and the dirty-source classifier both rely on.
+  std::map<std::pair<NodeId, NodeId>, bool> net;
+  for (const EdgeOp& op : ops) {
+    NodeId u = op.u;
+    NodeId v = op.v;
+    if (u > v) {
+      std::swap(u, v);
+    }
+    if (u == v) {
+      throw std::invalid_argument("edge op is a self-loop: " +
+                                  std::to_string(u));
+    }
+    if (v >= current.num_nodes()) {
+      throw std::invalid_argument("edge op endpoint " + std::to_string(v) +
+                                  " out of range (graph has " +
+                                  std::to_string(current.num_nodes()) +
+                                  " nodes)");
+    }
+    if (op.kind != EdgeOpKind::kInsert && op.kind != EdgeOpKind::kRemove) {
+      throw std::invalid_argument("unknown edge op kind");
+    }
+    net[{u, v}] = (op.kind == EdgeOpKind::kInsert);
+  }
+  std::vector<GraphDeltaOp> canonical;
+  canonical.reserve(net.size());
+  for (const auto& [edge, insert] : net) {
+    // Drop no-ops: inserting a present edge, removing an absent one.
+    if (insert == current.has_edge(edge.first, edge.second)) {
+      continue;
+    }
+    canonical.push_back({insert, edge.first, edge.second});
+  }
+  return canonical;
+}
+
+void apply_delta(std::vector<Edge>& edges,
+                 const std::vector<GraphDeltaOp>& delta) {
+  for (const GraphDeltaOp& op : delta) {
+    const Edge edge{op.u, op.v};
+    if (op.insert) {
+      edges.push_back(edge);
+    } else {
+      std::erase(edges, edge);
+    }
+  }
+}
+
+ApplyOutcome VersionedGraph::apply(const std::vector<EdgeOp>& ops) {
+  std::vector<GraphDeltaOp> canonical = canonicalize(head_, ops);
+  std::vector<Edge> edges = head_.edges();
+  apply_delta(edges, canonical);
+  Graph next(num_nodes_, std::move(edges));
+
+  ++version_;
+  fingerprints_.push_back(
+      chain_graph_fingerprint(fingerprints_.back(), canonical));
+  ApplyOutcome outcome;
+  outcome.version = version_;
+  outcome.fingerprint = fingerprints_.back();
+  outcome.applied = canonical.size();
+  outcome.dropped = ops.size() - canonical.size();
+  deltas_.push_back(std::move(canonical));
+  head_ = std::move(next);
+  return outcome;
+}
+
+std::uint64_t VersionedGraph::fingerprint_at(std::uint64_t version) const {
+  if (version > version_) {
+    throw std::out_of_range("version " + std::to_string(version) +
+                            " beyond head " + std::to_string(version_));
+  }
+  return fingerprints_[version];
+}
+
+Graph VersionedGraph::at(std::uint64_t version) const {
+  if (version > version_) {
+    throw std::out_of_range("version " + std::to_string(version) +
+                            " beyond head " + std::to_string(version_));
+  }
+  std::vector<Edge> edges = base_.edges();
+  for (std::uint64_t v = 0; v < version; ++v) {
+    apply_delta(edges, deltas_[v]);
+  }
+  return Graph(num_nodes_, std::move(edges));
+}
+
+const std::vector<GraphDeltaOp>& VersionedGraph::delta(
+    std::uint64_t version) const {
+  if (version == 0 || version > version_) {
+    throw std::out_of_range("no delta batch for version " +
+                            std::to_string(version));
+  }
+  return deltas_[version - 1];
+}
+
+}  // namespace congestbc::stream

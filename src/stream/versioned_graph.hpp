@@ -1,0 +1,110 @@
+// Versioned mutable graph — the storage half of the streaming subsystem.
+//
+// A VersionedGraph holds a live adjacency (the "head") plus a
+// monotonically increasing version counter and the full per-version
+// delta log.  Every apply() takes a batch of edge operations, validates
+// and canonicalizes it (normalize endpoints, net-effect dedup against
+// the current edge set, sort), bumps the version — even for a net-empty
+// batch, so a client that round-trips a no-op still observes progress —
+// and chains the version fingerprint in O(|delta|) via
+// chain_graph_fingerprint (src/snapshot/fingerprint.hpp):
+//
+//   fingerprint(0)   = graph_fingerprint(base)
+//   fingerprint(v+1) = chain(fingerprint(v), canonical delta)
+//
+// The chained fingerprint composes with the existing cache keys: the
+// serving layer addresses results by the fingerprint of the version a
+// submit ran against, and invalidates exactly the entries whose
+// fingerprints a mutation supersedes.
+//
+// The node count is fixed at construction.  That is deliberate:
+// SoftFloatFormat::for_graph(N) — and with it every result bit — depends
+// on N, so a node-count change would dirty every maintained source
+// anyway; callers size the base graph for the node universe up front
+// (graph/io.hpp read_snap_edge_list keep_all_components exists for
+// exactly this).  Deletes may disconnect the graph; VersionedGraph is
+// pure storage and allows it — connectivity is enforced where BC runs
+// are admitted (daemon submit path), not here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "snapshot/fingerprint.hpp"
+
+namespace congestbc::stream {
+
+enum class EdgeOpKind : std::uint8_t {
+  kInsert = 1,
+  kRemove = 2,
+};
+
+/// One wire-level edge operation.  Endpoints may arrive in either order;
+/// canonicalization normalizes to u < v.
+struct EdgeOp {
+  EdgeOpKind kind = EdgeOpKind::kInsert;
+  NodeId u = 0;
+  NodeId v = 0;
+};
+
+/// What one apply() did.
+struct ApplyOutcome {
+  std::uint64_t version = 0;      ///< the new head version
+  std::uint64_t fingerprint = 0;  ///< chained fingerprint at that version
+  std::uint64_t applied = 0;      ///< ops that changed the edge set
+  std::uint64_t dropped = 0;      ///< no-ops and duplicates canonicalized away
+};
+
+class VersionedGraph {
+ public:
+  /// Version 0 is the base graph; fingerprint(0) = graph_fingerprint(base).
+  explicit VersionedGraph(Graph base);
+
+  /// Validates, canonicalizes, and applies one batch.  Throws
+  /// std::invalid_argument on an out-of-range endpoint or a self-loop —
+  /// the batch is rejected whole, nothing is applied.  A batch whose
+  /// every op is a no-op still bumps the version (with an empty
+  /// canonical delta, so the fingerprint chain records it).
+  ApplyOutcome apply(const std::vector<EdgeOp>& ops);
+
+  std::uint64_t version() const { return version_; }
+  std::uint64_t fingerprint() const { return fingerprints_.back(); }
+  NodeId num_nodes() const { return num_nodes_; }
+  const Graph& head() const { return head_; }
+
+  /// Fingerprint of any historical version (0..version()).  Throws
+  /// std::out_of_range beyond the head.
+  std::uint64_t fingerprint_at(std::uint64_t version) const;
+
+  /// Materializes a historical version by replaying the delta log from
+  /// the base.  O(sum of batch sizes); version() returns the head
+  /// without replay cost via head().
+  Graph at(std::uint64_t version) const;
+
+  /// The canonical delta batch that produced `version` (1..version()).
+  const std::vector<GraphDeltaOp>& delta(std::uint64_t version) const;
+
+  /// Canonical form of a batch against an explicit edge set: endpoints
+  /// normalized, per-edge net effect (last op wins), no-ops against
+  /// `current` dropped, result sorted by (u, v).  Exposed for tests and
+  /// for the daemon's journal replay.  Throws std::invalid_argument on
+  /// invalid endpoints.
+  static std::vector<GraphDeltaOp> canonicalize(const Graph& current,
+                                                const std::vector<EdgeOp>& ops);
+
+ private:
+  NodeId num_nodes_;
+  Graph base_;
+  Graph head_;
+  std::uint64_t version_ = 0;
+  std::vector<std::uint64_t> fingerprints_;        // [version]
+  std::vector<std::vector<GraphDeltaOp>> deltas_;  // [version - 1]
+};
+
+/// Applies one canonical delta batch to an edge list (insert appends,
+/// remove erases); shared by apply(), at(), and the daemon's spool
+/// replay so all three produce the same head.
+void apply_delta(std::vector<Edge>& edges, const std::vector<GraphDeltaOp>& delta);
+
+}  // namespace congestbc::stream

@@ -16,6 +16,7 @@
 #include "graph/graph.hpp"
 #include "gtest/gtest.h"
 #include "snapshot/fingerprint.hpp"
+#include "stream/versioned_graph.hpp"
 
 namespace congestbc {
 namespace {
@@ -148,6 +149,60 @@ TEST(RunFingerprint, CombinesGraphAndOptions) {
   EXPECT_EQ(run_fingerprint(a, base), run_fingerprint(a, base));
   EXPECT_NE(run_fingerprint(a, base), run_fingerprint(b, base));
   EXPECT_NE(run_fingerprint(a, base), run_fingerprint(a, other));
+}
+
+TEST(ChainFingerprint, ApplicationAssociatesButChainIsHistoryIdentity) {
+  // Applying d1 then d2 reaches the same edge set as the fused batch
+  // d1++d2 — delta application is associative, so a replayer may group
+  // batches freely and still materialize the right graph.
+  const Graph start = triangle_plus_tail();
+  const std::vector<GraphDeltaOp> d1 = {{true, 0, 3}};
+  const std::vector<GraphDeltaOp> d2 = {{false, 2, 3}, {true, 1, 3}};
+  std::vector<GraphDeltaOp> fused = d1;
+  fused.insert(fused.end(), d2.begin(), d2.end());
+  std::vector<Edge> stepwise = start.edges();
+  stream::apply_delta(stepwise, d1);
+  stream::apply_delta(stepwise, d2);
+  std::vector<Edge> in_one = start.edges();
+  stream::apply_delta(in_one, fused);
+  EXPECT_EQ(graph_fingerprint(Graph(4, std::move(stepwise))),
+            graph_fingerprint(Graph(4, std::move(in_one))));
+
+  // The chained fingerprint, by contrast, names a mutation HISTORY:
+  // batch boundaries count, and it never equals the materialized
+  // graph's static fingerprint — version-addressed cache entries can
+  // never collide with static-graph entries.
+  const std::uint64_t base = graph_fingerprint(start);
+  const std::uint64_t split =
+      chain_graph_fingerprint(chain_graph_fingerprint(base, d1), d2);
+  const std::uint64_t one_shot = chain_graph_fingerprint(base, fused);
+  EXPECT_NE(split, one_shot);
+  std::vector<Edge> materialized = start.edges();
+  stream::apply_delta(materialized, fused);
+  EXPECT_NE(split, graph_fingerprint(Graph(4, std::move(materialized))));
+  EXPECT_NE(chain_graph_fingerprint(base, {}), base);  // even empty moves
+}
+
+TEST(ChainFingerprint, ReorderedOpsCollideOnlyAfterCanonicalization) {
+  // Raw chains are deliberately order-sensitive: the same two ops in a
+  // different order must yield a different fingerprint...
+  const std::uint64_t base = graph_fingerprint(triangle_plus_tail());
+  const std::vector<GraphDeltaOp> ab = {{true, 0, 3}, {true, 1, 3}};
+  const std::vector<GraphDeltaOp> ba = {{true, 1, 3}, {true, 0, 3}};
+  EXPECT_NE(chain_graph_fingerprint(base, ab),
+            chain_graph_fingerprint(base, ba));
+
+  // ...so chainers must canonicalize first.  VersionedGraph's canonical
+  // form (endpoints normalized, net-effect dedup, sorted) maps every
+  // arrival order of the same net batch to one fingerprint.
+  const Graph current = triangle_plus_tail();
+  using stream::EdgeOpKind;
+  const auto c1 = stream::VersionedGraph::canonicalize(
+      current, {{EdgeOpKind::kInsert, 0, 3}, {EdgeOpKind::kInsert, 1, 3}});
+  const auto c2 = stream::VersionedGraph::canonicalize(
+      current, {{EdgeOpKind::kInsert, 3, 1}, {EdgeOpKind::kInsert, 3, 0}});
+  EXPECT_EQ(chain_graph_fingerprint(base, c1),
+            chain_graph_fingerprint(base, c2));
 }
 
 }  // namespace

@@ -113,6 +113,26 @@ TEST(SnapIo, KeepsLargestConnectedComponent) {
   EXPECT_EQ(g.neighbors(1).size(), 2u);   // node 11: interior
 }
 
+TEST(SnapIo, KeepAllComponentsRetainsIsolatedIslands) {
+  // Same two-component input as above; with keep_all_components the
+  // 2-node island survives, densely renumbered in first-appearance
+  // order (10->0, 11->1, 50->2, 60->3, 12->4, 13->5).  Streaming
+  // callers need this: a VersionedGraph fixes its node universe at
+  // creation, and a later edge insert may wire the island in — dropping
+  // it at load time would make those ops dangle.
+  const Graph g = read_snap_edge_list_text(
+      "10 11\n"
+      "50 60\n"
+      "11 12\n"
+      "12 13\n",
+      /*keep_all_components=*/true);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  ASSERT_EQ(g.num_edges(), 4u);
+  ASSERT_EQ(g.neighbors(2).size(), 1u);  // node 50: island endpoint, kept
+  EXPECT_EQ(g.neighbors(2)[0], 3u);      // ...still wired to node 60
+  EXPECT_EQ(g.neighbors(4).size(), 2u);  // node 12: interior of the path
+}
+
 TEST(SnapIo, RoundTripsThroughCanonicalFormat) {
   Rng rng(17);
   const Graph original = gen::erdos_renyi_sparse(200, 4.0, rng);

@@ -117,6 +117,10 @@ TEST(ObsGolden, PrometheusText) {
   stats.deadline_rejections = 8;
   stats.deadline_expired = 13;
   stats.quarantined_files = 15;
+  stats.mutations_applied = 21;
+  stats.graph_version = 5;
+  stats.dirty_sources_rerun = 17;
+  stats.cache_invalidations = 16;
   stats.qps = 1.96721;
   stats.worker_utilization = 0.4375;
   stats.latency_p50_ms = 12.5;

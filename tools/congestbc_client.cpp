@@ -15,6 +15,14 @@
 //                      through transport faults until the result lands
 //                      or --deadline MS (default 120000) expires;
 //                      implies --wait
+//       --ns NS        stream-addressed submit: run against a live stream
+//                      namespace instead of sending a graph
+//       --version V    which stream version to run at (0 = live head)
+//       --incremental  serve from the namespace's incremental maintainer
+//   mutate NS          apply edge ops to a stream namespace (protocol v4)
+//       --base G.txt   create the namespace with this version-0 graph
+//       --version V    expected base version (optimistic concurrency)
+//       --ops SPEC     comma-separated ops, "i:u:v" insert / "d:u:v" remove
 //   status JOB         query a job's lifecycle state
 //   result JOB         fetch (and print) a finished job's result
 //   cancel JOB         cancel a queued or running job
@@ -35,6 +43,9 @@
 //                      reports attempt counts and retry amplification
 //       --deadline MS  per-submit client deadline, propagated to the
 //                      daemon's admission control
+//       --mutate-mix K interleave one MUTATE per K submits against a live
+//                      stream namespace seeded from the first graph, and
+//                      report per-version submit latency
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -46,6 +57,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -66,13 +78,15 @@ using namespace congestbc::service;
 
 constexpr const char* kUsage =
     "usage: congestbc_client [--host A --port P] COMMAND ...\n"
-    "commands: submit GRAPH.txt [--path NAME --no-halve --faults SPEC\n"
-    "          --reliable --max-rounds R --threads T --legacy --wait\n"
-    "          --retry --deadline MS]\n"
+    "commands: submit GRAPH.txt [--path NAME --ns NS --version V\n"
+    "          --incremental --no-halve --faults SPEC --reliable\n"
+    "          --max-rounds R --threads T --legacy --wait --retry\n"
+    "          --deadline MS]\n"
+    "          mutate NS [--base GRAPH.txt --version V --ops i:u:v,d:u:v]\n"
     "          status JOB | result JOB | cancel JOB | stats | shutdown\n"
     "          loadgen --daemon BIN --graphs A,B [--submits N\n"
     "          --concurrency C --spool DIR --chaos SPEC --chaos-seed S\n"
-    "          --retry --deadline MS]\n";
+    "          --retry --deadline MS --mutate-mix K]\n";
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -82,6 +96,23 @@ std::string read_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+/// Node count from an edge-list header ("N M"), skipping '#' comments.
+std::uint64_t parse_node_count(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    std::istringstream hs(line);
+    std::uint64_t n = 0;
+    hs >> n;
+    return n;
+  }
+  return 0;
 }
 
 std::string hex16(std::uint64_t value) {
@@ -96,6 +127,14 @@ SubmitRequest build_submit(const Args& args, const std::string& operand) {
   if (args.has("path")) {
     request.source = GraphSource::kPath;
     request.graph = *args.get("path");
+  } else if (args.has("ns")) {
+    // Stream-addressed: the daemon materializes the namespace's graph at
+    // the requested version; no graph travels on the wire.
+    request.source = GraphSource::kInline;
+    request.stream_ns = *args.get("ns");
+    request.stream_version =
+        static_cast<std::uint64_t>(args.get_int_or("version", 0));
+    request.incremental = args.has("incremental");
   } else {
     request.source = GraphSource::kInline;
     request.graph = read_file(operand);
@@ -150,7 +189,39 @@ void print_stats(const StatsReply& s) {
             << " cache_entries=" << s.cache_entries << " qps=" << s.qps
             << " utilization=" << s.worker_utilization
             << " p50_ms=" << s.latency_p50_ms << " p99_ms=" << s.latency_p99_ms
-            << "\n";
+            << " mutations=" << s.mutations_applied
+            << " graph_version=" << s.graph_version
+            << " dirty_rerun=" << s.dirty_sources_rerun
+            << " invalidations=" << s.cache_invalidations << "\n";
+}
+
+/// Parses "--ops i:1:2,d:3:4" into a MUTATE batch.
+std::vector<MutateOp> parse_ops(const std::string& spec) {
+  std::vector<MutateOp> ops;
+  std::stringstream list(spec);
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    if (item.empty()) {
+      continue;
+    }
+    char kind = 0;
+    char c1 = 0;
+    char c2 = 0;
+    unsigned long long u = 0;
+    unsigned long long v = 0;
+    std::istringstream is(item);
+    if (!(is >> kind >> c1 >> u >> c2 >> v) || c1 != ':' || c2 != ':' ||
+        (kind != 'i' && kind != 'd')) {
+      throw std::runtime_error("bad op \"" + item +
+                               "\" (want i:u:v or d:u:v)");
+    }
+    MutateOp op;
+    op.kind = kind == 'i' ? 1 : 2;
+    op.u = static_cast<std::uint32_t>(u);
+    op.v = static_cast<std::uint32_t>(v);
+    ops.push_back(op);
+  }
+  return ops;
 }
 
 // ------------------------------------------------------------ loadgen
@@ -241,6 +312,7 @@ int run_loadgen(const Args& args) {
   const auto deadline_ms =
       static_cast<std::uint64_t>(args.get_int_or("deadline", 0));
   const bool use_retry = args.has("retry");
+  const int mutate_mix = static_cast<int>(args.get_int_or("mutate-mix", 0));
 
   ChaosPlan plan;
   if (const auto spec = args.get("chaos")) {
@@ -272,6 +344,42 @@ int run_loadgen(const Args& args) {
               << plan.describe() << ")\n";
   }
 
+  // --mutate-mix: seed a live stream namespace from the first graph and
+  // interleave one MUTATE per K submits with the query traffic.
+  // Mutations go straight to the daemon (not through chaos) under one
+  // lock, so the expected-version ledger stays exact; MUTATE-under-chaos
+  // ambiguity is the stream tests' job.  Inserted chords connect existing
+  // nodes (never disconnecting anything), and only chords the daemon
+  // confirmed as applied are ever deleted — the seed graph stays a
+  // subgraph of every version, so each head remains connected and
+  // admissible for submits.
+  constexpr const char* kStreamNs = "loadgen";
+  std::uint64_t stream_nodes = 0;
+  std::mutex stream_mutex;
+  std::uint64_t expected_version = 0;
+  std::uint64_t chord_step = 0;
+  std::vector<MutateOp> deletable;
+  std::atomic<std::uint64_t> mutations_done{0};
+  std::unique_ptr<Client> mutator;
+  if (mutate_mix > 0) {
+    stream_nodes = parse_node_count(graph_texts[0]);
+    if (stream_nodes < 3) {
+      throw std::runtime_error("--mutate-mix needs a graph with >= 3 nodes");
+    }
+    mutator = std::make_unique<Client>();
+    mutator->connect("127.0.0.1", daemon.port);
+    MutateRequest create;
+    create.ns = kStreamNs;
+    create.base_graph = graph_texts[0];
+    const MutateReply created = mutator->mutate(create);
+    if (created.outcome != MutateOutcome::kCreated) {
+      throw std::runtime_error("stream namespace creation failed: " +
+                               created.detail);
+    }
+    std::cout << "loadgen: stream namespace \"" << kStreamNs << "\" at "
+              << hex16(created.fingerprint) << "\n";
+  }
+
   // Mixed traffic: rotate graphs, vary execution hints (threads / engine)
   // so identical result-keys flow in through different execution knobs —
   // exactly what coalescing and the cache must unify.
@@ -284,26 +392,92 @@ int run_loadgen(const Args& args) {
   std::atomic<std::uint64_t> corrupted_frames{0};
   std::mutex lat_mutex;
   std::vector<double> latencies;
-  const auto note_latency = [&](std::chrono::steady_clock::time_point t0) {
+  std::map<std::uint64_t, std::vector<double>> version_latencies;
+  const auto note_latency = [&](std::chrono::steady_clock::time_point t0,
+                                std::uint64_t version) {
     const double ms =
         std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
             std::chrono::steady_clock::now() - t0)
             .count();
     std::lock_guard<std::mutex> lock(lat_mutex);
     latencies.push_back(ms);
+    if (mutate_mix > 0) {
+      version_latencies[version].push_back(ms);
+    }
   };
   std::mutex log_mutex;
 
   auto make_request = [&](int i) {
     SubmitRequest request;
     request.source = GraphSource::kInline;
-    request.graph =
-        graph_texts[static_cast<std::size_t>(i) % graph_texts.size()];
+    if (mutate_mix > 0) {
+      // Stream-addressed at the live head; alternate classic and
+      // incremental serving so both fingerprint families flow through
+      // coalescing and the cache.
+      request.stream_ns = kStreamNs;
+      request.incremental = (i % 2 == 1);
+    } else {
+      request.graph =
+          graph_texts[static_cast<std::size_t>(i) % graph_texts.size()];
+    }
     request.halve = true;
     request.threads = (i % 3 == 0) ? 2 : 1;
     request.legacy_engine = (i % 5 == 0);
     request.deadline_ms = deadline_ms;
     return request;
+  };
+
+  /// Snapshot of the version ledger, labelling each submit's latency.
+  auto head_version = [&]() -> std::uint64_t {
+    if (mutate_mix <= 0) {
+      return 0;
+    }
+    std::lock_guard<std::mutex> lock(stream_mutex);
+    return expected_version;
+  };
+
+  /// Every mutate_mix-th slot applies one chord op at the expected head.
+  auto maybe_mutate = [&](int i) {
+    if (mutate_mix <= 0 || (i + 1) % mutate_mix != 0) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(stream_mutex);
+    MutateRequest request;
+    request.ns = kStreamNs;
+    request.base_version = expected_version;
+    MutateOp op;
+    const std::uint64_t k = chord_step++;
+    if (k % 3 == 2 && !deletable.empty()) {
+      op = deletable.back();
+      deletable.pop_back();
+      op.kind = 2;
+    } else {
+      const std::uint64_t u = k % stream_nodes;
+      // Offset in [1, n-1] guarantees v != u.
+      const std::uint64_t v =
+          (u + 1 + (k * 7) % (stream_nodes - 1)) % stream_nodes;
+      op.kind = 1;
+      op.u = static_cast<std::uint32_t>(u);
+      op.v = static_cast<std::uint32_t>(v);
+    }
+    request.ops.push_back(op);
+    try {
+      const MutateReply reply = mutator->mutate(request);
+      if (reply.outcome != MutateOutcome::kApplied) {
+        throw std::runtime_error(std::string(to_string(reply.outcome)) +
+                                 ": " + reply.detail);
+      }
+      expected_version = reply.version;
+      ++mutations_done;
+      if (op.kind == 1 && reply.applied == 1) {
+        deletable.push_back(op);
+      }
+    } catch (const std::exception& e) {
+      ++failed;
+      std::lock_guard<std::mutex> log(log_mutex);
+      std::cerr << "loadgen: mutate @v" << request.base_version
+                << " failed: " << e.what() << "\n";
+    }
   };
 
   auto retry_worker = [&](unsigned widx) {
@@ -315,10 +489,12 @@ int run_loadgen(const Args& args) {
       if (i >= submits) {
         break;
       }
+      maybe_mutate(i);
+      const std::uint64_t ver = head_version();
       const auto t0 = std::chrono::steady_clock::now();
       try {
         const ResultReply result = client.submit_and_wait(make_request(i));
-        note_latency(t0);
+        note_latency(t0, ver);
         if (result.ready && result.state == JobState::kDone) {
           ++ok;
         } else {
@@ -329,7 +505,7 @@ int run_loadgen(const Args& args) {
                     << "\n";
         }
       } catch (const std::exception& e) {
-        note_latency(t0);
+        note_latency(t0, ver);
         ++failed;
         std::lock_guard<std::mutex> lock(log_mutex);
         std::cerr << "loadgen: submit " << i << " gave up: " << e.what()
@@ -351,6 +527,8 @@ int run_loadgen(const Args& args) {
         if (i >= submits) {
           return;
         }
+        maybe_mutate(i);
+        const std::uint64_t ver = head_version();
         const auto t0 = std::chrono::steady_clock::now();
         ++attempts;
         const SubmitReply submitted = client.submit(make_request(i));
@@ -367,7 +545,7 @@ int run_loadgen(const Args& args) {
           (void)client.status(submitted.job_id);  // mix queries into the load
         }
         const ResultReply result = client.wait_result(submitted.job_id);
-        note_latency(t0);
+        note_latency(t0, ver);
         if (result.ready &&
             result.state == JobState::kDone) {
           ++ok;
@@ -409,6 +587,10 @@ int run_loadgen(const Args& args) {
                    "the cache\n";
       exit_code = 1;
     }
+    if (mutate_mix > 0 && stats.mutations_applied == 0) {
+      std::cerr << "loadgen: expected MUTATE traffic to register in STATS\n";
+      exit_code = 1;
+    }
     const ShutdownReply drain = client.shutdown();
     if (!drain.draining) {
       std::cerr << "loadgen: SHUTDOWN did not begin a drain\n";
@@ -441,6 +623,25 @@ int run_loadgen(const Args& args) {
   };
   std::cout << "loadgen: latency_ms p50=" << percentile(50) << " p90="
             << percentile(90) << " p99=" << percentile(99) << "\n";
+  if (mutate_mix > 0) {
+    std::cout << "loadgen: mutations=" << mutations_done.load()
+              << " head_version=" << expected_version << "\n";
+    for (const auto& [version, lat] : version_latencies) {
+      double sum = 0.0;
+      for (const double ms : lat) {
+        sum += ms;
+      }
+      std::cout << "loadgen: version " << version << " submits=" << lat.size()
+                << " mean_ms="
+                << (lat.empty() ? 0.0
+                                : sum / static_cast<double>(lat.size()))
+                << "\n";
+    }
+    if (mutations_done.load() == 0) {
+      std::cerr << "loadgen: no mutation ever applied\n";
+      exit_code = 1;
+    }
+  }
   const double amplification =
       submits == 0 ? 0.0
                    : static_cast<double>(attempts.load()) /
@@ -464,7 +665,7 @@ int run(int argc, char** argv) {
       argc, argv,
       {"host", "port", "path", "faults", "max-rounds", "threads", "daemon",
        "graphs", "submits", "concurrency", "spool", "chaos", "chaos-seed",
-       "deadline"});
+       "deadline", "ns", "version", "ops", "base", "mutate-mix"});
   if (args.has("help") || args.positional().empty()) {
     std::cout << kUsage;
     return args.has("help") ? 0 : 1;
@@ -478,7 +679,7 @@ int run(int argc, char** argv) {
     // Self-healing submit: retry with backoff through transport faults
     // and soft refusals until the result lands or the deadline expires.
     // Implies --wait (submit_and_wait polls the result out).
-    const bool by_path = args.has("path");
+    const bool by_path = args.has("path") || args.has("ns");
     if (!by_path && args.positional().size() != 2) {
       throw std::runtime_error("submit needs GRAPH.txt (or --path NAME)");
     }
@@ -509,8 +710,34 @@ int run(int argc, char** argv) {
   client.connect(args.get("host").value_or("127.0.0.1"),
                  static_cast<std::uint16_t>(args.get_int_or("port", 0)));
 
+  if (command == "mutate") {
+    if (args.positional().size() != 2) {
+      throw std::runtime_error("mutate needs a NAMESPACE");
+    }
+    MutateRequest request;
+    request.ns = args.positional()[1];
+    request.base_version =
+        static_cast<std::uint64_t>(args.get_int_or("version", 0));
+    if (const auto base = args.get("base")) {
+      request.base_graph = read_file(*base);
+    }
+    request.ops = parse_ops(args.get("ops").value_or(""));
+    const MutateReply reply = client.mutate(request);
+    std::cout << "outcome: " << to_string(reply.outcome)
+              << "\nversion: " << reply.version
+              << "\nfingerprint: " << hex16(reply.fingerprint)
+              << "\napplied: " << reply.applied
+              << "\ndropped: " << reply.dropped << "\n";
+    if (!reply.detail.empty()) {
+      std::cout << "detail: " << reply.detail << "\n";
+    }
+    return reply.outcome == MutateOutcome::kApplied ||
+                   reply.outcome == MutateOutcome::kCreated
+               ? 0
+               : 1;
+  }
   if (command == "submit") {
-    const bool by_path = args.has("path");
+    const bool by_path = args.has("path") || args.has("ns");
     if (!by_path && args.positional().size() != 2) {
       throw std::runtime_error("submit needs GRAPH.txt (or --path NAME)");
     }
