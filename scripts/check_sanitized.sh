@@ -15,8 +15,11 @@
 #     the chaos suite (label "chaos"), which tears, corrupts, and cuts
 #     live sockets mid-frame and kill -9s the daemon mid-job, plus the
 #     stream suite (label "stream"), whose mutation batches and journal
-#     replay rewrite live adjacency and delta logs in place — exactly
-#     the paths where a stale pointer or overflow would hide.
+#     replay rewrite live adjacency and delta logs in place, plus the
+#     portfolio suite (label "portfolio"), whose backend matrix drives
+#     every algorithm (paper-exact, cfp, directed, sampled) through the
+#     shared dispatch path — exactly the paths where a stale pointer or
+#     overflow would hide.
 #   * TSan (build-tsan): the engine, fault, snapshot, service, obs,
 #     chaos, and stream suites — the parallel node-execution phase must be
 #     data-race-free for any lane count (including the frontier engine's
@@ -45,9 +48,10 @@ cmake -S "$repo_root" -B "$prefix-asan" \
   -DCONGESTBC_SANITIZE=address,undefined
 cmake --build "$prefix-asan" -j"$(nproc)" --target fault_test fuzz_test engine_test frontier_test snapshot_test \
   fingerprint_test service_protocol_test service_cache_test service_test \
-  chaos_test stream_test obs_test obs_golden_test congestbcd congestbc_client chaosproxy
-(cd "$prefix-asan" && ctest -L 'faults|perf|snapshot|service|obs|chaos|stream' --output-on-failure "$@")
-echo "sanitized (asan) fault+engine+snapshot+service+obs+chaos+stream suites: OK"
+  chaos_test stream_test obs_test obs_golden_test portfolio_test portfolio_sweep_test \
+  congestbcd congestbc_client chaosproxy
+(cd "$prefix-asan" && ctest -L 'faults|perf|snapshot|service|obs|chaos|stream|portfolio' --output-on-failure "$@")
+echo "sanitized (asan) fault+engine+snapshot+service+obs+chaos+stream+portfolio suites: OK"
 
 echo "=== stage 2: thread ==="
 cmake -S "$repo_root" -B "$prefix-tsan" \
@@ -55,6 +59,7 @@ cmake -S "$repo_root" -B "$prefix-tsan" \
   -DCONGESTBC_SANITIZE=thread
 cmake --build "$prefix-tsan" -j"$(nproc)" --target engine_test frontier_test fault_test snapshot_test \
   fingerprint_test service_protocol_test service_cache_test service_test \
-  chaos_test stream_test obs_test obs_golden_test congestbcd congestbc_client chaosproxy
-(cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot|service|obs|chaos|stream' --output-on-failure "$@")
-echo "sanitized (tsan) engine+fault+snapshot+service+obs+chaos+stream suites: OK"
+  chaos_test stream_test obs_test obs_golden_test portfolio_test portfolio_sweep_test \
+  congestbcd congestbc_client chaosproxy
+(cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot|service|obs|chaos|stream|portfolio' --output-on-failure "$@")
+echo "sanitized (tsan) engine+fault+snapshot+service+obs+chaos+stream+portfolio suites: OK"

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "congest/reliable.hpp"
+#include "graph/digraph.hpp"
 #include "snapshot/fingerprint.hpp"
 #include "snapshot/snapshot.hpp"
 
@@ -210,11 +211,28 @@ DistributedBcResult run_distributed_bc(const Graph& g,
   return run.harvest();
 }
 
+const char* to_string(BackendId id) {
+  switch (id) {
+    case BackendId::kAuto:
+      return "auto";
+    case BackendId::kPaperExact:
+      return "paper_exact";
+    case BackendId::kCfp:
+      return "cfp";
+    case BackendId::kDirected:
+      return "directed";
+    case BackendId::kSampled:
+      return "sampled";
+  }
+  return "unknown";
+}
+
 std::uint64_t options_fingerprint(const DistributedBcOptions& options,
                                   NodeId num_nodes) {
   // Bumped on any change to the field walk below — a stale cache entry
   // keyed under an older walk must never be served for a new one.
-  constexpr std::uint64_t kOptionsFingerprintVersion = 1;
+  // v2: backend id + approximation params joined the walk (portfolio).
+  constexpr std::uint64_t kOptionsFingerprintVersion = 2;
 
   const SoftFloatFormat format =
       options.format.value_or(SoftFloatFormat::for_graph(num_nodes));
@@ -259,6 +277,19 @@ std::uint64_t options_fingerprint(const DistributedBcOptions& options,
   }
   fp.mix(fault_fingerprint(options.faults.empty() ? nullptr
                                                   : &options.faults));
+  // Portfolio identity.  kAuto is a serve-time placeholder the daemon
+  // resolves before fingerprinting; hashing it unresolved would let a
+  // downgraded job collide with an exact one, so it is a hard error
+  // here.  The approximation params only determine the result under the
+  // sampled backend — canonicalize them to 0 elsewhere so e.g. a
+  // paper_exact submit with a stray --samples still hits the same cache
+  // entry as one without.
+  CBC_EXPECTS(options.backend != BackendId::kAuto,
+              "backend=auto must be resolved before fingerprinting");
+  const bool sampled = options.backend == BackendId::kSampled;
+  fp.mix(static_cast<std::uint64_t>(options.backend))
+      .mix(sampled ? options.approx_samples : 0)
+      .mix(sampled ? options.approx_seed : 0);
   return fp.value();
 }
 
@@ -266,6 +297,14 @@ std::uint64_t run_fingerprint(const Graph& g,
                               const DistributedBcOptions& options) {
   FingerprintBuilder fp;
   fp.mix(graph_fingerprint(g))
+      .mix(options_fingerprint(options, g.num_nodes()));
+  return fp.value();
+}
+
+std::uint64_t run_fingerprint(const Digraph& g,
+                              const DistributedBcOptions& options) {
+  FingerprintBuilder fp;
+  fp.mix(digraph_fingerprint(g))
       .mix(options_fingerprint(options, g.num_nodes()));
   return fp.value();
 }

@@ -23,9 +23,44 @@
 
 namespace congestbc {
 
+/// Which portfolio backend computes the job (src/portfolio).  Lives at
+/// the algo layer because it is a *result-determining* option — it
+/// enters options_fingerprint() so cached results can never be served
+/// across backends — but the algo layer itself only ever runs
+/// kPaperExact semantics; dispatch happens in src/portfolio.
+enum class BackendId : std::uint8_t {
+  /// Serve-time choice: the daemon's admission control resolves this to
+  /// kPaperExact, or to kSampled under queue pressure / deadline risk.
+  /// Never reaches options_fingerprint() unresolved.
+  kAuto = 0,
+  /// The paper's exact distributed algorithm (the default; the only
+  /// backend before the portfolio existed).
+  kPaperExact = 1,
+  /// Crescenzi–Fraigniaud–Paz simple/fast BC (arXiv:2001.08108).
+  kCfp = 2,
+  /// Directed BC, Pontecorvi–Ramachandran accumulation (arXiv:1805.08124).
+  kDirected = 3,
+  /// Bader-style sampled-source approximation with a tunable budget.
+  kSampled = 4,
+};
+
+/// Lowercase wire/CLI name ("auto", "paper_exact", "cfp", "directed",
+/// "sampled").
+const char* to_string(BackendId id);
+
 /// Options of one distributed run.  Defaults reproduce the paper's exact
 /// algorithm; the knobs cover the ablations in DESIGN.md.
 struct DistributedBcOptions {
+  /// Portfolio backend (see BackendId).  The algo-layer pipeline ignores
+  /// everything but its fingerprint contribution; src/portfolio
+  /// dispatches on it.
+  BackendId backend = BackendId::kPaperExact;
+  /// Sampled-backend source budget; 0 = resolve_sample_budget(N) default.
+  /// Ignored (and fingerprinted as 0) by every other backend.
+  std::uint32_t approx_samples = 0;
+  /// Seed of the sampled backend's source draw.  Ignored (and
+  /// fingerprinted as 0) by every other backend.
+  std::uint64_t approx_seed = 0;
   /// Soft-float wire format; defaults to SoftFloatFormat::for_graph(N).
   std::optional<SoftFloatFormat> format;
   NodeId root = 0;
@@ -178,6 +213,15 @@ std::uint64_t options_fingerprint(const DistributedBcOptions& options,
 /// options_fingerprint().  The key of the service result cache, the
 /// coalescing map, and the job spool (src/service).
 std::uint64_t run_fingerprint(const Graph& g,
+                              const DistributedBcOptions& options);
+
+class Digraph;  // graph/digraph.hpp
+
+/// Directed-run identity: digraph_fingerprint() folded with
+/// options_fingerprint().  The cache/spool key of directed-backend jobs;
+/// the directed tag inside digraph_fingerprint() keeps it disjoint from
+/// every undirected run_fingerprint().
+std::uint64_t run_fingerprint(const Digraph& g,
                               const DistributedBcOptions& options);
 
 class ReliableProgram;  // congest/reliable.hpp

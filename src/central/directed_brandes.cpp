@@ -1,0 +1,86 @@
+#include "central/directed_brandes.hpp"
+
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+namespace {
+
+constexpr std::uint32_t kUnreached = ~std::uint32_t{0};
+
+/// One forward BFS from `source`: distances, path counts, and the nodes
+/// visited in non-decreasing distance order (the accumulation stack).
+struct ForwardPass {
+  std::vector<std::uint32_t> dist;
+  std::vector<double> sigma;
+  std::vector<NodeId> order;
+};
+
+ForwardPass forward_bfs(const Digraph& g, NodeId source) {
+  const NodeId n = g.num_nodes();
+  ForwardPass pass;
+  pass.dist.assign(n, kUnreached);
+  pass.sigma.assign(n, 0.0);
+  pass.order.reserve(n);
+  pass.dist[source] = 0;
+  pass.sigma[source] = 1.0;
+  std::queue<NodeId> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    pass.order.push_back(v);
+    for (const NodeId w : g.out_neighbors(v)) {
+      if (pass.dist[w] == kUnreached) {
+        pass.dist[w] = pass.dist[v] + 1;
+        queue.push(w);
+      }
+      if (pass.dist[w] == pass.dist[v] + 1) {
+        pass.sigma[w] += pass.sigma[v];
+      }
+    }
+  }
+  return pass;
+}
+
+}  // namespace
+
+std::vector<double> directed_brandes_bc(const Digraph& g) {
+  const NodeId n = g.num_nodes();
+  CBC_EXPECTS(n >= 1, "empty graph");
+  std::vector<double> bc(n, 0.0);
+  std::vector<double> delta(n, 0.0);
+  for (NodeId s = 0; s < n; ++s) {
+    const ForwardPass pass = forward_bfs(g, s);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    // Reverse non-decreasing-distance order; predecessors of w on
+    // shortest paths are exactly the in-neighbors one level closer.
+    for (auto it = pass.order.rbegin(); it != pass.order.rend(); ++it) {
+      const NodeId w = *it;
+      for (const NodeId v : g.in_neighbors(w)) {
+        if (pass.dist[v] != kUnreached && pass.dist[v] + 1 == pass.dist[w]) {
+          delta[v] += pass.sigma[v] / pass.sigma[w] * (1.0 + delta[w]);
+        }
+      }
+      if (w != s) {
+        bc[w] += delta[w];
+      }
+    }
+  }
+  return bc;
+}
+
+std::vector<double> directed_path_counts(const Digraph& g, NodeId source) {
+  CBC_EXPECTS(source < g.num_nodes(), "source out of range");
+  return forward_bfs(g, source).sigma;
+}
+
+std::vector<std::uint32_t> directed_distances(const Digraph& g,
+                                              NodeId source) {
+  CBC_EXPECTS(source < g.num_nodes(), "source out of range");
+  return forward_bfs(g, source).dist;
+}
+
+}  // namespace congestbc

@@ -1,0 +1,28 @@
+// Centralized directed betweenness baseline — the reference checker for
+// the portfolio's `directed` backend (Pontecorvi–Ramachandran,
+// arXiv:1805.08124, specializes to exactly Brandes' accumulation when
+// run on an unweighted digraph: forward BFS over out-arcs, dependency
+// accumulation delta(v) = sum over successors w on shortest paths of
+// (sigma_v / sigma_w) * (1 + delta(w)), summed over ordered pairs with
+// no halving).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace congestbc {
+
+/// Directed Brandes with double accumulators.  Unreachable pairs
+/// contribute zero; the digraph need not be strongly connected.
+/// Endpoints are excluded, as in the undirected convention.
+std::vector<double> directed_brandes_bc(const Digraph& g);
+
+/// Number of shortest directed paths from `source` to every node, in
+/// doubles (exact for counts below 2^53).  Unreachable nodes report 0.
+std::vector<double> directed_path_counts(const Digraph& g, NodeId source);
+
+/// BFS distance from `source` along out-arcs; ~0u for unreachable.
+std::vector<std::uint32_t> directed_distances(const Digraph& g, NodeId source);
+
+}  // namespace congestbc

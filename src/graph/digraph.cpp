@@ -1,0 +1,114 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace congestbc {
+
+Digraph::Digraph(NodeId num_nodes, std::vector<Arc> arcs)
+    : num_nodes_(num_nodes) {
+  for (const auto& a : arcs) {
+    CBC_EXPECTS(a.u != a.v, "self-loops are not allowed");
+    CBC_EXPECTS(a.u < num_nodes_ && a.v < num_nodes_,
+                "arc endpoint out of range");
+  }
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  arcs_ = std::move(arcs);
+
+  out_offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  in_offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const auto& a : arcs_) {
+    ++out_offsets_[a.u + 1];
+    ++in_offsets_[a.v + 1];
+  }
+  for (std::size_t i = 1; i <= num_nodes_; ++i) {
+    out_offsets_[i] += out_offsets_[i - 1];
+    in_offsets_[i] += in_offsets_[i - 1];
+  }
+  out_targets_.resize(arcs_.size());
+  in_sources_.resize(arcs_.size());
+  std::vector<std::size_t> out_cursor(out_offsets_.begin(),
+                                      out_offsets_.end() - 1);
+  std::vector<std::size_t> in_cursor(in_offsets_.begin(),
+                                     in_offsets_.end() - 1);
+  for (const auto& a : arcs_) {
+    out_targets_[out_cursor[a.u]++] = a.v;
+    in_sources_[in_cursor[a.v]++] = a.u;
+  }
+  // The sorted arc list already emits out-targets in increasing order;
+  // in-sources need a per-node sort.
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    std::sort(in_sources_.begin() + static_cast<std::ptrdiff_t>(in_offsets_[v]),
+              in_sources_.begin() +
+                  static_cast<std::ptrdiff_t>(in_offsets_[v + 1]));
+  }
+}
+
+std::span<const NodeId> Digraph::out_neighbors(NodeId v) const {
+  CBC_EXPECTS(v < num_nodes_, "node out of range");
+  return {out_targets_.data() + out_offsets_[v],
+          out_offsets_[v + 1] - out_offsets_[v]};
+}
+
+std::span<const NodeId> Digraph::in_neighbors(NodeId v) const {
+  CBC_EXPECTS(v < num_nodes_, "node out of range");
+  return {in_sources_.data() + in_offsets_[v],
+          in_offsets_[v + 1] - in_offsets_[v]};
+}
+
+std::size_t Digraph::out_degree(NodeId v) const {
+  CBC_EXPECTS(v < num_nodes_, "node out of range");
+  return out_offsets_[v + 1] - out_offsets_[v];
+}
+
+std::size_t Digraph::in_degree(NodeId v) const {
+  CBC_EXPECTS(v < num_nodes_, "node out of range");
+  return in_offsets_[v + 1] - in_offsets_[v];
+}
+
+bool Digraph::has_arc(NodeId u, NodeId v) const {
+  const auto succ = out_neighbors(u);
+  return std::binary_search(succ.begin(), succ.end(), v);
+}
+
+Graph Digraph::underlying_undirected() const {
+  std::vector<Edge> edges;
+  edges.reserve(arcs_.size());
+  for (const auto& a : arcs_) {
+    edges.push_back({a.u, a.v});  // Graph normalizes and dedups
+  }
+  return Graph(num_nodes_, std::move(edges));
+}
+
+bool is_weakly_connected(const Digraph& g) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) {
+    return false;
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  NodeId visited = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    const auto push = [&](NodeId w) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        stack.push_back(w);
+      }
+    };
+    for (const NodeId w : g.out_neighbors(v)) {
+      push(w);
+    }
+    for (const NodeId w : g.in_neighbors(v)) {
+      push(w);
+    }
+  }
+  return visited == n;
+}
+
+}  // namespace congestbc

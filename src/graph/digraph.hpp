@@ -1,0 +1,73 @@
+// Directed, unweighted, simple graph — the input model of the directed
+// betweenness backend (Pontecorvi–Ramachandran, arXiv:1805.08124).
+//
+// Mirrors graph.hpp's design: dense ids 0..N-1, immutable after
+// construction, CSR adjacency.  Both orientations are materialized —
+// out-adjacency drives the forward BFS, in-adjacency the dependency
+// accumulation — so neither phase pays a transpose.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace congestbc {
+
+/// A directed edge u -> v.  Unlike Edge, the endpoint order is the
+/// payload: {u, v} and {v, u} are different arcs.
+struct Arc {
+  NodeId u;
+  NodeId v;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+  friend auto operator<=>(const Arc&, const Arc&) = default;
+};
+
+/// Immutable directed simple graph in dual-CSR form.
+class Digraph {
+ public:
+  /// Builds from an arc list.  Self-loops are rejected; duplicate arcs
+  /// are collapsed (but antiparallel pairs u->v, v->u both survive).
+  /// `num_nodes` may exceed the largest endpoint.
+  Digraph(NodeId num_nodes, std::vector<Arc> arcs);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+  /// Successors of `v` (targets of arcs v -> w) in increasing id order.
+  std::span<const NodeId> out_neighbors(NodeId v) const;
+
+  /// Predecessors of `v` (sources of arcs u -> v) in increasing id order.
+  std::span<const NodeId> in_neighbors(NodeId v) const;
+
+  std::size_t out_degree(NodeId v) const;
+  std::size_t in_degree(NodeId v) const;
+
+  bool has_arc(NodeId u, NodeId v) const;
+
+  /// The deduplicated, sorted arc list (lexicographic by (u, v)).
+  const std::vector<Arc>& arcs() const { return arcs_; }
+
+  /// The undirected support: every arc (and its antiparallel twin, if
+  /// any) collapses to one undirected edge.  Weak-connectivity checks
+  /// and distributed round accounting both run on this shadow.
+  Graph underlying_undirected() const;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Arc> arcs_;
+  std::vector<std::size_t> out_offsets_;  // size num_nodes_ + 1
+  std::vector<NodeId> out_targets_;       // size num_arcs
+  std::vector<std::size_t> in_offsets_;   // size num_nodes_ + 1
+  std::vector<NodeId> in_sources_;        // size num_arcs
+};
+
+/// True when the undirected support is connected (single weakly
+/// connected component).  The directed backend's standing precondition —
+/// strong connectivity is NOT required (unreachable pairs contribute
+/// zero dependency, exactly as in the directed Brandes recurrence).
+bool is_weakly_connected(const Digraph& g);
+
+}  // namespace congestbc

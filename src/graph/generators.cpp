@@ -425,6 +425,68 @@ Graph random_geometric(NodeId n, double radius, Rng& rng) {
   return Graph(n, std::move(edges));
 }
 
+Digraph directed_erdos_renyi(NodeId n, double p, Rng& rng) {
+  CBC_EXPECTS(n >= 1, "graph needs >= 1 node");
+  CBC_EXPECTS(p >= 0.0 && p <= 1.0, "probability out of range");
+  std::vector<Arc> arcs;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v && rng.next_bernoulli(p)) {
+        arcs.push_back({u, v});
+      }
+    }
+  }
+  // Weak-connectivity backbone: a random recursive tree with each edge
+  // oriented by a fair coin.
+  for (NodeId v = 1; v < n; ++v) {
+    const auto parent = static_cast<NodeId>(rng.next_below(v));
+    if (rng.next_bernoulli(0.5)) {
+      arcs.push_back({parent, v});
+    } else {
+      arcs.push_back({v, parent});
+    }
+  }
+  return Digraph(n, std::move(arcs));
+}
+
+Digraph directed_barabasi_albert(NodeId n, NodeId attach, Rng& rng) {
+  CBC_EXPECTS(attach >= 1, "attachment count must be >= 1");
+  CBC_EXPECTS(n > attach, "graph must be larger than the seed clique");
+  std::vector<Arc> arcs;
+  // Seed: a bidirected clique of attach+1 nodes.
+  for (NodeId u = 0; u <= attach; ++u) {
+    for (NodeId v = 0; v <= attach; ++v) {
+      if (u != v) {
+        arcs.push_back({u, v});
+      }
+    }
+  }
+  // Repeated-endpoint list over total degree implements preferential
+  // attachment, exactly as in the undirected generator; the new node
+  // cites (points at) its chosen targets.
+  std::vector<NodeId> endpoints;
+  for (const auto& a : arcs) {
+    endpoints.push_back(a.u);
+    endpoints.push_back(a.v);
+  }
+  for (NodeId v = attach + 1; v < n; ++v) {
+    std::vector<NodeId> chosen;
+    while (chosen.size() < attach) {
+      const NodeId candidate =
+          endpoints[static_cast<std::size_t>(rng.next_below(endpoints.size()))];
+      if (std::find(chosen.begin(), chosen.end(), candidate) == chosen.end()) {
+        chosen.push_back(candidate);
+      }
+    }
+    for (const NodeId target : chosen) {
+      arcs.push_back({v, target});
+      endpoints.push_back(target);
+      endpoints.push_back(v);
+    }
+  }
+  return Digraph(n, std::move(arcs));
+}
+
 Graph figure1_example() {
   // Paper Figure 1: v1..v5 (0-based here).  Shortest-path structure gives
   // C_B(v2) = 7/2 in the undirected convention used by the paper.

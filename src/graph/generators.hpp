@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "graph/digraph.hpp"
 #include "graph/graph.hpp"
 
 namespace congestbc::gen {
@@ -94,6 +95,19 @@ Graph stochastic_block_model(NodeId blocks, NodeId per_block, double p_in,
 /// connect; a backbone path through the x-sorted order keeps it
 /// connected.
 Graph random_geometric(NodeId n, double radius, Rng& rng);
+
+/// Directed Erdős–Rényi D(n, p): every ordered pair (u, v), u != v,
+/// carries the arc u -> v with probability p, unioned with a randomly
+/// oriented random-recursive-tree backbone so the result is always
+/// weakly connected (same documented deviation from the pure model as
+/// erdos_renyi_connected).
+Digraph directed_erdos_renyi(NodeId n, double p, Rng& rng);
+
+/// Directed Barabási–Albert (citation-network style): each new node
+/// points `attach` arcs at existing nodes chosen by preferential
+/// attachment over total degree; the seed is a bidirected clique.
+/// Weakly connected by construction.  n > attach >= 1.
+Digraph directed_barabasi_albert(NodeId n, NodeId attach, Rng& rng);
 
 /// The 5-node worked example of the paper's Figure 1:
 /// edges {v1v2, v2v3, v2v5, v3v4, v4v5} with v_i mapped to id i-1.

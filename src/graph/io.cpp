@@ -153,6 +153,133 @@ Graph read_snap_edge_list_text(const std::string& text,
   return read_snap_edge_list(in, keep_all_components);
 }
 
+Digraph read_directed_edge_list(std::istream& in) {
+  std::string header;
+  CBC_EXPECTS(next_content_line(in, header), "missing header line");
+  std::istringstream hs(header);
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  CBC_EXPECTS(static_cast<bool>(hs >> n >> m), "malformed header line");
+  CBC_EXPECTS(n <= 0xFFFFFFFFull, "node count too large");
+
+  std::vector<Arc> arcs;
+  arcs.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::string row;
+    CBC_EXPECTS(next_content_line(in, row), "fewer arcs than header declares");
+    std::istringstream rs(row);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    CBC_EXPECTS(static_cast<bool>(rs >> u >> v), "malformed arc line");
+    CBC_EXPECTS(u < n && v < n, "arc endpoint out of range");
+    CBC_EXPECTS(u != v, "self-loop in arc list");
+    arcs.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  return Digraph(static_cast<NodeId>(n), std::move(arcs));
+}
+
+Digraph read_directed_edge_list_text(const std::string& text) {
+  std::istringstream in(text);
+  return read_directed_edge_list(in);
+}
+
+void write_directed_edge_list(std::ostream& out, const Digraph& g) {
+  out << g.num_nodes() << ' ' << g.num_arcs() << '\n';
+  for (const auto& a : g.arcs()) {
+    out << a.u << ' ' << a.v << '\n';
+  }
+}
+
+std::string write_directed_edge_list_text(const Digraph& g) {
+  std::ostringstream out;
+  write_directed_edge_list(out, g);
+  return out.str();
+}
+
+Digraph read_snap_directed_edge_list(std::istream& in,
+                                     bool keep_all_components) {
+  // Pass 1: identical dense remap to read_snap_edge_list, but the (u, v)
+  // order of each line survives as an arc orientation.
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  std::vector<Arc> arcs;
+  std::string row;
+  const auto intern = [&](std::uint64_t raw) {
+    const auto [it, inserted] =
+        remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    CBC_EXPECTS(!inserted || remap.size() <= 0xFFFFFFFFull,
+                "too many distinct node ids");
+    return it->second;
+  };
+  while (next_content_line(in, row)) {
+    std::istringstream rs(row);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    CBC_EXPECTS(static_cast<bool>(rs >> u >> v), "malformed edge line");
+    if (u == v) {
+      continue;
+    }
+    arcs.push_back({intern(u), intern(v)});
+  }
+  CBC_EXPECTS(!arcs.empty(), "SNAP edge list contains no edges");
+  const auto n = static_cast<NodeId>(remap.size());
+  if (keep_all_components) {
+    return Digraph(n, std::move(arcs));
+  }
+
+  // Pass 2: largest WEAKLY connected component — union-find ignores the
+  // orientation, which only pass 3 preserves.
+  std::vector<NodeId> parent(n);
+  for (NodeId v = 0; v < n; ++v) {
+    parent[v] = v;
+  }
+  const auto find = [&](NodeId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];  // path halving
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Arc& a : arcs) {
+    const NodeId ru = find(a.u);
+    const NodeId rv = find(a.v);
+    if (ru != rv) {
+      parent[ru] = rv;
+    }
+  }
+  std::vector<std::uint32_t> comp_size(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    ++comp_size[find(v)];
+  }
+  const NodeId best_root = static_cast<NodeId>(
+      std::max_element(comp_size.begin(), comp_size.end()) -
+      comp_size.begin());
+
+  // Pass 3: renumber the surviving component, preserving both
+  // first-appearance order and arc orientation.
+  constexpr NodeId kOut = ~NodeId{0};
+  std::vector<NodeId> dense(n, kOut);
+  NodeId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (find(v) == best_root) {
+      dense[v] = next++;
+    }
+  }
+  std::vector<Arc> kept;
+  kept.reserve(arcs.size());
+  for (const Arc& a : arcs) {
+    if (dense[a.u] != kOut && dense[a.v] != kOut) {
+      kept.push_back({dense[a.u], dense[a.v]});
+    }
+  }
+  return Digraph(next, std::move(kept));
+}
+
+Digraph read_snap_directed_edge_list_text(const std::string& text,
+                                          bool keep_all_components) {
+  std::istringstream in(text);
+  return read_snap_directed_edge_list(in, keep_all_components);
+}
+
 WeightedGraph read_weighted_edge_list(std::istream& in) {
   std::string header;
   CBC_EXPECTS(next_content_line(in, header), "missing header line");

@@ -9,6 +9,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "graph/digraph.hpp"
 #include "graph/graph.hpp"
 #include "graph/weighted.hpp"
 
@@ -45,6 +46,24 @@ Graph read_snap_edge_list(std::istream& in, bool keep_all_components = false);
 /// Parses a SNAP-style edge list from a string.
 Graph read_snap_edge_list_text(const std::string& text,
                                bool keep_all_components = false);
+
+/// Directed variants of the "N M" header format: each "u v" line is the
+/// arc u -> v, orientation preserved (read_edge_list normalizes to
+/// u < v; these do not).  Same validation rules otherwise.
+Digraph read_directed_edge_list(std::istream& in);
+Digraph read_directed_edge_list_text(const std::string& text);
+void write_directed_edge_list(std::ostream& out, const Digraph& g);
+std::string write_directed_edge_list_text(const Digraph& g);
+
+/// SNAP-style parse in directed mode: identical tokenization and dense
+/// first-appearance remapping to read_snap_edge_list, but each "u v"
+/// line keeps its orientation as the arc u -> v.  By default the result
+/// is restricted to the largest *weakly* connected component (the
+/// directed backend's precondition); `keep_all_components` skips that.
+Digraph read_snap_directed_edge_list(std::istream& in,
+                                     bool keep_all_components = false);
+Digraph read_snap_directed_edge_list_text(const std::string& text,
+                                          bool keep_all_components = false);
 
 /// Weighted variant: "N M" header then M lines "u v w" (positive integer
 /// weights).

@@ -1,0 +1,111 @@
+#include "portfolio/backend.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "portfolio/backends_impl.hpp"
+
+namespace congestbc::portfolio {
+
+BackendRegistry::BackendRegistry() {
+  owned_.push_back(make_paper_exact_backend());
+  owned_.push_back(make_cfp_backend());
+  owned_.push_back(make_directed_backend());
+  owned_.push_back(make_sampled_backend());
+  views_.reserve(owned_.size());
+  for (const auto& backend : owned_) {
+    views_.push_back(backend.get());
+  }
+}
+
+const BackendRegistry& BackendRegistry::instance() {
+  static const BackendRegistry registry;
+  return registry;
+}
+
+const BcBackend* BackendRegistry::find(BackendId id) const {
+  for (const BcBackend* backend : views_) {
+    if (backend->id() == id) {
+      return backend;
+    }
+  }
+  return nullptr;
+}
+
+const BcBackend* BackendRegistry::find(std::string_view name) const {
+  for (const BcBackend* backend : views_) {
+    if (backend->name() == name) {
+      return backend;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<BackendId> parse_backend(std::string_view name) {
+  if (name == "auto") {
+    return BackendId::kAuto;
+  }
+  if (const BcBackend* backend = BackendRegistry::instance().find(name)) {
+    return backend->id();
+  }
+  return std::nullopt;
+}
+
+BackendId resolve_auto_backend(BackendId requested, bool under_pressure) {
+  if (requested != BackendId::kAuto) {
+    return requested;
+  }
+  return under_pressure ? BackendId::kSampled : BackendId::kPaperExact;
+}
+
+std::uint32_t resolve_sample_budget(NodeId num_nodes,
+                                    std::uint32_t requested) {
+  CBC_EXPECTS(num_nodes >= 1, "empty graph");
+  if (requested != 0) {
+    return requested < num_nodes ? requested : num_nodes;
+  }
+  const auto root = static_cast<std::uint32_t>(
+      std::ceil(4.0 * std::sqrt(static_cast<double>(num_nodes))));
+  const std::uint32_t floor = root < 16 ? 16 : root;
+  return floor < num_nodes ? floor : num_nodes;
+}
+
+double sampled_error_bound(NodeId num_nodes, std::uint32_t samples,
+                           double delta) {
+  CBC_EXPECTS(samples >= 1, "need at least one sample");
+  CBC_EXPECTS(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  const auto n = static_cast<double>(num_nodes);
+  if (num_nodes <= 2) {
+    return 0.0;  // no interior pairs, BC is identically zero
+  }
+  // Hoeffding on the mean of `samples` iid per-source dependencies in
+  // [0, n-2], scaled by n, with a union bound over the n nodes.
+  return n * (n - 2.0) *
+         std::sqrt(std::log(2.0 * n / delta) /
+                   (2.0 * static_cast<double>(samples)));
+}
+
+RunOutcome run_portfolio(const BackendRequest& request) {
+  const BackendId id = request.options.backend;
+  CBC_EXPECTS(id != BackendId::kAuto,
+              "backend=auto must be resolved before dispatch "
+              "(resolve_auto_backend)");
+  const BcBackend* backend = BackendRegistry::instance().find(id);
+  CBC_EXPECTS(backend != nullptr, "unknown backend id");
+  const BackendCapabilities caps = backend->capabilities();
+  if (request.digraph != nullptr) {
+    CBC_EXPECTS(request.graph == nullptr,
+                "pass exactly one of graph / digraph");
+    CBC_EXPECTS(caps.directed_input,
+                std::string(backend->name()) +
+                    " backend does not accept directed graphs");
+  } else {
+    CBC_EXPECTS(request.graph != nullptr, "request carries no graph");
+    CBC_EXPECTS(caps.undirected_input,
+                std::string(backend->name()) +
+                    " backend requires a directed graph");
+  }
+  return backend->run(request);
+}
+
+}  // namespace congestbc::portfolio

@@ -1,0 +1,17 @@
+// Internal factory seams between the registry and the four backend
+// translation units.  Not part of the portfolio's public surface —
+// include backend.hpp instead.
+#pragma once
+
+#include <memory>
+
+#include "portfolio/backend.hpp"
+
+namespace congestbc::portfolio {
+
+std::unique_ptr<BcBackend> make_paper_exact_backend();
+std::unique_ptr<BcBackend> make_cfp_backend();
+std::unique_ptr<BcBackend> make_directed_backend();
+std::unique_ptr<BcBackend> make_sampled_backend();
+
+}  // namespace congestbc::portfolio

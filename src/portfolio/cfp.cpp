@@ -1,0 +1,241 @@
+// Backend 2: Crescenzi–Fraigniaud–Paz "Simple and Fast Distributed
+// Computation of Betweenness Centrality" (arXiv:2001.08108).
+//
+// CFP's observation: in CONGEST, n pipelined BFS waves — one per source,
+// staggered by rank — compute every (distance, path-count) pair in
+// O(n + D) rounds, and a second pipelined sweep runs Brandes'
+// dependency accumulation backwards over each BFS DAG in another
+// O(n + D).  No soft-float wire compression, no aggregation schedule:
+// a node forwards one (dist, sigma) record per source, then one delta
+// record per DAG arc.
+//
+// This file is a deliberately INDEPENDENT implementation — it shares no
+// code with BcProgram or the simulator engines — with an explicit round
+// and message cost model of the pipelined schedule.  The differential
+// sweep (tests/portfolio_sweep_test.cpp) checks it against both
+// centralized Brandes (tight tolerance; both use doubles) and the
+// paper_exact backend (within the Theorem-1 soft-float envelope, which
+// bounds how far paper_exact may drift from the exact value).
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.hpp"
+#include "graph/properties.hpp"
+#include "portfolio/backends_impl.hpp"
+
+namespace congestbc::portfolio {
+
+namespace {
+
+constexpr std::uint32_t kUnreached = ~std::uint32_t{0};
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  std::uint64_t bits = 0;
+  while ((1ull << bits) < n) {
+    ++bits;
+  }
+  return bits;
+}
+
+class CfpBackend final : public BcBackend {
+ public:
+  BackendId id() const override { return BackendId::kCfp; }
+  std::string_view name() const override { return "cfp"; }
+
+  BackendCapabilities capabilities() const override {
+    BackendCapabilities caps;
+    caps.undirected_input = true;
+    caps.directed_input = false;
+    caps.exact = true;
+    caps.simulator_engines = false;
+    caps.summary =
+        "Crescenzi-Fraigniaud-Paz pipelined-BFS BC in O(n + D) rounds; "
+        "independent cross-check of paper_exact, double arithmetic";
+    return caps;
+  }
+
+  RunOutcome run(const BackendRequest& request) const override {
+    const Graph& g = *request.graph;
+    const DistributedBcOptions& options = request.options;
+    const NodeId n = g.num_nodes();
+    CBC_EXPECTS(n >= 1, "empty graph");
+    CBC_EXPECTS(is_connected(g), "CFP backend requires a connected graph");
+    // The CFP round model has no fault/checkpoint story — those knobs
+    // belong to the simulator engines.  Reject loudly rather than
+    // silently computing something else.
+    CBC_EXPECTS(options.faults.empty(),
+                "cfp backend does not support fault injection");
+    CBC_EXPECTS(!options.reliable_transport,
+                "cfp backend does not support the reliable transport");
+    CBC_EXPECTS(options.checkpoint_every == 0 && options.resume_from.empty() &&
+                    options.halt_at_round == 0,
+                "cfp backend does not support checkpoint/resume");
+    CBC_EXPECTS(options.cut_edges.empty(),
+                "cfp backend does not support cut accounting");
+    CBC_EXPECTS(!options.counting_only,
+                "cfp backend does not support counting-only mode");
+
+    const std::vector<bool> is_source =
+        options.sources.value_or(std::vector<bool>(n, true));
+    CBC_EXPECTS(is_source.size() == n, "sources mask must have size N");
+    const std::vector<bool> is_target =
+        options.targets.value_or(std::vector<bool>{});
+    CBC_EXPECTS(is_target.empty() || is_target.size() == n,
+                "targets mask must have size N");
+    const auto counts_as_target = [&](NodeId v) {
+      return is_target.empty() || is_target[v];
+    };
+
+    RunOutcome outcome;
+    DistributedBcResult& result = outcome.result;
+    result.betweenness.assign(n, 0.0);
+    result.closeness.assign(n, 0.0);
+    result.graph_centrality.assign(n, 0.0);
+    result.stress.assign(n, 0.0L);
+    result.eccentricities.assign(n, 0);
+    result.bfs_start_rounds.assign(n, 0);
+    outcome.completion.assign(n, NodeCompletion{});
+
+    std::uint32_t num_sources = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      num_sources += is_source[v] ? 1u : 0u;
+    }
+    CBC_EXPECTS(num_sources >= 1, "no sources selected");
+
+    std::vector<std::uint64_t> closeness_sum(n, 0);
+    std::vector<std::uint32_t> dist(n);
+    std::vector<double> sigma(n);
+    std::vector<double> delta(n);
+    std::vector<long double> lambda(n);
+    std::vector<NodeId> order;
+    order.reserve(n);
+    std::uint32_t max_depth = 0;
+    std::uint64_t forward_messages = 0;
+    std::uint64_t backward_messages = 0;
+    std::uint32_t sources_done = 0;
+
+    for (NodeId s = 0; s < n; ++s) {
+      if (!is_source[s]) {
+        continue;
+      }
+      if (options.halt_request != nullptr &&
+          options.halt_request->load(std::memory_order_relaxed)) {
+        // Cooperative drain: stop cleanly at a source boundary, exactly
+        // like the simulator stops at a round boundary.
+        result.suspended = true;
+        break;
+      }
+      // Pipelined schedule: wave #k departs at round k (source rank).
+      result.bfs_start_rounds[s] = sources_done + 1;
+
+      // Forward wave: BFS distances + path counts.
+      std::fill(dist.begin(), dist.end(), kUnreached);
+      std::fill(sigma.begin(), sigma.end(), 0.0);
+      order.clear();
+      dist[s] = 0;
+      sigma[s] = 1.0;
+      std::queue<NodeId> queue;
+      queue.push(s);
+      while (!queue.empty()) {
+        const NodeId v = queue.front();
+        queue.pop();
+        order.push_back(v);
+        // One (dist, sigma) announcement over every incident edge.
+        forward_messages += g.degree(v);
+        for (const NodeId w : g.neighbors(v)) {
+          if (dist[w] == kUnreached) {
+            dist[w] = dist[v] + 1;
+            queue.push(w);
+          }
+          if (dist[w] == dist[v] + 1) {
+            sigma[w] += sigma[v];
+          }
+        }
+      }
+
+      // Backward wave: Brandes dependency (and stress count) recursion
+      // over the BFS DAG, deepest level first.
+      std::fill(delta.begin(), delta.end(), 0.0);
+      std::fill(lambda.begin(), lambda.end(), 0.0L);
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const NodeId w = *it;
+        const double own = counts_as_target(w) && w != s ? 1.0 : 0.0;
+        for (const NodeId v : g.neighbors(w)) {
+          if (dist[v] + 1 == dist[w]) {  // v is a DAG predecessor of w
+            delta[v] += sigma[v] / sigma[w] * (own + delta[w]);
+            lambda[v] +=
+                static_cast<long double>(own) + lambda[w];
+            ++backward_messages;
+          }
+        }
+        if (w != s) {
+          result.betweenness[w] += delta[w];
+          result.stress[w] += static_cast<long double>(sigma[w]) * lambda[w];
+        }
+        closeness_sum[w] += dist[w];
+        result.eccentricities[w] =
+            std::max(result.eccentricities[w], dist[w]);
+        max_depth = std::max(max_depth, dist[w]);
+      }
+      ++sources_done;
+    }
+
+    const double scale =
+        options.scale_by_sources
+            ? static_cast<double>(n) / static_cast<double>(num_sources)
+            : 1.0;
+    const double halve = options.halve ? 0.5 : 1.0;
+    for (NodeId v = 0; v < n; ++v) {
+      result.betweenness[v] *= scale * halve;
+      result.stress[v] *= static_cast<long double>(scale) *
+                          static_cast<long double>(halve);
+      if (closeness_sum[v] > 0) {
+        result.closeness[v] = 1.0 / static_cast<double>(closeness_sum[v]);
+      }
+      if (result.eccentricities[v] > 0) {
+        result.graph_centrality[v] =
+            1.0 / static_cast<double>(result.eccentricities[v]);
+      }
+      result.diameter = std::max(result.diameter, result.eccentricities[v]);
+    }
+
+    // Cost model of the pipelined schedule: the last forward wave
+    // departs at round S-1 and completes D rounds later; the backward
+    // sweep mirrors it, plus a constant for the start/finish beacons.
+    const std::uint64_t depth = max_depth;
+    result.rounds = 2ull * (sources_done > 0 ? sources_done - 1 : 0) +
+                    2ull * depth + 4;
+    result.last_finish_round = result.rounds;
+    result.metrics.rounds = result.rounds;
+    result.metrics.total_logical_messages =
+        forward_messages + backward_messages;
+    result.metrics.total_physical_messages =
+        forward_messages + backward_messages;
+    // One record per message: a distance (log n bits) plus one IEEE
+    // double for sigma or delta.
+    result.metrics.total_bits =
+        (forward_messages + backward_messages) * (ceil_log2(n + 1) + 64);
+    result.max_node_state_bytes =
+        n * (sizeof(std::uint32_t) + sizeof(double));
+
+    outcome.nodes_finished = result.suspended ? 0 : n;
+    for (NodeId v = 0; v < n; ++v) {
+      outcome.completion[v].done = !result.suspended;
+      outcome.completion[v].sources_counted = sources_done;
+    }
+    outcome.status =
+        result.suspended ? RunStatus::kSuspended : RunStatus::kComplete;
+    if (result.suspended) {
+      outcome.detail = "halted at source boundary by halt_request";
+    }
+    return outcome;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<BcBackend> make_cfp_backend() {
+  return std::make_unique<CfpBackend>();
+}
+
+}  // namespace congestbc::portfolio

@@ -1,0 +1,233 @@
+// Backend 3: directed betweenness centrality, following the
+// accumulation structure of Pontecorvi–Ramachandran, "Distributed
+// Algorithms for Directed Betweenness Centrality and All Pairs Shortest
+// Paths" (arXiv:1805.08124).
+//
+// On an unweighted digraph their scheme specializes to: a forward BFS
+// wave per source over the OUT-arcs (distances + path counts), then a
+// backward accumulation wave over the IN-arcs of each shortest-path
+// DAG, with dependencies summed over ordered pairs — no halving, unlike
+// the undirected convention, because (s, t) and (t, s) are genuinely
+// different journeys.  Waves pipeline across sources exactly as in the
+// CFP schedule, giving the same O(n + D) round shape.
+//
+// Unreachable pairs contribute zero dependency (the digraph must be
+// weakly connected, not strongly).  Validated against the centralized
+// directed_brandes_bc checker in the portfolio sweep.
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.hpp"
+#include "portfolio/backends_impl.hpp"
+
+namespace congestbc::portfolio {
+
+namespace {
+
+constexpr std::uint32_t kUnreached = ~std::uint32_t{0};
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  std::uint64_t bits = 0;
+  while ((1ull << bits) < n) {
+    ++bits;
+  }
+  return bits;
+}
+
+class DirectedBackend final : public BcBackend {
+ public:
+  BackendId id() const override { return BackendId::kDirected; }
+  std::string_view name() const override { return "directed"; }
+
+  BackendCapabilities capabilities() const override {
+    BackendCapabilities caps;
+    caps.undirected_input = false;
+    caps.directed_input = true;
+    caps.exact = true;
+    caps.simulator_engines = false;
+    caps.summary =
+        "directed BC (Pontecorvi-Ramachandran accumulation) over "
+        "out-arc BFS / in-arc dependency waves; ordered-pair convention";
+    return caps;
+  }
+
+  RunOutcome run(const BackendRequest& request) const override {
+    const Digraph& g = *request.digraph;
+    const DistributedBcOptions& options = request.options;
+    const NodeId n = g.num_nodes();
+    CBC_EXPECTS(n >= 1, "empty graph");
+    CBC_EXPECTS(is_weakly_connected(g),
+                "directed backend requires a weakly connected digraph");
+    CBC_EXPECTS(options.faults.empty(),
+                "directed backend does not support fault injection");
+    CBC_EXPECTS(!options.reliable_transport,
+                "directed backend does not support the reliable transport");
+    CBC_EXPECTS(options.checkpoint_every == 0 && options.resume_from.empty() &&
+                    options.halt_at_round == 0,
+                "directed backend does not support checkpoint/resume");
+    CBC_EXPECTS(options.cut_edges.empty(),
+                "directed backend does not support cut accounting");
+    CBC_EXPECTS(!options.counting_only,
+                "directed backend does not support counting-only mode");
+
+    const std::vector<bool> is_source =
+        options.sources.value_or(std::vector<bool>(n, true));
+    CBC_EXPECTS(is_source.size() == n, "sources mask must have size N");
+    const std::vector<bool> is_target =
+        options.targets.value_or(std::vector<bool>{});
+    CBC_EXPECTS(is_target.empty() || is_target.size() == n,
+                "targets mask must have size N");
+    const auto counts_as_target = [&](NodeId v) {
+      return is_target.empty() || is_target[v];
+    };
+
+    RunOutcome outcome;
+    DistributedBcResult& result = outcome.result;
+    result.betweenness.assign(n, 0.0);
+    result.closeness.assign(n, 0.0);
+    result.graph_centrality.assign(n, 0.0);
+    result.stress.assign(n, 0.0L);
+    result.eccentricities.assign(n, 0);
+    result.bfs_start_rounds.assign(n, 0);
+    outcome.completion.assign(n, NodeCompletion{});
+
+    std::uint32_t num_sources = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      num_sources += is_source[v] ? 1u : 0u;
+    }
+    CBC_EXPECTS(num_sources >= 1, "no sources selected");
+
+    std::vector<std::uint32_t> dist(n);
+    std::vector<double> sigma(n);
+    std::vector<double> delta(n);
+    std::vector<long double> lambda(n);
+    std::vector<NodeId> order;
+    order.reserve(n);
+    std::uint32_t max_depth = 0;
+    std::uint64_t forward_messages = 0;
+    std::uint64_t backward_messages = 0;
+    std::uint32_t sources_done = 0;
+
+    for (NodeId s = 0; s < n; ++s) {
+      if (!is_source[s]) {
+        continue;
+      }
+      if (options.halt_request != nullptr &&
+          options.halt_request->load(std::memory_order_relaxed)) {
+        result.suspended = true;
+        break;
+      }
+      result.bfs_start_rounds[s] = sources_done + 1;
+
+      // Forward wave over out-arcs: d(s, .) and sigma(s, .).
+      std::fill(dist.begin(), dist.end(), kUnreached);
+      std::fill(sigma.begin(), sigma.end(), 0.0);
+      order.clear();
+      dist[s] = 0;
+      sigma[s] = 1.0;
+      std::queue<NodeId> queue;
+      queue.push(s);
+      while (!queue.empty()) {
+        const NodeId v = queue.front();
+        queue.pop();
+        order.push_back(v);
+        forward_messages += g.out_degree(v);
+        for (const NodeId w : g.out_neighbors(v)) {
+          if (dist[w] == kUnreached) {
+            dist[w] = dist[v] + 1;
+            queue.push(w);
+          }
+          if (dist[w] == dist[v] + 1) {
+            sigma[w] += sigma[v];
+          }
+        }
+      }
+
+      // s's own BFS row is the out-distance vector d(s, .): closeness
+      // and eccentricity of s come from it directly.
+      std::uint64_t row_sum = 0;
+      std::uint32_t row_max = 0;
+      for (const NodeId v : order) {
+        if (v != s) {
+          row_sum += dist[v];
+          row_max = std::max(row_max, dist[v]);
+        }
+      }
+      if (row_sum > 0) {
+        result.closeness[s] = 1.0 / static_cast<double>(row_sum);
+      }
+      result.eccentricities[s] = row_max;
+      if (row_max > 0) {
+        result.graph_centrality[s] = 1.0 / static_cast<double>(row_max);
+      }
+      result.diameter = std::max(result.diameter, row_max);
+      max_depth = std::max(max_depth, row_max);
+
+      // Backward wave over in-arcs: predecessors of w on shortest paths
+      // from s are the in-neighbors one level closer.
+      std::fill(delta.begin(), delta.end(), 0.0);
+      std::fill(lambda.begin(), lambda.end(), 0.0L);
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const NodeId w = *it;
+        const double own = counts_as_target(w) && w != s ? 1.0 : 0.0;
+        for (const NodeId v : g.in_neighbors(w)) {
+          if (dist[v] != kUnreached && dist[v] + 1 == dist[w]) {
+            delta[v] += sigma[v] / sigma[w] * (own + delta[w]);
+            lambda[v] += static_cast<long double>(own) + lambda[w];
+            ++backward_messages;
+          }
+        }
+        if (w != s) {
+          result.betweenness[w] += delta[w];
+          result.stress[w] += static_cast<long double>(sigma[w]) * lambda[w];
+        }
+      }
+      ++sources_done;
+    }
+
+    const double scale =
+        options.scale_by_sources
+            ? static_cast<double>(n) / static_cast<double>(num_sources)
+            : 1.0;
+    for (NodeId v = 0; v < n; ++v) {
+      // Ordered-pair convention: no halving (options.halve is an
+      // undirected-only knob; see ALGORITHM.md).
+      result.betweenness[v] *= scale;
+      result.stress[v] *= static_cast<long double>(scale);
+    }
+
+    const std::uint64_t depth = max_depth;
+    result.rounds = 2ull * (sources_done > 0 ? sources_done - 1 : 0) +
+                    2ull * depth + 4;
+    result.last_finish_round = result.rounds;
+    result.metrics.rounds = result.rounds;
+    result.metrics.total_logical_messages =
+        forward_messages + backward_messages;
+    result.metrics.total_physical_messages =
+        forward_messages + backward_messages;
+    result.metrics.total_bits =
+        (forward_messages + backward_messages) * (ceil_log2(n + 1) + 64);
+    result.max_node_state_bytes =
+        n * (sizeof(std::uint32_t) + sizeof(double));
+
+    outcome.nodes_finished = result.suspended ? 0 : n;
+    for (NodeId v = 0; v < n; ++v) {
+      outcome.completion[v].done = !result.suspended;
+      outcome.completion[v].sources_counted = sources_done;
+    }
+    outcome.status =
+        result.suspended ? RunStatus::kSuspended : RunStatus::kComplete;
+    if (result.suspended) {
+      outcome.detail = "halted at source boundary by halt_request";
+    }
+    return outcome;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<BcBackend> make_directed_backend() {
+  return std::make_unique<DirectedBackend>();
+}
+
+}  // namespace congestbc::portfolio

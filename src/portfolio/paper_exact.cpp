@@ -1,0 +1,42 @@
+// Backend 1: the paper's exact distributed algorithm — a thin adapter
+// over the watchdogged runner.  This is the pre-portfolio behavior,
+// bit-for-bit: the options pass straight through, so every engine,
+// fault, checkpoint, and halt knob keeps working unchanged.
+#include "common/assert.hpp"
+#include "portfolio/backends_impl.hpp"
+
+namespace congestbc::portfolio {
+
+namespace {
+
+class PaperExactBackend final : public BcBackend {
+ public:
+  BackendId id() const override { return BackendId::kPaperExact; }
+  std::string_view name() const override { return "paper_exact"; }
+
+  BackendCapabilities capabilities() const override {
+    BackendCapabilities caps;
+    caps.undirected_input = true;
+    caps.directed_input = false;
+    caps.exact = true;
+    caps.simulator_engines = true;
+    caps.summary =
+        "the paper's O(N)-round exact distributed algorithm; the default "
+        "and the reference for everything else";
+    return caps;
+  }
+
+  RunOutcome run(const BackendRequest& request) const override {
+    CBC_EXPECTS(request.graph != nullptr,
+                "paper_exact runs on undirected graphs");
+    return run_bc_with_watchdog(*request.graph, request.options);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<BcBackend> make_paper_exact_backend() {
+  return std::make_unique<PaperExactBackend>();
+}
+
+}  // namespace congestbc::portfolio

@@ -22,6 +22,7 @@
 #include "obs/phase_profile.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
+#include "portfolio/backend.hpp"
 #include "snapshot/checkpoint.hpp"
 #include "snapshot/fingerprint.hpp"
 #include "snapshot/snapshot.hpp"
@@ -728,6 +729,7 @@ Reply Daemon::dispatch(const Request& request) {
 }
 
 void Daemon::parse_submit(const SubmitRequest& request, Graph& graph,
+                          std::optional<Digraph>& digraph,
                           DistributedBcOptions& options,
                           SubmitRequest& canonical) const {
   std::string text;
@@ -757,18 +759,50 @@ void Daemon::parse_submit(const SubmitRequest& request, Graph& graph,
   } else {
     text = request.graph;
   }
-  try {
-    graph = read_edge_list_text(text);
-  } catch (const std::exception& e) {
-    throw ProtocolError(ProtoError::kBadRequest,
-                        std::string("bad graph: ") + e.what());
+  if (request.backend > static_cast<std::uint8_t>(BackendId::kSampled)) {
+    throw ProtocolError(ProtoError::kBadRequest, "unknown backend id");
   }
-  if (graph.num_nodes() == 0) {
-    throw ProtocolError(ProtoError::kBadRequest, "empty graph");
-  }
-  if (!is_connected(graph)) {
+  const auto backend = static_cast<BackendId>(request.backend);
+  if ((backend == BackendId::kCfp || backend == BackendId::kDirected) &&
+      (!request.faults.empty() || request.reliable)) {
+    // These backends have no fault/transport story (their CBC_EXPECTS
+    // would fire mid-run); reject at admission with a typed reason.
     throw ProtocolError(ProtoError::kBadRequest,
-                        "graph is not connected (model precondition)");
+                        std::string("backend '") + to_string(backend) +
+                            "' does not support fault injection or the "
+                            "reliable transport");
+  }
+  if (backend == BackendId::kDirected) {
+    // The directed backend reads orientation: its own edge-list dialect,
+    // its own connectivity precondition (weak, not strong).
+    try {
+      digraph = read_directed_edge_list_text(text);
+    } catch (const std::exception& e) {
+      throw ProtocolError(ProtoError::kBadRequest,
+                          std::string("bad directed graph: ") + e.what());
+    }
+    if (digraph->num_nodes() == 0) {
+      throw ProtocolError(ProtoError::kBadRequest, "empty graph");
+    }
+    if (!is_weakly_connected(*digraph)) {
+      throw ProtocolError(ProtoError::kBadRequest,
+                          "digraph is not weakly connected (directed "
+                          "backend precondition)");
+    }
+  } else {
+    try {
+      graph = read_edge_list_text(text);
+    } catch (const std::exception& e) {
+      throw ProtocolError(ProtoError::kBadRequest,
+                          std::string("bad graph: ") + e.what());
+    }
+    if (graph.num_nodes() == 0) {
+      throw ProtocolError(ProtoError::kBadRequest, "empty graph");
+    }
+    if (!is_connected(graph)) {
+      throw ProtocolError(ProtoError::kBadRequest,
+                          "graph is not connected (model precondition)");
+    }
   }
   FaultPlan plan;
   if (!request.faults.empty()) {
@@ -789,14 +823,29 @@ void Daemon::parse_submit(const SubmitRequest& request, Graph& graph,
   options.threads = request.threads == 0 ? config_.default_threads
                                          : static_cast<unsigned>(request.threads);
   options.legacy_engine = request.legacy_engine;
+  // v5 portfolio fields.  kAuto stays unresolved here — handle_submit
+  // resolves it under the scheduler lock where queue pressure is
+  // observable, before anything fingerprints.  The approximation params
+  // only determine the result under the sampled backend; canonicalize
+  // them away elsewhere (mirrors options_fingerprint).
+  options.backend = backend;
+  if (backend == BackendId::kSampled) {
+    options.approx_samples = request.samples;
+    options.approx_seed = request.sample_seed;
+  }
 
   // Canonical form: always inline, graph re-serialized, budgets resolved —
   // so the spool is self-contained and a resubmit of either form
   // fingerprints identically.
   canonical = request;
   canonical.source = GraphSource::kInline;
-  canonical.graph = write_edge_list_text(graph);
+  canonical.graph = backend == BackendId::kDirected
+                        ? write_directed_edge_list_text(*digraph)
+                        : write_edge_list_text(graph);
   canonical.max_rounds = options.max_rounds;
+  canonical.samples = backend == BackendId::kSampled ? request.samples : 0;
+  canonical.sample_seed =
+      backend == BackendId::kSampled ? request.sample_seed : 0;
   // Retry metadata never reaches the spool or the fingerprint: attempt 3
   // of a submit must coalesce with attempt 1.
   canonical.deadline_ms = 0;
@@ -838,6 +887,7 @@ std::uint64_t Daemon::resolve_stream_submit(SubmitRequest& request) {
 
 SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
   Graph graph(0, {});
+  std::optional<Digraph> digraph;
   DistributedBcOptions options;
   SubmitRequest canonical;
   std::string reject_detail;
@@ -846,6 +896,21 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
   try {
     SubmitRequest effective = request;
     if (!request.stream_ns.empty()) {
+      if (effective.backend ==
+          static_cast<std::uint8_t>(BackendId::kDirected)) {
+        throw ProtocolError(ProtoError::kBadRequest,
+                            "stream namespaces hold undirected graphs; the "
+                            "directed backend cannot address them");
+      }
+      if (effective.incremental &&
+          effective.backend !=
+              static_cast<std::uint8_t>(BackendId::kPaperExact) &&
+          effective.backend != static_cast<std::uint8_t>(BackendId::kAuto)) {
+        throw ProtocolError(ProtoError::kBadRequest,
+                            "incremental submits are served by the "
+                            "paper_exact maintainer; pick backend "
+                            "paper_exact or auto");
+      }
       stream_version = resolve_stream_submit(effective);
       if (effective.incremental && !effective.faults.empty()) {
         throw ProtocolError(ProtoError::kBadRequest,
@@ -856,7 +921,7 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
       throw ProtocolError(ProtoError::kBadRequest,
                           "incremental submit requires a stream namespace");
     }
-    parse_submit(effective, graph, options, canonical);
+    parse_submit(effective, graph, digraph, options, canonical);
     parsed = true;
   } catch (const std::exception& e) {
     reject_detail = e.what();
@@ -873,12 +938,52 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
     reply.detail = reject_detail;
     return reply;
   }
+  // Serve-time backend selection (v5): resolve backend=auto under the
+  // scheduler lock, where queue depth and the latency estimate live.
+  // Auto degrades to the sampled approximation when the queue is at
+  // least half full, or when the client's deadline cannot plausibly
+  // cover an exact run — and the downgrade is visible in the reply and
+  // the backend_downgrades counter.  Incremental submits never
+  // downgrade: the maintainer is already the fast path.
+  bool downgraded = false;
+  if (options.backend == BackendId::kAuto) {
+    bool under_pressure = false;
+    if (!request.incremental) {
+      const bool queue_pressure = queue_.size() * 2 >= config_.queue_limit;
+      const double p50 = metrics_.latency_percentile(50.0);
+      const bool deadline_risk =
+          request.deadline_ms != 0 &&
+          p50 * static_cast<double>(queue_.size() + 1) >
+              0.5 * static_cast<double>(request.deadline_ms);
+      under_pressure = queue_pressure || deadline_risk;
+    }
+    options.backend =
+        portfolio::resolve_auto_backend(BackendId::kAuto, under_pressure);
+    downgraded = options.backend == BackendId::kSampled;
+    if (downgraded) {
+      ++metrics_.backend_downgrades;
+      options.approx_samples = request.samples;
+      options.approx_seed = request.sample_seed;
+    }
+  }
+  // The canonical form (spool + fingerprint identity) carries the
+  // *resolved* backend: recovery re-runs exactly what was decided here.
+  canonical.backend = static_cast<std::uint8_t>(options.backend);
+  canonical.samples =
+      options.backend == BackendId::kSampled ? options.approx_samples : 0;
+  canonical.sample_seed =
+      options.backend == BackendId::kSampled ? options.approx_seed : 0;
+  reply.backend = canonical.backend;
+  reply.downgraded = downgraded;
   // Incremental results live under a tagged key: same graph + options,
   // different product family (decomposed vs combined summation).
   const std::uint64_t fp =
-      request.incremental
-          ? tagged_incremental_fingerprint(run_fingerprint(graph, options))
-          : run_fingerprint(graph, options);
+      digraph.has_value()
+          ? run_fingerprint(*digraph, options)
+          : (request.incremental
+                 ? tagged_incremental_fingerprint(
+                       run_fingerprint(graph, options))
+                 : run_fingerprint(graph, options));
   reply.fingerprint = fp;
   if (!request.stream_ns.empty()) {
     // Track what this namespace's working set has cached so a MUTATE can
@@ -957,6 +1062,7 @@ SubmitReply Daemon::handle_submit(const SubmitRequest& request) {
   job->fingerprint = fp;
   job->request = std::move(canonical);
   job->graph = std::move(graph);
+  job->digraph = std::move(digraph);
   job->options = std::move(options);
   if (request.incremental) {
     job->stream_ns = request.stream_ns;
@@ -1258,7 +1364,15 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
 
   DistributedBcOptions options = job->options;
   options.halt_request = &job->halt;
-  if (!config_.spool_dir.empty()) {
+  // Only the simulator-engine backends speak the checkpoint protocol;
+  // cfp/directed reject those options loudly, and their runs are cheap
+  // enough that drain just suspends them at a source boundary.
+  const portfolio::BackendRegistry& registry =
+      portfolio::BackendRegistry::instance();
+  const portfolio::BcBackend* backend_impl = registry.find(options.backend);
+  const bool checkpointable =
+      backend_impl != nullptr && backend_impl->capabilities().simulator_engines;
+  if (!config_.spool_dir.empty() && checkpointable) {
     options.checkpoint_dir = ckpt_dir(job->fingerprint);
     options.checkpoint_every = config_.checkpoint_every;
     options.checkpoint_keep_last = config_.checkpoint_keep;
@@ -1267,7 +1381,14 @@ void Daemon::execute_job(const std::shared_ptr<Job>& job) {
 
   RunOutcome outcome;
   try {
-    outcome = run_bc_with_watchdog(job->graph, options);
+    portfolio::BackendRequest breq;
+    if (job->digraph.has_value()) {
+      breq.digraph = &*job->digraph;
+    } else {
+      breq.graph = &job->graph;
+    }
+    breq.options = options;
+    outcome = portfolio::run_portfolio(breq);
   } catch (const std::exception& e) {
     outcome = RunOutcome{};
     outcome.status = RunStatus::kError;
@@ -1903,10 +2024,14 @@ void Daemon::recover_spool() {
         continue;
       }
       Graph graph(0, {});
+      std::optional<Digraph> digraph;
       DistributedBcOptions options;
       SubmitRequest canonical;
-      parse_submit(request.submit, graph, options, canonical);
-      if (run_fingerprint(graph, options) != fp) {
+      parse_submit(request.submit, graph, digraph, options, canonical);
+      const std::uint64_t recomputed = digraph.has_value()
+                                           ? run_fingerprint(*digraph, options)
+                                           : run_fingerprint(graph, options);
+      if (recomputed != fp) {
         quarantine_path(entry.path().string());  // stale or corrupted entry
         continue;
       }
@@ -1920,6 +2045,7 @@ void Daemon::recover_spool() {
       job->fingerprint = fp;
       job->request = std::move(canonical);
       job->graph = std::move(graph);
+      job->digraph = std::move(digraph);
       job->options = std::move(options);
       job->submitted = std::chrono::steady_clock::now();
       // Newest checkpoint that actually decodes; corrupt ones (torn

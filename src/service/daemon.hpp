@@ -35,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -43,6 +44,7 @@
 
 #include "algo/bc_pipeline.hpp"
 #include "core/thread_pool.hpp"
+#include "graph/digraph.hpp"
 #include "graph/graph.hpp"
 #include "service/cache.hpp"
 #include "service/journal.hpp"
@@ -148,6 +150,9 @@ class Daemon {
     JobState state = JobState::kQueued;
     SubmitRequest request;  ///< canonical form (what the spool stores)
     Graph graph{0, {}};
+    /// Set instead of `graph` for backend=directed jobs (v5 portfolio
+    /// plane); the run dispatches through portfolio::run_portfolio.
+    std::optional<Digraph> digraph;
     DistributedBcOptions options;  ///< result-determining fields resolved
     std::string detail;
     /// Set in terminal states; shared with the cache on kDone.
@@ -233,9 +238,12 @@ class Daemon {
   ShutdownReply handle_shutdown();
   StatsReply stats_locked();
 
-  /// Parses + validates a submit into (graph, options, canonical
-  /// request); throws ProtocolError(kBadRequest) with the reason.
+  /// Parses + validates a submit into (graph-or-digraph, options,
+  /// canonical request); throws ProtocolError(kBadRequest) with the
+  /// reason.  `digraph` is engaged (and `graph` left empty) exactly when
+  /// the request names the directed backend.
   void parse_submit(const SubmitRequest& request, Graph& graph,
+                    std::optional<Digraph>& digraph,
                     DistributedBcOptions& options,
                     SubmitRequest& canonical) const;
 

@@ -88,6 +88,7 @@ StatsReply ServiceMetrics::snapshot(std::uint64_t queue_depth,
   s.graph_version = graph_version;
   s.dirty_sources_rerun = dirty_sources_rerun;
   s.cache_invalidations = cache_invalidations;
+  s.backend_downgrades = backend_downgrades;
   s.qps = s.uptime_ms == 0
               ? 0.0
               : static_cast<double>(submits) * 1000.0 /
@@ -133,6 +134,7 @@ std::string to_json(const StatsReply& stats) {
   w.key("graph_version").value(stats.graph_version);
   w.key("dirty_sources_rerun").value(stats.dirty_sources_rerun);
   w.key("cache_invalidations").value(stats.cache_invalidations);
+  w.key("backend_downgrades").value(stats.backend_downgrades);
   w.key("qps").value(stats.qps);
   w.key("worker_utilization").value(stats.worker_utilization);
   w.key("latency_p50_ms").value(stats.latency_p50_ms);
@@ -210,6 +212,9 @@ std::string prometheus_text(const StatsReply& stats,
   w.counter("congestbcd_cache_invalidations_total",
             "Result-cache entries invalidated by stream mutations",
             stats.cache_invalidations);
+  w.counter("congestbcd_backend_downgrades_total",
+            "backend=auto jobs downgraded to sampled under queue pressure",
+            stats.backend_downgrades);
   w.gauge("congestbcd_qps", "Submits per second over the daemon lifetime",
           stats.qps);
   w.gauge("congestbcd_worker_utilization",

@@ -51,6 +51,9 @@ class ServiceMetrics {
   std::uint64_t mutations_applied = 0;
   std::uint64_t dirty_sources_rerun = 0;
   std::uint64_t cache_invalidations = 0;
+  // Portfolio-plane counter (PR 9): backend=auto jobs the admission path
+  // downgraded to the sampled backend under queue pressure.
+  std::uint64_t backend_downgrades = 0;
 
   // Whole-life histograms behind the /metrics endpoint (the percentile
   // window above describes recent behavior; these never forget).

@@ -90,6 +90,9 @@ void encode_submit_body(BitWriter& w, const SubmitRequest& s) {
   put_string(w, s.stream_ns);
   w.write_varuint(s.stream_version);
   w.write_bool(s.incremental);
+  w.write_varuint(s.backend);
+  w.write_varuint(s.samples);
+  w.write_varuint(s.sample_seed);
 }
 
 SubmitRequest decode_submit_body(BitReader& r) {
@@ -112,6 +115,19 @@ SubmitRequest decode_submit_body(BitReader& r) {
   s.stream_ns = get_string(r);
   s.stream_version = r.read_varuint();
   s.incremental = r.read_bool();
+  const std::uint64_t backend = r.read_varuint();
+  if (backend > 4) {  // last BackendId (kSampled)
+    throw ProtocolError(ProtoError::kMalformed,
+                        "unknown backend " + std::to_string(backend));
+  }
+  s.backend = static_cast<std::uint8_t>(backend);
+  const std::uint64_t samples = r.read_varuint();
+  if (samples > UINT32_MAX) {
+    throw ProtocolError(ProtoError::kMalformed,
+                        "sample budget exceeds the node id width");
+  }
+  s.samples = static_cast<std::uint32_t>(samples);
+  s.sample_seed = r.read_varuint();
   return s;
 }
 
@@ -187,6 +203,8 @@ void encode_submit_reply_body(BitWriter& w, const SubmitReply& m) {
   w.write_varuint(m.job_id);
   w.write(m.fingerprint, 64);
   put_string(w, m.detail);
+  w.write_varuint(m.backend);
+  w.write_bool(m.downgraded);
 }
 
 SubmitReply decode_submit_reply_body(BitReader& r) {
@@ -199,6 +217,13 @@ SubmitReply decode_submit_reply_body(BitReader& r) {
   m.job_id = r.read_varuint();
   m.fingerprint = r.read(64);
   m.detail = get_string(r);
+  const std::uint64_t backend = r.read_varuint();
+  if (backend > 4) {  // last BackendId (kSampled)
+    throw ProtocolError(ProtoError::kMalformed,
+                        "unknown backend " + std::to_string(backend));
+  }
+  m.backend = static_cast<std::uint8_t>(backend);
+  m.downgraded = r.read_bool();
   return m;
 }
 
@@ -318,6 +343,7 @@ void encode_stats_reply_body(BitWriter& w, const StatsReply& m) {
   w.write_varuint(m.graph_version);
   w.write_varuint(m.dirty_sources_rerun);
   w.write_varuint(m.cache_invalidations);
+  w.write_varuint(m.backend_downgrades);
 }
 
 StatsReply decode_stats_reply_body(BitReader& r) {
@@ -353,6 +379,7 @@ StatsReply decode_stats_reply_body(BitReader& r) {
   m.graph_version = r.read_varuint();
   m.dirty_sources_rerun = r.read_varuint();
   m.cache_invalidations = r.read_varuint();
+  m.backend_downgrades = r.read_varuint();
   return m;
 }
 

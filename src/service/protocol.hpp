@@ -43,10 +43,12 @@ namespace congestbc::service {
 // payload checksum, SubmitRequest deadline/attempt fields, and the
 // retry/chaos stats counters (PR 6); v4 added the streaming-graph
 // surface — MUTATE frames, the SubmitRequest stream-addressing fields,
-// and the mutation/version stats counters (PR 8).  The version gates
-// the whole frame, so older peers get kBadVersion instead of a
-// misparse.
-inline constexpr std::uint16_t kProtocolVersion = 4;
+// and the mutation/version stats counters (PR 8); v5 added the
+// algorithm portfolio — SUBMIT carries backend + approximation params,
+// SubmitReply reports the resolved backend + auto-downgrade flag, and
+// STATS gained backend_downgrades (PR 9).  The version gates the whole
+// frame, so older peers get kBadVersion instead of a misparse.
+inline constexpr std::uint16_t kProtocolVersion = 5;
 
 /// Frames larger than this are rejected before any allocation happens —
 /// the daemon-side cap on hostile length fields.  Generous enough for an
@@ -156,6 +158,17 @@ struct SubmitRequest {
   /// they are bit-identical to a from-scratch *decomposed* recompute,
   /// not to a combined run, so the two never share cache entries.
   bool incremental = false;
+  // --- v5 portfolio fields --------------------------------------------
+  /// congestbc::BackendId on the wire: 0 = auto (serve-time choice —
+  /// admission control may downgrade to sampled under load), 1 =
+  /// paper_exact, 2 = cfp, 3 = directed (graph text is then parsed as a
+  /// directed edge list, orientation preserved), 4 = sampled.
+  std::uint8_t backend = 1;
+  /// Sampled-backend source budget (0 = server default); ignored — and
+  /// fingerprinted as 0 — by every other backend.
+  std::uint32_t samples = 0;
+  /// Seed of the sampled backend's source draw.
+  std::uint64_t sample_seed = 0;
 };
 
 /// One edge operation of a MUTATE batch (wire form of
@@ -234,6 +247,15 @@ struct SubmitReply {
   std::uint64_t job_id = 0;       ///< 0 when not admitted
   std::uint64_t fingerprint = 0;  ///< run_fingerprint of the job
   std::string detail;
+  // --- v5 portfolio fields --------------------------------------------
+  /// The backend the job actually runs (congestbc::BackendId): the
+  /// request's, or admission control's resolution of backend=auto.
+  /// 0 on non-admitted dispositions that never resolved one.
+  std::uint8_t backend = 0;
+  /// True when a backend=auto job was downgraded to the sampled backend
+  /// under queue pressure / deadline risk (counted in
+  /// STATS::backend_downgrades).
+  bool downgraded = false;
 };
 
 /// Lifecycle of a job inside the daemon.
@@ -356,6 +378,10 @@ struct StatsReply {
   std::uint64_t dirty_sources_rerun = 0;
   /// Result-cache entries invalidated by fingerprint delta on MUTATE.
   std::uint64_t cache_invalidations = 0;
+  // --- v5 portfolio counters ------------------------------------------
+  /// backend=auto submits downgraded to the sampled backend by
+  /// admission control (queue pressure / deadline risk).
+  std::uint64_t backend_downgrades = 0;
 };
 
 struct ShutdownReply {

@@ -17,6 +17,18 @@ std::uint64_t graph_fingerprint(const Graph& g) {
   return h;
 }
 
+std::uint64_t digraph_fingerprint(const Digraph& g) {
+  std::uint64_t h = fnv1a(nullptr, 0);
+  h = fnv1a_u64(0xD16A11ull, h);  // directed tag: disjoint from Graph hashes
+  h = fnv1a_u64(g.num_nodes(), h);
+  h = fnv1a_u64(g.num_arcs(), h);
+  for (const Arc& a : g.arcs()) {
+    h = fnv1a_u64(a.u, h);
+    h = fnv1a_u64(a.v, h);
+  }
+  return h;
+}
+
 std::uint64_t chain_graph_fingerprint(
     std::uint64_t base_fp, const std::vector<GraphDeltaOp>& delta) {
   std::uint64_t h = fnv1a(nullptr, 0);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "congest/fault.hpp"
+#include "graph/digraph.hpp"
 #include "graph/graph.hpp"
 
 namespace congestbc {
@@ -32,6 +33,14 @@ namespace congestbc {
 /// copies of the same edge list fingerprint identically; any topology
 /// difference — one edge, one node — changes it.
 std::uint64_t graph_fingerprint(const Graph& g);
+
+/// Fingerprint of a directed graph's canonical form (node count, arc
+/// count, the deduplicated sorted arc list).  Seeded with a directed
+/// tag, so a Digraph can never collide with the Graph over the same
+/// support — and two orientations of the same support hash differently,
+/// which is what keeps directed-backend cache entries from ever being
+/// served to (or from) undirected jobs.
+std::uint64_t digraph_fingerprint(const Digraph& g);
 
 /// One edge operation of a delta batch, in the canonical form the
 /// chained fingerprint hashes: endpoints normalized u < v.  The stream

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "algo/bc_pipeline.hpp"
+#include "common/assert.hpp"
 #include "congest/fault.hpp"
+#include "graph/digraph.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "gtest/gtest.h"
@@ -138,6 +140,81 @@ TEST(OptionsFingerprint, ResultDeterminingFieldsAreIncluded) {
   EXPECT_NE(fp, options_fingerprint(faulty, g.num_nodes()));
   EXPECT_NE(fp, options_fingerprint(sampled, g.num_nodes()));
   EXPECT_NE(fp, options_fingerprint(format, g.num_nodes()));
+}
+
+TEST(OptionsFingerprint, BackendIdentityIsIncluded) {
+  const Graph g = gen::cycle(16);
+  const DistributedBcOptions base;  // backend = kPaperExact
+  const auto fp = options_fingerprint(base, g.num_nodes());
+
+  // Every resolved backend hashes differently: a cfp result must never
+  // be served for a paper_exact submit of the same graph.
+  DistributedBcOptions cfp = base;
+  cfp.backend = BackendId::kCfp;
+  DistributedBcOptions sampled = base;
+  sampled.backend = BackendId::kSampled;
+  EXPECT_NE(fp, options_fingerprint(cfp, g.num_nodes()));
+  EXPECT_NE(fp, options_fingerprint(sampled, g.num_nodes()));
+  EXPECT_NE(options_fingerprint(cfp, g.num_nodes()),
+            options_fingerprint(sampled, g.num_nodes()));
+
+  // Unresolved `auto` is a serve-time placeholder, not a cache key.
+  DistributedBcOptions unresolved = base;
+  unresolved.backend = BackendId::kAuto;
+  EXPECT_THROW(options_fingerprint(unresolved, g.num_nodes()),
+               PreconditionError);
+}
+
+TEST(OptionsFingerprint, ApproxParamsCountOnlyUnderSampled) {
+  const Graph g = gen::cycle(16);
+  // Stray --samples on an exact backend is canonicalized away: the
+  // submit must hit the same cache entry as one without it.
+  DistributedBcOptions exact;
+  DistributedBcOptions exact_with_params = exact;
+  exact_with_params.approx_samples = 8;
+  exact_with_params.approx_seed = 99;
+  EXPECT_EQ(options_fingerprint(exact, g.num_nodes()),
+            options_fingerprint(exact_with_params, g.num_nodes()));
+
+  // Under the sampled backend both params determine the result.
+  DistributedBcOptions sampled;
+  sampled.backend = BackendId::kSampled;
+  sampled.approx_samples = 8;
+  sampled.approx_seed = 1;
+  DistributedBcOptions other_budget = sampled;
+  other_budget.approx_samples = 9;
+  DistributedBcOptions other_seed = sampled;
+  other_seed.approx_seed = 2;
+  const auto fp = options_fingerprint(sampled, g.num_nodes());
+  EXPECT_NE(fp, options_fingerprint(other_budget, g.num_nodes()));
+  EXPECT_NE(fp, options_fingerprint(other_seed, g.num_nodes()));
+}
+
+TEST(DigraphFingerprint, OrientationSensitiveButArcOrderInsensitive) {
+  const Digraph a(3, {{0, 1}, {1, 2}});
+  const Digraph a_permuted(3, {{1, 2}, {0, 1}});
+  const Digraph reversed(3, {{1, 0}, {2, 1}});
+  EXPECT_EQ(digraph_fingerprint(a), digraph_fingerprint(a_permuted));
+  EXPECT_NE(digraph_fingerprint(a), digraph_fingerprint(reversed));
+
+  // A digraph never collides with the undirected graph sharing its
+  // support — the two planes key different result shapes.
+  const Graph support(3, {{0, 1}, {1, 2}});
+  EXPECT_NE(digraph_fingerprint(a), graph_fingerprint(support));
+}
+
+TEST(RunFingerprint, DirectedOverloadIsDisjointFromUndirected) {
+  DistributedBcOptions options;
+  options.backend = BackendId::kDirected;
+  const Digraph d(3, {{0, 1}, {1, 2}});
+  const Graph support(3, {{0, 1}, {1, 2}});
+  DistributedBcOptions undirected_options;
+  EXPECT_NE(run_fingerprint(d, options),
+            run_fingerprint(support, undirected_options));
+  // Stable across calls, sensitive to orientation.
+  EXPECT_EQ(run_fingerprint(d, options), run_fingerprint(d, options));
+  const Digraph reversed(3, {{1, 0}, {2, 1}});
+  EXPECT_NE(run_fingerprint(d, options), run_fingerprint(reversed, options));
 }
 
 TEST(RunFingerprint, CombinesGraphAndOptions) {

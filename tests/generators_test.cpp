@@ -275,5 +275,57 @@ TEST(Generators, PreconditionViolations) {
   EXPECT_THROW(gen::erdos_renyi_connected(10, 1.5, rng), PreconditionError);
 }
 
+TEST(DirectedGenerators, ErdosRenyiIsWeaklyConnectedAndDeterministic) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Rng rng(seed);
+    const Digraph g = gen::directed_erdos_renyi(60, 0.05, rng);
+    EXPECT_EQ(g.num_nodes(), 60u);
+    EXPECT_TRUE(is_weakly_connected(g)) << "seed " << seed;
+    // Backbone (n-1 arcs) plus the Bernoulli arcs; the union can only
+    // add, never fall below the tree.
+    EXPECT_GE(g.num_arcs(), 59u) << "seed " << seed;
+    Rng replay(seed);
+    const Digraph again = gen::directed_erdos_renyi(60, 0.05, replay);
+    EXPECT_EQ(again.arcs(), g.arcs()) << "seed " << seed;
+  }
+}
+
+TEST(DirectedGenerators, ErdosRenyiArcDensityTracksP) {
+  Rng rng(9);
+  const NodeId n = 200;
+  const double p = 0.05;
+  const Digraph g = gen::directed_erdos_renyi(n, p, rng);
+  // Expected n(n-1)p = 1990 Bernoulli arcs (+ up to n-1 backbone arcs).
+  const auto arcs = static_cast<double>(g.num_arcs());
+  EXPECT_GT(arcs, 0.7 * n * (n - 1) * p);
+  EXPECT_LT(arcs, 1.3 * n * (n - 1) * p + n);
+}
+
+TEST(DirectedGenerators, BarabasiAlbertShapeAndDeterminism) {
+  Rng rng(13);
+  const NodeId n = 80;
+  const NodeId attach = 2;
+  const Digraph g = gen::directed_barabasi_albert(n, attach, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  EXPECT_TRUE(is_weakly_connected(g));
+  // Every non-seed node points `attach` arcs at predecessors.
+  for (NodeId v = attach + 1; v < n; ++v) {
+    EXPECT_EQ(g.out_degree(v), attach) << "node " << v;
+    for (const NodeId w : g.out_neighbors(v)) {
+      EXPECT_LT(w, v) << "citation arcs must point backwards";
+    }
+  }
+  Rng replay(13);
+  EXPECT_EQ(gen::directed_barabasi_albert(n, attach, replay).arcs(), g.arcs());
+}
+
+TEST(DirectedGenerators, PreconditionViolations) {
+  Rng rng(5);
+  EXPECT_THROW(gen::directed_erdos_renyi(0, 0.5, rng), PreconditionError);
+  EXPECT_THROW(gen::directed_erdos_renyi(10, 1.5, rng), PreconditionError);
+  EXPECT_THROW(gen::directed_barabasi_albert(3, 3, rng), PreconditionError);
+  EXPECT_THROW(gen::directed_barabasi_albert(5, 0, rng), PreconditionError);
+}
+
 }  // namespace
 }  // namespace congestbc

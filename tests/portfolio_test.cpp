@@ -1,0 +1,453 @@
+// Portfolio subsystem unit tests (src/portfolio/backend.hpp).
+//
+// What is pinned here, per the portfolio contract (DESIGN.md §15):
+//   * the registry holds exactly the four documented backends, in
+//     registration order, addressable by id and by stable name;
+//   * paper_exact is a pass-through: bit-for-bit the pre-portfolio
+//     run_bc_with_watchdog behavior;
+//   * cfp matches centralized Brandes to double-accumulation tolerance
+//     (both use doubles over the same DAG recursion);
+//   * directed matches the centralized directed Brandes checker;
+//   * sampled is deterministic per seed, degenerates to exact at a full
+//     source budget, and keeps its observed error inside the stated
+//     Hoeffding bound across seeds;
+//   * run_portfolio() rejects wrong-kind inputs and unresolved `auto`
+//     loudly (PreconditionError), never by computing something else;
+//   * the serve-time policy helpers (resolve_auto_backend,
+//     resolve_sample_budget, sampled_error_bound) implement exactly the
+//     documented formulas.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "central/brandes.hpp"
+#include "central/directed_brandes.hpp"
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "congest/fault.hpp"
+#include "core/runner.hpp"
+#include "core/validation.hpp"
+#include "graph/digraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "gtest/gtest.h"
+#include "portfolio/backend.hpp"
+
+namespace congestbc::portfolio {
+namespace {
+
+BackendRequest undirected_request(const Graph& g, BackendId backend) {
+  BackendRequest request;
+  request.graph = &g;
+  request.options.backend = backend;
+  return request;
+}
+
+BackendRequest directed_request(const Digraph& g) {
+  BackendRequest request;
+  request.digraph = &g;
+  request.options.backend = BackendId::kDirected;
+  return request;
+}
+
+void expect_bit_equal(const std::vector<double>& got,
+                      const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    std::uint64_t got_bits = 0;
+    std::uint64_t want_bits = 0;
+    std::memcpy(&got_bits, &got[i], sizeof got_bits);
+    std::memcpy(&want_bits, &want[i], sizeof want_bits);
+    EXPECT_EQ(got_bits, want_bits) << what << "[" << i << "]";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+TEST(BackendRegistry, HoldsAllFourBackendsInRegistrationOrder) {
+  const auto& all = BackendRegistry::instance().all();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->id(), BackendId::kPaperExact);
+  EXPECT_EQ(all[1]->id(), BackendId::kCfp);
+  EXPECT_EQ(all[2]->id(), BackendId::kDirected);
+  EXPECT_EQ(all[3]->id(), BackendId::kSampled);
+  for (const BcBackend* backend : all) {
+    // Names are the wire/CLI vocabulary and must match to_string().
+    EXPECT_EQ(backend->name(), to_string(backend->id()));
+    EXPECT_FALSE(backend->capabilities().summary.empty());
+    EXPECT_EQ(BackendRegistry::instance().find(backend->id()), backend);
+    EXPECT_EQ(BackendRegistry::instance().find(backend->name()), backend);
+  }
+}
+
+TEST(BackendRegistry, AutoAndUnknownAreNotBackends) {
+  const auto& registry = BackendRegistry::instance();
+  EXPECT_EQ(registry.find(BackendId::kAuto), nullptr);
+  EXPECT_EQ(registry.find("auto"), nullptr);
+  EXPECT_EQ(registry.find("brandes"), nullptr);
+  EXPECT_EQ(registry.find(static_cast<BackendId>(200)), nullptr);
+}
+
+TEST(BackendRegistry, CapabilitiesMatchTheDesignTable) {
+  const auto& registry = BackendRegistry::instance();
+  const auto caps = [&](BackendId id) {
+    return registry.find(id)->capabilities();
+  };
+  // Exactly one backend takes directed input, and it takes nothing else.
+  EXPECT_TRUE(caps(BackendId::kDirected).directed_input);
+  EXPECT_FALSE(caps(BackendId::kDirected).undirected_input);
+  for (const BackendId id :
+       {BackendId::kPaperExact, BackendId::kCfp, BackendId::kSampled}) {
+    EXPECT_TRUE(caps(id).undirected_input) << to_string(id);
+    EXPECT_FALSE(caps(id).directed_input) << to_string(id);
+  }
+  // Sampled is the only approximation.
+  EXPECT_FALSE(caps(BackendId::kSampled).exact);
+  EXPECT_TRUE(caps(BackendId::kPaperExact).exact);
+  EXPECT_TRUE(caps(BackendId::kCfp).exact);
+  EXPECT_TRUE(caps(BackendId::kDirected).exact);
+  // Simulator-engine backends are the checkpointable ones (the daemon
+  // keys its checkpoint plumbing off this bit).
+  EXPECT_TRUE(caps(BackendId::kPaperExact).simulator_engines);
+  EXPECT_TRUE(caps(BackendId::kSampled).simulator_engines);
+  EXPECT_FALSE(caps(BackendId::kCfp).simulator_engines);
+  EXPECT_FALSE(caps(BackendId::kDirected).simulator_engines);
+}
+
+TEST(ParseBackend, AcceptsTheFiveNamesRejectsEverythingElse) {
+  EXPECT_EQ(parse_backend("auto"), BackendId::kAuto);
+  EXPECT_EQ(parse_backend("paper_exact"), BackendId::kPaperExact);
+  EXPECT_EQ(parse_backend("cfp"), BackendId::kCfp);
+  EXPECT_EQ(parse_backend("directed"), BackendId::kDirected);
+  EXPECT_EQ(parse_backend("sampled"), BackendId::kSampled);
+  EXPECT_FALSE(parse_backend("").has_value());
+  EXPECT_FALSE(parse_backend("PAPER_EXACT").has_value());
+  EXPECT_FALSE(parse_backend("exact").has_value());
+  EXPECT_FALSE(parse_backend("sampled ").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Serve-time policy helpers
+
+TEST(ResolveAutoBackend, OnlyAutoIsEverRewritten) {
+  for (const bool pressure : {false, true}) {
+    for (const BackendId id : {BackendId::kPaperExact, BackendId::kCfp,
+                               BackendId::kDirected, BackendId::kSampled}) {
+      EXPECT_EQ(resolve_auto_backend(id, pressure), id);
+    }
+  }
+  EXPECT_EQ(resolve_auto_backend(BackendId::kAuto, false),
+            BackendId::kPaperExact);
+  EXPECT_EQ(resolve_auto_backend(BackendId::kAuto, true), BackendId::kSampled);
+}
+
+TEST(ResolveSampleBudget, ExplicitRequestClampsToN) {
+  EXPECT_EQ(resolve_sample_budget(100, 7), 7u);
+  EXPECT_EQ(resolve_sample_budget(100, 100), 100u);
+  EXPECT_EQ(resolve_sample_budget(100, 5000), 100u);
+  EXPECT_EQ(resolve_sample_budget(1, 3), 1u);
+}
+
+TEST(ResolveSampleBudget, DefaultIsFourRootNWithFloorSixteen) {
+  // 4*ceil(sqrt(n)), clamped to [16, n].
+  EXPECT_EQ(resolve_sample_budget(10000, 0), 400u);
+  EXPECT_EQ(resolve_sample_budget(100, 0), 40u);
+  EXPECT_EQ(resolve_sample_budget(17, 0), 17u);  // floor 16 < n, root 17
+  EXPECT_EQ(resolve_sample_budget(10, 0), 10u);  // floor capped at n
+  EXPECT_EQ(resolve_sample_budget(1, 0), 1u);
+  EXPECT_THROW(resolve_sample_budget(0, 0), PreconditionError);
+}
+
+TEST(SampledErrorBound, MatchesTheHoeffdingFormula) {
+  const NodeId n = 64;
+  const std::uint32_t s = 16;
+  const double delta = 0.05;
+  const double expected =
+      64.0 * 62.0 * std::sqrt(std::log(2.0 * 64.0 / delta) / (2.0 * 16.0));
+  EXPECT_DOUBLE_EQ(sampled_error_bound(n, s, delta), expected);
+  // Tighter with more samples, looser with smaller delta.
+  EXPECT_LT(sampled_error_bound(n, 64, delta), sampled_error_bound(n, s, delta));
+  EXPECT_GT(sampled_error_bound(n, s, 0.01), sampled_error_bound(n, s, 0.05));
+  // No interior pairs on n <= 2: BC is identically zero, bound is too.
+  EXPECT_EQ(sampled_error_bound(2, 4, delta), 0.0);
+  EXPECT_THROW(sampled_error_bound(n, 0, delta), PreconditionError);
+  EXPECT_THROW(sampled_error_bound(n, s, 0.0), PreconditionError);
+  EXPECT_THROW(sampled_error_bound(n, s, 1.0), PreconditionError);
+}
+
+// ---------------------------------------------------------------------
+// Dispatch validation
+
+TEST(RunPortfolio, RejectsUnresolvedAutoAndWrongKindInputs) {
+  Rng rng(7);
+  const Graph g = gen::erdos_renyi_connected(12, 0.4, rng);
+  const Digraph d = gen::directed_erdos_renyi(12, 0.3, rng);
+
+  EXPECT_THROW(run_portfolio(undirected_request(g, BackendId::kAuto)),
+               PreconditionError);
+
+  BackendRequest empty;
+  empty.options.backend = BackendId::kPaperExact;
+  EXPECT_THROW(run_portfolio(empty), PreconditionError);
+
+  BackendRequest both = undirected_request(g, BackendId::kDirected);
+  both.digraph = &d;
+  EXPECT_THROW(run_portfolio(both), PreconditionError);
+
+  // Undirected backends refuse digraphs, the directed one refuses graphs.
+  for (const BackendId id :
+       {BackendId::kPaperExact, BackendId::kCfp, BackendId::kSampled}) {
+    BackendRequest request = directed_request(d);
+    request.options.backend = id;
+    EXPECT_THROW(run_portfolio(request), PreconditionError) << to_string(id);
+  }
+  EXPECT_THROW(run_portfolio(undirected_request(g, BackendId::kDirected)),
+               PreconditionError);
+}
+
+TEST(RunPortfolio, SimulatorOnlyKnobsAreRejectedByRoundModelBackends) {
+  Rng rng(11);
+  const Graph g = gen::barabasi_albert(16, 2, rng);
+  const Digraph d = gen::directed_erdos_renyi(16, 0.2, rng);
+
+  BackendRequest faulty = undirected_request(g, BackendId::kCfp);
+  faulty.options.faults = FaultPlan::parse("drop=0.1,seed=7");
+  EXPECT_THROW(run_portfolio(faulty), PreconditionError);
+
+  BackendRequest reliable = undirected_request(g, BackendId::kCfp);
+  reliable.options.reliable_transport = true;
+  EXPECT_THROW(run_portfolio(reliable), PreconditionError);
+
+  BackendRequest checkpointed = directed_request(d);
+  checkpointed.options.checkpoint_every = 8;
+  EXPECT_THROW(run_portfolio(checkpointed), PreconditionError);
+
+  // Sampled draws its own sources — an explicit mask is a contract error.
+  BackendRequest masked = undirected_request(g, BackendId::kSampled);
+  masked.options.sources = std::vector<bool>(g.num_nodes(), true);
+  EXPECT_THROW(run_portfolio(masked), PreconditionError);
+}
+
+// ---------------------------------------------------------------------
+// paper_exact: the refactor must not have changed a single bit
+
+TEST(PaperExactBackend, BitIdenticalToDirectWatchdogRun) {
+  Rng rng(23);
+  const Graph g = gen::erdos_renyi_connected(40, 0.15, rng);
+  DistributedBcOptions options;
+  options.keep_tables = false;
+  const RunOutcome direct = run_bc_with_watchdog(g, options);
+  ASSERT_EQ(direct.status, RunStatus::kComplete) << direct.detail;
+
+  BackendRequest request = undirected_request(g, BackendId::kPaperExact);
+  const RunOutcome via_portfolio = run_portfolio(request);
+  ASSERT_EQ(via_portfolio.status, RunStatus::kComplete) << via_portfolio.detail;
+  EXPECT_EQ(via_portfolio.result.rounds, direct.result.rounds);
+  EXPECT_EQ(via_portfolio.result.diameter, direct.result.diameter);
+  EXPECT_EQ(via_portfolio.result.metrics.total_bits,
+            direct.result.metrics.total_bits);
+  expect_bit_equal(via_portfolio.result.betweenness, direct.result.betweenness,
+                   "betweenness");
+  expect_bit_equal(via_portfolio.result.closeness, direct.result.closeness,
+                   "closeness");
+  EXPECT_EQ(via_portfolio.result.eccentricities, direct.result.eccentricities);
+}
+
+// ---------------------------------------------------------------------
+// cfp: independent implementation vs centralized Brandes
+
+TEST(CfpBackend, MatchesBrandesToDoubleTolerance) {
+  Rng rng(31);
+  for (const Graph& g :
+       {gen::erdos_renyi_connected(48, 0.12, rng), gen::barabasi_albert(48, 2, rng),
+        gen::grid(6, 8), gen::figure1_example()}) {
+    const RunOutcome outcome =
+        run_portfolio(undirected_request(g, BackendId::kCfp));
+    ASSERT_EQ(outcome.status, RunStatus::kComplete) << outcome.detail;
+    const auto reference = brandes_bc(g);
+    const ErrorStats stats =
+        compare_vectors(outcome.result.betweenness, reference, 1e-9);
+    EXPECT_LT(stats.max_rel_error, 1e-9)
+        << "worst node " << stats.worst_index;
+    EXPECT_EQ(outcome.result.diameter, diameter(g));
+    // The pipelined cost model: 2(S-1) + 2D + 4 rounds, S = n sources.
+    EXPECT_EQ(outcome.result.rounds,
+              2ull * (g.num_nodes() - 1) + 2ull * diameter(g) + 4);
+    EXPECT_GT(outcome.result.metrics.total_logical_messages, 0u);
+  }
+}
+
+TEST(CfpBackend, HonorsHalveAndSourceMasks) {
+  Rng rng(37);
+  const Graph g = gen::erdos_renyi_connected(24, 0.25, rng);
+  // halve=false doubles every undirected score exactly.
+  BackendRequest unhalved = undirected_request(g, BackendId::kCfp);
+  unhalved.options.halve = false;
+  const auto full = run_portfolio(unhalved);
+  BcOptions opts;
+  opts.halve = false;
+  const ErrorStats stats =
+      compare_vectors(full.result.betweenness, brandes_bc(g, opts), 1e-9);
+  EXPECT_LT(stats.max_rel_error, 1e-9);
+
+  // A restricted source mask must match Brandes restricted the same way
+  // — computed here by the naive per-source accumulation on a path,
+  // where the partial sums are known exactly.
+  const Graph path = gen::path(6);
+  BackendRequest masked = undirected_request(path, BackendId::kCfp);
+  std::vector<bool> sources(6, false);
+  sources[0] = true;
+  masked.options.sources = sources;
+  masked.options.halve = false;
+  masked.options.scale_by_sources = false;  // raw partial sums, no N/|S|
+  const auto partial = run_portfolio(masked);
+  // From source 0 on a 6-path, node v in 1..4 covers targets v+1..5:
+  // dependency = 5 - v.
+  for (NodeId v = 1; v + 1 < 6; ++v) {
+    EXPECT_DOUBLE_EQ(partial.result.betweenness[v],
+                     static_cast<double>(5 - v));
+  }
+  EXPECT_DOUBLE_EQ(partial.result.betweenness[0], 0.0);
+  EXPECT_DOUBLE_EQ(partial.result.betweenness[5], 0.0);
+}
+
+TEST(CfpBackend, RequiresConnectedGraph) {
+  const Graph disconnected(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(
+      run_portfolio(undirected_request(disconnected, BackendId::kCfp)),
+      PreconditionError);
+}
+
+// ---------------------------------------------------------------------
+// directed: vs the centralized directed Brandes checker
+
+TEST(DirectedBackend, MatchesDirectedBrandesOnRandomDigraphs) {
+  for (const std::uint64_t seed : {3ull, 5ull, 9ull}) {
+    Rng rng(seed);
+    const Digraph g = gen::directed_erdos_renyi(32, 0.15, rng);
+    const RunOutcome outcome = run_portfolio(directed_request(g));
+    ASSERT_EQ(outcome.status, RunStatus::kComplete) << outcome.detail;
+    const auto reference = directed_brandes_bc(g);
+    const ErrorStats stats =
+        compare_vectors(outcome.result.betweenness, reference, 1e-9);
+    EXPECT_LT(stats.max_rel_error, 1e-9)
+        << "seed " << seed << " worst node " << stats.worst_index;
+  }
+}
+
+TEST(DirectedBackend, DirectedCycleGivesOrderedPairCounts) {
+  // On a directed n-cycle every ordered pair (s, t), s != t, has one
+  // shortest path through every interior node: C_B(v) = sum over pairs
+  // whose path crosses v = (n-1)(n-2)/2 for every v.
+  const NodeId n = 7;
+  std::vector<Arc> arcs;
+  for (NodeId v = 0; v < n; ++v) {
+    arcs.push_back({v, static_cast<NodeId>((v + 1) % n)});
+  }
+  const Digraph cycle(n, std::move(arcs));
+  const RunOutcome outcome = run_portfolio(directed_request(cycle));
+  ASSERT_EQ(outcome.status, RunStatus::kComplete) << outcome.detail;
+  const double expected = static_cast<double>((n - 1) * (n - 2)) / 2.0;
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_DOUBLE_EQ(outcome.result.betweenness[v], expected) << "node " << v;
+  }
+  // Longest shortest path wraps nearly all the way around.
+  EXPECT_EQ(outcome.result.diameter, n - 1);
+}
+
+TEST(DirectedBackend, AntiparallelPairDiffersFromSingleArc) {
+  // Orientation must matter: a path 0->1->2 funnels all (0, *) traffic
+  // through 1, while the reverse arcs alone carry none of it.
+  const Digraph forward(3, {{0, 1}, {1, 2}});
+  const Digraph backward(3, {{1, 0}, {2, 1}});
+  const auto f = run_portfolio(directed_request(forward));
+  const auto b = run_portfolio(directed_request(backward));
+  EXPECT_DOUBLE_EQ(f.result.betweenness[1], 1.0);
+  EXPECT_DOUBLE_EQ(b.result.betweenness[1], 1.0);
+  // But closeness of node 0 differs: it reaches both in `forward`,
+  // nothing in `backward`.
+  EXPECT_GT(f.result.closeness[0], 0.0);
+  EXPECT_EQ(b.result.closeness[0], 0.0);
+}
+
+TEST(DirectedBackend, RequiresWeakConnectivity) {
+  const Digraph disconnected(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(run_portfolio(directed_request(disconnected)),
+               PreconditionError);
+}
+
+// ---------------------------------------------------------------------
+// sampled: determinism, exact degeneration, and the error bound
+
+TEST(SampledBackend, DeterministicPerSeedAndSeedSensitive) {
+  Rng rng(41);
+  const Graph g = gen::barabasi_albert(64, 2, rng);
+  BackendRequest request = undirected_request(g, BackendId::kSampled);
+  request.options.approx_samples = 12;
+  request.options.approx_seed = 5;
+  const auto first = run_portfolio(request);
+  const auto second = run_portfolio(request);
+  ASSERT_EQ(first.status, RunStatus::kComplete) << first.detail;
+  expect_bit_equal(second.result.betweenness, first.result.betweenness,
+                   "betweenness replay");
+
+  request.options.approx_seed = 6;
+  const auto other_seed = run_portfolio(request);
+  bool any_difference = false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    any_difference |=
+        other_seed.result.betweenness[v] != first.result.betweenness[v];
+  }
+  EXPECT_TRUE(any_difference) << "different seed drew identical estimates";
+}
+
+TEST(SampledBackend, FullBudgetDegeneratesToExact) {
+  Rng rng(43);
+  const Graph g = gen::erdos_renyi_connected(32, 0.2, rng);
+  BackendRequest request = undirected_request(g, BackendId::kSampled);
+  request.options.approx_samples = g.num_nodes();  // every node a source
+  const auto sampled = run_portfolio(request);
+  const auto exact = run_portfolio(undirected_request(g, BackendId::kPaperExact));
+  ASSERT_EQ(sampled.status, RunStatus::kComplete) << sampled.detail;
+  // N/|S| = 1: the estimator is the exact sum (scaling by 1.0 is exact
+  // in IEEE, so this holds bitwise).
+  expect_bit_equal(sampled.result.betweenness, exact.result.betweenness,
+                   "full-budget betweenness");
+}
+
+TEST(SampledBackend, ObservedErrorStaysInsideTheStatedBound) {
+  Rng rng(47);
+  const Graph g = gen::erdos_renyi_connected(64, 0.1, rng);
+  const auto reference = brandes_bc(g);
+  const std::uint32_t samples = 16;
+  const double bound = sampled_error_bound(g.num_nodes(), samples, 0.05);
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    BackendRequest request = undirected_request(g, BackendId::kSampled);
+    request.options.approx_samples = samples;
+    request.options.approx_seed = seed;
+    const auto outcome = run_portfolio(request);
+    ASSERT_EQ(outcome.status, RunStatus::kComplete) << outcome.detail;
+    const ErrorStats stats =
+        compare_vectors(outcome.result.betweenness, reference, 1e-6);
+    EXPECT_LE(stats.max_abs_error, bound) << "seed " << seed;
+  }
+}
+
+TEST(SampledBackend, DefaultBudgetRunsFewerCountingWaves) {
+  Rng rng(53);
+  const Graph g = gen::barabasi_albert(128, 2, rng);
+  const auto sampled =
+      run_portfolio(undirected_request(g, BackendId::kSampled));
+  const auto exact =
+      run_portfolio(undirected_request(g, BackendId::kPaperExact));
+  ASSERT_EQ(sampled.status, RunStatus::kComplete) << sampled.detail;
+  // The speed claim in its cheapest proxy: strictly fewer rounds (the
+  // wall-clock version is pinned by bench_portfolio's self-gate).
+  EXPECT_LT(sampled.result.rounds, exact.result.rounds);
+}
+
+}  // namespace
+}  // namespace congestbc::portfolio

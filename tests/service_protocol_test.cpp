@@ -81,6 +81,56 @@ TEST(ProtocolRoundTrip, SubmitRequest) {
   EXPECT_EQ(decoded.legacy_engine, original.submit.legacy_engine);
 }
 
+TEST(ProtocolRoundTrip, PortfolioSubmitFieldsSurviveV5) {
+  SubmitRequest submit = sample_submit();
+  submit.reliable = false;  // cfp/directed submits carry no transport knobs
+  submit.faults.clear();
+  submit.backend = 4;  // sampled
+  submit.samples = 123;
+  submit.sample_seed = 0xfeedface12345678ull;
+  const Request original = make_submit(submit);
+  const DrainResult result = drain(frame_of(original));
+  ASSERT_FALSE(result.error.has_value());
+  ASSERT_EQ(result.requests.size(), 1u);
+  const SubmitRequest& decoded = result.requests[0].submit;
+  EXPECT_EQ(decoded.backend, 4);
+  EXPECT_EQ(decoded.samples, 123u);
+  EXPECT_EQ(decoded.sample_seed, 0xfeedface12345678ull);
+
+  // The wire default is paper_exact, not auto: a v5 client that never
+  // touches the field gets the pre-portfolio behavior.
+  const SubmitRequest untouched;
+  EXPECT_EQ(untouched.backend, 1);
+  EXPECT_EQ(untouched.samples, 0u);
+  EXPECT_EQ(untouched.sample_seed, 0u);
+}
+
+TEST(ProtocolRoundTrip, SubmitReplyCarriesResolvedBackendAndDowngrade) {
+  Reply reply;
+  reply.type = MsgType::kSubmitReply;
+  reply.submit = {SubmitDisposition::kQueued, 7, 0xabcd, "queued"};
+  reply.submit.backend = 4;
+  reply.submit.downgraded = true;
+  FrameDecoder decoder;
+  const auto bytes = frame_bytes(encode_reply(reply));
+  decoder.feed(bytes.data(), bytes.size());
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  const Reply decoded = decode_reply(*frame);
+  EXPECT_EQ(decoded.submit.backend, 4);
+  EXPECT_TRUE(decoded.submit.downgraded);
+
+  Reply stats;
+  stats.type = MsgType::kStatsReply;
+  stats.stats.backend_downgrades = 0x1122334455ull;
+  const auto stats_bytes = frame_bytes(encode_reply(stats));
+  decoder.feed(stats_bytes.data(), stats_bytes.size());
+  const auto stats_frame = decoder.next();
+  ASSERT_TRUE(stats_frame.has_value());
+  EXPECT_EQ(decode_reply(*stats_frame).stats.backend_downgrades,
+            0x1122334455ull);
+}
+
 TEST(ProtocolRoundTrip, JobAndPlainRequests) {
   for (const MsgType type :
        {MsgType::kStatus, MsgType::kResult, MsgType::kCancel}) {

@@ -40,6 +40,7 @@
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 #include "gtest/gtest.h"
+#include "portfolio/backend.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/protocol.hpp"
@@ -719,6 +720,221 @@ TEST(ServiceDaemon, MetricsEndpointServesConsistentCounters) {
   EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
   const SubmitReply after = client.submit(inline_submit(karate));
   EXPECT_EQ(after.disposition, SubmitDisposition::kCacheHit);
+}
+
+// ---------------------------------------------------------------------
+// Portfolio plane (protocol v5): backend selection end-to-end
+
+TEST(ServiceDaemon, AutoBackendRunsPaperExactWhenIdle) {
+  DaemonHarness harness(DaemonConfig{});
+  Client client;
+  harness.connect(client);
+
+  SubmitRequest submit = inline_submit(data_file("karate.txt"));
+  submit.backend = 0;  // auto
+  const SubmitReply reply = client.submit(submit);
+  ASSERT_EQ(reply.disposition, SubmitDisposition::kQueued) << reply.detail;
+  EXPECT_EQ(reply.backend, 1);  // paper_exact: idle server, no downgrade
+  EXPECT_FALSE(reply.downgraded);
+  ASSERT_TRUE(client.wait_result(reply.job_id).ready);
+  EXPECT_EQ(harness.daemon().stats().backend_downgrades, 0u);
+
+  // An idle auto submit and an explicit paper_exact submit are the SAME
+  // job: the resolved backend is the cache key, not the requested one.
+  SubmitRequest explicit_exact = inline_submit(data_file("karate.txt"));
+  explicit_exact.backend = 1;
+  const SubmitReply hit = client.submit(explicit_exact);
+  EXPECT_EQ(hit.disposition, SubmitDisposition::kCacheHit);
+  EXPECT_EQ(hit.fingerprint, reply.fingerprint);
+}
+
+TEST(ServiceDaemon, AutoDowngradesToSampledUnderQueuePressure) {
+  DaemonConfig config;
+  config.workers = 1;     // one slow job pins the only worker...
+  config.queue_limit = 2; // ...and one queued job already means pressure
+  DaemonHarness harness(config);
+  Client client;
+  harness.connect(client);
+
+  // Occupy the worker and the queue with slow exact jobs.
+  const SubmitReply running =
+      client.submit(inline_submit(write_edge_list_text(gen::cycle(600))));
+  ASSERT_EQ(running.disposition, SubmitDisposition::kQueued) << running.detail;
+  const SubmitReply queued =
+      client.submit(inline_submit(write_edge_list_text(gen::cycle(601))));
+  ASSERT_EQ(queued.disposition, SubmitDisposition::kQueued) << queued.detail;
+
+  // Now backend=auto must degrade to the sampled approximation, say so
+  // in the reply, and count it.
+  SubmitRequest submit = inline_submit(data_file("karate.txt"));
+  submit.backend = 0;
+  submit.samples = 8;
+  submit.sample_seed = 3;
+  const SubmitReply reply = client.submit(submit);
+  ASSERT_EQ(reply.disposition, SubmitDisposition::kQueued) << reply.detail;
+  EXPECT_EQ(reply.backend, 4);  // sampled
+  EXPECT_TRUE(reply.downgraded);
+
+  // The served bits are the sampled backend's, not a truncated exact run.
+  const ResultReply result = client.wait_result(reply.job_id);
+  ASSERT_TRUE(result.ready);
+  const ResultBlock block = decode_block(result);
+  const Graph karate = read_edge_list_text(data_file("karate.txt"));
+  portfolio::BackendRequest local;
+  local.graph = &karate;
+  local.options.backend = BackendId::kSampled;
+  local.options.approx_samples = 8;
+  local.options.approx_seed = 3;
+  const RunOutcome fresh = portfolio::run_portfolio(local);
+  ASSERT_EQ(fresh.status, RunStatus::kComplete) << fresh.detail;
+  expect_bit_equal(block.betweenness, fresh.result.betweenness,
+                   "downgraded betweenness");
+
+  // Visible in STATS and in the Prometheus scrape.
+  ASSERT_TRUE(client.wait_result(running.job_id).ready);
+  ASSERT_TRUE(client.wait_result(queued.job_id).ready);
+  EXPECT_EQ(harness.daemon().stats().backend_downgrades, 1u);
+  const std::string response = http_exchange(
+      harness.daemon().port(), "GET /metrics HTTP/1.0\r\nHost: t\r\n\r\n");
+  const std::string body = response.substr(response.find("\r\n\r\n") + 4);
+  EXPECT_EQ(metric_value(body, "congestbcd_backend_downgrades_total"), 1.0);
+
+  // An explicit (non-auto) backend is never overridden, pressure or not.
+  SubmitRequest pinned = inline_submit(data_file("lesmis.txt"));
+  pinned.backend = 1;
+  const SubmitReply pinned_reply = client.submit(pinned);
+  ASSERT_EQ(pinned_reply.disposition, SubmitDisposition::kQueued)
+      << pinned_reply.detail;
+  EXPECT_EQ(pinned_reply.backend, 1);
+  EXPECT_FALSE(pinned_reply.downgraded);
+  ASSERT_TRUE(client.wait_result(pinned_reply.job_id).ready);
+  EXPECT_EQ(harness.daemon().stats().backend_downgrades, 1u);
+}
+
+TEST(ServiceDaemon, SampledSubmitKeysItsOwnCacheEntry) {
+  DaemonHarness harness(DaemonConfig{});
+  Client client;
+  harness.connect(client);
+
+  SubmitRequest exact = inline_submit(data_file("karate.txt"));
+  const SubmitReply exact_reply = client.submit(exact);
+  ASSERT_EQ(exact_reply.disposition, SubmitDisposition::kQueued)
+      << exact_reply.detail;
+
+  SubmitRequest sampled = inline_submit(data_file("karate.txt"));
+  sampled.backend = 4;
+  sampled.samples = 8;
+  sampled.sample_seed = 1;
+  const SubmitReply sampled_reply = client.submit(sampled);
+  ASSERT_NE(sampled_reply.disposition, SubmitDisposition::kRejected)
+      << sampled_reply.detail;
+  EXPECT_NE(sampled_reply.fingerprint, exact_reply.fingerprint);
+  EXPECT_EQ(sampled_reply.backend, 4);
+  EXPECT_FALSE(sampled_reply.downgraded);  // requested, not downgraded
+
+  // A different seed is a different job; the same seed coalesces/hits.
+  SubmitRequest other_seed = sampled;
+  other_seed.sample_seed = 2;
+  const SubmitReply other_reply = client.submit(other_seed);
+  EXPECT_NE(other_reply.fingerprint, sampled_reply.fingerprint);
+  SubmitRequest replay = sampled;
+  const SubmitReply replay_reply = client.submit(replay);
+  EXPECT_EQ(replay_reply.fingerprint, sampled_reply.fingerprint);
+
+  for (const std::uint64_t id :
+       {exact_reply.job_id, sampled_reply.job_id, other_reply.job_id}) {
+    ASSERT_TRUE(client.wait_result(id).ready);
+  }
+}
+
+TEST(ServiceDaemon, DirectedSubmitServesTheDirectedBackend) {
+  DaemonHarness harness(DaemonConfig{});
+  Client client;
+  harness.connect(client);
+
+  // Directed 6-cycle: every node carries (n-1)(n-2)/2 = 10 ordered-pair
+  // betweenness under the directed convention.
+  std::vector<Arc> arcs;
+  for (NodeId v = 0; v < 6; ++v) {
+    arcs.push_back({v, static_cast<NodeId>((v + 1) % 6)});
+  }
+  const Digraph cycle(6, std::move(arcs));
+  SubmitRequest submit = inline_submit(write_directed_edge_list_text(cycle));
+  submit.backend = 3;
+  const SubmitReply reply = client.submit(submit);
+  ASSERT_EQ(reply.disposition, SubmitDisposition::kQueued) << reply.detail;
+  EXPECT_EQ(reply.backend, 3);
+
+  const ResultReply result = client.wait_result(reply.job_id);
+  ASSERT_TRUE(result.ready);
+  const ResultBlock block = decode_block(result);
+  portfolio::BackendRequest local;
+  local.digraph = &cycle;
+  local.options.backend = BackendId::kDirected;
+  const RunOutcome fresh = portfolio::run_portfolio(local);
+  ASSERT_EQ(fresh.status, RunStatus::kComplete) << fresh.detail;
+  expect_bit_equal(block.betweenness, fresh.result.betweenness,
+                   "directed betweenness");
+  for (const double bc : block.betweenness) {
+    EXPECT_DOUBLE_EQ(bc, 10.0);
+  }
+
+  // The directed job must not collide with the undirected support's
+  // cache entry — orientation is part of the fingerprint.
+  const SubmitReply undirected =
+      client.submit(inline_submit(write_edge_list_text(gen::cycle(6))));
+  ASSERT_EQ(undirected.disposition, SubmitDisposition::kQueued)
+      << undirected.detail;
+  EXPECT_NE(undirected.fingerprint, reply.fingerprint);
+  ASSERT_TRUE(client.wait_result(undirected.job_id).ready);
+
+  // Semantic garbage on the directed plane gets typed rejections.
+  SubmitRequest disconnected = inline_submit("4 2\n0 1\n2 3\n");
+  disconnected.backend = 3;
+  const SubmitReply rejected = client.submit(disconnected);
+  EXPECT_EQ(rejected.disposition, SubmitDisposition::kRejected);
+  EXPECT_NE(rejected.detail.find("connected"), std::string::npos)
+      << rejected.detail;
+
+  // An out-of-range backend id draws a typed ERROR frame, after which
+  // the daemon drops the offending connection (hostile-payload policy)
+  // — probe on a throwaway client so this session keeps serving.
+  Client hostile;
+  harness.connect(hostile);
+  SubmitRequest unknown = inline_submit(data_file("karate.txt"));
+  unknown.backend = 200;
+  EXPECT_THROW(hostile.submit(unknown), std::exception);
+
+  SubmitRequest faulty_cfp = inline_submit(data_file("karate.txt"));
+  faulty_cfp.backend = 2;
+  faulty_cfp.faults = "drop=0.1,seed=7";
+  const SubmitReply faulty_reply = client.submit(faulty_cfp);
+  EXPECT_EQ(faulty_reply.disposition, SubmitDisposition::kRejected);
+}
+
+TEST(ServiceDaemon, CfpSubmitMatchesLocalCfpRun) {
+  DaemonHarness harness(DaemonConfig{});
+  Client client;
+  harness.connect(client);
+
+  SubmitRequest submit = inline_submit(data_file("karate.txt"));
+  submit.backend = 2;
+  const SubmitReply reply = client.submit(submit);
+  ASSERT_EQ(reply.disposition, SubmitDisposition::kQueued) << reply.detail;
+  EXPECT_EQ(reply.backend, 2);
+
+  const ResultReply result = client.wait_result(reply.job_id);
+  ASSERT_TRUE(result.ready);
+  const ResultBlock block = decode_block(result);
+  const Graph karate = read_edge_list_text(data_file("karate.txt"));
+  portfolio::BackendRequest local;
+  local.graph = &karate;
+  local.options.backend = BackendId::kCfp;
+  const RunOutcome fresh = portfolio::run_portfolio(local);
+  ASSERT_EQ(fresh.status, RunStatus::kComplete) << fresh.detail;
+  expect_bit_equal(block.betweenness, fresh.result.betweenness,
+                   "cfp betweenness");
+  EXPECT_EQ(block.rounds, fresh.result.rounds);
 }
 
 #ifdef CONGESTBCD_PATH

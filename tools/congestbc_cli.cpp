@@ -59,13 +59,27 @@
 //                    there, ready for --resume
 //   --dump-graph FILE     write the loaded/generated graph as a canonical
 //                    edge list and exit (dataset generation)
+//   --backend B      portfolio backend: auto (resolves to paper_exact
+//                    locally — no queue to be under pressure from),
+//                    paper_exact, cfp, directed, or sampled
+//                    (src/portfolio).  `directed` reads the input as a
+//                    directed edge list (orientation kept; --generate
+//                    supports er and ba); `sampled` honors --samples and
+//                    --sample-seed and prints its Hoeffding error bound
+//   --sample-seed S  source-sampling seed for --backend sampled
+//                    (default 1; distinct from --seed, which drives
+//                    graph generation)
 //
 // Subcommands:
 //   congestbc_cli fingerprint GRAPH.txt [--no-halve --faults SPEC
-//                    --reliable --mantissa L]
+//                    --reliable --mantissa L --backend B --samples K
+//                    --sample-seed S]
 //                    print the graph / options / run fingerprints — the key
 //                    the serving daemon's result cache, coalescing map, and
 //                    job spool all share (src/snapshot/fingerprint.hpp)
+//   congestbc_cli backends
+//                    list the registered portfolio backends and their
+//                    capabilities
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -88,6 +102,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
+#include "portfolio/backend.hpp"
 #include "snapshot/fingerprint.hpp"
 
 namespace {
@@ -98,6 +113,7 @@ constexpr const char* kUsage =
     "usage: congestbc_cli GRAPH.txt [options]\n"
     "       congestbc_cli --generate FAMILY --n N [options]\n"
     "       congestbc_cli fingerprint GRAPH.txt [options]\n"
+    "       congestbc_cli backends\n"
     "options: --top K | --all | --samples K | --no-check | --no-halve |\n"
     "         --mantissa L | --metrics | --stats | --apsp | --trace |\n"
     "         --trace-out FILE | --json | --seed S | --faults SPEC |\n"
@@ -105,7 +121,8 @@ constexpr const char* kUsage =
     "         --stall-window N | --threads T | --engine E |\n"
     "         --checkpoint-every N |\n"
     "         --checkpoint-dir D | --checkpoint-keep K | --resume FILE |\n"
-    "         --halt-at-round R | --dump-graph FILE\n";
+    "         --halt-at-round R | --dump-graph FILE |\n"
+    "         --backend B | --sample-seed S\n";
 
 /// Assembles and writes the --trace-out file: deterministic logical
 /// tracks (phase timeline, per-round traffic, counting-wave starts) plus
@@ -173,6 +190,25 @@ Graph load_graph(const Args& args) {
   return read_edge_list(file);
 }
 
+Digraph load_digraph(const Args& args) {
+  if (const auto family = args.get("generate")) {
+    const auto n = static_cast<NodeId>(args.get_int_or("n", 64));
+    Rng rng(static_cast<std::uint64_t>(args.get_int_or("seed", 1)));
+    if (*family == "er") {
+      return gen::directed_erdos_renyi(
+          n, 2.0 * std::log(static_cast<double>(n)) / static_cast<double>(n),
+          rng);
+    }
+    if (*family == "ba") return gen::directed_barabasi_albert(n, 2, rng);
+    throw PreconditionError("directed --generate supports er and ba, not " +
+                            *family);
+  }
+  CBC_EXPECTS(args.positional().size() == 1, kUsage);
+  std::ifstream file(args.positional()[0]);
+  CBC_EXPECTS(file.good(), "cannot open " + args.positional()[0]);
+  return read_directed_edge_list(file);
+}
+
 EngineKind parse_engine(const std::string& name) {
   if (name == "frontier") return EngineKind::kFrontier;
   if (name == "arena") return EngineKind::kArena;
@@ -188,9 +224,23 @@ int run(int argc, char** argv) {
                                  "threads", "engine", "checkpoint-every",
                                  "checkpoint-dir", "checkpoint-keep",
                                  "resume", "halt-at-round", "dump-graph",
-                                 "trace-out"});
+                                 "trace-out", "backend", "sample-seed"});
   if (args.has("help")) {
     std::cout << kUsage;
+    return 0;
+  }
+  if (!args.positional().empty() && args.positional()[0] == "backends") {
+    Table table({"backend", "input", "kind", "engines", "summary"});
+    for (const portfolio::BcBackend* backend :
+         portfolio::BackendRegistry::instance().all()) {
+      const portfolio::BackendCapabilities caps = backend->capabilities();
+      table.add_row({std::string(backend->name()),
+                     caps.directed_input ? "directed" : "undirected",
+                     caps.exact ? "exact" : "approximate",
+                     caps.simulator_engines ? "yes" : "no",
+                     std::string(caps.summary)});
+    }
+    table.print(std::cout);
     return 0;
   }
   if (!args.positional().empty() && args.positional()[0] == "fingerprint") {
@@ -198,24 +248,52 @@ int run(int argc, char** argv) {
     // cache hits, in-flight coalescing, and spool-resume validation all
     // key on run_fingerprint, so this subcommand lets an operator predict
     // (or debug) whether two submits will share one execution.
-    Graph graph = [&] {
+    BackendId backend = BackendId::kPaperExact;
+    if (const auto backend_name = args.get("backend")) {
+      const auto parsed = portfolio::parse_backend(*backend_name);
+      CBC_EXPECTS(parsed.has_value(), "unknown --backend: " + *backend_name);
+      // No queue here, so auto is never under pressure: paper_exact —
+      // the same resolution an idle daemon would make.
+      backend = portfolio::resolve_auto_backend(*parsed, false);
+    }
+    Graph graph(0, {});
+    std::optional<Digraph> digraph;
+    if (backend == BackendId::kDirected) {
+      CBC_EXPECTS(args.positional().size() == 2 || args.get("generate"),
+                  "usage: congestbc_cli fingerprint GRAPH.txt [options]");
       if (args.get("generate")) {
-        return load_graph(args);
+        digraph = load_digraph(args);
+      } else {
+        std::ifstream file(args.positional()[1]);
+        CBC_EXPECTS(file.good(), "cannot open " + args.positional()[1]);
+        digraph = read_directed_edge_list(file);
       }
+    } else if (args.get("generate")) {
+      graph = load_graph(args);
+    } else {
       CBC_EXPECTS(args.positional().size() == 2,
                   "usage: congestbc_cli fingerprint GRAPH.txt [options]");
       std::ifstream file(args.positional()[1]);
       CBC_EXPECTS(file.good(), "cannot open " + args.positional()[1]);
-      return read_edge_list(file);
-    }();
+      graph = read_edge_list(file);
+    }
+    const NodeId n =
+        digraph.has_value() ? digraph->num_nodes() : graph.num_nodes();
     DistributedBcOptions bc_options;
+    bc_options.backend = backend;
+    if (backend == BackendId::kSampled) {
+      bc_options.approx_samples =
+          static_cast<std::uint32_t>(args.get_int_or("samples", 0));
+      bc_options.approx_seed =
+          static_cast<std::uint64_t>(args.get_int_or("sample-seed", 1));
+    }
     bc_options.halve = !args.has("no-halve");
     if (const auto spec = args.get("faults")) {
       bc_options.faults = FaultPlan::parse(*spec);
     }
     bc_options.reliable_transport = args.has("reliable");
     if (const auto mantissa = args.get("mantissa")) {
-      auto fmt = SoftFloatFormat::for_graph(graph.num_nodes());
+      auto fmt = SoftFloatFormat::for_graph(n);
       fmt.mantissa_bits = static_cast<unsigned>(std::stoul(*mantissa));
       bc_options.format = fmt;
       bc_options.budget_bits = 0;
@@ -226,12 +304,17 @@ int run(int argc, char** argv) {
                     static_cast<unsigned long long>(fp));
       return std::string(buf);
     };
-    std::cout << "graph fingerprint:   " << hex(graph_fingerprint(graph))
+    std::cout << "graph fingerprint:   "
+              << hex(digraph.has_value() ? digraph_fingerprint(*digraph)
+                                         : graph_fingerprint(graph))
               << "\n"
               << "options fingerprint: "
-              << hex(options_fingerprint(bc_options, graph.num_nodes())) << "\n"
+              << hex(options_fingerprint(bc_options, n)) << "\n"
               << "run fingerprint:     "
-              << hex(run_fingerprint(graph, bc_options)) << "\n";
+              << hex(digraph.has_value()
+                         ? run_fingerprint(*digraph, bc_options)
+                         : run_fingerprint(graph, bc_options))
+              << "\n";
     return 0;
   }
   if (args.has("weighted")) {
@@ -261,6 +344,88 @@ int run(int argc, char** argv) {
               << result.rounds << " rounds; weighted diameter "
               << result.weighted_diameter << "\n";
     return 0;
+  }
+
+  if (const auto backend_name = args.get("backend")) {
+    // Portfolio path: any of the four registered backends, dispatched
+    // through the same run_portfolio() the serving daemon uses.  `auto`
+    // resolves to paper_exact — a local one-shot run has no queue to be
+    // under pressure from.
+    const auto parsed = portfolio::parse_backend(*backend_name);
+    CBC_EXPECTS(parsed.has_value(), "unknown --backend: " + *backend_name);
+    const BackendId backend = portfolio::resolve_auto_backend(*parsed, false);
+
+    DistributedBcOptions bc_options;
+    bc_options.backend = backend;
+    bc_options.halve = !args.has("no-halve");
+    bc_options.threads = static_cast<unsigned>(args.get_int_or("threads", 1));
+    if (const auto engine = args.get("engine")) {
+      bc_options.engine = parse_engine(*engine);
+    }
+    if (backend == BackendId::kSampled) {
+      bc_options.approx_samples =
+          static_cast<std::uint32_t>(args.get_int_or("samples", 0));
+      bc_options.approx_seed =
+          static_cast<std::uint64_t>(args.get_int_or("sample-seed", 1));
+    }
+
+    Graph graph(0, {});
+    std::optional<Digraph> digraph;
+    portfolio::BackendRequest breq;
+    if (backend == BackendId::kDirected) {
+      digraph = load_digraph(args);
+      breq.digraph = &*digraph;
+    } else {
+      graph = load_graph(args);
+      breq.graph = &graph;
+    }
+    const NodeId n =
+        digraph.has_value() ? digraph->num_nodes() : graph.num_nodes();
+    if (const auto mantissa = args.get("mantissa")) {
+      auto fmt = SoftFloatFormat::for_graph(n);
+      fmt.mantissa_bits = static_cast<unsigned>(std::stoul(*mantissa));
+      bc_options.format = fmt;
+      bc_options.budget_bits = 0;
+    }
+    breq.options = bc_options;
+    const RunOutcome outcome = portfolio::run_portfolio(breq);
+
+    if (args.has("json")) {
+      std::cout << to_json(outcome.result) << "\n";
+      return outcome.complete() ? 0 : 2;
+    }
+    const auto count = args.has("all")
+                           ? n
+                           : std::min<std::uint64_t>(
+                                 n, static_cast<std::uint64_t>(
+                                        args.get_int_or("top", 10)));
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return outcome.result.betweenness[a] > outcome.result.betweenness[b];
+    });
+    Table table({"node", "betweenness", "closeness"});
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const NodeId v = order[i];
+      table.add_row({std::to_string(v),
+                     format_double(outcome.result.betweenness[v], 6),
+                     format_double(outcome.result.closeness[v], 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\nbackend " << to_string(backend) << ": "
+              << outcome.result.rounds << " rounds, diameter "
+              << outcome.result.diameter << "\n";
+    if (backend == BackendId::kSampled) {
+      const std::uint32_t budget =
+          portfolio::resolve_sample_budget(n, bc_options.approx_samples);
+      std::cout << "sampled " << budget << "/" << n
+                << " sources (seed " << bc_options.approx_seed
+                << "); max abs BC error <= "
+                << format_double(portfolio::sampled_error_bound(n, budget, 0.05),
+                                 2)
+                << " with probability 0.95\n";
+    }
+    return outcome.complete() ? 0 : 2;
   }
 
   const Graph graph = load_graph(args);

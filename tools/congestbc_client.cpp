@@ -19,6 +19,13 @@
 //                      namespace instead of sending a graph
 //       --version V    which stream version to run at (0 = live head)
 //       --incremental  serve from the namespace's incremental maintainer
+//       --backend B    portfolio backend (protocol v5): auto, paper_exact,
+//                      cfp, directed, sampled.  `auto` lets the daemon's
+//                      admission control pick — the reply shows what ran
+//                      and whether it was downgraded under pressure
+//       --samples K    source budget for --backend sampled (0 = server
+//                      default, 4*sqrt(n))
+//       --sample-seed S  source-sampling seed for --backend sampled
 //   mutate NS          apply edge ops to a stream namespace (protocol v4)
 //       --base G.txt   create the namespace with this version-0 graph
 //       --version V    expected base version (optimistic concurrency)
@@ -46,6 +53,9 @@
 //       --mutate-mix K interleave one MUTATE per K submits against a live
 //                      stream namespace seeded from the first graph, and
 //                      report per-version submit latency
+//       --backend-mix B1,B2,...  rotate submits across portfolio
+//                      backends and report per-backend latency breakdown
+//                      (mutually exclusive with --mutate-mix)
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -65,7 +75,9 @@
 #include <thread>
 #include <vector>
 
+#include "algo/bc_pipeline.hpp"
 #include "common/args.hpp"
+#include "portfolio/backend.hpp"
 #include "service/chaos.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
@@ -81,12 +93,12 @@ constexpr const char* kUsage =
     "commands: submit GRAPH.txt [--path NAME --ns NS --version V\n"
     "          --incremental --no-halve --faults SPEC --reliable\n"
     "          --max-rounds R --threads T --legacy --wait --retry\n"
-    "          --deadline MS]\n"
+    "          --deadline MS --backend B --samples K --sample-seed S]\n"
     "          mutate NS [--base GRAPH.txt --version V --ops i:u:v,d:u:v]\n"
     "          status JOB | result JOB | cancel JOB | stats | shutdown\n"
     "          loadgen --daemon BIN --graphs A,B [--submits N\n"
     "          --concurrency C --spool DIR --chaos SPEC --chaos-seed S\n"
-    "          --retry --deadline MS --mutate-mix K]\n";
+    "          --retry --deadline MS --mutate-mix K --backend-mix B1,B2]\n";
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -146,6 +158,18 @@ SubmitRequest build_submit(const Args& args, const std::string& operand) {
       static_cast<std::uint64_t>(args.get_int_or("max-rounds", 0));
   request.threads = static_cast<std::uint32_t>(args.get_int_or("threads", 0));
   request.legacy_engine = args.has("legacy");
+  if (const auto backend_name = args.get("backend")) {
+    // Parse client-side so a typo fails here, not as a kBadRequest round
+    // trip.
+    const auto parsed = portfolio::parse_backend(*backend_name);
+    if (!parsed) {
+      throw std::runtime_error("unknown --backend: " + *backend_name);
+    }
+    request.backend = static_cast<std::uint8_t>(*parsed);
+  }
+  request.samples = static_cast<std::uint32_t>(args.get_int_or("samples", 0));
+  request.sample_seed =
+      static_cast<std::uint64_t>(args.get_int_or("sample-seed", 0));
   return request;
 }
 
@@ -192,7 +216,8 @@ void print_stats(const StatsReply& s) {
             << " mutations=" << s.mutations_applied
             << " graph_version=" << s.graph_version
             << " dirty_rerun=" << s.dirty_sources_rerun
-            << " invalidations=" << s.cache_invalidations << "\n";
+            << " invalidations=" << s.cache_invalidations
+            << " backend_downgrades=" << s.backend_downgrades << "\n";
 }
 
 /// Parses "--ops i:1:2,d:3:4" into a MUTATE batch.
@@ -314,6 +339,33 @@ int run_loadgen(const Args& args) {
   const bool use_retry = args.has("retry");
   const int mutate_mix = static_cast<int>(args.get_int_or("mutate-mix", 0));
 
+  // --backend-mix: rotate submits across portfolio backends (protocol
+  // v5) and report a per-backend latency breakdown at the end.
+  std::vector<std::uint8_t> backend_mix;
+  if (const auto spec = args.get("backend-mix")) {
+    std::stringstream list(*spec);
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      if (name.empty()) {
+        continue;
+      }
+      const auto parsed = portfolio::parse_backend(name);
+      if (!parsed) {
+        throw std::runtime_error("unknown backend in --backend-mix: " + name);
+      }
+      backend_mix.push_back(static_cast<std::uint8_t>(*parsed));
+    }
+    if (backend_mix.empty()) {
+      throw std::runtime_error("--backend-mix lists no backends");
+    }
+    if (mutate_mix > 0) {
+      // Stream submits restrict which backends are legal (no directed,
+      // incremental pins paper_exact); keep the two mixes orthogonal.
+      throw std::runtime_error(
+          "--backend-mix and --mutate-mix are mutually exclusive");
+    }
+  }
+
   ChaosPlan plan;
   if (const auto spec = args.get("chaos")) {
     plan = ChaosPlan::parse(*spec);
@@ -393,8 +445,15 @@ int run_loadgen(const Args& args) {
   std::mutex lat_mutex;
   std::vector<double> latencies;
   std::map<std::uint64_t, std::vector<double>> version_latencies;
+  std::map<std::uint8_t, std::vector<double>> backend_latencies;
+  const auto backend_for = [&](int i) -> std::uint8_t {
+    return backend_mix.empty()
+               ? std::uint8_t{1}  // paper_exact, the wire default
+               : backend_mix[static_cast<std::size_t>(i) %
+                             backend_mix.size()];
+  };
   const auto note_latency = [&](std::chrono::steady_clock::time_point t0,
-                                std::uint64_t version) {
+                                std::uint64_t version, int i) {
     const double ms =
         std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
             std::chrono::steady_clock::now() - t0)
@@ -403,6 +462,9 @@ int run_loadgen(const Args& args) {
     latencies.push_back(ms);
     if (mutate_mix > 0) {
       version_latencies[version].push_back(ms);
+    }
+    if (!backend_mix.empty()) {
+      backend_latencies[backend_for(i)].push_back(ms);
     }
   };
   std::mutex log_mutex;
@@ -424,6 +486,13 @@ int run_loadgen(const Args& args) {
     request.threads = (i % 3 == 0) ? 2 : 1;
     request.legacy_engine = (i % 5 == 0);
     request.deadline_ms = deadline_ms;
+    if (!backend_mix.empty()) {
+      request.backend = backend_for(i);
+      if (request.backend ==
+          static_cast<std::uint8_t>(BackendId::kSampled)) {
+        request.sample_seed = 1;  // fixed seed: identical submits coalesce
+      }
+    }
     return request;
   };
 
@@ -494,7 +563,7 @@ int run_loadgen(const Args& args) {
       const auto t0 = std::chrono::steady_clock::now();
       try {
         const ResultReply result = client.submit_and_wait(make_request(i));
-        note_latency(t0, ver);
+        note_latency(t0, ver, i);
         if (result.ready && result.state == JobState::kDone) {
           ++ok;
         } else {
@@ -505,7 +574,7 @@ int run_loadgen(const Args& args) {
                     << "\n";
         }
       } catch (const std::exception& e) {
-        note_latency(t0, ver);
+        note_latency(t0, ver, i);
         ++failed;
         std::lock_guard<std::mutex> lock(log_mutex);
         std::cerr << "loadgen: submit " << i << " gave up: " << e.what()
@@ -545,7 +614,7 @@ int run_loadgen(const Args& args) {
           (void)client.status(submitted.job_id);  // mix queries into the load
         }
         const ResultReply result = client.wait_result(submitted.job_id);
-        note_latency(t0, ver);
+        note_latency(t0, ver, i);
         if (result.ready &&
             result.state == JobState::kDone) {
           ++ok;
@@ -642,6 +711,31 @@ int run_loadgen(const Args& args) {
       exit_code = 1;
     }
   }
+  if (!backend_mix.empty()) {
+    for (auto& [backend, lat] : backend_latencies) {
+      std::sort(lat.begin(), lat.end());
+      double sum = 0.0;
+      for (const double ms : lat) {
+        sum += ms;
+      }
+      const double mean =
+          lat.empty() ? 0.0 : sum / static_cast<double>(lat.size());
+      const double p90 =
+          lat.empty() ? 0.0
+                      : lat[std::min(lat.size() - 1,
+                                     static_cast<std::size_t>(
+                                         0.9 * static_cast<double>(
+                                                   lat.size())))];
+      std::cout << "loadgen: backend "
+                << to_string(static_cast<BackendId>(backend))
+                << " submits=" << lat.size() << " mean_ms=" << mean
+                << " p90_ms=" << p90 << "\n";
+    }
+    if (backend_latencies.empty()) {
+      std::cerr << "loadgen: --backend-mix saw no served submits\n";
+      exit_code = 1;
+    }
+  }
   const double amplification =
       submits == 0 ? 0.0
                    : static_cast<double>(attempts.load()) /
@@ -665,7 +759,8 @@ int run(int argc, char** argv) {
       argc, argv,
       {"host", "port", "path", "faults", "max-rounds", "threads", "daemon",
        "graphs", "submits", "concurrency", "spool", "chaos", "chaos-seed",
-       "deadline", "ns", "version", "ops", "base", "mutate-mix"});
+       "deadline", "ns", "version", "ops", "base", "mutate-mix", "backend",
+       "samples", "sample-seed", "backend-mix"});
   if (args.has("help") || args.positional().empty()) {
     std::cout << kUsage;
     return args.has("help") ? 0 : 1;
@@ -747,6 +842,12 @@ int run(int argc, char** argv) {
     std::cout << "disposition: " << to_string(reply.disposition)
               << "\njob: " << reply.job_id
               << "\nfingerprint: " << hex16(reply.fingerprint) << "\n";
+    if (reply.backend != 0) {
+      std::cout << "backend: "
+                << to_string(static_cast<BackendId>(reply.backend))
+                << (reply.downgraded ? " (downgraded from auto)" : "")
+                << "\n";
+    }
     if (!reply.detail.empty()) {
       std::cout << "detail: " << reply.detail << "\n";
     }
