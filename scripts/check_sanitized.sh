@@ -18,8 +18,12 @@
 #     replay rewrite live adjacency and delta logs in place, plus the
 #     portfolio suite (label "portfolio"), whose backend matrix drives
 #     every algorithm (paper-exact, cfp, directed, sampled) through the
-#     shared dispatch path — exactly the paths where a stale pointer or
-#     overflow would hide.
+#     shared dispatch path, plus the cluster suite (label "cluster"),
+#     whose router fans frames across worker links while draining
+#     workers MIGRATE snapshots and result blocks through it — exactly
+#     the paths where a stale pointer or overflow would hide.  The
+#     1000-socket loadgen scale run is excluded: a thousand sanitized
+#     threads on a shared runner measures the scheduler, not the code.
 #   * TSan (build-tsan): the engine, fault, snapshot, service, obs,
 #     chaos, and stream suites — the parallel node-execution phase must be
 #     data-race-free for any lane count (including the frontier engine's
@@ -49,9 +53,10 @@ cmake -S "$repo_root" -B "$prefix-asan" \
 cmake --build "$prefix-asan" -j"$(nproc)" --target fault_test fuzz_test engine_test frontier_test snapshot_test \
   fingerprint_test service_protocol_test service_cache_test service_test \
   chaos_test stream_test obs_test obs_golden_test portfolio_test portfolio_sweep_test \
-  congestbcd congestbc_client chaosproxy
-(cd "$prefix-asan" && ctest -L 'faults|perf|snapshot|service|obs|chaos|stream|portfolio' --output-on-failure "$@")
-echo "sanitized (asan) fault+engine+snapshot+service+obs+chaos+stream+portfolio suites: OK"
+  cluster_test congestbcd congestbc_router congestbc_client chaosproxy
+(cd "$prefix-asan" && ctest -L 'faults|perf|snapshot|service|obs|chaos|stream|portfolio|cluster' \
+  -E 'cluster_loadgen_scale' --output-on-failure "$@")
+echo "sanitized (asan) fault+engine+snapshot+service+obs+chaos+stream+portfolio+cluster suites: OK"
 
 echo "=== stage 2: thread ==="
 cmake -S "$repo_root" -B "$prefix-tsan" \
@@ -60,6 +65,7 @@ cmake -S "$repo_root" -B "$prefix-tsan" \
 cmake --build "$prefix-tsan" -j"$(nproc)" --target engine_test frontier_test fault_test snapshot_test \
   fingerprint_test service_protocol_test service_cache_test service_test \
   chaos_test stream_test obs_test obs_golden_test portfolio_test portfolio_sweep_test \
-  congestbcd congestbc_client chaosproxy
-(cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot|service|obs|chaos|stream|portfolio' --output-on-failure "$@")
-echo "sanitized (tsan) engine+fault+snapshot+service+obs+chaos+stream+portfolio suites: OK"
+  cluster_test congestbcd congestbc_router congestbc_client chaosproxy
+(cd "$prefix-tsan" && ctest -L 'faults|perf|snapshot|service|obs|chaos|stream|portfolio|cluster' \
+  -E 'cluster_loadgen_scale' --output-on-failure "$@")
+echo "sanitized (tsan) engine+fault+snapshot+service+obs+chaos+stream+portfolio+cluster suites: OK"

@@ -1,0 +1,103 @@
+#include "cluster/ring.hpp"
+
+#include "snapshot/fingerprint.hpp"
+
+namespace congestbc::cluster {
+
+namespace {
+
+/// Position of one virtual point.  A domain tag keeps ring positions
+/// decorrelated from the run fingerprints they route (both are FNV-1a
+/// products; without the tag a worker id that happened to hash near a
+/// hot fingerprint would do so for structurally related keys too).
+std::uint64_t vnode_position(const std::string& worker_id, unsigned index) {
+  FingerprintBuilder fp;
+  static const char kTag[] = "ring-vnode";
+  fp.mix_bytes(kTag, sizeof kTag);
+  fp.mix_bytes(worker_id.data(), worker_id.size());
+  fp.mix(index);
+  return fp.value();
+}
+
+/// Where a key lands on the circle (same tag discipline).
+std::uint64_t key_position(std::uint64_t fingerprint) {
+  FingerprintBuilder fp;
+  static const char kTag[] = "ring-key";
+  fp.mix_bytes(kTag, sizeof kTag);
+  fp.mix(fingerprint);
+  return fp.value();
+}
+
+}  // namespace
+
+HashRing::HashRing(unsigned vnodes_per_worker)
+    : vnodes_(vnodes_per_worker == 0 ? 1 : vnodes_per_worker) {}
+
+bool HashRing::add(const std::string& worker_id) {
+  if (!members_.insert(worker_id).second) {
+    return false;
+  }
+  for (unsigned i = 0; i < vnodes_; ++i) {
+    // First writer wins a (vanishingly unlikely) 64-bit point collision;
+    // remove() checks ownership, so the loser's removal cannot strip the
+    // winner's point.
+    points_.emplace(vnode_position(worker_id, i), worker_id);
+  }
+  return true;
+}
+
+bool HashRing::remove(const std::string& worker_id) {
+  if (members_.erase(worker_id) == 0) {
+    return false;
+  }
+  for (unsigned i = 0; i < vnodes_; ++i) {
+    const auto it = points_.find(vnode_position(worker_id, i));
+    if (it != points_.end() && it->second == worker_id) {
+      points_.erase(it);
+    }
+  }
+  return true;
+}
+
+bool HashRing::contains(const std::string& worker_id) const {
+  return members_.count(worker_id) != 0;
+}
+
+std::string HashRing::owner(std::uint64_t fingerprint) const {
+  if (points_.empty()) {
+    return "";
+  }
+  auto it = points_.lower_bound(key_position(fingerprint));
+  if (it == points_.end()) {
+    it = points_.begin();  // wrap
+  }
+  return it->second;
+}
+
+std::vector<std::string> HashRing::preference(std::uint64_t fingerprint,
+                                              std::size_t count,
+                                              const std::string& exclude) const {
+  std::vector<std::string> order;
+  if (points_.empty() || count == 0) {
+    return order;
+  }
+  std::set<std::string> seen;
+  auto it = points_.lower_bound(key_position(fingerprint));
+  for (std::size_t steps = 0; steps < points_.size() && order.size() < count;
+       ++steps, ++it) {
+    if (it == points_.end()) {
+      it = points_.begin();
+    }
+    if (it->second == exclude || !seen.insert(it->second).second) {
+      continue;
+    }
+    order.push_back(it->second);
+  }
+  return order;
+}
+
+std::vector<std::string> HashRing::workers() const {
+  return std::vector<std::string>(members_.begin(), members_.end());
+}
+
+}  // namespace congestbc::cluster

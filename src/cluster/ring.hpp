@@ -1,0 +1,66 @@
+// Consistent-hash ring of worker identities (DESIGN.md §16).
+//
+// The ring is what makes fingerprint routing *stable*: each worker owns
+// a set of virtual points on a 64-bit circle, a job's route fingerprint
+// lands at a point, and the first worker point at-or-after it (wrapping)
+// owns the job.  Because every point position is a pure hash of
+// (worker_id, vnode index), the mapping is deterministic across
+// insertion orders and across router restarts — the property the
+// per-worker result cache and in-flight coalescing depend on: identical
+// submits always meet on the same worker while membership holds.
+//
+// Adding or removing one worker moves only the keys in the arcs its
+// points cover (~1/N of the space with enough vnodes), which is why a
+// health-check eviction does not stampede every cache.
+//
+// Not internally synchronized; the router mutates it from its io thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace congestbc::cluster {
+
+class HashRing {
+ public:
+  /// More vnodes = smoother key distribution at the cost of a larger
+  /// point map; 64 keeps the max/min owner-share ratio near 1 for the
+  /// single-digit worker counts a router tier runs.
+  explicit HashRing(unsigned vnodes_per_worker = 64);
+
+  /// Inserts a worker's points; false (and no change) when present.
+  bool add(const std::string& worker_id);
+  /// Removes a worker's points; false when absent.
+  bool remove(const std::string& worker_id);
+  bool contains(const std::string& worker_id) const;
+
+  /// Distinct workers in the ring (not points).
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  /// The worker owning `fingerprint`; "" on an empty ring.
+  std::string owner(std::uint64_t fingerprint) const;
+
+  /// Failover order for `fingerprint`: the owner, then each successor in
+  /// ring order, distinct workers only, at most `count` entries.
+  /// `exclude` (e.g. a migration's origin worker) is skipped entirely —
+  /// a transplant must never be routed back to the worker draining it.
+  std::vector<std::string> preference(std::uint64_t fingerprint,
+                                      std::size_t count,
+                                      const std::string& exclude = "") const;
+
+  /// Member ids, sorted (deterministic iteration for health checks and
+  /// cluster-wide fan-outs).
+  std::vector<std::string> workers() const;
+
+ private:
+  unsigned vnodes_;
+  /// Ring position -> owning worker.  std::map: owner() is a lower_bound.
+  std::map<std::uint64_t, std::string> points_;
+  std::set<std::string> members_;
+};
+
+}  // namespace congestbc::cluster

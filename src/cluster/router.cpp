@@ -1,0 +1,1217 @@
+#include "cluster/router.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "snapshot/fingerprint.hpp"
+
+namespace congestbc::cluster {
+
+using service::CancelOutcome;
+using service::CancelReply;
+using service::FramePayload;
+using service::JobState;
+using service::JoinReply;
+using service::JoinRequest;
+using service::LeaveReply;
+using service::LeaveRequest;
+using service::LookupReply;
+using service::MigrateKind;
+using service::MigrateOutcome;
+using service::MigrateReply;
+using service::MigrateRequest;
+using service::MsgType;
+using service::MutateReply;
+using service::MutateRequest;
+using service::ProtoError;
+using service::ProtocolError;
+using service::Reply;
+using service::Request;
+using service::ResultReply;
+using service::StatsReply;
+using service::StatusReply;
+using service::SubmitDisposition;
+using service::SubmitReply;
+using service::SubmitRequest;
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+bool split_host_port(const std::string& s, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(s.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0 || value > 65535) {
+    return false;
+  }
+  host = s.substr(0, colon);
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+/// The routing key of a SUBMIT: a hash of its result-determining fields.
+/// Not the authoritative run fingerprint (only a worker can compute that
+/// — it parses the graph and resolves option defaults); it only needs
+/// one property: identical submits hash identically, so they always meet
+/// on the same home worker, where the real fingerprint coalesces them.
+/// Execution hints (threads, engine, legacy_engine) and retry metadata
+/// (deadline, attempt) are excluded so variants of the same work
+/// colocate.  Stream-addressed work hashes its namespace alone, which
+/// pins a namespace — its MUTATEs and all its submits — to one worker.
+std::uint64_t route_fingerprint(const SubmitRequest& request) {
+  FingerprintBuilder fp;
+  if (!request.stream_ns.empty()) {
+    static const char kTag[] = "route-stream";
+    fp.mix_bytes(kTag, sizeof kTag);
+    fp.mix_bytes(request.stream_ns.data(), request.stream_ns.size());
+    return fp.value();
+  }
+  static const char kTag[] = "route-submit";
+  fp.mix_bytes(kTag, sizeof kTag);
+  fp.mix(static_cast<std::uint64_t>(request.source));
+  fp.mix_bytes(request.graph.data(), request.graph.size());
+  fp.mix_bool(request.halve);
+  fp.mix_bool(request.reliable);
+  fp.mix_bytes(request.faults.data(), request.faults.size());
+  fp.mix(request.max_rounds);
+  fp.mix(request.backend);
+  fp.mix(request.samples);
+  fp.mix(request.sample_seed);
+  return fp.value();
+}
+
+std::uint64_t route_fingerprint(const MutateRequest& request) {
+  FingerprintBuilder fp;
+  static const char kTag[] = "route-stream";
+  fp.mix_bytes(kTag, sizeof kTag);
+  fp.mix_bytes(request.ns.data(), request.ns.size());
+  return fp.value();
+}
+
+}  // namespace
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)), ring_(config_.ring_vnodes) {}
+
+Router::~Router() {
+  request_drain();
+  wait();
+  for (auto& session : sessions_) {
+    close_fd(session->fd);
+  }
+  sessions_.clear();
+  close_fd(listen_fd_);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+}
+
+void Router::start() {
+  if (started_) {
+    return;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    throw std::runtime_error("pipe() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& address : config_.workers) {
+      JoinRequest seed;
+      seed.worker_id = address;
+      if (!split_host_port(address, seed.host, seed.port)) {
+        throw std::runtime_error("bad worker address: " + address);
+      }
+      (void)handle_join(seed);
+    }
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad listen address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw std::runtime_error("bind() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  // The router fronts the whole tier: a cluster loadgen opens a thousand
+  // client sockets in one burst, and a backlog shorter than that burst
+  // drops SYNs into retransmit purgatory on a busy box.
+  if (::listen(listen_fd_, 4096) != 0) {
+    throw std::runtime_error("listen() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  set_nonblocking(listen_fd_);
+  last_health_ = std::chrono::steady_clock::now();
+  started_ = true;
+}
+
+void Router::serve_async() {
+  serve_thread_ = std::thread([this] { serve(); });
+}
+
+void Router::wait() {
+  if (serve_thread_.joinable()) {
+    serve_thread_.join();
+  }
+}
+
+void Router::request_drain() {
+  drain_requested_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Router::notify_signal() {
+  drain_requested_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+RouterStats Router::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RouterStats s = stats_;
+  s.workers_active = 0;
+  for (const auto& [id, worker] : workers_) {
+    if (worker->state == LinkState::kActive) {
+      ++s.workers_active;
+    }
+  }
+  s.jobs_tracked = jobs_.size();
+  return s;
+}
+
+// --------------------------------------------------------- poll loop
+
+void Router::serve() {
+  std::vector<pollfd> fds;
+  while (true) {
+    fds.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    int listen_idx = -1;
+    if (!draining_ && listen_fd_ >= 0) {
+      listen_idx = static_cast<int>(fds.size());
+      fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    }
+    const std::size_t base = fds.size();
+    for (const auto& session : sessions_) {
+      short events = 0;
+      if (!session->close_after_flush &&
+          session->pending_out() <= config_.session_out_limit) {
+        events |= POLLIN;
+      }
+      if (session->out_pos < session->out.size()) {
+        events |= POLLOUT;
+      }
+      fds.push_back(pollfd{session->fd, events, 0});
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), 50);
+    if (rc < 0 && errno != EINTR) {
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      std::uint8_t buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+      }
+    }
+    if (drain_requested_.load(std::memory_order_relaxed) && !draining_) {
+      draining_ = true;
+      close_fd(listen_fd_);
+    }
+    if (!draining_ && listen_idx >= 0 &&
+        (fds[static_cast<std::size_t>(listen_idx)].revents & POLLIN)) {
+      accept_clients();
+    }
+    for (std::size_t i = 0; i < sessions_.size() && base + i < fds.size();
+         ++i) {
+      Session& session = *sessions_[i];
+      const short revents = fds[base + i].revents;
+      if (revents & (POLLIN | POLLERR | POLLHUP)) {
+        handle_session_input(session);
+      }
+      if (!session.dead && !session.close_after_flush) {
+        process_session_frames(session);
+      }
+      if (!session.dead && session.out_pos < session.out.size()) {
+        flush_session_output(session);
+      }
+    }
+    sessions_.erase(
+        std::remove_if(sessions_.begin(), sessions_.end(),
+                       [](const std::unique_ptr<Session>& s) {
+                         if (s->dead) {
+                           int fd = s->fd;
+                           close_fd(fd);
+                           return true;
+                         }
+                         return false;
+                       }),
+        sessions_.end());
+
+    health_check_tick();
+
+    if (draining_) {
+      break;
+    }
+  }
+  finish_drain();
+}
+
+void Router::accept_clients() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sessions_.push_back(std::make_unique<Session>(fd, config_.max_frame_bytes));
+  }
+}
+
+void Router::handle_session_input(Session& session) {
+  std::uint8_t buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(session.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      session.decoder.feed(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof buf) {
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      session.dead = true;
+      return;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    session.dead = true;
+    return;
+  }
+}
+
+// Same contract as the daemon's frame loop: every protocol violation is
+// answered with one typed ERROR frame and the connection closes after
+// the flush — hostile bytes never take the router down.
+void Router::process_session_frames(Session& session) {
+  try {
+    while (session.pending_out() <= config_.session_out_limit) {
+      auto frame = session.decoder.next();
+      if (!frame) {
+        break;
+      }
+      const Request request = service::decode_request(*frame);
+      append_reply(session, dispatch(request));
+    }
+  } catch (const ProtocolError& e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.protocol_errors;
+    }
+    Reply reply;
+    reply.type = MsgType::kError;
+    reply.error.code = e.code();
+    reply.error.message = e.what();
+    append_reply(session, reply);
+    session.close_after_flush = true;
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.protocol_errors;
+    }
+    Reply reply;
+    reply.type = MsgType::kError;
+    reply.error.code = ProtoError::kBadRequest;
+    reply.error.message = std::string("internal error: ") + e.what();
+    append_reply(session, reply);
+    session.close_after_flush = true;
+  }
+}
+
+void Router::append_reply(Session& session, const Reply& reply) {
+  const std::vector<std::uint8_t> bytes =
+      service::frame_bytes(service::encode_reply(reply));
+  session.out.insert(session.out.end(), bytes.begin(), bytes.end());
+}
+
+void Router::flush_session_output(Session& session) {
+  while (session.out_pos < session.out.size()) {
+    const ssize_t n =
+        ::send(session.fd, session.out.data() + session.out_pos,
+               session.out.size() - session.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      session.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;
+    }
+    session.dead = true;
+    return;
+  }
+  session.out.clear();
+  session.out_pos = 0;
+  if (session.close_after_flush) {
+    session.dead = true;
+  }
+}
+
+void Router::finish_drain() {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+  bool pending = true;
+  while (pending && std::chrono::steady_clock::now() < deadline) {
+    pending = false;
+    for (auto& session : sessions_) {
+      if (!session->dead && session->out_pos < session->out.size()) {
+        flush_session_output(*session);
+        pending |= !session->dead && session->out_pos < session->out.size();
+      }
+    }
+    if (pending) {
+      ::poll(nullptr, 0, 10);
+    }
+  }
+  for (auto& session : sessions_) {
+    close_fd(session->fd);
+  }
+  sessions_.clear();
+}
+
+// ------------------------------------------------------ worker links
+
+Router::WorkerLink* Router::link(const std::string& worker_id) {
+  const auto it = workers_.find(worker_id);
+  return it == workers_.end() ? nullptr : it->second.get();
+}
+
+Reply Router::link_call(WorkerLink& worker, const Request& request,
+                        int timeout_ms) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    try {
+      if (!worker.client.connected()) {
+        worker.client.connect(worker.host, worker.port, timeout_ms);
+      }
+      worker.client.set_io_timeout(timeout_ms);
+      Reply reply = worker.client.call(request);
+      worker.consecutive_failures = 0;
+      worker.lost_since = std::chrono::steady_clock::time_point{};
+      return reply;
+    } catch (const ProtocolError& e) {
+      if (e.code() != ProtoError::kCorrupted) {
+        // A typed answer from the worker — not a link failure; the
+        // caller decides whether it reaches the client.
+        throw;
+      }
+      worker.client.close();
+      if (attempt == 1) {
+        note_link_failure(worker);
+        throw;
+      }
+    } catch (const std::exception&) {
+      worker.client.close();
+      if (attempt == 1) {
+        note_link_failure(worker);
+        throw;
+      }
+    }
+  }
+  throw std::runtime_error("unreachable");
+}
+
+void Router::note_link_failure(WorkerLink& worker) {
+  ++stats_.link_failures;
+  if (++worker.consecutive_failures == 1) {
+    worker.lost_since = std::chrono::steady_clock::now();
+  }
+  if (worker.state == LinkState::kActive &&
+      worker.consecutive_failures >= config_.eviction_threshold) {
+    evict_locked(worker);
+  }
+}
+
+bool Router::within_migration_grace(const WorkerLink* worker) const {
+  if (worker == nullptr || worker->state == LinkState::kLeft) {
+    // A clean LEAVE arrives *after* migration: a job still pointing at a
+    // left worker was never transplanted, and no grace will change that.
+    return false;
+  }
+  if (worker->lost_since == std::chrono::steady_clock::time_point{}) {
+    return true;  // link never failed yet — first sighting of trouble
+  }
+  const auto down = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - worker->lost_since)
+                        .count();
+  return down >= 0 &&
+         static_cast<std::uint64_t>(down) < config_.migration_grace_ms;
+}
+
+void Router::evict_locked(WorkerLink& worker) {
+  ring_.remove(worker.id);
+  worker.state = LinkState::kEvicted;
+  worker.client.close();
+  ++stats_.evictions;
+}
+
+void Router::health_check_tick() {
+  if (config_.health_every_ms == 0) {
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  const auto since = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         now - last_health_)
+                         .count();
+  if (since < 0 ||
+      static_cast<std::uint64_t>(since) < config_.health_every_ms) {
+    return;
+  }
+  last_health_ = now;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (health_order_.empty()) {
+    return;
+  }
+  // One probe per tick, round-robin, actives only — a dead worker costs
+  // at most health_timeout_ms of io-thread time per tick.
+  for (std::size_t tried = 0; tried < health_order_.size(); ++tried) {
+    health_cursor_ = (health_cursor_ + 1) % health_order_.size();
+    WorkerLink* worker = link(health_order_[health_cursor_]);
+    if (worker == nullptr || worker->state != LinkState::kActive) {
+      continue;
+    }
+    try {
+      (void)link_call(*worker, service::make_plain(MsgType::kStats),
+                      config_.health_timeout_ms);
+    } catch (const std::exception&) {
+      // link_call already counted the failure / evicted at threshold.
+    }
+    break;
+  }
+}
+
+std::vector<Router::WorkerLink*> Router::candidates(
+    std::uint64_t route_fp, const std::string& exclude) {
+  std::vector<WorkerLink*> links;
+  for (const std::string& id :
+       ring_.preference(route_fp, ring_.size() == 0 ? 0 : ring_.size(),
+                        exclude)) {
+    WorkerLink* worker = link(id);
+    if (worker != nullptr && worker->state == LinkState::kActive) {
+      links.push_back(worker);
+    }
+  }
+  return links;
+}
+
+// ------------------------------------------------------ job tracking
+
+std::uint64_t Router::track_job(const std::string& worker_id,
+                                std::uint64_t remote_id,
+                                std::uint64_t fingerprint) {
+  const std::uint64_t id = next_job_id_++;
+  RoutedJob job;
+  job.worker_id = worker_id;
+  job.remote_id = remote_id;
+  job.fingerprint = fingerprint;
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
+
+void Router::mark_terminal(std::uint64_t router_job_id, RoutedJob& job) {
+  if (job.terminal) {
+    return;
+  }
+  job.terminal = true;
+  terminal_order_.push_back(router_job_id);
+  gc_jobs();
+}
+
+void Router::gc_jobs() {
+  while (terminal_order_.size() > config_.job_retention_limit) {
+    jobs_.erase(terminal_order_.front());
+    terminal_order_.pop_front();
+  }
+}
+
+// --------------------------------------------- router result cache
+
+void Router::cache_result(const RoutedJob& job,
+                          const std::vector<std::uint8_t>& bytes,
+                          std::uint64_t bits) {
+  if (config_.result_cache_entries == 0 || !job.cacheable ||
+      job.route_fp == 0 || bits == 0) {
+    return;
+  }
+  auto [it, inserted] = result_cache_.try_emplace(job.route_fp);
+  if (!inserted) {
+    return;  // the fingerprint discipline makes the first copy canonical
+  }
+  it->second.bytes = bytes;
+  it->second.bits = bits;
+  result_cache_order_.push_back(job.route_fp);
+  while (result_cache_order_.size() > config_.result_cache_entries) {
+    result_cache_.erase(result_cache_order_.front());
+    result_cache_order_.pop_front();
+  }
+}
+
+const Router::CachedBlock* Router::cached_result(
+    std::uint64_t route_fp) const {
+  if (config_.result_cache_entries == 0 || route_fp == 0) {
+    return nullptr;
+  }
+  const auto it = result_cache_.find(route_fp);
+  return it == result_cache_.end() ? nullptr : &it->second;
+}
+
+bool Router::adopt_cached_result(RoutedJob& job) {
+  if (!job.cacheable) {
+    return false;
+  }
+  const CachedBlock* hit = cached_result(job.route_fp);
+  if (hit == nullptr) {
+    return false;
+  }
+  job.held_block = hit->bytes;
+  job.held_block_bits = hit->bits;
+  job.held = true;
+  return true;
+}
+
+// -------------------------------------------------- request handling
+
+Reply Router::dispatch(const Request& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Reply reply;
+  switch (request.type) {
+    case MsgType::kSubmit:
+      reply.type = MsgType::kSubmitReply;
+      reply.submit = route_submit(request.submit);
+      break;
+    case MsgType::kMutate:
+      reply.type = MsgType::kMutateReply;
+      reply.mutate = route_mutate(request.mutate);
+      break;
+    case MsgType::kStatus:
+      reply.type = MsgType::kStatusReply;
+      reply.status = route_status(request.job.job_id);
+      break;
+    case MsgType::kResult:
+      reply.type = MsgType::kResultReply;
+      reply.result = route_result(request.job.job_id);
+      break;
+    case MsgType::kCancel:
+      reply.type = MsgType::kCancelReply;
+      reply.cancel = route_cancel(request.job.job_id);
+      break;
+    case MsgType::kStats:
+      reply.type = MsgType::kStatsReply;
+      reply.stats = aggregate_stats();
+      break;
+    case MsgType::kShutdown:
+      // Drains the router tier only; workers are independent processes
+      // with their own SIGTERM story (which migrates their jobs here —
+      // so a router must not take itself down mid-handover lightly).
+      reply.type = MsgType::kShutdownReply;
+      reply.shutdown.draining = true;
+      request_drain();
+      break;
+    case MsgType::kJoin:
+      reply.type = MsgType::kJoinReply;
+      reply.join = handle_join(request.join);
+      break;
+    case MsgType::kLeave:
+      reply.type = MsgType::kLeaveReply;
+      reply.leave = handle_leave(request.leave);
+      break;
+    case MsgType::kMigrate:
+      reply.type = MsgType::kMigrateReply;
+      reply.migrate = forward_migrate(request.migrate);
+      break;
+    case MsgType::kLookup:
+      reply.type = MsgType::kLookupReply;
+      reply.lookup = cluster_lookup(request.lookup.fingerprint);
+      break;
+    default:
+      throw ProtocolError(ProtoError::kUnknownType, "unhandled request type");
+  }
+  return reply;
+}
+
+SubmitReply Router::route_submit(const SubmitRequest& request) {
+  const std::uint64_t route_fp = route_fingerprint(request);
+  const bool cacheable = request.stream_ns.empty();
+  if (cacheable) {
+    // Router-held result (opt-in, config.result_cache_entries): identical
+    // non-stream work already produced a block through this router, so
+    // answer without touching a worker link at all.  This is what keeps a
+    // thousand concurrent submitters from serializing on the (single)
+    // connection to each worker.
+    if (const CachedBlock* hit = cached_result(route_fp)) {
+      ++stats_.result_cache_hits;
+      const std::uint64_t router_id = track_job("", 0, 0);
+      RoutedJob& job = jobs_[router_id];
+      job.route_fp = route_fp;
+      job.cacheable = true;
+      job.held_block = hit->bytes;
+      job.held_block_bits = hit->bits;
+      job.held = true;
+      mark_terminal(router_id, job);
+      SubmitReply reply;
+      reply.disposition = SubmitDisposition::kCacheHit;
+      reply.job_id = router_id;
+      reply.detail = "served from the router result cache";
+      return reply;
+    }
+  }
+  std::vector<WorkerLink*> order = candidates(route_fp);
+  SubmitReply no_worker;
+  no_worker.disposition = SubmitDisposition::kBusy;
+  no_worker.detail = "no live workers in the ring";
+  if (order.empty()) {
+    return no_worker;
+  }
+  bool spilled = false;
+  SubmitReply last_busy = no_worker;
+  for (WorkerLink* worker : order) {
+    Reply raw;
+    try {
+      raw = link_call(*worker, service::make_submit(request),
+                      config_.worker_timeout_ms);
+    } catch (const ProtocolError&) {
+      throw;  // typed worker answer travels to the client verbatim
+    } catch (const std::exception&) {
+      spilled = true;
+      continue;  // link failure: spill to the next candidate
+    }
+    SubmitReply reply = raw.submit;
+    if (reply.disposition == SubmitDisposition::kDraining) {
+      // The worker told us before the health checker could: stop
+      // routing new work there until it rejoins.
+      if (worker->state == LinkState::kActive) {
+        ring_.remove(worker->id);
+        worker->state = LinkState::kDraining;
+      }
+      spilled = true;
+      continue;
+    }
+    if (reply.disposition == SubmitDisposition::kBusy) {
+      last_busy = reply;
+      spilled = true;
+      continue;
+    }
+    if (reply.disposition == SubmitDisposition::kRejected ||
+        reply.disposition == SubmitDisposition::kDeadline) {
+      return reply;  // spilling over cannot cure a semantic rejection
+    }
+    // Admitted (queued / cache hit / coalesced).
+    ++stats_.submits_routed;
+    if (spilled) {
+      ++stats_.spillovers;
+    }
+    const std::uint64_t router_id =
+        track_job(worker->id, reply.job_id, reply.fingerprint);
+    {
+      RoutedJob& job = jobs_[router_id];
+      job.route_fp = route_fp;
+      job.cacheable = cacheable;
+    }
+    if (reply.disposition == SubmitDisposition::kQueued &&
+        config_.cross_worker_lookup && reply.fingerprint != 0) {
+      // A fresh execution was scheduled — but another worker may have
+      // finished identical work (pre-rebalance traffic, a migrated
+      // result).  Probe by authoritative fingerprint; a hit serves the
+      // cached bytes and cancels the queued duplicate.
+      for (const std::string& id : ring_.workers()) {
+        WorkerLink* other = link(id);
+        if (other == nullptr || other == worker ||
+            other->state != LinkState::kActive) {
+          continue;
+        }
+        LookupReply found;
+        try {
+          found = link_call(*other, service::make_lookup(reply.fingerprint),
+                            config_.worker_timeout_ms)
+                      .lookup;
+        } catch (const std::exception&) {
+          continue;
+        }
+        if (!found.found) {
+          continue;
+        }
+        ++stats_.cross_worker_hits;
+        try {
+          (void)link_call(*worker,
+                          service::make_job_request(MsgType::kCancel,
+                                                    reply.job_id),
+                          config_.worker_timeout_ms);
+        } catch (const std::exception&) {
+          // Best-effort: a cancel that misses just runs a redundant job.
+        }
+        RoutedJob& job = jobs_[router_id];
+        job.held_block = std::move(found.block_bytes);
+        job.held_block_bits = found.block_bits;
+        job.held = true;
+        mark_terminal(router_id, job);
+        cache_result(job, job.held_block, job.held_block_bits);
+        reply.disposition = SubmitDisposition::kCacheHit;
+        reply.detail = "served from " + id + "'s cache";
+        break;
+      }
+    }
+    reply.job_id = router_id;
+    return reply;
+  }
+  return last_busy;
+}
+
+MutateReply Router::route_mutate(const MutateRequest& request) {
+  // A namespace lives wholly on one worker; the ring pins which one
+  // (the same key stream-addressed submits route by).
+  std::vector<WorkerLink*> order = candidates(route_fingerprint(request));
+  for (WorkerLink* worker : order) {
+    try {
+      return link_call(*worker, service::make_mutate(request),
+                       config_.worker_timeout_ms)
+          .mutate;
+    } catch (const ProtocolError&) {
+      throw;
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  MutateReply reply;
+  reply.outcome = service::MutateOutcome::kRejected;
+  reply.detail = "no live workers in the ring";
+  return reply;
+}
+
+StatusReply Router::route_status(std::uint64_t router_job_id) {
+  StatusReply reply;
+  reply.job_id = router_job_id;
+  const auto it = jobs_.find(router_job_id);
+  if (it == jobs_.end()) {
+    reply.state = JobState::kUnknown;
+    reply.detail = "no such job";
+    return reply;
+  }
+  RoutedJob& job = it->second;
+  if (!job.held && adopt_cached_result(job)) {
+    // A sibling poll already pulled this fingerprint's block into the
+    // router result cache; no reason to ask the worker again.
+    mark_terminal(router_job_id, job);
+  }
+  if (job.held) {
+    reply.state = JobState::kDone;
+    reply.fingerprint = job.fingerprint;
+    reply.detail = "served from the cluster cache";
+    return reply;
+  }
+  WorkerLink* worker = link(job.worker_id);
+  bool link_failed = worker == nullptr || worker->state == LinkState::kEvicted;
+  if (worker != nullptr && worker->state != LinkState::kEvicted) {
+    try {
+      StatusReply remote =
+          link_call(*worker,
+                    service::make_job_request(MsgType::kStatus, job.remote_id),
+                    config_.worker_timeout_ms)
+              .status;
+      if (remote.state != JobState::kUnknown) {
+        remote.job_id = router_job_id;
+        if (remote.state == JobState::kSuspended) {
+          // Mask the handover: the origin is draining and its MIGRATE
+          // will repoint this entry; to the client the job is simply
+          // still waiting its turn.
+          remote.state = JobState::kQueued;
+          remote.detail = "migrating off " + job.worker_id;
+        }
+        if (remote.state == JobState::kDone ||
+            remote.state == JobState::kFailed ||
+            remote.state == JobState::kCancelled) {
+          mark_terminal(router_job_id, job);
+        }
+        return remote;
+      }
+    } catch (const std::exception&) {
+      link_failed = true;  // fall through to the cluster-wide fallback
+    }
+  }
+  // The owning worker is gone (or forgot the job).  If any surviving
+  // cache holds the fingerprint, the job is effectively done.
+  LookupReply found = cluster_lookup(job.fingerprint);
+  if (found.found) {
+    job.held_block = std::move(found.block_bytes);
+    job.held_block_bits = found.block_bits;
+    job.held = true;
+    mark_terminal(router_job_id, job);
+    cache_result(job, job.held_block, job.held_block_bits);
+    reply.state = JobState::kDone;
+    reply.fingerprint = job.fingerprint;
+    reply.detail = "served from the cluster cache";
+    return reply;
+  }
+  if (link_failed && within_migration_grace(worker)) {
+    // The link failed but a draining worker closes its sessions *before*
+    // it migrates, so this is most likely the handover window.  Keep the
+    // client polling; the MIGRATE repoints this entry, and a worker that
+    // actually died runs out the grace window, after which this path
+    // answers kFailed.
+    reply.state = JobState::kQueued;
+    reply.fingerprint = job.fingerprint;
+    reply.detail = "worker " + job.worker_id +
+                   " unreachable; migration may be pending";
+    return reply;
+  }
+  reply.state = JobState::kFailed;
+  reply.fingerprint = job.fingerprint;
+  reply.detail = "worker " + job.worker_id + " lost before the result was "
+                 "fetched; resubmit";
+  mark_terminal(router_job_id, job);
+  return reply;
+}
+
+ResultReply Router::route_result(std::uint64_t router_job_id) {
+  ResultReply reply;
+  const auto it = jobs_.find(router_job_id);
+  if (it == jobs_.end()) {
+    reply.state = JobState::kUnknown;
+    reply.detail = "no such job";
+    return reply;
+  }
+  RoutedJob& job = it->second;
+  if (!job.held && adopt_cached_result(job)) {
+    mark_terminal(router_job_id, job);
+  }
+  if (job.held) {
+    reply.state = JobState::kDone;
+    reply.fingerprint = job.fingerprint;
+    reply.from_cache = true;
+    reply.ready = true;
+    reply.block_bytes = job.held_block;
+    reply.block_bits = job.held_block_bits;
+    return reply;
+  }
+  WorkerLink* worker = link(job.worker_id);
+  bool link_failed = worker == nullptr || worker->state == LinkState::kEvicted;
+  if (worker != nullptr && worker->state != LinkState::kEvicted) {
+    try {
+      ResultReply remote =
+          link_call(*worker,
+                    service::make_job_request(MsgType::kResult, job.remote_id),
+                    config_.worker_timeout_ms)
+              .result;
+      if (remote.state != JobState::kUnknown) {
+        if (remote.state == JobState::kSuspended) {
+          remote.state = JobState::kQueued;  // migration in flight
+          remote.detail = "migrating off " + job.worker_id;
+        }
+        if (remote.ready || remote.state == JobState::kFailed ||
+            remote.state == JobState::kCancelled) {
+          mark_terminal(router_job_id, job);
+        }
+        if (remote.ready && remote.state == JobState::kDone) {
+          cache_result(job, remote.block_bytes, remote.block_bits);
+        }
+        return remote;
+      }
+    } catch (const std::exception&) {
+      link_failed = true;  // fall through to the cluster-wide fallback
+    }
+  }
+  LookupReply found = cluster_lookup(job.fingerprint);
+  if (found.found) {
+    job.held_block = std::move(found.block_bytes);
+    job.held_block_bits = found.block_bits;
+    job.held = true;
+    mark_terminal(router_job_id, job);
+    cache_result(job, job.held_block, job.held_block_bits);
+    reply.state = JobState::kDone;
+    reply.fingerprint = job.fingerprint;
+    reply.from_cache = true;
+    reply.ready = true;
+    reply.block_bytes = job.held_block;
+    reply.block_bits = job.held_block_bits;
+    return reply;
+  }
+  if (link_failed && within_migration_grace(worker)) {
+    reply.state = JobState::kQueued;  // likely the migration handover window
+    reply.fingerprint = job.fingerprint;
+    reply.detail = "worker " + job.worker_id +
+                   " unreachable; migration may be pending";
+    return reply;
+  }
+  reply.state = JobState::kFailed;
+  reply.fingerprint = job.fingerprint;
+  reply.detail = "worker " + job.worker_id + " lost before the result was "
+                 "fetched; resubmit";
+  mark_terminal(router_job_id, job);
+  return reply;
+}
+
+CancelReply Router::route_cancel(std::uint64_t router_job_id) {
+  CancelReply reply;
+  const auto it = jobs_.find(router_job_id);
+  if (it == jobs_.end()) {
+    reply.outcome = CancelOutcome::kNotFound;
+    return reply;
+  }
+  RoutedJob& job = it->second;
+  if (job.held) {
+    reply.outcome = CancelOutcome::kTooLate;
+    return reply;
+  }
+  WorkerLink* worker = link(job.worker_id);
+  if (worker == nullptr || worker->state == LinkState::kEvicted) {
+    reply.outcome = CancelOutcome::kNotFound;
+    return reply;
+  }
+  try {
+    return link_call(*worker,
+                     service::make_job_request(MsgType::kCancel, job.remote_id),
+                     config_.worker_timeout_ms)
+        .cancel;
+  } catch (const std::exception&) {
+    reply.outcome = CancelOutcome::kNotFound;
+    return reply;
+  }
+}
+
+StatsReply Router::aggregate_stats() {
+  // Cluster view: counters sum across workers; gauges that measure
+  // capacity (workers, queue depth, running, cache entries) sum too;
+  // latency percentiles take the worst worker (the cluster tail is
+  // bounded by its slowest member); uptime is the oldest worker's.
+  StatsReply total;
+  for (const auto& [id, worker] : workers_) {
+    if (worker->state != LinkState::kActive) {
+      continue;
+    }
+    StatsReply s;
+    try {
+      s = link_call(*worker, service::make_plain(MsgType::kStats),
+                    config_.worker_timeout_ms)
+              .stats;
+    } catch (const std::exception&) {
+      continue;
+    }
+    total.uptime_ms = std::max(total.uptime_ms, s.uptime_ms);
+    total.submits += s.submits;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.coalesced += s.coalesced;
+    total.busy_rejections += s.busy_rejections;
+    total.draining_rejections += s.draining_rejections;
+    total.jobs_completed += s.jobs_completed;
+    total.jobs_failed += s.jobs_failed;
+    total.jobs_cancelled += s.jobs_cancelled;
+    total.jobs_suspended += s.jobs_suspended;
+    total.jobs_resumed += s.jobs_resumed;
+    total.protocol_errors += s.protocol_errors;
+    total.queue_depth += s.queue_depth;
+    total.running += s.running;
+    total.workers += s.workers;
+    total.cache_entries += s.cache_entries;
+    total.cache_evictions += s.cache_evictions;
+    total.retried_submits += s.retried_submits;
+    total.deadline_rejections += s.deadline_rejections;
+    total.deadline_expired += s.deadline_expired;
+    total.quarantined_files += s.quarantined_files;
+    total.mutations_applied += s.mutations_applied;
+    total.graph_version = std::max(total.graph_version, s.graph_version);
+    total.dirty_sources_rerun += s.dirty_sources_rerun;
+    total.cache_invalidations += s.cache_invalidations;
+    total.backend_downgrades += s.backend_downgrades;
+    total.migrated_out += s.migrated_out;
+    total.migrated_in += s.migrated_in;
+    total.lookups_served += s.lookups_served;
+    total.qps += s.qps;
+    total.worker_utilization =
+        std::max(total.worker_utilization, s.worker_utilization);
+    total.latency_p50_ms = std::max(total.latency_p50_ms, s.latency_p50_ms);
+    total.latency_p90_ms = std::max(total.latency_p90_ms, s.latency_p90_ms);
+    total.latency_p99_ms = std::max(total.latency_p99_ms, s.latency_p99_ms);
+  }
+  // Submits the router answered from its own result cache never reached
+  // a worker; to a client reading the cluster view they are submits that
+  // hit a cache all the same.
+  total.submits += stats_.result_cache_hits;
+  total.cache_hits += stats_.result_cache_hits;
+  return total;
+}
+
+JoinReply Router::handle_join(const JoinRequest& request) {
+  JoinReply reply;
+  if (request.worker_id.empty() || request.host.empty() || request.port == 0) {
+    reply.accepted = false;
+    reply.detail = "join needs worker_id, host, and a nonzero port";
+    return reply;
+  }
+  auto it = workers_.find(request.worker_id);
+  if (it == workers_.end()) {
+    auto worker = std::make_unique<WorkerLink>();
+    worker->id = request.worker_id;
+    worker->host = request.host;
+    worker->port = request.port;
+    it = workers_.emplace(request.worker_id, std::move(worker)).first;
+    health_order_.push_back(request.worker_id);
+    ++stats_.joins;
+  }
+  WorkerLink& worker = *it->second;
+  worker.host = request.host;  // a restarted worker may have moved
+  worker.port = request.port;
+  worker.consecutive_failures = 0;
+  worker.lost_since = std::chrono::steady_clock::time_point{};
+  if (worker.state != LinkState::kActive) {
+    if (worker.state == LinkState::kEvicted) {
+      ++stats_.rejoins;  // the heartbeat healed a health-check eviction
+    }
+    worker.state = LinkState::kActive;
+    worker.client.close();  // stale connection from the previous life
+  }
+  ring_.add(worker.id);  // idempotent
+  reply.accepted = true;
+  reply.detail = "ring size " + std::to_string(ring_.size());
+  return reply;
+}
+
+LeaveReply Router::handle_leave(const LeaveRequest& request) {
+  LeaveReply reply;
+  WorkerLink* worker = link(request.worker_id);
+  if (worker == nullptr) {
+    reply.removed = false;
+    return reply;
+  }
+  reply.removed = ring_.remove(worker->id);
+  // kLeft, not erased: in-flight router jobs may still poll this link
+  // until their results migrate over or the worker actually exits.
+  worker->state = LinkState::kLeft;
+  if (reply.removed) {
+    ++stats_.leaves;
+  }
+  return reply;
+}
+
+MigrateReply Router::forward_migrate(const MigrateRequest& request) {
+  MigrateReply last;
+  last.outcome = MigrateOutcome::kRejected;
+  last.fingerprint = request.fingerprint;
+  last.detail = "no surviving worker to take the transplant";
+  // Route the transplant like any other fingerprint, but never back to
+  // the worker that is shedding it.
+  std::vector<WorkerLink*> order =
+      candidates(request.fingerprint, request.origin_worker);
+  for (WorkerLink* target : order) {
+    MigrateReply reply;
+    try {
+      reply = link_call(*target, service::make_migrate(request),
+                        config_.worker_timeout_ms)
+                  .migrate;
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (reply.outcome == MigrateOutcome::kAccepted ||
+        reply.outcome == MigrateOutcome::kCoalesced) {
+      ++stats_.migrations_forwarded;
+      // Repoint every routed job that referenced the origin's copy, so
+      // clients polling their router ids land on the new host.
+      for (auto& [id, job] : jobs_) {
+        if (!job.held && job.worker_id == request.origin_worker &&
+            job.remote_id == request.origin_job_id) {
+          job.worker_id = target->id;
+          job.remote_id = reply.job_id;
+        }
+      }
+      return reply;
+    }
+    last = reply;  // rejected or draining: try the next survivor
+  }
+  ++stats_.migrations_failed;
+  return last;
+}
+
+LookupReply Router::cluster_lookup(std::uint64_t fingerprint) {
+  LookupReply reply;
+  reply.fingerprint = fingerprint;
+  if (fingerprint == 0) {
+    return reply;
+  }
+  for (const auto& [id, worker] : workers_) {
+    if (worker->state != LinkState::kActive) {
+      continue;
+    }
+    LookupReply found;
+    try {
+      found = link_call(*worker, service::make_lookup(fingerprint),
+                        config_.worker_timeout_ms)
+                  .lookup;
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (found.found) {
+      return found;
+    }
+  }
+  return reply;
+}
+
+}  // namespace congestbc::cluster

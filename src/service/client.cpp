@@ -227,6 +227,22 @@ CancelReply Client::cancel(std::uint64_t job_id) {
 
 StatsReply Client::stats() { return call(make_plain(MsgType::kStats)).stats; }
 
+JoinReply Client::join(const JoinRequest& request) {
+  return call(make_join(request)).join;
+}
+
+LeaveReply Client::leave(const LeaveRequest& request) {
+  return call(make_leave(request)).leave;
+}
+
+MigrateReply Client::migrate(const MigrateRequest& request) {
+  return call(make_migrate(request)).migrate;
+}
+
+LookupReply Client::lookup(std::uint64_t fingerprint) {
+  return call(make_lookup(fingerprint)).lookup;
+}
+
 ShutdownReply Client::shutdown() {
   return call(make_plain(MsgType::kShutdown)).shutdown;
 }

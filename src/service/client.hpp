@@ -56,6 +56,11 @@ class Client {
   CancelReply cancel(std::uint64_t job_id);
   StatsReply stats();
   ShutdownReply shutdown();
+  // v6 cluster calls (router <-> worker links).
+  JoinReply join(const JoinRequest& request);
+  LeaveReply leave(const LeaveRequest& request);
+  MigrateReply migrate(const MigrateRequest& request);
+  LookupReply lookup(std::uint64_t fingerprint);
 
   /// Polls RESULT every `poll_ms` until the reply is ready or the job
   /// reaches a state polling cannot cure (failed lookups, cancellation,

@@ -23,6 +23,7 @@
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "portfolio/backend.hpp"
+#include "service/client.hpp"
 #include "snapshot/checkpoint.hpp"
 #include "snapshot/fingerprint.hpp"
 #include "snapshot/snapshot.hpp"
@@ -111,6 +112,36 @@ void write_text_atomic(const fs::path& target, const std::string& text) {
 std::uint64_t tagged_incremental_fingerprint(std::uint64_t run_fp) {
   static const std::uint8_t kTag[] = {'i', 'n', 'c', '-', 'b', 'c'};
   return fnv1a_u64(run_fp, fnv1a(kTag, sizeof kTag));
+}
+
+/// "host:port" → parts; false on anything that does not parse (the
+/// daemon treats a bad --join target as "standalone" rather than dying).
+bool split_host_port(const std::string& s, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(s.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0 || value > 65535) {
+    return false;
+  }
+  host = s.substr(0, colon);
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+/// Round number of a checkpoint file ("ckpt-000000000042.cbcsnap" → 42);
+/// 0 when the name does not match the pattern.
+std::uint64_t checkpoint_round_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  if (name.rfind("ckpt-", 0) != 0) {
+    return 0;
+  }
+  return std::strtoull(name.c_str() + 5, nullptr, 10);
 }
 
 /// Stream namespace names become spool directory names, so they are
@@ -216,7 +247,7 @@ void Daemon::start() {
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
     throw std::runtime_error("bind() failed: " + std::string(std::strerror(errno)));
   }
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(listen_fd_, 1024) != 0) {
     throw std::runtime_error("listen() failed: " + std::string(std::strerror(errno)));
   }
   sockaddr_in bound{};
@@ -225,6 +256,12 @@ void Daemon::start() {
   port_ = ntohs(bound.sin_port);
   set_nonblocking(listen_fd_);
   last_metrics_dump_ = std::chrono::steady_clock::now();
+  if (!config_.join_router.empty()) {
+    // Best-effort: the router may not be up yet; the heartbeat in
+    // poll_tick_housekeeping keeps retrying (and heals evictions).
+    announce_join();
+    last_join_ = std::chrono::steady_clock::now();
+  }
   started_ = true;
 }
 
@@ -617,6 +654,17 @@ void Daemon::poll_tick_housekeeping() {
       last_metrics_dump_ = now;
     }
   }
+  if (!config_.join_router.empty() && !draining_ &&
+      config_.join_every_ms != 0) {
+    const auto since = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           now - last_join_)
+                           .count();
+    if (since >= 0 &&
+        static_cast<std::uint64_t>(since) >= config_.join_every_ms) {
+      announce_join();
+      last_join_ = now;
+    }
+  }
 }
 
 // ------------------------------------------------------------- drain
@@ -660,9 +708,6 @@ void Daemon::finish_drain() {
     std::lock_guard<std::mutex> lock(mutex_);
     flush_cache_index_locked();
   }
-  if (!config_.metrics_path.empty()) {
-    dump_metrics();
-  }
   // Best-effort flush of replies already queued (e.g. the SHUTDOWN ack),
   // bounded so a stuck client cannot wedge the exit.
   const auto deadline =
@@ -680,10 +725,169 @@ void Daemon::finish_drain() {
       ::poll(nullptr, 0, 10);
     }
   }
+  // Sessions close BEFORE migration: the router is one of them, and its
+  // io thread must not sit in a poll this daemon will never answer while
+  // that same thread is the one that has to forward our MIGRATEs — the
+  // instant EOF frees it (and tells it to stop routing polls here).
   for (auto& session : sessions_) {
     close_fd(session->fd);
   }
   sessions_.clear();
+  if (!config_.join_router.empty()) {
+    // Transplant suspended jobs (and unfetched results) to a surviving
+    // worker via the router, then leave the ring — before the final
+    // metrics dump so migrated_out makes the last snapshot.
+    migrate_suspended_jobs();
+  }
+  if (!config_.metrics_path.empty()) {
+    dump_metrics();
+  }
+}
+
+// -------------------------------------------- cluster membership (v6)
+
+std::string Daemon::worker_id() const {
+  const std::string& host =
+      config_.advertise_host.empty() ? config_.host : config_.advertise_host;
+  return host + ":" + std::to_string(port_);
+}
+
+void Daemon::announce_join() {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!split_host_port(config_.join_router, host, port)) {
+    return;
+  }
+  try {
+    Client client;
+    // Short budget: this runs on the io thread, and a dead router must
+    // not stall serving for more than a heartbeat's fraction.
+    client.connect(host, port, 250);
+    JoinRequest join;
+    join.worker_id = worker_id();
+    join.host =
+        config_.advertise_host.empty() ? config_.host : config_.advertise_host;
+    join.port = port_;
+    (void)client.join(join);
+  } catch (const std::exception&) {
+    // Best-effort; the next heartbeat retries.
+  }
+}
+
+void Daemon::migrate_suspended_jobs() {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!split_host_port(config_.join_router, host, port)) {
+    return;
+  }
+  // Assemble the transplants under the lock, do wire I/O outside it.
+  // Incremental (stream) jobs never migrate: their tagged fingerprint is
+  // not recomputable from a submit alone, and the maintainer state they
+  // need is rebuilt from the stream log wherever they re-run.
+  std::vector<MigrateRequest> outgoing;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unordered_set<std::uint64_t> seen;
+    for (const auto& [id, job] : jobs_) {
+      if (!job->stream_ns.empty() || job->request.graph.empty() ||
+          !seen.insert(job->fingerprint).second) {
+        continue;
+      }
+      if (job->state == JobState::kSuspended) {
+        MigrateRequest m;
+        m.kind = MigrateKind::kResume;
+        m.fingerprint = job->fingerprint;
+        m.origin_job_id = job->id;
+        m.origin_worker = worker_id();
+        m.submit = job->request;
+        if (!config_.spool_dir.empty()) {
+          // Newest checkpoint that decodes travels along; invalid ones
+          // fall back to the next-oldest, worst case a from-scratch
+          // re-run on the target (still bit-identical).
+          const std::vector<std::string> checkpoints =
+              list_checkpoints(ckpt_dir(job->fingerprint));
+          for (auto ck = checkpoints.rbegin(); ck != checkpoints.rend();
+               ++ck) {
+            std::ifstream in(*ck, std::ios::binary);
+            if (!in) {
+              continue;
+            }
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            const std::string bytes = buffer.str();
+            try {
+              std::istringstream check(bytes);
+              (void)read_snapshot_container(check);
+            } catch (const std::exception&) {
+              continue;
+            }
+            m.snapshot_round = checkpoint_round_of(*ck);
+            m.snapshot_bytes.assign(bytes.begin(), bytes.end());
+            break;
+          }
+        }
+        outgoing.push_back(std::move(m));
+      } else if (job->state == JobState::kDone && job->result != nullptr) {
+        // Unfetched finished work: ship the encoded block so a client
+        // polling through the router still gets its bytes after this
+        // worker is gone.
+        MigrateRequest m;
+        m.kind = MigrateKind::kResult;
+        m.fingerprint = job->fingerprint;
+        m.origin_job_id = job->id;
+        m.origin_worker = worker_id();
+        m.submit = job->request;
+        m.block_bytes = job->result->block_bytes;
+        m.block_bits = job->result->block_bits;
+        outgoing.push_back(std::move(m));
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> resumed_elsewhere;
+  std::uint64_t shipped = 0;
+  try {
+    Client client;
+    client.connect(host, port, 5000);
+    for (const MigrateRequest& m : outgoing) {
+      try {
+        const MigrateReply reply = client.migrate(m);
+        if (reply.outcome == MigrateOutcome::kAccepted ||
+            reply.outcome == MigrateOutcome::kCoalesced) {
+          ++shipped;
+          if (m.kind == MigrateKind::kResume) {
+            resumed_elsewhere.push_back(m.fingerprint);
+          }
+        }
+      } catch (const std::exception&) {
+        // This transplant stays local (spool entry intact); keep going.
+      }
+    }
+    LeaveRequest leave;
+    leave.worker_id = worker_id();
+    (void)client.leave(leave);
+  } catch (const std::exception&) {
+    // No router reachable: everything stays in the local spool, exactly
+    // as a standalone drain would leave it.
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.migrated_out += shipped;
+  for (const std::uint64_t fp : resumed_elsewhere) {
+    // The job now lives on another worker.  Release the local spool
+    // entry (journal first, the usual crash-safety order) so a restarted
+    // daemon cannot re-run work that migrated — that would be the
+    // cluster-level double execution the coalescing map exists to stop.
+    for (const auto& [id, job] : jobs_) {
+      if (job->fingerprint == fp && job->state == JobState::kSuspended) {
+        if (journal_) {
+          journal_->append(SpoolJournal::Record::kTerminal, fp);
+        }
+        spool_remove_job(*job);
+        break;
+      }
+    }
+  }
 }
 
 // -------------------------------------------------- request handling
@@ -721,6 +925,26 @@ Reply Daemon::dispatch(const Request& request) {
     case MsgType::kShutdown:
       reply.type = MsgType::kShutdownReply;
       reply.shutdown = handle_shutdown();
+      break;
+    case MsgType::kJoin:
+      // Workers hold no ring; a JOIN aimed at a worker is a client
+      // misconfiguration, answered in-protocol rather than with an error
+      // so the sender sees *why* instead of losing the connection.
+      reply.type = MsgType::kJoinReply;
+      reply.join.accepted = false;
+      reply.join.detail = "not a router (point --join at congestbc_router)";
+      break;
+    case MsgType::kLeave:
+      reply.type = MsgType::kLeaveReply;
+      reply.leave.removed = false;
+      break;
+    case MsgType::kMigrate:
+      reply.type = MsgType::kMigrateReply;
+      reply.migrate = handle_migrate(request.migrate);
+      break;
+    case MsgType::kLookup:
+      reply.type = MsgType::kLookupReply;
+      reply.lookup = handle_lookup(request.lookup);
       break;
     default:
       throw ProtocolError(ProtoError::kUnknownType, "unhandled request type");
@@ -823,6 +1047,13 @@ void Daemon::parse_submit(const SubmitRequest& request, Graph& graph,
   options.threads = request.threads == 0 ? config_.default_threads
                                          : static_cast<unsigned>(request.threads);
   options.legacy_engine = request.legacy_engine;
+  // v6 engine hint: a pure execution knob (all engines are bit-identical,
+  // so it is excluded from the fingerprint); the legacy_engine flag keeps
+  // winning for pre-v6 clients.
+  if (request.engine > static_cast<std::uint8_t>(EngineKind::kLegacy)) {
+    throw ProtocolError(ProtoError::kBadRequest, "unknown engine id");
+  }
+  options.engine = static_cast<EngineKind>(request.engine);
   // v5 portfolio fields.  kAuto stays unresolved here — handle_submit
   // resolves it under the scheduler lock where queue pressure is
   // observable, before anything fingerprints.  The approximation params
@@ -1338,6 +1569,202 @@ ShutdownReply Daemon::handle_shutdown() {
   request_drain();
   ShutdownReply reply;
   reply.draining = true;
+  return reply;
+}
+
+MigrateReply Daemon::handle_migrate(const MigrateRequest& request) {
+  MigrateReply reply;
+  reply.fingerprint = request.fingerprint;
+
+  // Validate before touching shared state, with the same distrust
+  // recover_spool applies to its own .req files: the inner canonical
+  // submit must parse, and its recomputed fingerprint must match the
+  // wire claim — a corrupt or forged transplant is rejected, never run
+  // (and never served) under the wrong identity.
+  Graph graph(0, {});
+  std::optional<Digraph> digraph;
+  DistributedBcOptions options;
+  SubmitRequest canonical;
+  try {
+    parse_submit(request.submit, graph, digraph, options, canonical);
+  } catch (const std::exception& e) {
+    reply.outcome = MigrateOutcome::kRejected;
+    reply.detail = std::string("bad migrated submit: ") + e.what();
+    return reply;
+  }
+  if (options.backend == BackendId::kAuto) {
+    // The origin resolved auto at its own admission; re-resolving under
+    // this worker's load could silently change the result family.
+    reply.outcome = MigrateOutcome::kRejected;
+    reply.detail = "migrated submit must carry a resolved backend";
+    return reply;
+  }
+  const std::uint64_t recomputed = digraph.has_value()
+                                       ? run_fingerprint(*digraph, options)
+                                       : run_fingerprint(graph, options);
+  if (recomputed != request.fingerprint) {
+    reply.outcome = MigrateOutcome::kRejected;
+    reply.detail = "fingerprint mismatch (transplant does not describe "
+                   "its own payload)";
+    return reply;
+  }
+
+  if (request.kind == MigrateKind::kResult) {
+    // A finished block travels with its submit purely so the identity
+    // check above can run; the block itself must decode too.
+    auto cached = std::make_shared<CachedResult>();
+    try {
+      BitReader r(request.block_bytes.data(),
+                  static_cast<std::size_t>(request.block_bits));
+      const ResultBlock block = decode_result_block(r);
+      cached->run_status = block.run_status;
+    } catch (const std::exception& e) {
+      reply.outcome = MigrateOutcome::kRejected;
+      reply.detail = std::string("bad migrated block: ") + e.what();
+      return reply;
+    }
+    cached->block_bytes = request.block_bytes;
+    cached->block_bits = request.block_bits;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      reply.outcome = MigrateOutcome::kDraining;
+      reply.detail = "target is draining";
+      return reply;
+    }
+    const bool known = cache_.peek(request.fingerprint) != nullptr;
+    if (!known) {
+      cache_.put(request.fingerprint, cached);
+      if (!config_.spool_dir.empty()) {
+        try {
+          persist_cache_entry(request.fingerprint, *cached);
+        } catch (const std::exception&) {
+          // Warm-cache persistence stays best-effort.
+        }
+      }
+    }
+    // Either way the transplant arrived and is honored here — a done job
+    // is synthesized below and the router repoints the origin's id at it
+    // — so it counts as migrated in even when the block was already
+    // cached locally (cross-worker LOOKUP may have warmed it).
+    ++metrics_.migrated_in;
+    // Synthesize a done job either way so the router can repoint the
+    // origin's job id here and clients keep polling RESULT untouched.
+    auto job = std::make_shared<Job>();
+    job->id = next_job_id_++;
+    job->fingerprint = request.fingerprint;
+    job->state = JobState::kDone;
+    job->result = known ? cache_.get(request.fingerprint) : cached;
+    job->from_cache = true;
+    job->submitted = std::chrono::steady_clock::now();
+    jobs_.emplace(job->id, job);
+    mark_terminal_locked(job);
+    reply.outcome =
+        known ? MigrateOutcome::kCoalesced : MigrateOutcome::kAccepted;
+    reply.job_id = job->id;
+    return reply;
+  }
+
+  // kResume: validate the snapshot container (when one rides along)
+  // before anything is admitted.
+  if (!request.snapshot_bytes.empty()) {
+    try {
+      std::istringstream in(std::string(request.snapshot_bytes.begin(),
+                                        request.snapshot_bytes.end()));
+      (void)read_snapshot_container(in);
+    } catch (const std::exception& e) {
+      reply.outcome = MigrateOutcome::kRejected;
+      reply.detail = std::string("bad migrated checkpoint: ") + e.what();
+      return reply;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_) {
+    reply.outcome = MigrateOutcome::kDraining;
+    reply.detail = "target is draining";
+    return reply;
+  }
+  if (auto cached = cache_.get(request.fingerprint)) {
+    // This worker already finished identical work: serve it instead of
+    // re-running (the migrated snapshot is moot).
+    auto job = std::make_shared<Job>();
+    job->id = next_job_id_++;
+    job->fingerprint = request.fingerprint;
+    job->state = JobState::kDone;
+    job->result = std::move(cached);
+    job->from_cache = true;
+    job->submitted = std::chrono::steady_clock::now();
+    jobs_.emplace(job->id, job);
+    mark_terminal_locked(job);
+    reply.outcome = MigrateOutcome::kCoalesced;
+    reply.job_id = job->id;
+    return reply;
+  }
+  if (const auto it = inflight_.find(request.fingerprint);
+      it != inflight_.end()) {
+    ++metrics_.coalesced;
+    reply.outcome = MigrateOutcome::kCoalesced;
+    reply.job_id = it->second->id;
+    return reply;
+  }
+  if (queue_.size() >= config_.queue_limit) {
+    reply.outcome = MigrateOutcome::kRejected;
+    reply.detail = "queue full; route the transplant elsewhere";
+    return reply;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = next_job_id_++;
+  job->fingerprint = request.fingerprint;
+  job->request = std::move(canonical);
+  job->graph = std::move(graph);
+  job->digraph = std::move(digraph);
+  job->options = std::move(options);
+  job->submitted = std::chrono::steady_clock::now();
+  if (!request.snapshot_bytes.empty() && !config_.spool_dir.empty()) {
+    // Land the (already validated) container bytes in this worker's own
+    // checkpoint directory, verbatim — the run then resumes from them
+    // exactly as it would from a local suspension checkpoint.  Written
+    // with the usual temp + rename discipline.  With no spool dir the
+    // job simply re-runs from round zero, which is still bit-identical.
+    try {
+      const fs::path dir(ckpt_dir(request.fingerprint));
+      fs::create_directories(dir);
+      const fs::path target = dir / checkpoint_file_name(request.snapshot_round);
+      const fs::path tmp = target.string() + ".tmp";
+      {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(request.snapshot_bytes.data()),
+                  static_cast<std::streamsize>(request.snapshot_bytes.size()));
+        if (!out) {
+          throw SnapshotError("cannot write " + tmp.string());
+        }
+      }
+      fs::rename(tmp, target);
+      job->resume_from = target.string();
+    } catch (const std::exception&) {
+      job->resume_from.clear();  // degrade to a from-scratch re-run
+    }
+  }
+  ++metrics_.migrated_in;
+  ++metrics_.submits;
+  admit_locked(job);
+  reply.outcome = MigrateOutcome::kAccepted;
+  reply.job_id = job->id;
+  return reply;
+}
+
+LookupReply Daemon::handle_lookup(const LookupRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LookupReply reply;
+  reply.fingerprint = request.fingerprint;
+  if (auto cached = cache_.get(request.fingerprint)) {
+    reply.found = true;
+    reply.block_bytes = cached->block_bytes;
+    reply.block_bits = cached->block_bits;
+    ++metrics_.lookups_served;
+  }
   return reply;
 }
 

@@ -104,6 +104,18 @@ struct DaemonConfig {
   /// until the backlog drains.  Worst-case buffered output per session is
   /// this limit plus one maximal reply frame.
   std::size_t session_out_limit = 64u << 20;
+  /// Cluster membership (v6): "host:port" of a congestbc_router to JOIN.
+  /// Empty = standalone daemon.  When set, the daemon announces itself
+  /// after binding, re-sends the (idempotent) JOIN every join_every_ms as
+  /// the rejoin heartbeat, and at drain time transplants its suspended
+  /// jobs and unfetched results to the router (MIGRATE) before LEAVE-ing
+  /// the ring.
+  std::string join_router;
+  /// Address the router should dial this worker back on; defaults to
+  /// `host` when empty (useful when the daemon binds 0.0.0.0).
+  std::string advertise_host;
+  /// Cadence of the periodic re-JOIN heartbeat (0 = announce once).
+  std::uint64_t join_every_ms = 1000;
 };
 
 class Daemon {
@@ -236,6 +248,14 @@ class Daemon {
   ResultReply handle_result(std::uint64_t job_id);
   CancelReply handle_cancel(std::uint64_t job_id);
   ShutdownReply handle_shutdown();
+  /// Target side of a drain-time transplant (v6).  Re-validates the
+  /// inner canonical submit exactly like spool recovery — recomputed
+  /// fingerprint must match the wire claim — before admitting a kResume
+  /// (snapshot bytes land in the checkpoint directory so the run resumes
+  /// bit-identically) or caching a kResult.
+  MigrateReply handle_migrate(const MigrateRequest& request);
+  /// Cross-worker result-cache probe by fingerprint (v6).
+  LookupReply handle_lookup(const LookupRequest& request);
   StatsReply stats_locked();
 
   /// Parses + validates a submit into (graph-or-digraph, options,
@@ -330,6 +350,19 @@ class Daemon {
   std::vector<std::uint64_t> recover_streams(
       const std::vector<std::uint64_t>& journaled_mutations, bool trust_all);
 
+  // --- cluster membership (v6) ---
+  /// Stable ring identity: "<advertise-or-listen host>:<bound port>".
+  std::string worker_id() const;
+  /// One best-effort JOIN to config_.join_router (short timeout; a
+  /// router that is not up yet is retried by the heartbeat).
+  void announce_join();
+  /// Drain-time transplant: ships every suspended job (canonical submit
+  /// + newest valid checkpoint) and every done job still holding its
+  /// request (unfetched result) to the router as MIGRATE frames, then
+  /// LEAVEs the ring.  Accepted resumes release their local spool entry
+  /// so a restarted daemon cannot re-run work that now lives elsewhere.
+  void migrate_suspended_jobs();
+
   DaemonConfig config_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -362,6 +395,7 @@ class Daemon {
   std::unique_ptr<SpoolJournal> journal_;
 
   std::chrono::steady_clock::time_point last_metrics_dump_;
+  std::chrono::steady_clock::time_point last_join_;
   std::thread serve_thread_;
 };
 

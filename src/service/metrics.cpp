@@ -89,6 +89,9 @@ StatsReply ServiceMetrics::snapshot(std::uint64_t queue_depth,
   s.dirty_sources_rerun = dirty_sources_rerun;
   s.cache_invalidations = cache_invalidations;
   s.backend_downgrades = backend_downgrades;
+  s.migrated_out = migrated_out;
+  s.migrated_in = migrated_in;
+  s.lookups_served = lookups_served;
   s.qps = s.uptime_ms == 0
               ? 0.0
               : static_cast<double>(submits) * 1000.0 /
@@ -135,6 +138,9 @@ std::string to_json(const StatsReply& stats) {
   w.key("dirty_sources_rerun").value(stats.dirty_sources_rerun);
   w.key("cache_invalidations").value(stats.cache_invalidations);
   w.key("backend_downgrades").value(stats.backend_downgrades);
+  w.key("migrated_out").value(stats.migrated_out);
+  w.key("migrated_in").value(stats.migrated_in);
+  w.key("lookups_served").value(stats.lookups_served);
   w.key("qps").value(stats.qps);
   w.key("worker_utilization").value(stats.worker_utilization);
   w.key("latency_p50_ms").value(stats.latency_p50_ms);
@@ -215,6 +221,15 @@ std::string prometheus_text(const StatsReply& stats,
   w.counter("congestbcd_backend_downgrades_total",
             "backend=auto jobs downgraded to sampled under queue pressure",
             stats.backend_downgrades);
+  w.counter("congestbcd_migrated_out_total",
+            "Jobs shipped to another worker during drain",
+            stats.migrated_out);
+  w.counter("congestbcd_migrated_in_total",
+            "Migrated jobs validated and admitted from another worker",
+            stats.migrated_in);
+  w.counter("congestbcd_lookups_served_total",
+            "Cross-worker cache probes answered from the local cache",
+            stats.lookups_served);
   w.gauge("congestbcd_qps", "Submits per second over the daemon lifetime",
           stats.qps);
   w.gauge("congestbcd_worker_utilization",

@@ -54,6 +54,11 @@ class ServiceMetrics {
   // Portfolio-plane counter (PR 9): backend=auto jobs the admission path
   // downgraded to the sampled backend under queue pressure.
   std::uint64_t backend_downgrades = 0;
+  // Cluster-plane counters (PR 10): drain-time job transplants between
+  // workers and cross-worker cache probes served from this cache.
+  std::uint64_t migrated_out = 0;
+  std::uint64_t migrated_in = 0;
+  std::uint64_t lookups_served = 0;
 
   // Whole-life histograms behind the /metrics endpoint (the percentile
   // window above describes recent behavior; these never forget).

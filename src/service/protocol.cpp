@@ -93,6 +93,7 @@ void encode_submit_body(BitWriter& w, const SubmitRequest& s) {
   w.write_varuint(s.backend);
   w.write_varuint(s.samples);
   w.write_varuint(s.sample_seed);
+  w.write_varuint(s.engine);
 }
 
 SubmitRequest decode_submit_body(BitReader& r) {
@@ -128,7 +129,152 @@ SubmitRequest decode_submit_body(BitReader& r) {
   }
   s.samples = static_cast<std::uint32_t>(samples);
   s.sample_seed = r.read_varuint();
+  const std::uint64_t engine = r.read_varuint();
+  if (engine > 2) {  // last EngineKind (kLegacy)
+    throw ProtocolError(ProtoError::kMalformed,
+                        "unknown engine " + std::to_string(engine));
+  }
+  s.engine = static_cast<std::uint8_t>(engine);
   return s;
+}
+
+// ---- v6 cluster bodies -----------------------------------------------
+
+/// Opaque byte blob (snapshot containers, encoded result blocks):
+/// varuint byte count + raw bytes, count guarded like get_string.
+void put_bytes(BitWriter& w, const std::vector<std::uint8_t>& bytes) {
+  w.write_varuint(bytes.size());
+  for (const std::uint8_t b : bytes) {
+    w.write(b, 8);
+  }
+}
+
+std::vector<std::uint8_t> get_bytes(BitReader& r) {
+  const std::uint64_t size = r.read_varuint();
+  if (size > r.remaining() / 8) {
+    throw ProtocolError(ProtoError::kMalformed,
+                        "byte blob length " + std::to_string(size) +
+                            " exceeds the remaining payload");
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  for (auto& b : bytes) {
+    b = static_cast<std::uint8_t>(r.read(8));
+  }
+  return bytes;
+}
+
+void encode_join_body(BitWriter& w, const JoinRequest& j) {
+  put_string(w, j.worker_id);
+  put_string(w, j.host);
+  w.write_varuint(j.port);
+}
+
+JoinRequest decode_join_body(BitReader& r) {
+  JoinRequest j;
+  j.worker_id = get_string(r);
+  j.host = get_string(r);
+  const std::uint64_t port = r.read_varuint();
+  if (port > UINT16_MAX) {
+    throw ProtocolError(ProtoError::kMalformed,
+                        "port " + std::to_string(port) + " out of range");
+  }
+  j.port = static_cast<std::uint16_t>(port);
+  return j;
+}
+
+void encode_migrate_body(BitWriter& w, const MigrateRequest& m) {
+  w.write_varuint(static_cast<std::uint64_t>(m.kind));
+  w.write(m.fingerprint, 64);
+  w.write_varuint(m.origin_job_id);
+  put_string(w, m.origin_worker);
+  encode_submit_body(w, m.submit);
+  w.write_varuint(m.snapshot_round);
+  put_bytes(w, m.snapshot_bytes);
+  w.write_varuint(m.block_bits);
+  if (m.block_bits > 0) {
+    w.append(m.block_bytes.data(), static_cast<std::size_t>(m.block_bits));
+  }
+}
+
+MigrateRequest decode_migrate_body(BitReader& r) {
+  MigrateRequest m;
+  const std::uint64_t kind = r.read_varuint();
+  if (kind > static_cast<std::uint64_t>(MigrateKind::kResult)) {
+    throw ProtocolError(ProtoError::kMalformed,
+                        "unknown migrate kind " + std::to_string(kind));
+  }
+  m.kind = static_cast<MigrateKind>(kind);
+  m.fingerprint = r.read(64);
+  m.origin_job_id = r.read_varuint();
+  m.origin_worker = get_string(r);
+  m.submit = decode_submit_body(r);
+  m.snapshot_round = r.read_varuint();
+  m.snapshot_bytes = get_bytes(r);
+  m.block_bits = r.read_varuint();
+  if (m.block_bits > r.remaining()) {
+    throw ProtocolError(ProtoError::kMalformed,
+                        "migrated block length exceeds the payload");
+  }
+  m.block_bytes.assign((static_cast<std::size_t>(m.block_bits) + 7) / 8, 0);
+  std::uint64_t left = m.block_bits;
+  std::size_t byte = 0;
+  while (left > 0) {
+    const unsigned chunk = left >= 8 ? 8u : static_cast<unsigned>(left);
+    m.block_bytes[byte++] = static_cast<std::uint8_t>(r.read(chunk));
+    left -= chunk;
+  }
+  return m;
+}
+
+void encode_migrate_reply_body(BitWriter& w, const MigrateReply& m) {
+  w.write_varuint(static_cast<std::uint64_t>(m.outcome));
+  w.write_varuint(m.job_id);
+  w.write(m.fingerprint, 64);
+  put_string(w, m.detail);
+}
+
+MigrateReply decode_migrate_reply_body(BitReader& r) {
+  MigrateReply m;
+  const std::uint64_t o = r.read_varuint();
+  if (o > static_cast<std::uint64_t>(MigrateOutcome::kDraining)) {
+    throw ProtocolError(ProtoError::kMalformed, "unknown migrate outcome");
+  }
+  m.outcome = static_cast<MigrateOutcome>(o);
+  m.job_id = r.read_varuint();
+  m.fingerprint = r.read(64);
+  m.detail = get_string(r);
+  return m;
+}
+
+void encode_lookup_reply_body(BitWriter& w, const LookupReply& m) {
+  w.write_bool(m.found);
+  w.write(m.fingerprint, 64);
+  if (m.found) {
+    w.write_varuint(m.block_bits);
+    w.append(m.block_bytes.data(), static_cast<std::size_t>(m.block_bits));
+  }
+}
+
+LookupReply decode_lookup_reply_body(BitReader& r) {
+  LookupReply m;
+  m.found = r.read_bool();
+  m.fingerprint = r.read(64);
+  if (m.found) {
+    m.block_bits = r.read_varuint();
+    if (m.block_bits > r.remaining()) {
+      throw ProtocolError(ProtoError::kMalformed,
+                          "lookup block length exceeds the payload");
+    }
+    m.block_bytes.assign((static_cast<std::size_t>(m.block_bits) + 7) / 8, 0);
+    std::uint64_t left = m.block_bits;
+    std::size_t byte = 0;
+    while (left > 0) {
+      const unsigned chunk = left >= 8 ? 8u : static_cast<unsigned>(left);
+      m.block_bytes[byte++] = static_cast<std::uint8_t>(r.read(chunk));
+      left -= chunk;
+    }
+  }
+  return m;
 }
 
 void encode_mutate_body(BitWriter& w, const MutateRequest& m) {
@@ -344,6 +490,9 @@ void encode_stats_reply_body(BitWriter& w, const StatsReply& m) {
   w.write_varuint(m.dirty_sources_rerun);
   w.write_varuint(m.cache_invalidations);
   w.write_varuint(m.backend_downgrades);
+  w.write_varuint(m.migrated_out);
+  w.write_varuint(m.migrated_in);
+  w.write_varuint(m.lookups_served);
 }
 
 StatsReply decode_stats_reply_body(BitReader& r) {
@@ -380,6 +529,9 @@ StatsReply decode_stats_reply_body(BitReader& r) {
   m.dirty_sources_rerun = r.read_varuint();
   m.cache_invalidations = r.read_varuint();
   m.backend_downgrades = r.read_varuint();
+  m.migrated_out = r.read_varuint();
+  m.migrated_in = r.read_varuint();
+  m.lookups_served = r.read_varuint();
   return m;
 }
 
@@ -472,6 +624,20 @@ const char* to_string(MutateOutcome o) {
     case MutateOutcome::kRejected:
       return "rejected";
     case MutateOutcome::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+const char* to_string(MigrateOutcome o) {
+  switch (o) {
+    case MigrateOutcome::kAccepted:
+      return "accepted";
+    case MigrateOutcome::kCoalesced:
+      return "coalesced";
+    case MigrateOutcome::kRejected:
+      return "rejected";
+    case MigrateOutcome::kDraining:
       return "draining";
   }
   return "unknown";
@@ -592,6 +758,18 @@ BitWriter encode_request(const Request& request) {
     case MsgType::kMutate:
       encode_mutate_body(w, request.mutate);
       break;
+    case MsgType::kJoin:
+      encode_join_body(w, request.join);
+      break;
+    case MsgType::kLeave:
+      put_string(w, request.leave.worker_id);
+      break;
+    case MsgType::kMigrate:
+      encode_migrate_body(w, request.migrate);
+      break;
+    case MsgType::kLookup:
+      w.write(request.lookup.fingerprint, 64);
+      break;
     case MsgType::kStatus:
     case MsgType::kResult:
     case MsgType::kCancel:
@@ -619,6 +797,22 @@ Request decode_request(const FramePayload& payload) {
       case static_cast<std::uint64_t>(MsgType::kMutate):
         request.type = MsgType::kMutate;
         request.mutate = decode_mutate_body(r);
+        break;
+      case static_cast<std::uint64_t>(MsgType::kJoin):
+        request.type = MsgType::kJoin;
+        request.join = decode_join_body(r);
+        break;
+      case static_cast<std::uint64_t>(MsgType::kLeave):
+        request.type = MsgType::kLeave;
+        request.leave.worker_id = get_string(r);
+        break;
+      case static_cast<std::uint64_t>(MsgType::kMigrate):
+        request.type = MsgType::kMigrate;
+        request.migrate = decode_migrate_body(r);
+        break;
+      case static_cast<std::uint64_t>(MsgType::kLookup):
+        request.type = MsgType::kLookup;
+        request.lookup.fingerprint = r.read(64);
         break;
       case static_cast<std::uint64_t>(MsgType::kStatus):
       case static_cast<std::uint64_t>(MsgType::kResult):
@@ -672,6 +866,19 @@ BitWriter encode_reply(const Reply& reply) {
     case MsgType::kMutateReply:
       encode_mutate_reply_body(w, reply.mutate);
       break;
+    case MsgType::kJoinReply:
+      w.write_bool(reply.join.accepted);
+      put_string(w, reply.join.detail);
+      break;
+    case MsgType::kLeaveReply:
+      w.write_bool(reply.leave.removed);
+      break;
+    case MsgType::kMigrateReply:
+      encode_migrate_reply_body(w, reply.migrate);
+      break;
+    case MsgType::kLookupReply:
+      encode_lookup_reply_body(w, reply.lookup);
+      break;
     default:
       CBC_EXPECTS(false, "encode_reply: not a reply type");
   }
@@ -715,6 +922,23 @@ Reply decode_reply(const FramePayload& payload) {
       case static_cast<std::uint64_t>(MsgType::kMutateReply):
         reply.type = MsgType::kMutateReply;
         reply.mutate = decode_mutate_reply_body(r);
+        break;
+      case static_cast<std::uint64_t>(MsgType::kJoinReply):
+        reply.type = MsgType::kJoinReply;
+        reply.join.accepted = r.read_bool();
+        reply.join.detail = get_string(r);
+        break;
+      case static_cast<std::uint64_t>(MsgType::kLeaveReply):
+        reply.type = MsgType::kLeaveReply;
+        reply.leave.removed = r.read_bool();
+        break;
+      case static_cast<std::uint64_t>(MsgType::kMigrateReply):
+        reply.type = MsgType::kMigrateReply;
+        reply.migrate = decode_migrate_reply_body(r);
+        break;
+      case static_cast<std::uint64_t>(MsgType::kLookupReply):
+        reply.type = MsgType::kLookupReply;
+        reply.lookup = decode_lookup_reply_body(r);
         break;
       default:
         throw ProtocolError(ProtoError::kUnknownType,
@@ -810,6 +1034,34 @@ Request make_mutate(const MutateRequest& mutate) {
   Request request;
   request.type = MsgType::kMutate;
   request.mutate = mutate;
+  return request;
+}
+
+Request make_join(const JoinRequest& join) {
+  Request request;
+  request.type = MsgType::kJoin;
+  request.join = join;
+  return request;
+}
+
+Request make_leave(const LeaveRequest& leave) {
+  Request request;
+  request.type = MsgType::kLeave;
+  request.leave = leave;
+  return request;
+}
+
+Request make_migrate(const MigrateRequest& migrate) {
+  Request request;
+  request.type = MsgType::kMigrate;
+  request.migrate = migrate;
+  return request;
+}
+
+Request make_lookup(std::uint64_t fingerprint) {
+  Request request;
+  request.type = MsgType::kLookup;
+  request.lookup.fingerprint = fingerprint;
   return request;
 }
 

@@ -46,9 +46,14 @@ namespace congestbc::service {
 // and the mutation/version stats counters (PR 8); v5 added the
 // algorithm portfolio — SUBMIT carries backend + approximation params,
 // SubmitReply reports the resolved backend + auto-downgrade flag, and
-// STATS gained backend_downgrades (PR 9).  The version gates the whole
-// frame, so older peers get kBadVersion instead of a misparse.
-inline constexpr std::uint16_t kProtocolVersion = 5;
+// STATS gained backend_downgrades (PR 9); v6 added the cluster surface —
+// JOIN/LEAVE membership frames, MIGRATE (a suspended job's canonical
+// submit + snapshot, or a finished block, travels to another worker),
+// LOOKUP (cross-worker cache probe by fingerprint), the SubmitRequest
+// engine hint, and the migration stats counters (PR 10).  The version
+// gates the whole frame, so older peers get kBadVersion instead of a
+// misparse.
+inline constexpr std::uint16_t kProtocolVersion = 6;
 
 /// Frames larger than this are rejected before any allocation happens —
 /// the daemon-side cap on hostile length fields.  Generous enough for an
@@ -101,6 +106,10 @@ enum class MsgType : std::uint8_t {
   kStats = 5,
   kShutdown = 6,
   kMutate = 7,
+  kJoin = 8,
+  kLeave = 9,
+  kMigrate = 10,
+  kLookup = 11,
   kSubmitReply = 65,
   kStatusReply = 66,
   kResultReply = 67,
@@ -109,6 +118,10 @@ enum class MsgType : std::uint8_t {
   kShutdownReply = 70,
   kError = 71,
   kMutateReply = 72,
+  kJoinReply = 73,
+  kLeaveReply = 74,
+  kMigrateReply = 75,
+  kLookupReply = 76,
 };
 
 /// How the graph of a SUBMIT is transported.
@@ -169,6 +182,15 @@ struct SubmitRequest {
   std::uint32_t samples = 0;
   /// Seed of the sampled backend's source draw.
   std::uint64_t sample_seed = 0;
+  // --- v6 cluster fields ----------------------------------------------
+  /// Simulator engine hint (congestbc::EngineKind on the wire): 0 =
+  /// frontier (the default), 1 = arena, 2 = legacy.  Pure execution
+  /// hint — excluded from the fingerprint like threads/legacy_engine
+  /// (results are bit-identical across engines), but it makes every
+  /// engine wire-selectable, so a migrated job resumes under the engine
+  /// the client asked for.  legacy_engine=true still wins for
+  /// backward compatibility.
+  std::uint8_t engine = 0;
 };
 
 /// One edge operation of a MUTATE batch (wire form of
@@ -218,12 +240,101 @@ struct JobRequest {
   std::uint64_t job_id = 0;
 };
 
+// ------------------------------------------------- v6 cluster frames
+
+/// JOIN: a worker announces itself to the router.  Idempotent — the
+/// worker re-sends it periodically, which doubles as the heartbeat that
+/// heals a health-check eviction (automatic rejoin).
+struct JoinRequest {
+  std::string worker_id;  ///< stable identity; canonically "host:port"
+  std::string host;       ///< address the router should dial back
+  std::uint16_t port = 0;
+};
+
+struct JoinReply {
+  bool accepted = false;
+  std::string detail;
+};
+
+/// LEAVE: a draining worker removes itself from the ring immediately
+/// instead of waiting for the health checker to evict it.
+struct LeaveRequest {
+  std::string worker_id;
+};
+
+struct LeaveReply {
+  bool removed = false;  ///< false: the router never knew this worker
+};
+
+/// What a MIGRATE frame carries.
+enum class MigrateKind : std::uint8_t {
+  kResume = 0,  ///< a suspended job: canonical submit (+ snapshot) — the
+                ///< target admits it and resumes from the checkpoint
+  kResult = 1,  ///< a finished encoded block — the target caches it by
+                ///< fingerprint so unfetched results survive the drain
+};
+
+/// MIGRATE: drain-time job transplant.  The draining worker ships the
+/// job's canonical SUBMIT (backend already resolved — auto must not
+/// re-resolve under the target's load) plus the newest checkpoint
+/// container bytes; the target re-validates everything exactly like its
+/// own spool recovery (fingerprint recomputed and matched) before
+/// admitting, so a corrupt or hostile migration is rejected, never run.
+struct MigrateRequest {
+  MigrateKind kind = MigrateKind::kResume;
+  std::uint64_t fingerprint = 0;  ///< authoritative run fingerprint
+  std::uint64_t origin_job_id = 0;
+  std::string origin_worker;  ///< worker_id of the draining sender
+  SubmitRequest submit;       ///< canonical form (kResume)
+  /// Round of the shipped checkpoint; 0 with empty bytes = no snapshot
+  /// (non-checkpointable backend) — the target re-runs from scratch,
+  /// which is still bit-identical.
+  std::uint64_t snapshot_round = 0;
+  std::vector<std::uint8_t> snapshot_bytes;  ///< cbcsnap container
+  std::vector<std::uint8_t> block_bytes;     ///< encoded block (kResult)
+  std::uint64_t block_bits = 0;
+};
+
+enum class MigrateOutcome : std::uint8_t {
+  kAccepted = 0,   ///< admitted (kResume) or cached (kResult)
+  kCoalesced = 1,  ///< fingerprint already cached/in-flight on the target
+  kRejected = 2,   ///< failed validation (detail says why)
+  kDraining = 3,   ///< target is itself draining; try another worker
+};
+
+const char* to_string(MigrateOutcome o);
+
+struct MigrateReply {
+  MigrateOutcome outcome = MigrateOutcome::kRejected;
+  std::uint64_t job_id = 0;       ///< target-assigned id when admitted
+  std::uint64_t fingerprint = 0;  ///< echo of the migrated fingerprint
+  std::string detail;
+};
+
+/// LOOKUP: cross-worker result-cache probe by fingerprint.  The router
+/// asks non-home workers before scheduling an execution; a hit serves
+/// the byte-identical cached block without running anything.
+struct LookupRequest {
+  std::uint64_t fingerprint = 0;
+};
+
+struct LookupReply {
+  bool found = false;
+  std::uint64_t fingerprint = 0;
+  std::vector<std::uint8_t> block_bytes;  ///< cached block when found
+  std::uint64_t block_bits = 0;
+};
+
 /// A decoded request frame.
 struct Request {
   MsgType type = MsgType::kSubmit;
-  SubmitRequest submit;  ///< valid when type == kSubmit
-  JobRequest job;        ///< valid for kStatus/kResult/kCancel
-  MutateRequest mutate;  ///< valid when type == kMutate
+  SubmitRequest submit;    ///< valid when type == kSubmit
+  JobRequest job;          ///< valid for kStatus/kResult/kCancel
+  MutateRequest mutate;    ///< valid when type == kMutate
+  JoinRequest join;        ///< valid when type == kJoin
+  LeaveRequest leave;      ///< valid when type == kLeave
+  MigrateRequest migrate;  ///< valid when type == kMigrate
+  LookupRequest lookup;    ///< valid when type == kLookup
 };
 
 /// What happened to a SUBMIT at admission.
@@ -382,6 +493,14 @@ struct StatsReply {
   /// backend=auto submits downgraded to the sampled backend by
   /// admission control (queue pressure / deadline risk).
   std::uint64_t backend_downgrades = 0;
+  // --- v6 cluster counters --------------------------------------------
+  /// Suspended jobs / unfetched results shipped to another worker at
+  /// drain (MIGRATE sent and accepted).
+  std::uint64_t migrated_out = 0;
+  /// MIGRATE frames this worker validated and admitted (or cached).
+  std::uint64_t migrated_in = 0;
+  /// Cross-worker LOOKUP probes answered from the local result cache.
+  std::uint64_t lookups_served = 0;
 };
 
 struct ShutdownReply {
@@ -404,6 +523,10 @@ struct Reply {
   ShutdownReply shutdown;
   ErrorReply error;
   MutateReply mutate;
+  JoinReply join;
+  LeaveReply leave;
+  MigrateReply migrate;
+  LookupReply lookup;
 };
 
 // ------------------------------------------------------------ framing
@@ -467,5 +590,9 @@ Request make_submit(const SubmitRequest& submit);
 Request make_job_request(MsgType type, std::uint64_t job_id);
 Request make_plain(MsgType type);  ///< kStats / kShutdown
 Request make_mutate(const MutateRequest& mutate);
+Request make_join(const JoinRequest& join);
+Request make_leave(const LeaveRequest& leave);
+Request make_migrate(const MigrateRequest& migrate);
+Request make_lookup(std::uint64_t fingerprint);
 
 }  // namespace congestbc::service

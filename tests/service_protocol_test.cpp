@@ -527,5 +527,214 @@ TEST(Framing, HostileElementCountRejectedBeforeAllocation) {
   EXPECT_THROW(decode_reply(*frame), ProtocolError);
 }
 
+// ------------------------------------------------------------------
+// v6 cluster frames (JOIN / LEAVE / MIGRATE / LOOKUP): the membership
+// and migration plane rides the same framing, so it inherits the same
+// contract — bit-exact round trips, typed errors on hostile bytes.
+
+MigrateRequest sample_migrate() {
+  MigrateRequest migrate;
+  migrate.kind = MigrateKind::kResume;
+  migrate.fingerprint = 0xabad1dea5ca1ab1eull;
+  migrate.origin_job_id = 41;
+  migrate.origin_worker = "127.0.0.1:9001";
+  migrate.submit = sample_submit();
+  migrate.snapshot_round = 1234;
+  migrate.snapshot_bytes = {0xcb, 0xc5, 0x00, 0x17, 0xff, 0x00, 0x42};
+  return migrate;
+}
+
+TEST(ProtocolRoundTrip, MembershipRequestsSurviveTheWire) {
+  JoinRequest join;
+  join.worker_id = "10.1.2.3:7777";
+  join.host = "10.1.2.3";
+  join.port = 7777;
+  const DrainResult joined = drain(frame_of(make_join(join)));
+  ASSERT_FALSE(joined.error.has_value());
+  ASSERT_EQ(joined.requests.size(), 1u);
+  EXPECT_EQ(joined.requests[0].type, MsgType::kJoin);
+  EXPECT_EQ(joined.requests[0].join.worker_id, join.worker_id);
+  EXPECT_EQ(joined.requests[0].join.host, join.host);
+  EXPECT_EQ(joined.requests[0].join.port, join.port);
+
+  LeaveRequest leave;
+  leave.worker_id = "10.1.2.3:7777";
+  const DrainResult left = drain(frame_of(make_leave(leave)));
+  ASSERT_FALSE(left.error.has_value());
+  ASSERT_EQ(left.requests.size(), 1u);
+  EXPECT_EQ(left.requests[0].type, MsgType::kLeave);
+  EXPECT_EQ(left.requests[0].leave.worker_id, leave.worker_id);
+
+  const DrainResult looked = drain(frame_of(make_lookup(0xfeedULL)));
+  ASSERT_FALSE(looked.error.has_value());
+  ASSERT_EQ(looked.requests.size(), 1u);
+  EXPECT_EQ(looked.requests[0].type, MsgType::kLookup);
+  EXPECT_EQ(looked.requests[0].lookup.fingerprint, 0xfeedULL);
+}
+
+TEST(ProtocolRoundTrip, MigrateRequestCarriesSnapshotAndSubmitBitExact) {
+  const MigrateRequest migrate = sample_migrate();
+  const DrainResult result = drain(frame_of(make_migrate(migrate)));
+  ASSERT_FALSE(result.error.has_value());
+  ASSERT_EQ(result.requests.size(), 1u);
+  const MigrateRequest& decoded = result.requests[0].migrate;
+  EXPECT_EQ(decoded.kind, migrate.kind);
+  EXPECT_EQ(decoded.fingerprint, migrate.fingerprint);
+  EXPECT_EQ(decoded.origin_job_id, migrate.origin_job_id);
+  EXPECT_EQ(decoded.origin_worker, migrate.origin_worker);
+  EXPECT_EQ(decoded.snapshot_round, migrate.snapshot_round);
+  EXPECT_EQ(decoded.snapshot_bytes, migrate.snapshot_bytes);
+  // The inner canonical submit is what the target re-validates; its
+  // result-determining fields must survive untouched.
+  EXPECT_EQ(decoded.submit.graph, migrate.submit.graph);
+  EXPECT_EQ(decoded.submit.faults, migrate.submit.faults);
+  EXPECT_EQ(decoded.submit.max_rounds, migrate.submit.max_rounds);
+
+  MigrateRequest finished = sample_migrate();
+  finished.kind = MigrateKind::kResult;
+  finished.snapshot_bytes.clear();
+  finished.snapshot_round = 0;
+  finished.block_bytes = {0x01, 0x02, 0x03, 0x04};
+  finished.block_bits = 4 * 8 - 3;  // ragged tail bits must survive
+  const DrainResult done = drain(frame_of(make_migrate(finished)));
+  ASSERT_FALSE(done.error.has_value());
+  ASSERT_EQ(done.requests.size(), 1u);
+  EXPECT_EQ(done.requests[0].migrate.kind, MigrateKind::kResult);
+  EXPECT_EQ(done.requests[0].migrate.block_bytes, finished.block_bytes);
+  EXPECT_EQ(done.requests[0].migrate.block_bits, finished.block_bits);
+}
+
+TEST(ProtocolRoundTrip, MembershipRepliesSurviveTheWire) {
+  FrameDecoder decoder;
+  Reply join;
+  join.type = MsgType::kJoinReply;
+  join.join.accepted = true;
+  join.join.detail = "ring size 3";
+  Reply migrate;
+  migrate.type = MsgType::kMigrateReply;
+  migrate.migrate.outcome = MigrateOutcome::kCoalesced;
+  migrate.migrate.job_id = 88;
+  migrate.migrate.fingerprint = 0x1badb002;
+  migrate.migrate.detail = "already cached";
+  Reply lookup;
+  lookup.type = MsgType::kLookupReply;
+  lookup.lookup.found = true;
+  lookup.lookup.fingerprint = 0x50f7ca11;
+  lookup.lookup.block_bytes = {0xaa, 0xbb, 0xcc};
+  lookup.lookup.block_bits = 3 * 8;
+  Reply leave;
+  leave.type = MsgType::kLeaveReply;
+  leave.leave.removed = true;
+
+  for (const Reply& reply : {join, migrate, lookup, leave}) {
+    const auto bytes = frame_bytes(encode_reply(reply));
+    decoder.feed(bytes.data(), bytes.size());
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    const Reply decoded = decode_reply(*frame);
+    EXPECT_EQ(decoded.type, reply.type);
+  }
+  // Spot-check the payload fields of the richest two.
+  const auto migrate_bytes = frame_bytes(encode_reply(migrate));
+  decoder.feed(migrate_bytes.data(), migrate_bytes.size());
+  const Reply migrate_decoded = decode_reply(*decoder.next());
+  EXPECT_EQ(migrate_decoded.migrate.outcome, MigrateOutcome::kCoalesced);
+  EXPECT_EQ(migrate_decoded.migrate.job_id, 88u);
+  EXPECT_EQ(migrate_decoded.migrate.detail, "already cached");
+  const auto lookup_bytes = frame_bytes(encode_reply(lookup));
+  decoder.feed(lookup_bytes.data(), lookup_bytes.size());
+  const Reply lookup_decoded = decode_reply(*decoder.next());
+  EXPECT_TRUE(lookup_decoded.lookup.found);
+  EXPECT_EQ(lookup_decoded.lookup.block_bytes, lookup.lookup.block_bytes);
+  EXPECT_EQ(lookup_decoded.lookup.block_bits, lookup.lookup.block_bits);
+}
+
+TEST(Framing, BitFlippedMembershipFramesNeverCrash) {
+  // The router feeds worker-link replies and client membership frames
+  // through the same decoder the daemon uses; a flipped bit anywhere in
+  // a v6 frame must yield a typed error or a clean decode, never a
+  // crash or unbounded allocation.
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      frame_of(make_join({"w:1", "127.0.0.1", 1})),
+      frame_of(make_leave({"w:1"})),
+      frame_of(make_migrate(sample_migrate())),
+      frame_of(make_lookup(0x1234ULL)),
+  };
+  Rng rng(4242);
+  for (const auto& frame : frames) {
+    for (int trial = 0; trial < 200; ++trial) {
+      auto mutated = frame;
+      const std::size_t byte = rng.next_below(mutated.size());
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+      const DrainResult result = drain(mutated);
+      if (!result.error.has_value()) {
+        EXPECT_LE(result.requests.size(), 1u);
+      }
+    }
+  }
+}
+
+TEST(Framing, HostileMigrateSnapshotLengthRejectedBeforeAllocation) {
+  // A MIGRATE claiming a multi-exabyte snapshot with a handful of real
+  // bytes behind it must be refused by the bounds check, not resized.
+  BitWriter payload;
+  payload.write_varuint(static_cast<std::uint64_t>(MsgType::kMigrate));
+  payload.write_varuint(0);   // kind: kResume
+  payload.write(0xdead, 64);  // fingerprint
+  payload.write_varuint(7);   // origin_job_id
+  payload.write_varuint(0);   // origin_worker length
+  // Inner canonical submit: source kInline, empty graph, defaults.
+  payload.write_varuint(0);                      // source
+  payload.write_varuint(0);                      // graph length
+  payload.write_bool(true);                      // halve
+  payload.write_bool(false);                     // reliable
+  payload.write_varuint(0);                      // faults length
+  payload.write_varuint(0);                      // max_rounds
+  payload.write_varuint(0);                      // threads
+  payload.write_bool(false);                     // legacy_engine
+  payload.write_varuint(0);                      // deadline_ms
+  payload.write_varuint(1);                      // attempt
+  payload.write_varuint(0);                      // stream_ns length
+  payload.write_varuint(0);                      // stream_version
+  payload.write_bool(false);                     // incremental
+  payload.write_varuint(1);                      // backend
+  payload.write_varuint(0);                      // samples
+  payload.write(0, 64);                          // sample_seed
+  payload.write_varuint(0);                      // engine
+  payload.write_varuint(0);                      // snapshot_round
+  payload.write_varuint(1ull << 62);             // snapshot byte count: hostile
+  const DrainResult result = drain(frame_bytes(payload));
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(*result.error, ProtoError::kMalformed);
+}
+
+TEST(ReplyFuzz, BitFlippedMembershipRepliesNeverCrash) {
+  Reply lookup;
+  lookup.type = MsgType::kLookupReply;
+  lookup.lookup.found = true;
+  lookup.lookup.fingerprint = 0xfeedface;
+  lookup.lookup.block_bytes.assign(64, 0x5a);
+  lookup.lookup.block_bits = 64 * 8;
+  Reply migrate;
+  migrate.type = MsgType::kMigrateReply;
+  migrate.migrate.outcome = MigrateOutcome::kAccepted;
+  migrate.migrate.job_id = 17;
+  migrate.migrate.fingerprint = 0xc0ffee;
+  migrate.migrate.detail = "resumed from round 96";
+  Rng rng(777);
+  for (const Reply& reply : {lookup, migrate}) {
+    const auto frame = frame_bytes(encode_reply(reply));
+    for (int trial = 0; trial < 200; ++trial) {
+      auto mutated = frame;
+      const std::size_t byte = rng.next_below(mutated.size());
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+      const ReplyDrain result = drain_replies(mutated);
+      if (!result.error.has_value()) {
+        EXPECT_LE(result.replies.size(), 1u);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace congestbc::service

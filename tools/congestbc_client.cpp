@@ -56,6 +56,16 @@
 //       --backend-mix B1,B2,...  rotate submits across portfolio
 //                      backends and report per-backend latency breakdown
 //                      (mutually exclusive with --mutate-mix)
+//       --cluster N    cluster mode: spawn a congestbc_router plus N
+//                      congestbcd workers that --join it, and drive all
+//                      traffic through the router; reports cluster-level
+//                      p50/p99 (requires --router)
+//       --router BIN   path to the congestbc_router binary
+//       --kill-one     SIGTERM one worker once half the submits are in
+//                      flight — its jobs must migrate and every client
+//                      must still be served (zero failed jobs)
+#include <sys/resource.h>
+#include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -98,7 +108,8 @@ constexpr const char* kUsage =
     "          status JOB | result JOB | cancel JOB | stats | shutdown\n"
     "          loadgen --daemon BIN --graphs A,B [--submits N\n"
     "          --concurrency C --spool DIR --chaos SPEC --chaos-seed S\n"
-    "          --retry --deadline MS --mutate-mix K --backend-mix B1,B2]\n";
+    "          --retry --deadline MS --mutate-mix K --backend-mix B1,B2\n"
+    "          --cluster N --router BIN --kill-one]\n";
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -217,7 +228,10 @@ void print_stats(const StatsReply& s) {
             << " graph_version=" << s.graph_version
             << " dirty_rerun=" << s.dirty_sources_rerun
             << " invalidations=" << s.cache_invalidations
-            << " backend_downgrades=" << s.backend_downgrades << "\n";
+            << " backend_downgrades=" << s.backend_downgrades
+            << " migrated_out=" << s.migrated_out
+            << " migrated_in=" << s.migrated_in
+            << " lookups_served=" << s.lookups_served << "\n";
 }
 
 /// Parses "--ops i:1:2,d:3:4" into a MUTATE batch.
@@ -256,10 +270,11 @@ struct SpawnedDaemon {
   std::uint16_t port = 0;
 };
 
-/// fork/execs congestbcd with an ephemeral port and parses the announced
-/// "LISTENING <port>" line from its stdout.
-SpawnedDaemon spawn_daemon(const std::string& binary,
-                           const std::string& spool) {
+/// fork/execs a serving binary (congestbcd or congestbc_router) with the
+/// given arguments and parses the announced "LISTENING <port>" line from
+/// its stdout.
+SpawnedDaemon spawn_server(const std::string& binary,
+                           std::vector<std::string> argv_strings) {
   int out_pipe[2];
   if (::pipe(out_pipe) != 0) {
     throw std::runtime_error("pipe() failed");
@@ -272,12 +287,7 @@ SpawnedDaemon spawn_daemon(const std::string& binary,
     ::dup2(out_pipe[1], STDOUT_FILENO);
     ::close(out_pipe[0]);
     ::close(out_pipe[1]);
-    std::vector<std::string> argv_strings = {binary, "--port", "0",
-                                             "--workers", "2"};
-    if (!spool.empty()) {
-      argv_strings.push_back("--spool");
-      argv_strings.push_back(spool);
-    }
+    argv_strings.insert(argv_strings.begin(), binary);
     std::vector<char*> argv;
     argv.reserve(argv_strings.size() + 1);
     for (auto& s : argv_strings) {
@@ -309,9 +319,31 @@ SpawnedDaemon spawn_daemon(const std::string& binary,
   if (daemon.port == 0) {
     ::kill(pid, SIGKILL);
     ::waitpid(pid, nullptr, 0);
-    throw std::runtime_error("daemon never announced LISTENING");
+    throw std::runtime_error(binary + " never announced LISTENING");
   }
   return daemon;
+}
+
+SpawnedDaemon spawn_daemon(const std::string& binary,
+                           const std::string& spool) {
+  std::vector<std::string> argv = {"--port", "0", "--workers", "2"};
+  if (!spool.empty()) {
+    argv.push_back("--spool");
+    argv.push_back(spool);
+  }
+  return spawn_server(binary, argv);
+}
+
+/// A cluster run opens one socket per simulated client plus worker
+/// links; lift the fd ceiling so thousands of concurrent clients measure
+/// the serving tier, not this process's fd table.
+void raise_fd_limit() {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) == 0 &&
+      limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    (void)::setrlimit(RLIMIT_NOFILE, &limit);
+  }
 }
 
 int run_loadgen(const Args& args) {
@@ -338,6 +370,17 @@ int run_loadgen(const Args& args) {
       static_cast<std::uint64_t>(args.get_int_or("deadline", 0));
   const bool use_retry = args.has("retry");
   const int mutate_mix = static_cast<int>(args.get_int_or("mutate-mix", 0));
+  const int cluster = static_cast<int>(args.get_int_or("cluster", 0));
+  const bool kill_one = args.has("kill-one");
+  if (cluster > 0 && (args.has("chaos") || args.has("chaos-seed"))) {
+    // Router→worker chaos is the cluster test matrix's job (in-process
+    // chaosproxy on the worker link); the loadgen keeps the two modes
+    // orthogonal.
+    throw std::runtime_error("--cluster and --chaos are mutually exclusive");
+  }
+  if (kill_one && cluster < 2) {
+    throw std::runtime_error("--kill-one needs --cluster >= 2");
+  }
 
   // --backend-mix: rotate submits across portfolio backends (protocol
   // v5) and report a per-backend latency breakdown at the end.
@@ -378,10 +421,91 @@ int run_loadgen(const Args& args) {
         ",corrupt=0.02,stall=0.05,stall-ms=20,cut=0.01,partial=512,grace=2");
   }
 
-  const SpawnedDaemon daemon =
-      spawn_daemon(*binary, args.get("spool").value_or(""));
-  std::cout << "loadgen: daemon pid " << daemon.pid << " on port "
-            << daemon.port << "\n";
+  // Single-daemon mode spawns one congestbcd; cluster mode spawns a
+  // congestbc_router plus N workers that --join it, and all client
+  // traffic (submits, stats, shutdown) goes through the router.
+  SpawnedDaemon daemon;
+  std::vector<SpawnedDaemon> cluster_workers;
+  // If anything past this point throws, the spawned tier must not
+  // outlive the loadgen: a leaked router or worker keeps the inherited
+  // stdout pipe open, and ctest then waits on it until its timeout.
+  // The normal teardown path disarms the guard once everything is
+  // reaped; the guard itself only fires on the failure paths.
+  struct TierReaper {
+    SpawnedDaemon* front;
+    std::vector<SpawnedDaemon>* members;
+    bool armed = true;
+    ~TierReaper() {
+      if (!armed) {
+        return;
+      }
+      for (const SpawnedDaemon& w : *members) {
+        if (w.pid > 0) {
+          ::kill(w.pid, SIGKILL);
+          ::waitpid(w.pid, nullptr, 0);
+        }
+      }
+      if (front->pid > 0) {
+        ::kill(front->pid, SIGKILL);
+        ::waitpid(front->pid, nullptr, 0);
+      }
+    }
+  } reaper{&daemon, &cluster_workers};
+  if (cluster > 0) {
+    const auto router_binary = args.get("router");
+    if (!router_binary) {
+      throw std::runtime_error("--cluster requires --router BIN");
+    }
+    raise_fd_limit();
+    // The router holds finished blocks itself (--result-cache) so the
+    // storm of identical submits and polls collapses to router-local
+    // replies instead of serializing on the per-worker links.
+    daemon = spawn_server(
+        *router_binary, {"--port", "0", "--health-every", "200",
+                         "--result-cache", "4096"});
+    std::cout << "loadgen: router pid " << daemon.pid << " on port "
+              << daemon.port << "\n";
+    const std::string join = "127.0.0.1:" + std::to_string(daemon.port);
+    const std::string spool_base = args.get("spool").value_or("");
+    for (int w = 0; w < cluster; ++w) {
+      std::vector<std::string> worker_args = {
+          "--port", "0", "--workers", "2", "--join", join,
+          "--join-every", "100"};
+      if (!spool_base.empty()) {
+        const std::string dir =
+            spool_base + "/worker" + std::to_string(w);
+        ::mkdir(spool_base.c_str(), 0755);
+        ::mkdir(dir.c_str(), 0755);
+        worker_args.push_back("--spool");
+        worker_args.push_back(dir);
+      }
+      cluster_workers.push_back(spawn_server(*binary, worker_args));
+      std::cout << "loadgen: worker " << w << " pid "
+                << cluster_workers.back().pid << " on port "
+                << cluster_workers.back().port << "\n";
+    }
+    // Wait for every worker's JOIN heartbeat to land: the aggregate
+    // STATS sums each active member's pool (2 threads per worker here).
+    const auto ring_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (true) {
+      Client probe;
+      probe.connect("127.0.0.1", daemon.port);
+      if (probe.stats().workers >=
+          static_cast<std::uint64_t>(2 * cluster)) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= ring_deadline) {
+        throw std::runtime_error("cluster ring never filled");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::cout << "loadgen: ring complete (" << cluster << " workers)\n";
+  } else {
+    daemon = spawn_daemon(*binary, args.get("spool").value_or(""));
+    std::cout << "loadgen: daemon pid " << daemon.pid << " on port "
+              << daemon.port << "\n";
+  }
 
   // With a chaos plan, every worker connection runs through an in-process
   // deterministic chaos proxy; the drain/stats connection at the end goes
@@ -588,50 +712,125 @@ int run_loadgen(const Args& args) {
   };
 
   auto plain_worker = [&](unsigned) {
-    try {
-      Client client;
-      client.connect("127.0.0.1", connect_port);
-      while (true) {
-        const int i = next.fetch_add(1);
-        if (i >= submits) {
-          return;
-        }
-        maybe_mutate(i);
-        const std::uint64_t ver = head_version();
-        const auto t0 = std::chrono::steady_clock::now();
-        ++attempts;
-        const SubmitReply submitted = client.submit(make_request(i));
-        if (submitted.disposition == SubmitDisposition::kBusy) {
-          // Admission control said try later: count as served backpressure.
-          ++ok;
-          continue;
-        }
-        if (submitted.job_id == 0) {
-          ++failed;
-          continue;
-        }
-        if (i % 7 == 0) {
-          (void)client.status(submitted.job_id);  // mix queries into the load
-        }
-        const ResultReply result = client.wait_result(submitted.job_id);
-        note_latency(t0, ver, i);
-        if (result.ready &&
-            result.state == JobState::kDone) {
-          ++ok;
-        } else {
-          ++failed;
-          std::lock_guard<std::mutex> lock(log_mutex);
-          std::cerr << "loadgen: job " << submitted.job_id << " ended "
-                    << to_string(result.state) << ": " << result.detail
-                    << "\n";
+    // One persistent connection per simulated client, reused across its
+    // whole submit stream — a transport error reconnects and retries the
+    // slot instead of killing the thread.  At cluster scale this is what
+    // keeps the run measuring the serving tier rather than ephemeral-port
+    // churn (a thread-per-submit connect pattern exhausts the local port
+    // range long before the daemon saturates).
+    Client client;
+    bool connected = false;
+    while (true) {
+      const int i = next.fetch_add(1);
+      if (i >= submits) {
+        return;
+      }
+      maybe_mutate(i);
+      const std::uint64_t ver = head_version();
+      const auto t0 = std::chrono::steady_clock::now();
+      bool settled = false;
+      std::string transport_error;
+      for (int attempt = 0; attempt < 3 && !settled; ++attempt) {
+        try {
+          if (!connected) {
+            client.connect("127.0.0.1", connect_port);
+            connected = true;
+          }
+          ++attempts;
+          const SubmitReply submitted = client.submit(make_request(i));
+          if (submitted.disposition == SubmitDisposition::kBusy) {
+            // Admission control said try later: served backpressure.
+            ++ok;
+            settled = true;
+            break;
+          }
+          if (submitted.job_id == 0) {
+            // Semantic rejection — retrying the same submit cannot help.
+            ++failed;
+            settled = true;
+            std::lock_guard<std::mutex> lock(log_mutex);
+            std::cerr << "loadgen: submit " << i << " rejected: "
+                      << submitted.detail << "\n";
+            break;
+          }
+          if (i % 7 == 0) {
+            (void)client.status(submitted.job_id);  // mix queries in
+          }
+          const ResultReply result = client.wait_result(submitted.job_id);
+          note_latency(t0, ver, i);
+          if (result.ready && result.state == JobState::kDone) {
+            ++ok;
+          } else {
+            ++failed;
+            std::lock_guard<std::mutex> lock(log_mutex);
+            std::cerr << "loadgen: job " << submitted.job_id << " ended "
+                      << to_string(result.state) << ": " << result.detail
+                      << "\n";
+          }
+          settled = true;
+        } catch (const std::exception& e) {
+          client.close();
+          connected = false;
+          ++reconnects;
+          transport_error = e.what();
         }
       }
-    } catch (const std::exception& e) {
-      ++failed;
-      std::lock_guard<std::mutex> lock(log_mutex);
-      std::cerr << "loadgen worker: " << e.what() << "\n";
+      if (!settled) {
+        ++failed;
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::cerr << "loadgen: submit " << i
+                  << " gave up after transport errors: " << transport_error
+                  << "\n";
+      }
     }
   };
+
+  // --kill-one: once half the submits are in flight, SIGTERM the first
+  // cluster worker.  Its drain suspends running jobs, MIGRATEs them (and
+  // unfetched results) through the router to a survivor, and every
+  // client polling a router job id must still get its bytes — the
+  // zero-failed-jobs assertion below is the point of the exercise.
+  std::atomic<bool> load_done{false};
+  std::thread killer;
+  if (kill_one) {
+    killer = std::thread([&] {
+      while (!load_done.load() && next.load() < submits / 2) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // Kill a worker that actually holds state worth migrating:
+      // queued/running jobs, or a completed result block (it ships as a
+      // kResult transplant).  The ring may legitimately hash every
+      // distinct fingerprint onto one worker, so the victim is chosen by
+      // polling each worker's STATS directly (the router only exposes
+      // the aggregate) rather than fixed up front — killing an idle
+      // worker would make the migrated-in assertion below flaky.
+      std::size_t victim = 0;
+      const auto busy_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      bool found = false;
+      while (!found && std::chrono::steady_clock::now() < busy_deadline) {
+        for (std::size_t w = 0; w < cluster_workers.size(); ++w) {
+          try {
+            Client probe;
+            probe.connect("127.0.0.1", cluster_workers[w].port);
+            const StatsReply s = probe.stats();
+            if (s.queue_depth + s.running + s.jobs_completed > 0) {
+              victim = w;
+              found = true;
+              break;
+            }
+          } catch (const std::exception&) {
+          }
+        }
+        if (!found) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      std::cout << "loadgen: SIGTERM worker " << victim << " (pid "
+                << cluster_workers[victim].pid << ") mid-run\n";
+      ::kill(cluster_workers[victim].pid, SIGTERM);
+    });
+  }
 
   std::vector<std::thread> workers;
   for (int c = 0; c < concurrency; ++c) {
@@ -644,8 +843,13 @@ int run_loadgen(const Args& args) {
   for (auto& thread : workers) {
     thread.join();
   }
+  load_done.store(true);
+  if (killer.joinable()) {
+    killer.join();
+  }
 
   int exit_code = 0;
+  bool cluster_clean = true;
   {
     Client client;
     client.connect("127.0.0.1", daemon.port);
@@ -660,6 +864,27 @@ int run_loadgen(const Args& args) {
       std::cerr << "loadgen: expected MUTATE traffic to register in STATS\n";
       exit_code = 1;
     }
+    if (cluster > 0) {
+      if (kill_one && stats.migrated_in == 0) {
+        // The killed worker had jobs in flight; at least one transplant
+        // must have landed on a survivor (counted where it arrived).
+        std::cerr << "loadgen: --kill-one saw no migrated-in jobs\n";
+        exit_code = 1;
+      }
+      // Drain the workers first, through the live router (their
+      // remaining state migrates, then they LEAVE); the router goes last.
+      for (std::size_t w = 0; w < cluster_workers.size(); ++w) {
+        ::kill(cluster_workers[w].pid, SIGTERM);
+      }
+      for (std::size_t w = 0; w < cluster_workers.size(); ++w) {
+        int wstatus = 0;
+        ::waitpid(cluster_workers[w].pid, &wstatus, 0);
+        if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+          std::cerr << "loadgen: worker " << w << " exited unclean\n";
+          cluster_clean = false;
+        }
+      }
+    }
     const ShutdownReply drain = client.shutdown();
     if (!drain.draining) {
       std::cerr << "loadgen: SHUTDOWN did not begin a drain\n";
@@ -668,7 +893,9 @@ int run_loadgen(const Args& args) {
   }
   int status = 0;
   ::waitpid(daemon.pid, &status, 0);
-  const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  reaper.armed = false;  // the whole tier is reaped; nothing to clean up
+  const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
+                     cluster_clean;
   if (proxy) {
     proxy->stop();
     const ChaosStats& cs = proxy->stats();
@@ -692,6 +919,16 @@ int run_loadgen(const Args& args) {
   };
   std::cout << "loadgen: latency_ms p50=" << percentile(50) << " p90="
             << percentile(90) << " p99=" << percentile(99) << "\n";
+  if (cluster > 0) {
+    // Cluster-level serving percentiles: measured at the client, through
+    // the router hop, across every worker — the number a capacity plan
+    // for the tier actually needs.
+    std::cout << "loadgen: cluster workers=" << cluster
+              << (kill_one ? " (one killed mid-run)" : "")
+              << " clients=" << concurrency
+              << " cluster_p50_ms=" << percentile(50)
+              << " cluster_p99_ms=" << percentile(99) << "\n";
+  }
   if (mutate_mix > 0) {
     std::cout << "loadgen: mutations=" << mutations_done.load()
               << " head_version=" << expected_version << "\n";
@@ -760,7 +997,7 @@ int run(int argc, char** argv) {
       {"host", "port", "path", "faults", "max-rounds", "threads", "daemon",
        "graphs", "submits", "concurrency", "spool", "chaos", "chaos-seed",
        "deadline", "ns", "version", "ops", "base", "mutate-mix", "backend",
-       "samples", "sample-seed", "backend-mix"});
+       "samples", "sample-seed", "backend-mix", "cluster", "router"});
   if (args.has("help") || args.positional().empty()) {
     std::cout << kUsage;
     return args.has("help") ? 0 : 1;

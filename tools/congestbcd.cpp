@@ -41,6 +41,13 @@
 //                     count cap still bounds the table)
 //   --metrics-file F  periodic JSON metrics dump (service/metrics.hpp)
 //   --metrics-every MS     dump cadence (default 1000)
+//   --join HOST:PORT  announce this daemon to a congestbc_router and
+//                     keep re-announcing (the JOIN heartbeat); at drain
+//                     time suspended jobs migrate through the router to
+//                     a surviving worker
+//   --advertise HOST  address the router should dial back (default: the
+//                     --host value; set it when binding 0.0.0.0)
+//   --join-every MS   JOIN heartbeat cadence (default 1000; 0 = once)
 //
 // SIGTERM/SIGINT begin a graceful drain: stop admitting, halt running
 // jobs at their next round boundary (writing suspension checkpoints),
@@ -67,7 +74,8 @@ constexpr const char* kUsage =
     "                   --checkpoint-every N --checkpoint-keep K\n"
     "                   --max-rounds R --time-budget MS --threads T\n"
     "                   --job-retention MS --metrics-file F\n"
-    "                   --metrics-every MS]\n";
+    "                   --metrics-every MS --join HOST:PORT\n"
+    "                   --advertise HOST --join-every MS]\n";
 
 int run(int argc, char** argv) {
   using congestbc::Args;
@@ -76,7 +84,7 @@ int run(int argc, char** argv) {
       {"host", "port", "workers", "queue-limit", "cache", "spool",
        "graph-root", "checkpoint-every", "checkpoint-keep", "max-rounds",
        "time-budget", "threads", "job-retention", "metrics-file",
-       "metrics-every"});
+       "metrics-every", "join", "advertise", "join-every"});
   if (args.has("help")) {
     std::cout << kUsage;
     return 0;
@@ -105,6 +113,10 @@ int run(int argc, char** argv) {
   config.metrics_path = args.get("metrics-file").value_or("");
   config.metrics_every_ms =
       static_cast<std::uint64_t>(args.get_int_or("metrics-every", 1000));
+  config.join_router = args.get("join").value_or("");
+  config.advertise_host = args.get("advertise").value_or("");
+  config.join_every_ms =
+      static_cast<std::uint64_t>(args.get_int_or("join-every", 1000));
 
   congestbc::service::Daemon daemon(config);
   daemon.start();
